@@ -1,0 +1,47 @@
+//! Binary-codec throughput: encode/decode speed bounds materialization
+//! cost, which the online optimizer's `l_i` estimates track.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use helix_dataflow::{codec, DataCollection, DataType, Row, Schema, Value};
+
+fn collection(rows: usize) -> DataCollection {
+    let schema = Schema::of(&[
+        ("id", DataType::Int),
+        ("name", DataType::Str),
+        ("score", DataType::Float),
+        ("feats", DataType::List),
+    ]);
+    let rows = (0..rows as i64)
+        .map(|i| {
+            Row(vec![
+                Value::Int(i),
+                Value::Str(format!("entity-{i}")),
+                Value::Float(i as f64 * 0.25),
+                Value::List(vec![
+                    Value::List(vec![Value::Str(format!("f{}", i % 50)), Value::Float(1.0)]),
+                    Value::List(vec![Value::Str("bias".into()), Value::Float(1.0)]),
+                ]),
+            ])
+        })
+        .collect();
+    DataCollection::from_rows_unchecked(schema, rows)
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    for &rows in &[1_000usize, 20_000] {
+        let dc = collection(rows);
+        let encoded = codec::encode(&dc);
+        group.throughput(Throughput::Bytes(encoded.len() as u64));
+        group.bench_with_input(BenchmarkId::new("encode", rows), &dc, |b, dc| {
+            b.iter(|| codec::encode(dc).len())
+        });
+        group.bench_with_input(BenchmarkId::new("decode", rows), &encoded, |b, bytes| {
+            b.iter(|| codec::decode(bytes).unwrap().len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Fig. 2(a) as a criterion bench: full 10-iteration IE series per system
+//! on a reduced corpus. The `fig2` binary produces the paper-scale table;
+//! this target tracks regressions in the end-to-end iteration loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use helix_baselines::SystemKind;
+use helix_bench::ie_series;
+use helix_workloads::news::{generate_news, NewsDataSpec};
+
+fn bench_fig2a(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("helix-bench-fig2a-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    generate_news(&dir, &NewsDataSpec { docs: 60, ..Default::default() }).unwrap();
+
+    let mut group = c.benchmark_group("fig2a_ie_series");
+    group.sample_size(10);
+    for system in [SystemKind::Helix, SystemKind::DeepDiveSim] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(system.label()),
+            &system,
+            |b, &system| {
+                b.iter(|| {
+                    let series = ie_series(system, &dir, &dir).expect("series");
+                    assert!(series.total_secs() > 0.0);
+                    series.total_secs()
+                })
+            },
+        );
+    }
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_fig2a);
+criterion_main!(benches);

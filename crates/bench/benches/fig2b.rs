@@ -1,0 +1,37 @@
+//! Fig. 2(b) as a criterion bench: the 10-iteration Census series per
+//! system on a reduced dataset.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use helix_baselines::SystemKind;
+use helix_bench::census_series;
+use helix_workloads::census::{generate_census, CensusDataSpec};
+
+fn bench_fig2b(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("helix-bench-fig2b-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    generate_census(
+        &dir,
+        &CensusDataSpec { train_rows: 1_000, test_rows: 250, ..Default::default() },
+    )
+    .unwrap();
+
+    let mut group = c.benchmark_group("fig2b_census_series");
+    group.sample_size(10);
+    for system in [SystemKind::Helix, SystemKind::DeepDiveSim, SystemKind::KeystoneSim] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(system.label()),
+            &system,
+            |b, &system| {
+                b.iter(|| {
+                    let series = census_series(system, &dir, &dir).expect("series");
+                    series.total_secs()
+                })
+            },
+        );
+    }
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_fig2b);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Materialization-strategy ablation: 3-iteration census mini-series under
+//! each policy, plus a storage-budget sweep for the Helix online rule.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use helix_core::materialize::MaterializationPolicyKind;
+use helix_core::recompute::RecomputationPolicy;
+use helix_core::{Engine, EngineConfig};
+use helix_workloads::census::{census_workflow, generate_census, CensusDataSpec, CensusParams};
+
+fn mini_series(dir: &std::path::Path, config: EngineConfig) -> f64 {
+    let mut engine = Engine::new(config).unwrap();
+    let mut params = CensusParams::initial(dir);
+    let mut total = 0.0;
+    total += engine.run(&census_workflow(&params).unwrap()).unwrap().total_secs;
+    params.include_marital_status = true;
+    total += engine.run(&census_workflow(&params).unwrap()).unwrap().total_secs;
+    params.reg_param = 0.02;
+    total += engine.run(&census_workflow(&params).unwrap()).unwrap().total_secs;
+    total
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("helix-bench-mat-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    generate_census(
+        &dir,
+        &CensusDataSpec { train_rows: 800, test_rows: 200, ..Default::default() },
+    )
+    .unwrap();
+
+    let mut group = c.benchmark_group("materialization_strategy");
+    group.sample_size(10);
+    for policy in [
+        MaterializationPolicyKind::HelixOnline,
+        MaterializationPolicyKind::All,
+        MaterializationPolicyKind::Never,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{policy:?}")),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let store = dir.join(format!("store-{policy:?}"));
+                    let _ = std::fs::remove_dir_all(&store);
+                    let config = EngineConfig {
+                        store_dir: store,
+                        storage_budget_bytes: 1 << 30,
+                        recomputation: RecomputationPolicy::Optimal,
+                        materialization: policy,
+                        enable_slicing: true,
+                    };
+                    mini_series(&dir, config)
+                })
+            },
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("storage_budget_sweep");
+    group.sample_size(10);
+    for budget_mb in [1u64, 16, 256] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{budget_mb}MiB")),
+            &budget_mb,
+            |b, &budget_mb| {
+                b.iter(|| {
+                    let store = dir.join(format!("store-b{budget_mb}"));
+                    let _ = std::fs::remove_dir_all(&store);
+                    let config = EngineConfig::helix(store).with_budget(budget_mb << 20);
+                    mini_series(&dir, config)
+                })
+            },
+        );
+    }
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

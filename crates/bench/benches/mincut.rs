@@ -1,0 +1,98 @@
+//! Solver-scaling ablation: Dinic vs Edmonds–Karp, and the full PSP-based
+//! recomputation plan, on layered DAGs shaped like real workflow graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use helix_mincut::{FlowNetwork, Project, ProjectSelection};
+
+/// Builds a layered flow network: `layers` layers of `width` vertices,
+/// dense edges between adjacent layers.
+fn layered_network(layers: usize, width: usize) -> (FlowNetwork, usize, usize) {
+    let n = layers * width + 2;
+    let source = n - 2;
+    let sink = n - 1;
+    let mut net = FlowNetwork::new(n);
+    let mut seed = 0x2545f4914f6cdd1du64;
+    let mut next = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        seed
+    };
+    for v in 0..width {
+        net.add_edge(source, v, next() % 50 + 1);
+    }
+    for layer in 0..layers - 1 {
+        for a in 0..width {
+            for b in 0..width {
+                net.add_edge(layer * width + a, (layer + 1) * width + b, next() % 20 + 1);
+            }
+        }
+    }
+    for v in 0..width {
+        net.add_edge((layers - 1) * width + v, sink, next() % 50 + 1);
+    }
+    (net, source, sink)
+}
+
+fn bench_maxflow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("maxflow_layered");
+    for &(layers, width) in &[(4usize, 8usize), (8, 16), (16, 24)] {
+        let label = format!("{layers}x{width}");
+        group.bench_with_input(BenchmarkId::new("dinic", &label), &(layers, width), |b, &(l, w)| {
+            b.iter_batched(
+                || layered_network(l, w),
+                |(mut net, s, t)| net.dinic(s, t).max_flow,
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(
+            BenchmarkId::new("edmonds_karp", &label),
+            &(layers, width),
+            |b, &(l, w)| {
+                b.iter_batched(
+                    || layered_network(l, w),
+                    |(mut net, s, t)| net.edmonds_karp(s, t).max_flow,
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+/// PSP instance shaped like a workflow recomputation problem: a chain of
+/// `n` stages with random profits and prerequisite edges.
+fn psp_instance(n: usize) -> ProjectSelection {
+    let mut psp = ProjectSelection::new();
+    let mut seed = 88172645463325252u64;
+    let mut next = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        seed
+    };
+    for _ in 0..n {
+        psp.add_project(Project::new((next() % 2000) as i64 - 1000));
+    }
+    for i in 1..n {
+        psp.require(i, i - 1);
+        if i >= 4 {
+            psp.require(i, i - 4);
+        }
+    }
+    psp
+}
+
+fn bench_psp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("project_selection");
+    for &n in &[64usize, 256, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let psp = psp_instance(n);
+            b.iter(|| psp.solve().profit)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_maxflow, bench_psp);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Per-operator throughput: the substrate costs the optimizer reasons
+//! about (scan, extract, assemble, train).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use helix_core::exec;
+use helix_core::ops::{ExtractorKind, LearnerSpec, NodeOutput, OperatorKind};
+use helix_workloads::census::{generate_census, CensusDataSpec, FIELDS};
+
+fn bench_operators(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("helix-bench-ops-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let rows_n = 5_000usize;
+    let (train, test) = generate_census(
+        &dir,
+        &CensusDataSpec { train_rows: rows_n, test_rows: 500, ..Default::default() },
+    )
+    .unwrap();
+
+    let source = exec::execute(
+        &OperatorKind::CsvSource { train_path: train, test_path: Some(test) },
+        "data",
+        &[],
+    )
+    .unwrap();
+    let scan_kind = OperatorKind::CsvScan {
+        fields: FIELDS.iter().map(|(n, t)| (n.to_string(), *t)).collect(),
+    };
+
+    let mut group = c.benchmark_group("operators");
+    group.throughput(Throughput::Elements(rows_n as u64));
+    group.bench_function("csv_scan", |b| {
+        b.iter(|| exec::execute(&scan_kind, "rows", &[&source]).unwrap())
+    });
+
+    let rows = exec::execute(&scan_kind, "rows", &[&source]).unwrap();
+    let edu_kind =
+        OperatorKind::FieldExtractor { field: "education".into(), kind: ExtractorKind::Categorical };
+    group.bench_function("field_extractor", |b| {
+        b.iter(|| exec::execute(&edu_kind, "edu", &[&rows]).unwrap())
+    });
+
+    let edu = exec::execute(&edu_kind, "edu", &[&rows]).unwrap();
+    let target_kind =
+        OperatorKind::FieldExtractor { field: "target".into(), kind: ExtractorKind::Numeric };
+    let target = exec::execute(&target_kind, "target", &[&rows]).unwrap();
+    group.bench_function("assemble", |b| {
+        b.iter(|| {
+            exec::execute(&OperatorKind::AssembleFeatures, "income", &[&rows, &edu, &target])
+                .unwrap()
+        })
+    });
+
+    let income =
+        exec::execute(&OperatorKind::AssembleFeatures, "income", &[&rows, &edu, &target]).unwrap();
+    group.sample_size(10);
+    group.bench_function("train_logreg", |b| {
+        b.iter(|| {
+            exec::execute(&OperatorKind::Train(LearnerSpec::default()), "model", &[&income])
+                .unwrap()
+        })
+    });
+
+    let model = exec::execute(&OperatorKind::Train(LearnerSpec::default()), "model", &[&income])
+        .unwrap();
+    group.bench_function("apply", |b| {
+        b.iter(|| exec::execute(&OperatorKind::Apply, "preds", &[&model, &income]).unwrap())
+    });
+    group.finish();
+
+    // Keep outputs alive until the end so nothing is optimized away.
+    assert!(matches!(model, NodeOutput::Model(_)));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_operators);
+criterion_main!(benches);

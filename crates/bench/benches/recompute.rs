@@ -1,0 +1,84 @@
+//! Recomputation-policy ablation: solver latency of the optimal PSP plan
+//! vs the greedy baselines on synthetic workflow DAGs, over DAG size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use helix_core::ops::{OperatorKind, Udf};
+use helix_core::recompute::{plan_states, NodeCosts, RecomputationPolicy};
+use helix_core::workflow::{NodeRef, Workflow};
+
+/// Builds a synthetic workflow DAG: `depth` layers of `width` UDF nodes,
+/// each wired to two nodes of the previous layer, single sink output.
+fn synthetic_workflow(depth: usize, width: usize) -> (Workflow, Vec<NodeCosts>) {
+    let mut w = Workflow::new("synthetic");
+    let mut prev: Vec<NodeRef> = Vec::new();
+    let mut seed = 0x9e3779b97f4a7c15u64;
+    let mut next = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        seed
+    };
+    let dummy_udf = || {
+        Udf::new("v1", |inputs: &[&helix_dataflow::DataCollection]| {
+            Ok(inputs
+                .first()
+                .map(|dc| (*dc).clone())
+                .unwrap_or_else(|| {
+                    helix_dataflow::DataCollection::empty(helix_dataflow::Schema::of(&[]))
+                }))
+        })
+    };
+    for layer in 0..depth {
+        let mut current = Vec::with_capacity(width);
+        for i in 0..width {
+            let name = format!("n{layer}_{i}");
+            let node = if prev.is_empty() {
+                w.add(name, OperatorKind::UserDefined(dummy_udf()), &[]).unwrap()
+            } else {
+                let a = &prev[(next() as usize) % prev.len()];
+                let b = &prev[(next() as usize) % prev.len()];
+                w.add(name, OperatorKind::UserDefined(dummy_udf()), &[a, b]).unwrap()
+            };
+            current.push(node);
+        }
+        prev = current;
+    }
+    let sink = w
+        .add("sink", OperatorKind::UserDefined(dummy_udf()), &prev.iter().collect::<Vec<_>>())
+        .unwrap();
+    w.output(&sink);
+
+    let costs = (0..w.len())
+        .map(|_| NodeCosts {
+            compute_us: next() % 100_000 + 100,
+            load_us: if next() % 2 == 0 { Some(next() % 50_000 + 50) } else { None },
+        })
+        .collect();
+    (w, costs)
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recompute_policies");
+    for &(depth, width) in &[(4usize, 4usize), (8, 8), (16, 16)] {
+        let (w, costs) = synthetic_workflow(depth, width);
+        let active = vec![true; w.len()];
+        let label = format!("{}nodes", w.len());
+        for policy in [
+            RecomputationPolicy::Optimal,
+            RecomputationPolicy::ComputeAll,
+            RecomputationPolicy::LoadAllAvailable,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{policy:?}"), &label),
+                &policy,
+                |b, &policy| {
+                    b.iter(|| plan_states(&w, &active, &costs, policy).unwrap().len())
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! Regenerates the paper's evaluation figures from scratch.
+//!
+//! ```text
+//! cargo run -p helix-bench --release --bin fig2 -- [a|b|unopt|all] [--fast]
+//! ```
+//!
+//! * `a` — Fig. 2(a): cumulative runtime on the IE task, Helix vs
+//!   DeepDive-sim, 10 iterations.
+//! * `b` — Fig. 2(b): cumulative runtime on Census classification, Helix
+//!   vs DeepDive-sim vs KeystoneML-sim (DeepDive's series stops after
+//!   iteration 2, as in the paper).
+//! * `unopt` — demo §3: Helix vs unoptimized Helix on both tasks.
+//!
+//! CSV output lands in `bench_results/`.
+
+use helix_baselines::SystemKind;
+use helix_bench::{census_series, ie_series, render_chart, render_table, to_csv, SystemSeries};
+use helix_workloads::census::{generate_census, CensusDataSpec};
+use helix_workloads::news::{generate_news, NewsDataSpec};
+use std::path::{Path, PathBuf};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let which = args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_else(|| "all".into());
+
+    let out_dir = PathBuf::from("bench_results");
+    std::fs::create_dir_all(&out_dir).expect("create bench_results/");
+    let work = std::env::temp_dir().join(format!("helix-fig2-{}", std::process::id()));
+    std::fs::create_dir_all(&work).expect("create work dir");
+
+    if which == "a" || which == "all" || which == "unopt" {
+        let ie_dir = work.join("ie-data");
+        let spec = if fast {
+            NewsDataSpec { docs: 120, ..Default::default() }
+        } else {
+            NewsDataSpec::default()
+        };
+        let data = generate_news(&ie_dir, &spec).expect("generate news corpus");
+        println!(
+            "generated IE corpus: {} docs, {} gold mentions\n",
+            spec.docs, data.mentions
+        );
+        if which != "unopt" {
+            run_fig2a(&ie_dir, &work, &out_dir);
+        }
+        if which == "unopt" || which == "all" {
+            run_unopt_ie(&ie_dir, &work, &out_dir);
+        }
+    }
+    if which == "b" || which == "all" || which == "unopt" {
+        let census_dir = work.join("census-data");
+        let spec = if fast {
+            CensusDataSpec { train_rows: 2_000, test_rows: 500, ..Default::default() }
+        } else {
+            CensusDataSpec::default()
+        };
+        generate_census(&census_dir, &spec).expect("generate census data");
+        println!(
+            "generated census data: {} train / {} test rows\n",
+            spec.train_rows, spec.test_rows
+        );
+        if which != "unopt" {
+            run_fig2b(&census_dir, &work, &out_dir);
+        }
+        if which == "unopt" || which == "all" {
+            run_unopt_census(&census_dir, &work, &out_dir);
+        }
+    }
+}
+
+fn run_fig2a(data_dir: &Path, work: &Path, out_dir: &Path) {
+    println!("=== Figure 2(a): IE task, cumulative runtime ===\n");
+    let systems = [SystemKind::Helix, SystemKind::DeepDiveSim];
+    let series: Vec<SystemSeries> = systems
+        .iter()
+        .map(|s| ie_series(*s, data_dir, work).expect("ie series"))
+        .collect();
+    finish("Figure 2(a) — IE task", &series, out_dir, "fig2a.csv");
+    let helix = series[0].total_secs();
+    let deepdive = series[1].total_secs();
+    println!(
+        "HELIX cumulative is {:.0}% lower than DeepDive-sim (paper: ~60% lower)\n",
+        (1.0 - helix / deepdive) * 100.0
+    );
+}
+
+fn run_fig2b(data_dir: &Path, work: &Path, out_dir: &Path) {
+    println!("=== Figure 2(b): Census classification, cumulative runtime ===\n");
+    let systems = [SystemKind::Helix, SystemKind::DeepDiveSim, SystemKind::KeystoneSim];
+    let series: Vec<SystemSeries> = systems
+        .iter()
+        .map(|s| census_series(*s, data_dir, work).expect("census series"))
+        .collect();
+    finish("Figure 2(b) — Census classification", &series, out_dir, "fig2b.csv");
+    let helix = series[0].total_secs();
+    let keystone = series[2].total_secs();
+    println!(
+        "KeystoneML-sim / HELIX cumulative ratio: {:.1}x (paper: ~an order of magnitude)\n",
+        keystone / helix
+    );
+}
+
+fn run_unopt_ie(data_dir: &Path, work: &Path, out_dir: &Path) {
+    println!("=== Demo §3: Helix vs unoptimized Helix (IE) ===\n");
+    let series = vec![
+        ie_series(SystemKind::Helix, data_dir, work).expect("helix"),
+        ie_series(SystemKind::HelixUnopt, data_dir, work).expect("unopt"),
+    ];
+    finish("Helix vs unoptimized (IE)", &series, out_dir, "unopt_ie.csv");
+}
+
+fn run_unopt_census(data_dir: &Path, work: &Path, out_dir: &Path) {
+    println!("=== Demo §3: Helix vs unoptimized Helix (Census) ===\n");
+    let series = vec![
+        census_series(SystemKind::Helix, data_dir, work).expect("helix"),
+        census_series(SystemKind::HelixUnopt, data_dir, work).expect("unopt"),
+    ];
+    finish("Helix vs unoptimized (Census)", &series, out_dir, "unopt_census.csv");
+}
+
+fn finish(title: &str, series: &[SystemSeries], out_dir: &Path, csv_name: &str) {
+    println!("{}", render_table(title, series));
+    println!("{}", render_chart(series));
+    let csv_path = out_dir.join(csv_name);
+    std::fs::write(&csv_path, to_csv(series)).expect("write csv");
+    println!("wrote {}\n", csv_path.display());
+}

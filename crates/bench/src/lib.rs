@@ -1,0 +1,253 @@
+//! Benchmark harness: runs the paper's iteration scripts against every
+//! system and reports per-iteration and cumulative runtimes (Fig. 2),
+//! plus the ablation scenarios described in DESIGN.md.
+
+#![warn(missing_docs)]
+
+use helix_baselines::SystemKind;
+use helix_core::Result;
+use helix_workloads::census::{census_iterations, census_workflow, CensusParams};
+use helix_workloads::ie::{ie_iterations, ie_workflow, IeParams};
+use helix_workloads::IterationStage;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One iteration's measurement for one system.
+#[derive(Debug, Clone)]
+pub struct IterRecord {
+    /// 0-based iteration number (0 = initial version).
+    pub iteration: usize,
+    /// `P`/`M`/`E` category letter (`-` for the initial run).
+    pub stage: char,
+    /// What the scripted user changed.
+    pub description: String,
+    /// Wall seconds for this iteration.
+    pub secs: f64,
+    /// Cumulative wall seconds including this iteration.
+    pub cumulative: f64,
+}
+
+/// The full series for one system on one application.
+#[derive(Debug, Clone)]
+pub struct SystemSeries {
+    /// Which system ran.
+    pub system: SystemKind,
+    /// Per-iteration records; shorter than the script when the system
+    /// does not support later modifications (DeepDive on Census).
+    pub records: Vec<IterRecord>,
+}
+
+impl SystemSeries {
+    /// Total cumulative runtime.
+    pub fn total_secs(&self) -> f64 {
+        self.records.last().map(|r| r.cumulative).unwrap_or(0.0)
+    }
+}
+
+/// Runs the Census (Fig. 2b) iteration script for one system.
+///
+/// `data_dir` must already contain `train.csv`/`test.csv`; `work_dir`
+/// receives the system's store.
+pub fn census_series(system: SystemKind, data_dir: &Path, work_dir: &Path) -> Result<SystemSeries> {
+    let mut params = CensusParams::initial(data_dir);
+    let script = census_iterations();
+    // Census is not DeepDive's native domain: ML/eval edits hit components
+    // it does not expose, truncating its series (paper Fig. 2(b)).
+    run_series(system, work_dir, &mut params, &script, census_workflow, true)
+}
+
+/// Runs the IE (Fig. 2a) iteration script for one system.
+pub fn ie_series(system: SystemKind, data_dir: &Path, work_dir: &Path) -> Result<SystemSeries> {
+    let mut params = IeParams::initial(data_dir);
+    let script = ie_iterations();
+    // IE (knowledge-base construction) is DeepDive's home turf: it runs
+    // the whole script in Fig. 2(a).
+    run_series(system, work_dir, &mut params, &script, ie_workflow, false)
+}
+
+fn run_series<P>(
+    system: SystemKind,
+    work_dir: &Path,
+    params: &mut P,
+    script: &[helix_workloads::IterationSpec<P>],
+    build: impl Fn(&P) -> Result<helix_core::Workflow>,
+    respect_supports: bool,
+) -> Result<SystemSeries> {
+    // Warm-up: run the initial workflow once on a throwaway engine so page
+    // cache, allocator, and thread-pool effects do not bias whichever
+    // system happens to run first in the process.
+    {
+        let warm_dir = work_dir.join("store-warmup");
+        let _ = std::fs::remove_dir_all(&warm_dir);
+        let mut warm = SystemKind::KeystoneSim.build_engine(&warm_dir)?;
+        warm.run(&build(params)?)?;
+        warm.run(&build(params)?)?;
+        let _ = std::fs::remove_dir_all(&warm_dir);
+    }
+
+    let store_dir = work_dir.join(format!("store-{}", system.label()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let mut engine = system.build_engine(&store_dir)?;
+    let mut records = Vec::new();
+    let mut cumulative = 0.0f64;
+
+    let initial = engine.run(&build(params)?)?;
+    cumulative += initial.total_secs;
+    records.push(IterRecord {
+        iteration: 0,
+        stage: '-',
+        description: "initial version".into(),
+        secs: initial.total_secs,
+        cumulative,
+    });
+
+    for (i, spec) in script.iter().enumerate() {
+        if respect_supports && !system.supports(spec.stage) {
+            // The paper's Fig. 2(b): DeepDive's series simply stops once
+            // the scripted user touches components it does not expose.
+            break;
+        }
+        (spec.apply)(params);
+        let report = engine.run(&build(params)?)?;
+        cumulative += report.total_secs;
+        records.push(IterRecord {
+            iteration: i + 1,
+            stage: spec.stage.letter(),
+            description: spec.description.to_string(),
+            secs: report.total_secs,
+            cumulative,
+        });
+    }
+    Ok(SystemSeries { system, records })
+}
+
+/// Renders the per-iteration table for a set of system series (rows =
+/// iterations of the longest series; cells = cumulative seconds).
+pub fn render_table(title: &str, series: &[SystemSeries]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let longest = series.iter().max_by_key(|s| s.records.len()).expect("non-empty series");
+    let _ = write!(out, "{:<4} {:<5} {:<38}", "iter", "type", "change");
+    for s in series {
+        let _ = write!(out, " {:>15}", s.system.label());
+    }
+    let _ = writeln!(out);
+    for (row, rec) in longest.records.iter().enumerate() {
+        let _ = write!(out, "{:<4} {:<5} {:<38}", rec.iteration, rec.stage, rec.description);
+        for s in series {
+            match s.records.get(row) {
+                Some(r) => {
+                    let _ = write!(out, " {:>15.3}", r.cumulative);
+                }
+                None => {
+                    let _ = write!(out, " {:>15}", "—");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(out);
+    for s in series {
+        let _ = writeln!(
+            out,
+            "  {:<15} total {:>9.3}s over {} iterations",
+            s.system.label(),
+            s.total_secs(),
+            s.records.len()
+        );
+    }
+    out
+}
+
+/// Renders cumulative-runtime curves as a fixed-width ASCII chart (the
+/// CLI stand-in for Fig. 2's plots).
+pub fn render_chart(series: &[SystemSeries]) -> String {
+    const WIDTH: usize = 60;
+    let max = series.iter().map(SystemSeries::total_secs).fold(0.0f64, f64::max);
+    if max <= 0.0 {
+        return String::new();
+    }
+    let mut out = String::new();
+    for s in series {
+        let _ = writeln!(out, "{}", s.system.label());
+        for rec in &s.records {
+            let bar = ((rec.cumulative / max) * WIDTH as f64).round() as usize;
+            let _ = writeln!(
+                out,
+                "  it{:<2} {} |{}{}| {:.2}s",
+                rec.iteration,
+                rec.stage,
+                "█".repeat(bar),
+                " ".repeat(WIDTH - bar.min(WIDTH)),
+                rec.cumulative
+            );
+        }
+    }
+    out
+}
+
+/// Serializes series to CSV (`system,iteration,stage,secs,cumulative`).
+pub fn to_csv(series: &[SystemSeries]) -> String {
+    let mut out = String::from("system,iteration,stage,description,secs,cumulative\n");
+    for s in series {
+        for r in &s.records {
+            let _ = writeln!(
+                out,
+                "{},{},{},\"{}\",{:.6},{:.6}",
+                s.system.label(),
+                r.iteration,
+                r.stage,
+                r.description,
+                r.secs,
+                r.cumulative
+            );
+        }
+    }
+    out
+}
+
+/// Returns the stage of census iteration `i` (1-based), for assertions.
+pub fn census_stage(i: usize) -> Option<IterationStage> {
+    census_iterations().get(i.checked_sub(1)?).map(|s| s.stage)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helix_workloads::census::{generate_census, CensusDataSpec};
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("helix-bench-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn census_series_shapes_match_the_paper() {
+        let dir = tmpdir("series");
+        generate_census(
+            &dir,
+            &CensusDataSpec { train_rows: 400, test_rows: 100, ..Default::default() },
+        )
+        .unwrap();
+        let helix = census_series(SystemKind::Helix, &dir, &dir).unwrap();
+        let keystone = census_series(SystemKind::KeystoneSim, &dir, &dir).unwrap();
+        let deepdive = census_series(SystemKind::DeepDiveSim, &dir, &dir).unwrap();
+        assert_eq!(helix.records.len(), 12, "initial + 11 scripted iterations");
+        assert_eq!(deepdive.records.len(), 3, "DeepDive stops after iteration 2");
+        assert!(
+            helix.total_secs() < keystone.total_secs(),
+            "Helix {:.3}s must beat KeystoneML-sim {:.3}s",
+            helix.total_secs(),
+            keystone.total_secs()
+        );
+        let table = render_table("t", &[helix.clone(), keystone, deepdive]);
+        assert!(table.contains("HELIX"));
+        assert!(table.contains("—"), "truncated series renders dashes");
+        let chart = render_chart(&[helix.clone()]);
+        assert!(chart.contains("█"));
+        let csv = to_csv(&[helix]);
+        assert!(csv.lines().count() > 10);
+    }
+}

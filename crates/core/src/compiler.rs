@@ -1,0 +1,238 @@
+//! The DAG optimizer: from a workflow to a physical execution plan.
+//!
+//! Compilation stitches the pieces together exactly as paper §2.2
+//! describes: the intermediate code generator (here: the workflow *is* the
+//! operator DAG), the iterative change tracker (Merkle signatures vs the
+//! previous version), the program slicer, and the recomputation optimizer,
+//! yielding a [`CompiledPlan`] the engine executes.
+
+use crate::cost::{secs_to_us, CostModel};
+use crate::recompute::{plan_states, NodeCosts, NodeState, RecomputationPolicy};
+use crate::signature::{compute_signatures, track_changes, ChangeKind, ChangeReport, Signature};
+use crate::slicing;
+use crate::store::IntermediateStore;
+use crate::workflow::{NodeId, Workflow};
+use crate::Result;
+use helix_dataflow::fx::FxHashMap;
+
+/// Default compute estimate for operators never observed before (50 ms):
+/// large enough that loading a small cached result wins, small enough that
+/// a plan never *depends* on the estimate being right — unknown nodes have
+/// no materialization and must compute regardless.
+const DEFAULT_COMPUTE_SECS: f64 = 0.05;
+
+/// The physical plan for one iteration.
+#[derive(Debug, Clone)]
+pub struct CompiledPlan {
+    /// Topological execution order over all nodes.
+    pub order: Vec<NodeId>,
+    /// Merkle signature per node.
+    pub signatures: Vec<Signature>,
+    /// Slice mask: nodes feeding outputs.
+    pub active: Vec<bool>,
+    /// Load/compute/prune decision per node.
+    pub states: Vec<NodeState>,
+    /// Costs used by the optimizer (µs), for reports and tests.
+    pub costs: Vec<NodeCosts>,
+    /// Diff against the previous iteration, when one exists.
+    pub change: Option<ChangeReport>,
+}
+
+impl CompiledPlan {
+    /// Number of nodes planned to load from the store.
+    pub fn load_count(&self) -> usize {
+        self.states.iter().filter(|s| **s == NodeState::Load).count()
+    }
+
+    /// Number of nodes planned to compute.
+    pub fn compute_count(&self) -> usize {
+        self.states.iter().filter(|s| **s == NodeState::Compute).count()
+    }
+
+    /// Number of pruned nodes (sliced or shadowed by loads).
+    pub fn prune_count(&self) -> usize {
+        self.states.iter().filter(|s| **s == NodeState::Prune).count()
+    }
+}
+
+/// Compiles a workflow into a physical plan.
+///
+/// `previous` is the signature snapshot of the last executed version (for
+/// the change tracker); `None` on the first iteration.
+pub fn compile(
+    workflow: &Workflow,
+    store: &IntermediateStore,
+    cost_model: &CostModel,
+    policy: RecomputationPolicy,
+    previous: Option<&FxHashMap<String, (u64, Signature)>>,
+) -> Result<CompiledPlan> {
+    compile_with_slicing(workflow, store, cost_model, policy, previous, true)
+}
+
+/// [`compile`] with program slicing optionally disabled (the
+/// "unoptimized Helix" configuration of the paper's demo §3: every
+/// declared operator executes whether or not it feeds an output).
+pub fn compile_with_slicing(
+    workflow: &Workflow,
+    store: &IntermediateStore,
+    cost_model: &CostModel,
+    policy: RecomputationPolicy,
+    previous: Option<&FxHashMap<String, (u64, Signature)>>,
+    enable_slicing: bool,
+) -> Result<CompiledPlan> {
+    let order = workflow.topo_order()?;
+    let signatures = compute_signatures(workflow)?;
+    let slice = if enable_slicing {
+        slicing::slice(workflow)?
+    } else {
+        slicing::Slice { active: vec![true; workflow.len()] }
+    };
+    let change = previous.map(|prev| track_changes(workflow, &signatures, prev));
+
+    let mut costs = Vec::with_capacity(workflow.len());
+    for (i, node) in workflow.nodes().iter().enumerate() {
+        let compute_secs = cost_model
+            .compute_estimate_secs(&node.name)
+            .unwrap_or(DEFAULT_COMPUTE_SECS);
+        // A node is loadable iff the store has an entry under its *current*
+        // signature. Stale or never-materialized results simply miss.
+        let load_us = store
+            .lookup(signatures[i])
+            .map(|meta| secs_to_us(cost_model.load_estimate_secs(meta.bytes)));
+        costs.push(NodeCosts { compute_us: secs_to_us(compute_secs), load_us });
+    }
+
+    let states = plan_states(workflow, &slice.active, &costs, policy)?;
+    Ok(CompiledPlan { order, signatures, active: slice.active, states, costs, change })
+}
+
+/// Convenience for reports: pairs each node name with its plan state and
+/// change kind.
+pub fn describe_plan(workflow: &Workflow, plan: &CompiledPlan) -> Vec<(String, NodeState, ChangeKind)> {
+    workflow
+        .nodes()
+        .iter()
+        .enumerate()
+        .map(|(i, node)| {
+            let change = plan
+                .change
+                .as_ref()
+                .map(|c| c.kinds[i])
+                .unwrap_or(ChangeKind::Added);
+            (node.name.clone(), plan.states[i], change)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{ExtractorKind, LearnerSpec, NodeOutput, OperatorKind};
+    use crate::signature::snapshot;
+    use helix_dataflow::{DataCollection, DataType, Schema};
+
+    fn tmp_store(tag: &str) -> IntermediateStore {
+        let dir =
+            std::env::temp_dir().join(format!("helix-compile-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        IntermediateStore::open(dir, 1 << 24).unwrap()
+    }
+
+    fn census_like() -> Workflow {
+        let mut w = Workflow::new("census");
+        let src = w.csv_source("data", "train.csv", None::<&str>).unwrap();
+        let rows = w
+            .csv_scanner("rows", &src, &[("age", DataType::Int), ("target", DataType::Int)])
+            .unwrap();
+        let age = w.field_extractor("age_f", &rows, "age", ExtractorKind::Numeric).unwrap();
+        let target = w.field_extractor("target_f", &rows, "target", ExtractorKind::Numeric).unwrap();
+        let income = w.assemble("income", &rows, &[&age], &target).unwrap();
+        let preds = w.learner("predictions", &income, LearnerSpec::default()).unwrap();
+        w.output(&preds);
+        w
+    }
+
+    #[test]
+    fn first_iteration_computes_everything_active() {
+        let w = census_like();
+        let store = tmp_store("first");
+        let cm = CostModel::new();
+        let plan = compile(&w, &store, &cm, RecomputationPolicy::Optimal, None).unwrap();
+        assert_eq!(plan.load_count(), 0);
+        assert_eq!(plan.compute_count(), w.len());
+        assert!(plan.change.is_none());
+    }
+
+    #[test]
+    fn materialized_results_become_loads() {
+        let w = census_like();
+        let store = tmp_store("loads");
+        let mut cm = CostModel::new();
+        // Pretend every node ran for 1s and the assembled result was
+        // materialized.
+        let sigs = compute_signatures(&w).unwrap();
+        for node in w.nodes() {
+            cm.observe_compute(&node.name, 1.0);
+        }
+        let income = w.by_name("income").unwrap();
+        let out = NodeOutput::Data(DataCollection::empty(Schema::of(&[(
+            "x",
+            DataType::Int,
+        )])));
+        store.put(sigs[income.index()], &out).unwrap();
+
+        let plan = compile(&w, &store, &cm, RecomputationPolicy::Optimal, None).unwrap();
+        assert_eq!(plan.states[income.index()], NodeState::Load);
+        // Ancestors of income are shadowed by the load.
+        let rows = w.by_name("rows").unwrap();
+        assert_eq!(plan.states[rows.index()], NodeState::Prune);
+        // Model still computes (no materialization).
+        let model = w.by_name("predictions__model").unwrap();
+        assert_eq!(plan.states[model.index()], NodeState::Compute);
+    }
+
+    #[test]
+    fn changed_operator_invalidates_materialization() {
+        let w1 = census_like();
+        let store = tmp_store("invalidate");
+        let mut cm = CostModel::new();
+        for node in w1.nodes() {
+            cm.observe_compute(&node.name, 1.0);
+        }
+        let sigs1 = compute_signatures(&w1).unwrap();
+        let income = w1.by_name("income").unwrap();
+        let out = NodeOutput::Data(DataCollection::empty(Schema::of(&[("x", DataType::Int)])));
+        store.put(sigs1[income.index()], &out).unwrap();
+
+        // Change the scanner: income's signature changes, the entry is stale.
+        let mut w2 = census_like();
+        w2.replace_operator(
+            "rows",
+            OperatorKind::CsvScan {
+                fields: vec![
+                    ("age".to_string(), DataType::Float),
+                    ("target".to_string(), DataType::Int),
+                ],
+            },
+        )
+        .unwrap();
+        let prev = snapshot(&w1, &sigs1);
+        let plan =
+            compile(&w2, &store, &cm, RecomputationPolicy::Optimal, Some(&prev)).unwrap();
+        assert_eq!(plan.states[income.index()], NodeState::Compute);
+        let change = plan.change.as_ref().unwrap();
+        assert_eq!(change.kinds[w2.by_name("rows").unwrap().index()], ChangeKind::LocallyChanged);
+        assert_eq!(change.kinds[income.index()], ChangeKind::TransitivelyAffected);
+    }
+
+    #[test]
+    fn describe_plan_lists_every_node() {
+        let w = census_like();
+        let store = tmp_store("describe");
+        let cm = CostModel::new();
+        let plan = compile(&w, &store, &cm, RecomputationPolicy::Optimal, None).unwrap();
+        let desc = describe_plan(&w, &plan);
+        assert_eq!(desc.len(), w.len());
+        assert!(desc.iter().any(|(name, ..)| name == "income"));
+    }
+}

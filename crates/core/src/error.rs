@@ -1,0 +1,79 @@
+//! Error type for Helix core.
+
+use std::fmt;
+
+/// Errors raised while compiling or executing workflows.
+#[derive(Debug)]
+pub enum HelixError {
+    /// Workflow construction error (duplicate names, bad wiring).
+    Workflow(String),
+    /// Compilation error (cycles, missing nodes, invalid plans).
+    Compile(String),
+    /// Execution error from an operator.
+    Exec(String),
+    /// Intermediate store failure.
+    Store(String),
+    /// Substrate error.
+    Dataflow(helix_dataflow::DataflowError),
+    /// ML substrate error.
+    Ml(helix_ml::MlError),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for HelixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HelixError::Workflow(msg) => write!(f, "workflow error: {msg}"),
+            HelixError::Compile(msg) => write!(f, "compile error: {msg}"),
+            HelixError::Exec(msg) => write!(f, "execution error: {msg}"),
+            HelixError::Store(msg) => write!(f, "store error: {msg}"),
+            HelixError::Dataflow(err) => write!(f, "dataflow error: {err}"),
+            HelixError::Ml(err) => write!(f, "ml error: {err}"),
+            HelixError::Io(err) => write!(f, "io error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for HelixError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HelixError::Dataflow(err) => Some(err),
+            HelixError::Ml(err) => Some(err),
+            HelixError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<helix_dataflow::DataflowError> for HelixError {
+    fn from(err: helix_dataflow::DataflowError) -> Self {
+        HelixError::Dataflow(err)
+    }
+}
+
+impl From<helix_ml::MlError> for HelixError {
+    fn from(err: helix_ml::MlError) -> Self {
+        HelixError::Ml(err)
+    }
+}
+
+impl From<std::io::Error> for HelixError {
+    fn from(err: std::io::Error) -> Self {
+        HelixError::Io(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let err = HelixError::Compile("cycle detected".into());
+        assert!(err.to_string().contains("cycle"));
+        assert!(std::error::Error::source(&err).is_none());
+        let err: HelixError = std::io::Error::other("disk on fire").into();
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

@@ -1,0 +1,688 @@
+//! Operator execution: runs one [`OperatorKind`] over its parents' outputs.
+//!
+//! Feature fragments flow between extractor operators as the
+//! human-readable `(name, value)` pair lists the paper's pre-processing
+//! data structure keeps (§2.1); the `Train` operator is the single point
+//! where they become ML-ready sparse vectors.
+
+use crate::ops::{
+    EvalSpec, ExtractorKind, LearnerSpec, MetricKind, ModelType, NodeOutput, OperatorKind,
+    TrainedModel,
+};
+use crate::{HelixError, Result, SPLIT_COL, SPLIT_TEST, SPLIT_TRAIN};
+use helix_dataflow::{csv, DataCollection, DataType, Row, Schema, Value};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Schema of extractor outputs: one `feats` list per input row.
+pub fn feats_schema() -> Arc<Schema> {
+    Schema::of(&[("feats", DataType::List)])
+}
+
+/// Schema of assembled learner inputs.
+pub fn assembled_schema() -> Arc<Schema> {
+    Schema::of(&[(SPLIT_COL, DataType::Str), ("label", DataType::Float), ("feats", DataType::List)])
+}
+
+/// Schema of prediction outputs.
+pub fn predictions_schema() -> Arc<Schema> {
+    Schema::of(&[
+        (SPLIT_COL, DataType::Str),
+        ("label", DataType::Float),
+        ("score", DataType::Float),
+        ("pred", DataType::Float),
+    ])
+}
+
+/// Schema of evaluation outputs.
+pub fn metrics_schema() -> Arc<Schema> {
+    Schema::of(&[("metric", DataType::Str), ("value", DataType::Float)])
+}
+
+/// Encodes one feature pair as a nested list value.
+pub fn feature_pair(name: &str, value: f64) -> Value {
+    Value::List(vec![Value::Str(name.to_string()), Value::Float(value)])
+}
+
+/// Decodes a `feats` cell back into `(name, value)` pairs.
+pub fn decode_pairs(cell: &Value) -> Result<Vec<(String, f64)>> {
+    let items = cell
+        .as_list()
+        .ok_or_else(|| HelixError::Exec("feats cell is not a list".into()))?;
+    let mut pairs = Vec::with_capacity(items.len());
+    for item in items {
+        let pair = item
+            .as_list()
+            .ok_or_else(|| HelixError::Exec("feature pair is not a list".into()))?;
+        if pair.len() != 2 {
+            return Err(HelixError::Exec(format!("feature pair has {} items", pair.len())));
+        }
+        let name = pair[0]
+            .as_str()
+            .ok_or_else(|| HelixError::Exec("feature name is not a string".into()))?;
+        let value = pair[1]
+            .as_f64()
+            .ok_or_else(|| HelixError::Exec("feature value is not numeric".into()))?;
+        pairs.push((name.to_string(), value));
+    }
+    Ok(pairs)
+}
+
+/// Executes `kind` over parent outputs (in wiring order).
+pub fn execute(kind: &OperatorKind, name: &str, inputs: &[&NodeOutput]) -> Result<NodeOutput> {
+    match kind {
+        OperatorKind::CsvSource { train_path, test_path } => {
+            exec_csv_source(train_path, test_path.as_deref())
+        }
+        OperatorKind::TextSource { path, test_fraction } => {
+            exec_text_source(path, *test_fraction)
+        }
+        OperatorKind::CsvScan { fields } => exec_csv_scan(fields, data(inputs, 0, name)?),
+        OperatorKind::FieldExtractor { field, kind } => {
+            exec_field_extractor(field, *kind, data(inputs, 0, name)?)
+        }
+        OperatorKind::Bucketizer { bins } => exec_bucketizer(*bins, data(inputs, 0, name)?),
+        OperatorKind::Interaction => {
+            let mut collections = Vec::with_capacity(inputs.len());
+            for i in 0..inputs.len() {
+                collections.push(data(inputs, i, name)?);
+            }
+            exec_interaction(&collections)
+        }
+        OperatorKind::AssembleFeatures => {
+            if inputs.len() < 3 {
+                return Err(HelixError::Exec(format!(
+                    "`{name}` needs base + extractors + label, got {} inputs",
+                    inputs.len()
+                )));
+            }
+            let base = data(inputs, 0, name)?;
+            let label = data(inputs, inputs.len() - 1, name)?;
+            let mut extractors = Vec::new();
+            for i in 1..inputs.len() - 1 {
+                extractors.push(data(inputs, i, name)?);
+            }
+            exec_assemble(base, &extractors, label)
+        }
+        OperatorKind::Train(spec) => exec_train(spec, data(inputs, 0, name)?),
+        OperatorKind::Apply => {
+            let model = inputs
+                .first()
+                .ok_or_else(|| HelixError::Exec(format!("`{name}` missing model input")))?
+                .as_model()?;
+            exec_apply(model, data(inputs, 1, name)?)
+        }
+        OperatorKind::Evaluate(spec) => exec_evaluate(spec, data(inputs, 0, name)?),
+        OperatorKind::UserDefined(udf) => {
+            let mut collections = Vec::with_capacity(inputs.len());
+            for i in 0..inputs.len() {
+                collections.push(data(inputs, i, name)?);
+            }
+            Ok(NodeOutput::Data((udf.func)(&collections)?))
+        }
+    }
+}
+
+fn data<'a>(inputs: &[&'a NodeOutput], i: usize, name: &str) -> Result<&'a DataCollection> {
+    inputs
+        .get(i)
+        .ok_or_else(|| HelixError::Exec(format!("`{name}` missing input {i}")))?
+        .as_data()
+}
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+fn exec_csv_source(train_path: &Path, test_path: Option<&Path>) -> Result<NodeOutput> {
+    let schema = Schema::of(&[(SPLIT_COL, DataType::Str), ("line", DataType::Str)]);
+    let mut rows = Vec::new();
+    let mut read_split = |path: &Path, split: &str| -> Result<()> {
+        let text = std::fs::read_to_string(path).map_err(|e| {
+            HelixError::Exec(format!("cannot read source {}: {e}", path.display()))
+        })?;
+        for line in text.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            rows.push(Row(vec![Value::Str(split.to_string()), Value::Str(line.to_string())]));
+        }
+        Ok(())
+    };
+    read_split(train_path, SPLIT_TRAIN)?;
+    if let Some(test) = test_path {
+        read_split(test, SPLIT_TEST)?;
+    }
+    Ok(NodeOutput::Data(DataCollection::from_rows_unchecked(schema, rows)))
+}
+
+fn exec_text_source(path: &Path, test_fraction: f64) -> Result<NodeOutput> {
+    let corpus = helix_dataflow::text::read_corpus(path)?;
+    let schema = Schema::of(&[
+        ("doc_id", DataType::Int),
+        ("text", DataType::Str),
+        (SPLIT_COL, DataType::Str),
+    ]);
+    let threshold = (test_fraction.clamp(0.0, 1.0) * 1000.0) as i64;
+    let rows = corpus
+        .rows()
+        .iter()
+        .map(|row| {
+            let doc_id = row.get(0).as_int().unwrap_or(0);
+            // Deterministic split: documents interleave by id so train and
+            // test see the same generator distribution.
+            let split = if (doc_id * 997 + 331) % 1000 < threshold {
+                SPLIT_TEST
+            } else {
+                SPLIT_TRAIN
+            };
+            Row(vec![row.get(0).clone(), row.get(1).clone(), Value::Str(split.to_string())])
+        })
+        .collect();
+    Ok(NodeOutput::Data(DataCollection::from_rows_unchecked(schema, rows)))
+}
+
+fn exec_csv_scan(
+    fields: &[(String, DataType)],
+    input: &DataCollection,
+) -> Result<NodeOutput> {
+    let mut schema_fields = vec![(SPLIT_COL, DataType::Str)];
+    for (name, dtype) in fields {
+        schema_fields.push((name.as_str(), *dtype));
+    }
+    let schema = Schema::of(&schema_fields);
+    let split_idx = input.column_index(SPLIT_COL)?;
+    let line_idx = input.column_index("line")?;
+    let out = helix_dataflow::par::par_map_rows(input, schema, |row| {
+        let line = row.get(line_idx).as_str().unwrap_or("");
+        let records = csv::parse_records(line)
+            .map_err(|e| helix_dataflow::DataflowError::Csv(format!("{e}")))?;
+        let record = records.first().cloned().unwrap_or_default();
+        if record.len() != fields.len() {
+            return Err(helix_dataflow::DataflowError::Csv(format!(
+                "line has {} fields, scanner expects {}",
+                record.len(),
+                fields.len()
+            )));
+        }
+        let mut values = Vec::with_capacity(fields.len() + 1);
+        values.push(row.get(split_idx).clone());
+        for (raw, (_, dtype)) in record.iter().zip(fields) {
+            values.push(Value::parse_typed(raw, *dtype));
+        }
+        Ok(Row(values))
+    })?;
+    Ok(NodeOutput::Data(out))
+}
+
+// ---------------------------------------------------------------------------
+// Feature engineering
+// ---------------------------------------------------------------------------
+
+fn exec_field_extractor(
+    field: &str,
+    kind: ExtractorKind,
+    input: &DataCollection,
+) -> Result<NodeOutput> {
+    let idx = input.column_index(field)?;
+    let field_name = field.to_string();
+    let out = helix_dataflow::par::par_map_rows(input, feats_schema(), move |row| {
+        let cell = row.get(idx);
+        let pairs = match (kind, cell) {
+            (_, Value::Null) => Vec::new(),
+            (ExtractorKind::Categorical, value) => {
+                vec![feature_pair(&format!("{field_name}={value}"), 1.0)]
+            }
+            (ExtractorKind::Numeric, value) => match value.as_f64() {
+                Some(v) => vec![feature_pair(&field_name, v)],
+                None => Vec::new(),
+            },
+        };
+        Ok(Row(vec![Value::List(pairs)]))
+    })?;
+    Ok(NodeOutput::Data(out))
+}
+
+fn exec_bucketizer(bins: usize, input: &DataCollection) -> Result<NodeOutput> {
+    let feats_idx = input.column_index("feats")?;
+    // First pass: range of the (single) numeric feature.
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for row in input.rows() {
+        for (_, v) in decode_pairs(row.get(feats_idx))? {
+            min = min.min(v);
+            max = max.max(v);
+        }
+    }
+    if !min.is_finite() {
+        // No values at all: emit empty fragments.
+        let rows = input.rows().iter().map(|_| Row(vec![Value::List(vec![])])).collect();
+        return Ok(NodeOutput::Data(DataCollection::from_rows_unchecked(feats_schema(), rows)));
+    }
+    let width = if max > min { (max - min) / bins as f64 } else { 1.0 };
+    let mut rows = Vec::with_capacity(input.len());
+    for row in input.rows() {
+        let mut out_pairs = Vec::new();
+        for (name, v) in decode_pairs(row.get(feats_idx))? {
+            let bucket = (((v - min) / width) as usize).min(bins - 1);
+            out_pairs.push(feature_pair(&format!("{name}[b={bucket}]"), 1.0));
+        }
+        rows.push(Row(vec![Value::List(out_pairs)]));
+    }
+    Ok(NodeOutput::Data(DataCollection::from_rows_unchecked(feats_schema(), rows)))
+}
+
+fn exec_interaction(inputs: &[&DataCollection]) -> Result<NodeOutput> {
+    let n = inputs
+        .first()
+        .ok_or_else(|| HelixError::Exec("interaction needs inputs".into()))?
+        .len();
+    for dc in inputs {
+        if dc.len() != n {
+            return Err(HelixError::Exec(format!(
+                "interaction inputs misaligned: {} vs {n} rows",
+                dc.len()
+            )));
+        }
+    }
+    let mut rows = Vec::with_capacity(n);
+    for r in 0..n {
+        // Cross product across parents, left-to-right.
+        let mut acc: Vec<(String, f64)> = vec![(String::new(), 1.0)];
+        for dc in inputs {
+            let pairs = decode_pairs(dc.rows()[r].get(0))?;
+            let mut next = Vec::with_capacity(acc.len() * pairs.len());
+            for (base_name, base_v) in &acc {
+                for (name, v) in &pairs {
+                    let joined = if base_name.is_empty() {
+                        name.clone()
+                    } else {
+                        format!("{base_name}×{name}")
+                    };
+                    next.push((joined, base_v * v));
+                }
+            }
+            acc = next;
+        }
+        let out_pairs: Vec<Value> = acc
+            .into_iter()
+            .filter(|(name, _)| !name.is_empty())
+            .map(|(name, v)| feature_pair(&name, v))
+            .collect();
+        rows.push(Row(vec![Value::List(out_pairs)]));
+    }
+    Ok(NodeOutput::Data(DataCollection::from_rows_unchecked(feats_schema(), rows)))
+}
+
+fn exec_assemble(
+    base: &DataCollection,
+    extractors: &[&DataCollection],
+    label: &DataCollection,
+) -> Result<NodeOutput> {
+    let n = base.len();
+    for dc in extractors.iter().chain(std::iter::once(&label)) {
+        if dc.len() != n {
+            return Err(HelixError::Exec(format!(
+                "assemble inputs misaligned: {} vs {n} rows",
+                dc.len()
+            )));
+        }
+    }
+    let split_idx = base.column_index(SPLIT_COL)?;
+    let mut rows = Vec::with_capacity(n);
+    for r in 0..n {
+        let label_pairs = decode_pairs(label.rows()[r].get(0))?;
+        // Rows without a label (missing target field) are dropped, as real
+        // census data contains incomplete records.
+        let Some(&(_, label_value)) = label_pairs.first() else {
+            continue;
+        };
+        let mut all_pairs = Vec::new();
+        for dc in extractors {
+            for (name, v) in decode_pairs(dc.rows()[r].get(0))? {
+                all_pairs.push(feature_pair(&name, v));
+            }
+        }
+        rows.push(Row(vec![
+            base.rows()[r].get(split_idx).clone(),
+            Value::Float(label_value),
+            Value::List(all_pairs),
+        ]));
+    }
+    Ok(NodeOutput::Data(DataCollection::from_rows_unchecked(assembled_schema(), rows)))
+}
+
+// ---------------------------------------------------------------------------
+// Learning and evaluation
+// ---------------------------------------------------------------------------
+
+fn exec_train(spec: &LearnerSpec, assembled: &DataCollection) -> Result<NodeOutput> {
+    let split_idx = assembled.column_index(SPLIT_COL)?;
+    let label_idx = assembled.column_index("label")?;
+    let feats_idx = assembled.column_index("feats")?;
+    let mut space = helix_ml::FeatureSpace::new();
+    let mut examples = Vec::new();
+    for row in assembled.rows() {
+        if row.get(split_idx).as_str() != Some(SPLIT_TRAIN) {
+            continue;
+        }
+        let label = row
+            .get(label_idx)
+            .as_f64()
+            .ok_or_else(|| HelixError::Exec("non-numeric label".into()))?;
+        let pairs = decode_pairs(row.get(feats_idx))?;
+        examples.push(space.example(&pairs, label)?);
+    }
+    let dataset = helix_ml::Dataset::new(examples, space.len() as u32);
+    let model = match spec.model_type {
+        ModelType::LogisticRegression => {
+            let config = helix_ml::logreg::LogRegConfig {
+                epochs: spec.epochs,
+                learning_rate: spec.learning_rate,
+                reg_param: spec.reg_param,
+                seed: spec.seed,
+            };
+            helix_ml::Model::LogReg(helix_ml::logreg::train(&dataset, &config)?)
+        }
+        ModelType::LinearRegression => {
+            let config = helix_ml::linreg::LinRegConfig {
+                epochs: spec.epochs,
+                learning_rate: spec.learning_rate,
+                reg_param: spec.reg_param,
+                seed: spec.seed,
+            };
+            helix_ml::Model::LinReg(helix_ml::linreg::train(&dataset, &config)?)
+        }
+        ModelType::NaiveBayes => {
+            let config = helix_ml::naive_bayes::NaiveBayesConfig { alpha: spec.reg_param.max(1e-3) };
+            helix_ml::Model::NaiveBayes(helix_ml::naive_bayes::train(&dataset, &config)?)
+        }
+        ModelType::Perceptron => {
+            let config = helix_ml::perceptron::PerceptronConfig {
+                num_classes: 2,
+                epochs: spec.epochs,
+                seed: spec.seed,
+            };
+            helix_ml::Model::Perceptron(helix_ml::perceptron::train(&dataset, &config)?)
+        }
+    };
+    space.freeze();
+    Ok(NodeOutput::Model(TrainedModel {
+        model,
+        feature_names: space.names().to_vec(),
+    }))
+}
+
+fn exec_apply(bundle: &TrainedModel, assembled: &DataCollection) -> Result<NodeOutput> {
+    let split_idx = assembled.column_index(SPLIT_COL)?;
+    let label_idx = assembled.column_index("label")?;
+    let feats_idx = assembled.column_index("feats")?;
+    let space = bundle.feature_space();
+    let mut rows = Vec::with_capacity(assembled.len());
+    for row in assembled.rows() {
+        let pairs = decode_pairs(row.get(feats_idx))?;
+        let vector = space.vectorize_frozen(&pairs);
+        let score = bundle.model.predict(&vector);
+        let pred = bundle.model.decide(&vector);
+        rows.push(Row(vec![
+            row.get(split_idx).clone(),
+            row.get(label_idx).clone(),
+            Value::Float(score),
+            Value::Float(pred),
+        ]));
+    }
+    Ok(NodeOutput::Data(DataCollection::from_rows_unchecked(predictions_schema(), rows)))
+}
+
+fn exec_evaluate(spec: &EvalSpec, predictions: &DataCollection) -> Result<NodeOutput> {
+    let split_idx = predictions.column_index(SPLIT_COL)?;
+    let label_idx = predictions.column_index("label")?;
+    let score_idx = predictions.column_index("score")?;
+    let pred_idx = predictions.column_index("pred")?;
+    let mut labels = Vec::new();
+    let mut scores = Vec::new();
+    let mut preds = Vec::new();
+    for row in predictions.rows() {
+        if row.get(split_idx).as_str() != Some(spec.split.as_str()) {
+            continue;
+        }
+        labels.push(row.get(label_idx).as_f64().unwrap_or(0.0));
+        scores.push(row.get(score_idx).as_f64().unwrap_or(0.0));
+        preds.push(row.get(pred_idx).as_f64().unwrap_or(0.0));
+    }
+    let confusion = helix_ml::metrics::Confusion::from_predictions(&preds, &labels)?;
+    let mut rows = Vec::with_capacity(spec.metrics.len());
+    for metric in &spec.metrics {
+        let value = match metric {
+            MetricKind::Accuracy => confusion.accuracy(),
+            MetricKind::Precision => confusion.precision(),
+            MetricKind::Recall => confusion.recall(),
+            MetricKind::F1 => confusion.f1(),
+            MetricKind::LogLoss => helix_ml::metrics::log_loss(&scores, &labels)?,
+            MetricKind::Rmse => helix_ml::metrics::rmse(&scores, &labels)?,
+        };
+        rows.push(Row(vec![Value::Str(metric.name().to_string()), Value::Float(value)]));
+    }
+    Ok(NodeOutput::Data(DataCollection::from_rows_unchecked(metrics_schema(), rows)))
+}
+
+/// Extracts `(metric, value)` pairs from an Evaluate node's output.
+pub fn metric_values(output: &NodeOutput) -> Result<Vec<(String, f64)>> {
+    let dc = output.as_data()?;
+    let metric_idx = dc.column_index("metric")?;
+    let value_idx = dc.column_index("value")?;
+    Ok(dc
+        .rows()
+        .iter()
+        .filter_map(|row| {
+            Some((
+                row.get(metric_idx).as_str()?.to_string(),
+                row.get(value_idx).as_f64()?,
+            ))
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_csv(dir: &Path, name: &str, content: &str) -> std::path::PathBuf {
+        let path = dir.join(name);
+        std::fs::write(&path, content).unwrap();
+        path
+    }
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("helix-exec-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn source_and_scan(dir: &Path) -> DataCollection {
+        let train = write_csv(dir, "train.csv", "30,BS,1\n40,MS,0\n50,PhD,1\n");
+        let test = write_csv(dir, "test.csv", "35,BS,1\n45,MS,0\n");
+        let src = exec_csv_source(&train, Some(&test)).unwrap();
+        let scanned = exec_csv_scan(
+            &[
+                ("age".to_string(), DataType::Int),
+                ("edu".to_string(), DataType::Str),
+                ("target".to_string(), DataType::Int),
+            ],
+            src.as_data().unwrap(),
+        )
+        .unwrap();
+        scanned.as_data().unwrap().clone()
+    }
+
+    #[test]
+    fn source_tags_splits_and_scan_types_columns() {
+        let dir = tmpdir("scan");
+        let rows = source_and_scan(&dir);
+        assert_eq!(rows.len(), 5);
+        let splits: Vec<&str> =
+            rows.column(SPLIT_COL).unwrap().map(|v| v.as_str().unwrap()).collect();
+        assert_eq!(splits, vec!["train", "train", "train", "test", "test"]);
+        assert_eq!(rows.rows()[0].get(1), &Value::Int(30));
+        assert_eq!(rows.rows()[0].get(2).as_str(), Some("BS"));
+    }
+
+    #[test]
+    fn categorical_extractor_one_hots() {
+        let dir = tmpdir("cat");
+        let rows = source_and_scan(&dir);
+        let out = exec_field_extractor("edu", ExtractorKind::Categorical, &rows).unwrap();
+        let dc = out.as_data().unwrap();
+        let pairs = decode_pairs(dc.rows()[0].get(0)).unwrap();
+        assert_eq!(pairs, vec![("edu=BS".to_string(), 1.0)]);
+    }
+
+    #[test]
+    fn numeric_extractor_passes_value() {
+        let dir = tmpdir("num");
+        let rows = source_and_scan(&dir);
+        let out = exec_field_extractor("age", ExtractorKind::Numeric, &rows).unwrap();
+        let pairs = decode_pairs(out.as_data().unwrap().rows()[2].get(0)).unwrap();
+        assert_eq!(pairs, vec![("age".to_string(), 50.0)]);
+    }
+
+    #[test]
+    fn nulls_produce_empty_fragments() {
+        let dir = tmpdir("null");
+        let train = write_csv(&dir, "train.csv", "?,BS,1\n");
+        let src = exec_csv_source(&train, None).unwrap();
+        let scanned = exec_csv_scan(
+            &[("age".to_string(), DataType::Int), ("edu".to_string(), DataType::Str), ("t".to_string(), DataType::Int)],
+            src.as_data().unwrap(),
+        )
+        .unwrap();
+        let out = exec_field_extractor("age", ExtractorKind::Numeric, scanned.as_data().unwrap())
+            .unwrap();
+        let pairs = decode_pairs(out.as_data().unwrap().rows()[0].get(0)).unwrap();
+        assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn bucketizer_buckets_equal_width() {
+        let dir = tmpdir("bucket");
+        let rows = source_and_scan(&dir);
+        let ages = exec_field_extractor("age", ExtractorKind::Numeric, &rows).unwrap();
+        let out = exec_bucketizer(2, ages.as_data().unwrap()).unwrap();
+        let dc = out.as_data().unwrap();
+        // ages: 30..50, width 10; 30 → b0, 50 → b1 (clamped).
+        let first = decode_pairs(dc.rows()[0].get(0)).unwrap();
+        let last = decode_pairs(dc.rows()[2].get(0)).unwrap();
+        assert_eq!(first[0].0, "age[b=0]");
+        assert_eq!(last[0].0, "age[b=1]");
+    }
+
+    #[test]
+    fn interaction_crosses_names_and_values() {
+        let dir = tmpdir("inter");
+        let rows = source_and_scan(&dir);
+        let edu = exec_field_extractor("edu", ExtractorKind::Categorical, &rows).unwrap();
+        let age = exec_field_extractor("age", ExtractorKind::Numeric, &rows).unwrap();
+        let out =
+            exec_interaction(&[edu.as_data().unwrap(), age.as_data().unwrap()]).unwrap();
+        let pairs = decode_pairs(out.as_data().unwrap().rows()[0].get(0)).unwrap();
+        assert_eq!(pairs, vec![("edu=BS×age".to_string(), 30.0)]);
+    }
+
+    #[test]
+    fn assemble_concatenates_and_labels() {
+        let dir = tmpdir("asm");
+        let rows = source_and_scan(&dir);
+        let edu = exec_field_extractor("edu", ExtractorKind::Categorical, &rows).unwrap();
+        let target = exec_field_extractor("target", ExtractorKind::Numeric, &rows).unwrap();
+        let out = exec_assemble(
+            &rows,
+            &[edu.as_data().unwrap()],
+            target.as_data().unwrap(),
+        )
+        .unwrap();
+        let dc = out.as_data().unwrap();
+        assert_eq!(dc.len(), 5);
+        assert_eq!(dc.rows()[0].get(1), &Value::Float(1.0));
+        let pairs = decode_pairs(dc.rows()[0].get(2)).unwrap();
+        assert_eq!(pairs.len(), 1);
+    }
+
+    #[test]
+    fn end_to_end_train_apply_evaluate() {
+        let dir = tmpdir("e2e");
+        // Perfectly separable: edu=BS ⇒ 1, edu=MS ⇒ 0.
+        let train = write_csv(
+            &dir,
+            "train2.csv",
+            &"BS,1\nMS,0\n".repeat(30),
+        );
+        let test = write_csv(&dir, "test2.csv", "BS,1\nMS,0\nBS,1\n");
+        let src = exec_csv_source(&train, Some(&test)).unwrap();
+        let rows = exec_csv_scan(
+            &[("edu".to_string(), DataType::Str), ("target".to_string(), DataType::Int)],
+            src.as_data().unwrap(),
+        )
+        .unwrap();
+        let rows = rows.as_data().unwrap();
+        let edu = exec_field_extractor("edu", ExtractorKind::Categorical, rows).unwrap();
+        let target = exec_field_extractor("target", ExtractorKind::Numeric, rows).unwrap();
+        let assembled =
+            exec_assemble(rows, &[edu.as_data().unwrap()], target.as_data().unwrap()).unwrap();
+        let model = exec_train(&LearnerSpec::default(), assembled.as_data().unwrap()).unwrap();
+        let preds = exec_apply(model.as_model().unwrap(), assembled.as_data().unwrap()).unwrap();
+        let eval = exec_evaluate(
+            &EvalSpec { metrics: vec![MetricKind::Accuracy, MetricKind::F1], split: SPLIT_TEST.into() },
+            preds.as_data().unwrap(),
+        )
+        .unwrap();
+        let metrics = metric_values(&eval).unwrap();
+        let acc = metrics.iter().find(|(m, _)| m == "accuracy").unwrap().1;
+        assert_eq!(acc, 1.0, "separable data must be perfectly classified");
+    }
+
+    #[test]
+    fn apply_drops_unseen_features() {
+        // Train on BS/MS; test row has PhD: unseen feature dropped, bias
+        // decides, no panic.
+        let dir = tmpdir("unseen");
+        let train = write_csv(&dir, "train3.csv", &"BS,1\nMS,0\n".repeat(20));
+        let test = write_csv(&dir, "test3.csv", "PhD,1\n");
+        let src = exec_csv_source(&train, Some(&test)).unwrap();
+        let rows = exec_csv_scan(
+            &[("edu".to_string(), DataType::Str), ("target".to_string(), DataType::Int)],
+            src.as_data().unwrap(),
+        )
+        .unwrap();
+        let rows = rows.as_data().unwrap();
+        let edu = exec_field_extractor("edu", ExtractorKind::Categorical, rows).unwrap();
+        let target = exec_field_extractor("target", ExtractorKind::Numeric, rows).unwrap();
+        let assembled =
+            exec_assemble(rows, &[edu.as_data().unwrap()], target.as_data().unwrap()).unwrap();
+        let model = exec_train(&LearnerSpec::default(), assembled.as_data().unwrap()).unwrap();
+        let preds = exec_apply(model.as_model().unwrap(), assembled.as_data().unwrap()).unwrap();
+        assert_eq!(preds.as_data().unwrap().len(), 41);
+    }
+
+    #[test]
+    fn misaligned_inputs_rejected() {
+        let dir = tmpdir("misalign");
+        let rows = source_and_scan(&dir);
+        let edu = exec_field_extractor("edu", ExtractorKind::Categorical, &rows).unwrap();
+        let truncated = edu.as_data().unwrap().head(2);
+        assert!(exec_interaction(&[edu.as_data().unwrap(), &truncated]).is_err());
+        let target = exec_field_extractor("target", ExtractorKind::Numeric, &rows).unwrap();
+        assert!(exec_assemble(&rows, &[&truncated], target.as_data().unwrap()).is_err());
+    }
+
+    #[test]
+    fn scan_rejects_ragged_lines() {
+        let dir = tmpdir("ragged");
+        let train = write_csv(&dir, "bad.csv", "1,2\n1\n");
+        let src = exec_csv_source(&train, None).unwrap();
+        let result = exec_csv_scan(
+            &[("a".to_string(), DataType::Int), ("b".to_string(), DataType::Int)],
+            src.as_data().unwrap(),
+        );
+        assert!(result.is_err());
+    }
+}

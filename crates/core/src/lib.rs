@@ -1,0 +1,59 @@
+//! Helix core: a declarative ML workflow system that optimizes execution
+//! *across* human-in-the-loop iterations (Xin et al., VLDB 2018).
+//!
+//! # Architecture (paper Fig. 1c)
+//!
+//! * **Programming interface** — [`workflow`] provides the DSL: named
+//!   operator declarations (`FieldExtractor`, `Bucketizer`,
+//!   `InteractionFeature`, `Learner`, `Reducer`, UDFs) wired into a DAG of
+//!   data collections.
+//! * **Compilation** — [`compiler`] turns a [`workflow::Workflow`] into an
+//!   optimized physical plan: Merkle-style operator
+//!   [signatures](signature) drive the *iterative change tracker*, the
+//!   [program slicer](slicing) prunes operators that do not contribute to
+//!   outputs, and the [recomputation optimizer](recompute) picks the
+//!   cost-optimal `{load, compute, prune}` state per node in PTIME via a
+//!   reduction to the Project Selection Problem (`helix-mincut`).
+//! * **Execution** — [`engine`] runs the plan, measures real per-operator
+//!   costs, and consults the online [materialization
+//!   optimizer](materialize) after every operator completes, under a
+//!   storage budget enforced by the [intermediate store](store).
+//! * **Iteration support** — [`version`] keeps every workflow version with
+//!   its metrics (the Versions/Metrics tabs of §3.1); [`viz`] renders DAGs
+//!   (DOT + ASCII) and git-style version diffs.
+
+#![warn(missing_docs)]
+
+pub mod compiler;
+pub mod cost;
+pub mod engine;
+pub mod error;
+pub mod exec;
+pub mod materialize;
+pub mod ops;
+pub mod recompute;
+pub mod report;
+pub mod signature;
+pub mod slicing;
+pub mod store;
+pub mod version;
+pub mod viz;
+pub mod workflow;
+
+pub use engine::{Engine, EngineConfig};
+pub use error::HelixError;
+pub use ops::{EvalSpec, ExtractorKind, LearnerSpec, MetricKind, ModelType, NodeOutput, OperatorKind, Udf};
+pub use recompute::{NodeState, RecomputationPolicy};
+pub use materialize::MaterializationPolicyKind;
+pub use report::IterationReport;
+pub use workflow::{NodeId, NodeRef, Workflow};
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, HelixError>;
+
+/// Name of the split column threaded through source collections.
+pub const SPLIT_COL: &str = "__split__";
+/// Split value for training rows.
+pub const SPLIT_TRAIN: &str = "train";
+/// Split value for held-out rows.
+pub const SPLIT_TEST: &str = "test";

@@ -1,0 +1,231 @@
+//! The online materialization optimizer.
+//!
+//! Deciding what to persist for *future* iterations is NP-hard even under
+//! strong simplifying assumptions (knapsack reduction, paper §2.3), the
+//! iteration count is unknown, and decisions must be made the moment an
+//! operator finishes (buffering candidates for deferred decisions is
+//! prohibitive). Helix therefore uses the paper's online cost rule: at
+//! iteration `t`, materializing node `i` is worth it when
+//!
+//! ```text
+//! r_i = 2·l_i − (c_i + Σ_{j ∈ A(i)} c_j) < 0
+//! ```
+//!
+//! i.e. one write plus one future load (`2·l_i`) beats recomputing `i`
+//! from scratch through all its ancestors — and the output fits the
+//! remaining storage budget. `MaterializeAll` (DeepDive) and `Never`
+//! (KeystoneML) are provided as the baselines Fig. 2 compares against, and
+//! [`offline_optimal`] is the exact knapsack used in ablation benches.
+
+/// Everything the policy may consult when an operator completes.
+#[derive(Debug, Clone, Copy)]
+pub struct MaterializationContext {
+    /// Estimated cost (seconds) to load this output back in a future
+    /// iteration — also the estimated cost to write it now.
+    pub load_cost_secs: f64,
+    /// Observed compute cost of this node, this iteration (seconds).
+    pub compute_cost_secs: f64,
+    /// Sum of the compute costs of all ancestors (seconds).
+    pub ancestors_compute_secs: f64,
+    /// Size of the output in bytes.
+    pub size_bytes: u64,
+    /// Bytes still available under the storage budget.
+    pub remaining_budget_bytes: u64,
+}
+
+impl MaterializationContext {
+    /// The paper's reduction estimate `r_i` (negative ⇒ materialize).
+    pub fn reduction(&self) -> f64 {
+        2.0 * self.load_cost_secs - (self.compute_cost_secs + self.ancestors_compute_secs)
+    }
+}
+
+/// Which materialization policy the engine runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MaterializationPolicyKind {
+    /// Helix's online heuristic (`r_i < 0` and budget).
+    #[default]
+    HelixOnline,
+    /// Materialize every intermediate that fits (DeepDive).
+    All,
+    /// Never materialize (KeystoneML).
+    Never,
+}
+
+impl MaterializationPolicyKind {
+    /// Decides whether to materialize the completed node.
+    pub fn decide(&self, ctx: &MaterializationContext) -> bool {
+        let fits = ctx.size_bytes <= ctx.remaining_budget_bytes;
+        match self {
+            MaterializationPolicyKind::HelixOnline => fits && ctx.reduction() < 0.0,
+            MaterializationPolicyKind::All => fits,
+            MaterializationPolicyKind::Never => false,
+        }
+    }
+}
+
+/// A candidate for the offline (exact) formulation: value is the run-time
+/// reduction of having it materialized next iteration; weight its size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OfflineCandidate {
+    /// Expected future benefit in seconds (clamped at ≥ 0).
+    pub benefit_secs: f64,
+    /// Size in bytes.
+    pub size_bytes: u64,
+}
+
+/// Exact 0/1-knapsack over materialization candidates (the NP-hard
+/// formulation the online rule approximates). Exponential-free DP over a
+/// byte-bucketed budget; used in tests and the ablation bench, not in the
+/// engine's hot path.
+///
+/// Returns the chosen candidate indices.
+pub fn offline_optimal(candidates: &[OfflineCandidate], budget_bytes: u64) -> Vec<usize> {
+    assert!(candidates.len() <= 64, "offline solver limited to 64 candidates");
+    if candidates.is_empty() || budget_bytes == 0 {
+        return Vec::new();
+    }
+    // Bucket sizes to keep the DP table small: 1 KiB granularity.
+    const BUCKET: u64 = 1024;
+    let cap = (budget_bytes / BUCKET) as usize;
+    let weights: Vec<usize> =
+        candidates.iter().map(|c| (c.size_bytes.div_ceil(BUCKET)) as usize).collect();
+    let values: Vec<f64> = candidates.iter().map(|c| c.benefit_secs.max(0.0)).collect();
+    // Carry the chosen set as a bitmask beside each DP cell: exact and
+    // traceback-free (the 1-D keep-matrix traceback is subtly incorrect).
+    let mut best = vec![0.0f64; cap + 1];
+    let mut mask = vec![0u64; cap + 1];
+    for i in 0..candidates.len() {
+        if weights[i] > cap {
+            continue;
+        }
+        for w in (weights[i]..=cap).rev() {
+            let with = best[w - weights[i]] + values[i];
+            if with > best[w] {
+                best[w] = with;
+                mask[w] = mask[w - weights[i]] | (1 << i);
+            }
+        }
+    }
+    (0..candidates.len()).filter(|i| mask[cap] & (1 << i) != 0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(load: f64, compute: f64, ancestors: f64, size: u64, remaining: u64) -> MaterializationContext {
+        MaterializationContext {
+            load_cost_secs: load,
+            compute_cost_secs: compute,
+            ancestors_compute_secs: ancestors,
+            size_bytes: size,
+            remaining_budget_bytes: remaining,
+        }
+    }
+
+    #[test]
+    fn helix_materializes_expensive_cheap_to_store_nodes() {
+        // Costs 10s to recompute through ancestors, loads in 0.1s.
+        let c = ctx(0.1, 4.0, 6.0, 1024, 1 << 20);
+        assert!(c.reduction() < 0.0);
+        assert!(MaterializationPolicyKind::HelixOnline.decide(&c));
+    }
+
+    #[test]
+    fn helix_skips_cheap_to_recompute_nodes() {
+        // Recomputes in 0.2s, loading costs 1s each way.
+        let c = ctx(1.0, 0.1, 0.1, 1024, 1 << 20);
+        assert!(c.reduction() > 0.0);
+        assert!(!MaterializationPolicyKind::HelixOnline.decide(&c));
+    }
+
+    #[test]
+    fn budget_gates_all_policies_that_write() {
+        let c = ctx(0.1, 50.0, 50.0, 2048, 1024);
+        assert!(!MaterializationPolicyKind::HelixOnline.decide(&c));
+        assert!(!MaterializationPolicyKind::All.decide(&c));
+        let c_fits = ctx(0.1, 50.0, 50.0, 512, 1024);
+        assert!(MaterializationPolicyKind::All.decide(&c_fits));
+    }
+
+    #[test]
+    fn never_never_materializes() {
+        let c = ctx(0.0, 1e9, 1e9, 0, u64::MAX);
+        assert!(!MaterializationPolicyKind::Never.decide(&c));
+    }
+
+    #[test]
+    fn offline_optimal_picks_best_value_under_budget() {
+        let candidates = vec![
+            OfflineCandidate { benefit_secs: 10.0, size_bytes: 700 * 1024 },
+            OfflineCandidate { benefit_secs: 7.0, size_bytes: 400 * 1024 },
+            OfflineCandidate { benefit_secs: 6.0, size_bytes: 400 * 1024 },
+        ];
+        // Budget 1 MiB: {0} alone (10.0) loses to {1, 2} (13.0); {0, 1}
+        // does not fit (1100 KiB).
+        let chosen = offline_optimal(&candidates, 1024 * 1024);
+        assert_eq!(chosen, vec![1, 2]);
+    }
+
+    #[test]
+    fn offline_optimal_matches_brute_force_on_random_instances() {
+        // Deterministic pseudo-random instances; exhaustive check over all
+        // subsets keeps the solver honest.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..20 {
+            let n = (next() % 8 + 1) as usize;
+            let candidates: Vec<OfflineCandidate> = (0..n)
+                .map(|_| OfflineCandidate {
+                    benefit_secs: (next() % 100) as f64,
+                    size_bytes: (next() % 64 + 1) * 1024,
+                })
+                .collect();
+            let budget = (next() % 128 + 1) * 1024;
+            let chosen = offline_optimal(&candidates, budget);
+            let chosen_size: u64 =
+                chosen.iter().map(|&i| candidates[i].size_bytes.div_ceil(1024)).sum();
+            assert!(chosen_size * 1024 <= budget.next_multiple_of(1024));
+            let chosen_value: f64 = chosen.iter().map(|&i| candidates[i].benefit_secs).sum();
+            let mut best = 0.0f64;
+            for m in 0u32..(1 << n) {
+                let size: u64 = (0..n)
+                    .filter(|i| m & (1 << i) != 0)
+                    .map(|i| candidates[i].size_bytes.div_ceil(1024))
+                    .sum();
+                if size <= budget / 1024 {
+                    let value: f64 = (0..n)
+                        .filter(|i| m & (1 << i) != 0)
+                        .map(|i| candidates[i].benefit_secs)
+                        .sum();
+                    best = best.max(value);
+                }
+            }
+            assert!((chosen_value - best).abs() < 1e-9, "{chosen_value} vs {best}");
+        }
+    }
+
+    #[test]
+    fn offline_optimal_respects_budget_exactly() {
+        let candidates = vec![
+            OfflineCandidate { benefit_secs: 5.0, size_bytes: 1024 },
+            OfflineCandidate { benefit_secs: 5.0, size_bytes: 1024 },
+        ];
+        let chosen = offline_optimal(&candidates, 1024);
+        assert_eq!(chosen.len(), 1);
+        assert!(offline_optimal(&candidates, 0).is_empty());
+        assert!(offline_optimal(&[], 1 << 20).is_empty());
+    }
+
+    #[test]
+    fn offline_ignores_oversized_items() {
+        let candidates = vec![OfflineCandidate { benefit_secs: 100.0, size_bytes: 1 << 30 }];
+        assert!(offline_optimal(&candidates, 1024).is_empty());
+    }
+}

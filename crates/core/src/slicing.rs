@@ -1,0 +1,134 @@
+//! Program slicing: prune operators that do not contribute to outputs.
+//!
+//! The paper's slicer uses "fine-grained data provenance to automatically
+//! eliminate computation for features that do not impact the model, without
+//! any code change by the user" (§2.2). In this DAG encoding, provenance is
+//! explicit: an extractor feeds the model iff it is wired into an
+//! `AssembleFeatures` node (the `has_extractors` list). Extractors dropped
+//! from that list — like `race`/`cl` in Fig. 1b, grayed out — simply stop
+//! being ancestors of any output and are sliced away here.
+
+use crate::workflow::{NodeId, Workflow};
+use crate::Result;
+
+/// Result of slicing: which nodes survive.
+#[derive(Debug, Clone)]
+pub struct Slice {
+    /// `true` for nodes that (transitively) feed an output.
+    pub active: Vec<bool>,
+}
+
+impl Slice {
+    /// Ids of sliced-away (inactive) nodes.
+    pub fn pruned(&self) -> Vec<NodeId> {
+        self.active
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| !**a)
+            .map(|(i, _)| NodeId(i as u32))
+            .collect()
+    }
+
+    /// Number of active nodes.
+    pub fn active_count(&self) -> usize {
+        self.active.iter().filter(|a| **a).count()
+    }
+}
+
+/// Computes the backward slice from the workflow outputs.
+///
+/// # Errors
+/// [`crate::HelixError::Compile`] if the workflow has no outputs — an
+/// entirely dead workflow is almost certainly a bug in user code, and the
+/// paper's engine likewise refuses to run output-less programs.
+pub fn slice(workflow: &Workflow) -> Result<Slice> {
+    if workflow.outputs().is_empty() {
+        return Err(crate::HelixError::Compile(
+            "workflow has no outputs; nothing to execute (did you forget is_output()?)".into(),
+        ));
+    }
+    let mut active = vec![false; workflow.len()];
+    let mut stack: Vec<NodeId> = workflow.outputs().to_vec();
+    while let Some(id) = stack.pop() {
+        if active[id.index()] {
+            continue;
+        }
+        active[id.index()] = true;
+        stack.extend(workflow.node(id).parents.iter().copied());
+    }
+    Ok(Slice { active })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{ExtractorKind, LearnerSpec};
+    use crate::workflow::Workflow;
+    use helix_dataflow::DataType;
+
+    /// Census-like workflow where `race` and `cl` are declared but not
+    /// wired into `income` — the exact Fig. 1b situation.
+    fn census_like() -> Workflow {
+        let mut w = Workflow::new("census");
+        let src = w.csv_source("data", "train.csv", None::<&str>).unwrap();
+        let rows = w
+            .csv_scanner(
+                "rows",
+                &src,
+                &[("age", DataType::Int), ("race", DataType::Str), ("target", DataType::Int)],
+            )
+            .unwrap();
+        let age = w.field_extractor("age", &rows, "age", ExtractorKind::Numeric).unwrap();
+        let _race = w.field_extractor("race", &rows, "race", ExtractorKind::Categorical).unwrap();
+        let _cl = w.field_extractor("cl", &rows, "age", ExtractorKind::Numeric).unwrap();
+        let target = w.field_extractor("target", &rows, "target", ExtractorKind::Numeric).unwrap();
+        let income = w.assemble("income", &rows, &[&age], &target).unwrap();
+        let preds = w.learner("predictions", &income, LearnerSpec::default()).unwrap();
+        w.output(&preds);
+        w
+    }
+
+    #[test]
+    fn unwired_extractors_are_pruned() {
+        let w = census_like();
+        let s = slice(&w).unwrap();
+        let active = |name: &str| s.active[w.by_name(name).unwrap().index()];
+        assert!(active("rows"));
+        assert!(active("age"));
+        assert!(active("income"));
+        assert!(active("predictions"));
+        assert!(!active("race"), "race is not in has_extractors; must be sliced");
+        assert!(!active("cl"));
+        assert_eq!(s.pruned().len(), 2);
+    }
+
+    #[test]
+    fn no_outputs_is_an_error() {
+        let mut w = Workflow::new("t");
+        w.csv_source("a", "x.csv", None::<&str>).unwrap();
+        assert!(slice(&w).is_err());
+    }
+
+    #[test]
+    fn rewiring_extractor_back_in_reactivates_it() {
+        let mut w = census_like();
+        let rows = w.node_ref("rows").unwrap();
+        let age = w.node_ref("age").unwrap();
+        let race = w.node_ref("race").unwrap();
+        let target = w.node_ref("target").unwrap();
+        w.rewire("income", &[&rows, &age, &race, &target]).unwrap();
+        let s = slice(&w).unwrap();
+        assert!(s.active[w.by_name("race").unwrap().index()]);
+    }
+
+    #[test]
+    fn all_nodes_active_when_everything_feeds_outputs() {
+        let mut w = Workflow::new("t");
+        let a = w.csv_source("a", "x.csv", None::<&str>).unwrap();
+        let b = w.csv_scanner("b", &a, &[("x", DataType::Int)]).unwrap();
+        w.output(&b);
+        let s = slice(&w).unwrap();
+        assert_eq!(s.active_count(), 2);
+        assert!(s.pruned().is_empty());
+    }
+}

@@ -1,0 +1,275 @@
+//! The intermediate store: signature-keyed materializations on disk.
+//!
+//! Each materialized node output lives in one file named by its Merkle
+//! signature (`<sig>.hlx`), so validity is purely a key-existence check:
+//! any workflow change upstream of a node changes its signature and the
+//! old file simply stops matching (it stays on disk and becomes reusable
+//! again if the user reverts — the paper's version-rollback story).
+//!
+//! The store enforces the materialization optimizer's **storage budget**
+//! (paper §2.3: "with a maximum storage constraint") and reports measured
+//! I/O durations to the cost model.
+
+use crate::ops::NodeOutput;
+use crate::signature::Signature;
+use crate::{HelixError, Result};
+use helix_dataflow::fx::FxHashMap;
+use parking_lot::Mutex;
+use std::io::{Read, Write};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Metadata for one stored entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EntryMeta {
+    /// On-disk size in bytes.
+    pub bytes: u64,
+}
+
+/// On-disk store with budget accounting.
+#[derive(Debug)]
+pub struct IntermediateStore {
+    dir: PathBuf,
+    budget_bytes: u64,
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    entries: FxHashMap<u64, EntryMeta>,
+    used_bytes: u64,
+}
+
+impl IntermediateStore {
+    /// Opens (or creates) a store rooted at `dir`, scanning existing
+    /// entries so prior iterations' materializations are visible.
+    pub fn open(dir: impl Into<PathBuf>, budget_bytes: u64) -> Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut inner = Inner::default();
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("hlx") {
+                continue;
+            }
+            let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+                continue;
+            };
+            let Ok(sig) = u64::from_str_radix(stem, 16) else {
+                continue;
+            };
+            let bytes = entry.metadata()?.len();
+            inner.entries.insert(sig, EntryMeta { bytes });
+            inner.used_bytes += bytes;
+        }
+        Ok(IntermediateStore { dir, budget_bytes, inner: Mutex::new(inner) })
+    }
+
+    /// The storage budget in bytes.
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget_bytes
+    }
+
+    /// Bytes currently used.
+    pub fn used_bytes(&self) -> u64 {
+        self.inner.lock().used_bytes
+    }
+
+    /// Bytes still available under the budget.
+    pub fn remaining_bytes(&self) -> u64 {
+        let inner = self.inner.lock();
+        self.budget_bytes.saturating_sub(inner.used_bytes)
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// Whether the store holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Size of the entry for `sig`, if present.
+    pub fn lookup(&self, sig: Signature) -> Option<EntryMeta> {
+        self.inner.lock().entries.get(&sig.0).copied()
+    }
+
+    fn path_for(&self, sig: Signature) -> PathBuf {
+        self.dir.join(format!("{}.hlx", sig.hex()))
+    }
+
+    /// Writes an output under `sig`, enforcing the budget.
+    ///
+    /// Returns `(bytes_written, seconds)` on success. Writing is atomic
+    /// (temp file + rename) so a crash cannot leave a torn entry behind.
+    ///
+    /// # Errors
+    /// [`HelixError::Store`] if the entry would exceed the budget.
+    pub fn put(&self, sig: Signature, output: &NodeOutput) -> Result<(u64, f64)> {
+        let started = Instant::now();
+        // Encoding is part of the materialization cost the optimizer
+        // trades off, so it is inside the timed region.
+        let bytes = output.encode();
+        let size = bytes.len() as u64;
+        {
+            let inner = self.inner.lock();
+            let existing = inner.entries.get(&sig.0).map(|m| m.bytes).unwrap_or(0);
+            if inner.used_bytes - existing + size > self.budget_bytes {
+                return Err(HelixError::Store(format!(
+                    "materializing {size} bytes would exceed the {}-byte budget ({} used)",
+                    self.budget_bytes, inner.used_bytes
+                )));
+            }
+        }
+        let tmp = self.dir.join(format!("{}.tmp", sig.hex()));
+        {
+            let mut file = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+            file.write_all(&bytes)?;
+            file.flush()?;
+        }
+        std::fs::rename(&tmp, self.path_for(sig))?;
+        let secs = started.elapsed().as_secs_f64();
+        let mut inner = self.inner.lock();
+        let previous = inner.entries.insert(sig.0, EntryMeta { bytes: size });
+        inner.used_bytes = inner.used_bytes - previous.map(|m| m.bytes).unwrap_or(0) + size;
+        Ok((size, secs))
+    }
+
+    /// Reads the output stored under `sig`.
+    ///
+    /// Returns `(output, bytes_read, seconds)`.
+    ///
+    /// # Errors
+    /// [`HelixError::Store`] if the entry is missing or corrupt.
+    pub fn get(&self, sig: Signature) -> Result<(NodeOutput, u64, f64)> {
+        if self.lookup(sig).is_none() {
+            return Err(HelixError::Store(format!("no entry for signature {}", sig.hex())));
+        }
+        let started = Instant::now();
+        let mut bytes = Vec::new();
+        let mut file = std::io::BufReader::new(std::fs::File::open(self.path_for(sig))?);
+        file.read_to_end(&mut bytes)?;
+        let output = NodeOutput::decode(&bytes)?;
+        let secs = started.elapsed().as_secs_f64();
+        Ok((output, bytes.len() as u64, secs))
+    }
+
+    /// Deletes the entry for `sig` if present, freeing budget.
+    pub fn evict(&self, sig: Signature) -> Result<bool> {
+        let mut inner = self.inner.lock();
+        if let Some(meta) = inner.entries.remove(&sig.0) {
+            inner.used_bytes -= meta.bytes;
+            drop(inner);
+            std::fs::remove_file(self.path_for(sig))?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Deletes everything (used between benchmark scenarios).
+    pub fn clear(&self) -> Result<()> {
+        let mut inner = self.inner.lock();
+        let sigs: Vec<u64> = inner.entries.keys().copied().collect();
+        for sig in sigs {
+            inner.entries.remove(&sig);
+            let _ = std::fs::remove_file(self.dir.join(format!("{sig:016x}.hlx")));
+        }
+        inner.used_bytes = 0;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helix_dataflow::{DataCollection, DataType, Row, Schema, Value};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("helix-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_output(n: i64) -> NodeOutput {
+        let schema = Schema::of(&[("x", DataType::Int)]);
+        let rows = (0..n).map(|i| Row(vec![Value::Int(i)])).collect();
+        NodeOutput::Data(DataCollection::new(schema, rows).unwrap())
+    }
+
+    #[test]
+    fn put_get_round_trip() {
+        let store = IntermediateStore::open(tmpdir("rt"), 1 << 20).unwrap();
+        let out = sample_output(100);
+        let (written, _) = store.put(Signature(7), &out).unwrap();
+        assert!(written > 0);
+        assert_eq!(store.len(), 1);
+        let (back, read, _) = store.get(Signature(7)).unwrap();
+        assert_eq!(read, written);
+        assert_eq!(back, out);
+    }
+
+    #[test]
+    fn missing_entry_errors() {
+        let store = IntermediateStore::open(tmpdir("miss"), 1 << 20).unwrap();
+        assert!(store.get(Signature(1)).is_err());
+        assert!(store.lookup(Signature(1)).is_none());
+    }
+
+    #[test]
+    fn budget_enforced() {
+        let store = IntermediateStore::open(tmpdir("budget"), 64).unwrap();
+        let out = sample_output(1000);
+        let err = store.put(Signature(1), &out).unwrap_err();
+        assert!(err.to_string().contains("budget"));
+        assert_eq!(store.used_bytes(), 0);
+    }
+
+    #[test]
+    fn overwrite_replaces_budget_share() {
+        let dir = tmpdir("overwrite");
+        let store = IntermediateStore::open(&dir, 1 << 20).unwrap();
+        store.put(Signature(9), &sample_output(100)).unwrap();
+        let used_first = store.used_bytes();
+        store.put(Signature(9), &sample_output(100)).unwrap();
+        assert_eq!(store.used_bytes(), used_first);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn reopen_rescans_entries() {
+        let dir = tmpdir("reopen");
+        {
+            let store = IntermediateStore::open(&dir, 1 << 20).unwrap();
+            store.put(Signature(3), &sample_output(10)).unwrap();
+        }
+        let store = IntermediateStore::open(&dir, 1 << 20).unwrap();
+        assert_eq!(store.len(), 1);
+        let (out, ..) = store.get(Signature(3)).unwrap();
+        assert_eq!(out, sample_output(10));
+        assert!(store.used_bytes() > 0);
+    }
+
+    #[test]
+    fn evict_frees_budget() {
+        let store = IntermediateStore::open(tmpdir("evict"), 1 << 20).unwrap();
+        store.put(Signature(5), &sample_output(10)).unwrap();
+        assert!(store.evict(Signature(5)).unwrap());
+        assert!(!store.evict(Signature(5)).unwrap());
+        assert_eq!(store.used_bytes(), 0);
+        assert!(store.get(Signature(5)).is_err());
+    }
+
+    #[test]
+    fn clear_removes_everything() {
+        let store = IntermediateStore::open(tmpdir("clear"), 1 << 20).unwrap();
+        store.put(Signature(1), &sample_output(5)).unwrap();
+        store.put(Signature(2), &sample_output(5)).unwrap();
+        store.clear().unwrap();
+        assert!(store.is_empty());
+        assert_eq!(store.remaining_bytes(), 1 << 20);
+    }
+}

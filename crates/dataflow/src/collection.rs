@@ -1,0 +1,388 @@
+//! Rows and data collections — the unit of data flowing between operators.
+
+use crate::{DataType, DataflowError, Result, Schema, Value};
+use std::fmt;
+use std::sync::Arc;
+
+/// One record: values aligned with a [`Schema`]'s fields.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Row(pub Vec<Value>);
+
+impl Row {
+    /// Creates a row from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Row(values)
+    }
+
+    /// Value at column `i`.
+    pub fn get(&self, i: usize) -> &Value {
+        &self.0[i]
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the row has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Values as a slice.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Approximate in-memory footprint in bytes.
+    pub fn estimated_bytes(&self) -> usize {
+        24 + self.0.iter().map(Value::estimated_bytes).sum::<usize>()
+    }
+}
+
+impl From<Vec<Value>> for Row {
+    fn from(values: Vec<Value>) -> Self {
+        Row(values)
+    }
+}
+
+/// An immutable, schema-tagged batch of rows — Helix's `DataCollection`
+/// (paper §1: "a DAG of data collections").
+///
+/// Collections are the intermediate results that Helix's optimizers decide
+/// to materialize, load, compute, or prune. They expose exactly the
+/// statistics those optimizers need: row counts and estimated byte sizes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataCollection {
+    schema: Arc<Schema>,
+    rows: Vec<Row>,
+}
+
+impl DataCollection {
+    /// Creates an empty collection with the given schema.
+    pub fn empty(schema: Arc<Schema>) -> Self {
+        DataCollection { schema, rows: Vec::new() }
+    }
+
+    /// Creates a collection, validating every row against the schema.
+    ///
+    /// # Errors
+    /// [`DataflowError::SchemaMismatch`] if any row has the wrong arity or
+    /// an incompatible value type.
+    pub fn new(schema: Arc<Schema>, rows: Vec<Row>) -> Result<Self> {
+        for (rownum, row) in rows.iter().enumerate() {
+            validate_row(&schema, row, rownum)?;
+        }
+        Ok(DataCollection { schema, rows })
+    }
+
+    /// Creates a collection without validating rows.
+    ///
+    /// For operator internals that construct rows schema-first; prefer
+    /// [`DataCollection::new`] at trust boundaries.
+    pub fn from_rows_unchecked(schema: Arc<Schema>, rows: Vec<Row>) -> Self {
+        DataCollection { schema, rows }
+    }
+
+    /// The collection's schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Appends a row after validating it.
+    pub fn push(&mut self, row: Row) -> Result<()> {
+        validate_row(&self.schema, &row, self.rows.len())?;
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Approximate total in-memory footprint in bytes. Drives the
+    /// materialization optimizer's storage-budget accounting.
+    pub fn estimated_bytes(&self) -> usize {
+        48 + self.rows.iter().map(Row::estimated_bytes).sum::<usize>()
+    }
+
+    /// Index of a named column.
+    pub fn column_index(&self, name: &str) -> Result<usize> {
+        self.schema.index_of(name)
+    }
+
+    /// Iterator over one column's values.
+    pub fn column<'a>(&'a self, name: &str) -> Result<impl Iterator<Item = &'a Value> + 'a> {
+        let idx = self.schema.index_of(name)?;
+        Ok(self.rows.iter().map(move |row| row.get(idx)))
+    }
+
+    /// New collection containing only the named columns, in order.
+    pub fn project(&self, names: &[&str]) -> Result<DataCollection> {
+        let (schema, indices) = self.schema.project(names)?;
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| Row(indices.iter().map(|&i| row.get(i).clone()).collect()))
+            .collect();
+        Ok(DataCollection { schema, rows })
+    }
+
+    /// New collection with rows passing the predicate.
+    pub fn filter(&self, mut pred: impl FnMut(&Row) -> bool) -> DataCollection {
+        DataCollection {
+            schema: Arc::clone(&self.schema),
+            rows: self.rows.iter().filter(|r| pred(r)).cloned().collect(),
+        }
+    }
+
+    /// New collection produced by mapping each row to a new row under a new
+    /// schema. The mapped rows are validated.
+    pub fn map(
+        &self,
+        schema: Arc<Schema>,
+        mut f: impl FnMut(&Row) -> Result<Row>,
+    ) -> Result<DataCollection> {
+        let mut rows = Vec::with_capacity(self.rows.len());
+        for (i, row) in self.rows.iter().enumerate() {
+            let out = f(row)?;
+            validate_row(&schema, &out, i)?;
+            rows.push(out);
+        }
+        Ok(DataCollection { schema, rows })
+    }
+
+    /// New collection with an extra column computed from each row.
+    pub fn with_column(
+        &self,
+        name: &str,
+        dtype: DataType,
+        mut f: impl FnMut(&Row) -> Value,
+    ) -> Result<DataCollection> {
+        let schema = self.schema.with_field(crate::Field::new(name, dtype))?;
+        let rows = self
+            .rows
+            .iter()
+            .map(|row| {
+                let mut values = row.0.clone();
+                values.push(f(row));
+                Row(values)
+            })
+            .collect();
+        Ok(DataCollection { schema, rows })
+    }
+
+    /// First `n` rows (or fewer), as a new collection.
+    pub fn head(&self, n: usize) -> DataCollection {
+        DataCollection {
+            schema: Arc::clone(&self.schema),
+            rows: self.rows.iter().take(n).cloned().collect(),
+        }
+    }
+
+    /// Splits rows into two collections at `index` (first gets `[0, index)`).
+    pub fn split_at(&self, index: usize) -> (DataCollection, DataCollection) {
+        let index = index.min(self.rows.len());
+        let (a, b) = self.rows.split_at(index);
+        (
+            DataCollection { schema: Arc::clone(&self.schema), rows: a.to_vec() },
+            DataCollection { schema: Arc::clone(&self.schema), rows: b.to_vec() },
+        )
+    }
+
+    /// Concatenates another collection with an identical schema.
+    pub fn concat(&self, other: &DataCollection) -> Result<DataCollection> {
+        if self.schema != other.schema {
+            return Err(DataflowError::SchemaMismatch(
+                "concat requires identical schemas".to_string(),
+            ));
+        }
+        let mut rows = self.rows.clone();
+        rows.extend(other.rows.iter().cloned());
+        Ok(DataCollection { schema: Arc::clone(&self.schema), rows })
+    }
+
+    /// Consumes the collection, returning its rows.
+    pub fn into_rows(self) -> Vec<Row> {
+        self.rows
+    }
+}
+
+impl fmt::Display for DataCollection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[{}] ({} rows)", self.schema, self.rows.len())?;
+        for row in self.rows.iter().take(5) {
+            let cells: Vec<String> = row.values().iter().map(Value::to_string).collect();
+            writeln!(f, "  {}", cells.join(" | "))?;
+        }
+        if self.rows.len() > 5 {
+            writeln!(f, "  … {} more", self.rows.len() - 5)?;
+        }
+        Ok(())
+    }
+}
+
+fn validate_row(schema: &Schema, row: &Row, rownum: usize) -> Result<()> {
+    if row.len() != schema.len() {
+        return Err(DataflowError::SchemaMismatch(format!(
+            "row {rownum} has {} values, schema has {} fields",
+            row.len(),
+            schema.len()
+        )));
+    }
+    for (i, value) in row.values().iter().enumerate() {
+        let expected = schema.field(i).dtype;
+        if !value.is_null() && !expected.accepts(value.data_type()) {
+            return Err(DataflowError::SchemaMismatch(format!(
+                "row {rownum} column `{}` expected {expected}, got {}",
+                schema.field(i).name,
+                value.data_type()
+            )));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn people() -> DataCollection {
+        let schema = Schema::of(&[("name", DataType::Str), ("age", DataType::Int)]);
+        DataCollection::new(
+            schema,
+            vec![
+                Row(vec!["ann".into(), 34i64.into()]),
+                Row(vec!["bob".into(), 51i64.into()]),
+                Row(vec!["cyn".into(), 19i64.into()]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn new_validates_arity() {
+        let schema = Schema::of(&[("a", DataType::Int)]);
+        let err = DataCollection::new(schema, vec![Row(vec![1i64.into(), 2i64.into()])])
+            .unwrap_err();
+        assert!(err.to_string().contains("values"));
+    }
+
+    #[test]
+    fn new_validates_types() {
+        let schema = Schema::of(&[("a", DataType::Int)]);
+        let err = DataCollection::new(schema, vec![Row(vec!["oops".into()])]).unwrap_err();
+        assert!(err.to_string().contains("expected int"));
+    }
+
+    #[test]
+    fn nulls_allowed_in_typed_columns() {
+        let schema = Schema::of(&[("a", DataType::Int)]);
+        let dc = DataCollection::new(schema, vec![Row(vec![Value::Null])]).unwrap();
+        assert_eq!(dc.len(), 1);
+    }
+
+    #[test]
+    fn project_selects_and_reorders() {
+        let dc = people();
+        let proj = dc.project(&["age", "name"]).unwrap();
+        assert_eq!(proj.schema().field(0).name, "age");
+        assert_eq!(proj.rows()[0].get(0), &Value::Int(34));
+        assert_eq!(proj.rows()[0].get(1), &Value::Str("ann".into()));
+    }
+
+    #[test]
+    fn filter_keeps_matching_rows() {
+        let dc = people();
+        let adults = dc.filter(|row| row.get(1).as_int().unwrap_or(0) >= 21);
+        assert_eq!(adults.len(), 2);
+    }
+
+    #[test]
+    fn with_column_appends_values() {
+        let dc = people();
+        let extended = dc
+            .with_column("minor", DataType::Bool, |row| {
+                Value::Bool(row.get(1).as_int().unwrap_or(0) < 21)
+            })
+            .unwrap();
+        assert_eq!(extended.schema().len(), 3);
+        assert_eq!(extended.rows()[2].get(2), &Value::Bool(true));
+    }
+
+    #[test]
+    fn map_validates_output() {
+        let dc = people();
+        let target = Schema::of(&[("age2", DataType::Int)]);
+        let doubled = dc
+            .map(Arc::clone(&target), |row| {
+                Ok(Row(vec![Value::Int(row.get(1).as_int().unwrap() * 2)]))
+            })
+            .unwrap();
+        assert_eq!(doubled.rows()[0].get(0), &Value::Int(68));
+        let bad = dc.map(target, |_| Ok(Row(vec!["no".into()])));
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn split_and_concat_round_trip() {
+        let dc = people();
+        let (a, b) = dc.split_at(1);
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 2);
+        let back = a.concat(&b).unwrap();
+        assert_eq!(back, dc);
+    }
+
+    #[test]
+    fn concat_rejects_different_schemas() {
+        let dc = people();
+        let other = DataCollection::empty(Schema::of(&[("x", DataType::Int)]));
+        assert!(dc.concat(&other).is_err());
+    }
+
+    #[test]
+    fn column_iterates_one_field() {
+        let dc = people();
+        let ages: Vec<i64> = dc.column("age").unwrap().map(|v| v.as_int().unwrap()).collect();
+        assert_eq!(ages, vec![34, 51, 19]);
+        assert!(dc.column("salary").is_err());
+    }
+
+    #[test]
+    fn estimated_bytes_positive_and_monotone() {
+        let dc = people();
+        let small = dc.head(1).estimated_bytes();
+        let full = dc.estimated_bytes();
+        assert!(full > small);
+        assert!(small > 0);
+    }
+
+    #[test]
+    fn push_validates() {
+        let mut dc = people();
+        assert!(dc.push(Row(vec!["dee".into(), Value::Int(40)])).is_ok());
+        assert!(dc.push(Row(vec![Value::Int(1), Value::Int(2)])).is_err());
+        assert_eq!(dc.len(), 4);
+    }
+
+    #[test]
+    fn display_truncates_long_collections() {
+        let schema = Schema::of(&[("i", DataType::Int)]);
+        let rows = (0..10).map(|i| Row(vec![Value::Int(i)])).collect();
+        let dc = DataCollection::new(schema, rows).unwrap();
+        let shown = dc.to_string();
+        assert!(shown.contains("… 5 more"));
+    }
+}

@@ -1,0 +1,202 @@
+//! Parallel row transforms over `crossbeam` scoped threads.
+//!
+//! Helix's Spark backend parallelizes per-partition work; this module is the
+//! single-node analogue. Work is split into contiguous chunks, one per
+//! worker, and results are reassembled in order so parallel execution is
+//! deterministic — a requirement for Helix's reuse correctness (a
+//! materialized result must equal its recomputation).
+
+use crate::{DataCollection, Result, Row, Schema};
+use std::sync::Arc;
+
+/// Number of workers to use: the machine's available parallelism, capped so
+/// tiny inputs don't pay thread spawn costs.
+pub fn default_workers(rows: usize) -> usize {
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    // Below ~4k rows per worker the spawn overhead dominates.
+    hw.min(rows / 4096 + 1)
+}
+
+/// Maps rows in parallel with a fallible per-row function, preserving order.
+///
+/// The output schema is *not* validated per-row here (the typed operator
+/// layer in `helix-core` validates at boundaries); this keeps the hot loop
+/// allocation-free apart from the output rows themselves.
+pub fn par_map_rows<F>(
+    input: &DataCollection,
+    schema: Arc<Schema>,
+    f: F,
+) -> Result<DataCollection>
+where
+    F: Fn(&Row) -> Result<Row> + Sync,
+{
+    let rows = input.rows();
+    let workers = default_workers(rows.len());
+    if workers <= 1 {
+        let mut out = Vec::with_capacity(rows.len());
+        for row in rows {
+            out.push(f(row)?);
+        }
+        return Ok(DataCollection::from_rows_unchecked(schema, out));
+    }
+
+    let chunk_size = rows.len().div_ceil(workers);
+    let chunks: Vec<&[Row]> = rows.chunks(chunk_size).collect();
+    let mut results: Vec<Result<Vec<Row>>> = Vec::with_capacity(chunks.len());
+
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|chunk| {
+                let f = &f;
+                scope.spawn(move |_| {
+                    let mut out = Vec::with_capacity(chunk.len());
+                    for row in *chunk {
+                        out.push(f(row)?);
+                    }
+                    Ok(out)
+                })
+            })
+            .collect();
+        for handle in handles {
+            results.push(handle.join().expect("worker thread panicked"));
+        }
+    })
+    .expect("crossbeam scope panicked");
+
+    let mut rows_out = Vec::with_capacity(rows.len());
+    for chunk in results {
+        rows_out.extend(chunk?);
+    }
+    Ok(DataCollection::from_rows_unchecked(schema, rows_out))
+}
+
+/// Maps rows in parallel where each input row may produce several output
+/// rows (flat map), preserving input order.
+pub fn par_flat_map_rows<F>(
+    input: &DataCollection,
+    schema: Arc<Schema>,
+    f: F,
+) -> Result<DataCollection>
+where
+    F: Fn(&Row) -> Result<Vec<Row>> + Sync,
+{
+    let rows = input.rows();
+    let workers = default_workers(rows.len());
+    if workers <= 1 {
+        let mut out = Vec::new();
+        for row in rows {
+            out.extend(f(row)?);
+        }
+        return Ok(DataCollection::from_rows_unchecked(schema, out));
+    }
+
+    let chunk_size = rows.len().div_ceil(workers);
+    let chunks: Vec<&[Row]> = rows.chunks(chunk_size).collect();
+    let mut results: Vec<Result<Vec<Row>>> = Vec::with_capacity(chunks.len());
+
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|chunk| {
+                let f = &f;
+                scope.spawn(move |_| {
+                    let mut out = Vec::new();
+                    for row in *chunk {
+                        out.extend(f(row)?);
+                    }
+                    Ok(out)
+                })
+            })
+            .collect();
+        for handle in handles {
+            results.push(handle.join().expect("worker thread panicked"));
+        }
+    })
+    .expect("crossbeam scope panicked");
+
+    let mut rows_out = Vec::new();
+    for chunk in results {
+        rows_out.extend(chunk?);
+    }
+    Ok(DataCollection::from_rows_unchecked(schema, rows_out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DataType, Value};
+
+    fn numbers(n: i64) -> DataCollection {
+        let schema = Schema::of(&[("n", DataType::Int)]);
+        let rows = (0..n).map(|i| Row(vec![Value::Int(i)])).collect();
+        DataCollection::from_rows_unchecked(schema, rows)
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let input = numbers(10_000);
+        let schema = Schema::of(&[("sq", DataType::Int)]);
+        let out = par_map_rows(&input, schema, |row| {
+            let n = row.get(0).as_int().unwrap();
+            Ok(Row(vec![Value::Int(n * n)]))
+        })
+        .unwrap();
+        assert_eq!(out.len(), 10_000);
+        for (i, row) in out.rows().iter().enumerate() {
+            assert_eq!(row.get(0).as_int().unwrap(), (i * i) as i64);
+        }
+    }
+
+    #[test]
+    fn par_map_propagates_errors() {
+        let input = numbers(10_000);
+        let schema = Schema::of(&[("n", DataType::Int)]);
+        let result = par_map_rows(&input, schema, |row| {
+            if row.get(0).as_int().unwrap() == 8_888 {
+                Err(crate::DataflowError::Udf("boom".into()))
+            } else {
+                Ok(row.clone())
+            }
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn par_flat_map_expands_rows_in_order() {
+        let input = numbers(5_000);
+        let schema = Schema::of(&[("n", DataType::Int)]);
+        let out = par_flat_map_rows(&input, schema, |row| {
+            let n = row.get(0).as_int().unwrap();
+            Ok(vec![Row(vec![Value::Int(n)]), Row(vec![Value::Int(-n)])])
+        })
+        .unwrap();
+        assert_eq!(out.len(), 10_000);
+        assert_eq!(out.rows()[0].get(0).as_int(), Some(0));
+        assert_eq!(out.rows()[3].get(0).as_int(), Some(-1));
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let input = numbers(0);
+        let schema = Schema::of(&[("n", DataType::Int)]);
+        let out = par_map_rows(&input, schema, |row| Ok(row.clone())).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree() {
+        // Force both paths by size: small input takes the sequential path,
+        // large the parallel one; results must be identical functions.
+        let f = |row: &Row| -> Result<Row> {
+            Ok(Row(vec![Value::Int(row.get(0).as_int().unwrap() + 1)]))
+        };
+        let small = numbers(10);
+        let big = numbers(50_000);
+        let schema = Schema::of(&[("n", DataType::Int)]);
+        let small_out = par_map_rows(&small, Arc::clone(&schema), f).unwrap();
+        assert_eq!(small_out.rows()[9].get(0).as_int(), Some(10));
+        let big_out = par_map_rows(&big, schema, f).unwrap();
+        assert_eq!(big_out.rows()[49_999].get(0).as_int(), Some(50_000));
+    }
+}

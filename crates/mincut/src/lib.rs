@@ -1,0 +1,32 @@
+//! Max-flow / min-cut algorithms and the Project Selection Problem solver
+//! used by Helix's recomputation optimizer.
+//!
+//! The Helix paper (Xin et al., VLDB 2018, §2.2) shows that deciding which
+//! intermediate results to *load*, *compute*, or *prune* in an iteration is
+//! polynomial-time solvable via a reduction to the **Project Selection
+//! Problem** (Kleinberg & Tardos, *Algorithm Design*), itself solved with one
+//! min *s*-*t* cut computation. This crate provides:
+//!
+//! * [`FlowNetwork`] — a residual-graph representation with integer
+//!   capacities,
+//! * [`FlowNetwork::dinic`] — Dinic's algorithm (the production path,
+//!   `O(V^2 E)` worst case, near-linear on the shallow DAG-shaped networks
+//!   Helix produces),
+//! * [`FlowNetwork::edmonds_karp`] — a simple `O(V E^2)` reference
+//!   implementation used to cross-check Dinic in tests,
+//! * [`ProjectSelection`] — maximum-profit closure of a prerequisite graph.
+//!
+//! Capacities are `u64`; use [`CAP_INF`] for "uncuttable" edges (prerequisite
+//! edges in project selection). All arithmetic saturates so that several
+//! `CAP_INF` edges never overflow.
+
+#![warn(missing_docs)]
+
+mod flow;
+mod psp;
+
+pub use flow::{FlowNetwork, MaxFlowResult, CAP_INF};
+pub use psp::{Project, ProjectId, ProjectSelection, SelectionResult};
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,170 @@
+//! The Project Selection Problem (maximum-weight closure).
+//!
+//! Given projects with (possibly negative) profits and prerequisite edges
+//! `i -> j` ("selecting `i` requires selecting `j`"), find the subset closed
+//! under prerequisites maximizing total profit. Kleinberg & Tardos reduce
+//! this to a minimum *s*-*t* cut; Helix's recomputation optimizer
+//! (`helix-core`) reduces its load/compute/prune assignment to this problem.
+
+use crate::flow::{FlowNetwork, CAP_INF};
+
+/// Identifier of a project: its index in insertion order.
+pub type ProjectId = usize;
+
+/// A project with a profit (revenue minus cost; may be negative).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Project {
+    /// Net profit of selecting this project.
+    pub profit: i64,
+    /// When `true` the project is forced into the selection regardless of
+    /// profit (used by Helix to force workflow outputs to be available).
+    pub mandatory: bool,
+}
+
+impl Project {
+    /// A plain optional project with the given profit.
+    pub fn new(profit: i64) -> Self {
+        Project { profit, mandatory: false }
+    }
+
+    /// A project that must appear in every feasible selection.
+    pub fn mandatory(profit: i64) -> Self {
+        Project { profit, mandatory: true }
+    }
+}
+
+/// Outcome of solving a [`ProjectSelection`] instance.
+#[derive(Debug, Clone)]
+pub struct SelectionResult {
+    /// `selected[p]` is `true` iff project `p` is in the optimal closure.
+    pub selected: Vec<bool>,
+    /// Total profit of the selection (sum of profits of selected projects).
+    pub profit: i64,
+}
+
+/// Builder for a Project Selection instance.
+///
+/// ```
+/// use helix_mincut::{Project, ProjectSelection};
+/// let mut psp = ProjectSelection::new();
+/// let lucrative = psp.add_project(Project::new(10));
+/// let costly = psp.add_project(Project::new(-4));
+/// let dud = psp.add_project(Project::new(-20));
+/// psp.require(lucrative, costly); // taking `lucrative` forces `costly`
+/// let result = psp.solve();
+/// assert!(result.selected[lucrative] && result.selected[costly]);
+/// assert!(!result.selected[dud]);
+/// assert_eq!(result.profit, 6);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ProjectSelection {
+    projects: Vec<Project>,
+    /// Prerequisite pairs `(dependent, prerequisite)`.
+    requires: Vec<(ProjectId, ProjectId)>,
+}
+
+impl ProjectSelection {
+    /// Creates an empty instance.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a project, returning its id.
+    pub fn add_project(&mut self, project: Project) -> ProjectId {
+        self.projects.push(project);
+        self.projects.len() - 1
+    }
+
+    /// Declares that selecting `dependent` requires selecting `prerequisite`.
+    ///
+    /// # Panics
+    /// Panics if either id is unknown.
+    pub fn require(&mut self, dependent: ProjectId, prerequisite: ProjectId) {
+        assert!(dependent < self.projects.len(), "unknown dependent project {dependent}");
+        assert!(prerequisite < self.projects.len(), "unknown prerequisite project {prerequisite}");
+        self.requires.push((dependent, prerequisite));
+    }
+
+    /// Number of projects added so far.
+    pub fn len(&self) -> usize {
+        self.projects.len()
+    }
+
+    /// Whether the instance has no projects.
+    pub fn is_empty(&self) -> bool {
+        self.projects.is_empty()
+    }
+
+    /// Solves the instance via one min-cut computation.
+    ///
+    /// Mandatory projects are modelled by boosting their profit with a big-M
+    /// bonus wired straight from the source; the bonus cannot be cut without
+    /// exceeding any real cut, so such projects always land on the source
+    /// side. The reported [`SelectionResult::profit`] excludes the bonus.
+    pub fn solve(&self) -> SelectionResult {
+        let n = self.projects.len();
+        if n == 0 {
+            return SelectionResult { selected: Vec::new(), profit: 0 };
+        }
+        let source = n;
+        let sink = n + 1;
+        let mut net = FlowNetwork::new(n + 2);
+        for (id, p) in self.projects.iter().enumerate() {
+            let effective = if p.mandatory {
+                // Big-M: dominates any sum of real capacities in the network.
+                CAP_INF as i64
+            } else {
+                p.profit
+            };
+            if effective > 0 {
+                net.add_edge(source, id, effective as u64);
+            } else if effective < 0 {
+                net.add_edge(id, sink, effective.unsigned_abs());
+            }
+        }
+        for &(dep, pre) in &self.requires {
+            net.add_edge(dep, pre, CAP_INF);
+        }
+        let cut = net.dinic(source, sink);
+        let mut selected = vec![false; n];
+        let mut profit: i64 = 0;
+        for id in 0..n {
+            if cut.source_side[id] {
+                selected[id] = true;
+                profit += self.projects[id].profit;
+            }
+        }
+        SelectionResult { selected, profit }
+    }
+
+    /// Exhaustive solver for differential testing. Exponential in
+    /// `self.len()`; panics beyond 20 projects.
+    pub fn solve_brute_force(&self) -> SelectionResult {
+        let n = self.projects.len();
+        assert!(n <= 20, "brute force limited to 20 projects, got {n}");
+        let mut best_profit = i64::MIN;
+        let mut best_mask: u32 = 0;
+        'mask: for mask in 0u32..(1 << n) {
+            for (id, p) in self.projects.iter().enumerate() {
+                if p.mandatory && mask & (1 << id) == 0 {
+                    continue 'mask;
+                }
+            }
+            for &(dep, pre) in &self.requires {
+                if mask & (1 << dep) != 0 && mask & (1 << pre) == 0 {
+                    continue 'mask;
+                }
+            }
+            let profit: i64 =
+                (0..n).filter(|i| mask & (1 << i) != 0).map(|i| self.projects[i].profit).sum();
+            if profit > best_profit {
+                best_profit = profit;
+                best_mask = mask;
+            }
+        }
+        SelectionResult {
+            selected: (0..n).map(|i| best_mask & (1 << i) != 0).collect(),
+            profit: best_profit,
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! Train/test splitting and k-fold cross validation.
+
+use crate::dataset::Dataset;
+use crate::{MlError, Result};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Shuffles and splits a dataset into `(train, test)` with `test_fraction`
+/// of examples in the test set.
+///
+/// # Errors
+/// [`MlError::InvalidInput`] if the fraction is outside `(0, 1)`.
+pub fn train_test_split(
+    dataset: &Dataset,
+    test_fraction: f64,
+    seed: u64,
+) -> Result<(Dataset, Dataset)> {
+    if !(0.0..1.0).contains(&test_fraction) || test_fraction == 0.0 {
+        return Err(MlError::InvalidInput(format!(
+            "test_fraction must be in (0, 1), got {test_fraction}"
+        )));
+    }
+    let mut indices: Vec<usize> = (0..dataset.len()).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    indices.shuffle(&mut rng);
+    let test_size = ((dataset.len() as f64) * test_fraction).round() as usize;
+    let (test_idx, train_idx) = indices.split_at(test_size.min(dataset.len()));
+    Ok((dataset.subset(train_idx), dataset.subset(test_idx)))
+}
+
+/// Yields `k` `(train, test)` folds.
+///
+/// # Errors
+/// [`MlError::InvalidInput`] if `k < 2` or `k` exceeds the dataset size.
+pub fn k_folds(dataset: &Dataset, k: usize, seed: u64) -> Result<Vec<(Dataset, Dataset)>> {
+    if k < 2 {
+        return Err(MlError::InvalidInput(format!("k must be ≥ 2, got {k}")));
+    }
+    if k > dataset.len() {
+        return Err(MlError::InvalidInput(format!(
+            "k = {k} exceeds dataset size {}",
+            dataset.len()
+        )));
+    }
+    let mut indices: Vec<usize> = (0..dataset.len()).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    indices.shuffle(&mut rng);
+    let mut folds = Vec::with_capacity(k);
+    for fold in 0..k {
+        let test_idx: Vec<usize> =
+            indices.iter().copied().skip(fold).step_by(k).collect();
+        let train_idx: Vec<usize> = indices
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|(pos, _)| pos % k != fold)
+            .map(|(_, idx)| idx)
+            .collect();
+        folds.push((dataset.subset(&train_idx), dataset.subset(&test_idx)));
+    }
+    Ok(folds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::LabeledExample;
+    use crate::vector::SparseVector;
+
+    fn ds(n: usize) -> Dataset {
+        let examples = (0..n)
+            .map(|i| LabeledExample {
+                features: SparseVector::from_pairs(vec![(0, i as f64)]),
+                label: (i % 2) as f64,
+            })
+            .collect();
+        Dataset::new(examples, 1)
+    }
+
+    #[test]
+    fn split_sizes_add_up() {
+        let (train, test) = train_test_split(&ds(100), 0.25, 1).unwrap();
+        assert_eq!(test.len(), 25);
+        assert_eq!(train.len(), 75);
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let (a, _) = train_test_split(&ds(50), 0.2, 9).unwrap();
+        let (b, _) = train_test_split(&ds(50), 0.2, 9).unwrap();
+        assert_eq!(a, b);
+        let (c, _) = train_test_split(&ds(50), 0.2, 10).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn split_rejects_bad_fraction() {
+        assert!(train_test_split(&ds(10), 0.0, 1).is_err());
+        assert!(train_test_split(&ds(10), 1.0, 1).is_err());
+        assert!(train_test_split(&ds(10), -0.5, 1).is_err());
+    }
+
+    #[test]
+    fn folds_partition_the_data() {
+        let folds = k_folds(&ds(20), 4, 3).unwrap();
+        assert_eq!(folds.len(), 4);
+        let total_test: usize = folds.iter().map(|(_, test)| test.len()).sum();
+        assert_eq!(total_test, 20);
+        for (train, test) in &folds {
+            assert_eq!(train.len() + test.len(), 20);
+        }
+    }
+
+    #[test]
+    fn folds_reject_bad_k() {
+        assert!(k_folds(&ds(10), 1, 0).is_err());
+        assert!(k_folds(&ds(3), 5, 0).is_err());
+    }
+}

@@ -1,0 +1,121 @@
+//! Labeled datasets for training and evaluation.
+
+use crate::vector::SparseVector;
+use crate::{MlError, Result};
+
+/// One training or evaluation example.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledExample {
+    /// Sparse feature vector.
+    pub features: SparseVector,
+    /// Label: 0/1 for binary classification, a real value for regression,
+    /// a class index (as `f64`) for multi-class.
+    pub label: f64,
+}
+
+/// A set of labeled examples with a fixed feature dimensionality.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Dataset {
+    examples: Vec<LabeledExample>,
+    dim: u32,
+}
+
+impl Dataset {
+    /// Builds a dataset; `dim` is the max of the declared dimensionality
+    /// and what the examples actually use.
+    pub fn new(examples: Vec<LabeledExample>, dim: u32) -> Self {
+        let used = examples.iter().map(|ex| ex.features.width()).max().unwrap_or(0);
+        Dataset { examples, dim: dim.max(used) }
+    }
+
+    /// The examples.
+    pub fn examples(&self) -> &[LabeledExample] {
+        &self.examples
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.examples.len()
+    }
+
+    /// Whether there are no examples.
+    pub fn is_empty(&self) -> bool {
+        self.examples.is_empty()
+    }
+
+    /// Fails when the dataset cannot be trained on.
+    pub fn check_trainable(&self) -> Result<()> {
+        if self.examples.is_empty() {
+            return Err(MlError::InvalidInput("empty dataset".into()));
+        }
+        Ok(())
+    }
+
+    /// Fraction of examples with label `1.0` (binary-classification prior).
+    pub fn positive_rate(&self) -> f64 {
+        if self.examples.is_empty() {
+            return 0.0;
+        }
+        let positives = self.examples.iter().filter(|ex| ex.label == 1.0).count();
+        positives as f64 / self.examples.len() as f64
+    }
+
+    /// Splits into `(first, second)` at `index`.
+    pub fn split_at(&self, index: usize) -> (Dataset, Dataset) {
+        let index = index.min(self.examples.len());
+        let (a, b) = self.examples.split_at(index);
+        (Dataset::new(a.to_vec(), self.dim), Dataset::new(b.to_vec(), self.dim))
+    }
+
+    /// Returns the subset at the given example indices.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let examples = indices.iter().map(|&i| self.examples[i].clone()).collect();
+        Dataset::new(examples, self.dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ex(idx: u32, label: f64) -> LabeledExample {
+        LabeledExample { features: SparseVector::from_pairs(vec![(idx, 1.0)]), label }
+    }
+
+    #[test]
+    fn dim_expands_to_cover_examples() {
+        let ds = Dataset::new(vec![ex(9, 1.0)], 3);
+        assert_eq!(ds.dim(), 10);
+        let ds = Dataset::new(vec![ex(1, 0.0)], 30);
+        assert_eq!(ds.dim(), 30);
+    }
+
+    #[test]
+    fn positive_rate_counts_ones() {
+        let ds = Dataset::new(vec![ex(0, 1.0), ex(1, 0.0), ex(2, 1.0), ex(3, 0.0)], 4);
+        assert_eq!(ds.positive_rate(), 0.5);
+        assert_eq!(Dataset::default().positive_rate(), 0.0);
+    }
+
+    #[test]
+    fn empty_dataset_not_trainable() {
+        assert!(Dataset::default().check_trainable().is_err());
+        assert!(Dataset::new(vec![ex(0, 1.0)], 1).check_trainable().is_ok());
+    }
+
+    #[test]
+    fn split_and_subset() {
+        let ds = Dataset::new(vec![ex(0, 0.0), ex(1, 1.0), ex(2, 0.0)], 3);
+        let (a, b) = ds.split_at(2);
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 1);
+        let sub = ds.subset(&[2, 0]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.examples()[0], ds.examples()[2]);
+    }
+}

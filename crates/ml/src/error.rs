@@ -1,0 +1,41 @@
+//! Error type for the ML substrate.
+
+use std::fmt;
+
+/// Errors raised by learners, feature spaces, and codecs.
+#[derive(Debug)]
+pub enum MlError {
+    /// Training or prediction input was structurally invalid.
+    InvalidInput(String),
+    /// A frozen feature space was asked to intern a new feature.
+    FrozenFeatureSpace(String),
+    /// Malformed bytes while decoding a model.
+    Codec(String),
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
+            MlError::FrozenFeatureSpace(name) => {
+                write!(f, "feature space is frozen; cannot intern `{name}`")
+            }
+            MlError::Codec(msg) => write!(f, "model codec error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(MlError::InvalidInput("empty dataset".into())
+            .to_string()
+            .contains("empty dataset"));
+        assert!(MlError::FrozenFeatureSpace("age".into()).to_string().contains("age"));
+    }
+}

@@ -1,0 +1,118 @@
+//! Linear regression (ridge) trained with SGD.
+//!
+//! Included because the paper positions Census-style workflows as
+//! "covariate analysis" for social/natural sciences (§3); regression over
+//! the same feature pipeline is the natural second learner and exercises
+//! the DSL's `modelType` knob.
+
+use crate::dataset::Dataset;
+use crate::vector::SparseVector;
+use crate::Result;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Hyperparameters for [`train`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinRegConfig {
+    /// Number of passes over the data.
+    pub epochs: usize,
+    /// Base learning rate (decayed per epoch).
+    pub learning_rate: f64,
+    /// L2 (ridge) strength.
+    pub reg_param: f64,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for LinRegConfig {
+    fn default() -> Self {
+        LinRegConfig { epochs: 15, learning_rate: 0.1, reg_param: 0.01, seed: 42 }
+    }
+}
+
+/// A trained linear-regression model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinRegModel {
+    /// Per-feature weights.
+    pub weights: Vec<f64>,
+    /// Intercept.
+    pub bias: f64,
+    /// Training config (provenance).
+    pub config: LinRegConfig,
+}
+
+impl LinRegModel {
+    /// Predicted value.
+    pub fn predict(&self, features: &SparseVector) -> f64 {
+        features.dot(&self.weights) + self.bias
+    }
+}
+
+/// Trains a ridge-regression model.
+///
+/// # Errors
+/// [`crate::MlError::InvalidInput`] if the dataset is empty.
+pub fn train(dataset: &Dataset, config: &LinRegConfig) -> Result<LinRegModel> {
+    dataset.check_trainable()?;
+    let dim = dataset.dim() as usize;
+    let mut weights = vec![0.0; dim];
+    let mut bias = 0.0;
+    let n = dataset.len() as f64;
+    let mut order: Vec<usize> = (0..dataset.len()).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+
+    for epoch in 0..config.epochs {
+        order.shuffle(&mut rng);
+        let lr = config.learning_rate / (1.0 + epoch as f64);
+        for &idx in &order {
+            let ex = &dataset.examples()[idx];
+            let err = ex.features.dot(&weights) + bias - ex.label;
+            for (i, v) in ex.features.iter() {
+                let w = &mut weights[i as usize];
+                *w -= lr * (err * v + config.reg_param * *w / n);
+            }
+            bias -= lr * err;
+        }
+    }
+    Ok(LinRegModel { weights, bias, config: config.clone() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::LabeledExample;
+
+    /// y = 2*x0 - 3*x1 + 1 with x in {0,1}^2.
+    fn toy() -> Dataset {
+        let mut examples = Vec::new();
+        for (x0, x1) in [(0.0, 0.0), (1.0, 0.0), (0.0, 1.0), (1.0, 1.0)] {
+            for _ in 0..25 {
+                let features =
+                    SparseVector::from_pairs(vec![(0, x0), (1, x1)]);
+                examples.push(LabeledExample { features, label: 2.0 * x0 - 3.0 * x1 + 1.0 });
+            }
+        }
+        Dataset::new(examples, 2)
+    }
+
+    #[test]
+    fn recovers_linear_coefficients() {
+        let model = train(&toy(), &LinRegConfig { epochs: 200, ..Default::default() }).unwrap();
+        assert!((model.weights[0] - 2.0).abs() < 0.1, "w0 = {}", model.weights[0]);
+        assert!((model.weights[1] + 3.0).abs() < 0.1, "w1 = {}", model.weights[1]);
+        assert!((model.bias - 1.0).abs() < 0.1, "b = {}", model.bias);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(
+            train(&toy(), &LinRegConfig::default()).unwrap(),
+            train(&toy(), &LinRegConfig::default()).unwrap()
+        );
+    }
+
+    #[test]
+    fn empty_dataset_rejected() {
+        assert!(train(&Dataset::default(), &LinRegConfig::default()).is_err());
+    }
+}

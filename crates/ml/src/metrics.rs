@@ -1,0 +1,186 @@
+//! Evaluation metrics.
+//!
+//! These back the paper's `Reducer` operators ("checkResults", Fig. 1a
+//! line 18) and the Metrics tab of the versioning UI (§3.1): every
+//! iteration's metric values are recorded against the workflow version that
+//! produced them.
+
+use crate::{MlError, Result};
+
+/// A binary confusion matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Confusion {
+    /// True positives.
+    pub tp: u64,
+    /// False positives.
+    pub fp: u64,
+    /// True negatives.
+    pub tn: u64,
+    /// False negatives.
+    pub fn_: u64,
+}
+
+impl Confusion {
+    /// Tallies predictions against gold labels (both 0/1).
+    ///
+    /// # Errors
+    /// [`MlError::InvalidInput`] if lengths differ.
+    pub fn from_predictions(predictions: &[f64], labels: &[f64]) -> Result<Confusion> {
+        if predictions.len() != labels.len() {
+            return Err(MlError::InvalidInput(format!(
+                "{} predictions vs {} labels",
+                predictions.len(),
+                labels.len()
+            )));
+        }
+        let mut c = Confusion::default();
+        for (&p, &l) in predictions.iter().zip(labels) {
+            match (p >= 0.5, l >= 0.5) {
+                (true, true) => c.tp += 1,
+                (true, false) => c.fp += 1,
+                (false, false) => c.tn += 1,
+                (false, true) => c.fn_ += 1,
+            }
+        }
+        Ok(c)
+    }
+
+    /// Fraction correct.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.tp + self.fp + self.tn + self.fn_;
+        if total == 0 {
+            return 0.0;
+        }
+        (self.tp + self.tn) as f64 / total as f64
+    }
+
+    /// Precision of the positive class (1.0 when nothing was predicted
+    /// positive, by convention).
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            return 1.0;
+        }
+        self.tp as f64 / denom as f64
+    }
+
+    /// Recall of the positive class (1.0 when there are no positives).
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            return 1.0;
+        }
+        self.tp as f64 / denom as f64
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        2.0 * p * r / (p + r)
+    }
+}
+
+/// Fraction of exact prediction/label matches.
+pub fn accuracy(predictions: &[f64], labels: &[f64]) -> Result<f64> {
+    Ok(Confusion::from_predictions(predictions, labels)?.accuracy())
+}
+
+/// Mean negative log-likelihood of probabilistic predictions.
+pub fn log_loss(probabilities: &[f64], labels: &[f64]) -> Result<f64> {
+    if probabilities.len() != labels.len() {
+        return Err(MlError::InvalidInput("length mismatch".into()));
+    }
+    if probabilities.is_empty() {
+        return Ok(0.0);
+    }
+    let total: f64 = probabilities
+        .iter()
+        .zip(labels)
+        .map(|(&p, &l)| {
+            let p = p.clamp(1e-12, 1.0 - 1e-12);
+            if l >= 0.5 {
+                -p.ln()
+            } else {
+                -(1.0 - p).ln()
+            }
+        })
+        .sum();
+    Ok(total / probabilities.len() as f64)
+}
+
+/// Root mean squared error for regression.
+pub fn rmse(predictions: &[f64], labels: &[f64]) -> Result<f64> {
+    if predictions.len() != labels.len() {
+        return Err(MlError::InvalidInput("length mismatch".into()));
+    }
+    if predictions.is_empty() {
+        return Ok(0.0);
+    }
+    let mse: f64 = predictions
+        .iter()
+        .zip(labels)
+        .map(|(&p, &l)| (p - l) * (p - l))
+        .sum::<f64>()
+        / predictions.len() as f64;
+    Ok(mse.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_counts_cells() {
+        let c = Confusion::from_predictions(&[1.0, 1.0, 0.0, 0.0], &[1.0, 0.0, 0.0, 1.0]).unwrap();
+        assert_eq!(c, Confusion { tp: 1, fp: 1, tn: 1, fn_: 1 });
+        assert_eq!(c.accuracy(), 0.5);
+        assert_eq!(c.precision(), 0.5);
+        assert_eq!(c.recall(), 0.5);
+        assert_eq!(c.f1(), 0.5);
+    }
+
+    #[test]
+    fn degenerate_cases_use_conventions() {
+        let empty = Confusion::default();
+        assert_eq!(empty.accuracy(), 0.0);
+        assert_eq!(empty.precision(), 1.0);
+        assert_eq!(empty.recall(), 1.0);
+        assert_eq!(empty.f1(), 1.0);
+        let all_negative = Confusion { tn: 5, ..Default::default() };
+        assert_eq!(all_negative.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn length_mismatch_is_an_error() {
+        assert!(Confusion::from_predictions(&[1.0], &[]).is_err());
+        assert!(log_loss(&[0.5], &[]).is_err());
+        assert!(rmse(&[0.5], &[]).is_err());
+    }
+
+    #[test]
+    fn log_loss_prefers_confident_correct() {
+        let good = log_loss(&[0.99, 0.01], &[1.0, 0.0]).unwrap();
+        let bad = log_loss(&[0.6, 0.4], &[1.0, 0.0]).unwrap();
+        assert!(good < bad);
+        let extreme = log_loss(&[0.0], &[1.0]).unwrap();
+        assert!(extreme.is_finite());
+    }
+
+    #[test]
+    fn rmse_basic() {
+        assert_eq!(rmse(&[1.0, 2.0], &[1.0, 2.0]).unwrap(), 0.0);
+        assert!((rmse(&[0.0, 0.0], &[3.0, 4.0]).unwrap() - (12.5f64).sqrt()).abs() < 1e-12);
+        assert_eq!(rmse(&[], &[]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn accuracy_shortcut_matches_confusion() {
+        let preds = [1.0, 0.0, 1.0];
+        let labels = [1.0, 1.0, 1.0];
+        assert!((accuracy(&preds, &labels).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,294 @@
+//! Unified model type with a compact binary codec.
+//!
+//! Helix materializes *trained models* exactly like data intermediates
+//! (the `incPred`/`predictions` nodes of Fig. 1b), so every learner's
+//! output must serialize deterministically. The encoding is tag + fixed-
+//! width little-endian payloads.
+
+use crate::linreg::{LinRegConfig, LinRegModel};
+use crate::logreg::{LogRegConfig, LogRegModel};
+use crate::naive_bayes::NaiveBayesModel;
+use crate::perceptron::PerceptronModel;
+use crate::vector::SparseVector;
+use crate::{MlError, Result};
+
+const TAG_LOGREG: u8 = 1;
+const TAG_LINREG: u8 = 2;
+const TAG_NAIVE_BAYES: u8 = 3;
+const TAG_PERCEPTRON: u8 = 4;
+
+/// Any trained model known to the substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Model {
+    /// Binary logistic regression.
+    LogReg(LogRegModel),
+    /// Ridge linear regression.
+    LinReg(LinRegModel),
+    /// Bernoulli naive Bayes.
+    NaiveBayes(NaiveBayesModel),
+    /// Averaged multi-class perceptron.
+    Perceptron(PerceptronModel),
+}
+
+impl Model {
+    /// A short human-readable kind name (for DAG visualization).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Model::LogReg(_) => "logreg",
+            Model::LinReg(_) => "linreg",
+            Model::NaiveBayes(_) => "naive_bayes",
+            Model::Perceptron(_) => "perceptron",
+        }
+    }
+
+    /// Unified prediction: probability for binary models, raw value for
+    /// regression, class index (as f64) for the perceptron.
+    pub fn predict(&self, features: &SparseVector) -> f64 {
+        match self {
+            Model::LogReg(m) => m.predict_proba(features),
+            Model::LinReg(m) => m.predict(features),
+            Model::NaiveBayes(m) => m.predict_proba(features),
+            Model::Perceptron(m) => m.predict(features) as f64,
+        }
+    }
+
+    /// Hard decision: thresholds probabilities at 0.5; passes regression
+    /// and class outputs through.
+    pub fn decide(&self, features: &SparseVector) -> f64 {
+        match self {
+            Model::LogReg(m) => m.predict(features),
+            Model::LinReg(m) => m.predict(features),
+            Model::NaiveBayes(m) => m.predict(features),
+            Model::Perceptron(m) => m.predict(features) as f64,
+        }
+    }
+
+    /// Serializes the model.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Model::LogReg(m) => {
+                buf.push(TAG_LOGREG);
+                write_f64_vec(&mut buf, &m.weights);
+                write_f64(&mut buf, m.bias);
+                write_u64(&mut buf, m.config.epochs as u64);
+                write_f64(&mut buf, m.config.learning_rate);
+                write_f64(&mut buf, m.config.reg_param);
+                write_u64(&mut buf, m.config.seed);
+            }
+            Model::LinReg(m) => {
+                buf.push(TAG_LINREG);
+                write_f64_vec(&mut buf, &m.weights);
+                write_f64(&mut buf, m.bias);
+                write_u64(&mut buf, m.config.epochs as u64);
+                write_f64(&mut buf, m.config.learning_rate);
+                write_f64(&mut buf, m.config.reg_param);
+                write_u64(&mut buf, m.config.seed);
+            }
+            Model::NaiveBayes(m) => {
+                buf.push(TAG_NAIVE_BAYES);
+                for class in 0..2 {
+                    write_f64_vec(&mut buf, &m.log_prob_present[class]);
+                    write_f64_vec(&mut buf, &m.log_prob_absent[class]);
+                }
+                write_f64(&mut buf, m.log_prior[0]);
+                write_f64(&mut buf, m.log_prior[1]);
+            }
+            Model::Perceptron(m) => {
+                buf.push(TAG_PERCEPTRON);
+                write_u64(&mut buf, m.weights.len() as u64);
+                for w in &m.weights {
+                    write_f64_vec(&mut buf, w);
+                }
+                write_f64_vec(&mut buf, &m.bias);
+            }
+        }
+        buf
+    }
+
+    /// Deserializes a model encoded with [`Model::encode`].
+    ///
+    /// # Errors
+    /// [`MlError::Codec`] on malformed input.
+    pub fn decode(bytes: &[u8]) -> Result<Model> {
+        let mut r = Reader { bytes, pos: 0 };
+        let tag = r.u8()?;
+        let model = match tag {
+            TAG_LOGREG => {
+                let weights = r.f64_vec()?;
+                let bias = r.f64()?;
+                let config = LogRegConfig {
+                    epochs: r.u64()? as usize,
+                    learning_rate: r.f64()?,
+                    reg_param: r.f64()?,
+                    seed: r.u64()?,
+                };
+                Model::LogReg(LogRegModel { weights, bias, config })
+            }
+            TAG_LINREG => {
+                let weights = r.f64_vec()?;
+                let bias = r.f64()?;
+                let config = LinRegConfig {
+                    epochs: r.u64()? as usize,
+                    learning_rate: r.f64()?,
+                    reg_param: r.f64()?,
+                    seed: r.u64()?,
+                };
+                Model::LinReg(LinRegModel { weights, bias, config })
+            }
+            TAG_NAIVE_BAYES => {
+                let p0 = r.f64_vec()?;
+                let a0 = r.f64_vec()?;
+                let p1 = r.f64_vec()?;
+                let a1 = r.f64_vec()?;
+                let prior = [r.f64()?, r.f64()?];
+                Model::NaiveBayes(NaiveBayesModel {
+                    log_prob_present: [p0, p1],
+                    log_prob_absent: [a0, a1],
+                    log_prior: prior,
+                })
+            }
+            TAG_PERCEPTRON => {
+                let k = r.u64()? as usize;
+                if k > 1 << 20 {
+                    return Err(MlError::Codec(format!("implausible class count {k}")));
+                }
+                let mut weights = Vec::with_capacity(k);
+                for _ in 0..k {
+                    weights.push(r.f64_vec()?);
+                }
+                let bias = r.f64_vec()?;
+                Model::Perceptron(PerceptronModel { weights, bias })
+            }
+            other => return Err(MlError::Codec(format!("bad model tag {other}"))),
+        };
+        if r.pos != bytes.len() {
+            return Err(MlError::Codec("trailing bytes after model".into()));
+        }
+        Ok(model)
+    }
+}
+
+fn write_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn write_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn write_f64_vec(buf: &mut Vec<u8>, v: &[f64]) {
+    write_u64(buf, v.len() as u64);
+    for &x in v {
+        write_f64(buf, x);
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8]> {
+        if self.pos + n > self.bytes.len() {
+            return Err(MlError::Codec("truncated model".into()));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn f64_vec(&mut self) -> Result<Vec<f64>> {
+        let n = self.u64()? as usize;
+        if n > 1 << 28 {
+            return Err(MlError::Codec(format!("implausible vector length {n}")));
+        }
+        let mut v = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            v.push(self.f64()?);
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{Dataset, LabeledExample};
+    use crate::naive_bayes::NaiveBayesConfig;
+    use crate::perceptron::PerceptronConfig;
+
+    fn toy() -> Dataset {
+        let examples = (0..40)
+            .map(|i| LabeledExample {
+                features: SparseVector::from_pairs(vec![((i % 2) as u32, 1.0)]),
+                label: (i % 2) as f64,
+            })
+            .collect();
+        Dataset::new(examples, 2)
+    }
+
+    #[test]
+    fn all_model_kinds_round_trip() {
+        let models = vec![
+            Model::LogReg(crate::logreg::train(&toy(), &LogRegConfig::default()).unwrap()),
+            Model::LinReg(crate::linreg::train(&toy(), &LinRegConfig::default()).unwrap()),
+            Model::NaiveBayes(
+                crate::naive_bayes::train(&toy(), &NaiveBayesConfig::default()).unwrap(),
+            ),
+            Model::Perceptron(
+                crate::perceptron::train(&toy(), &PerceptronConfig::default()).unwrap(),
+            ),
+        ];
+        for model in models {
+            let bytes = model.encode();
+            let back = Model::decode(&bytes).unwrap();
+            assert_eq!(back, model, "round trip failed for {}", model.kind());
+        }
+    }
+
+    #[test]
+    fn decoded_model_predicts_identically() {
+        let model = Model::LogReg(crate::logreg::train(&toy(), &LogRegConfig::default()).unwrap());
+        let back = Model::decode(&model.encode()).unwrap();
+        let v = SparseVector::from_pairs(vec![(1, 1.0)]);
+        assert_eq!(model.predict(&v), back.predict(&v));
+        assert_eq!(model.decide(&v), back.decide(&v));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Model::decode(&[]).is_err());
+        assert!(Model::decode(&[99, 0, 0]).is_err());
+        let mut bytes = Model::LogReg(
+            crate::logreg::train(&toy(), &LogRegConfig::default()).unwrap(),
+        )
+        .encode();
+        bytes.push(0);
+        assert!(Model::decode(&bytes).is_err());
+        bytes.pop();
+        bytes.pop();
+        assert!(Model::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        let m = Model::NaiveBayes(
+            crate::naive_bayes::train(&toy(), &NaiveBayesConfig::default()).unwrap(),
+        );
+        assert_eq!(m.kind(), "naive_bayes");
+    }
+}

@@ -1,0 +1,170 @@
+//! Bernoulli naive Bayes for binary features.
+//!
+//! A cheap, closed-form learner: useful both as an alternative `modelType`
+//! in the DSL and in tests, because training cost is a single counting pass
+//! (so ML-iteration runtimes in benches are dominated by the workflow, not
+//! the optimizer).
+
+use crate::dataset::Dataset;
+use crate::vector::SparseVector;
+use crate::{MlError, Result};
+
+/// Smoothing and dimensionality settings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NaiveBayesConfig {
+    /// Laplace smoothing constant.
+    pub alpha: f64,
+}
+
+impl Default for NaiveBayesConfig {
+    fn default() -> Self {
+        NaiveBayesConfig { alpha: 1.0 }
+    }
+}
+
+/// A trained Bernoulli naive-Bayes model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NaiveBayesModel {
+    /// log P(feature present | class), per class (0 and 1), per feature.
+    pub log_prob_present: [Vec<f64>; 2],
+    /// log P(feature absent | class).
+    pub log_prob_absent: [Vec<f64>; 2],
+    /// log class priors.
+    pub log_prior: [f64; 2],
+}
+
+impl NaiveBayesModel {
+    /// P(label = 1 | features), treating any non-zero value as "present".
+    pub fn predict_proba(&self, features: &SparseVector) -> f64 {
+        let mut scores = [self.log_prior[0], self.log_prior[1]];
+        for class in 0..2 {
+            // Start from the all-absent baseline, then correct per present
+            // feature: O(nnz) instead of O(dim).
+            let baseline: f64 = self.log_prob_absent[class].iter().sum();
+            scores[class] += baseline;
+            for (i, v) in features.iter() {
+                if v != 0.0 {
+                    if let (Some(p), Some(a)) = (
+                        self.log_prob_present[class].get(i as usize),
+                        self.log_prob_absent[class].get(i as usize),
+                    ) {
+                        scores[class] += p - a;
+                    }
+                }
+            }
+        }
+        let max = scores[0].max(scores[1]);
+        let e0 = (scores[0] - max).exp();
+        let e1 = (scores[1] - max).exp();
+        e1 / (e0 + e1)
+    }
+
+    /// Hard 0/1 prediction.
+    pub fn predict(&self, features: &SparseVector) -> f64 {
+        if self.predict_proba(features) >= 0.5 {
+            1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Trains on labels in {0, 1}.
+///
+/// # Errors
+/// [`MlError::InvalidInput`] if the dataset is empty or a label is not 0/1.
+pub fn train(dataset: &Dataset, config: &NaiveBayesConfig) -> Result<NaiveBayesModel> {
+    dataset.check_trainable()?;
+    let dim = dataset.dim() as usize;
+    let mut present = [vec![0.0f64; dim], vec![0.0f64; dim]];
+    let mut counts = [0usize; 2];
+    for ex in dataset.examples() {
+        let class = match ex.label {
+            l if l == 0.0 => 0,
+            l if l == 1.0 => 1,
+            other => {
+                return Err(MlError::InvalidInput(format!(
+                    "naive Bayes requires 0/1 labels, got {other}"
+                )))
+            }
+        };
+        counts[class] += 1;
+        for (i, v) in ex.features.iter() {
+            if v != 0.0 {
+                present[class][i as usize] += 1.0;
+            }
+        }
+    }
+    let total = dataset.len() as f64;
+    let alpha = config.alpha;
+    let mut log_prob_present = [vec![0.0; dim], vec![0.0; dim]];
+    let mut log_prob_absent = [vec![0.0; dim], vec![0.0; dim]];
+    for class in 0..2 {
+        let denom = counts[class] as f64 + 2.0 * alpha;
+        for feature in 0..dim {
+            let p = (present[class][feature] + alpha) / denom;
+            log_prob_present[class][feature] = p.ln();
+            log_prob_absent[class][feature] = (1.0 - p).ln();
+        }
+    }
+    // Smooth priors too so a single-class dataset still predicts sanely.
+    let log_prior = [
+        ((counts[0] as f64 + alpha) / (total + 2.0 * alpha)).ln(),
+        ((counts[1] as f64 + alpha) / (total + 2.0 * alpha)).ln(),
+    ];
+    Ok(NaiveBayesModel { log_prob_present, log_prob_absent, log_prior })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::LabeledExample;
+
+    fn toy() -> Dataset {
+        let mut examples = Vec::new();
+        for i in 0..200 {
+            let positive = i % 2 == 0;
+            let features = if positive {
+                SparseVector::from_pairs(vec![(0, 1.0)])
+            } else {
+                SparseVector::from_pairs(vec![(1, 1.0)])
+            };
+            examples.push(LabeledExample { features, label: if positive { 1.0 } else { 0.0 } });
+        }
+        Dataset::new(examples, 2)
+    }
+
+    #[test]
+    fn separable_data_classified_correctly() {
+        let model = train(&toy(), &NaiveBayesConfig::default()).unwrap();
+        assert_eq!(model.predict(&SparseVector::from_pairs(vec![(0, 1.0)])), 1.0);
+        assert_eq!(model.predict(&SparseVector::from_pairs(vec![(1, 1.0)])), 0.0);
+    }
+
+    #[test]
+    fn rejects_non_binary_labels() {
+        let ds = Dataset::new(
+            vec![LabeledExample { features: SparseVector::empty(), label: 2.0 }],
+            1,
+        );
+        assert!(train(&ds, &NaiveBayesConfig::default()).is_err());
+    }
+
+    #[test]
+    fn single_class_dataset_does_not_panic() {
+        let ds = Dataset::new(
+            vec![LabeledExample { features: SparseVector::from_pairs(vec![(0, 1.0)]), label: 1.0 }],
+            1,
+        );
+        let model = train(&ds, &NaiveBayesConfig::default()).unwrap();
+        let p = model.predict_proba(&SparseVector::from_pairs(vec![(0, 1.0)]));
+        assert!(p > 0.5 && p.is_finite());
+    }
+
+    #[test]
+    fn out_of_range_features_ignored() {
+        let model = train(&toy(), &NaiveBayesConfig::default()).unwrap();
+        let p = model.predict_proba(&SparseVector::from_pairs(vec![(500, 1.0)]));
+        assert!(p.is_finite());
+    }
+}

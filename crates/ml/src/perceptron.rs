@@ -1,0 +1,184 @@
+//! Averaged perceptron for multi-class classification.
+//!
+//! Used by the information-extraction application as a structured-
+//! prediction-flavoured alternative: candidate mentions are classified with
+//! token-context features, the standard reduction DeepDive-style systems
+//! use before factor-graph inference.
+
+use crate::dataset::Dataset;
+use crate::vector::SparseVector;
+use crate::{MlError, Result};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Hyperparameters for [`train`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerceptronConfig {
+    /// Number of classes; labels must be integers in `0..num_classes`.
+    pub num_classes: usize,
+    /// Passes over the data.
+    pub epochs: usize,
+    /// Shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for PerceptronConfig {
+    fn default() -> Self {
+        PerceptronConfig { num_classes: 2, epochs: 5, seed: 42 }
+    }
+}
+
+/// A trained averaged-perceptron model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerceptronModel {
+    /// `weights[class]` is the averaged weight vector for that class.
+    pub weights: Vec<Vec<f64>>,
+    /// Per-class bias.
+    pub bias: Vec<f64>,
+}
+
+impl PerceptronModel {
+    /// Highest-scoring class.
+    pub fn predict(&self, features: &SparseVector) -> usize {
+        let mut best = 0;
+        let mut best_score = f64::NEG_INFINITY;
+        for (class, w) in self.weights.iter().enumerate() {
+            let score = features.dot(w) + self.bias[class];
+            if score > best_score {
+                best_score = score;
+                best = class;
+            }
+        }
+        best
+    }
+
+    /// Raw per-class scores.
+    pub fn scores(&self, features: &SparseVector) -> Vec<f64> {
+        self.weights
+            .iter()
+            .zip(&self.bias)
+            .map(|(w, b)| features.dot(w) + b)
+            .collect()
+    }
+}
+
+/// Trains an averaged perceptron. Labels are class indices stored as `f64`.
+///
+/// # Errors
+/// [`MlError::InvalidInput`] for empty data or out-of-range labels.
+pub fn train(dataset: &Dataset, config: &PerceptronConfig) -> Result<PerceptronModel> {
+    dataset.check_trainable()?;
+    if config.num_classes < 2 {
+        return Err(MlError::InvalidInput("perceptron needs ≥ 2 classes".into()));
+    }
+    let dim = dataset.dim() as usize;
+    let k = config.num_classes;
+    let mut w = vec![vec![0.0f64; dim]; k];
+    let mut b = vec![0.0f64; k];
+    // Averaging via the "accumulate at update time" trick: keep running
+    // sums weighted by the step counter.
+    let mut w_sum = vec![vec![0.0f64; dim]; k];
+    let mut b_sum = vec![0.0f64; k];
+    let mut step = 1.0f64;
+    let mut order: Vec<usize> = (0..dataset.len()).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+
+    for _ in 0..config.epochs {
+        order.shuffle(&mut rng);
+        for &idx in &order {
+            let ex = &dataset.examples()[idx];
+            let gold = ex.label as usize;
+            if ex.label.fract() != 0.0 || gold >= k {
+                return Err(MlError::InvalidInput(format!(
+                    "label {} out of range for {k} classes",
+                    ex.label
+                )));
+            }
+            let mut best = 0;
+            let mut best_score = f64::NEG_INFINITY;
+            for class in 0..k {
+                let score = ex.features.dot(&w[class]) + b[class];
+                if score > best_score {
+                    best_score = score;
+                    best = class;
+                }
+            }
+            if best != gold {
+                for (i, v) in ex.features.iter() {
+                    w[gold][i as usize] += v;
+                    w[best][i as usize] -= v;
+                    w_sum[gold][i as usize] += step * v;
+                    w_sum[best][i as usize] -= step * v;
+                }
+                b[gold] += 1.0;
+                b[best] -= 1.0;
+                b_sum[gold] += step;
+                b_sum[best] -= step;
+            }
+            step += 1.0;
+        }
+    }
+
+    // Averaged weights: w_avg = w - w_sum / step.
+    for class in 0..k {
+        for i in 0..dim {
+            w[class][i] -= w_sum[class][i] / step;
+        }
+        b[class] -= b_sum[class] / step;
+    }
+    Ok(PerceptronModel { weights: w, bias: b })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::LabeledExample;
+
+    fn three_class() -> Dataset {
+        let mut examples = Vec::new();
+        for i in 0..300 {
+            let class = i % 3;
+            let features = SparseVector::from_pairs(vec![(class as u32, 1.0), (3, 0.1)]);
+            examples.push(LabeledExample { features, label: class as f64 });
+        }
+        Dataset::new(examples, 4)
+    }
+
+    #[test]
+    fn learns_three_classes() {
+        let config = PerceptronConfig { num_classes: 3, ..Default::default() };
+        let model = train(&three_class(), &config).unwrap();
+        for class in 0..3u32 {
+            let v = SparseVector::from_pairs(vec![(class, 1.0)]);
+            assert_eq!(model.predict(&v), class as usize);
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_labels() {
+        let ds = Dataset::new(
+            vec![LabeledExample { features: SparseVector::empty(), label: 5.0 }],
+            1,
+        );
+        assert!(train(&ds, &PerceptronConfig::default()).is_err());
+    }
+
+    #[test]
+    fn rejects_single_class_config() {
+        let config = PerceptronConfig { num_classes: 1, ..Default::default() };
+        assert!(train(&three_class(), &config).is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let config = PerceptronConfig { num_classes: 3, ..Default::default() };
+        assert_eq!(train(&three_class(), &config).unwrap(), train(&three_class(), &config).unwrap());
+    }
+
+    #[test]
+    fn scores_have_one_entry_per_class() {
+        let config = PerceptronConfig { num_classes: 3, ..Default::default() };
+        let model = train(&three_class(), &config).unwrap();
+        assert_eq!(model.scores(&SparseVector::empty()).len(), 3);
+    }
+}

@@ -1,0 +1,136 @@
+//! Standardization of numeric feature columns.
+//!
+//! One-hot features are left alone by the workflows, but numeric columns
+//! (age, hours-per-week, capital-loss) benefit from zero-mean/unit-variance
+//! scaling before SGD. The scaler is itself a deterministic function of its
+//! input, so it composes with Helix's reuse machinery like any operator.
+
+use crate::dataset::{Dataset, LabeledExample};
+use crate::vector::SparseVector;
+
+/// Per-dimension mean/standard-deviation statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StandardScaler {
+    /// Per-dimension means of stored values.
+    pub mean: Vec<f64>,
+    /// Per-dimension standard deviations (1.0 where degenerate).
+    pub std: Vec<f64>,
+    /// Which dimensions to scale; others pass through untouched.
+    pub scaled_dims: Vec<bool>,
+}
+
+impl StandardScaler {
+    /// Fits statistics over the dataset for the selected dimensions.
+    ///
+    /// Statistics are computed over *stored* (non-zero) entries: for sparse
+    /// one-hot data, scaling zeros would destroy sparsity.
+    pub fn fit(dataset: &Dataset, scale_dims: &[u32]) -> StandardScaler {
+        let dim = dataset.dim() as usize;
+        let mut scaled_dims = vec![false; dim];
+        for &d in scale_dims {
+            if (d as usize) < dim {
+                scaled_dims[d as usize] = true;
+            }
+        }
+        let mut sum = vec![0.0f64; dim];
+        let mut sum_sq = vec![0.0f64; dim];
+        let mut count = vec![0usize; dim];
+        for ex in dataset.examples() {
+            for (i, v) in ex.features.iter() {
+                let i = i as usize;
+                if scaled_dims[i] {
+                    sum[i] += v;
+                    sum_sq[i] += v * v;
+                    count[i] += 1;
+                }
+            }
+        }
+        let mut mean = vec![0.0f64; dim];
+        let mut std = vec![1.0f64; dim];
+        for i in 0..dim {
+            if scaled_dims[i] && count[i] > 1 {
+                mean[i] = sum[i] / count[i] as f64;
+                let var = (sum_sq[i] / count[i] as f64 - mean[i] * mean[i]).max(0.0);
+                std[i] = if var > 1e-24 { var.sqrt() } else { 1.0 };
+            }
+        }
+        StandardScaler { mean, std, scaled_dims }
+    }
+
+    /// Applies the transform to one vector.
+    pub fn transform(&self, features: &SparseVector) -> SparseVector {
+        let pairs = features
+            .iter()
+            .map(|(i, v)| {
+                let idx = i as usize;
+                if idx < self.scaled_dims.len() && self.scaled_dims[idx] {
+                    (i, (v - self.mean[idx]) / self.std[idx])
+                } else {
+                    (i, v)
+                }
+            })
+            .collect();
+        SparseVector::from_pairs(pairs)
+    }
+
+    /// Applies the transform to a whole dataset.
+    pub fn transform_dataset(&self, dataset: &Dataset) -> Dataset {
+        let examples = dataset
+            .examples()
+            .iter()
+            .map(|ex| LabeledExample {
+                features: self.transform(&ex.features),
+                label: ex.label,
+            })
+            .collect();
+        Dataset::new(examples, dataset.dim())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds() -> Dataset {
+        let examples = (0..10)
+            .map(|i| LabeledExample {
+                features: SparseVector::from_pairs(vec![(0, i as f64), (1, 1.0)]),
+                label: 0.0,
+            })
+            .collect();
+        Dataset::new(examples, 2)
+    }
+
+    #[test]
+    fn scaled_dimension_has_zero_mean_unit_variance() {
+        let scaler = StandardScaler::fit(&ds(), &[0]);
+        let out = scaler.transform_dataset(&ds());
+        let values: Vec<f64> = out.examples().iter().map(|ex| ex.features.get(0)).collect();
+        let mean: f64 = values.iter().sum::<f64>() / values.len() as f64;
+        let var: f64 = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+            / values.len() as f64;
+        assert!(mean.abs() < 1e-9);
+        assert!((var - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unscaled_dimension_passes_through() {
+        let scaler = StandardScaler::fit(&ds(), &[0]);
+        let out = scaler.transform_dataset(&ds());
+        assert!(out.examples().iter().all(|ex| ex.features.get(1) == 1.0));
+    }
+
+    #[test]
+    fn constant_column_does_not_divide_by_zero() {
+        let scaler = StandardScaler::fit(&ds(), &[1]);
+        let out = scaler.transform(&SparseVector::from_pairs(vec![(1, 1.0)]));
+        assert!(out.get(1).is_finite());
+    }
+
+    #[test]
+    fn out_of_range_dims_ignored() {
+        let scaler = StandardScaler::fit(&ds(), &[99]);
+        let v = SparseVector::from_pairs(vec![(0, 5.0)]);
+        assert_eq!(scaler.transform(&v), v);
+    }
+}

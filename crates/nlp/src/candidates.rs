@@ -1,0 +1,128 @@
+//! Person-mention candidate extraction.
+
+use crate::tokenize::Token;
+
+/// A candidate mention: a maximal run of capitalized alphabetic tokens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Candidate {
+    /// Index of the first token of the run.
+    pub token_start: usize,
+    /// One past the last token of the run.
+    pub token_end: usize,
+    /// Byte span start in the source text.
+    pub start: usize,
+    /// Byte span end in the source text.
+    pub end: usize,
+    /// The candidate surface text (tokens joined by single spaces).
+    pub text: String,
+}
+
+impl Candidate {
+    /// Number of tokens in the candidate.
+    pub fn num_tokens(&self) -> usize {
+        self.token_end - self.token_start
+    }
+}
+
+/// Extracts maximal runs of capitalized alphabetic tokens as candidates.
+///
+/// Runs are capped at `max_len` tokens (longer runs are split greedily),
+/// and single-token runs are kept — "Cher" is a valid person mention.
+/// Sentence-initial tokens are included; disambiguation is the learner's
+/// job, with features from [`crate::features`].
+pub fn extract_candidates(tokens: &[Token], max_len: usize) -> Vec<Candidate> {
+    let max_len = max_len.max(1);
+    let mut candidates = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_capitalized() && tokens[i].is_alphabetic() {
+            let mut j = i;
+            while j < tokens.len()
+                && j - i < max_len
+                && tokens[j].is_capitalized()
+                && tokens[j].is_alphabetic()
+            {
+                j += 1;
+            }
+            let text = tokens[i..j]
+                .iter()
+                .map(|t| t.text.as_str())
+                .collect::<Vec<_>>()
+                .join(" ");
+            candidates.push(Candidate {
+                token_start: i,
+                token_end: j,
+                start: tokens[i].start,
+                end: tokens[j - 1].end,
+                text,
+            });
+            i = j;
+        } else {
+            i += 1;
+        }
+    }
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenize::tokenize;
+
+    #[test]
+    fn finds_capitalized_runs() {
+        let toks = tokenize("Yesterday, John Smith met Mary in Paris.");
+        let cands = extract_candidates(&toks, 4);
+        let texts: Vec<&str> = cands.iter().map(|c| c.text.as_str()).collect();
+        assert_eq!(texts, vec!["Yesterday", "John Smith", "Mary", "Paris"]);
+    }
+
+    #[test]
+    fn adjacent_capitalized_tokens_form_maximal_runs() {
+        let toks = tokenize("Call John Smith today.");
+        let cands = extract_candidates(&toks, 4);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].text, "Call John Smith");
+    }
+
+    #[test]
+    fn punctuation_breaks_runs() {
+        let toks = tokenize("Smith, Jones and Lee");
+        let cands = extract_candidates(&toks, 4);
+        let texts: Vec<&str> = cands.iter().map(|c| c.text.as_str()).collect();
+        assert_eq!(texts, vec!["Smith", "Jones", "Lee"]);
+    }
+
+    #[test]
+    fn long_runs_split_at_max_len() {
+        let toks = tokenize("Alpha Beta Gamma Delta");
+        let cands = extract_candidates(&toks, 2);
+        assert_eq!(cands.len(), 2);
+        assert_eq!(cands[0].text, "Alpha Beta");
+        assert_eq!(cands[1].text, "Gamma Delta");
+    }
+
+    #[test]
+    fn byte_spans_cover_surface_text() {
+        let text = "call John Smith today.";
+        let toks = tokenize(text);
+        let cands = extract_candidates(&toks, 4);
+        let smith = cands.iter().find(|c| c.text == "John Smith").unwrap();
+        assert_eq!(&text[smith.start..smith.end], "John Smith");
+        assert_eq!(smith.num_tokens(), 2);
+    }
+
+    #[test]
+    fn no_candidates_in_lowercase_text() {
+        let toks = tokenize("all lower case words here");
+        assert!(extract_candidates(&toks, 4).is_empty());
+    }
+
+    #[test]
+    fn numbers_are_not_candidates() {
+        let toks = tokenize("Room 42 is open");
+        let cands = extract_candidates(&toks, 4);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].text, "Room");
+    }
+}

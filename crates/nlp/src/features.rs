@@ -1,0 +1,220 @@
+//! Contextual features for candidate mentions.
+//!
+//! Each feature is a `(name, value)` pair; `helix-ml`'s `FeatureSpace`
+//! interns the names downstream. Feature *groups* can be toggled
+//! independently — that is precisely the knob Helix's data-pre-processing
+//! iterations turn (paper Fig. 2: purple iterations add/remove feature
+//! extractors).
+
+use crate::candidates::Candidate;
+use crate::gazetteer::Gazetteer;
+use crate::tokenize::Token;
+
+/// Titles that strongly signal a following person name.
+const PERSON_TITLES: &[&str] =
+    &["mr", "mrs", "ms", "dr", "prof", "sen", "rep", "gov", "gen", "col", "president", "judge"];
+
+/// Which feature groups to emit. Mirrors the `has_extractors(...)` list in
+/// the paper's DSL: flipping a flag is an iterative workflow change.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeatureConfig {
+    /// Lexical identity of the candidate tokens.
+    pub lexical: bool,
+    /// Previous/next context words.
+    pub context: bool,
+    /// Word-shape features.
+    pub shape: bool,
+    /// Gazetteer membership/coverage.
+    pub gazetteer: bool,
+    /// Honorific-title cue from the preceding token.
+    pub title_cue: bool,
+    /// Candidate length bucket.
+    pub length: bool,
+}
+
+impl Default for FeatureConfig {
+    fn default() -> Self {
+        FeatureConfig {
+            lexical: true,
+            context: true,
+            shape: true,
+            gazetteer: true,
+            title_cue: true,
+            length: true,
+        }
+    }
+}
+
+/// Emits `(feature-name, value)` pairs for one candidate in its sentence.
+pub fn candidate_features(
+    candidate: &Candidate,
+    tokens: &[Token],
+    first_names: &Gazetteer,
+    last_names: &Gazetteer,
+    config: &FeatureConfig,
+) -> Vec<(String, f64)> {
+    let mut feats = Vec::with_capacity(16);
+    feats.push(("bias".to_string(), 1.0));
+
+    if config.lexical {
+        for i in candidate.token_start..candidate.token_end {
+            feats.push((format!("tok={}", tokens[i].text.to_lowercase()), 1.0));
+        }
+    }
+    if config.context {
+        if candidate.token_start > 0 {
+            feats.push((
+                format!("prev={}", tokens[candidate.token_start - 1].text.to_lowercase()),
+                1.0,
+            ));
+        } else {
+            feats.push(("prev=<BOS>".to_string(), 1.0));
+        }
+        if candidate.token_end < tokens.len() {
+            feats.push((
+                format!("next={}", tokens[candidate.token_end].text.to_lowercase()),
+                1.0,
+            ));
+        } else {
+            feats.push(("next=<EOS>".to_string(), 1.0));
+        }
+    }
+    if config.shape {
+        let shape = tokens[candidate.token_start..candidate.token_end]
+            .iter()
+            .map(|t| t.shape())
+            .collect::<Vec<_>>()
+            .join("_");
+        feats.push((format!("shape={shape}"), 1.0));
+        if candidate.token_start == 0 {
+            feats.push(("sent_initial".to_string(), 1.0));
+        }
+    }
+    if config.gazetteer {
+        let words: Vec<&str> = candidate.text.split_whitespace().collect();
+        if let Some(first) = words.first() {
+            if first_names.contains(first) {
+                feats.push(("first_in_gaz".to_string(), 1.0));
+            }
+        }
+        if let Some(last) = words.last() {
+            if words.len() > 1 && last_names.contains(last) {
+                feats.push(("last_in_gaz".to_string(), 1.0));
+            }
+        }
+        let coverage = first_names.coverage(&candidate.text).max(last_names.coverage(&candidate.text));
+        if coverage > 0.0 {
+            feats.push(("gaz_coverage".to_string(), coverage));
+        }
+    }
+    if config.title_cue && candidate.token_start > 0 {
+        // Titles tokenize as ["Dr", ".", "Smith"]: skip a period token so
+        // the cue still fires.
+        let mut k = candidate.token_start;
+        if k >= 2 && tokens[k - 1].text == "." {
+            k -= 1;
+        }
+        let prev = tokens[k - 1].text.to_lowercase();
+        if PERSON_TITLES.contains(&prev.as_str()) {
+            feats.push(("after_title".to_string(), 1.0));
+        }
+    }
+    if config.length {
+        feats.push((format!("len={}", candidate.num_tokens().min(4)), 1.0));
+    }
+    feats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::extract_candidates;
+    use crate::tokenize::tokenize;
+
+    fn setup(text: &str) -> (Vec<Token>, Vec<Candidate>) {
+        let toks = tokenize(text);
+        let cands = extract_candidates(&toks, 4);
+        (toks, cands)
+    }
+
+    fn names(feats: &[(String, f64)]) -> Vec<&str> {
+        feats.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    #[test]
+    fn full_config_emits_all_groups() {
+        let (toks, cands) = setup("Today Dr. John Smith spoke.");
+        let first = Gazetteer::from_names(["john"]);
+        let last = Gazetteer::from_names(["smith"]);
+        let cand = cands.iter().find(|c| c.text == "John Smith").unwrap();
+        let feats = candidate_features(cand, &toks, &first, &last, &FeatureConfig::default());
+        let names = names(&feats);
+        assert!(names.contains(&"tok=john"));
+        assert!(names.contains(&"prev=."));
+        assert!(names.contains(&"first_in_gaz"));
+        assert!(names.contains(&"last_in_gaz"));
+        assert!(names.contains(&"len=2"));
+        assert!(names.contains(&"shape=Xx_Xx"));
+    }
+
+    #[test]
+    fn title_cue_fires_after_honorific() {
+        let (toks, cands) = setup("He saw Dr. Smith yesterday.");
+        let first = Gazetteer::default();
+        let last = Gazetteer::default();
+        let cand = cands.iter().find(|c| c.text == "Smith").unwrap();
+        let feats = candidate_features(cand, &toks, &first, &last, &FeatureConfig::default());
+        assert!(names(&feats).contains(&"after_title"));
+    }
+
+    #[test]
+    fn disabled_groups_are_absent() {
+        let (toks, cands) = setup("Alice went home.");
+        let config = FeatureConfig {
+            lexical: false,
+            context: false,
+            shape: false,
+            gazetteer: false,
+            title_cue: false,
+            length: false,
+        };
+        let feats = candidate_features(
+            &cands[0],
+            &toks,
+            &Gazetteer::default(),
+            &Gazetteer::default(),
+            &config,
+        );
+        assert_eq!(names(&feats), vec!["bias"]);
+    }
+
+    #[test]
+    fn sentence_boundaries_use_markers() {
+        let (toks, cands) = setup("Alice");
+        let feats = candidate_features(
+            &cands[0],
+            &toks,
+            &Gazetteer::default(),
+            &Gazetteer::default(),
+            &FeatureConfig::default(),
+        );
+        let n = names(&feats);
+        assert!(n.contains(&"prev=<BOS>"));
+        assert!(n.contains(&"next=<EOS>"));
+        assert!(n.contains(&"sent_initial"));
+    }
+
+    #[test]
+    fn single_token_candidate_skips_last_name_feature() {
+        let (toks, cands) = setup("Smith spoke.");
+        let last = Gazetteer::from_names(["smith"]);
+        let feats = candidate_features(
+            &cands[0],
+            &toks,
+            &Gazetteer::default(),
+            &last,
+            &FeatureConfig::default(),
+        );
+        assert!(!names(&feats).contains(&"last_in_gaz"));
+    }
+}

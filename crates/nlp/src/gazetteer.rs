@@ -1,0 +1,79 @@
+//! Name dictionaries (gazetteers) for entity candidate scoring.
+
+use helix_dataflow::fx::FxHashSet;
+
+/// A case-normalized dictionary of known names.
+///
+/// IE workflows typically carry separate gazetteers for first names, last
+/// names, and full names; membership flags become learner features.
+#[derive(Debug, Clone, Default)]
+pub struct Gazetteer {
+    entries: FxHashSet<String>,
+}
+
+impl Gazetteer {
+    /// Builds from any iterator of names (case-insensitive).
+    pub fn from_names<I, S>(names: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let entries = names.into_iter().map(|n| n.as_ref().to_lowercase()).collect();
+        Gazetteer { entries }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the gazetteer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Case-insensitive membership test.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.contains(&name.to_lowercase())
+    }
+
+    /// Fraction of whitespace-separated words of `phrase` found in the
+    /// gazetteer — a soft membership signal for multi-token candidates.
+    pub fn coverage(&self, phrase: &str) -> f64 {
+        let words: Vec<&str> = phrase.split_whitespace().collect();
+        if words.is_empty() {
+            return 0.0;
+        }
+        let hits = words.iter().filter(|w| self.contains(w)).count();
+        hits as f64 / words.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn membership_is_case_insensitive() {
+        let g = Gazetteer::from_names(["Alice", "BOB"]);
+        assert!(g.contains("alice"));
+        assert!(g.contains("Bob"));
+        assert!(!g.contains("carol"));
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn coverage_counts_fraction() {
+        let g = Gazetteer::from_names(["john", "smith"]);
+        assert_eq!(g.coverage("John Smith"), 1.0);
+        assert_eq!(g.coverage("John Deere"), 0.5);
+        assert_eq!(g.coverage(""), 0.0);
+    }
+
+    #[test]
+    fn empty_gazetteer() {
+        let g = Gazetteer::default();
+        assert!(g.is_empty());
+        assert!(!g.contains("anything"));
+    }
+}

@@ -1,0 +1,23 @@
+//! Text-processing substrate for Helix's information-extraction task.
+//!
+//! The paper's second demo application "identifies person mentions from
+//! news articles" (§3) — the canonical DeepDive workload. That pipeline
+//! needs sentence splitting, tokenization, candidate extraction
+//! (capitalized token runs), gazetteer lookups, and contextual features.
+//! The paper used Stanford CoreNLP-class tooling on the JVM; this crate is
+//! the deliberately compact Rust equivalent that exercises the same
+//! workflow structure: several expensive pre-processing operators feeding a
+//! learner.
+
+#![warn(missing_docs)]
+
+pub mod candidates;
+pub mod features;
+pub mod gazetteer;
+pub mod sentence;
+pub mod tokenize;
+
+pub use candidates::{extract_candidates, Candidate};
+pub use gazetteer::Gazetteer;
+pub use sentence::split_sentences;
+pub use tokenize::{tokenize, Token};

@@ -1,0 +1,109 @@
+//! Rule-based sentence splitting.
+
+/// Common abbreviations that end with a period but do not end a sentence.
+const ABBREVIATIONS: &[&str] = &[
+    "Mr.", "Mrs.", "Ms.", "Dr.", "Prof.", "Sen.", "Rep.", "Gov.", "St.", "Jr.", "Sr.", "Inc.",
+    "Corp.", "Co.", "Ltd.", "U.S.", "U.K.", "a.m.", "p.m.", "etc.", "vs.", "Gen.", "Col.",
+];
+
+/// Splits text into sentences on `.`, `!`, `?` followed by whitespace and
+/// an uppercase letter, with an abbreviation blocklist.
+///
+/// Returns `(start, end)` byte spans plus the sentence text; spans cover
+/// the trimmed sentence so they index into the original document.
+pub fn split_sentences(text: &str) -> Vec<(usize, usize, String)> {
+    let bytes: Vec<(usize, char)> = text.char_indices().collect();
+    let mut sentences = Vec::new();
+    let mut start = 0usize;
+
+    let mut i = 0;
+    while i < bytes.len() {
+        let (offset, c) = bytes[i];
+        if c == '.' || c == '!' || c == '?' {
+            // Lookahead: whitespace then uppercase (or end of text).
+            let mut j = i + 1;
+            while j < bytes.len() && bytes[j].1.is_whitespace() {
+                j += 1;
+            }
+            let next_is_upper = j < bytes.len() && bytes[j].1.is_uppercase();
+            let at_end = j >= bytes.len();
+            let boundary_ok = at_end || (j > i + 1 && next_is_upper);
+            let is_abbrev = c == '.' && ends_with_abbreviation(text, offset);
+            if boundary_ok && !is_abbrev {
+                let end = offset + c.len_utf8();
+                push_trimmed(text, start, end, &mut sentences);
+                start = if j < bytes.len() { bytes[j].0 } else { text.len() };
+                i = j;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    if start < text.len() {
+        push_trimmed(text, start, text.len(), &mut sentences);
+    }
+    sentences
+}
+
+fn push_trimmed(text: &str, start: usize, end: usize, out: &mut Vec<(usize, usize, String)>) {
+    let raw = &text[start..end];
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return;
+    }
+    let lead = raw.len() - raw.trim_start().len();
+    let trail = raw.len() - raw.trim_end().len();
+    out.push((start + lead, end - trail, trimmed.to_string()));
+}
+
+/// Whether the period at `period_offset` terminates a known abbreviation.
+fn ends_with_abbreviation(text: &str, period_offset: usize) -> bool {
+    let upto = &text[..=period_offset];
+    ABBREVIATIONS.iter().any(|abbr| upto.ends_with(abbr))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_simple_sentences() {
+        let s = split_sentences("Ann runs. Bob walks! Who wins? Nobody.");
+        let texts: Vec<&str> = s.iter().map(|(_, _, t)| t.as_str()).collect();
+        assert_eq!(texts, vec!["Ann runs.", "Bob walks!", "Who wins?", "Nobody."]);
+    }
+
+    #[test]
+    fn abbreviations_do_not_split() {
+        let s = split_sentences("Dr. Smith met Mr. Jones. They talked.");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].2, "Dr. Smith met Mr. Jones.");
+    }
+
+    #[test]
+    fn lowercase_continuation_does_not_split() {
+        let s = split_sentences("He arrived at 3 p.m. and left soon after. Done.");
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn spans_index_into_document() {
+        let doc = "  One here. Two there.  ";
+        for (start, end, text) in split_sentences(doc) {
+            assert_eq!(&doc[start..end], text);
+        }
+    }
+
+    #[test]
+    fn unterminated_final_sentence_kept() {
+        let s = split_sentences("First one. Second has no end");
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[1].2, "Second has no end");
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(split_sentences("").is_empty());
+        assert!(split_sentences("   ").is_empty());
+    }
+}

@@ -1,0 +1,356 @@
+//! The Census application (paper §3, Fig. 1a): income classification from
+//! demographic records, plus the synthetic data generator and the Fig. 2(b)
+//! iteration script.
+
+use crate::iterations::{IterationSpec, IterationStage};
+use helix_core::ops::{EvalSpec, ExtractorKind, LearnerSpec, MetricKind, ModelType};
+use helix_core::workflow::Workflow;
+use helix_core::Result;
+use helix_dataflow::DataType;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+const EDUCATIONS: &[&str] = &[
+    "Preschool", "HS-grad", "Some-college", "Assoc-voc", "Bachelors", "Masters", "Doctorate",
+];
+const OCCUPATIONS: &[&str] = &[
+    "Tech-support", "Craft-repair", "Sales", "Exec-managerial", "Prof-specialty",
+    "Handlers-cleaners", "Machine-op-inspct", "Adm-clerical", "Farming-fishing",
+    "Transport-moving", "Protective-serv", "Armed-Forces",
+];
+const MARITAL: &[&str] =
+    &["Never-married", "Married-civ-spouse", "Divorced", "Separated", "Widowed"];
+const RACES: &[&str] = &["White", "Black", "Asian-Pac-Islander", "Amer-Indian-Eskimo", "Other"];
+const SEXES: &[&str] = &["Male", "Female"];
+
+/// Column order of the generated CSV files.
+pub const FIELDS: &[(&str, DataType)] = &[
+    ("age", DataType::Int),
+    ("education", DataType::Str),
+    ("occupation", DataType::Str),
+    ("marital_status", DataType::Str),
+    ("race", DataType::Str),
+    ("sex", DataType::Str),
+    ("capital_loss", DataType::Int),
+    ("hours_per_week", DataType::Int),
+    ("target", DataType::Int),
+];
+
+/// Generator settings.
+#[derive(Debug, Clone)]
+pub struct CensusDataSpec {
+    /// Training rows.
+    pub train_rows: usize,
+    /// Held-out rows.
+    pub test_rows: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Fraction of fields replaced by `?` (missing markers).
+    pub missing_rate: f64,
+}
+
+impl Default for CensusDataSpec {
+    fn default() -> Self {
+        CensusDataSpec { train_rows: 30_000, test_rows: 8_000, seed: 7, missing_rate: 0.01 }
+    }
+}
+
+/// Generates `train.csv` and `test.csv` under `dir` and returns their
+/// paths. The label follows a ground-truth logistic model over education,
+/// age, hours, and marital status, so feature-engineering iterations move
+/// the measured accuracy.
+pub fn generate_census(dir: &Path, spec: &CensusDataSpec) -> Result<(PathBuf, PathBuf)> {
+    std::fs::create_dir_all(dir)?;
+    let train = dir.join("train.csv");
+    let test = dir.join("test.csv");
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    write_split(&train, spec.train_rows, spec, &mut rng)?;
+    write_split(&test, spec.test_rows, spec, &mut rng)?;
+    Ok((train, test))
+}
+
+fn write_split(
+    path: &Path,
+    rows: usize,
+    spec: &CensusDataSpec,
+    rng: &mut StdRng,
+) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut w = std::io::BufWriter::new(file);
+    for _ in 0..rows {
+        let age: i64 = rng.gen_range(17..=90);
+        let edu_idx = rng.gen_range(0..EDUCATIONS.len());
+        let occ_idx = rng.gen_range(0..OCCUPATIONS.len());
+        let ms_idx = rng.gen_range(0..MARITAL.len());
+        let race_idx = rng.gen_range(0..RACES.len());
+        let sex_idx = rng.gen_range(0..SEXES.len());
+        let capital_loss: i64 = if rng.gen_bool(0.1) { rng.gen_range(100..4000) } else { 0 };
+        let hours: i64 = rng.gen_range(10..=80);
+
+        // Ground truth: education and marriage dominate, age and hours
+        // matter, occupation interacts with education (so the eduXocc
+        // iteration helps), race and sex carry no signal.
+        let mut score = -3.2;
+        score += 0.55 * edu_idx as f64;
+        score += if ms_idx == 1 { 1.1 } else { -0.2 };
+        score += 0.035 * (age as f64 - 38.0);
+        score += 0.022 * (hours as f64 - 40.0);
+        score += if edu_idx >= 4 && occ_idx == 3 { 0.9 } else { 0.0 };
+        score += if capital_loss > 1500 { 0.4 } else { 0.0 };
+        let p = 1.0 / (1.0 + (-score).exp());
+        let target = i64::from(rng.gen_bool(p.clamp(0.02, 0.98)));
+
+        let mut fields = vec![
+            age.to_string(),
+            EDUCATIONS[edu_idx].to_string(),
+            OCCUPATIONS[occ_idx].to_string(),
+            MARITAL[ms_idx].to_string(),
+            RACES[race_idx].to_string(),
+            SEXES[sex_idx].to_string(),
+            capital_loss.to_string(),
+            hours.to_string(),
+        ];
+        for field in fields.iter_mut() {
+            if rng.gen_bool(spec.missing_rate) {
+                *field = "?".to_string();
+            }
+        }
+        fields.push(target.to_string());
+        writeln!(w, "{}", fields.join(","))?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Parameters of the Census workflow that iterations mutate. Mirrors the
+/// dials the paper's demo exposes (Fig. 1a's `+`/`-` edits).
+#[derive(Debug, Clone)]
+pub struct CensusParams {
+    /// Path to the training CSV.
+    pub train_path: PathBuf,
+    /// Path to the test CSV.
+    pub test_path: PathBuf,
+    /// `regParam` of the Learner.
+    pub reg_param: f64,
+    /// Learner epochs.
+    pub epochs: usize,
+    /// Learner family.
+    pub model_type: ModelType,
+    /// Age bucketizer bins.
+    pub age_bins: usize,
+    /// Whether `marital_status` is in the extractor list (the paper's `+ms`).
+    pub include_marital_status: bool,
+    /// Whether the `edu × occ` interaction is wired in.
+    pub include_interaction: bool,
+    /// Whether `capital_loss` is wired in.
+    pub include_capital_loss: bool,
+    /// Metrics computed by the `checked` Reducer.
+    pub metrics: Vec<MetricKind>,
+}
+
+impl CensusParams {
+    /// Initial-version parameters for data rooted at `dir`.
+    pub fn initial(dir: &Path) -> Self {
+        CensusParams {
+            train_path: dir.join("train.csv"),
+            test_path: dir.join("test.csv"),
+            reg_param: 0.1,
+            epochs: 4,
+            model_type: ModelType::LogisticRegression,
+            age_bins: 10,
+            include_marital_status: false,
+            include_interaction: false,
+            include_capital_loss: true,
+            metrics: vec![MetricKind::Accuracy],
+        }
+    }
+}
+
+/// Builds the Census workflow of Fig. 1a for the given parameters.
+pub fn census_workflow(params: &CensusParams) -> Result<Workflow> {
+    let mut w = Workflow::new("Census");
+    let data = w.csv_source("data", &params.train_path, Some(&params.test_path))?;
+    let rows = w.csv_scanner("rows", &data, FIELDS)?;
+
+    let age = w.field_extractor("age", &rows, "age", ExtractorKind::Numeric)?;
+    let edu = w.field_extractor("edu", &rows, "education", ExtractorKind::Categorical)?;
+    let occ = w.field_extractor("occ", &rows, "occupation", ExtractorKind::Categorical)?;
+    let cl = w.field_extractor("cl", &rows, "capital_loss", ExtractorKind::Numeric)?;
+    // Declared like the paper's program; sliced out unless wired below.
+    let race = w.field_extractor("race", &rows, "race", ExtractorKind::Categorical)?;
+    let ms = w.field_extractor("ms", &rows, "marital_status", ExtractorKind::Categorical)?;
+    let target = w.field_extractor("target", &rows, "target", ExtractorKind::Numeric)?;
+
+    let age_bucket = w.bucketizer("ageBucket", &age, params.age_bins)?;
+    let edu_x_occ = w.interaction("eduXocc", &[&edu, &occ])?;
+
+    let hours = w.field_extractor("hours", &rows, "hours_per_week", ExtractorKind::Numeric)?;
+    let hours_bucket = w.bucketizer("hoursBucket", &hours, 6)?;
+    let cl_bucket = w.bucketizer("clBucket", &cl, 5)?;
+    let sex = w.field_extractor("sex", &rows, "sex", ExtractorKind::Categorical)?;
+    let mut extractors = vec![&edu, &occ, &age_bucket, &hours_bucket, &sex];
+    if params.include_interaction {
+        extractors.push(&edu_x_occ);
+    }
+    if params.include_capital_loss {
+        extractors.push(&cl_bucket);
+    }
+    if params.include_marital_status {
+        extractors.push(&ms);
+    }
+    let _ = race; // never wired — exercised by the program slicer
+
+    let income = w.assemble("income", &rows, &extractors, &target)?;
+    let predictions = w.learner(
+        "predictions",
+        &income,
+        LearnerSpec {
+            model_type: params.model_type,
+            reg_param: params.reg_param,
+            epochs: params.epochs,
+            ..Default::default()
+        },
+    )?;
+    let checked = w.evaluate(
+        "checked",
+        &predictions,
+        EvalSpec { metrics: params.metrics.clone(), split: helix_core::SPLIT_TEST.into() },
+    )?;
+    w.output(&predictions);
+    w.output(&checked);
+    Ok(w)
+}
+
+/// The Fig. 2(b) iteration script: ten changes cycling through the
+/// paper's three categories (purple/orange/green).
+pub fn census_iterations() -> Vec<IterationSpec<CensusParams>> {
+    // The first two modifications are data-pre-processing so the
+    // DeepDive-sim series (which cannot accept ML/eval edits) has exactly
+    // the paper's "missing data for iteration > 2" shape in Fig. 2(b).
+    vec![
+        IterationSpec::new(
+            "add marital_status feature (+msExt)",
+            IterationStage::DataPreProcessing,
+            |p: &mut CensusParams| p.include_marital_status = true,
+        ),
+        IterationSpec::new(
+            "add edu×occ interaction feature",
+            IterationStage::DataPreProcessing,
+            |p: &mut CensusParams| p.include_interaction = true,
+        ),
+        IterationSpec::new("decrease regularization", IterationStage::MachineLearning, |p: &mut CensusParams| {
+            p.reg_param = 0.01;
+        }),
+        IterationSpec::new("add F1/precision/recall metrics", IterationStage::Evaluation, |p: &mut CensusParams| {
+            p.metrics =
+                vec![MetricKind::Accuracy, MetricKind::F1, MetricKind::Precision, MetricKind::Recall];
+        }),
+        IterationSpec::new("double training epochs", IterationStage::MachineLearning, |p: &mut CensusParams| {
+            p.epochs *= 2;
+        }),
+        IterationSpec::new("add log-loss metric", IterationStage::Evaluation, |p: &mut CensusParams| {
+            p.metrics.push(MetricKind::LogLoss);
+        }),
+        IterationSpec::new("re-bin age buckets", IterationStage::DataPreProcessing, |p: &mut CensusParams| {
+            p.age_bins = 8;
+        }),
+        IterationSpec::new("try naive Bayes model", IterationStage::MachineLearning, |p: &mut CensusParams| {
+            p.model_type = ModelType::NaiveBayes;
+        }),
+        IterationSpec::new("back to logistic regression", IterationStage::MachineLearning, |p: &mut CensusParams| {
+            p.model_type = ModelType::LogisticRegression;
+        }),
+        IterationSpec::new("check precision only", IterationStage::Evaluation, |p: &mut CensusParams| {
+            p.metrics = vec![MetricKind::Precision];
+        }),
+        IterationSpec::new("back to accuracy-only evaluation", IterationStage::Evaluation, |p: &mut CensusParams| {
+            p.metrics = vec![MetricKind::Accuracy];
+        }),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("helix-census-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn generator_is_deterministic_and_learnable() {
+        let dir = tmpdir("gen");
+        let spec = CensusDataSpec { train_rows: 500, test_rows: 100, ..Default::default() };
+        let (train1, _) = generate_census(&dir, &spec).unwrap();
+        let contents1 = std::fs::read_to_string(&train1).unwrap();
+        let (train2, _) = generate_census(&dir, &spec).unwrap();
+        let contents2 = std::fs::read_to_string(&train2).unwrap();
+        assert_eq!(contents1, contents2, "same seed, same data");
+        assert_eq!(contents1.lines().count(), 500);
+        // Both labels present.
+        let positives = contents1.lines().filter(|l| l.ends_with(",1")).count();
+        assert!(positives > 50 && positives < 450, "positives = {positives}");
+    }
+
+    #[test]
+    fn workflow_builds_and_slices_race() {
+        let dir = tmpdir("wf");
+        generate_census(&dir, &CensusDataSpec { train_rows: 50, test_rows: 20, ..Default::default() })
+            .unwrap();
+        let params = CensusParams::initial(&dir);
+        let w = census_workflow(&params).unwrap();
+        let slice = helix_core::slicing::slice(&w).unwrap();
+        assert!(!slice.active[w.by_name("race").unwrap().index()]);
+        assert!(!slice.active[w.by_name("ms").unwrap().index()], "ms off initially");
+        assert!(slice.active[w.by_name("edu").unwrap().index()]);
+    }
+
+    #[test]
+    fn iteration_script_has_all_three_stages() {
+        let iters = census_iterations();
+        assert_eq!(iters.len(), 11);
+        for stage in [
+            IterationStage::DataPreProcessing,
+            IterationStage::MachineLearning,
+            IterationStage::Evaluation,
+        ] {
+            assert!(iters.iter().any(|i| i.stage == stage), "{stage:?} missing");
+        }
+    }
+
+    #[test]
+    fn iterations_change_workflow_signatures() {
+        let dir = tmpdir("sig");
+        let mut params = CensusParams::initial(&dir);
+        let w0 = census_workflow(&params).unwrap();
+        let s0 = helix_core::signature::compute_signatures(&w0).unwrap();
+        for spec in census_iterations() {
+            (spec.apply)(&mut params);
+            let w = census_workflow(&params).unwrap();
+            let s = helix_core::signature::compute_signatures(&w).unwrap();
+            assert_ne!(s0, s, "iteration `{}` must alter the DAG", spec.description);
+        }
+    }
+
+    #[test]
+    fn end_to_end_small_run() {
+        let dir = tmpdir("e2e");
+        generate_census(
+            &dir,
+            &CensusDataSpec { train_rows: 400, test_rows: 100, ..Default::default() },
+        )
+        .unwrap();
+        let params = CensusParams::initial(&dir);
+        let w = census_workflow(&params).unwrap();
+        let mut engine =
+            helix_core::Engine::new(helix_core::EngineConfig::helix(dir.join("store"))).unwrap();
+        let report = engine.run(&w).unwrap();
+        let acc = report.metric("accuracy").unwrap();
+        assert!(acc > 0.6, "model should beat chance, got {acc}");
+    }
+}

@@ -1,0 +1,19 @@
+//! The paper's two demo applications, with synthetic data generators and
+//! the iteration scripts used to reproduce Figure 2.
+//!
+//! * [`census`] — §3 Application 1: income classification over structured
+//!   demographic records (UCI-Adult-like, synthesized).
+//! * [`news`] + [`ie`] — §3 Application 2: person-mention extraction from
+//!   news articles (synthetic corpus over a name gazetteer).
+//! * [`iterations`] — the shared "human-in-the-loop" machinery: a list of
+//!   workflow modifications, each tagged with the paper's iteration
+//!   category (data pre-processing / ML / evaluation).
+
+#![warn(missing_docs)]
+
+pub mod census;
+pub mod ie;
+pub mod iterations;
+pub mod news;
+
+pub use iterations::{IterationSpec, IterationStage};

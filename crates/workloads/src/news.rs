@@ -1,0 +1,254 @@
+//! Synthetic news corpus generator for the information-extraction task.
+//!
+//! The paper's IE application "identifies person mentions from news
+//! articles" (§3). We synthesize articles from sentence templates over a
+//! person-name gazetteer, with organizations and places as capitalized
+//! distractors, and emit gold person-mention spans alongside — replacing
+//! the proprietary news corpus with an equivalent that exercises the same
+//! pipeline (see DESIGN.md substitutions).
+
+use helix_core::Result;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// First names used by the generator (and partially by the gazetteer).
+pub const FIRST_NAMES: &[&str] = &[
+    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael", "Linda", "David",
+    "Elizabeth", "William", "Barbara", "Richard", "Susan", "Joseph", "Jessica", "Thomas",
+    "Sarah", "Carlos", "Nancy", "Daniel", "Lisa", "Matthew", "Betty", "Anthony", "Margaret",
+    "Mark", "Sandra", "Donald", "Ashley", "Steven", "Kimberly", "Paul", "Emily", "Andrew",
+    "Donna", "Joshua", "Michelle", "Kenneth", "Dorothy",
+];
+
+/// Last names used by the generator.
+pub const LAST_NAMES: &[&str] = &[
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis", "Rodriguez",
+    "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson", "Thomas", "Taylor",
+    "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez",
+    "Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King", "Wright",
+    "Scott", "Torres", "Nguyen", "Hill", "Flores",
+];
+
+const ORGS: &[&str] = &[
+    "Acme Corporation", "Global Dynamics", "Initech", "Umbrella Holdings", "Stark Industries",
+    "Wayne Enterprises", "Cyberdyne Systems", "Tyrell Corporation", "Hooli", "Vehement Capital",
+];
+
+const PLACES: &[&str] = &[
+    "Springfield", "Rivertown", "Lakeside", "Centerville", "Fairview", "Georgetown",
+    "Salem", "Madison", "Clinton", "Arlington",
+];
+
+const VERBS: &[&str] =
+    &["announced", "criticized", "praised", "met with", "interviewed", "defended", "endorsed"];
+const TOPICS: &[&str] = &[
+    "the new budget proposal",
+    "a controversial merger",
+    "the quarterly results",
+    "an ambitious infrastructure plan",
+    "the ongoing negotiations",
+    "a landmark settlement",
+];
+
+/// A gold person mention: byte span within its document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GoldMention {
+    /// Document id (line number in the corpus file).
+    pub doc_id: i64,
+    /// Byte offset of the mention start.
+    pub start: i64,
+    /// Byte offset one past the mention end.
+    pub end: i64,
+}
+
+/// Generator settings.
+#[derive(Debug, Clone)]
+pub struct NewsDataSpec {
+    /// Number of documents.
+    pub docs: usize,
+    /// Sentences per document (inclusive range).
+    pub sentences_per_doc: (usize, usize),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for NewsDataSpec {
+    fn default() -> Self {
+        NewsDataSpec { docs: 900, sentences_per_doc: (3, 7), seed: 13 }
+    }
+}
+
+/// Output of [`generate_news`].
+#[derive(Debug, Clone)]
+pub struct NewsData {
+    /// One-document-per-line corpus file.
+    pub corpus_path: PathBuf,
+    /// Gold mentions CSV (`doc_id,start,end`).
+    pub gold_path: PathBuf,
+    /// Number of gold mentions emitted.
+    pub mentions: usize,
+}
+
+/// Generates the corpus and gold files under `dir`.
+pub fn generate_news(dir: &Path, spec: &NewsDataSpec) -> Result<NewsData> {
+    std::fs::create_dir_all(dir)?;
+    let corpus_path = dir.join("corpus.txt");
+    let gold_path = dir.join("gold.csv");
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let corpus_file = std::fs::File::create(&corpus_path)?;
+    let gold_file = std::fs::File::create(&gold_path)?;
+    let mut corpus = std::io::BufWriter::new(corpus_file);
+    let mut gold = std::io::BufWriter::new(gold_file);
+    let mut mentions = 0usize;
+
+    for doc_id in 0..spec.docs {
+        let mut doc = String::new();
+        let n_sents = rng.gen_range(spec.sentences_per_doc.0..=spec.sentences_per_doc.1);
+        for _ in 0..n_sents {
+            if !doc.is_empty() {
+                doc.push(' ');
+            }
+            let spans = write_sentence(&mut doc, &mut rng);
+            for (start, end) in spans {
+                writeln!(gold, "{doc_id},{start},{end}")?;
+                mentions += 1;
+            }
+        }
+        writeln!(corpus, "{doc}")?;
+    }
+    corpus.flush()?;
+    gold.flush()?;
+    Ok(NewsData { corpus_path, gold_path, mentions })
+}
+
+/// Appends one sentence to `doc`, returning byte spans of person mentions.
+fn write_sentence(doc: &mut String, rng: &mut StdRng) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let push_person = |doc: &mut String, rng: &mut StdRng, spans: &mut Vec<(usize, usize)>| {
+        let first = FIRST_NAMES[rng.gen_range(0..FIRST_NAMES.len())];
+        let start = doc.len();
+        if rng.gen_bool(0.2) {
+            // Single-name mention ("Cher" style).
+            doc.push_str(first);
+        } else {
+            let last = LAST_NAMES[rng.gen_range(0..LAST_NAMES.len())];
+            doc.push_str(first);
+            doc.push(' ');
+            doc.push_str(last);
+        }
+        spans.push((start, doc.len()));
+    };
+
+    match rng.gen_range(0..5) {
+        0 => {
+            // "<Title> <Person> <verb> <topic> in <Place>."
+            doc.push_str(if rng.gen_bool(0.5) { "Dr. " } else { "Gov. " });
+            push_person(doc, rng, &mut spans);
+            doc.push(' ');
+            doc.push_str(VERBS[rng.gen_range(0..VERBS.len())]);
+            doc.push(' ');
+            doc.push_str(TOPICS[rng.gen_range(0..TOPICS.len())]);
+            doc.push_str(" in ");
+            doc.push_str(PLACES[rng.gen_range(0..PLACES.len())]);
+            doc.push('.');
+        }
+        1 => {
+            // "<Org> <verb> <topic>."  (no person; distractor capitals)
+            doc.push_str(ORGS[rng.gen_range(0..ORGS.len())]);
+            doc.push(' ');
+            doc.push_str(VERBS[rng.gen_range(0..VERBS.len())]);
+            doc.push(' ');
+            doc.push_str(TOPICS[rng.gen_range(0..TOPICS.len())]);
+            doc.push('.');
+        }
+        2 => {
+            // "<Person> of <Org> <verb> <topic>."
+            push_person(doc, rng, &mut spans);
+            doc.push_str(" of ");
+            doc.push_str(ORGS[rng.gen_range(0..ORGS.len())]);
+            doc.push(' ');
+            doc.push_str(VERBS[rng.gen_range(0..VERBS.len())]);
+            doc.push(' ');
+            doc.push_str(TOPICS[rng.gen_range(0..TOPICS.len())]);
+            doc.push('.');
+        }
+        3 => {
+            // "Residents of <Place> heard <Person> speak."
+            doc.push_str("Residents of ");
+            doc.push_str(PLACES[rng.gen_range(0..PLACES.len())]);
+            doc.push_str(" heard ");
+            push_person(doc, rng, &mut spans);
+            doc.push_str(" speak.");
+        }
+        _ => {
+            // "<Person> met <Person> at <Org>."
+            push_person(doc, rng, &mut spans);
+            doc.push_str(" met ");
+            push_person(doc, rng, &mut spans);
+            doc.push_str(" at ");
+            doc.push_str(ORGS[rng.gen_range(0..ORGS.len())]);
+            doc.push('.');
+        }
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("helix-news-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let dir = tmpdir("det");
+        let spec = NewsDataSpec { docs: 30, ..Default::default() };
+        let d1 = generate_news(&dir, &spec).unwrap();
+        let c1 = std::fs::read_to_string(&d1.corpus_path).unwrap();
+        let d2 = generate_news(&dir, &spec).unwrap();
+        let c2 = std::fs::read_to_string(&d2.corpus_path).unwrap();
+        assert_eq!(c1, c2);
+        assert_eq!(d1.mentions, d2.mentions);
+    }
+
+    #[test]
+    fn gold_spans_point_at_person_names() {
+        let dir = tmpdir("spans");
+        let data = generate_news(&dir, &NewsDataSpec { docs: 40, ..Default::default() }).unwrap();
+        let corpus: Vec<String> = std::fs::read_to_string(&data.corpus_path)
+            .unwrap()
+            .lines()
+            .map(String::from)
+            .collect();
+        let gold = std::fs::read_to_string(&data.gold_path).unwrap();
+        let mut checked = 0;
+        for line in gold.lines() {
+            let parts: Vec<&str> = line.split(',').collect();
+            let (doc, start, end): (usize, usize, usize) =
+                (parts[0].parse().unwrap(), parts[1].parse().unwrap(), parts[2].parse().unwrap());
+            let mention = &corpus[doc][start..end];
+            let first_word = mention.split(' ').next().unwrap();
+            assert!(
+                FIRST_NAMES.contains(&first_word),
+                "span `{mention}` does not start with a first name"
+            );
+            checked += 1;
+        }
+        assert!(checked > 20, "expected plenty of mentions, got {checked}");
+    }
+
+    #[test]
+    fn corpus_contains_distractors() {
+        let dir = tmpdir("distract");
+        let data = generate_news(&dir, &NewsDataSpec { docs: 60, ..Default::default() }).unwrap();
+        let corpus = std::fs::read_to_string(&data.corpus_path).unwrap();
+        assert!(ORGS.iter().any(|org| corpus.contains(org)), "orgs appear");
+        assert!(PLACES.iter().any(|place| corpus.contains(place)), "places appear");
+    }
+}

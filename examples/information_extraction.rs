@@ -1,0 +1,77 @@
+//! The paper's second application: person-mention extraction from news
+//! articles (structured prediction over unstructured text, §3).
+//!
+//! Walks the feature-engineering loop a data scientist would: start with
+//! lexical features only, then progressively wire in context, gazetteer,
+//! and shape features, watching F1 climb while Helix reuses the expensive
+//! text pre-processing (sentence splitting, tokenization, candidate
+//! extraction) across every iteration.
+//!
+//! ```text
+//! cargo run --release --example information_extraction
+//! ```
+
+use helix::baselines::SystemKind;
+use helix::workloads::ie::{ie_workflow, IeParams};
+use helix::workloads::news::{generate_news, NewsDataSpec};
+
+fn main() {
+    let dir = std::env::temp_dir().join("helix-ie-example");
+    let spec = NewsDataSpec { docs: 600, ..Default::default() };
+    let data = generate_news(&dir, &spec).expect("generate corpus");
+    println!(
+        "generated {} news documents with {} gold person mentions\n",
+        spec.docs, data.mentions
+    );
+
+    let _ = std::fs::remove_dir_all(dir.join("store"));
+    let mut engine = SystemKind::Helix.build_engine(&dir.join("store")).expect("engine");
+    let mut params = IeParams::initial(&dir);
+    params.metrics = vec![
+        helix::core::ops::MetricKind::F1,
+        helix::core::ops::MetricKind::Precision,
+        helix::core::ops::MetricKind::Recall,
+    ];
+
+    let steps: Vec<(&str, Box<dyn Fn(&mut IeParams)>)> = vec![
+        ("lexical features only", Box::new(|_| {})),
+        ("+ context words", Box::new(|p| p.feat_context = true)),
+        ("+ gazetteer membership", Box::new(|p| p.feat_gazetteer = true)),
+        ("+ word shapes", Box::new(|p| p.feat_shape = true)),
+        ("+ honorific-title cue", Box::new(|p| p.feat_title = true)),
+    ];
+
+    println!(
+        "{:<28} {:>7} {:>10} {:>8} {:>9} {:>8}",
+        "feature set", "F1", "precision", "recall", "runtime", "reuse"
+    );
+    for (label, apply) in steps {
+        apply(&mut params);
+        let workflow = ie_workflow(&params).expect("workflow");
+        let report = engine.run(&workflow).expect("run");
+        println!(
+            "{:<28} {:>7.3} {:>10.3} {:>8.3} {:>8.3}s {:>7.0}%",
+            label,
+            report.metric("f1").unwrap_or(0.0),
+            report.metric("precision").unwrap_or(0.0),
+            report.metric("recall").unwrap_or(0.0),
+            report.total_secs,
+            report.reuse_rate() * 100.0
+        );
+    }
+
+    println!(
+        "\nEvery iteration after the first reuses the sentence-splitting,\n\
+         tokenization, and candidate-extraction results from disk — only the\n\
+         newly wired feature extractor and the learner run."
+    );
+    println!("\nBest version by F1:");
+    if let Some(best) = engine.versions().best_by_metric("f1") {
+        println!(
+            "  version {} (F1 = {:.3}): {}",
+            best.id,
+            best.metrics.iter().find(|(m, _)| m == "f1").map(|(_, v)| *v).unwrap_or(0.0),
+            best.change_summary
+        );
+    }
+}

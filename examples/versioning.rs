@@ -1,0 +1,55 @@
+//! The demo's Versions and Metrics tabs (§3.1) as a CLI session: run a
+//! few scripted iterations, browse the git-log-style history, plot the
+//! accuracy trend, and diff two versions.
+//!
+//! ```text
+//! cargo run --release --example versioning
+//! ```
+
+use helix::baselines::SystemKind;
+use helix::core::viz;
+use helix::workloads::census::{
+    census_iterations, census_workflow, generate_census, CensusDataSpec, CensusParams,
+};
+
+fn main() {
+    let dir = std::env::temp_dir().join("helix-versioning-example");
+    generate_census(
+        &dir,
+        &CensusDataSpec { train_rows: 4_000, test_rows: 1_000, ..Default::default() },
+    )
+    .expect("generate data");
+
+    let _ = std::fs::remove_dir_all(dir.join("store"));
+    let mut engine = SystemKind::Helix.build_engine(&dir.join("store")).expect("engine");
+    let mut params = CensusParams::initial(&dir);
+
+    engine.run(&census_workflow(&params).expect("workflow")).expect("run");
+    for spec in census_iterations().into_iter().take(5) {
+        (spec.apply)(&mut params);
+        engine.run(&census_workflow(&params).expect("workflow")).expect("run");
+    }
+
+    // Versions tab: commit-log browser with best/latest shortcuts.
+    println!("=== Versions ===\n{}", viz::version_log(engine.versions()));
+
+    // Metrics tab: accuracy trend across iterations.
+    println!("=== Metrics: accuracy trend ===");
+    let trend = engine.versions().metric_trend("accuracy");
+    let (min, max) = trend.iter().fold((f64::MAX, f64::MIN), |(lo, hi), (_, v)| {
+        (lo.min(*v), hi.max(*v))
+    });
+    for (version, value) in &trend {
+        let width = if max > min { ((value - min) / (max - min) * 40.0) as usize } else { 20 };
+        println!("  v{version} |{}{}| {value:.4}", "▪".repeat(width), " ".repeat(40 - width));
+    }
+
+    // Comparison view: select two versions, see the git-style DAG diff.
+    println!("\n=== Compare version 0 and version 2 ===");
+    let diff = engine.versions().diff(0, 2).expect("versions exist");
+    print!("{}", viz::diff_text(&diff));
+
+    println!("\n=== Compare version 2 and version 3 ===");
+    let diff = engine.versions().diff(2, 3).expect("versions exist");
+    print!("{}", viz::diff_text(&diff));
+}

@@ -1,0 +1,26 @@
+//! Helix — accelerating human-in-the-loop machine learning.
+//!
+//! This facade crate re-exports the whole Helix workspace so examples,
+//! integration tests, and downstream users can depend on a single crate:
+//!
+//! * [`core`] — the Helix system: workflow DSL, DAG compiler, recomputation
+//!   and materialization optimizers, execution engine, versioning.
+//! * [`dataflow`] — the in-memory dataflow substrate (data collections,
+//!   schemas, CSV, binary codec).
+//! * [`ml`] — learners, feature spaces, and evaluation metrics.
+//! * [`nlp`] — text processing for the information-extraction application.
+//! * [`mincut`] — max-flow / project-selection solvers.
+//! * [`workloads`] — the paper's Census and IE applications plus synthetic
+//!   data generators and iteration scripts.
+//! * [`baselines`] — DeepDive-style, KeystoneML-style, and unoptimized-Helix
+//!   execution policies.
+
+#![warn(missing_docs)]
+
+pub use helix_baselines as baselines;
+pub use helix_core as core;
+pub use helix_dataflow as dataflow;
+pub use helix_mincut as mincut;
+pub use helix_ml as ml;
+pub use helix_nlp as nlp;
+pub use helix_workloads as workloads;

@@ -1,0 +1,207 @@
+//! Cross-crate integration tests: full workflows through the public API.
+
+use helix::baselines::SystemKind;
+use helix::core::{NodeState, SPLIT_TEST};
+use helix::workloads::census::{
+    census_iterations, census_workflow, generate_census, CensusDataSpec, CensusParams,
+};
+use helix::workloads::ie::{ie_iterations, ie_workflow, IeParams};
+use helix::workloads::news::{generate_news, NewsDataSpec};
+use std::path::PathBuf;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("helix-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn census_full_iteration_script_runs_green() {
+    let dir = tmpdir("census-script");
+    generate_census(
+        &dir,
+        &CensusDataSpec { train_rows: 600, test_rows: 150, ..Default::default() },
+    )
+    .unwrap();
+    let mut engine = SystemKind::Helix.build_engine(&dir.join("store")).unwrap();
+    let mut params = CensusParams::initial(&dir);
+    let mut reports = vec![engine.run(&census_workflow(&params).unwrap()).unwrap()];
+    for spec in census_iterations() {
+        (spec.apply)(&mut params);
+        reports.push(engine.run(&census_workflow(&params).unwrap()).unwrap());
+    }
+    assert_eq!(engine.versions().len(), reports.len());
+    // Every iteration after the first reuses something.
+    for report in &reports[1..] {
+        assert!(
+            report.loaded() > 0 || report.pruned() > 0,
+            "iteration {} reused nothing",
+            report.iteration
+        );
+    }
+    // Metrics exist on every run.
+    assert!(reports.iter().all(|r| !r.metrics.is_empty()));
+}
+
+#[test]
+fn ie_full_iteration_script_runs_green() {
+    let dir = tmpdir("ie-script");
+    generate_news(&dir, &NewsDataSpec { docs: 80, ..Default::default() }).unwrap();
+    let mut engine = SystemKind::Helix.build_engine(&dir.join("store")).unwrap();
+    let mut params = IeParams::initial(&dir);
+    engine.run(&ie_workflow(&params).unwrap()).unwrap();
+    for spec in ie_iterations() {
+        (spec.apply)(&mut params);
+        let report = engine.run(&ie_workflow(&params).unwrap()).unwrap();
+        assert!(report.metric("f1").is_some());
+    }
+}
+
+/// The central correctness claim: reuse must never change results. Run the
+/// same scripted edits under every system; metrics must be identical at
+/// every step (modulo DeepDive's truncation).
+#[test]
+fn optimizations_never_change_results_census() {
+    let dir = tmpdir("equivalence");
+    generate_census(
+        &dir,
+        &CensusDataSpec { train_rows: 500, test_rows: 120, ..Default::default() },
+    )
+    .unwrap();
+    let mut all_metrics: Vec<Vec<(String, f64)>> = Vec::new();
+    for (k, system) in
+        [SystemKind::Helix, SystemKind::KeystoneSim, SystemKind::HelixUnopt].iter().enumerate()
+    {
+        let mut engine = system.build_engine(&dir.join(format!("store{k}"))).unwrap();
+        let mut params = CensusParams::initial(&dir);
+        let mut metrics = engine.run(&census_workflow(&params).unwrap()).unwrap().metrics;
+        for spec in census_iterations() {
+            (spec.apply)(&mut params);
+            metrics.extend(engine.run(&census_workflow(&params).unwrap()).unwrap().metrics);
+        }
+        all_metrics.push(metrics);
+    }
+    assert_eq!(all_metrics[0], all_metrics[1], "Helix vs KeystoneML-sim");
+    assert_eq!(all_metrics[0], all_metrics[2], "Helix vs unoptimized Helix");
+}
+
+/// Abandoning an edit and rolling back re-validates old materializations:
+/// the rerun of version 1 after version 2 should be nearly all loads.
+#[test]
+fn rollback_reuses_old_materializations() {
+    let dir = tmpdir("rollback");
+    generate_census(
+        &dir,
+        &CensusDataSpec { train_rows: 500, test_rows: 120, ..Default::default() },
+    )
+    .unwrap();
+    let mut engine = SystemKind::Helix.build_engine(&dir.join("store")).unwrap();
+    let mut params = CensusParams::initial(&dir);
+    engine.run(&census_workflow(&params).unwrap()).unwrap();
+    // Explore a branch…
+    params.include_marital_status = true;
+    engine.run(&census_workflow(&params).unwrap()).unwrap();
+    // …then roll back.
+    params.include_marital_status = false;
+    let rollback = engine.run(&census_workflow(&params).unwrap()).unwrap();
+    assert!(
+        rollback.computed() <= 2,
+        "rollback should reload almost everything, computed {}",
+        rollback.computed()
+    );
+}
+
+/// Killing the engine (dropping it) and reopening over the same store
+/// directory keeps materializations usable — persistence across sessions.
+#[test]
+fn store_survives_engine_restart() {
+    let dir = tmpdir("restart");
+    generate_census(
+        &dir,
+        &CensusDataSpec { train_rows: 400, test_rows: 100, ..Default::default() },
+    )
+    .unwrap();
+    let params = CensusParams::initial(&dir);
+    let w = census_workflow(&params).unwrap();
+    {
+        let mut engine = SystemKind::Helix.build_engine(&dir.join("store")).unwrap();
+        engine.run(&w).unwrap();
+        assert!(engine.store().len() > 0);
+    }
+    let mut engine = SystemKind::Helix.build_engine(&dir.join("store")).unwrap();
+    let report = engine.run(&w).unwrap();
+    assert!(report.loaded() > 0, "fresh engine must reuse the persisted store");
+}
+
+/// An evaluation-only change touches nothing upstream of the Reducer.
+#[test]
+fn eval_change_is_nearly_free() {
+    let dir = tmpdir("evalfree");
+    generate_census(
+        &dir,
+        &CensusDataSpec { train_rows: 500, test_rows: 120, ..Default::default() },
+    )
+    .unwrap();
+    let mut engine = SystemKind::Helix.build_engine(&dir.join("store")).unwrap();
+    let mut params = CensusParams::initial(&dir);
+    let first = engine.run(&census_workflow(&params).unwrap()).unwrap();
+    params.metrics =
+        vec![helix::core::ops::MetricKind::Accuracy, helix::core::ops::MetricKind::F1];
+    let eval_iter = engine.run(&census_workflow(&params).unwrap()).unwrap();
+    // Only the Reducer recomputes; its input is loaded.
+    let recomputed: Vec<&str> = eval_iter
+        .nodes
+        .iter()
+        .filter(|n| n.state == NodeState::Compute)
+        .map(|n| n.name.as_str())
+        .collect();
+    assert_eq!(recomputed, vec!["checked"], "recomputed: {recomputed:?}");
+    assert!(
+        eval_iter.total_secs < first.total_secs / 2.0,
+        "eval-only iteration ({:.3}s) should be far below the initial ({:.3}s)",
+        eval_iter.total_secs,
+        first.total_secs
+    );
+}
+
+/// The split column survives the whole pipeline: predictions evaluated on
+/// the test split only.
+#[test]
+fn evaluation_uses_test_split() {
+    let dir = tmpdir("split");
+    // Train is separable, test is label-flipped: test accuracy must be 0.
+    std::fs::write(dir.join("train.csv"), "a,1\nb,0\n".repeat(50)).unwrap();
+    std::fs::write(dir.join("test.csv"), "a,0\nb,1\n".repeat(10)).unwrap();
+    let mut w = helix::core::Workflow::new("split-check");
+    let data = w.csv_source("data", dir.join("train.csv"), Some(dir.join("test.csv"))).unwrap();
+    let rows = w
+        .csv_scanner(
+            "rows",
+            &data,
+            &[("x", helix::dataflow::DataType::Str), ("y", helix::dataflow::DataType::Int)],
+        )
+        .unwrap();
+    let x = w
+        .field_extractor("x", &rows, "x", helix::core::ops::ExtractorKind::Categorical)
+        .unwrap();
+    let y = w
+        .field_extractor("y", &rows, "y", helix::core::ops::ExtractorKind::Numeric)
+        .unwrap();
+    let examples = w.assemble("examples", &rows, &[&x], &y).unwrap();
+    let preds = w.learner("preds", &examples, Default::default()).unwrap();
+    let checked = w
+        .evaluate(
+            "checked",
+            &preds,
+            helix::core::ops::EvalSpec {
+                metrics: vec![helix::core::ops::MetricKind::Accuracy],
+                split: SPLIT_TEST.into(),
+            },
+        )
+        .unwrap();
+    w.output(&checked);
+    let mut engine = SystemKind::Helix.build_engine(&dir.join("store")).unwrap();
+    let report = engine.run(&w).unwrap();
+    assert_eq!(report.metric("accuracy"), Some(0.0), "flipped test labels ⇒ 0 accuracy");
+}

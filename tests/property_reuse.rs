@@ -1,0 +1,96 @@
+//! Property test over random edit sequences: whatever sequence of knob
+//! turns a "user" performs, the optimized engine's metrics must match a
+//! from-scratch engine's, and plans must stay feasible.
+
+use helix::baselines::SystemKind;
+use helix::workloads::census::{census_workflow, generate_census, CensusDataSpec, CensusParams};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+/// One random knob turn.
+#[derive(Debug, Clone, Copy)]
+enum Edit {
+    Reg(u8),
+    Epochs(u8),
+    ToggleMs,
+    ToggleInteraction,
+    ToggleCl,
+    Bins(u8),
+    MetricsF1,
+    MetricsAccuracy,
+}
+
+fn apply(edit: Edit, params: &mut CensusParams) {
+    use helix::core::ops::MetricKind;
+    match edit {
+        Edit::Reg(r) => params.reg_param = 0.01 + f64::from(r) * 0.05,
+        Edit::Epochs(e) => params.epochs = 2 + usize::from(e % 4),
+        Edit::ToggleMs => params.include_marital_status = !params.include_marital_status,
+        Edit::ToggleInteraction => params.include_interaction = !params.include_interaction,
+        Edit::ToggleCl => params.include_capital_loss = !params.include_capital_loss,
+        Edit::Bins(b) => params.age_bins = 2 + usize::from(b % 10),
+        Edit::MetricsF1 => {
+            params.metrics = vec![MetricKind::F1, MetricKind::Precision, MetricKind::Recall]
+        }
+        Edit::MetricsAccuracy => params.metrics = vec![MetricKind::Accuracy],
+    }
+}
+
+fn arb_edit() -> impl Strategy<Value = Edit> {
+    prop_oneof![
+        any::<u8>().prop_map(Edit::Reg),
+        any::<u8>().prop_map(Edit::Epochs),
+        Just(Edit::ToggleMs),
+        Just(Edit::ToggleInteraction),
+        Just(Edit::ToggleCl),
+        any::<u8>().prop_map(Edit::Bins),
+        Just(Edit::MetricsF1),
+        Just(Edit::MetricsAccuracy),
+    ]
+}
+
+fn data_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("helix-prop-data-{}", std::process::id()));
+    if !dir.join("train.csv").exists() {
+        generate_census(
+            &dir,
+            &CensusDataSpec { train_rows: 200, test_rows: 60, ..Default::default() },
+        )
+        .unwrap();
+    }
+    dir
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_edit_sequences_preserve_results(edits in proptest::collection::vec(arb_edit(), 1..5)) {
+        let dir = data_dir();
+        let case = CASE.fetch_add(1, Ordering::Relaxed);
+        let work = std::env::temp_dir()
+            .join(format!("helix-prop-{}-{case}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&work);
+
+        let mut helix_engine = SystemKind::Helix.build_engine(&work.join("h")).unwrap();
+        let mut fresh_engine = SystemKind::KeystoneSim.build_engine(&work.join("k")).unwrap();
+
+        let mut params = CensusParams::initial(&dir);
+        let w0 = census_workflow(&params).unwrap();
+        let a = helix_engine.run(&w0).unwrap();
+        let b = fresh_engine.run(&w0).unwrap();
+        prop_assert_eq!(a.metrics, b.metrics);
+
+        for edit in edits {
+            apply(edit, &mut params);
+            let w = census_workflow(&params).unwrap();
+            let a = helix_engine.run(&w).unwrap();
+            let b = fresh_engine.run(&w).unwrap();
+            prop_assert_eq!(&a.metrics, &b.metrics, "edit {:?} diverged", edit);
+        }
+        let _ = std::fs::remove_dir_all(&work);
+    }
+}
