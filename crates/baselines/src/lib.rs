@@ -44,8 +44,12 @@ pub enum SystemKind {
 
 impl SystemKind {
     /// All systems, in the order Fig. 2 plots them.
-    pub const ALL: [SystemKind; 4] =
-        [SystemKind::Helix, SystemKind::DeepDiveSim, SystemKind::KeystoneSim, SystemKind::HelixUnopt];
+    pub const ALL: [SystemKind; 4] = [
+        SystemKind::Helix,
+        SystemKind::DeepDiveSim,
+        SystemKind::KeystoneSim,
+        SystemKind::HelixUnopt,
+    ];
 
     /// Display label used in benchmark tables.
     pub fn label(&self) -> &'static str {
@@ -105,8 +109,7 @@ mod tests {
     use std::path::PathBuf;
 
     fn tmpdir(tag: &str) -> PathBuf {
-        let dir =
-            std::env::temp_dir().join(format!("helix-baseline-{tag}-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("helix-baseline-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         dir
@@ -127,7 +130,10 @@ mod tests {
         let dir = tmpdir("cfg");
         let helix = SystemKind::Helix.engine_config(&dir);
         assert_eq!(helix.recomputation, RecomputationPolicy::Optimal);
-        assert_eq!(helix.materialization, MaterializationPolicyKind::HelixOnline);
+        assert_eq!(
+            helix.materialization,
+            MaterializationPolicyKind::HelixOnline
+        );
         assert!(helix.enable_slicing);
 
         let dd = SystemKind::DeepDiveSim.engine_config(&dir);
@@ -148,7 +154,11 @@ mod tests {
         let dir = tmpdir("agree");
         generate_census(
             &dir,
-            &CensusDataSpec { train_rows: 300, test_rows: 100, ..Default::default() },
+            &CensusDataSpec {
+                train_rows: 300,
+                test_rows: 100,
+                ..Default::default()
+            },
         )
         .unwrap();
         let mut params = CensusParams::initial(&dir);
@@ -160,8 +170,12 @@ mod tests {
             params.reg_param = 0.02;
             let r2 = engine.run(&census_workflow(&params).unwrap()).unwrap();
             params.reg_param = 0.1;
-            let combined: Vec<(String, f64)> =
-                r1.metrics.iter().chain(r2.metrics.iter()).cloned().collect();
+            let combined: Vec<(String, f64)> = r1
+                .metrics
+                .iter()
+                .chain(r2.metrics.iter())
+                .cloned()
+                .collect();
             match &reference {
                 None => reference = Some(combined),
                 Some(expected) => {
@@ -177,7 +191,11 @@ mod tests {
         let dir = tmpdir("reuse");
         generate_census(
             &dir,
-            &CensusDataSpec { train_rows: 300, test_rows: 100, ..Default::default() },
+            &CensusDataSpec {
+                train_rows: 300,
+                test_rows: 100,
+                ..Default::default()
+            },
         )
         .unwrap();
         let params = CensusParams::initial(&dir);
@@ -188,7 +206,9 @@ mod tests {
         let h2 = helix.run(&w).unwrap();
         assert!(h2.loaded() > 0);
 
-        let mut keystone = SystemKind::KeystoneSim.build_engine(&dir.join("s-k")).unwrap();
+        let mut keystone = SystemKind::KeystoneSim
+            .build_engine(&dir.join("s-k"))
+            .unwrap();
         keystone.run(&w).unwrap();
         let k2 = keystone.run(&w).unwrap();
         assert_eq!(k2.loaded(), 0);
@@ -201,15 +221,25 @@ mod tests {
         let dir = tmpdir("unopt");
         generate_census(
             &dir,
-            &CensusDataSpec { train_rows: 200, test_rows: 50, ..Default::default() },
+            &CensusDataSpec {
+                train_rows: 200,
+                test_rows: 50,
+                ..Default::default()
+            },
         )
         .unwrap();
         let params = CensusParams::initial(&dir);
         let w = census_workflow(&params).unwrap();
-        let mut unopt = SystemKind::HelixUnopt.build_engine(&dir.join("s-u")).unwrap();
+        let mut unopt = SystemKind::HelixUnopt
+            .build_engine(&dir.join("s-u"))
+            .unwrap();
         let report = unopt.run(&w).unwrap();
         let race = report.nodes.iter().find(|n| n.name == "race").unwrap();
-        assert_eq!(race.state, helix_core::NodeState::Compute, "no slicing in unopt");
+        assert_eq!(
+            race.state,
+            helix_core::NodeState::Compute,
+            "no slicing in unopt"
+        );
         let mut helix = SystemKind::Helix.build_engine(&dir.join("s-h2")).unwrap();
         let hreport = helix.run(&w).unwrap();
         let hrace = hreport.nodes.iter().find(|n| n.name == "race").unwrap();

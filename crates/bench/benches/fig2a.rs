@@ -10,7 +10,14 @@ use helix_workloads::news::{generate_news, NewsDataSpec};
 fn bench_fig2a(c: &mut Criterion) {
     let dir = std::env::temp_dir().join(format!("helix-bench-fig2a-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
-    generate_news(&dir, &NewsDataSpec { docs: 60, ..Default::default() }).unwrap();
+    generate_news(
+        &dir,
+        &NewsDataSpec {
+            docs: 60,
+            ..Default::default()
+        },
+    )
+    .unwrap();
 
     let mut group = c.benchmark_group("fig2a_ie_series");
     group.sample_size(10);

@@ -11,13 +11,21 @@ fn bench_fig2b(c: &mut Criterion) {
     std::fs::create_dir_all(&dir).unwrap();
     generate_census(
         &dir,
-        &CensusDataSpec { train_rows: 1_000, test_rows: 250, ..Default::default() },
+        &CensusDataSpec {
+            train_rows: 1_000,
+            test_rows: 250,
+            ..Default::default()
+        },
     )
     .unwrap();
 
     let mut group = c.benchmark_group("fig2b_census_series");
     group.sample_size(10);
-    for system in [SystemKind::Helix, SystemKind::DeepDiveSim, SystemKind::KeystoneSim] {
+    for system in [
+        SystemKind::Helix,
+        SystemKind::DeepDiveSim,
+        SystemKind::KeystoneSim,
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(system.label()),
             &system,

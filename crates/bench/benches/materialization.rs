@@ -11,11 +11,20 @@ fn mini_series(dir: &std::path::Path, config: EngineConfig) -> f64 {
     let mut engine = Engine::new(config).unwrap();
     let mut params = CensusParams::initial(dir);
     let mut total = 0.0;
-    total += engine.run(&census_workflow(&params).unwrap()).unwrap().total_secs;
+    total += engine
+        .run(&census_workflow(&params).unwrap())
+        .unwrap()
+        .total_secs;
     params.include_marital_status = true;
-    total += engine.run(&census_workflow(&params).unwrap()).unwrap().total_secs;
+    total += engine
+        .run(&census_workflow(&params).unwrap())
+        .unwrap()
+        .total_secs;
     params.reg_param = 0.02;
-    total += engine.run(&census_workflow(&params).unwrap()).unwrap().total_secs;
+    total += engine
+        .run(&census_workflow(&params).unwrap())
+        .unwrap()
+        .total_secs;
     total
 }
 
@@ -24,7 +33,11 @@ fn bench_strategies(c: &mut Criterion) {
     std::fs::create_dir_all(&dir).unwrap();
     generate_census(
         &dir,
-        &CensusDataSpec { train_rows: 800, test_rows: 200, ..Default::default() },
+        &CensusDataSpec {
+            train_rows: 800,
+            test_rows: 200,
+            ..Default::default()
+        },
     )
     .unwrap();
 

@@ -38,13 +38,17 @@ fn bench_maxflow(c: &mut Criterion) {
     let mut group = c.benchmark_group("maxflow_layered");
     for &(layers, width) in &[(4usize, 8usize), (8, 16), (16, 24)] {
         let label = format!("{layers}x{width}");
-        group.bench_with_input(BenchmarkId::new("dinic", &label), &(layers, width), |b, &(l, w)| {
-            b.iter_batched(
-                || layered_network(l, w),
-                |(mut net, s, t)| net.dinic(s, t).max_flow,
-                criterion::BatchSize::SmallInput,
-            )
-        });
+        group.bench_with_input(
+            BenchmarkId::new("dinic", &label),
+            &(layers, width),
+            |b, &(l, w)| {
+                b.iter_batched(
+                    || layered_network(l, w),
+                    |(mut net, s, t)| net.dinic(s, t).max_flow,
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("edmonds_karp", &label),
             &(layers, width),

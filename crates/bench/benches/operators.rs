@@ -12,12 +12,19 @@ fn bench_operators(c: &mut Criterion) {
     let rows_n = 5_000usize;
     let (train, test) = generate_census(
         &dir,
-        &CensusDataSpec { train_rows: rows_n, test_rows: 500, ..Default::default() },
+        &CensusDataSpec {
+            train_rows: rows_n,
+            test_rows: 500,
+            ..Default::default()
+        },
     )
     .unwrap();
 
     let source = exec::execute(
-        &OperatorKind::CsvSource { train_path: train, test_path: Some(test) },
+        &OperatorKind::CsvSource {
+            train_path: train,
+            test_path: Some(test),
+        },
         "data",
         &[],
     )
@@ -33,35 +40,55 @@ fn bench_operators(c: &mut Criterion) {
     });
 
     let rows = exec::execute(&scan_kind, "rows", &[&source]).unwrap();
-    let edu_kind =
-        OperatorKind::FieldExtractor { field: "education".into(), kind: ExtractorKind::Categorical };
+    let edu_kind = OperatorKind::FieldExtractor {
+        field: "education".into(),
+        kind: ExtractorKind::Categorical,
+    };
     group.bench_function("field_extractor", |b| {
         b.iter(|| exec::execute(&edu_kind, "edu", &[&rows]).unwrap())
     });
 
     let edu = exec::execute(&edu_kind, "edu", &[&rows]).unwrap();
-    let target_kind =
-        OperatorKind::FieldExtractor { field: "target".into(), kind: ExtractorKind::Numeric };
+    let target_kind = OperatorKind::FieldExtractor {
+        field: "target".into(),
+        kind: ExtractorKind::Numeric,
+    };
     let target = exec::execute(&target_kind, "target", &[&rows]).unwrap();
     group.bench_function("assemble", |b| {
         b.iter(|| {
-            exec::execute(&OperatorKind::AssembleFeatures, "income", &[&rows, &edu, &target])
-                .unwrap()
+            exec::execute(
+                &OperatorKind::AssembleFeatures,
+                "income",
+                &[&rows, &edu, &target],
+            )
+            .unwrap()
         })
     });
 
-    let income =
-        exec::execute(&OperatorKind::AssembleFeatures, "income", &[&rows, &edu, &target]).unwrap();
+    let income = exec::execute(
+        &OperatorKind::AssembleFeatures,
+        "income",
+        &[&rows, &edu, &target],
+    )
+    .unwrap();
     group.sample_size(10);
     group.bench_function("train_logreg", |b| {
         b.iter(|| {
-            exec::execute(&OperatorKind::Train(LearnerSpec::default()), "model", &[&income])
-                .unwrap()
+            exec::execute(
+                &OperatorKind::Train(LearnerSpec::default()),
+                "model",
+                &[&income],
+            )
+            .unwrap()
         })
     });
 
-    let model = exec::execute(&OperatorKind::Train(LearnerSpec::default()), "model", &[&income])
-        .unwrap();
+    let model = exec::execute(
+        &OperatorKind::Train(LearnerSpec::default()),
+        "model",
+        &[&income],
+    )
+    .unwrap();
     group.bench_function("apply", |b| {
         b.iter(|| exec::execute(&OperatorKind::Apply, "preds", &[&model, &income]).unwrap())
     });

@@ -20,12 +20,9 @@ fn synthetic_workflow(depth: usize, width: usize) -> (Workflow, Vec<NodeCosts>) 
     };
     let dummy_udf = || {
         Udf::new("v1", |inputs: &[&helix_dataflow::DataCollection]| {
-            Ok(inputs
-                .first()
-                .map(|dc| (*dc).clone())
-                .unwrap_or_else(|| {
-                    helix_dataflow::DataCollection::empty(helix_dataflow::Schema::of(&[]))
-                }))
+            Ok(inputs.first().map(|dc| (*dc).clone()).unwrap_or_else(|| {
+                helix_dataflow::DataCollection::empty(helix_dataflow::Schema::of(&[]))
+            }))
         })
     };
     for layer in 0..depth {
@@ -33,25 +30,35 @@ fn synthetic_workflow(depth: usize, width: usize) -> (Workflow, Vec<NodeCosts>) 
         for i in 0..width {
             let name = format!("n{layer}_{i}");
             let node = if prev.is_empty() {
-                w.add(name, OperatorKind::UserDefined(dummy_udf()), &[]).unwrap()
+                w.add(name, OperatorKind::UserDefined(dummy_udf()), &[])
+                    .unwrap()
             } else {
                 let a = &prev[(next() as usize) % prev.len()];
                 let b = &prev[(next() as usize) % prev.len()];
-                w.add(name, OperatorKind::UserDefined(dummy_udf()), &[a, b]).unwrap()
+                w.add(name, OperatorKind::UserDefined(dummy_udf()), &[a, b])
+                    .unwrap()
             };
             current.push(node);
         }
         prev = current;
     }
     let sink = w
-        .add("sink", OperatorKind::UserDefined(dummy_udf()), &prev.iter().collect::<Vec<_>>())
+        .add(
+            "sink",
+            OperatorKind::UserDefined(dummy_udf()),
+            &prev.iter().collect::<Vec<_>>(),
+        )
         .unwrap();
     w.output(&sink);
 
     let costs = (0..w.len())
         .map(|_| NodeCosts {
             compute_us: next() % 100_000 + 100,
-            load_us: if next() % 2 == 0 { Some(next() % 50_000 + 50) } else { None },
+            load_us: if next() % 2 == 0 {
+                Some(next() % 50_000 + 50)
+            } else {
+                None
+            },
         })
         .collect();
     (w, costs)
@@ -71,9 +78,7 @@ fn bench_policies(c: &mut Criterion) {
             group.bench_with_input(
                 BenchmarkId::new(format!("{policy:?}"), &label),
                 &policy,
-                |b, &policy| {
-                    b.iter(|| plan_states(&w, &active, &costs, policy).unwrap().len())
-                },
+                |b, &policy| b.iter(|| plan_states(&w, &active, &costs, policy).unwrap().len()),
             );
         }
     }

@@ -22,7 +22,15 @@ use std::path::{Path, PathBuf};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
-    let which = args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_else(|| "all".into());
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".into());
+    if !matches!(which.as_str(), "a" | "b" | "unopt" | "all") {
+        eprintln!("unknown figure `{which}`; usage: fig2 [a|b|unopt|all] [--fast]");
+        std::process::exit(2);
+    }
 
     let out_dir = PathBuf::from("bench_results");
     std::fs::create_dir_all(&out_dir).expect("create bench_results/");
@@ -32,7 +40,10 @@ fn main() {
     if which == "a" || which == "all" || which == "unopt" {
         let ie_dir = work.join("ie-data");
         let spec = if fast {
-            NewsDataSpec { docs: 120, ..Default::default() }
+            NewsDataSpec {
+                docs: 120,
+                ..Default::default()
+            }
         } else {
             NewsDataSpec::default()
         };
@@ -51,7 +62,11 @@ fn main() {
     if which == "b" || which == "all" || which == "unopt" {
         let census_dir = work.join("census-data");
         let spec = if fast {
-            CensusDataSpec { train_rows: 2_000, test_rows: 500, ..Default::default() }
+            CensusDataSpec {
+                train_rows: 2_000,
+                test_rows: 500,
+                ..Default::default()
+            }
         } else {
             CensusDataSpec::default()
         };
@@ -87,12 +102,21 @@ fn run_fig2a(data_dir: &Path, work: &Path, out_dir: &Path) {
 
 fn run_fig2b(data_dir: &Path, work: &Path, out_dir: &Path) {
     println!("=== Figure 2(b): Census classification, cumulative runtime ===\n");
-    let systems = [SystemKind::Helix, SystemKind::DeepDiveSim, SystemKind::KeystoneSim];
+    let systems = [
+        SystemKind::Helix,
+        SystemKind::DeepDiveSim,
+        SystemKind::KeystoneSim,
+    ];
     let series: Vec<SystemSeries> = systems
         .iter()
         .map(|s| census_series(*s, data_dir, work).expect("census series"))
         .collect();
-    finish("Figure 2(b) — Census classification", &series, out_dir, "fig2b.csv");
+    finish(
+        "Figure 2(b) — Census classification",
+        &series,
+        out_dir,
+        "fig2b.csv",
+    );
     let helix = series[0].total_secs();
     let keystone = series[2].total_secs();
     println!(
@@ -107,7 +131,12 @@ fn run_unopt_ie(data_dir: &Path, work: &Path, out_dir: &Path) {
         ie_series(SystemKind::Helix, data_dir, work).expect("helix"),
         ie_series(SystemKind::HelixUnopt, data_dir, work).expect("unopt"),
     ];
-    finish("Helix vs unoptimized (IE)", &series, out_dir, "unopt_ie.csv");
+    finish(
+        "Helix vs unoptimized (IE)",
+        &series,
+        out_dir,
+        "unopt_ie.csv",
+    );
 }
 
 fn run_unopt_census(data_dir: &Path, work: &Path, out_dir: &Path) {
@@ -116,7 +145,12 @@ fn run_unopt_census(data_dir: &Path, work: &Path, out_dir: &Path) {
         census_series(SystemKind::Helix, data_dir, work).expect("helix"),
         census_series(SystemKind::HelixUnopt, data_dir, work).expect("unopt"),
     ];
-    finish("Helix vs unoptimized (Census)", &series, out_dir, "unopt_census.csv");
+    finish(
+        "Helix vs unoptimized (Census)",
+        &series,
+        out_dir,
+        "unopt_census.csv",
+    );
 }
 
 fn finish(title: &str, series: &[SystemSeries], out_dir: &Path, csv_name: &str) {

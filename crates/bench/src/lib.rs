@@ -53,7 +53,14 @@ pub fn census_series(system: SystemKind, data_dir: &Path, work_dir: &Path) -> Re
     let script = census_iterations();
     // Census is not DeepDive's native domain: ML/eval edits hit components
     // it does not expose, truncating its series (paper Fig. 2(b)).
-    run_series(system, work_dir, &mut params, &script, census_workflow, true)
+    run_series(
+        system,
+        work_dir,
+        &mut params,
+        &script,
+        census_workflow,
+        true,
+    )
 }
 
 /// Runs the IE (Fig. 2a) iteration script for one system.
@@ -126,14 +133,21 @@ fn run_series<P>(
 pub fn render_table(title: &str, series: &[SystemSeries]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "{title}");
-    let longest = series.iter().max_by_key(|s| s.records.len()).expect("non-empty series");
+    let longest = series
+        .iter()
+        .max_by_key(|s| s.records.len())
+        .expect("non-empty series");
     let _ = write!(out, "{:<4} {:<5} {:<38}", "iter", "type", "change");
     for s in series {
         let _ = write!(out, " {:>15}", s.system.label());
     }
     let _ = writeln!(out);
     for (row, rec) in longest.records.iter().enumerate() {
-        let _ = write!(out, "{:<4} {:<5} {:<38}", rec.iteration, rec.stage, rec.description);
+        let _ = write!(
+            out,
+            "{:<4} {:<5} {:<38}",
+            rec.iteration, rec.stage, rec.description
+        );
         for s in series {
             match s.records.get(row) {
                 Some(r) => {
@@ -163,7 +177,10 @@ pub fn render_table(title: &str, series: &[SystemSeries]) -> String {
 /// CLI stand-in for Fig. 2's plots).
 pub fn render_chart(series: &[SystemSeries]) -> String {
     const WIDTH: usize = 60;
-    let max = series.iter().map(SystemSeries::total_secs).fold(0.0f64, f64::max);
+    let max = series
+        .iter()
+        .map(SystemSeries::total_secs)
+        .fold(0.0f64, f64::max);
     if max <= 0.0 {
         return String::new();
     }
@@ -228,14 +245,22 @@ mod tests {
         let dir = tmpdir("series");
         generate_census(
             &dir,
-            &CensusDataSpec { train_rows: 400, test_rows: 100, ..Default::default() },
+            &CensusDataSpec {
+                train_rows: 400,
+                test_rows: 100,
+                ..Default::default()
+            },
         )
         .unwrap();
         let helix = census_series(SystemKind::Helix, &dir, &dir).unwrap();
         let keystone = census_series(SystemKind::KeystoneSim, &dir, &dir).unwrap();
         let deepdive = census_series(SystemKind::DeepDiveSim, &dir, &dir).unwrap();
         assert_eq!(helix.records.len(), 12, "initial + 11 scripted iterations");
-        assert_eq!(deepdive.records.len(), 3, "DeepDive stops after iteration 2");
+        assert_eq!(
+            deepdive.records.len(),
+            3,
+            "DeepDive stops after iteration 2"
+        );
         assert!(
             helix.total_secs() < keystone.total_secs(),
             "Helix {:.3}s must beat KeystoneML-sim {:.3}s",
@@ -245,7 +270,7 @@ mod tests {
         let table = render_table("t", &[helix.clone(), keystone, deepdive]);
         assert!(table.contains("HELIX"));
         assert!(table.contains("—"), "truncated series renders dashes");
-        let chart = render_chart(&[helix.clone()]);
+        let chart = render_chart(std::slice::from_ref(&helix));
         assert!(chart.contains("█"));
         let csv = to_csv(&[helix]);
         assert!(csv.lines().count() > 10);

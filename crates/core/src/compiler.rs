@@ -41,17 +41,26 @@ pub struct CompiledPlan {
 impl CompiledPlan {
     /// Number of nodes planned to load from the store.
     pub fn load_count(&self) -> usize {
-        self.states.iter().filter(|s| **s == NodeState::Load).count()
+        self.states
+            .iter()
+            .filter(|s| **s == NodeState::Load)
+            .count()
     }
 
     /// Number of nodes planned to compute.
     pub fn compute_count(&self) -> usize {
-        self.states.iter().filter(|s| **s == NodeState::Compute).count()
+        self.states
+            .iter()
+            .filter(|s| **s == NodeState::Compute)
+            .count()
     }
 
     /// Number of pruned nodes (sliced or shadowed by loads).
     pub fn prune_count(&self) -> usize {
-        self.states.iter().filter(|s| **s == NodeState::Prune).count()
+        self.states
+            .iter()
+            .filter(|s| **s == NodeState::Prune)
+            .count()
     }
 }
 
@@ -85,7 +94,9 @@ pub fn compile_with_slicing(
     let slice = if enable_slicing {
         slicing::slice(workflow)?
     } else {
-        slicing::Slice { active: vec![true; workflow.len()] }
+        slicing::Slice {
+            active: vec![true; workflow.len()],
+        }
     };
     let change = previous.map(|prev| track_changes(workflow, &signatures, prev));
 
@@ -99,16 +110,29 @@ pub fn compile_with_slicing(
         let load_us = store
             .lookup(signatures[i])
             .map(|meta| secs_to_us(cost_model.load_estimate_secs(meta.bytes)));
-        costs.push(NodeCosts { compute_us: secs_to_us(compute_secs), load_us });
+        costs.push(NodeCosts {
+            compute_us: secs_to_us(compute_secs),
+            load_us,
+        });
     }
 
     let states = plan_states(workflow, &slice.active, &costs, policy)?;
-    Ok(CompiledPlan { order, signatures, active: slice.active, states, costs, change })
+    Ok(CompiledPlan {
+        order,
+        signatures,
+        active: slice.active,
+        states,
+        costs,
+        change,
+    })
 }
 
 /// Convenience for reports: pairs each node name with its plan state and
 /// change kind.
-pub fn describe_plan(workflow: &Workflow, plan: &CompiledPlan) -> Vec<(String, NodeState, ChangeKind)> {
+pub fn describe_plan(
+    workflow: &Workflow,
+    plan: &CompiledPlan,
+) -> Vec<(String, NodeState, ChangeKind)> {
     workflow
         .nodes()
         .iter()
@@ -132,8 +156,7 @@ mod tests {
     use helix_dataflow::{DataCollection, DataType, Schema};
 
     fn tmp_store(tag: &str) -> IntermediateStore {
-        let dir =
-            std::env::temp_dir().join(format!("helix-compile-{tag}-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("helix-compile-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         IntermediateStore::open(dir, 1 << 24).unwrap()
     }
@@ -142,12 +165,22 @@ mod tests {
         let mut w = Workflow::new("census");
         let src = w.csv_source("data", "train.csv", None::<&str>).unwrap();
         let rows = w
-            .csv_scanner("rows", &src, &[("age", DataType::Int), ("target", DataType::Int)])
+            .csv_scanner(
+                "rows",
+                &src,
+                &[("age", DataType::Int), ("target", DataType::Int)],
+            )
             .unwrap();
-        let age = w.field_extractor("age_f", &rows, "age", ExtractorKind::Numeric).unwrap();
-        let target = w.field_extractor("target_f", &rows, "target", ExtractorKind::Numeric).unwrap();
+        let age = w
+            .field_extractor("age_f", &rows, "age", ExtractorKind::Numeric)
+            .unwrap();
+        let target = w
+            .field_extractor("target_f", &rows, "target", ExtractorKind::Numeric)
+            .unwrap();
         let income = w.assemble("income", &rows, &[&age], &target).unwrap();
-        let preds = w.learner("predictions", &income, LearnerSpec::default()).unwrap();
+        let preds = w
+            .learner("predictions", &income, LearnerSpec::default())
+            .unwrap();
         w.output(&preds);
         w
     }
@@ -175,10 +208,7 @@ mod tests {
             cm.observe_compute(&node.name, 1.0);
         }
         let income = w.by_name("income").unwrap();
-        let out = NodeOutput::Data(DataCollection::empty(Schema::of(&[(
-            "x",
-            DataType::Int,
-        )])));
+        let out = NodeOutput::Data(DataCollection::empty(Schema::of(&[("x", DataType::Int)])));
         store.put(sigs[income.index()], &out).unwrap();
 
         let plan = compile(&w, &store, &cm, RecomputationPolicy::Optimal, None).unwrap();
@@ -217,12 +247,17 @@ mod tests {
         )
         .unwrap();
         let prev = snapshot(&w1, &sigs1);
-        let plan =
-            compile(&w2, &store, &cm, RecomputationPolicy::Optimal, Some(&prev)).unwrap();
+        let plan = compile(&w2, &store, &cm, RecomputationPolicy::Optimal, Some(&prev)).unwrap();
         assert_eq!(plan.states[income.index()], NodeState::Compute);
         let change = plan.change.as_ref().unwrap();
-        assert_eq!(change.kinds[w2.by_name("rows").unwrap().index()], ChangeKind::LocallyChanged);
-        assert_eq!(change.kinds[income.index()], ChangeKind::TransitivelyAffected);
+        assert_eq!(
+            change.kinds[w2.by_name("rows").unwrap().index()],
+            ChangeKind::LocallyChanged
+        );
+        assert_eq!(
+            change.kinds[income.index()],
+            ChangeKind::TransitivelyAffected
+        );
     }
 
     #[test]

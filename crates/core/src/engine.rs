@@ -151,15 +151,13 @@ impl Engine {
                     let mut parent_outputs: Vec<&NodeOutput> =
                         Vec::with_capacity(node.parents.len());
                     for parent in &node.parents {
-                        parent_outputs.push(outputs[parent.index()].as_ref().ok_or_else(
-                            || {
-                                HelixError::Exec(format!(
-                                    "parent `{}` of `{}` unavailable (plan bug)",
-                                    workflow.node(*parent).name,
-                                    node.name
-                                ))
-                            },
-                        )?);
+                        parent_outputs.push(outputs[parent.index()].as_ref().ok_or_else(|| {
+                            HelixError::Exec(format!(
+                                "parent `{}` of `{}` unavailable (plan bug)",
+                                workflow.node(*parent).name,
+                                node.name
+                            ))
+                        })?);
                     }
                     let started = Instant::now();
                     let output = crate::exec::execute(&node.kind, &node.name, &parent_outputs)?;
@@ -169,19 +167,13 @@ impl Engine {
                     node_reports[i].duration_secs = secs;
                     node_reports[i].output_bytes = est_bytes;
 
-                    // Harvest metrics from evaluation nodes.
-                    if matches!(node.kind, OperatorKind::Evaluate(_)) {
-                        metrics.extend(crate::exec::metric_values(&output)?);
-                    }
-
                     // Online materialization decision, immediately upon
                     // operator completion (paper §2.3).
                     let size = self.cost_model.expected_encoded_bytes(est_bytes);
                     let ctx = MaterializationContext {
                         load_cost_secs: self.cost_model.load_estimate_secs(size),
                         compute_cost_secs: secs,
-                        ancestors_compute_secs: self
-                            .ancestors_compute_estimate(workflow, id),
+                        ancestors_compute_secs: self.ancestors_compute_estimate(workflow, id),
                         size_bytes: size,
                         remaining_budget_bytes: self.store.remaining_bytes(),
                     };
@@ -204,6 +196,13 @@ impl Engine {
                         }
                     }
                     outputs[i] = Some(output);
+                }
+            }
+            // Evaluation results carry this iteration's metrics whether
+            // they were computed fresh or reused from the store.
+            if matches!(workflow.node(id).kind, OperatorKind::Evaluate(_)) {
+                if let Some(output) = &outputs[i] {
+                    metrics.extend(crate::exec::metric_values(output)?);
                 }
             }
         }
@@ -237,15 +236,14 @@ impl Engine {
 
     /// Sum of compute-cost estimates over all ancestors of `id` — the
     /// `Σ_{j ∈ A(i)} c_j` term of the materialization heuristic.
-    fn ancestors_compute_estimate(
-        &self,
-        workflow: &Workflow,
-        id: crate::workflow::NodeId,
-    ) -> f64 {
+    fn ancestors_compute_estimate(&self, workflow: &Workflow, id: crate::workflow::NodeId) -> f64 {
         workflow
             .ancestors(id)
             .iter()
-            .filter_map(|a| self.cost_model.compute_estimate_secs(&workflow.node(*a).name))
+            .filter_map(|a| {
+                self.cost_model
+                    .compute_estimate_secs(&workflow.node(*a).name)
+            })
             .sum()
     }
 }
@@ -267,8 +265,12 @@ mod tests {
         let train = dir.join("train.csv");
         let test = dir.join("test.csv");
         if !train.exists() {
-            std::fs::write(&train, "BS,30,1\nMS,40,0\n".repeat(50)).unwrap();
-            std::fs::write(&test, "BS,35,1\nMS,45,0\n".repeat(10)).unwrap();
+            // Large enough that recomputing the pre-processing chain
+            // costs clearly more than loading its materialized output;
+            // at ~100 rows the two are within scheduler noise of each
+            // other and plan assertions get flaky.
+            std::fs::write(&train, "BS,30,1\nMS,40,0\n".repeat(2_000)).unwrap();
+            std::fs::write(&test, "BS,35,1\nMS,45,0\n".repeat(400)).unwrap();
         }
         let mut w = Workflow::new("census-mini");
         let data = w.csv_source("data", &train, Some(&test)).unwrap();
@@ -276,22 +278,44 @@ mod tests {
             .csv_scanner(
                 "rows",
                 &data,
-                &[("edu", DataType::Str), ("age", DataType::Int), ("target", DataType::Int)],
+                &[
+                    ("edu", DataType::Str),
+                    ("age", DataType::Int),
+                    ("target", DataType::Int),
+                ],
             )
             .unwrap();
-        let edu = w.field_extractor("edu_f", &rows, "edu", ExtractorKind::Categorical).unwrap();
-        let age = w.field_extractor("age_f", &rows, "age", ExtractorKind::Numeric).unwrap();
+        let edu = w
+            .field_extractor("edu_f", &rows, "edu", ExtractorKind::Categorical)
+            .unwrap();
+        let age = w
+            .field_extractor("age_f", &rows, "age", ExtractorKind::Numeric)
+            .unwrap();
         let bucket = w.bucketizer("age_bucket", &age, 4).unwrap();
-        let target = w.field_extractor("target_f", &rows, "target", ExtractorKind::Numeric).unwrap();
-        let income = w.assemble("income", &rows, &[&edu, &bucket], &target).unwrap();
+        let target = w
+            .field_extractor("target_f", &rows, "target", ExtractorKind::Numeric)
+            .unwrap();
+        let income = w
+            .assemble("income", &rows, &[&edu, &bucket], &target)
+            .unwrap();
         let preds = w
-            .learner("predictions", &income, LearnerSpec { reg_param: reg, ..Default::default() })
+            .learner(
+                "predictions",
+                &income,
+                LearnerSpec {
+                    reg_param: reg,
+                    ..Default::default()
+                },
+            )
             .unwrap();
         let checked = w
             .evaluate(
                 "checked",
                 &preds,
-                EvalSpec { metrics: vec![MetricKind::Accuracy, MetricKind::F1], split: crate::SPLIT_TEST.into() },
+                EvalSpec {
+                    metrics: vec![MetricKind::Accuracy, MetricKind::F1],
+                    split: crate::SPLIT_TEST.into(),
+                },
             )
             .unwrap();
         w.output(&preds);
@@ -340,7 +364,11 @@ mod tests {
         // The income node (pre-processing output) should be loaded, not
         // recomputed, while the model retrains.
         let income = report.nodes.iter().find(|n| n.name == "income").unwrap();
-        let model = report.nodes.iter().find(|n| n.name == "predictions__model").unwrap();
+        let model = report
+            .nodes
+            .iter()
+            .find(|n| n.name == "predictions__model")
+            .unwrap();
         assert_eq!(income.state, NodeState::Load);
         assert_eq!(model.state, NodeState::Compute);
         assert_eq!(model.change, ChangeKind::LocallyChanged);
@@ -363,7 +391,10 @@ mod tests {
             let w = census_workflow(&dir, reg);
             let a = helix.run(&w).unwrap();
             let b = unopt.run(&w).unwrap();
-            assert_eq!(a.metrics, b.metrics, "reuse must not change results (reg={reg})");
+            assert_eq!(
+                a.metrics, b.metrics,
+                "reuse must not change results (reg={reg})"
+            );
         }
     }
 
@@ -407,6 +438,10 @@ mod tests {
         engine.run(&w).unwrap();
         let plan = engine.compile_only(&w).unwrap();
         assert!(plan.load_count() > 0, "preview sees materializations");
-        assert_eq!(engine.versions().len(), 1, "compile_only must not record versions");
+        assert_eq!(
+            engine.versions().len(),
+            1,
+            "compile_only must not record versions"
+        );
     }
 }

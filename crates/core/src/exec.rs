@@ -21,7 +21,11 @@ pub fn feats_schema() -> Arc<Schema> {
 
 /// Schema of assembled learner inputs.
 pub fn assembled_schema() -> Arc<Schema> {
-    Schema::of(&[(SPLIT_COL, DataType::Str), ("label", DataType::Float), ("feats", DataType::List)])
+    Schema::of(&[
+        (SPLIT_COL, DataType::Str),
+        ("label", DataType::Float),
+        ("feats", DataType::List),
+    ])
 }
 
 /// Schema of prediction outputs.
@@ -55,7 +59,10 @@ pub fn decode_pairs(cell: &Value) -> Result<Vec<(String, f64)>> {
             .as_list()
             .ok_or_else(|| HelixError::Exec("feature pair is not a list".into()))?;
         if pair.len() != 2 {
-            return Err(HelixError::Exec(format!("feature pair has {} items", pair.len())));
+            return Err(HelixError::Exec(format!(
+                "feature pair has {} items",
+                pair.len()
+            )));
         }
         let name = pair[0]
             .as_str()
@@ -71,12 +78,14 @@ pub fn decode_pairs(cell: &Value) -> Result<Vec<(String, f64)>> {
 /// Executes `kind` over parent outputs (in wiring order).
 pub fn execute(kind: &OperatorKind, name: &str, inputs: &[&NodeOutput]) -> Result<NodeOutput> {
     match kind {
-        OperatorKind::CsvSource { train_path, test_path } => {
-            exec_csv_source(train_path, test_path.as_deref())
-        }
-        OperatorKind::TextSource { path, test_fraction } => {
-            exec_text_source(path, *test_fraction)
-        }
+        OperatorKind::CsvSource {
+            train_path,
+            test_path,
+        } => exec_csv_source(train_path, test_path.as_deref()),
+        OperatorKind::TextSource {
+            path,
+            test_fraction,
+        } => exec_text_source(path, *test_fraction),
         OperatorKind::CsvScan { fields } => exec_csv_scan(fields, data(inputs, 0, name)?),
         OperatorKind::FieldExtractor { field, kind } => {
             exec_field_extractor(field, *kind, data(inputs, 0, name)?)
@@ -138,14 +147,16 @@ fn exec_csv_source(train_path: &Path, test_path: Option<&Path>) -> Result<NodeOu
     let schema = Schema::of(&[(SPLIT_COL, DataType::Str), ("line", DataType::Str)]);
     let mut rows = Vec::new();
     let mut read_split = |path: &Path, split: &str| -> Result<()> {
-        let text = std::fs::read_to_string(path).map_err(|e| {
-            HelixError::Exec(format!("cannot read source {}: {e}", path.display()))
-        })?;
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| HelixError::Exec(format!("cannot read source {}: {e}", path.display())))?;
         for line in text.lines() {
             if line.trim().is_empty() {
                 continue;
             }
-            rows.push(Row(vec![Value::Str(split.to_string()), Value::Str(line.to_string())]));
+            rows.push(Row(vec![
+                Value::Str(split.to_string()),
+                Value::Str(line.to_string()),
+            ]));
         }
         Ok(())
     };
@@ -153,7 +164,9 @@ fn exec_csv_source(train_path: &Path, test_path: Option<&Path>) -> Result<NodeOu
     if let Some(test) = test_path {
         read_split(test, SPLIT_TEST)?;
     }
-    Ok(NodeOutput::Data(DataCollection::from_rows_unchecked(schema, rows)))
+    Ok(NodeOutput::Data(DataCollection::from_rows_unchecked(
+        schema, rows,
+    )))
 }
 
 fn exec_text_source(path: &Path, test_fraction: f64) -> Result<NodeOutput> {
@@ -176,16 +189,19 @@ fn exec_text_source(path: &Path, test_fraction: f64) -> Result<NodeOutput> {
             } else {
                 SPLIT_TRAIN
             };
-            Row(vec![row.get(0).clone(), row.get(1).clone(), Value::Str(split.to_string())])
+            Row(vec![
+                row.get(0).clone(),
+                row.get(1).clone(),
+                Value::Str(split.to_string()),
+            ])
         })
         .collect();
-    Ok(NodeOutput::Data(DataCollection::from_rows_unchecked(schema, rows)))
+    Ok(NodeOutput::Data(DataCollection::from_rows_unchecked(
+        schema, rows,
+    )))
 }
 
-fn exec_csv_scan(
-    fields: &[(String, DataType)],
-    input: &DataCollection,
-) -> Result<NodeOutput> {
+fn exec_csv_scan(fields: &[(String, DataType)], input: &DataCollection) -> Result<NodeOutput> {
     let mut schema_fields = vec![(SPLIT_COL, DataType::Str)];
     for (name, dtype) in fields {
         schema_fields.push((name.as_str(), *dtype));
@@ -256,10 +272,21 @@ fn exec_bucketizer(bins: usize, input: &DataCollection) -> Result<NodeOutput> {
     }
     if !min.is_finite() {
         // No values at all: emit empty fragments.
-        let rows = input.rows().iter().map(|_| Row(vec![Value::List(vec![])])).collect();
-        return Ok(NodeOutput::Data(DataCollection::from_rows_unchecked(feats_schema(), rows)));
+        let rows = input
+            .rows()
+            .iter()
+            .map(|_| Row(vec![Value::List(vec![])]))
+            .collect();
+        return Ok(NodeOutput::Data(DataCollection::from_rows_unchecked(
+            feats_schema(),
+            rows,
+        )));
     }
-    let width = if max > min { (max - min) / bins as f64 } else { 1.0 };
+    let width = if max > min {
+        (max - min) / bins as f64
+    } else {
+        1.0
+    };
     let mut rows = Vec::with_capacity(input.len());
     for row in input.rows() {
         let mut out_pairs = Vec::new();
@@ -269,7 +296,10 @@ fn exec_bucketizer(bins: usize, input: &DataCollection) -> Result<NodeOutput> {
         }
         rows.push(Row(vec![Value::List(out_pairs)]));
     }
-    Ok(NodeOutput::Data(DataCollection::from_rows_unchecked(feats_schema(), rows)))
+    Ok(NodeOutput::Data(DataCollection::from_rows_unchecked(
+        feats_schema(),
+        rows,
+    )))
 }
 
 fn exec_interaction(inputs: &[&DataCollection]) -> Result<NodeOutput> {
@@ -311,7 +341,10 @@ fn exec_interaction(inputs: &[&DataCollection]) -> Result<NodeOutput> {
             .collect();
         rows.push(Row(vec![Value::List(out_pairs)]));
     }
-    Ok(NodeOutput::Data(DataCollection::from_rows_unchecked(feats_schema(), rows)))
+    Ok(NodeOutput::Data(DataCollection::from_rows_unchecked(
+        feats_schema(),
+        rows,
+    )))
 }
 
 fn exec_assemble(
@@ -349,7 +382,10 @@ fn exec_assemble(
             Value::List(all_pairs),
         ]));
     }
-    Ok(NodeOutput::Data(DataCollection::from_rows_unchecked(assembled_schema(), rows)))
+    Ok(NodeOutput::Data(DataCollection::from_rows_unchecked(
+        assembled_schema(),
+        rows,
+    )))
 }
 
 // ---------------------------------------------------------------------------
@@ -394,7 +430,9 @@ fn exec_train(spec: &LearnerSpec, assembled: &DataCollection) -> Result<NodeOutp
             helix_ml::Model::LinReg(helix_ml::linreg::train(&dataset, &config)?)
         }
         ModelType::NaiveBayes => {
-            let config = helix_ml::naive_bayes::NaiveBayesConfig { alpha: spec.reg_param.max(1e-3) };
+            let config = helix_ml::naive_bayes::NaiveBayesConfig {
+                alpha: spec.reg_param.max(1e-3),
+            };
             helix_ml::Model::NaiveBayes(helix_ml::naive_bayes::train(&dataset, &config)?)
         }
         ModelType::Perceptron => {
@@ -431,7 +469,10 @@ fn exec_apply(bundle: &TrainedModel, assembled: &DataCollection) -> Result<NodeO
             Value::Float(pred),
         ]));
     }
-    Ok(NodeOutput::Data(DataCollection::from_rows_unchecked(predictions_schema(), rows)))
+    Ok(NodeOutput::Data(DataCollection::from_rows_unchecked(
+        predictions_schema(),
+        rows,
+    )))
 }
 
 fn exec_evaluate(spec: &EvalSpec, predictions: &DataCollection) -> Result<NodeOutput> {
@@ -461,9 +502,15 @@ fn exec_evaluate(spec: &EvalSpec, predictions: &DataCollection) -> Result<NodeOu
             MetricKind::LogLoss => helix_ml::metrics::log_loss(&scores, &labels)?,
             MetricKind::Rmse => helix_ml::metrics::rmse(&scores, &labels)?,
         };
-        rows.push(Row(vec![Value::Str(metric.name().to_string()), Value::Float(value)]));
+        rows.push(Row(vec![
+            Value::Str(metric.name().to_string()),
+            Value::Float(value),
+        ]));
     }
-    Ok(NodeOutput::Data(DataCollection::from_rows_unchecked(metrics_schema(), rows)))
+    Ok(NodeOutput::Data(DataCollection::from_rows_unchecked(
+        metrics_schema(),
+        rows,
+    )))
 }
 
 /// Extracts `(metric, value)` pairs from an Evaluate node's output.
@@ -520,8 +567,11 @@ mod tests {
         let dir = tmpdir("scan");
         let rows = source_and_scan(&dir);
         assert_eq!(rows.len(), 5);
-        let splits: Vec<&str> =
-            rows.column(SPLIT_COL).unwrap().map(|v| v.as_str().unwrap()).collect();
+        let splits: Vec<&str> = rows
+            .column(SPLIT_COL)
+            .unwrap()
+            .map(|v| v.as_str().unwrap())
+            .collect();
         assert_eq!(splits, vec!["train", "train", "train", "test", "test"]);
         assert_eq!(rows.rows()[0].get(1), &Value::Int(30));
         assert_eq!(rows.rows()[0].get(2).as_str(), Some("BS"));
@@ -552,7 +602,11 @@ mod tests {
         let train = write_csv(&dir, "train.csv", "?,BS,1\n");
         let src = exec_csv_source(&train, None).unwrap();
         let scanned = exec_csv_scan(
-            &[("age".to_string(), DataType::Int), ("edu".to_string(), DataType::Str), ("t".to_string(), DataType::Int)],
+            &[
+                ("age".to_string(), DataType::Int),
+                ("edu".to_string(), DataType::Str),
+                ("t".to_string(), DataType::Int),
+            ],
             src.as_data().unwrap(),
         )
         .unwrap();
@@ -582,8 +636,7 @@ mod tests {
         let rows = source_and_scan(&dir);
         let edu = exec_field_extractor("edu", ExtractorKind::Categorical, &rows).unwrap();
         let age = exec_field_extractor("age", ExtractorKind::Numeric, &rows).unwrap();
-        let out =
-            exec_interaction(&[edu.as_data().unwrap(), age.as_data().unwrap()]).unwrap();
+        let out = exec_interaction(&[edu.as_data().unwrap(), age.as_data().unwrap()]).unwrap();
         let pairs = decode_pairs(out.as_data().unwrap().rows()[0].get(0)).unwrap();
         assert_eq!(pairs, vec![("edu=BS×age".to_string(), 30.0)]);
     }
@@ -594,12 +647,8 @@ mod tests {
         let rows = source_and_scan(&dir);
         let edu = exec_field_extractor("edu", ExtractorKind::Categorical, &rows).unwrap();
         let target = exec_field_extractor("target", ExtractorKind::Numeric, &rows).unwrap();
-        let out = exec_assemble(
-            &rows,
-            &[edu.as_data().unwrap()],
-            target.as_data().unwrap(),
-        )
-        .unwrap();
+        let out =
+            exec_assemble(&rows, &[edu.as_data().unwrap()], target.as_data().unwrap()).unwrap();
         let dc = out.as_data().unwrap();
         assert_eq!(dc.len(), 5);
         assert_eq!(dc.rows()[0].get(1), &Value::Float(1.0));
@@ -611,15 +660,14 @@ mod tests {
     fn end_to_end_train_apply_evaluate() {
         let dir = tmpdir("e2e");
         // Perfectly separable: edu=BS ⇒ 1, edu=MS ⇒ 0.
-        let train = write_csv(
-            &dir,
-            "train2.csv",
-            &"BS,1\nMS,0\n".repeat(30),
-        );
+        let train = write_csv(&dir, "train2.csv", &"BS,1\nMS,0\n".repeat(30));
         let test = write_csv(&dir, "test2.csv", "BS,1\nMS,0\nBS,1\n");
         let src = exec_csv_source(&train, Some(&test)).unwrap();
         let rows = exec_csv_scan(
-            &[("edu".to_string(), DataType::Str), ("target".to_string(), DataType::Int)],
+            &[
+                ("edu".to_string(), DataType::Str),
+                ("target".to_string(), DataType::Int),
+            ],
             src.as_data().unwrap(),
         )
         .unwrap();
@@ -631,7 +679,10 @@ mod tests {
         let model = exec_train(&LearnerSpec::default(), assembled.as_data().unwrap()).unwrap();
         let preds = exec_apply(model.as_model().unwrap(), assembled.as_data().unwrap()).unwrap();
         let eval = exec_evaluate(
-            &EvalSpec { metrics: vec![MetricKind::Accuracy, MetricKind::F1], split: SPLIT_TEST.into() },
+            &EvalSpec {
+                metrics: vec![MetricKind::Accuracy, MetricKind::F1],
+                split: SPLIT_TEST.into(),
+            },
             preds.as_data().unwrap(),
         )
         .unwrap();
@@ -649,7 +700,10 @@ mod tests {
         let test = write_csv(&dir, "test3.csv", "PhD,1\n");
         let src = exec_csv_source(&train, Some(&test)).unwrap();
         let rows = exec_csv_scan(
-            &[("edu".to_string(), DataType::Str), ("target".to_string(), DataType::Int)],
+            &[
+                ("edu".to_string(), DataType::Str),
+                ("target".to_string(), DataType::Int),
+            ],
             src.as_data().unwrap(),
         )
         .unwrap();
@@ -680,7 +734,10 @@ mod tests {
         let train = write_csv(&dir, "bad.csv", "1,2\n1\n");
         let src = exec_csv_source(&train, None).unwrap();
         let result = exec_csv_scan(
-            &[("a".to_string(), DataType::Int), ("b".to_string(), DataType::Int)],
+            &[
+                ("a".to_string(), DataType::Int),
+                ("b".to_string(), DataType::Int),
+            ],
             src.as_data().unwrap(),
         );
         assert!(result.is_err());

@@ -42,9 +42,11 @@ pub mod workflow;
 
 pub use engine::{Engine, EngineConfig};
 pub use error::HelixError;
-pub use ops::{EvalSpec, ExtractorKind, LearnerSpec, MetricKind, ModelType, NodeOutput, OperatorKind, Udf};
-pub use recompute::{NodeState, RecomputationPolicy};
 pub use materialize::MaterializationPolicyKind;
+pub use ops::{
+    EvalSpec, ExtractorKind, LearnerSpec, MetricKind, ModelType, NodeOutput, OperatorKind, Udf,
+};
+pub use recompute::{NodeState, RecomputationPolicy};
 pub use report::IterationReport;
 pub use workflow::{NodeId, NodeRef, Workflow};
 

@@ -81,15 +81,20 @@ pub struct OfflineCandidate {
 ///
 /// Returns the chosen candidate indices.
 pub fn offline_optimal(candidates: &[OfflineCandidate], budget_bytes: u64) -> Vec<usize> {
-    assert!(candidates.len() <= 64, "offline solver limited to 64 candidates");
+    assert!(
+        candidates.len() <= 64,
+        "offline solver limited to 64 candidates"
+    );
     if candidates.is_empty() || budget_bytes == 0 {
         return Vec::new();
     }
     // Bucket sizes to keep the DP table small: 1 KiB granularity.
     const BUCKET: u64 = 1024;
     let cap = (budget_bytes / BUCKET) as usize;
-    let weights: Vec<usize> =
-        candidates.iter().map(|c| (c.size_bytes.div_ceil(BUCKET)) as usize).collect();
+    let weights: Vec<usize> = candidates
+        .iter()
+        .map(|c| (c.size_bytes.div_ceil(BUCKET)) as usize)
+        .collect();
     let values: Vec<f64> = candidates.iter().map(|c| c.benefit_secs.max(0.0)).collect();
     // Carry the chosen set as a bitmask beside each DP cell: exact and
     // traceback-free (the 1-D keep-matrix traceback is subtly incorrect).
@@ -107,14 +112,22 @@ pub fn offline_optimal(candidates: &[OfflineCandidate], budget_bytes: u64) -> Ve
             }
         }
     }
-    (0..candidates.len()).filter(|i| mask[cap] & (1 << i) != 0).collect()
+    (0..candidates.len())
+        .filter(|i| mask[cap] & (1 << i) != 0)
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn ctx(load: f64, compute: f64, ancestors: f64, size: u64, remaining: u64) -> MaterializationContext {
+    fn ctx(
+        load: f64,
+        compute: f64,
+        ancestors: f64,
+        size: u64,
+        remaining: u64,
+    ) -> MaterializationContext {
         MaterializationContext {
             load_cost_secs: load,
             compute_cost_secs: compute,
@@ -158,9 +171,18 @@ mod tests {
     #[test]
     fn offline_optimal_picks_best_value_under_budget() {
         let candidates = vec![
-            OfflineCandidate { benefit_secs: 10.0, size_bytes: 700 * 1024 },
-            OfflineCandidate { benefit_secs: 7.0, size_bytes: 400 * 1024 },
-            OfflineCandidate { benefit_secs: 6.0, size_bytes: 400 * 1024 },
+            OfflineCandidate {
+                benefit_secs: 10.0,
+                size_bytes: 700 * 1024,
+            },
+            OfflineCandidate {
+                benefit_secs: 7.0,
+                size_bytes: 400 * 1024,
+            },
+            OfflineCandidate {
+                benefit_secs: 6.0,
+                size_bytes: 400 * 1024,
+            },
         ];
         // Budget 1 MiB: {0} alone (10.0) loses to {1, 2} (13.0); {0, 1}
         // does not fit (1100 KiB).
@@ -189,8 +211,10 @@ mod tests {
                 .collect();
             let budget = (next() % 128 + 1) * 1024;
             let chosen = offline_optimal(&candidates, budget);
-            let chosen_size: u64 =
-                chosen.iter().map(|&i| candidates[i].size_bytes.div_ceil(1024)).sum();
+            let chosen_size: u64 = chosen
+                .iter()
+                .map(|&i| candidates[i].size_bytes.div_ceil(1024))
+                .sum();
             assert!(chosen_size * 1024 <= budget.next_multiple_of(1024));
             let chosen_value: f64 = chosen.iter().map(|&i| candidates[i].benefit_secs).sum();
             let mut best = 0.0f64;
@@ -207,15 +231,24 @@ mod tests {
                     best = best.max(value);
                 }
             }
-            assert!((chosen_value - best).abs() < 1e-9, "{chosen_value} vs {best}");
+            assert!(
+                (chosen_value - best).abs() < 1e-9,
+                "{chosen_value} vs {best}"
+            );
         }
     }
 
     #[test]
     fn offline_optimal_respects_budget_exactly() {
         let candidates = vec![
-            OfflineCandidate { benefit_secs: 5.0, size_bytes: 1024 },
-            OfflineCandidate { benefit_secs: 5.0, size_bytes: 1024 },
+            OfflineCandidate {
+                benefit_secs: 5.0,
+                size_bytes: 1024,
+            },
+            OfflineCandidate {
+                benefit_secs: 5.0,
+                size_bytes: 1024,
+            },
         ];
         let chosen = offline_optimal(&candidates, 1024);
         assert_eq!(chosen.len(), 1);
@@ -225,7 +258,10 @@ mod tests {
 
     #[test]
     fn offline_ignores_oversized_items() {
-        let candidates = vec![OfflineCandidate { benefit_secs: 100.0, size_bytes: 1 << 30 }];
+        let candidates = vec![OfflineCandidate {
+            benefit_secs: 100.0,
+            size_bytes: 1 << 30,
+        }];
         assert!(offline_optimal(&candidates, 1024).is_empty());
     }
 }

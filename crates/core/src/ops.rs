@@ -22,8 +22,11 @@ pub struct Udf {
     /// Version tag participating in the operator signature.
     pub version: String,
     /// The transform itself: inputs are parent outputs, in wiring order.
-    pub func: Arc<dyn Fn(&[&DataCollection]) -> Result<DataCollection> + Send + Sync>,
+    pub func: Arc<UdfFn>,
 }
+
+/// Signature of a user-defined transform over parent outputs.
+pub type UdfFn = dyn Fn(&[&DataCollection]) -> Result<DataCollection> + Send + Sync;
 
 impl Udf {
     /// Wraps a closure with a version tag.
@@ -31,13 +34,18 @@ impl Udf {
         version: impl Into<String>,
         func: impl Fn(&[&DataCollection]) -> Result<DataCollection> + Send + Sync + 'static,
     ) -> Self {
-        Udf { version: version.into(), func: Arc::new(func) }
+        Udf {
+            version: version.into(),
+            func: Arc::new(func),
+        }
     }
 }
 
 impl fmt::Debug for Udf {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Udf").field("version", &self.version).finish_non_exhaustive()
+        f.debug_struct("Udf")
+            .field("version", &self.version)
+            .finish_non_exhaustive()
     }
 }
 
@@ -155,7 +163,10 @@ pub struct EvalSpec {
 
 impl Default for EvalSpec {
     fn default() -> Self {
-        EvalSpec { metrics: vec![MetricKind::Accuracy], split: crate::SPLIT_TEST.to_string() }
+        EvalSpec {
+            metrics: vec![MetricKind::Accuracy],
+            split: crate::SPLIT_TEST.to_string(),
+        }
     }
 }
 
@@ -241,17 +252,25 @@ impl OperatorKind {
     /// parameter strings are considered unchanged by the change tracker.
     pub fn params_string(&self) -> String {
         match self {
-            OperatorKind::CsvSource { train_path, test_path } => format!(
+            OperatorKind::CsvSource {
+                train_path,
+                test_path,
+            } => format!(
                 "train={};test={}",
                 train_path.display(),
-                test_path.as_ref().map(|p| p.display().to_string()).unwrap_or_default()
+                test_path
+                    .as_ref()
+                    .map(|p| p.display().to_string())
+                    .unwrap_or_default()
             ),
-            OperatorKind::TextSource { path, test_fraction } => {
+            OperatorKind::TextSource {
+                path,
+                test_fraction,
+            } => {
                 format!("path={};test_fraction={test_fraction}", path.display())
             }
             OperatorKind::CsvScan { fields } => {
-                let cols: Vec<String> =
-                    fields.iter().map(|(n, t)| format!("{n}:{t}")).collect();
+                let cols: Vec<String> = fields.iter().map(|(n, t)| format!("{n}:{t}")).collect();
                 cols.join(",")
             }
             OperatorKind::FieldExtractor { field, kind } => {
@@ -357,7 +376,10 @@ impl TrainedModel {
             return Err(err("trailing bytes"));
         }
         let model = helix_ml::Model::decode(model_bytes)?;
-        Ok(TrainedModel { model, feature_names })
+        Ok(TrainedModel {
+            model,
+            feature_names,
+        })
     }
 
     /// Rebuilds the frozen feature space.
@@ -438,7 +460,9 @@ impl NodeOutput {
         match tag {
             OUT_TAG_DATA => Ok(NodeOutput::Data(helix_dataflow::codec::decode(rest)?)),
             OUT_TAG_MODEL => Ok(NodeOutput::Model(TrainedModel::decode(rest)?)),
-            other => Err(crate::HelixError::Store(format!("bad node output tag {other}"))),
+            other => Err(crate::HelixError::Store(format!(
+                "bad node output tag {other}"
+            ))),
         }
     }
 }
@@ -451,7 +475,10 @@ mod tests {
     #[test]
     fn params_strings_distinguish_configs() {
         let a = OperatorKind::Train(LearnerSpec::default());
-        let b = OperatorKind::Train(LearnerSpec { reg_param: 0.5, ..Default::default() });
+        let b = OperatorKind::Train(LearnerSpec {
+            reg_param: 0.5,
+            ..Default::default()
+        });
         assert_ne!(a.params_string(), b.params_string());
         let c = OperatorKind::FieldExtractor {
             field: "age".into(),
@@ -470,7 +497,10 @@ mod tests {
             OperatorKind::CsvScan { fields: vec![] }.stage(),
             Stage::DataPreProcessing
         );
-        assert_eq!(OperatorKind::Train(LearnerSpec::default()).stage(), Stage::MachineLearning);
+        assert_eq!(
+            OperatorKind::Train(LearnerSpec::default()).stage(),
+            Stage::MachineLearning
+        );
         assert_eq!(
             OperatorKind::Evaluate(EvalSpec::default()).stage(),
             Stage::Evaluation

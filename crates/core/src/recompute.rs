@@ -132,7 +132,11 @@ fn plan_optimal(
         }
         let l = costs[i].load_or_inf() as i64;
         let c = costs[i].compute_us as i64;
-        let a = if is_output[i] { Project::mandatory(-l) } else { Project::new(-l) };
+        let a = if is_output[i] {
+            Project::mandatory(-l)
+        } else {
+            Project::new(-l)
+        };
         psp.add_project(a);
         psp.add_project(Project::new(l - c));
     }
@@ -148,8 +152,8 @@ fn plan_optimal(
     }
     let solution = psp.solve();
     let mut states = Vec::with_capacity(n);
-    for i in 0..n {
-        let state = if !active[i] {
+    for (i, &is_active) in active.iter().enumerate().take(n) {
+        let state = if !is_active {
             NodeState::Prune
         } else if solution.selected[2 * i + 1] {
             NodeState::Compute
@@ -165,7 +169,13 @@ fn plan_optimal(
 
 fn plan_compute_all(workflow: &Workflow, active: &[bool]) -> Vec<NodeState> {
     (0..workflow.len())
-        .map(|i| if active[i] { NodeState::Compute } else { NodeState::Prune })
+        .map(|i| {
+            if active[i] {
+                NodeState::Compute
+            } else {
+                NodeState::Prune
+            }
+        })
         .collect()
 }
 
@@ -274,14 +284,13 @@ mod tests {
                 .map(|&(src, _)| &refs[src])
                 .collect();
             let udf = crate::ops::Udf::new("v1", |inputs: &[&helix_dataflow::DataCollection]| {
-                Ok(inputs
-                    .first()
-                    .map(|dc| (*dc).clone())
-                    .unwrap_or_else(|| {
-                        helix_dataflow::DataCollection::empty(helix_dataflow::Schema::of(&[]))
-                    }))
+                Ok(inputs.first().map(|dc| (*dc).clone()).unwrap_or_else(|| {
+                    helix_dataflow::DataCollection::empty(helix_dataflow::Schema::of(&[]))
+                }))
             });
-            let r = w.add(format!("n{i}"), OperatorKind::UserDefined(udf), &parents).unwrap();
+            let r = w
+                .add(format!("n{i}"), OperatorKind::UserDefined(udf), &parents)
+                .unwrap();
             refs.push(r);
         }
         for &o in outputs {
@@ -334,13 +343,25 @@ mod tests {
         // load c, prune a and b.
         let w = dag_workflow(3, &[(0, 1), (1, 2)], &[2]);
         let costs = vec![
-            NodeCosts { compute_us: 100, load_us: None },
-            NodeCosts { compute_us: 100, load_us: None },
-            NodeCosts { compute_us: 100, load_us: Some(10) },
+            NodeCosts {
+                compute_us: 100,
+                load_us: None,
+            },
+            NodeCosts {
+                compute_us: 100,
+                load_us: None,
+            },
+            NodeCosts {
+                compute_us: 100,
+                load_us: Some(10),
+            },
         ];
         let states =
             plan_states(&w, &all_active(&w), &costs, RecomputationPolicy::Optimal).unwrap();
-        assert_eq!(states, vec![NodeState::Prune, NodeState::Prune, NodeState::Load]);
+        assert_eq!(
+            states,
+            vec![NodeState::Prune, NodeState::Prune, NodeState::Load]
+        );
     }
 
     #[test]
@@ -348,9 +369,18 @@ mod tests {
         // Loading the output costs more than recomputing the whole chain.
         let w = dag_workflow(3, &[(0, 1), (1, 2)], &[2]);
         let costs = vec![
-            NodeCosts { compute_us: 10, load_us: None },
-            NodeCosts { compute_us: 10, load_us: None },
-            NodeCosts { compute_us: 10, load_us: Some(1_000) },
+            NodeCosts {
+                compute_us: 10,
+                load_us: None,
+            },
+            NodeCosts {
+                compute_us: 10,
+                load_us: None,
+            },
+            NodeCosts {
+                compute_us: 10,
+                load_us: Some(1_000),
+            },
         ];
         let states =
             plan_states(&w, &all_active(&w), &costs, RecomputationPolicy::Optimal).unwrap();
@@ -366,11 +396,20 @@ mod tests {
         let w = dag_workflow(3, &[(0, 1), (0, 2)], &[1, 2]);
         let costs = vec![
             // n_j: moderately expensive to compute, no materialization.
-            NodeCosts { compute_us: 50, load_us: None },
+            NodeCosts {
+                compute_us: 50,
+                load_us: None,
+            },
             // n_i: cheap to load.
-            NodeCosts { compute_us: 40, load_us: Some(5) },
+            NodeCosts {
+                compute_us: 40,
+                load_us: Some(5),
+            },
             // n_k: load far pricier than compute (l_k >> c_k).
-            NodeCosts { compute_us: 20, load_us: Some(10_000) },
+            NodeCosts {
+                compute_us: 20,
+                load_us: Some(10_000),
+            },
         ];
         let states =
             plan_states(&w, &all_active(&w), &costs, RecomputationPolicy::Optimal).unwrap();
@@ -383,10 +422,22 @@ mod tests {
     fn diamond_matches_brute_force() {
         let w = dag_workflow(4, &[(0, 1), (0, 2), (1, 3), (2, 3)], &[3]);
         let costs = vec![
-            NodeCosts { compute_us: 30, load_us: Some(25) },
-            NodeCosts { compute_us: 50, load_us: Some(10) },
-            NodeCosts { compute_us: 70, load_us: None },
-            NodeCosts { compute_us: 20, load_us: Some(200) },
+            NodeCosts {
+                compute_us: 30,
+                load_us: Some(25),
+            },
+            NodeCosts {
+                compute_us: 50,
+                load_us: Some(10),
+            },
+            NodeCosts {
+                compute_us: 70,
+                load_us: None,
+            },
+            NodeCosts {
+                compute_us: 20,
+                load_us: Some(200),
+            },
         ];
         let states =
             plan_states(&w, &all_active(&w), &costs, RecomputationPolicy::Optimal).unwrap();
@@ -399,7 +450,13 @@ mod tests {
         let w = dag_workflow(3, &[(0, 1)], &[1]);
         let mut active = all_active(&w);
         active[2] = false;
-        let costs = vec![NodeCosts { compute_us: 1, load_us: None }; 3];
+        let costs = vec![
+            NodeCosts {
+                compute_us: 1,
+                load_us: None
+            };
+            3
+        ];
         for policy in [
             RecomputationPolicy::Optimal,
             RecomputationPolicy::ComputeAll,
@@ -413,7 +470,13 @@ mod tests {
     #[test]
     fn compute_all_never_loads() {
         let w = dag_workflow(3, &[(0, 1), (1, 2)], &[2]);
-        let costs = vec![NodeCosts { compute_us: 10, load_us: Some(1) }; 3];
+        let costs = vec![
+            NodeCosts {
+                compute_us: 10,
+                load_us: Some(1)
+            };
+            3
+        ];
         let states =
             plan_states(&w, &all_active(&w), &costs, RecomputationPolicy::ComputeAll).unwrap();
         assert_eq!(states, vec![NodeState::Compute; 3]);
@@ -423,16 +486,32 @@ mod tests {
     fn load_all_prunes_shadowed_ancestors() {
         let w = dag_workflow(3, &[(0, 1), (1, 2)], &[2]);
         let costs = vec![
-            NodeCosts { compute_us: 10, load_us: None },
-            NodeCosts { compute_us: 10, load_us: None },
-            NodeCosts { compute_us: 10, load_us: Some(10_000) },
+            NodeCosts {
+                compute_us: 10,
+                load_us: None,
+            },
+            NodeCosts {
+                compute_us: 10,
+                load_us: None,
+            },
+            NodeCosts {
+                compute_us: 10,
+                load_us: Some(10_000),
+            },
         ];
         // Greedy loads node 2 even though recomputing would be cheaper,
         // then prunes its ancestors — exactly DeepDive's behaviour.
-        let states =
-            plan_states(&w, &all_active(&w), &costs, RecomputationPolicy::LoadAllAvailable)
-                .unwrap();
-        assert_eq!(states, vec![NodeState::Prune, NodeState::Prune, NodeState::Load]);
+        let states = plan_states(
+            &w,
+            &all_active(&w),
+            &costs,
+            RecomputationPolicy::LoadAllAvailable,
+        )
+        .unwrap();
+        assert_eq!(
+            states,
+            vec![NodeState::Prune, NodeState::Prune, NodeState::Load]
+        );
     }
 
     #[test]
@@ -440,7 +519,13 @@ mod tests {
         let w = dag_workflow(2, &[(0, 1)], &[1]);
         let mut active = all_active(&w);
         active[1] = false;
-        let costs = vec![NodeCosts { compute_us: 1, load_us: None }; 2];
+        let costs = vec![
+            NodeCosts {
+                compute_us: 1,
+                load_us: None
+            };
+            2
+        ];
         assert!(plan_states(&w, &active, &costs, RecomputationPolicy::Optimal).is_err());
     }
 
@@ -448,21 +533,19 @@ mod tests {
         use super::*;
         use proptest::prelude::*;
 
-        fn arb_instance(
-        ) -> impl Strategy<Value = (usize, Vec<(usize, usize)>, Vec<(u64, Option<u64>)>)> {
+        /// (node count, forward edges, per-node (compute, load) costs).
+        type ArbInstance = (usize, Vec<(usize, usize)>, Vec<(u64, Option<u64>)>);
+
+        fn arb_instance() -> impl Strategy<Value = ArbInstance> {
             (2usize..8).prop_flat_map(|n| {
-                let edges = proptest::collection::vec((0..n, 0..n), 0..12).prop_map(
-                    move |pairs| {
-                        pairs
-                            .into_iter()
-                            .filter(|&(a, b)| a < b)
-                            .collect::<Vec<_>>()
-                    },
-                );
-                let costs = proptest::collection::vec(
-                    (1u64..200, proptest::option::of(1u64..200)),
-                    n,
-                );
+                let edges = proptest::collection::vec((0..n, 0..n), 0..12).prop_map(move |pairs| {
+                    pairs
+                        .into_iter()
+                        .filter(|&(a, b)| a < b)
+                        .collect::<Vec<_>>()
+                });
+                let costs =
+                    proptest::collection::vec((1u64..200, proptest::option::of(1u64..200)), n);
                 (Just(n), edges, costs)
             })
         }

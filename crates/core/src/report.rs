@@ -45,17 +45,26 @@ pub struct IterationReport {
 impl IterationReport {
     /// Nodes loaded from the store.
     pub fn loaded(&self) -> usize {
-        self.nodes.iter().filter(|n| n.state == NodeState::Load).count()
+        self.nodes
+            .iter()
+            .filter(|n| n.state == NodeState::Load)
+            .count()
     }
 
     /// Nodes computed.
     pub fn computed(&self) -> usize {
-        self.nodes.iter().filter(|n| n.state == NodeState::Compute).count()
+        self.nodes
+            .iter()
+            .filter(|n| n.state == NodeState::Compute)
+            .count()
     }
 
     /// Nodes pruned (sliced away or shadowed by loads).
     pub fn pruned(&self) -> usize {
-        self.nodes.iter().filter(|n| n.state == NodeState::Prune).count()
+        self.nodes
+            .iter()
+            .filter(|n| n.state == NodeState::Prune)
+            .count()
     }
 
     /// Fraction of non-pruned nodes that were reused (loaded), the
@@ -70,12 +79,19 @@ impl IterationReport {
 
     /// Value of a named metric, if an Evaluate node produced it.
     pub fn metric(&self, name: &str) -> Option<f64> {
-        self.metrics.iter().find(|(m, _)| m == name).map(|(_, v)| *v)
+        self.metrics
+            .iter()
+            .find(|(m, _)| m == name)
+            .map(|(_, v)| *v)
     }
 
     /// Seconds attributed to a given workflow stage.
     pub fn stage_secs(&self, stage: Stage) -> f64 {
-        self.nodes.iter().filter(|n| n.stage == stage).map(|n| n.duration_secs).sum()
+        self.nodes
+            .iter()
+            .filter(|n| n.stage == stage)
+            .map(|n| n.duration_secs)
+            .sum()
     }
 
     /// One-line summary for logs and the demo UI.

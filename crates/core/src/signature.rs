@@ -174,7 +174,10 @@ pub fn snapshot(
 ) -> helix_dataflow::fx::FxHashMap<String, (u64, Signature)> {
     let mut map = helix_dataflow::fx::FxHashMap::default();
     for (i, node) in workflow.nodes().iter().enumerate() {
-        map.insert(node.name.clone(), (local_hash(workflow, NodeId(i as u32)), signatures[i]));
+        map.insert(
+            node.name.clone(),
+            (local_hash(workflow, NodeId(i as u32)), signatures[i]),
+        );
     }
     map
 }
@@ -189,11 +192,19 @@ mod tests {
     fn base() -> Workflow {
         let mut w = Workflow::new("t");
         let src = w.csv_source("data", "train.csv", None::<&str>).unwrap();
-        let rows = w.csv_scanner("rows", &src, &[("x", DataType::Int)]).unwrap();
-        let ext = w.field_extractor("x", &rows, "x", ExtractorKind::Numeric).unwrap();
-        let label = w.field_extractor("y", &rows, "x", ExtractorKind::Numeric).unwrap();
+        let rows = w
+            .csv_scanner("rows", &src, &[("x", DataType::Int)])
+            .unwrap();
+        let ext = w
+            .field_extractor("x", &rows, "x", ExtractorKind::Numeric)
+            .unwrap();
+        let label = w
+            .field_extractor("y", &rows, "x", ExtractorKind::Numeric)
+            .unwrap();
         let income = w.assemble("income", &rows, &[&ext], &label).unwrap();
-        let preds = w.learner("predictions", &income, LearnerSpec::default()).unwrap();
+        let preds = w
+            .learner("predictions", &income, LearnerSpec::default())
+            .unwrap();
         w.output(&preds);
         w
     }
@@ -202,7 +213,10 @@ mod tests {
     fn identical_workflows_have_identical_signatures() {
         let w1 = base();
         let w2 = base();
-        assert_eq!(compute_signatures(&w1).unwrap(), compute_signatures(&w2).unwrap());
+        assert_eq!(
+            compute_signatures(&w1).unwrap(),
+            compute_signatures(&w2).unwrap()
+        );
     }
 
     #[test]
@@ -211,7 +225,10 @@ mod tests {
         let mut w2 = base();
         w2.replace_operator(
             "predictions__model",
-            OperatorKind::Train(LearnerSpec { reg_param: 0.9, ..Default::default() }),
+            OperatorKind::Train(LearnerSpec {
+                reg_param: 0.9,
+                ..Default::default()
+            }),
         )
         .unwrap();
         let s1 = compute_signatures(&w1).unwrap();
@@ -234,7 +251,10 @@ mod tests {
         let mut w2 = base();
         w2.replace_operator(
             "predictions__model",
-            OperatorKind::Train(LearnerSpec { reg_param: 0.9, ..Default::default() }),
+            OperatorKind::Train(LearnerSpec {
+                reg_param: 0.9,
+                ..Default::default()
+            }),
         )
         .unwrap();
         let s2 = compute_signatures(&w2).unwrap();
@@ -257,7 +277,8 @@ mod tests {
 
         let mut w2 = base();
         let rows = w2.node_ref("rows").unwrap();
-        w2.field_extractor("ms", &rows, "marital_status", ExtractorKind::Categorical).unwrap();
+        w2.field_extractor("ms", &rows, "marital_status", ExtractorKind::Categorical)
+            .unwrap();
         let s2 = compute_signatures(&w2).unwrap();
         let report = track_changes(&w2, &s2, &prev);
         let kind = |name: &str| report.kinds[w2.by_name(name).unwrap().index()];
@@ -275,16 +296,25 @@ mod tests {
         let mut w2 = base();
         w2.replace_operator(
             "x",
-            OperatorKind::FieldExtractor { field: "x".into(), kind: ExtractorKind::Categorical },
+            OperatorKind::FieldExtractor {
+                field: "x".into(),
+                kind: ExtractorKind::Categorical,
+            },
         )
         .unwrap();
         let mut w3 = w2.clone();
         w3.replace_operator(
             "x",
-            OperatorKind::FieldExtractor { field: "x".into(), kind: ExtractorKind::Numeric },
+            OperatorKind::FieldExtractor {
+                field: "x".into(),
+                kind: ExtractorKind::Numeric,
+            },
         )
         .unwrap();
-        assert_eq!(compute_signatures(&w1).unwrap(), compute_signatures(&w3).unwrap());
+        assert_eq!(
+            compute_signatures(&w1).unwrap(),
+            compute_signatures(&w3).unwrap()
+        );
     }
 
     #[test]

@@ -75,15 +75,29 @@ mod tests {
             .csv_scanner(
                 "rows",
                 &src,
-                &[("age", DataType::Int), ("race", DataType::Str), ("target", DataType::Int)],
+                &[
+                    ("age", DataType::Int),
+                    ("race", DataType::Str),
+                    ("target", DataType::Int),
+                ],
             )
             .unwrap();
-        let age = w.field_extractor("age", &rows, "age", ExtractorKind::Numeric).unwrap();
-        let _race = w.field_extractor("race", &rows, "race", ExtractorKind::Categorical).unwrap();
-        let _cl = w.field_extractor("cl", &rows, "age", ExtractorKind::Numeric).unwrap();
-        let target = w.field_extractor("target", &rows, "target", ExtractorKind::Numeric).unwrap();
+        let age = w
+            .field_extractor("age", &rows, "age", ExtractorKind::Numeric)
+            .unwrap();
+        let _race = w
+            .field_extractor("race", &rows, "race", ExtractorKind::Categorical)
+            .unwrap();
+        let _cl = w
+            .field_extractor("cl", &rows, "age", ExtractorKind::Numeric)
+            .unwrap();
+        let target = w
+            .field_extractor("target", &rows, "target", ExtractorKind::Numeric)
+            .unwrap();
         let income = w.assemble("income", &rows, &[&age], &target).unwrap();
-        let preds = w.learner("predictions", &income, LearnerSpec::default()).unwrap();
+        let preds = w
+            .learner("predictions", &income, LearnerSpec::default())
+            .unwrap();
         w.output(&preds);
         w
     }
@@ -97,7 +111,10 @@ mod tests {
         assert!(active("age"));
         assert!(active("income"));
         assert!(active("predictions"));
-        assert!(!active("race"), "race is not in has_extractors; must be sliced");
+        assert!(
+            !active("race"),
+            "race is not in has_extractors; must be sliced"
+        );
         assert!(!active("cl"));
         assert_eq!(s.pruned().len(), 2);
     }

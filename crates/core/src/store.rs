@@ -63,7 +63,11 @@ impl IntermediateStore {
             inner.entries.insert(sig, EntryMeta { bytes });
             inner.used_bytes += bytes;
         }
-        Ok(IntermediateStore { dir, budget_bytes, inner: Mutex::new(inner) })
+        Ok(IntermediateStore {
+            dir,
+            budget_bytes,
+            inner: Mutex::new(inner),
+        })
     }
 
     /// The storage budget in bytes.
@@ -146,7 +150,10 @@ impl IntermediateStore {
     /// [`HelixError::Store`] if the entry is missing or corrupt.
     pub fn get(&self, sig: Signature) -> Result<(NodeOutput, u64, f64)> {
         if self.lookup(sig).is_none() {
-            return Err(HelixError::Store(format!("no entry for signature {}", sig.hex())));
+            return Err(HelixError::Store(format!(
+                "no entry for signature {}",
+                sig.hex()
+            )));
         }
         let started = Instant::now();
         let mut bytes = Vec::new();

@@ -51,8 +51,11 @@ impl DagSnapshot {
                 stage: node.kind.stage(),
             })
             .collect();
-        let outputs =
-            workflow.outputs().iter().map(|o| workflow.node(*o).name.clone()).collect();
+        let outputs = workflow
+            .outputs()
+            .iter()
+            .map(|o| workflow.node(*o).name.clone())
+            .collect();
         DagSnapshot { nodes, outputs }
     }
 
@@ -170,7 +173,10 @@ impl VersionStore {
         self.versions
             .iter()
             .filter_map(|v| {
-                v.metrics.iter().find(|(m, _)| m == metric).map(|(_, value)| (v.id, *value))
+                v.metrics
+                    .iter()
+                    .find(|(m, _)| m == metric)
+                    .map(|(_, value)| (v.id, *value))
             })
             .collect()
     }
@@ -190,10 +196,22 @@ pub fn diff_snapshots(old: &DagSnapshot, new: &DagSnapshot) -> VersionDiff {
         match old.node(&node.name) {
             None => diff.added.push(node.name.clone()),
             Some(prev) => {
-                if prev.params != node.params || prev.parents != node.parents || prev.tag != node.tag
+                if prev.params != node.params
+                    || prev.parents != node.parents
+                    || prev.tag != node.tag
                 {
-                    let old_desc = format!("{}({}) <- {}", prev.tag, prev.params, prev.parents.join(","));
-                    let new_desc = format!("{}({}) <- {}", node.tag, node.params, node.parents.join(","));
+                    let old_desc = format!(
+                        "{}({}) <- {}",
+                        prev.tag,
+                        prev.params,
+                        prev.parents.join(",")
+                    );
+                    let new_desc = format!(
+                        "{}({}) <- {}",
+                        node.tag,
+                        node.params,
+                        node.parents.join(",")
+                    );
                     diff.changed.push((node.name.clone(), old_desc, new_desc));
                 }
             }
@@ -220,11 +238,22 @@ mod tests {
         let rows = w
             .csv_scanner("rows", &src, &[("x", helix_dataflow::DataType::Int)])
             .unwrap();
-        let x = w.field_extractor("x", &rows, "x", ExtractorKind::Numeric).unwrap();
-        let y = w.field_extractor("y", &rows, "x", ExtractorKind::Numeric).unwrap();
+        let x = w
+            .field_extractor("x", &rows, "x", ExtractorKind::Numeric)
+            .unwrap();
+        let y = w
+            .field_extractor("y", &rows, "x", ExtractorKind::Numeric)
+            .unwrap();
         let income = w.assemble("income", &rows, &[&x], &y).unwrap();
         let preds = w
-            .learner("preds", &income, LearnerSpec { reg_param: reg, ..Default::default() })
+            .learner(
+                "preds",
+                &income,
+                LearnerSpec {
+                    reg_param: reg,
+                    ..Default::default()
+                },
+            )
             .unwrap();
         w.output(&preds);
         w
@@ -271,7 +300,10 @@ mod tests {
         vs.record(&w, &fake_report(2, 0.86, 1.0), "c".into());
         assert_eq!(vs.best_by_metric("accuracy").unwrap().id, 1);
         assert!(vs.best_by_metric("f1").is_none());
-        assert_eq!(vs.metric_trend("accuracy"), vec![(0, 0.80), (1, 0.91), (2, 0.86)]);
+        assert_eq!(
+            vs.metric_trend("accuracy"),
+            vec![(0, 0.80), (1, 0.91), (2, 0.86)]
+        );
     }
 
     #[test]
@@ -297,7 +329,9 @@ mod tests {
         let rows = w2.node_ref("rows").unwrap();
         let x = w2.node_ref("x").unwrap();
         let y = w2.node_ref("y").unwrap();
-        let ms = w2.field_extractor("ms", &rows, "x", ExtractorKind::Categorical).unwrap();
+        let ms = w2
+            .field_extractor("ms", &rows, "x", ExtractorKind::Categorical)
+            .unwrap();
         w2.rewire("income", &[&rows, &x, &ms, &y]).unwrap();
         vs.record(&w1, &fake_report(0, 0.8, 1.0), "a".into());
         vs.record(&w2, &fake_report(1, 0.8, 1.0), "b".into());
@@ -322,7 +356,10 @@ mod tests {
         let w = workflow(0.1);
         let snap = DagSnapshot::capture(&w);
         assert_eq!(snap.outputs, vec!["preds".to_string()]);
-        assert_eq!(snap.node("preds__model").unwrap().stage, Stage::MachineLearning);
+        assert_eq!(
+            snap.node("preds__model").unwrap().stage,
+            Stage::MachineLearning
+        );
         assert_eq!(snap.node("rows").unwrap().stage, Stage::DataPreProcessing);
     }
 

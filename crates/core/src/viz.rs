@@ -34,9 +34,16 @@ fn stage_color(stage: Stage) -> &'static str {
 pub fn to_dot(workflow: &Workflow, annotations: Option<&[NodeAnnotation]>) -> String {
     let mut dot = String::from("digraph helix {\n  rankdir=TB;\n  node [shape=box, style=filled, fontname=\"Helvetica\"];\n");
     for (i, node) in workflow.nodes().iter().enumerate() {
-        let ann = annotations.and_then(|a| a.get(i)).copied().unwrap_or_default();
+        let ann = annotations
+            .and_then(|a| a.get(i))
+            .copied()
+            .unwrap_or_default();
         let pruned = ann.state == Some(NodeState::Prune);
-        let color = if pruned { "#d3d3d3" } else { stage_color(node.kind.stage()) };
+        let color = if pruned {
+            "#d3d3d3"
+        } else {
+            stage_color(node.kind.stage())
+        };
         let mut label = node.name.clone();
         match ann.state {
             Some(NodeState::Load) => label.push_str("\\n[disk→]"),
@@ -46,7 +53,11 @@ pub fn to_dot(workflow: &Workflow, annotations: Option<&[NodeAnnotation]>) -> St
         let _ = writeln!(
             dot,
             "  n{i} [label=\"{label}\", fillcolor=\"{color}\"{}];",
-            if pruned { ", fontcolor=\"#777777\"" } else { "" }
+            if pruned {
+                ", fontcolor=\"#777777\""
+            } else {
+                ""
+            }
         );
     }
     for (i, node) in workflow.nodes().iter().enumerate() {
@@ -71,11 +82,15 @@ pub fn ascii_plan(workflow: &Workflow, report: &IterationReport) -> String {
         "node", "stage", "state", "secs", "bytes"
     );
     let order = workflow.topo_order().unwrap_or_else(|_| {
-        (0..workflow.len()).map(|i| crate::workflow::NodeId(i as u32)).collect()
+        (0..workflow.len())
+            .map(|i| crate::workflow::NodeId(i as u32))
+            .collect()
     });
     for id in order {
         let node = workflow.node(id);
-        let Some(nr) = report.nodes.get(id.index()) else { continue };
+        let Some(nr) = report.nodes.get(id.index()) else {
+            continue;
+        };
         let stage = match node.kind.stage() {
             Stage::DataPreProcessing => "prep",
             Stage::MachineLearning => "ml",
@@ -111,8 +126,11 @@ pub fn version_log(store: &crate::version::VersionStore) -> String {
         if Some(v.id) == store.latest().map(|l| l.id) {
             badges.push_str(" (latest)");
         }
-        let metrics: Vec<String> =
-            v.metrics.iter().map(|(m, x)| format!("{m}={x:.4}")).collect();
+        let metrics: Vec<String> = v
+            .metrics
+            .iter()
+            .map(|(m, x)| format!("{m}={x:.4}"))
+            .collect();
         let _ = writeln!(
             out,
             "version {}{badges}\n  runtime: {:.3}s  {}\n  changes: {}\n",
@@ -158,8 +176,12 @@ mod tests {
         let rows = w
             .csv_scanner("rows", &src, &[("x", helix_dataflow::DataType::Int)])
             .unwrap();
-        let x = w.field_extractor("x", &rows, "x", ExtractorKind::Numeric).unwrap();
-        let y = w.field_extractor("y", &rows, "x", ExtractorKind::Numeric).unwrap();
+        let x = w
+            .field_extractor("x", &rows, "x", ExtractorKind::Numeric)
+            .unwrap();
+        let y = w
+            .field_extractor("y", &rows, "x", ExtractorKind::Numeric)
+            .unwrap();
         let income = w.assemble("income", &rows, &[&x], &y).unwrap();
         let preds = w.learner("preds", &income, LearnerSpec::default()).unwrap();
         w.output(&preds);
@@ -180,7 +202,11 @@ mod tests {
                 .map(|(i, n)| NodeReport {
                     name: n.name.clone(),
                     stage: n.kind.stage(),
-                    state: if i == 0 { NodeState::Load } else { NodeState::Compute },
+                    state: if i == 0 {
+                        NodeState::Load
+                    } else {
+                        NodeState::Compute
+                    },
                     change: ChangeKind::Unchanged,
                     duration_secs: 0.1,
                     output_bytes: 123,
@@ -253,6 +279,9 @@ mod tests {
         assert!(text.contains("+ ms"));
         assert!(text.contains("- race"));
         assert!(text.contains("~ model"));
-        assert_eq!(diff_text(&VersionDiff::default()), "no structural changes\n");
+        assert_eq!(
+            diff_text(&VersionDiff::default()),
+            "no structural changes\n"
+        );
     }
 }

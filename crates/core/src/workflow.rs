@@ -70,7 +70,10 @@ pub struct Workflow {
 impl Workflow {
     /// Creates an empty workflow.
     pub fn new(name: impl Into<String>) -> Self {
-        Workflow { name: name.into(), ..Default::default() }
+        Workflow {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// The workflow name.
@@ -124,7 +127,9 @@ impl Workflow {
             return Err(HelixError::Workflow("node name must be non-empty".into()));
         }
         if self.by_name.contains_key(&name) {
-            return Err(HelixError::Workflow(format!("duplicate node name `{name}`")));
+            return Err(HelixError::Workflow(format!(
+                "duplicate node name `{name}`"
+            )));
         }
         let parent_ids: Vec<NodeId> = parents.iter().map(|r| r.0).collect();
         for pid in &parent_ids {
@@ -136,7 +141,11 @@ impl Workflow {
         }
         let id = NodeId(self.nodes.len() as u32);
         self.by_name.insert(name.clone(), id);
-        self.nodes.push(Node { name, kind, parents: parent_ids });
+        self.nodes.push(Node {
+            name,
+            kind,
+            parents: parent_ids,
+        });
         Ok(NodeRef(id))
     }
 
@@ -175,7 +184,10 @@ impl Workflow {
     ) -> Result<NodeRef> {
         self.add(
             name,
-            OperatorKind::TextSource { path: path.into(), test_fraction },
+            OperatorKind::TextSource {
+                path: path.into(),
+                test_fraction,
+            },
             &[],
         )
     }
@@ -206,7 +218,10 @@ impl Workflow {
     ) -> Result<NodeRef> {
         self.add(
             name,
-            OperatorKind::FieldExtractor { field: field.to_string(), kind },
+            OperatorKind::FieldExtractor {
+                field: field.to_string(),
+                kind,
+            },
             &[rows],
         )
     }
@@ -255,7 +270,11 @@ impl Workflow {
         examples: &NodeRef,
         spec: LearnerSpec,
     ) -> Result<NodeRef> {
-        let model = self.add(format!("{name}__model"), OperatorKind::Train(spec), &[examples])?;
+        let model = self.add(
+            format!("{name}__model"),
+            OperatorKind::Train(spec),
+            &[examples],
+        )?;
         self.add(name, OperatorKind::Apply, &[&model, examples])
     }
 
@@ -271,7 +290,12 @@ impl Workflow {
     }
 
     /// `checked results_from checkResults on testData(predictions)`.
-    pub fn evaluate(&mut self, name: &str, predictions: &NodeRef, spec: EvalSpec) -> Result<NodeRef> {
+    pub fn evaluate(
+        &mut self,
+        name: &str,
+        predictions: &NodeRef,
+        spec: EvalSpec,
+    ) -> Result<NodeRef> {
         self.add(name, OperatorKind::Evaluate(spec), &[predictions])
     }
 
@@ -302,10 +326,14 @@ impl Workflow {
         let parent_ids: Vec<NodeId> = parents.iter().map(|r| r.0).collect();
         for pid in &parent_ids {
             if pid.index() >= self.nodes.len() {
-                return Err(HelixError::Workflow(format!("parent id {pid:?} does not exist")));
+                return Err(HelixError::Workflow(format!(
+                    "parent id {pid:?} does not exist"
+                )));
             }
             if *pid == id {
-                return Err(HelixError::Workflow(format!("`{name}` cannot be its own parent")));
+                return Err(HelixError::Workflow(format!(
+                    "`{name}` cannot be its own parent"
+                )));
             }
         }
         self.nodes[id.index()].parents = parent_ids;
@@ -343,8 +371,10 @@ impl Workflow {
             indegree[i] = node.parents.len();
         }
         let children = self.children();
-        let mut queue: Vec<NodeId> =
-            (0..n).filter(|&i| indegree[i] == 0).map(|i| NodeId(i as u32)).collect();
+        let mut queue: Vec<NodeId> = (0..n)
+            .filter(|&i| indegree[i] == 0)
+            .map(|i| NodeId(i as u32))
+            .collect();
         // Deterministic order: process smallest id first.
         queue.sort();
         let mut order = Vec::with_capacity(n);
@@ -411,7 +441,9 @@ mod tests {
         let mut w = Workflow::new("t");
         let a = w.csv_source("a", "train.csv", None::<&str>).unwrap();
         let b = w.csv_scanner("b", &a, &[("x", DataType::Int)]).unwrap();
-        let c = w.field_extractor("c", &b, "x", ExtractorKind::Numeric).unwrap();
+        let c = w
+            .field_extractor("c", &b, "x", ExtractorKind::Numeric)
+            .unwrap();
         (w, a, b, c)
     }
 
@@ -432,8 +464,7 @@ mod tests {
     fn topo_order_respects_parents() {
         let (w, ..) = linear_workflow();
         let order = w.topo_order().unwrap();
-        let pos: Vec<usize> =
-            order.iter().map(|id| id.index()).collect();
+        let pos: Vec<usize> = order.iter().map(|id| id.index()).collect();
         assert_eq!(pos.len(), 3);
         assert!(pos.iter().position(|&p| p == 0) < pos.iter().position(|&p| p == 1));
     }
@@ -466,11 +497,19 @@ mod tests {
     fn learner_creates_model_and_apply_nodes() {
         let mut w = Workflow::new("t");
         let src = w.csv_source("data", "train.csv", None::<&str>).unwrap();
-        let rows = w.csv_scanner("rows", &src, &[("x", DataType::Int)]).unwrap();
-        let ext = w.field_extractor("x", &rows, "x", ExtractorKind::Numeric).unwrap();
-        let label = w.field_extractor("y", &rows, "x", ExtractorKind::Numeric).unwrap();
+        let rows = w
+            .csv_scanner("rows", &src, &[("x", DataType::Int)])
+            .unwrap();
+        let ext = w
+            .field_extractor("x", &rows, "x", ExtractorKind::Numeric)
+            .unwrap();
+        let label = w
+            .field_extractor("y", &rows, "x", ExtractorKind::Numeric)
+            .unwrap();
         let income = w.assemble("income", &rows, &[&ext], &label).unwrap();
-        let preds = w.learner("predictions", &income, LearnerSpec::default()).unwrap();
+        let preds = w
+            .learner("predictions", &income, LearnerSpec::default())
+            .unwrap();
         assert!(w.by_name("predictions__model").is_some());
         let node = w.node(preds.0);
         assert_eq!(node.parents.len(), 2);
@@ -490,11 +529,20 @@ mod tests {
         let (mut w, ..) = linear_workflow();
         w.replace_operator(
             "c",
-            OperatorKind::FieldExtractor { field: "x".into(), kind: ExtractorKind::Categorical },
+            OperatorKind::FieldExtractor {
+                field: "x".into(),
+                kind: ExtractorKind::Categorical,
+            },
         )
         .unwrap();
-        assert!(w.node(w.by_name("c").unwrap()).kind.params_string().contains("Categorical"));
-        assert!(w.replace_operator("zzz", OperatorKind::Interaction).is_err());
+        assert!(w
+            .node(w.by_name("c").unwrap())
+            .kind
+            .params_string()
+            .contains("Categorical"));
+        assert!(w
+            .replace_operator("zzz", OperatorKind::Interaction)
+            .is_err());
     }
 
     #[test]
@@ -502,7 +550,9 @@ mod tests {
         let (mut w, _a, b, c) = linear_workflow();
         assert!(w.interaction("i", &[&c]).is_err());
         assert!(w.bucketizer("bk", &c, 0).is_err());
-        let label = w.field_extractor("lbl", &b, "x", ExtractorKind::Numeric).unwrap();
+        let label = w
+            .field_extractor("lbl", &b, "x", ExtractorKind::Numeric)
+            .unwrap();
         assert!(w.assemble("asm", &b, &[], &label).is_err());
     }
 }

@@ -106,15 +106,21 @@ pub fn decode(bytes: &[u8]) -> Result<DataCollection> {
     let mut cursor = Cursor { bytes, pos: 0 };
     let magic = cursor.take(4)?;
     if magic != MAGIC {
-        return Err(DataflowError::Codec("bad magic; not a Helix data file".into()));
+        return Err(DataflowError::Codec(
+            "bad magic; not a Helix data file".into(),
+        ));
     }
     let version = u32::from_le_bytes(cursor.take(4)?.try_into().expect("4 bytes"));
     if version != VERSION {
-        return Err(DataflowError::Codec(format!("unsupported version {version}")));
+        return Err(DataflowError::Codec(format!(
+            "unsupported version {version}"
+        )));
     }
     let nfields = cursor.read_varint()? as usize;
     if nfields > 1 << 20 {
-        return Err(DataflowError::Codec(format!("implausible field count {nfields}")));
+        return Err(DataflowError::Codec(format!(
+            "implausible field count {nfields}"
+        )));
     }
     let mut fields = Vec::with_capacity(nfields);
     for _ in 0..nfields {
@@ -129,7 +135,9 @@ pub fn decode(bytes: &[u8]) -> Result<DataCollection> {
     let schema = Schema::new(fields)?;
     let nstrings = cursor.read_varint()? as usize;
     if nstrings > 1 << 26 {
-        return Err(DataflowError::Codec(format!("implausible dictionary size {nstrings}")));
+        return Err(DataflowError::Codec(format!(
+            "implausible dictionary size {nstrings}"
+        )));
     }
     let mut strings = Vec::with_capacity(nstrings.min(1 << 16));
     for _ in 0..nstrings {
@@ -199,7 +207,10 @@ fn write_value(buf: &mut Vec<u8>, value: &Value, table: &StringTable) {
         }
         Value::Str(s) => {
             buf.push(TAG_STR);
-            let idx = *table.by_str.get(s).expect("string interned during collection pass");
+            let idx = *table
+                .by_str
+                .get(s)
+                .expect("string interned during collection pass");
             write_varint(buf, idx);
         }
         Value::List(items) => {
@@ -238,7 +249,9 @@ fn read_value(cursor: &mut Cursor<'_>, strings: &[String], depth: u32) -> Result
         TAG_LIST => {
             let len = cursor.read_varint()? as usize;
             if len > 1 << 28 {
-                return Err(DataflowError::Codec(format!("implausible list length {len}")));
+                return Err(DataflowError::Codec(format!(
+                    "implausible list length {len}"
+                )));
             }
             let mut items = Vec::with_capacity(len.min(1 << 16));
             for _ in 0..len {
@@ -439,7 +452,10 @@ mod tests {
         for value in [0u64, 1, 127, 128, 16383, 16384, u64::MAX] {
             let mut buf = Vec::new();
             write_varint(&mut buf, value);
-            let mut cursor = Cursor { bytes: &buf, pos: 0 };
+            let mut cursor = Cursor {
+                bytes: &buf,
+                pos: 0,
+            };
             assert_eq!(cursor.read_varint().unwrap(), value);
         }
     }

@@ -61,7 +61,10 @@ pub struct DataCollection {
 impl DataCollection {
     /// Creates an empty collection with the given schema.
     pub fn empty(schema: Arc<Schema>) -> Self {
-        DataCollection { schema, rows: Vec::new() }
+        DataCollection {
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     /// Creates a collection, validating every row against the schema.
@@ -196,8 +199,14 @@ impl DataCollection {
         let index = index.min(self.rows.len());
         let (a, b) = self.rows.split_at(index);
         (
-            DataCollection { schema: Arc::clone(&self.schema), rows: a.to_vec() },
-            DataCollection { schema: Arc::clone(&self.schema), rows: b.to_vec() },
+            DataCollection {
+                schema: Arc::clone(&self.schema),
+                rows: a.to_vec(),
+            },
+            DataCollection {
+                schema: Arc::clone(&self.schema),
+                rows: b.to_vec(),
+            },
         )
     }
 
@@ -210,7 +219,10 @@ impl DataCollection {
         }
         let mut rows = self.rows.clone();
         rows.extend(other.rows.iter().cloned());
-        Ok(DataCollection { schema: Arc::clone(&self.schema), rows })
+        Ok(DataCollection {
+            schema: Arc::clone(&self.schema),
+            rows,
+        })
     }
 
     /// Consumes the collection, returning its rows.
@@ -274,8 +286,8 @@ mod tests {
     #[test]
     fn new_validates_arity() {
         let schema = Schema::of(&[("a", DataType::Int)]);
-        let err = DataCollection::new(schema, vec![Row(vec![1i64.into(), 2i64.into()])])
-            .unwrap_err();
+        let err =
+            DataCollection::new(schema, vec![Row(vec![1i64.into(), 2i64.into()])]).unwrap_err();
         assert!(err.to_string().contains("values"));
     }
 
@@ -355,7 +367,11 @@ mod tests {
     #[test]
     fn column_iterates_one_field() {
         let dc = people();
-        let ages: Vec<i64> = dc.column("age").unwrap().map(|v| v.as_int().unwrap()).collect();
+        let ages: Vec<i64> = dc
+            .column("age")
+            .unwrap()
+            .map(|v| v.as_int().unwrap())
+            .collect();
         assert_eq!(ages, vec![34, 51, 19]);
         assert!(dc.column("salary").is_err());
     }

@@ -76,7 +76,11 @@ pub fn parse_records(input: &str) -> Result<Vec<Vec<String>>> {
 ///
 /// # Errors
 /// [`DataflowError::Csv`] if any record's arity differs from the schema.
-pub fn scan(input: &str, schema: &std::sync::Arc<Schema>, has_header: bool) -> Result<DataCollection> {
+pub fn scan(
+    input: &str,
+    schema: &std::sync::Arc<Schema>,
+    has_header: bool,
+) -> Result<DataCollection> {
     let records = parse_records(input)?;
     let skip = usize::from(has_header && !records.is_empty());
     let mut rows = Vec::with_capacity(records.len().saturating_sub(skip));
@@ -111,7 +115,12 @@ pub fn scan_file(
 /// Serializes a collection to CSV with a header row.
 pub fn to_csv_string(dc: &DataCollection) -> String {
     let mut out = String::new();
-    let names: Vec<&str> = dc.schema().fields().iter().map(|f| f.name.as_str()).collect();
+    let names: Vec<&str> = dc
+        .schema()
+        .fields()
+        .iter()
+        .map(|f| f.name.as_str())
+        .collect();
     push_record(&mut out, names.iter().copied());
     for row in dc.rows() {
         let cells: Vec<String> = row.values().iter().map(Value::to_string).collect();
@@ -158,7 +167,9 @@ fn push_record<'a>(out: &mut String, fields: impl Iterator<Item = &'a str>) {
 pub fn infer_schema(input: &str, sample: usize) -> Result<std::sync::Arc<Schema>> {
     let records = parse_records(input)?;
     let Some(header) = records.first() else {
-        return Err(DataflowError::Csv("cannot infer schema of empty input".into()));
+        return Err(DataflowError::Csv(
+            "cannot infer schema of empty input".into(),
+        ));
     };
     let n = header.len();
     let mut could_be_int = vec![true; n];
@@ -265,8 +276,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("t.csv");
         let schema = Schema::of(&[("n", DataType::Int)]);
-        let dc =
-            DataCollection::new(Arc::clone(&schema), vec![Row(vec![Value::Int(7)])]).unwrap();
+        let dc = DataCollection::new(Arc::clone(&schema), vec![Row(vec![Value::Int(7)])]).unwrap();
         write_file(&dc, &path).unwrap();
         assert_eq!(scan_file(&path, &schema, true).unwrap(), dc);
         std::fs::remove_dir_all(&dir).unwrap();

@@ -12,7 +12,9 @@ use std::sync::Arc;
 /// Number of workers to use: the machine's available parallelism, capped so
 /// tiny inputs don't pay thread spawn costs.
 pub fn default_workers(rows: usize) -> usize {
-    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     // Below ~4k rows per worker the spawn overhead dominates.
     hw.min(rows / 4096 + 1)
 }
@@ -22,11 +24,7 @@ pub fn default_workers(rows: usize) -> usize {
 /// The output schema is *not* validated per-row here (the typed operator
 /// layer in `helix-core` validates at boundaries); this keeps the hot loop
 /// allocation-free apart from the output rows themselves.
-pub fn par_map_rows<F>(
-    input: &DataCollection,
-    schema: Arc<Schema>,
-    f: F,
-) -> Result<DataCollection>
+pub fn par_map_rows<F>(input: &DataCollection, schema: Arc<Schema>, f: F) -> Result<DataCollection>
 where
     F: Fn(&Row) -> Result<Row> + Sync,
 {

@@ -80,7 +80,10 @@ pub struct Field {
 impl Field {
     /// Creates a field.
     pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
-        Field { name: name.into(), dtype }
+        Field {
+            name: name.into(),
+            dtype,
+        }
     }
 }
 
@@ -132,7 +135,10 @@ impl Schema {
 
     /// Index of the column with the given name.
     pub fn index_of(&self, name: &str) -> Result<usize> {
-        self.index.get(name).copied().ok_or_else(|| DataflowError::UnknownColumn(name.to_string()))
+        self.index
+            .get(name)
+            .copied()
+            .ok_or_else(|| DataflowError::UnknownColumn(name.to_string()))
     }
 
     /// Whether a column exists.
@@ -203,12 +209,19 @@ mod tests {
     #[test]
     fn unknown_column_is_an_error() {
         let schema = Schema::of(&[("a", DataType::Int)]);
-        assert!(matches!(schema.index_of("b"), Err(DataflowError::UnknownColumn(_))));
+        assert!(matches!(
+            schema.index_of("b"),
+            Err(DataflowError::UnknownColumn(_))
+        ));
     }
 
     #[test]
     fn project_reorders_and_reports_indices() {
-        let schema = Schema::of(&[("a", DataType::Int), ("b", DataType::Str), ("c", DataType::Float)]);
+        let schema = Schema::of(&[
+            ("a", DataType::Int),
+            ("b", DataType::Str),
+            ("c", DataType::Float),
+        ]);
         let (projected, indices) = schema.project(&["c", "a"]).unwrap();
         assert_eq!(indices, vec![2, 0]);
         assert_eq!(projected.field(0).name, "c");

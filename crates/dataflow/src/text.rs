@@ -19,7 +19,12 @@ pub fn corpus_from_docs<S: AsRef<str>>(docs: &[S]) -> DataCollection {
     let rows = docs
         .iter()
         .enumerate()
-        .map(|(i, doc)| Row(vec![Value::Int(i as i64), Value::Str(doc.as_ref().to_string())]))
+        .map(|(i, doc)| {
+            Row(vec![
+                Value::Int(i as i64),
+                Value::Str(doc.as_ref().to_string()),
+            ])
+        })
         .collect();
     DataCollection::from_rows_unchecked(corpus_schema(), rows)
 }
@@ -30,7 +35,10 @@ pub fn corpus_from_docs<S: AsRef<str>>(docs: &[S]) -> DataCollection {
 /// non-empty lines, so ids are stable across re-reads of the same file.
 pub fn read_corpus(path: &Path) -> Result<DataCollection> {
     let text = std::fs::read_to_string(path)?;
-    let docs: Vec<&str> = text.lines().filter(|line| !line.trim().is_empty()).collect();
+    let docs: Vec<&str> = text
+        .lines()
+        .filter(|line| !line.trim().is_empty())
+        .collect();
     Ok(corpus_from_docs(&docs))
 }
 

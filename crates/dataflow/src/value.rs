@@ -90,9 +90,7 @@ impl Value {
             Value::Null | Value::Bool(_) => 1,
             Value::Int(_) | Value::Float(_) => 8,
             Value::Str(s) => 24 + s.len(),
-            Value::List(items) => {
-                24 + items.iter().map(Value::estimated_bytes).sum::<usize>()
-            }
+            Value::List(items) => 24 + items.iter().map(Value::estimated_bytes).sum::<usize>(),
         }
     }
 
@@ -110,10 +108,14 @@ impl Value {
                 "false" | "FALSE" | "False" | "0" => Value::Bool(false),
                 _ => Value::Null,
             },
-            crate::DataType::Int => trimmed.parse::<i64>().map(Value::Int).unwrap_or(Value::Null),
-            crate::DataType::Float => {
-                trimmed.parse::<f64>().map(Value::Float).unwrap_or(Value::Null)
-            }
+            crate::DataType::Int => trimmed
+                .parse::<i64>()
+                .map(Value::Int)
+                .unwrap_or(Value::Null),
+            crate::DataType::Float => trimmed
+                .parse::<f64>()
+                .map(Value::Float)
+                .unwrap_or(Value::Null),
             crate::DataType::Str => Value::Str(trimmed.to_string()),
             crate::DataType::List | crate::DataType::Any => Value::Str(trimmed.to_string()),
         }
@@ -199,8 +201,14 @@ mod tests {
         assert_eq!(Value::parse_typed("", DataType::Int), Value::Null);
         assert_eq!(Value::parse_typed(" ? ", DataType::Str), Value::Null);
         assert_eq!(Value::parse_typed("42", DataType::Int), Value::Int(42));
-        assert_eq!(Value::parse_typed("4.5", DataType::Float), Value::Float(4.5));
-        assert_eq!(Value::parse_typed("true", DataType::Bool), Value::Bool(true));
+        assert_eq!(
+            Value::parse_typed("4.5", DataType::Float),
+            Value::Float(4.5)
+        );
+        assert_eq!(
+            Value::parse_typed("true", DataType::Bool),
+            Value::Bool(true)
+        );
         assert_eq!(Value::parse_typed("abc", DataType::Int), Value::Null);
     }
 

@@ -57,7 +57,11 @@ pub struct MaxFlowResult {
 impl FlowNetwork {
     /// Creates an empty network with `n` vertices and no edges.
     pub fn new(n: usize) -> Self {
-        FlowNetwork { adj: vec![Vec::new(); n], edges: Vec::new(), orig_cap: Vec::new() }
+        FlowNetwork {
+            adj: vec![Vec::new(); n],
+            edges: Vec::new(),
+            orig_cap: Vec::new(),
+        }
     }
 
     /// Number of vertices.
@@ -81,7 +85,10 @@ impl FlowNetwork {
         assert!(to < self.adj.len(), "`to` vertex {to} out of range");
         let id = self.edges.len();
         self.edges.push(Edge { to: to as u32, cap });
-        self.edges.push(Edge { to: from as u32, cap: 0 });
+        self.edges.push(Edge {
+            to: from as u32,
+            cap: 0,
+        });
         self.adj[from].push(id as u32);
         self.adj[to].push(id as u32 + 1);
         self.orig_cap.push(cap);
@@ -122,7 +129,10 @@ impl FlowNetwork {
         // from the source in the residual graph; recompute for clarity.
         let mut source_side = vec![false; n];
         self.residual_reachable(source, &mut source_side);
-        MaxFlowResult { max_flow: total, source_side }
+        MaxFlowResult {
+            max_flow: total,
+            source_side,
+        }
     }
 
     /// Computes a maximum flow with the Edmonds–Karp algorithm (BFS
@@ -177,7 +187,10 @@ impl FlowNetwork {
 
         let mut source_side = vec![false; n];
         self.residual_reachable(source, &mut source_side);
-        MaxFlowResult { max_flow: total, source_side }
+        MaxFlowResult {
+            max_flow: total,
+            source_side,
+        }
     }
 
     /// BFS computing level graph; returns whether the sink is reachable.
@@ -214,8 +227,11 @@ impl FlowNetwork {
         loop {
             if v == sink {
                 // Bottleneck over the path.
-                let bottleneck =
-                    path.iter().map(|&eid| self.edges[eid as usize].cap).min().unwrap_or(0);
+                let bottleneck = path
+                    .iter()
+                    .map(|&eid| self.edges[eid as usize].cap)
+                    .min()
+                    .unwrap_or(0);
                 for &eid in &path {
                     self.edges[eid as usize].cap -= bottleneck;
                     let rev = (eid ^ 1) as usize;
@@ -242,7 +258,9 @@ impl FlowNetwork {
             if v == source {
                 return 0;
             }
-            let eid = path.pop().expect("non-source dead end must have a path edge");
+            let eid = path
+                .pop()
+                .expect("non-source dead end must have a path edge");
             let prev = self.edges[(eid ^ 1) as usize].to as usize;
             iter[prev] += 1;
             v = prev;

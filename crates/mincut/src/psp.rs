@@ -24,12 +24,18 @@ pub struct Project {
 impl Project {
     /// A plain optional project with the given profit.
     pub fn new(profit: i64) -> Self {
-        Project { profit, mandatory: false }
+        Project {
+            profit,
+            mandatory: false,
+        }
     }
 
     /// A project that must appear in every feasible selection.
     pub fn mandatory(profit: i64) -> Self {
-        Project { profit, mandatory: true }
+        Project {
+            profit,
+            mandatory: true,
+        }
     }
 }
 
@@ -80,8 +86,14 @@ impl ProjectSelection {
     /// # Panics
     /// Panics if either id is unknown.
     pub fn require(&mut self, dependent: ProjectId, prerequisite: ProjectId) {
-        assert!(dependent < self.projects.len(), "unknown dependent project {dependent}");
-        assert!(prerequisite < self.projects.len(), "unknown prerequisite project {prerequisite}");
+        assert!(
+            dependent < self.projects.len(),
+            "unknown dependent project {dependent}"
+        );
+        assert!(
+            prerequisite < self.projects.len(),
+            "unknown prerequisite project {prerequisite}"
+        );
         self.requires.push((dependent, prerequisite));
     }
 
@@ -104,7 +116,10 @@ impl ProjectSelection {
     pub fn solve(&self) -> SelectionResult {
         let n = self.projects.len();
         if n == 0 {
-            return SelectionResult { selected: Vec::new(), profit: 0 };
+            return SelectionResult {
+                selected: Vec::new(),
+                profit: 0,
+            };
         }
         let source = n;
         let sink = n + 1;
@@ -128,9 +143,9 @@ impl ProjectSelection {
         let cut = net.dinic(source, sink);
         let mut selected = vec![false; n];
         let mut profit: i64 = 0;
-        for id in 0..n {
+        for (id, on_source_side) in selected.iter_mut().enumerate().take(n) {
             if cut.source_side[id] {
-                selected[id] = true;
+                *on_source_side = true;
                 profit += self.projects[id].profit;
             }
         }
@@ -155,8 +170,10 @@ impl ProjectSelection {
                     continue 'mask;
                 }
             }
-            let profit: i64 =
-                (0..n).filter(|i| mask & (1 << i) != 0).map(|i| self.projects[i].profit).sum();
+            let profit: i64 = (0..n)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| self.projects[i].profit)
+                .sum();
             if profit > best_profit {
                 best_profit = profit;
                 best_mask = mask;

@@ -189,7 +189,10 @@ fn psp_result_is_a_closure() {
     let r = psp.solve();
     for &(dep, pre) in &[(1usize, 0usize), (4, 3), (7, 6)] {
         if r.selected[dep] {
-            assert!(r.selected[pre], "closure violated: {dep} selected without {pre}");
+            assert!(
+                r.selected[pre],
+                "closure violated: {dep} selected without {pre}"
+            );
         }
     }
 }

@@ -47,8 +47,7 @@ pub fn k_folds(dataset: &Dataset, k: usize, seed: u64) -> Result<Vec<(Dataset, D
     indices.shuffle(&mut rng);
     let mut folds = Vec::with_capacity(k);
     for fold in 0..k {
-        let test_idx: Vec<usize> =
-            indices.iter().copied().skip(fold).step_by(k).collect();
+        let test_idx: Vec<usize> = indices.iter().copied().skip(fold).step_by(k).collect();
         let train_idx: Vec<usize> = indices
             .iter()
             .copied()

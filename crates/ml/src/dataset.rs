@@ -24,8 +24,15 @@ impl Dataset {
     /// Builds a dataset; `dim` is the max of the declared dimensionality
     /// and what the examples actually use.
     pub fn new(examples: Vec<LabeledExample>, dim: u32) -> Self {
-        let used = examples.iter().map(|ex| ex.features.width()).max().unwrap_or(0);
-        Dataset { examples, dim: dim.max(used) }
+        let used = examples
+            .iter()
+            .map(|ex| ex.features.width())
+            .max()
+            .unwrap_or(0);
+        Dataset {
+            examples,
+            dim: dim.max(used),
+        }
     }
 
     /// The examples.
@@ -69,7 +76,10 @@ impl Dataset {
     pub fn split_at(&self, index: usize) -> (Dataset, Dataset) {
         let index = index.min(self.examples.len());
         let (a, b) = self.examples.split_at(index);
-        (Dataset::new(a.to_vec(), self.dim), Dataset::new(b.to_vec(), self.dim))
+        (
+            Dataset::new(a.to_vec(), self.dim),
+            Dataset::new(b.to_vec(), self.dim),
+        )
     }
 
     /// Returns the subset at the given example indices.
@@ -84,7 +94,10 @@ mod tests {
     use super::*;
 
     fn ex(idx: u32, label: f64) -> LabeledExample {
-        LabeledExample { features: SparseVector::from_pairs(vec![(idx, 1.0)]), label }
+        LabeledExample {
+            features: SparseVector::from_pairs(vec![(idx, 1.0)]),
+            label,
+        }
     }
 
     #[test]

@@ -36,6 +36,8 @@ mod tests {
         assert!(MlError::InvalidInput("empty dataset".into())
             .to_string()
             .contains("empty dataset"));
-        assert!(MlError::FrozenFeatureSpace("age".into()).to_string().contains("age"));
+        assert!(MlError::FrozenFeatureSpace("age".into())
+            .to_string()
+            .contains("age"));
     }
 }

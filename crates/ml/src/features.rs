@@ -100,7 +100,10 @@ impl FeatureSpace {
 
     /// Builds a labeled example, interning names.
     pub fn example(&mut self, pairs: &[(String, f64)], label: f64) -> Result<LabeledExample> {
-        Ok(LabeledExample { features: self.vectorize(pairs)?, label })
+        Ok(LabeledExample {
+            features: self.vectorize(pairs)?,
+            label,
+        })
     }
 }
 
@@ -125,7 +128,10 @@ mod tests {
         fs.intern("known").unwrap();
         fs.freeze();
         assert!(fs.intern("known").is_ok());
-        assert!(matches!(fs.intern("novel"), Err(MlError::FrozenFeatureSpace(_))));
+        assert!(matches!(
+            fs.intern("novel"),
+            Err(MlError::FrozenFeatureSpace(_))
+        ));
     }
 
     #[test]
@@ -141,7 +147,9 @@ mod tests {
     #[test]
     fn vectorize_merges_duplicate_names() {
         let mut fs = FeatureSpace::new();
-        let v = fs.vectorize(&[("tok=the".into(), 1.0), ("tok=the".into(), 1.0)]).unwrap();
+        let v = fs
+            .vectorize(&[("tok=the".into(), 1.0), ("tok=the".into(), 1.0)])
+            .unwrap();
         assert_eq!(v.nnz(), 1);
         assert_eq!(v.get(0), 2.0);
     }

@@ -26,7 +26,12 @@ pub struct LinRegConfig {
 
 impl Default for LinRegConfig {
     fn default() -> Self {
-        LinRegConfig { epochs: 15, learning_rate: 0.1, reg_param: 0.01, seed: 42 }
+        LinRegConfig {
+            epochs: 15,
+            learning_rate: 0.1,
+            reg_param: 0.01,
+            seed: 42,
+        }
     }
 }
 
@@ -74,7 +79,11 @@ pub fn train(dataset: &Dataset, config: &LinRegConfig) -> Result<LinRegModel> {
             bias -= lr * err;
         }
     }
-    Ok(LinRegModel { weights, bias, config: config.clone() })
+    Ok(LinRegModel {
+        weights,
+        bias,
+        config: config.clone(),
+    })
 }
 
 #[cfg(test)]
@@ -87,9 +96,11 @@ mod tests {
         let mut examples = Vec::new();
         for (x0, x1) in [(0.0, 0.0), (1.0, 0.0), (0.0, 1.0), (1.0, 1.0)] {
             for _ in 0..25 {
-                let features =
-                    SparseVector::from_pairs(vec![(0, x0), (1, x1)]);
-                examples.push(LabeledExample { features, label: 2.0 * x0 - 3.0 * x1 + 1.0 });
+                let features = SparseVector::from_pairs(vec![(0, x0), (1, x1)]);
+                examples.push(LabeledExample {
+                    features,
+                    label: 2.0 * x0 - 3.0 * x1 + 1.0,
+                });
             }
         }
         Dataset::new(examples, 2)
@@ -97,9 +108,24 @@ mod tests {
 
     #[test]
     fn recovers_linear_coefficients() {
-        let model = train(&toy(), &LinRegConfig { epochs: 200, ..Default::default() }).unwrap();
-        assert!((model.weights[0] - 2.0).abs() < 0.1, "w0 = {}", model.weights[0]);
-        assert!((model.weights[1] + 3.0).abs() < 0.1, "w1 = {}", model.weights[1]);
+        let model = train(
+            &toy(),
+            &LinRegConfig {
+                epochs: 200,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            (model.weights[0] - 2.0).abs() < 0.1,
+            "w0 = {}",
+            model.weights[0]
+        );
+        assert!(
+            (model.weights[1] + 3.0).abs() < 0.1,
+            "w1 = {}",
+            model.weights[1]
+        );
         assert!((model.bias - 1.0).abs() < 0.1, "b = {}", model.bias);
     }
 

@@ -28,7 +28,12 @@ pub struct LogRegConfig {
 
 impl Default for LogRegConfig {
     fn default() -> Self {
-        LogRegConfig { epochs: 10, learning_rate: 0.5, reg_param: 0.1, seed: 42 }
+        LogRegConfig {
+            epochs: 10,
+            learning_rate: 0.5,
+            reg_param: 0.1,
+            seed: 42,
+        }
     }
 }
 
@@ -102,7 +107,11 @@ pub fn train(dataset: &Dataset, config: &LogRegConfig) -> Result<LogRegModel> {
             bias -= lr * err;
         }
     }
-    Ok(LogRegModel { weights, bias, config: config.clone() })
+    Ok(LogRegModel {
+        weights,
+        bias,
+        config: config.clone(),
+    })
 }
 
 /// Log-likelihood of the dataset under the model (for convergence tests).
@@ -136,7 +145,10 @@ mod tests {
             } else {
                 SparseVector::from_pairs(vec![(1, 1.0), (2, 0.5)])
             };
-            examples.push(LabeledExample { features, label: if positive { 1.0 } else { 0.0 } });
+            examples.push(LabeledExample {
+                features,
+                label: if positive { 1.0 } else { 0.0 },
+            });
         }
         Dataset::new(examples, 3)
     }
@@ -155,15 +167,35 @@ mod tests {
         let a = train(&toy(), &LogRegConfig::default()).unwrap();
         let b = train(&toy(), &LogRegConfig::default()).unwrap();
         assert_eq!(a, b);
-        let c = train(&toy(), &LogRegConfig { seed: 7, ..Default::default() }).unwrap();
+        let c = train(
+            &toy(),
+            &LogRegConfig {
+                seed: 7,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_ne!(a.weights, c.weights);
     }
 
     #[test]
     fn stronger_regularization_shrinks_weights() {
-        let weak = train(&toy(), &LogRegConfig { reg_param: 0.0, ..Default::default() }).unwrap();
-        let strong =
-            train(&toy(), &LogRegConfig { reg_param: 50.0, ..Default::default() }).unwrap();
+        let weak = train(
+            &toy(),
+            &LogRegConfig {
+                reg_param: 0.0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let strong = train(
+            &toy(),
+            &LogRegConfig {
+                reg_param: 50.0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let norm = |w: &[f64]| w.iter().map(|x| x * x).sum::<f64>().sqrt();
         assert!(norm(&strong.weights) < norm(&weak.weights));
     }
@@ -175,8 +207,22 @@ mod tests {
 
     #[test]
     fn more_epochs_do_not_hurt_likelihood_much() {
-        let short = train(&toy(), &LogRegConfig { epochs: 1, ..Default::default() }).unwrap();
-        let long = train(&toy(), &LogRegConfig { epochs: 20, ..Default::default() }).unwrap();
+        let short = train(
+            &toy(),
+            &LogRegConfig {
+                epochs: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let long = train(
+            &toy(),
+            &LogRegConfig {
+                epochs: 20,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let ds = toy();
         assert!(log_likelihood(&long, &ds) >= log_likelihood(&short, &ds) - 1e-6);
     }

@@ -136,7 +136,15 @@ mod tests {
     #[test]
     fn confusion_counts_cells() {
         let c = Confusion::from_predictions(&[1.0, 1.0, 0.0, 0.0], &[1.0, 0.0, 0.0, 1.0]).unwrap();
-        assert_eq!(c, Confusion { tp: 1, fp: 1, tn: 1, fn_: 1 });
+        assert_eq!(
+            c,
+            Confusion {
+                tp: 1,
+                fp: 1,
+                tn: 1,
+                fn_: 1
+            }
+        );
         assert_eq!(c.accuracy(), 0.5);
         assert_eq!(c.precision(), 0.5);
         assert_eq!(c.recall(), 0.5);
@@ -150,7 +158,10 @@ mod tests {
         assert_eq!(empty.precision(), 1.0);
         assert_eq!(empty.recall(), 1.0);
         assert_eq!(empty.f1(), 1.0);
-        let all_negative = Confusion { tn: 5, ..Default::default() };
+        let all_negative = Confusion {
+            tn: 5,
+            ..Default::default()
+        };
         assert_eq!(all_negative.accuracy(), 1.0);
     }
 

@@ -123,7 +123,11 @@ impl Model {
                     reg_param: r.f64()?,
                     seed: r.u64()?,
                 };
-                Model::LogReg(LogRegModel { weights, bias, config })
+                Model::LogReg(LogRegModel {
+                    weights,
+                    bias,
+                    config,
+                })
             }
             TAG_LINREG => {
                 let weights = r.f64_vec()?;
@@ -134,7 +138,11 @@ impl Model {
                     reg_param: r.f64()?,
                     seed: r.u64()?,
                 };
-                Model::LinReg(LinRegModel { weights, bias, config })
+                Model::LinReg(LinRegModel {
+                    weights,
+                    bias,
+                    config,
+                })
             }
             TAG_NAIVE_BAYES => {
                 let p0 = r.f64_vec()?;
@@ -204,7 +212,9 @@ impl Reader<'_> {
     }
 
     fn u64(&mut self) -> Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
     }
 
     fn f64(&mut self) -> Result<f64> {
@@ -273,10 +283,8 @@ mod tests {
     fn rejects_garbage() {
         assert!(Model::decode(&[]).is_err());
         assert!(Model::decode(&[99, 0, 0]).is_err());
-        let mut bytes = Model::LogReg(
-            crate::logreg::train(&toy(), &LogRegConfig::default()).unwrap(),
-        )
-        .encode();
+        let mut bytes =
+            Model::LogReg(crate::logreg::train(&toy(), &LogRegConfig::default()).unwrap()).encode();
         bytes.push(0);
         assert!(Model::decode(&bytes).is_err());
         bytes.pop();

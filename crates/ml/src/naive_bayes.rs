@@ -37,18 +37,18 @@ impl NaiveBayesModel {
     /// P(label = 1 | features), treating any non-zero value as "present".
     pub fn predict_proba(&self, features: &SparseVector) -> f64 {
         let mut scores = [self.log_prior[0], self.log_prior[1]];
-        for class in 0..2 {
+        for (class, score) in scores.iter_mut().enumerate() {
             // Start from the all-absent baseline, then correct per present
             // feature: O(nnz) instead of O(dim).
             let baseline: f64 = self.log_prob_absent[class].iter().sum();
-            scores[class] += baseline;
+            *score += baseline;
             for (i, v) in features.iter() {
                 if v != 0.0 {
                     if let (Some(p), Some(a)) = (
                         self.log_prob_present[class].get(i as usize),
                         self.log_prob_absent[class].get(i as usize),
                     ) {
-                        scores[class] += p - a;
+                        *score += p - a;
                     }
                 }
             }
@@ -79,14 +79,15 @@ pub fn train(dataset: &Dataset, config: &NaiveBayesConfig) -> Result<NaiveBayesM
     let mut present = [vec![0.0f64; dim], vec![0.0f64; dim]];
     let mut counts = [0usize; 2];
     for ex in dataset.examples() {
-        let class = match ex.label {
-            l if l == 0.0 => 0,
-            l if l == 1.0 => 1,
-            other => {
-                return Err(MlError::InvalidInput(format!(
-                    "naive Bayes requires 0/1 labels, got {other}"
-                )))
-            }
+        let class = if ex.label == 0.0 {
+            0
+        } else if ex.label == 1.0 {
+            1
+        } else {
+            return Err(MlError::InvalidInput(format!(
+                "naive Bayes requires 0/1 labels, got {}",
+                ex.label
+            )));
         };
         counts[class] += 1;
         for (i, v) in ex.features.iter() {
@@ -112,7 +113,11 @@ pub fn train(dataset: &Dataset, config: &NaiveBayesConfig) -> Result<NaiveBayesM
         ((counts[0] as f64 + alpha) / (total + 2.0 * alpha)).ln(),
         ((counts[1] as f64 + alpha) / (total + 2.0 * alpha)).ln(),
     ];
-    Ok(NaiveBayesModel { log_prob_present, log_prob_absent, log_prior })
+    Ok(NaiveBayesModel {
+        log_prob_present,
+        log_prob_absent,
+        log_prior,
+    })
 }
 
 #[cfg(test)]
@@ -129,7 +134,10 @@ mod tests {
             } else {
                 SparseVector::from_pairs(vec![(1, 1.0)])
             };
-            examples.push(LabeledExample { features, label: if positive { 1.0 } else { 0.0 } });
+            examples.push(LabeledExample {
+                features,
+                label: if positive { 1.0 } else { 0.0 },
+            });
         }
         Dataset::new(examples, 2)
     }
@@ -137,14 +145,23 @@ mod tests {
     #[test]
     fn separable_data_classified_correctly() {
         let model = train(&toy(), &NaiveBayesConfig::default()).unwrap();
-        assert_eq!(model.predict(&SparseVector::from_pairs(vec![(0, 1.0)])), 1.0);
-        assert_eq!(model.predict(&SparseVector::from_pairs(vec![(1, 1.0)])), 0.0);
+        assert_eq!(
+            model.predict(&SparseVector::from_pairs(vec![(0, 1.0)])),
+            1.0
+        );
+        assert_eq!(
+            model.predict(&SparseVector::from_pairs(vec![(1, 1.0)])),
+            0.0
+        );
     }
 
     #[test]
     fn rejects_non_binary_labels() {
         let ds = Dataset::new(
-            vec![LabeledExample { features: SparseVector::empty(), label: 2.0 }],
+            vec![LabeledExample {
+                features: SparseVector::empty(),
+                label: 2.0,
+            }],
             1,
         );
         assert!(train(&ds, &NaiveBayesConfig::default()).is_err());
@@ -153,7 +170,10 @@ mod tests {
     #[test]
     fn single_class_dataset_does_not_panic() {
         let ds = Dataset::new(
-            vec![LabeledExample { features: SparseVector::from_pairs(vec![(0, 1.0)]), label: 1.0 }],
+            vec![LabeledExample {
+                features: SparseVector::from_pairs(vec![(0, 1.0)]),
+                label: 1.0,
+            }],
             1,
         );
         let model = train(&ds, &NaiveBayesConfig::default()).unwrap();

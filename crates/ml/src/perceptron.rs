@@ -24,7 +24,11 @@ pub struct PerceptronConfig {
 
 impl Default for PerceptronConfig {
     fn default() -> Self {
-        PerceptronConfig { num_classes: 2, epochs: 5, seed: 42 }
+        PerceptronConfig {
+            num_classes: 2,
+            epochs: 5,
+            seed: 42,
+        }
     }
 }
 
@@ -126,7 +130,10 @@ pub fn train(dataset: &Dataset, config: &PerceptronConfig) -> Result<PerceptronM
         }
         b[class] -= b_sum[class] / step;
     }
-    Ok(PerceptronModel { weights: w, bias: b })
+    Ok(PerceptronModel {
+        weights: w,
+        bias: b,
+    })
 }
 
 #[cfg(test)]
@@ -139,14 +146,20 @@ mod tests {
         for i in 0..300 {
             let class = i % 3;
             let features = SparseVector::from_pairs(vec![(class as u32, 1.0), (3, 0.1)]);
-            examples.push(LabeledExample { features, label: class as f64 });
+            examples.push(LabeledExample {
+                features,
+                label: class as f64,
+            });
         }
         Dataset::new(examples, 4)
     }
 
     #[test]
     fn learns_three_classes() {
-        let config = PerceptronConfig { num_classes: 3, ..Default::default() };
+        let config = PerceptronConfig {
+            num_classes: 3,
+            ..Default::default()
+        };
         let model = train(&three_class(), &config).unwrap();
         for class in 0..3u32 {
             let v = SparseVector::from_pairs(vec![(class, 1.0)]);
@@ -157,7 +170,10 @@ mod tests {
     #[test]
     fn rejects_out_of_range_labels() {
         let ds = Dataset::new(
-            vec![LabeledExample { features: SparseVector::empty(), label: 5.0 }],
+            vec![LabeledExample {
+                features: SparseVector::empty(),
+                label: 5.0,
+            }],
             1,
         );
         assert!(train(&ds, &PerceptronConfig::default()).is_err());
@@ -165,19 +181,31 @@ mod tests {
 
     #[test]
     fn rejects_single_class_config() {
-        let config = PerceptronConfig { num_classes: 1, ..Default::default() };
+        let config = PerceptronConfig {
+            num_classes: 1,
+            ..Default::default()
+        };
         assert!(train(&three_class(), &config).is_err());
     }
 
     #[test]
     fn deterministic_given_seed() {
-        let config = PerceptronConfig { num_classes: 3, ..Default::default() };
-        assert_eq!(train(&three_class(), &config).unwrap(), train(&three_class(), &config).unwrap());
+        let config = PerceptronConfig {
+            num_classes: 3,
+            ..Default::default()
+        };
+        assert_eq!(
+            train(&three_class(), &config).unwrap(),
+            train(&three_class(), &config).unwrap()
+        );
     }
 
     #[test]
     fn scores_have_one_entry_per_class() {
-        let config = PerceptronConfig { num_classes: 3, ..Default::default() };
+        let config = PerceptronConfig {
+            num_classes: 3,
+            ..Default::default()
+        };
         let model = train(&three_class(), &config).unwrap();
         assert_eq!(model.scores(&SparseVector::empty()).len(), 3);
     }

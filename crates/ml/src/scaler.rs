@@ -54,7 +54,11 @@ impl StandardScaler {
                 std[i] = if var > 1e-24 { var.sqrt() } else { 1.0 };
             }
         }
-        StandardScaler { mean, std, scaled_dims }
+        StandardScaler {
+            mean,
+            std,
+            scaled_dims,
+        }
     }
 
     /// Applies the transform to one vector.
@@ -107,8 +111,8 @@ mod tests {
         let out = scaler.transform_dataset(&ds());
         let values: Vec<f64> = out.examples().iter().map(|ex| ex.features.get(0)).collect();
         let mean: f64 = values.iter().sum::<f64>() / values.len() as f64;
-        let var: f64 = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-            / values.len() as f64;
+        let var: f64 =
+            values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64;
         assert!(mean.abs() < 1e-9);
         assert!((var - 1.0).abs() < 1e-9);
     }

@@ -70,7 +70,10 @@ impl SparseVector {
 
     /// Iterator over `(index, value)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (u32, f64)> + '_ {
-        self.indices.iter().copied().zip(self.values.iter().copied())
+        self.indices
+            .iter()
+            .copied()
+            .zip(self.values.iter().copied())
     }
 
     /// Largest index plus one, or 0 for an empty vector.
@@ -153,7 +156,9 @@ impl SparseVector {
         let mut values = Vec::with_capacity(n);
         let mut pos = 4;
         for _ in 0..n {
-            indices.push(u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4")));
+            indices.push(u32::from_le_bytes(
+                bytes[pos..pos + 4].try_into().expect("4"),
+            ));
             values.push(f64::from_bits(u64::from_le_bytes(
                 bytes[pos + 4..pos + 12].try_into().expect("8"),
             )));

@@ -11,8 +11,20 @@ use crate::gazetteer::Gazetteer;
 use crate::tokenize::Token;
 
 /// Titles that strongly signal a following person name.
-const PERSON_TITLES: &[&str] =
-    &["mr", "mrs", "ms", "dr", "prof", "sen", "rep", "gov", "gen", "col", "president", "judge"];
+const PERSON_TITLES: &[&str] = &[
+    "mr",
+    "mrs",
+    "ms",
+    "dr",
+    "prof",
+    "sen",
+    "rep",
+    "gov",
+    "gen",
+    "col",
+    "president",
+    "judge",
+];
 
 /// Which feature groups to emit. Mirrors the `has_extractors(...)` list in
 /// the paper's DSL: flipping a flag is an iterative workflow change.
@@ -57,14 +69,17 @@ pub fn candidate_features(
     feats.push(("bias".to_string(), 1.0));
 
     if config.lexical {
-        for i in candidate.token_start..candidate.token_end {
-            feats.push((format!("tok={}", tokens[i].text.to_lowercase()), 1.0));
+        for token in &tokens[candidate.token_start..candidate.token_end] {
+            feats.push((format!("tok={}", token.text.to_lowercase()), 1.0));
         }
     }
     if config.context {
         if candidate.token_start > 0 {
             feats.push((
-                format!("prev={}", tokens[candidate.token_start - 1].text.to_lowercase()),
+                format!(
+                    "prev={}",
+                    tokens[candidate.token_start - 1].text.to_lowercase()
+                ),
                 1.0,
             ));
         } else {
@@ -102,7 +117,9 @@ pub fn candidate_features(
                 feats.push(("last_in_gaz".to_string(), 1.0));
             }
         }
-        let coverage = first_names.coverage(&candidate.text).max(last_names.coverage(&candidate.text));
+        let coverage = first_names
+            .coverage(&candidate.text)
+            .max(last_names.coverage(&candidate.text));
         if coverage > 0.0 {
             feats.push(("gaz_coverage".to_string(), coverage));
         }

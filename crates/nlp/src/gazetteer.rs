@@ -18,7 +18,10 @@ impl Gazetteer {
         I: IntoIterator<Item = S>,
         S: AsRef<str>,
     {
-        let entries = names.into_iter().map(|n| n.as_ref().to_lowercase()).collect();
+        let entries = names
+            .into_iter()
+            .map(|n| n.as_ref().to_lowercase())
+            .collect();
         Gazetteer { entries }
     }
 

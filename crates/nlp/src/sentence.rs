@@ -32,7 +32,11 @@ pub fn split_sentences(text: &str) -> Vec<(usize, usize, String)> {
             if boundary_ok && !is_abbrev {
                 let end = offset + c.len_utf8();
                 push_trimmed(text, start, end, &mut sentences);
-                start = if j < bytes.len() { bytes[j].0 } else { text.len() };
+                start = if j < bytes.len() {
+                    bytes[j].0
+                } else {
+                    text.len()
+                };
                 i = j;
                 continue;
             }
@@ -70,7 +74,10 @@ mod tests {
     fn splits_simple_sentences() {
         let s = split_sentences("Ann runs. Bob walks! Who wins? Nobody.");
         let texts: Vec<&str> = s.iter().map(|(_, _, t)| t.as_str()).collect();
-        assert_eq!(texts, vec!["Ann runs.", "Bob walks!", "Who wins?", "Nobody."]);
+        assert_eq!(
+            texts,
+            vec!["Ann runs.", "Bob walks!", "Who wins?", "Nobody."]
+        );
     }
 
     #[test]

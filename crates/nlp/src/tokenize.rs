@@ -14,7 +14,10 @@ pub struct Token {
 impl Token {
     /// Whether the token starts with an ASCII uppercase letter.
     pub fn is_capitalized(&self) -> bool {
-        self.text.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+        self.text
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_uppercase())
     }
 
     /// Whether every character is alphabetic.
@@ -77,13 +80,29 @@ pub fn tokenize(text: &str) -> Vec<Token> {
                 }
                 j += 1;
             }
-            let end = if j < bytes.len() { bytes[j].0 } else { text.len() };
-            tokens.push(Token { text: text[start..end].to_string(), start, end });
+            let end = if j < bytes.len() {
+                bytes[j].0
+            } else {
+                text.len()
+            };
+            tokens.push(Token {
+                text: text[start..end].to_string(),
+                start,
+                end,
+            });
             i = j;
         } else {
             let start = offset;
-            let end = if i + 1 < bytes.len() { bytes[i + 1].0 } else { text.len() };
-            tokens.push(Token { text: text[start..end].to_string(), start, end });
+            let end = if i + 1 < bytes.len() {
+                bytes[i + 1].0
+            } else {
+                text.len()
+            };
+            tokens.push(Token {
+                text: text[start..end].to_string(),
+                start,
+                end,
+            });
             i += 1;
         }
     }
@@ -98,7 +117,10 @@ pub fn ngrams(tokens: &[Token], n: usize) -> Vec<String> {
     tokens
         .windows(n)
         .map(|w| {
-            w.iter().map(|t| t.text.to_lowercase()).collect::<Vec<_>>().join("_")
+            w.iter()
+                .map(|t| t.text.to_lowercase())
+                .collect::<Vec<_>>()
+                .join("_")
         })
         .collect()
 }
@@ -124,14 +146,19 @@ mod tests {
 
     #[test]
     fn keeps_internal_apostrophes_and_hyphens() {
-        let texts: Vec<String> =
-            tokenize("O'Brien co-chairs").into_iter().map(|t| t.text).collect();
+        let texts: Vec<String> = tokenize("O'Brien co-chairs")
+            .into_iter()
+            .map(|t| t.text)
+            .collect();
         assert_eq!(texts, vec!["O'Brien", "co-chairs"]);
     }
 
     #[test]
     fn trailing_apostrophe_is_separate() {
-        let texts: Vec<String> = tokenize("dogs' bones").into_iter().map(|t| t.text).collect();
+        let texts: Vec<String> = tokenize("dogs' bones")
+            .into_iter()
+            .map(|t| t.text)
+            .collect();
         assert_eq!(texts, vec!["dogs", "'", "bones"]);
     }
 

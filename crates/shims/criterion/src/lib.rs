@@ -1,0 +1,405 @@
+//! Offline shim for the `criterion` crate (0.5 API surface).
+//!
+//! Implements the subset the Helix bench targets use — `Criterion`,
+//! benchmark groups, `iter`/`iter_batched`, `BenchmarkId`, `Throughput`,
+//! and the `criterion_group!`/`criterion_main!` macros — with plain
+//! `Instant` timing instead of criterion's statistical machinery. Each
+//! benchmark reports min/median/mean over `sample_size` samples.
+//!
+//! CLI compatibility: `--bench` (passed by `cargo bench`) is accepted and
+//! ignored; `--test` runs every benchmark exactly once without timing
+//! (what `cargo test --benches` expects); the first free argument is a
+//! substring filter on benchmark ids.
+
+use std::fmt::{self, Display};
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How a batched benchmark sizes its per-iteration batches. The shim runs
+/// one setup per timed routine call regardless, so the variants only exist
+/// for call-site compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many iterations per batch in real criterion.
+    SmallInput,
+    /// Large inputs: one iteration per batch in real criterion.
+    LargeInput,
+    /// Inputs too large to batch at all.
+    PerIteration,
+}
+
+/// Throughput annotation attached to a group; printed alongside timings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The benchmark processes this many elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new<P: Display>(function_name: impl Into<String>, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function_name.into()),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing collector handed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    test_mode: bool,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, running it once per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            std_black_box(routine());
+            return;
+        }
+        // One untimed warm-up call absorbs cold caches and lazy init.
+        std_black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std_black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            std_black_box(routine(setup()));
+            return;
+        }
+        std_black_box(routine(setup()));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// `iter_batched` variant taking the input by reference.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        if self.test_mode {
+            std_black_box(routine(&mut setup()));
+            return;
+        }
+        std_black_box(routine(&mut setup()));
+        for _ in 0..self.sample_size {
+            let mut input = setup();
+            let start = Instant::now();
+            std_black_box(routine(&mut input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.3} ms", d.as_secs_f64() * 1e3)
+    } else if nanos >= 1_000 {
+        format!("{:.3} µs", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// The benchmark manager: entry point mirroring `criterion::Criterion`.
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filter: None,
+            test_mode: false,
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies CLI arguments: `--test`, `--bench` (ignored), `--exact`
+    /// (ignored), and a positional substring filter.
+    ///
+    /// Unknown flags abort rather than being silently consumed: real
+    /// criterion options this shim doesn't implement (e.g.
+    /// `--save-baseline main`) would otherwise have their *values* read as
+    /// benchmark filters, skipping everything without a hint of why.
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                "--bench" | "--exact" | "--nocapture" | "--quiet" | "-q" => {}
+                s if s.starts_with("--") => {
+                    eprintln!(
+                        "criterion shim: unsupported flag `{s}` \
+                         (supported: --test, --bench, --exact, --nocapture, a substring filter)"
+                    );
+                    std::process::exit(1);
+                }
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Overrides the default number of samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.default_sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let sample_size = self.default_sample_size;
+        self.run_one(&id.id, sample_size, None, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &self,
+        full_id: &str,
+        sample_size: usize,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        if let Some(filter) = &self.filter {
+            if !full_id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            sample_size,
+            test_mode: self.test_mode,
+            samples: Vec::with_capacity(sample_size),
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("test {full_id} ... ok");
+            return;
+        }
+        let mut samples = bencher.samples;
+        if samples.is_empty() {
+            println!("{full_id:<48} (no samples)");
+            return;
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        let total: Duration = samples.iter().sum();
+        let mean = total / samples.len() as u32;
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) => {
+                let per_sec = n as f64 / median.as_secs_f64();
+                format!("  {per_sec:.0} elem/s")
+            }
+            Some(Throughput::Bytes(n)) => {
+                let mib_per_sec = n as f64 / median.as_secs_f64() / (1024.0 * 1024.0);
+                format!("  {mib_per_sec:.1} MiB/s")
+            }
+            None => String::new(),
+        };
+        println!(
+            "{full_id:<48} time: [min {}  median {}  mean {}]{rate}",
+            format_duration(min),
+            format_duration(median),
+            format_duration(mean),
+        );
+    }
+}
+
+/// A named collection of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput figure.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full_id = format!("{}/{}", self.name, id.id);
+        let sample_size = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        self.criterion
+            .run_one(&full_id, sample_size, self.throughput, f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group. (All output already happened; exists for API parity.)
+    pub fn finish(self) {}
+}
+
+/// Defines a function running the listed benchmark targets, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        /// Runs this group's benchmark targets (generated by
+        /// `criterion_group!`).
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Defines `main` for a `harness = false` bench target, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        {
+            let mut group = c.benchmark_group("shim");
+            group.sample_size(3);
+            group.throughput(Throughput::Elements(10));
+            group.bench_function("count", |b| b.iter(|| ran += 1));
+            group.bench_with_input(BenchmarkId::new("param", 7), &7, |b, &v| b.iter(|| v * 2));
+            group.finish();
+        }
+        // 1 warm-up + 3 samples.
+        assert_eq!(ran, 4);
+    }
+
+    #[test]
+    fn iter_batched_calls_setup_per_sample() {
+        let mut c = Criterion::default();
+        let mut setups = 0u32;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 16]
+                },
+                |v| v.len(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(setups, 11);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("dinic", "4x8").to_string(), "dinic/4x8");
+        assert_eq!(BenchmarkId::from_parameter(64).to_string(), "64");
+    }
+}

@@ -1,0 +1,90 @@
+//! Collection strategies, mirroring `proptest::collection`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// Inclusive length bounds for generated collections.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange {
+            min: exact,
+            max: exact,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty size range");
+        SizeRange {
+            min: range.start,
+            max: range.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(range: RangeInclusive<usize>) -> Self {
+        assert!(range.start() <= range.end(), "empty size range");
+        SizeRange {
+            min: *range.start(),
+            max: *range.end(),
+        }
+    }
+}
+
+/// Strategy producing `Vec`s whose elements come from `element`.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = self.size.max - self.size.min + 1;
+        let len = self.size.min + rng.below(span as u64) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Generates vectors of `size` elements drawn from `element`; mirrors
+/// `proptest::collection::vec`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_and_ranged_sizes() {
+        let mut rng = TestRng::from_seed(11);
+        for _ in 0..100 {
+            assert_eq!(vec(0u8..10, 4).generate(&mut rng).len(), 4);
+            let ranged = vec(0u8..10, 0..20).generate(&mut rng);
+            assert!(ranged.len() < 20);
+        }
+    }
+
+    #[test]
+    fn nests() {
+        let mut rng = TestRng::from_seed(12);
+        let nested = vec(vec(0i64..5, 2), 1..4).generate(&mut rng);
+        assert!(!nested.is_empty() && nested.len() < 4);
+        assert!(nested.iter().all(|inner| inner.len() == 2));
+    }
+}

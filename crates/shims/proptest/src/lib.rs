@@ -1,0 +1,124 @@
+//! Offline shim for the `proptest` crate (1.x API surface).
+//!
+//! Provides generation-only property testing: the [`proptest!`] macro runs
+//! each property over `ProptestConfig::cases` random inputs drawn from
+//! [`Strategy`] values. Unlike real proptest there is **no shrinking** —
+//! a failing case panics with whatever message the assertion produced —
+//! and no failure persistence. Randomness is deterministic per test
+//! (seeded from the test's module path and name), so failures reproduce.
+//!
+//! Implemented surface: integer/float range strategies, tuple strategies,
+//! [`collection::vec`], [`option::of`], [`strategy::Just`], [`arbitrary`]
+//! via [`any`], regex-subset string strategies (`"[a-z]{0,12}"`-style),
+//! `prop_map` / `prop_flat_map` / `prop_filter` / `boxed`, [`prop_oneof!`],
+//! and the `prop_assert*` macros.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Everything a property test typically imports, mirroring
+/// `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Asserts a condition inside a property; mirrors `proptest::prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// Asserts equality inside a property; mirrors `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// Asserts inequality inside a property; mirrors `proptest::prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Weighted or unweighted union of strategies producing the same type;
+/// mirrors `proptest::prop_oneof!`. Every arm is boxed.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( (($weight) as u32, $crate::strategy::Strategy::boxed($strategy)) ),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( (1u32, $crate::strategy::Strategy::boxed($strategy)) ),+
+        ])
+    };
+}
+
+/// Declares property-based tests; mirrors `proptest::proptest!`.
+///
+/// Each `fn name(pat in strategy, ...) { body }` item becomes a `#[test]`
+/// that draws `config.cases` input tuples and runs the body on each. An
+/// optional leading `#![proptest_config(expr)]` overrides the config.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; expands one test fn at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (
+        ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $config;
+            let mut rng = $crate::test_runner::TestRng::from_name(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for __case in 0..config.cases {
+                let ( $( $pat, )+ ) = (
+                    $( $crate::strategy::Strategy::generate(&($strategy), &mut rng), )+
+                );
+                // A closure per case so `prop_assume!`'s `return` skips
+                // only the current case.
+                #[allow(clippy::redundant_closure_call)]
+                (move || $body)();
+            }
+        }
+        $crate::__proptest_items! { ($config) $($rest)* }
+    };
+}

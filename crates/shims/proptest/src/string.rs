@@ -1,0 +1,165 @@
+//! String strategies from regex-like patterns.
+//!
+//! Real proptest treats `&str` as a full regex strategy. The shim supports
+//! the subset the workspace uses — literal characters, `[a-z]`-style
+//! character classes (with ranges and negation-free members), and the
+//! quantifiers `{n}`, `{m,n}`, `?`, `*`, and `+` (the unbounded ones capped
+//! at 8 repetitions). Unsupported syntax panics at generation time so a
+//! silent wrong interpretation can't slip into a property.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Piece {
+    /// One literal character.
+    Literal(char),
+    /// One character drawn from a set.
+    Class(Vec<(char, char)>),
+}
+
+#[derive(Debug, Clone)]
+struct Part {
+    piece: Piece,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Part> {
+    let mut chars = pattern.chars().peekable();
+    let mut parts = Vec::new();
+    while let Some(c) = chars.next() {
+        let piece = match c {
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    let member = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated character class in {pattern:?}"));
+                    if member == ']' {
+                        break;
+                    }
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        let hi = chars
+                            .next()
+                            .filter(|&h| h != ']')
+                            .unwrap_or_else(|| panic!("bad range in class in {pattern:?}"));
+                        ranges.push((member, hi));
+                    } else {
+                        ranges.push((member, member));
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty character class in {pattern:?}");
+                Piece::Class(ranges)
+            }
+            '\\' => Piece::Literal(
+                chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in {pattern:?}")),
+            ),
+            '(' | ')' | '|' | '.' | '^' | '$' => {
+                panic!("unsupported regex syntax {c:?} in shim string strategy {pattern:?}")
+            }
+            other => Piece::Literal(other),
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let body: String = chars.by_ref().take_while(|&b| b != '}').collect();
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad {m,n} quantifier"),
+                        hi.trim().parse().expect("bad {m,n} quantifier"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("bad {n} quantifier");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "empty quantifier range in {pattern:?}");
+        parts.push(Part { piece, min, max });
+    }
+    parts
+}
+
+fn generate_from(parts: &[Part], rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for part in parts {
+        let count = part.min + rng.below((part.max - part.min + 1) as u64) as usize;
+        for _ in 0..count {
+            match &part.piece {
+                Piece::Literal(c) => out.push(*c),
+                Piece::Class(ranges) => {
+                    let (lo, hi) = ranges[rng.below(ranges.len() as u64) as usize];
+                    let span = hi as u32 - lo as u32 + 1;
+                    let picked = lo as u32 + rng.below(u64::from(span)) as u32;
+                    out.push(char::from_u32(picked).unwrap_or(lo));
+                }
+            }
+        }
+    }
+    out
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from(&parse_pattern(self), rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_bounded_repeat() {
+        let mut rng = TestRng::from_seed(31);
+        let mut max_len = 0;
+        for _ in 0..500 {
+            let s = "[a-z]{0,12}".generate(&mut rng);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            max_len = max_len.max(s.len());
+        }
+        assert!(
+            max_len >= 10,
+            "repetition range under-covered: max {max_len}"
+        );
+    }
+
+    #[test]
+    fn literals_and_exact_counts() {
+        let mut rng = TestRng::from_seed(32);
+        let s = "ab[0-9]{3}".generate(&mut rng);
+        assert_eq!(s.len(), 5);
+        assert!(s.starts_with("ab"));
+        assert!(s[2..].chars().all(|c| c.is_ascii_digit()));
+    }
+
+    #[test]
+    fn multi_member_class() {
+        let mut rng = TestRng::from_seed(33);
+        for _ in 0..100 {
+            let s = "[abx-z]".generate(&mut rng);
+            assert!(["a", "b", "x", "y", "z"].contains(&s.as_str()));
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Test configuration and the deterministic RNG driving generation.
+
+/// Configuration for a `proptest!` block, mirroring
+/// `proptest::test_runner::Config` (re-exported as `ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+    /// Accepted for compatibility; the shim never shrinks.
+    pub max_shrink_iters: u32,
+    /// Accepted for compatibility; `prop_filter` retries per value instead
+    /// of tracking a global reject budget.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; the shim halves that to keep the
+        // workspace's end-to-end property tests fast in CI.
+        ProptestConfig {
+            cases: 128,
+            max_shrink_iters: 0,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases and defaulting everything else.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+/// Deterministic generator used by all strategies (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator from a test name (FNV-1a over the bytes), so
+    /// each property gets a distinct but reproducible stream.
+    pub fn from_name(name: &str) -> Self {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: hash }
+    }
+
+    /// Seeds the generator from a raw value.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `[0, bound)`. Panics if `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "TestRng::below(0)");
+        self.next_u64() % bound
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_and_name_dependent() {
+        let mut a = TestRng::from_name("mod::test_a");
+        let mut b = TestRng::from_name("mod::test_a");
+        let mut c = TestRng::from_name("mod::test_b");
+        let (x, y, z) = (a.next_u64(), b.next_u64(), c.next_u64());
+        assert_eq!(x, y);
+        assert_ne!(x, z);
+    }
+
+    #[test]
+    fn with_cases_overrides_only_cases() {
+        let config = ProptestConfig::with_cases(7);
+        assert_eq!(config.cases, 7);
+        assert_eq!(
+            config.max_global_rejects,
+            ProptestConfig::default().max_global_rejects
+        );
+    }
+}

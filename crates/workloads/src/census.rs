@@ -13,16 +13,42 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 const EDUCATIONS: &[&str] = &[
-    "Preschool", "HS-grad", "Some-college", "Assoc-voc", "Bachelors", "Masters", "Doctorate",
+    "Preschool",
+    "HS-grad",
+    "Some-college",
+    "Assoc-voc",
+    "Bachelors",
+    "Masters",
+    "Doctorate",
 ];
 const OCCUPATIONS: &[&str] = &[
-    "Tech-support", "Craft-repair", "Sales", "Exec-managerial", "Prof-specialty",
-    "Handlers-cleaners", "Machine-op-inspct", "Adm-clerical", "Farming-fishing",
-    "Transport-moving", "Protective-serv", "Armed-Forces",
+    "Tech-support",
+    "Craft-repair",
+    "Sales",
+    "Exec-managerial",
+    "Prof-specialty",
+    "Handlers-cleaners",
+    "Machine-op-inspct",
+    "Adm-clerical",
+    "Farming-fishing",
+    "Transport-moving",
+    "Protective-serv",
+    "Armed-Forces",
 ];
-const MARITAL: &[&str] =
-    &["Never-married", "Married-civ-spouse", "Divorced", "Separated", "Widowed"];
-const RACES: &[&str] = &["White", "Black", "Asian-Pac-Islander", "Amer-Indian-Eskimo", "Other"];
+const MARITAL: &[&str] = &[
+    "Never-married",
+    "Married-civ-spouse",
+    "Divorced",
+    "Separated",
+    "Widowed",
+];
+const RACES: &[&str] = &[
+    "White",
+    "Black",
+    "Asian-Pac-Islander",
+    "Amer-Indian-Eskimo",
+    "Other",
+];
 const SEXES: &[&str] = &["Male", "Female"];
 
 /// Column order of the generated CSV files.
@@ -53,7 +79,12 @@ pub struct CensusDataSpec {
 
 impl Default for CensusDataSpec {
     fn default() -> Self {
-        CensusDataSpec { train_rows: 30_000, test_rows: 8_000, seed: 7, missing_rate: 0.01 }
+        CensusDataSpec {
+            train_rows: 30_000,
+            test_rows: 8_000,
+            seed: 7,
+            missing_rate: 0.01,
+        }
     }
 }
 
@@ -71,12 +102,7 @@ pub fn generate_census(dir: &Path, spec: &CensusDataSpec) -> Result<(PathBuf, Pa
     Ok((train, test))
 }
 
-fn write_split(
-    path: &Path,
-    rows: usize,
-    spec: &CensusDataSpec,
-    rng: &mut StdRng,
-) -> Result<()> {
+fn write_split(path: &Path, rows: usize, spec: &CensusDataSpec, rng: &mut StdRng) -> Result<()> {
     let file = std::fs::File::create(path)?;
     let mut w = std::io::BufWriter::new(file);
     for _ in 0..rows {
@@ -86,7 +112,11 @@ fn write_split(
         let ms_idx = rng.gen_range(0..MARITAL.len());
         let race_idx = rng.gen_range(0..RACES.len());
         let sex_idx = rng.gen_range(0..SEXES.len());
-        let capital_loss: i64 = if rng.gen_bool(0.1) { rng.gen_range(100..4000) } else { 0 };
+        let capital_loss: i64 = if rng.gen_bool(0.1) {
+            rng.gen_range(100..4000)
+        } else {
+            0
+        };
         let hours: i64 = rng.gen_range(10..=80);
 
         // Ground truth: education and marriage dominate, age and hours
@@ -97,7 +127,11 @@ fn write_split(
         score += if ms_idx == 1 { 1.1 } else { -0.2 };
         score += 0.035 * (age as f64 - 38.0);
         score += 0.022 * (hours as f64 - 40.0);
-        score += if edu_idx >= 4 && occ_idx == 3 { 0.9 } else { 0.0 };
+        score += if edu_idx >= 4 && occ_idx == 3 {
+            0.9
+        } else {
+            0.0
+        };
         score += if capital_loss > 1500 { 0.4 } else { 0.0 };
         let p = 1.0 / (1.0 + (-score).exp());
         let target = i64::from(rng.gen_bool(p.clamp(0.02, 0.98)));
@@ -216,7 +250,10 @@ pub fn census_workflow(params: &CensusParams) -> Result<Workflow> {
     let checked = w.evaluate(
         "checked",
         &predictions,
-        EvalSpec { metrics: params.metrics.clone(), split: helix_core::SPLIT_TEST.into() },
+        EvalSpec {
+            metrics: params.metrics.clone(),
+            split: helix_core::SPLIT_TEST.into(),
+        },
     )?;
     w.output(&predictions);
     w.output(&checked);
@@ -240,34 +277,74 @@ pub fn census_iterations() -> Vec<IterationSpec<CensusParams>> {
             IterationStage::DataPreProcessing,
             |p: &mut CensusParams| p.include_interaction = true,
         ),
-        IterationSpec::new("decrease regularization", IterationStage::MachineLearning, |p: &mut CensusParams| {
-            p.reg_param = 0.01;
-        }),
-        IterationSpec::new("add F1/precision/recall metrics", IterationStage::Evaluation, |p: &mut CensusParams| {
-            p.metrics =
-                vec![MetricKind::Accuracy, MetricKind::F1, MetricKind::Precision, MetricKind::Recall];
-        }),
-        IterationSpec::new("double training epochs", IterationStage::MachineLearning, |p: &mut CensusParams| {
-            p.epochs *= 2;
-        }),
-        IterationSpec::new("add log-loss metric", IterationStage::Evaluation, |p: &mut CensusParams| {
-            p.metrics.push(MetricKind::LogLoss);
-        }),
-        IterationSpec::new("re-bin age buckets", IterationStage::DataPreProcessing, |p: &mut CensusParams| {
-            p.age_bins = 8;
-        }),
-        IterationSpec::new("try naive Bayes model", IterationStage::MachineLearning, |p: &mut CensusParams| {
-            p.model_type = ModelType::NaiveBayes;
-        }),
-        IterationSpec::new("back to logistic regression", IterationStage::MachineLearning, |p: &mut CensusParams| {
-            p.model_type = ModelType::LogisticRegression;
-        }),
-        IterationSpec::new("check precision only", IterationStage::Evaluation, |p: &mut CensusParams| {
-            p.metrics = vec![MetricKind::Precision];
-        }),
-        IterationSpec::new("back to accuracy-only evaluation", IterationStage::Evaluation, |p: &mut CensusParams| {
-            p.metrics = vec![MetricKind::Accuracy];
-        }),
+        IterationSpec::new(
+            "decrease regularization",
+            IterationStage::MachineLearning,
+            |p: &mut CensusParams| {
+                p.reg_param = 0.01;
+            },
+        ),
+        IterationSpec::new(
+            "add F1/precision/recall metrics",
+            IterationStage::Evaluation,
+            |p: &mut CensusParams| {
+                p.metrics = vec![
+                    MetricKind::Accuracy,
+                    MetricKind::F1,
+                    MetricKind::Precision,
+                    MetricKind::Recall,
+                ];
+            },
+        ),
+        IterationSpec::new(
+            "double training epochs",
+            IterationStage::MachineLearning,
+            |p: &mut CensusParams| {
+                p.epochs *= 2;
+            },
+        ),
+        IterationSpec::new(
+            "add log-loss metric",
+            IterationStage::Evaluation,
+            |p: &mut CensusParams| {
+                p.metrics.push(MetricKind::LogLoss);
+            },
+        ),
+        IterationSpec::new(
+            "re-bin age buckets",
+            IterationStage::DataPreProcessing,
+            |p: &mut CensusParams| {
+                p.age_bins = 8;
+            },
+        ),
+        IterationSpec::new(
+            "try naive Bayes model",
+            IterationStage::MachineLearning,
+            |p: &mut CensusParams| {
+                p.model_type = ModelType::NaiveBayes;
+            },
+        ),
+        IterationSpec::new(
+            "back to logistic regression",
+            IterationStage::MachineLearning,
+            |p: &mut CensusParams| {
+                p.model_type = ModelType::LogisticRegression;
+            },
+        ),
+        IterationSpec::new(
+            "check precision only",
+            IterationStage::Evaluation,
+            |p: &mut CensusParams| {
+                p.metrics = vec![MetricKind::Precision];
+            },
+        ),
+        IterationSpec::new(
+            "back to accuracy-only evaluation",
+            IterationStage::Evaluation,
+            |p: &mut CensusParams| {
+                p.metrics = vec![MetricKind::Accuracy];
+            },
+        ),
     ]
 }
 
@@ -276,8 +353,7 @@ mod tests {
     use super::*;
 
     fn tmpdir(tag: &str) -> PathBuf {
-        let dir =
-            std::env::temp_dir().join(format!("helix-census-{tag}-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("helix-census-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }
@@ -285,7 +361,11 @@ mod tests {
     #[test]
     fn generator_is_deterministic_and_learnable() {
         let dir = tmpdir("gen");
-        let spec = CensusDataSpec { train_rows: 500, test_rows: 100, ..Default::default() };
+        let spec = CensusDataSpec {
+            train_rows: 500,
+            test_rows: 100,
+            ..Default::default()
+        };
         let (train1, _) = generate_census(&dir, &spec).unwrap();
         let contents1 = std::fs::read_to_string(&train1).unwrap();
         let (train2, _) = generate_census(&dir, &spec).unwrap();
@@ -300,13 +380,23 @@ mod tests {
     #[test]
     fn workflow_builds_and_slices_race() {
         let dir = tmpdir("wf");
-        generate_census(&dir, &CensusDataSpec { train_rows: 50, test_rows: 20, ..Default::default() })
-            .unwrap();
+        generate_census(
+            &dir,
+            &CensusDataSpec {
+                train_rows: 50,
+                test_rows: 20,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let params = CensusParams::initial(&dir);
         let w = census_workflow(&params).unwrap();
         let slice = helix_core::slicing::slice(&w).unwrap();
         assert!(!slice.active[w.by_name("race").unwrap().index()]);
-        assert!(!slice.active[w.by_name("ms").unwrap().index()], "ms off initially");
+        assert!(
+            !slice.active[w.by_name("ms").unwrap().index()],
+            "ms off initially"
+        );
         assert!(slice.active[w.by_name("edu").unwrap().index()]);
     }
 
@@ -342,7 +432,11 @@ mod tests {
         let dir = tmpdir("e2e");
         generate_census(
             &dir,
-            &CensusDataSpec { train_rows: 400, test_rows: 100, ..Default::default() },
+            &CensusDataSpec {
+                train_rows: 400,
+                test_rows: 100,
+                ..Default::default()
+            },
         )
         .unwrap();
         let params = CensusParams::initial(&dir);

@@ -90,10 +90,18 @@ fn candidates_schema() -> Arc<Schema> {
 /// lists, so membership is informative but not an oracle.
 fn gazetteers() -> (Gazetteer, Gazetteer) {
     let first = Gazetteer::from_names(
-        FIRST_NAMES.iter().enumerate().filter(|(i, _)| i % 3 != 0).map(|(_, n)| *n),
+        FIRST_NAMES
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 3 != 0)
+            .map(|(_, n)| *n),
     );
     let last = Gazetteer::from_names(
-        LAST_NAMES.iter().enumerate().filter(|(i, _)| i % 3 != 0).map(|(_, n)| *n),
+        LAST_NAMES
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 3 != 0)
+            .map(|(_, n)| *n),
     );
     (first, last)
 }
@@ -116,7 +124,10 @@ fn udf_sentences() -> Udf {
                 ]));
             }
         }
-        Ok(DataCollection::from_rows_unchecked(sentences_schema(), rows))
+        Ok(DataCollection::from_rows_unchecked(
+            sentences_schema(),
+            rows,
+        ))
     })
 }
 
@@ -145,7 +156,10 @@ fn udf_candidates(max_len: usize) -> Udf {
                 ]));
             }
         }
-        Ok(DataCollection::from_rows_unchecked(candidates_schema(), rows))
+        Ok(DataCollection::from_rows_unchecked(
+            candidates_schema(),
+            rows,
+        ))
     })
 }
 
@@ -177,21 +191,35 @@ fn udf_labels() -> Udf {
                     row.get(cend).as_int().unwrap_or(-2),
                 );
                 let label = if gold_set.contains(&key) { 1.0 } else { 0.0 };
-                Row(vec![Value::List(vec![helix_core::exec::feature_pair("label", label)])])
+                Row(vec![Value::List(vec![helix_core::exec::feature_pair(
+                    "label", label,
+                )])])
             })
             .collect();
-        Ok(DataCollection::from_rows_unchecked(helix_core::exec::feats_schema(), rows))
+        Ok(DataCollection::from_rows_unchecked(
+            helix_core::exec::feats_schema(),
+            rows,
+        ))
     })
 }
 
 /// Rebuilds the candidate and tokens context for a candidates row.
-fn row_candidate(row: &Row, candidates: &DataCollection) -> Result<(Vec<helix_nlp::Token>, Candidate)> {
+fn row_candidate(
+    row: &Row,
+    candidates: &DataCollection,
+) -> Result<(Vec<helix_nlp::Token>, Candidate)> {
     let sentence = row
         .get(candidates.column_index("sentence")?)
         .as_str()
         .ok_or_else(|| HelixError::Exec("candidate sentence missing".into()))?;
-    let tok_start = row.get(candidates.column_index("tok_start")?).as_int().unwrap_or(0) as usize;
-    let tok_end = row.get(candidates.column_index("tok_end")?).as_int().unwrap_or(0) as usize;
+    let tok_start = row
+        .get(candidates.column_index("tok_start")?)
+        .as_int()
+        .unwrap_or(0) as usize;
+    let tok_end = row
+        .get(candidates.column_index("tok_end")?)
+        .as_int()
+        .unwrap_or(0) as usize;
     let text = row
         .get(candidates.column_index("text")?)
         .as_str()
@@ -204,7 +232,16 @@ fn row_candidate(row: &Row, candidates: &DataCollection) -> Result<(Vec<helix_nl
     } else {
         (0, 0)
     };
-    Ok((tokens, Candidate { token_start: tok_start, token_end: tok_end, start, end, text }))
+    Ok((
+        tokens,
+        Candidate {
+            token_start: tok_start,
+            token_end: tok_end,
+            start,
+            end,
+            text,
+        },
+    ))
 }
 
 /// A feature-group UDF: emits fragments for exactly one [`FeatureConfig`]
@@ -224,7 +261,10 @@ fn udf_feature_group(tag: &str, config: FeatureConfig) -> Udf {
                 .collect();
             rows.push(Row(vec![Value::List(pairs)]));
         }
-        Ok(DataCollection::from_rows_unchecked(helix_core::exec::feats_schema(), rows))
+        Ok(DataCollection::from_rows_unchecked(
+            helix_core::exec::feats_schema(),
+            rows,
+        ))
     })
 }
 
@@ -236,7 +276,14 @@ fn group_config(
     title: bool,
     length: bool,
 ) -> FeatureConfig {
-    FeatureConfig { lexical, context, shape, gazetteer, title_cue: title, length }
+    FeatureConfig {
+        lexical,
+        context,
+        shape,
+        gazetteer,
+        title_cue: title,
+        length,
+    }
 }
 
 /// Builds the IE workflow for the given parameters.
@@ -247,36 +294,59 @@ pub fn ie_workflow(params: &IeParams) -> Result<Workflow> {
     let gold = w.csv_scanner(
         "gold",
         &gold_src,
-        &[("doc_id", DataType::Int), ("start", DataType::Int), ("end", DataType::Int)],
+        &[
+            ("doc_id", DataType::Int),
+            ("start", DataType::Int),
+            ("end", DataType::Int),
+        ],
     )?;
     let sentences = w.udf("sentences", &[&corpus], udf_sentences())?;
-    let candidates = w.udf("candidates", &[&sentences], udf_candidates(params.max_cand_len))?;
+    let candidates = w.udf(
+        "candidates",
+        &[&sentences],
+        udf_candidates(params.max_cand_len),
+    )?;
     let labels = w.udf("labels", &[&candidates, &gold], udf_labels())?;
 
     let lexical = w.udf(
         "feat_lexical",
         &[&candidates],
-        udf_feature_group("lexical", group_config(true, false, false, false, false, true)),
+        udf_feature_group(
+            "lexical",
+            group_config(true, false, false, false, false, true),
+        ),
     )?;
     let context = w.udf(
         "feat_context",
         &[&candidates],
-        udf_feature_group("context", group_config(false, true, false, false, false, false)),
+        udf_feature_group(
+            "context",
+            group_config(false, true, false, false, false, false),
+        ),
     )?;
     let shape = w.udf(
         "feat_shape",
         &[&candidates],
-        udf_feature_group("shape", group_config(false, false, true, false, false, false)),
+        udf_feature_group(
+            "shape",
+            group_config(false, false, true, false, false, false),
+        ),
     )?;
     let gazetteer = w.udf(
         "feat_gazetteer",
         &[&candidates],
-        udf_feature_group("gazetteer", group_config(false, false, false, true, false, false)),
+        udf_feature_group(
+            "gazetteer",
+            group_config(false, false, false, true, false, false),
+        ),
     )?;
     let title = w.udf(
         "feat_title",
         &[&candidates],
-        udf_feature_group("title", group_config(false, false, false, false, true, false)),
+        udf_feature_group(
+            "title",
+            group_config(false, false, false, false, true, false),
+        ),
     )?;
 
     let mut extractors = vec![&lexical];
@@ -306,7 +376,10 @@ pub fn ie_workflow(params: &IeParams) -> Result<Workflow> {
     let checked = w.evaluate(
         "checked",
         &predictions,
-        EvalSpec { metrics: params.metrics.clone(), split: helix_core::SPLIT_TEST.into() },
+        EvalSpec {
+            metrics: params.metrics.clone(),
+            split: helix_core::SPLIT_TEST.into(),
+        },
     )?;
     w.output(&predictions);
     w.output(&checked);
@@ -316,33 +389,69 @@ pub fn ie_workflow(params: &IeParams) -> Result<Workflow> {
 /// The Fig. 2(a) iteration script for the IE task.
 pub fn ie_iterations() -> Vec<IterationSpec<IeParams>> {
     vec![
-        IterationSpec::new("add context features", IterationStage::DataPreProcessing, |p: &mut IeParams| {
-            p.feat_context = true;
-        }),
-        IterationSpec::new("decrease regularization", IterationStage::MachineLearning, |p: &mut IeParams| {
-            p.reg_param = 0.01;
-        }),
-        IterationSpec::new("add precision/recall metrics", IterationStage::Evaluation, |p: &mut IeParams| {
-            p.metrics = vec![MetricKind::F1, MetricKind::Precision, MetricKind::Recall];
-        }),
-        IterationSpec::new("add gazetteer features", IterationStage::DataPreProcessing, |p: &mut IeParams| {
-            p.feat_gazetteer = true;
-        }),
-        IterationSpec::new("double training epochs", IterationStage::MachineLearning, |p: &mut IeParams| {
-            p.epochs *= 2;
-        }),
-        IterationSpec::new("add shape features", IterationStage::DataPreProcessing, |p: &mut IeParams| {
-            p.feat_shape = true;
-        }),
-        IterationSpec::new("add accuracy metric", IterationStage::Evaluation, |p: &mut IeParams| {
-            p.metrics.push(MetricKind::Accuracy);
-        }),
-        IterationSpec::new("add honorific-title features", IterationStage::DataPreProcessing, |p: &mut IeParams| {
-            p.feat_title = true;
-        }),
-        IterationSpec::new("longer candidates (4 tokens)", IterationStage::DataPreProcessing, |p: &mut IeParams| {
-            p.max_cand_len = 4;
-        }),
+        IterationSpec::new(
+            "add context features",
+            IterationStage::DataPreProcessing,
+            |p: &mut IeParams| {
+                p.feat_context = true;
+            },
+        ),
+        IterationSpec::new(
+            "decrease regularization",
+            IterationStage::MachineLearning,
+            |p: &mut IeParams| {
+                p.reg_param = 0.01;
+            },
+        ),
+        IterationSpec::new(
+            "add precision/recall metrics",
+            IterationStage::Evaluation,
+            |p: &mut IeParams| {
+                p.metrics = vec![MetricKind::F1, MetricKind::Precision, MetricKind::Recall];
+            },
+        ),
+        IterationSpec::new(
+            "add gazetteer features",
+            IterationStage::DataPreProcessing,
+            |p: &mut IeParams| {
+                p.feat_gazetteer = true;
+            },
+        ),
+        IterationSpec::new(
+            "double training epochs",
+            IterationStage::MachineLearning,
+            |p: &mut IeParams| {
+                p.epochs *= 2;
+            },
+        ),
+        IterationSpec::new(
+            "add shape features",
+            IterationStage::DataPreProcessing,
+            |p: &mut IeParams| {
+                p.feat_shape = true;
+            },
+        ),
+        IterationSpec::new(
+            "add accuracy metric",
+            IterationStage::Evaluation,
+            |p: &mut IeParams| {
+                p.metrics.push(MetricKind::Accuracy);
+            },
+        ),
+        IterationSpec::new(
+            "add honorific-title features",
+            IterationStage::DataPreProcessing,
+            |p: &mut IeParams| {
+                p.feat_title = true;
+            },
+        ),
+        IterationSpec::new(
+            "longer candidates (4 tokens)",
+            IterationStage::DataPreProcessing,
+            |p: &mut IeParams| {
+                p.max_cand_len = 4;
+            },
+        ),
     ]
 }
 
@@ -359,7 +468,14 @@ mod tests {
 
     fn setup(tag: &str, docs: usize) -> (PathBuf, IeParams) {
         let dir = tmpdir(tag);
-        generate_news(&dir, &NewsDataSpec { docs, ..Default::default() }).unwrap();
+        generate_news(
+            &dir,
+            &NewsDataSpec {
+                docs,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let params = IeParams::initial(&dir);
         (dir, params)
     }
@@ -437,7 +553,8 @@ mod tests {
             .filter(|n| n.name == "candidates" || n.name == "sentences")
             .collect();
         assert!(
-            prep.iter().all(|n| n.state != helix_core::NodeState::Compute),
+            prep.iter()
+                .all(|n| n.state != helix_core::NodeState::Compute),
             "pre-processing must not recompute on an eval-only change"
         );
     }

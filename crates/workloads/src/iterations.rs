@@ -39,7 +39,11 @@ impl<P> IterationSpec<P> {
         stage: IterationStage,
         apply: impl Fn(&mut P) + Send + Sync + 'static,
     ) -> Self {
-        IterationSpec { description, stage, apply: Box::new(apply) }
+        IterationSpec {
+            description,
+            stage,
+            apply: Box::new(apply),
+        }
     }
 }
 

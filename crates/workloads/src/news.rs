@@ -15,34 +15,127 @@ use std::path::{Path, PathBuf};
 
 /// First names used by the generator (and partially by the gazetteer).
 pub const FIRST_NAMES: &[&str] = &[
-    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael", "Linda", "David",
-    "Elizabeth", "William", "Barbara", "Richard", "Susan", "Joseph", "Jessica", "Thomas",
-    "Sarah", "Carlos", "Nancy", "Daniel", "Lisa", "Matthew", "Betty", "Anthony", "Margaret",
-    "Mark", "Sandra", "Donald", "Ashley", "Steven", "Kimberly", "Paul", "Emily", "Andrew",
-    "Donna", "Joshua", "Michelle", "Kenneth", "Dorothy",
+    "James",
+    "Mary",
+    "Robert",
+    "Patricia",
+    "John",
+    "Jennifer",
+    "Michael",
+    "Linda",
+    "David",
+    "Elizabeth",
+    "William",
+    "Barbara",
+    "Richard",
+    "Susan",
+    "Joseph",
+    "Jessica",
+    "Thomas",
+    "Sarah",
+    "Carlos",
+    "Nancy",
+    "Daniel",
+    "Lisa",
+    "Matthew",
+    "Betty",
+    "Anthony",
+    "Margaret",
+    "Mark",
+    "Sandra",
+    "Donald",
+    "Ashley",
+    "Steven",
+    "Kimberly",
+    "Paul",
+    "Emily",
+    "Andrew",
+    "Donna",
+    "Joshua",
+    "Michelle",
+    "Kenneth",
+    "Dorothy",
 ];
 
 /// Last names used by the generator.
 pub const LAST_NAMES: &[&str] = &[
-    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis", "Rodriguez",
-    "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson", "Thomas", "Taylor",
-    "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez",
-    "Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King", "Wright",
-    "Scott", "Torres", "Nguyen", "Hill", "Flores",
+    "Smith",
+    "Johnson",
+    "Williams",
+    "Brown",
+    "Jones",
+    "Garcia",
+    "Miller",
+    "Davis",
+    "Rodriguez",
+    "Martinez",
+    "Hernandez",
+    "Lopez",
+    "Gonzalez",
+    "Wilson",
+    "Anderson",
+    "Thomas",
+    "Taylor",
+    "Moore",
+    "Jackson",
+    "Martin",
+    "Lee",
+    "Perez",
+    "Thompson",
+    "White",
+    "Harris",
+    "Sanchez",
+    "Clark",
+    "Ramirez",
+    "Lewis",
+    "Robinson",
+    "Walker",
+    "Young",
+    "Allen",
+    "King",
+    "Wright",
+    "Scott",
+    "Torres",
+    "Nguyen",
+    "Hill",
+    "Flores",
 ];
 
 const ORGS: &[&str] = &[
-    "Acme Corporation", "Global Dynamics", "Initech", "Umbrella Holdings", "Stark Industries",
-    "Wayne Enterprises", "Cyberdyne Systems", "Tyrell Corporation", "Hooli", "Vehement Capital",
+    "Acme Corporation",
+    "Global Dynamics",
+    "Initech",
+    "Umbrella Holdings",
+    "Stark Industries",
+    "Wayne Enterprises",
+    "Cyberdyne Systems",
+    "Tyrell Corporation",
+    "Hooli",
+    "Vehement Capital",
 ];
 
 const PLACES: &[&str] = &[
-    "Springfield", "Rivertown", "Lakeside", "Centerville", "Fairview", "Georgetown",
-    "Salem", "Madison", "Clinton", "Arlington",
+    "Springfield",
+    "Rivertown",
+    "Lakeside",
+    "Centerville",
+    "Fairview",
+    "Georgetown",
+    "Salem",
+    "Madison",
+    "Clinton",
+    "Arlington",
 ];
 
-const VERBS: &[&str] =
-    &["announced", "criticized", "praised", "met with", "interviewed", "defended", "endorsed"];
+const VERBS: &[&str] = &[
+    "announced",
+    "criticized",
+    "praised",
+    "met with",
+    "interviewed",
+    "defended",
+    "endorsed",
+];
 const TOPICS: &[&str] = &[
     "the new budget proposal",
     "a controversial merger",
@@ -76,7 +169,11 @@ pub struct NewsDataSpec {
 
 impl Default for NewsDataSpec {
     fn default() -> Self {
-        NewsDataSpec { docs: 900, sentences_per_doc: (3, 7), seed: 13 }
+        NewsDataSpec {
+            docs: 900,
+            sentences_per_doc: (3, 7),
+            seed: 13,
+        }
     }
 }
 
@@ -120,7 +217,11 @@ pub fn generate_news(dir: &Path, spec: &NewsDataSpec) -> Result<NewsData> {
     }
     corpus.flush()?;
     gold.flush()?;
-    Ok(NewsData { corpus_path, gold_path, mentions })
+    Ok(NewsData {
+        corpus_path,
+        gold_path,
+        mentions,
+    })
 }
 
 /// Appends one sentence to `doc`, returning byte spans of person mentions.
@@ -208,7 +309,10 @@ mod tests {
     #[test]
     fn generator_is_deterministic() {
         let dir = tmpdir("det");
-        let spec = NewsDataSpec { docs: 30, ..Default::default() };
+        let spec = NewsDataSpec {
+            docs: 30,
+            ..Default::default()
+        };
         let d1 = generate_news(&dir, &spec).unwrap();
         let c1 = std::fs::read_to_string(&d1.corpus_path).unwrap();
         let d2 = generate_news(&dir, &spec).unwrap();
@@ -220,7 +324,14 @@ mod tests {
     #[test]
     fn gold_spans_point_at_person_names() {
         let dir = tmpdir("spans");
-        let data = generate_news(&dir, &NewsDataSpec { docs: 40, ..Default::default() }).unwrap();
+        let data = generate_news(
+            &dir,
+            &NewsDataSpec {
+                docs: 40,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let corpus: Vec<String> = std::fs::read_to_string(&data.corpus_path)
             .unwrap()
             .lines()
@@ -230,8 +341,11 @@ mod tests {
         let mut checked = 0;
         for line in gold.lines() {
             let parts: Vec<&str> = line.split(',').collect();
-            let (doc, start, end): (usize, usize, usize) =
-                (parts[0].parse().unwrap(), parts[1].parse().unwrap(), parts[2].parse().unwrap());
+            let (doc, start, end): (usize, usize, usize) = (
+                parts[0].parse().unwrap(),
+                parts[1].parse().unwrap(),
+                parts[2].parse().unwrap(),
+            );
             let mention = &corpus[doc][start..end];
             let first_word = mention.split(' ').next().unwrap();
             assert!(
@@ -246,9 +360,19 @@ mod tests {
     #[test]
     fn corpus_contains_distractors() {
         let dir = tmpdir("distract");
-        let data = generate_news(&dir, &NewsDataSpec { docs: 60, ..Default::default() }).unwrap();
+        let data = generate_news(
+            &dir,
+            &NewsDataSpec {
+                docs: 60,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let corpus = std::fs::read_to_string(&data.corpus_path).unwrap();
         assert!(ORGS.iter().any(|org| corpus.contains(org)), "orgs appear");
-        assert!(PLACES.iter().any(|place| corpus.contains(place)), "places appear");
+        assert!(
+            PLACES.iter().any(|place| corpus.contains(place)),
+            "places appear"
+        );
     }
 }

@@ -8,18 +8,25 @@
 
 use helix::baselines::SystemKind;
 use helix::core::viz;
-use helix::workloads::census::{
-    census_workflow, generate_census, CensusDataSpec, CensusParams,
-};
+use helix::workloads::census::{census_workflow, generate_census, CensusDataSpec, CensusParams};
 
 fn main() {
     let dir = std::env::temp_dir().join("helix-census-example");
-    let spec = CensusDataSpec { train_rows: 8_000, test_rows: 2_000, ..Default::default() };
+    let spec = CensusDataSpec {
+        train_rows: 8_000,
+        test_rows: 2_000,
+        ..Default::default()
+    };
     generate_census(&dir, &spec).expect("generate census data");
-    println!("generated {} train / {} test census rows\n", spec.train_rows, spec.test_rows);
+    println!(
+        "generated {} train / {} test census rows\n",
+        spec.train_rows, spec.test_rows
+    );
 
     let _ = std::fs::remove_dir_all(dir.join("store"));
-    let mut engine = SystemKind::Helix.build_engine(&dir.join("store")).expect("engine");
+    let mut engine = SystemKind::Helix
+        .build_engine(&dir.join("store"))
+        .expect("engine");
 
     // Version 1: the paper's initial program.
     let mut params = CensusParams::initial(&dir);
@@ -45,7 +52,10 @@ fn main() {
     let annotations: Vec<viz::NodeAnnotation> = r2
         .nodes
         .iter()
-        .map(|n| viz::NodeAnnotation { state: Some(n.state), materialized: n.materialized })
+        .map(|n| viz::NodeAnnotation {
+            state: Some(n.state),
+            materialized: n.materialized,
+        })
         .collect();
     let dot_path = dir.join("census_v2.dot");
     std::fs::write(&dot_path, viz::to_dot(&v2, Some(&annotations))).expect("write dot");

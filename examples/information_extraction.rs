@@ -17,7 +17,10 @@ use helix::workloads::news::{generate_news, NewsDataSpec};
 
 fn main() {
     let dir = std::env::temp_dir().join("helix-ie-example");
-    let spec = NewsDataSpec { docs: 600, ..Default::default() };
+    let spec = NewsDataSpec {
+        docs: 600,
+        ..Default::default()
+    };
     let data = generate_news(&dir, &spec).expect("generate corpus");
     println!(
         "generated {} news documents with {} gold person mentions\n",
@@ -25,7 +28,9 @@ fn main() {
     );
 
     let _ = std::fs::remove_dir_all(dir.join("store"));
-    let mut engine = SystemKind::Helix.build_engine(&dir.join("store")).expect("engine");
+    let mut engine = SystemKind::Helix
+        .build_engine(&dir.join("store"))
+        .expect("engine");
     let mut params = IeParams::initial(&dir);
     params.metrics = vec![
         helix::core::ops::MetricKind::F1,
@@ -33,10 +38,14 @@ fn main() {
         helix::core::ops::MetricKind::Recall,
     ];
 
-    let steps: Vec<(&str, Box<dyn Fn(&mut IeParams)>)> = vec![
+    type Step<'a> = (&'a str, Box<dyn Fn(&mut IeParams)>);
+    let steps: Vec<Step> = vec![
         ("lexical features only", Box::new(|_| {})),
         ("+ context words", Box::new(|p| p.feat_context = true)),
-        ("+ gazetteer membership", Box::new(|p| p.feat_gazetteer = true)),
+        (
+            "+ gazetteer membership",
+            Box::new(|p| p.feat_gazetteer = true),
+        ),
         ("+ word shapes", Box::new(|p| p.feat_shape = true)),
         ("+ honorific-title cue", Box::new(|p| p.feat_title = true)),
     ];
@@ -70,7 +79,11 @@ fn main() {
         println!(
             "  version {} (F1 = {:.3}): {}",
             best.id,
-            best.metrics.iter().find(|(m, _)| m == "f1").map(|(_, v)| *v).unwrap_or(0.0),
+            best.metrics
+                .iter()
+                .find(|(m, _)| m == "f1")
+                .map(|(_, v)| *v)
+                .unwrap_or(0.0),
             best.change_summary
         );
     }

@@ -21,24 +21,46 @@ fn build_workflow(dir: &std::path::Path, reg_param: f64) -> Workflow {
         .csv_scanner(
             "rows",
             &data,
-            &[("color", DataType::Str), ("size", DataType::Int), ("target", DataType::Int)],
+            &[
+                ("color", DataType::Str),
+                ("size", DataType::Int),
+                ("target", DataType::Int),
+            ],
         )
         .expect("scanner");
-    let color = w.field_extractor("color", &rows, "color", ExtractorKind::Categorical).unwrap();
-    let size = w.field_extractor("size", &rows, "size", ExtractorKind::Numeric).unwrap();
+    let color = w
+        .field_extractor("color", &rows, "color", ExtractorKind::Categorical)
+        .unwrap();
+    let size = w
+        .field_extractor("size", &rows, "size", ExtractorKind::Numeric)
+        .unwrap();
     let size_bucket = w.bucketizer("sizeBucket", &size, 4).unwrap();
-    let target = w.field_extractor("target", &rows, "target", ExtractorKind::Numeric).unwrap();
+    let target = w
+        .field_extractor("target", &rows, "target", ExtractorKind::Numeric)
+        .unwrap();
     // examples results_from rows with_labels target
-    let examples = w.assemble("examples", &rows, &[&color, &size_bucket], &target).unwrap();
+    let examples = w
+        .assemble("examples", &rows, &[&color, &size_bucket], &target)
+        .unwrap();
     // predictions results_from Learner(logreg, regParam) on examples
     let predictions = w
-        .learner("predictions", &examples, LearnerSpec { reg_param, ..Default::default() })
+        .learner(
+            "predictions",
+            &examples,
+            LearnerSpec {
+                reg_param,
+                ..Default::default()
+            },
+        )
         .unwrap();
     let checked = w
         .evaluate(
             "checked",
             &predictions,
-            EvalSpec { metrics: vec![MetricKind::Accuracy, MetricKind::F1], ..Default::default() },
+            EvalSpec {
+                metrics: vec![MetricKind::Accuracy, MetricKind::F1],
+                ..Default::default()
+            },
         )
         .unwrap();
     w.output(&predictions);
@@ -92,5 +114,8 @@ fn main() {
     println!("\n--- iteration 2: identical rerun (everything reused) ---");
     let report = engine.run(&build_workflow(&dir, 0.01)).expect("run");
     println!("{}", report.summary());
-    println!("\nVersion history:\n{}", helix::core::viz::version_log(engine.versions()));
+    println!(
+        "\nVersion history:\n{}",
+        helix::core::viz::version_log(engine.versions())
+    );
 }

@@ -16,18 +16,28 @@ fn main() {
     let dir = std::env::temp_dir().join("helix-versioning-example");
     generate_census(
         &dir,
-        &CensusDataSpec { train_rows: 4_000, test_rows: 1_000, ..Default::default() },
+        &CensusDataSpec {
+            train_rows: 4_000,
+            test_rows: 1_000,
+            ..Default::default()
+        },
     )
     .expect("generate data");
 
     let _ = std::fs::remove_dir_all(dir.join("store"));
-    let mut engine = SystemKind::Helix.build_engine(&dir.join("store")).expect("engine");
+    let mut engine = SystemKind::Helix
+        .build_engine(&dir.join("store"))
+        .expect("engine");
     let mut params = CensusParams::initial(&dir);
 
-    engine.run(&census_workflow(&params).expect("workflow")).expect("run");
+    engine
+        .run(&census_workflow(&params).expect("workflow"))
+        .expect("run");
     for spec in census_iterations().into_iter().take(5) {
         (spec.apply)(&mut params);
-        engine.run(&census_workflow(&params).expect("workflow")).expect("run");
+        engine
+            .run(&census_workflow(&params).expect("workflow"))
+            .expect("run");
     }
 
     // Versions tab: commit-log browser with best/latest shortcuts.
@@ -40,8 +50,16 @@ fn main() {
         (lo.min(*v), hi.max(*v))
     });
     for (version, value) in &trend {
-        let width = if max > min { ((value - min) / (max - min) * 40.0) as usize } else { 20 };
-        println!("  v{version} |{}{}| {value:.4}", "▪".repeat(width), " ".repeat(40 - width));
+        let width = if max > min {
+            ((value - min) / (max - min) * 40.0) as usize
+        } else {
+            20
+        };
+        println!(
+            "  v{version} |{}{}| {value:.4}",
+            "▪".repeat(width),
+            " ".repeat(40 - width)
+        );
     }
 
     // Comparison view: select two versions, see the git-style DAG diff.

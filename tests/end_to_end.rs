@@ -21,7 +21,11 @@ fn census_full_iteration_script_runs_green() {
     let dir = tmpdir("census-script");
     generate_census(
         &dir,
-        &CensusDataSpec { train_rows: 600, test_rows: 150, ..Default::default() },
+        &CensusDataSpec {
+            train_rows: 600,
+            test_rows: 150,
+            ..Default::default()
+        },
     )
     .unwrap();
     let mut engine = SystemKind::Helix.build_engine(&dir.join("store")).unwrap();
@@ -47,7 +51,14 @@ fn census_full_iteration_script_runs_green() {
 #[test]
 fn ie_full_iteration_script_runs_green() {
     let dir = tmpdir("ie-script");
-    generate_news(&dir, &NewsDataSpec { docs: 80, ..Default::default() }).unwrap();
+    generate_news(
+        &dir,
+        &NewsDataSpec {
+            docs: 80,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     let mut engine = SystemKind::Helix.build_engine(&dir.join("store")).unwrap();
     let mut params = IeParams::initial(&dir);
     engine.run(&ie_workflow(&params).unwrap()).unwrap();
@@ -66,19 +77,36 @@ fn optimizations_never_change_results_census() {
     let dir = tmpdir("equivalence");
     generate_census(
         &dir,
-        &CensusDataSpec { train_rows: 500, test_rows: 120, ..Default::default() },
+        &CensusDataSpec {
+            train_rows: 500,
+            test_rows: 120,
+            ..Default::default()
+        },
     )
     .unwrap();
     let mut all_metrics: Vec<Vec<(String, f64)>> = Vec::new();
-    for (k, system) in
-        [SystemKind::Helix, SystemKind::KeystoneSim, SystemKind::HelixUnopt].iter().enumerate()
+    for (k, system) in [
+        SystemKind::Helix,
+        SystemKind::KeystoneSim,
+        SystemKind::HelixUnopt,
+    ]
+    .iter()
+    .enumerate()
     {
         let mut engine = system.build_engine(&dir.join(format!("store{k}"))).unwrap();
         let mut params = CensusParams::initial(&dir);
-        let mut metrics = engine.run(&census_workflow(&params).unwrap()).unwrap().metrics;
+        let mut metrics = engine
+            .run(&census_workflow(&params).unwrap())
+            .unwrap()
+            .metrics;
         for spec in census_iterations() {
             (spec.apply)(&mut params);
-            metrics.extend(engine.run(&census_workflow(&params).unwrap()).unwrap().metrics);
+            metrics.extend(
+                engine
+                    .run(&census_workflow(&params).unwrap())
+                    .unwrap()
+                    .metrics,
+            );
         }
         all_metrics.push(metrics);
     }
@@ -93,7 +121,11 @@ fn rollback_reuses_old_materializations() {
     let dir = tmpdir("rollback");
     generate_census(
         &dir,
-        &CensusDataSpec { train_rows: 500, test_rows: 120, ..Default::default() },
+        &CensusDataSpec {
+            train_rows: 500,
+            test_rows: 120,
+            ..Default::default()
+        },
     )
     .unwrap();
     let mut engine = SystemKind::Helix.build_engine(&dir.join("store")).unwrap();
@@ -119,7 +151,11 @@ fn store_survives_engine_restart() {
     let dir = tmpdir("restart");
     generate_census(
         &dir,
-        &CensusDataSpec { train_rows: 400, test_rows: 100, ..Default::default() },
+        &CensusDataSpec {
+            train_rows: 400,
+            test_rows: 100,
+            ..Default::default()
+        },
     )
     .unwrap();
     let params = CensusParams::initial(&dir);
@@ -127,11 +163,14 @@ fn store_survives_engine_restart() {
     {
         let mut engine = SystemKind::Helix.build_engine(&dir.join("store")).unwrap();
         engine.run(&w).unwrap();
-        assert!(engine.store().len() > 0);
+        assert!(!engine.store().is_empty());
     }
     let mut engine = SystemKind::Helix.build_engine(&dir.join("store")).unwrap();
     let report = engine.run(&w).unwrap();
-    assert!(report.loaded() > 0, "fresh engine must reuse the persisted store");
+    assert!(
+        report.loaded() > 0,
+        "fresh engine must reuse the persisted store"
+    );
 }
 
 /// An evaluation-only change touches nothing upstream of the Reducer.
@@ -140,14 +179,20 @@ fn eval_change_is_nearly_free() {
     let dir = tmpdir("evalfree");
     generate_census(
         &dir,
-        &CensusDataSpec { train_rows: 500, test_rows: 120, ..Default::default() },
+        &CensusDataSpec {
+            train_rows: 500,
+            test_rows: 120,
+            ..Default::default()
+        },
     )
     .unwrap();
     let mut engine = SystemKind::Helix.build_engine(&dir.join("store")).unwrap();
     let mut params = CensusParams::initial(&dir);
     let first = engine.run(&census_workflow(&params).unwrap()).unwrap();
-    params.metrics =
-        vec![helix::core::ops::MetricKind::Accuracy, helix::core::ops::MetricKind::F1];
+    params.metrics = vec![
+        helix::core::ops::MetricKind::Accuracy,
+        helix::core::ops::MetricKind::F1,
+    ];
     let eval_iter = engine.run(&census_workflow(&params).unwrap()).unwrap();
     // Only the Reducer recomputes; its input is loaded.
     let recomputed: Vec<&str> = eval_iter
@@ -174,16 +219,26 @@ fn evaluation_uses_test_split() {
     std::fs::write(dir.join("train.csv"), "a,1\nb,0\n".repeat(50)).unwrap();
     std::fs::write(dir.join("test.csv"), "a,0\nb,1\n".repeat(10)).unwrap();
     let mut w = helix::core::Workflow::new("split-check");
-    let data = w.csv_source("data", dir.join("train.csv"), Some(dir.join("test.csv"))).unwrap();
+    let data = w
+        .csv_source("data", dir.join("train.csv"), Some(dir.join("test.csv")))
+        .unwrap();
     let rows = w
         .csv_scanner(
             "rows",
             &data,
-            &[("x", helix::dataflow::DataType::Str), ("y", helix::dataflow::DataType::Int)],
+            &[
+                ("x", helix::dataflow::DataType::Str),
+                ("y", helix::dataflow::DataType::Int),
+            ],
         )
         .unwrap();
     let x = w
-        .field_extractor("x", &rows, "x", helix::core::ops::ExtractorKind::Categorical)
+        .field_extractor(
+            "x",
+            &rows,
+            "x",
+            helix::core::ops::ExtractorKind::Categorical,
+        )
         .unwrap();
     let y = w
         .field_extractor("y", &rows, "y", helix::core::ops::ExtractorKind::Numeric)
@@ -203,5 +258,9 @@ fn evaluation_uses_test_split() {
     w.output(&checked);
     let mut engine = SystemKind::Helix.build_engine(&dir.join("store")).unwrap();
     let report = engine.run(&w).unwrap();
-    assert_eq!(report.metric("accuracy"), Some(0.0), "flipped test labels ⇒ 0 accuracy");
+    assert_eq!(
+        report.metric("accuracy"),
+        Some(0.0),
+        "flipped test labels ⇒ 0 accuracy"
+    );
 }

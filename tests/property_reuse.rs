@@ -57,7 +57,11 @@ fn data_dir() -> PathBuf {
     if !dir.join("train.csv").exists() {
         generate_census(
             &dir,
-            &CensusDataSpec { train_rows: 200, test_rows: 60, ..Default::default() },
+            &CensusDataSpec {
+                train_rows: 200,
+                test_rows: 60,
+                ..Default::default()
+            },
         )
         .unwrap();
     }
