@@ -61,6 +61,7 @@ fn bench_strategies(c: &mut Criterion) {
                         recomputation: RecomputationPolicy::Optimal,
                         materialization: policy,
                         enable_slicing: true,
+                        parallelism: helix_core::default_parallelism(),
                     };
                     mini_series(&dir, config)
                 })

@@ -1,0 +1,105 @@
+//! Wave-scheduler speedup: 1-thread vs N-thread first-iteration execution
+//! on the census and NLP (IE + news) workloads.
+//!
+//! The first iteration computes every node, so it carries the full
+//! inter-operator parallelism of each DAG: census fans one scan into the
+//! extractor set, IE runs five independent feature UDFs over one candidate
+//! collection, and the news classifier is a pure extractor fan-out. The
+//! `threads=1` rows are the pre-scheduler baseline; the `threads=N` rows
+//! are what the engine now does by default.
+//!
+//! Run with `cargo bench --bench scheduler`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use helix_core::{Engine, EngineConfig};
+use helix_workloads::census::{census_workflow, generate_census, CensusDataSpec, CensusParams};
+use helix_workloads::ie::{ie_workflow, IeParams};
+use helix_workloads::news::{generate_news, news_workflow, NewsDataSpec, NewsParams};
+use std::path::{Path, PathBuf};
+
+/// Thread count for the parallel rows: all hardware threads, but at least
+/// 4 so the comparison stays two-sided even on small containers (extra
+/// threads on a starved box cost little; on a multi-core runner this is
+/// where the ≥1.5× census speedup shows up).
+fn bench_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .max(4)
+}
+
+/// One fresh-engine first iteration at the given thread count; the store
+/// directory is recreated per call so every run computes everything.
+fn run_once(workflow: &helix_core::Workflow, store_dir: &Path, threads: usize) -> f64 {
+    let _ = std::fs::remove_dir_all(store_dir);
+    let mut engine = Engine::new(EngineConfig::helix(store_dir).with_parallelism(threads)).unwrap();
+    let report = engine.run(workflow).unwrap();
+    assert!(report.computed() > 0, "first iteration must compute");
+    report.total_secs
+}
+
+fn bench_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("helix-bench-sched-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let threads = bench_threads();
+
+    // Census: all optional features wired so the extractor fan-out is at
+    // full width (the paper's late-iteration configuration).
+    let census_dir = bench_dir("census");
+    generate_census(
+        &census_dir,
+        &CensusDataSpec {
+            train_rows: 12_000,
+            test_rows: 3_000,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut census_params = CensusParams::initial(&census_dir);
+    census_params.include_marital_status = true;
+    census_params.include_interaction = true;
+    census_params.include_capital_loss = true;
+    let census = census_workflow(&census_params).unwrap();
+
+    // IE over the news corpus with the full feature-UDF fan-out.
+    let news_dir = bench_dir("news");
+    generate_news(
+        &news_dir,
+        &NewsDataSpec {
+            docs: 400,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut ie_params = IeParams::initial(&news_dir);
+    ie_params.feat_context = true;
+    ie_params.feat_shape = true;
+    ie_params.feat_gazetteer = true;
+    ie_params.feat_title = true;
+    let ie = ie_workflow(&ie_params).unwrap();
+
+    // News density classifier: the widest DAG of the three.
+    let mut news_params = NewsParams::initial(&news_dir);
+    news_params.feat_titles = true;
+    news_params.feat_orgs = true;
+    let news = news_workflow(&news_params).unwrap();
+
+    let mut group = c.benchmark_group("scheduler_first_iteration");
+    group.sample_size(10);
+    for (tag, workflow) in [("census", &census), ("ie", &ie), ("news", &news)] {
+        for t in [1usize, threads] {
+            let store = bench_dir(&format!("store-{tag}-{t}"));
+            group.bench_with_input(BenchmarkId::new(tag, format!("{t}thr")), &t, |b, &t| {
+                b.iter(|| run_once(workflow, &store, t))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

@@ -5,8 +5,9 @@ use crate::compiler::CompiledPlan;
 use crate::cost::CostModel;
 use crate::materialize::{MaterializationContext, MaterializationPolicyKind};
 use crate::ops::{NodeOutput, OperatorKind};
-use crate::recompute::{NodeState, RecomputationPolicy};
+use crate::recompute::RecomputationPolicy;
 use crate::report::{IterationReport, NodeReport};
+use crate::scheduler;
 use crate::signature::{snapshot, ChangeKind, Signature};
 use crate::store::IntermediateStore;
 use crate::version::VersionStore;
@@ -31,6 +32,12 @@ pub struct EngineConfig {
     /// Whether the program slicer prunes operators that do not feed
     /// outputs (off only in the "unoptimized Helix" demo configuration).
     pub enable_slicing: bool,
+    /// Worker threads for wave-scheduled execution. `1` reproduces the
+    /// classic sequential iteration loop; the default is the machine's
+    /// available parallelism (overridable via `HELIX_PARALLELISM`).
+    /// Results and reports are identical at every setting — see
+    /// [`crate::scheduler`].
+    pub parallelism: usize,
 }
 
 impl EngineConfig {
@@ -42,12 +49,19 @@ impl EngineConfig {
             recomputation: RecomputationPolicy::Optimal,
             materialization: MaterializationPolicyKind::HelixOnline,
             enable_slicing: true,
+            parallelism: scheduler::default_parallelism(),
         }
     }
 
     /// Sets the storage budget.
     pub fn with_budget(mut self, bytes: u64) -> Self {
         self.storage_budget_bytes = bytes;
+        self
+    }
+
+    /// Sets the scheduler thread count (clamped to ≥ 1).
+    pub fn with_parallelism(mut self, threads: usize) -> Self {
+        self.parallelism = threads.max(1);
         self
     }
 }
@@ -113,7 +127,6 @@ impl Engine {
         let plan = self.compile_only(workflow)?;
         let optimizer_secs = opt_started.elapsed().as_secs_f64();
 
-        let mut outputs: Vec<Option<NodeOutput>> = vec![None; workflow.len()];
         let mut node_reports: Vec<NodeReport> = workflow
             .nodes()
             .iter()
@@ -135,55 +148,50 @@ impl Engine {
         let mut materialize_secs = 0.0f64;
         let mut metrics: Vec<(String, f64)> = Vec::new();
 
-        for &id in &plan.order {
-            let i = id.index();
-            match plan.states[i] {
-                NodeState::Prune => continue,
-                NodeState::Load => {
-                    let (output, bytes, secs) = self.store.get(plan.signatures[i])?;
-                    self.cost_model.observe_io(bytes, secs);
-                    node_reports[i].duration_secs = secs;
+        // Raw node execution happens inside the scheduler (possibly on
+        // many threads); everything stateful — cost observation, the
+        // online materialization decision (paper §2.3: immediately upon
+        // operator completion), metric harvesting — happens here, in the
+        // merge callback the scheduler invokes strictly in plan order, so
+        // the outcome stream is identical at any thread count.
+        let store = &self.store;
+        let cost_model = &mut self.cost_model;
+        let config = &self.config;
+        let result = scheduler::execute_plan(
+            workflow,
+            &plan,
+            store,
+            config.parallelism,
+            |id, executed, output| {
+                let i = id.index();
+                if let Some(bytes) = executed.loaded_bytes {
+                    cost_model.observe_io(bytes, executed.secs);
+                    node_reports[i].duration_secs = executed.secs;
                     node_reports[i].output_bytes = bytes;
-                    outputs[i] = Some(output);
-                }
-                NodeState::Compute => {
+                } else {
                     let node = workflow.node(id);
-                    let mut parent_outputs: Vec<&NodeOutput> =
-                        Vec::with_capacity(node.parents.len());
-                    for parent in &node.parents {
-                        parent_outputs.push(outputs[parent.index()].as_ref().ok_or_else(|| {
-                            HelixError::Exec(format!(
-                                "parent `{}` of `{}` unavailable (plan bug)",
-                                workflow.node(*parent).name,
-                                node.name
-                            ))
-                        })?);
-                    }
-                    let started = Instant::now();
-                    let output = crate::exec::execute(&node.kind, &node.name, &parent_outputs)?;
-                    let secs = started.elapsed().as_secs_f64();
-                    self.cost_model.observe_compute(&node.name, secs);
+                    cost_model.observe_compute(&node.name, executed.secs);
                     let est_bytes = output.estimated_bytes() as u64;
-                    node_reports[i].duration_secs = secs;
+                    node_reports[i].duration_secs = executed.secs;
                     node_reports[i].output_bytes = est_bytes;
 
-                    // Online materialization decision, immediately upon
-                    // operator completion (paper §2.3).
-                    let size = self.cost_model.expected_encoded_bytes(est_bytes);
+                    let size = cost_model.expected_encoded_bytes(est_bytes);
                     let ctx = MaterializationContext {
-                        load_cost_secs: self.cost_model.load_estimate_secs(size),
-                        compute_cost_secs: secs,
-                        ancestors_compute_secs: self.ancestors_compute_estimate(workflow, id),
+                        load_cost_secs: cost_model.load_estimate_secs(size),
+                        compute_cost_secs: executed.secs,
+                        ancestors_compute_secs: ancestors_compute_estimate(
+                            cost_model, workflow, id,
+                        ),
                         size_bytes: size,
-                        remaining_budget_bytes: self.store.remaining_bytes(),
+                        remaining_budget_bytes: store.remaining_bytes(),
                     };
-                    if self.config.materialization.decide(&ctx)
-                        && self.store.lookup(plan.signatures[i]).is_none()
+                    if config.materialization.decide(&ctx)
+                        && store.lookup(plan.signatures[i]).is_none()
                     {
-                        match self.store.put(plan.signatures[i], &output) {
+                        match store.put(plan.signatures[i], output) {
                             Ok((bytes, secs)) => {
-                                self.cost_model.observe_io(bytes, secs);
-                                self.cost_model.observe_encode(est_bytes, bytes);
+                                cost_model.observe_io(bytes, secs);
+                                cost_model.observe_encode(est_bytes, bytes);
                                 materialize_secs += secs;
                                 node_reports[i].materialized = true;
                             }
@@ -195,18 +203,15 @@ impl Engine {
                             Err(other) => return Err(other),
                         }
                     }
-                    outputs[i] = Some(output);
                 }
-            }
-            // Evaluation results carry this iteration's metrics whether
-            // they were computed fresh or reused from the store.
-            if matches!(workflow.node(id).kind, OperatorKind::Evaluate(_)) {
-                if let Some(output) = &outputs[i] {
+                // Evaluation results carry this iteration's metrics
+                // whether computed fresh or reused from the store.
+                if matches!(workflow.node(id).kind, OperatorKind::Evaluate(_)) {
                     metrics.extend(crate::exec::metric_values(output)?);
                 }
-            }
-        }
-
+                Ok(())
+            },
+        )?;
         let report = IterationReport {
             iteration: self.iteration,
             workflow_name: workflow.name().to_string(),
@@ -214,6 +219,7 @@ impl Engine {
             optimizer_secs,
             materialize_secs,
             nodes: node_reports,
+            waves: result.waves,
             metrics,
         };
 
@@ -233,25 +239,29 @@ impl Engine {
     pub fn fetch(&self, sig: Signature) -> Result<NodeOutput> {
         Ok(self.store.get(sig)?.0)
     }
+}
 
-    /// Sum of compute-cost estimates over all ancestors of `id` — the
-    /// `Σ_{j ∈ A(i)} c_j` term of the materialization heuristic.
-    fn ancestors_compute_estimate(&self, workflow: &Workflow, id: crate::workflow::NodeId) -> f64 {
-        workflow
-            .ancestors(id)
-            .iter()
-            .filter_map(|a| {
-                self.cost_model
-                    .compute_estimate_secs(&workflow.node(*a).name)
-            })
-            .sum()
-    }
+/// Sum of compute-cost estimates over all ancestors of `id` — the
+/// `Σ_{j ∈ A(i)} c_j` term of the materialization heuristic. A free
+/// function (rather than a method) so the engine's merge callback can use
+/// it while holding the cost model mutably.
+fn ancestors_compute_estimate(
+    cost_model: &CostModel,
+    workflow: &Workflow,
+    id: crate::workflow::NodeId,
+) -> f64 {
+    workflow
+        .ancestors(id)
+        .iter()
+        .filter_map(|a| cost_model.compute_estimate_secs(&workflow.node(*a).name))
+        .sum()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::ops::{EvalSpec, ExtractorKind, LearnerSpec, MetricKind};
+    use crate::recompute::NodeState;
     use helix_dataflow::DataType;
 
     fn tmpdir(tag: &str) -> PathBuf {
@@ -385,6 +395,7 @@ mod tests {
             recomputation: RecomputationPolicy::ComputeAll,
             materialization: MaterializationPolicyKind::Never,
             enable_slicing: true,
+            parallelism: scheduler::default_parallelism(),
         })
         .unwrap();
         for reg in [0.1, 0.9, 0.1] {
@@ -408,6 +419,7 @@ mod tests {
             recomputation: RecomputationPolicy::Optimal,
             materialization: MaterializationPolicyKind::Never,
             enable_slicing: true,
+            parallelism: scheduler::default_parallelism(),
         })
         .unwrap();
         let w = census_workflow(&dir, 0.1);
@@ -427,6 +439,53 @@ mod tests {
         let report = engine.run(&w).unwrap();
         assert!(report.nodes.iter().all(|n| !n.materialized));
         assert_eq!(engine.store().used_bytes(), 0);
+    }
+
+    #[test]
+    fn parallel_and_sequential_iterations_report_identically() {
+        let dir = tmpdir("parity");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Materialize-`All` keeps every decision timing-independent, so
+        // the strict set assertions below cannot flake on a loaded
+        // runner; the online policy's semantic equivalence (metrics,
+        // reuse) is covered at workload scale in tests/end_to_end.rs.
+        let config = |suffix: &str, threads: usize| {
+            let mut config = EngineConfig::helix(dir.join(suffix)).with_parallelism(threads);
+            config.materialization = MaterializationPolicyKind::All;
+            config
+        };
+        let mut seq = Engine::new(config("s-seq", 1)).unwrap();
+        let mut par = Engine::new(config("s-par", 4)).unwrap();
+        for reg in [0.1, 0.9, 0.1] {
+            let w = census_workflow(&dir, reg);
+            let a = seq.run(&w).unwrap();
+            let b = par.run(&w).unwrap();
+            assert_eq!(a.loaded(), b.loaded(), "reg={reg}");
+            assert_eq!(a.computed(), b.computed(), "reg={reg}");
+            assert_eq!(a.pruned(), b.pruned(), "reg={reg}");
+            assert_eq!(a.metrics, b.metrics, "reg={reg}");
+            let mat_a: Vec<&str> = a
+                .nodes
+                .iter()
+                .filter(|n| n.materialized)
+                .map(|n| n.name.as_str())
+                .collect();
+            let mat_b: Vec<&str> = b
+                .nodes
+                .iter()
+                .filter(|n| n.materialized)
+                .map(|n| n.name.as_str())
+                .collect();
+            assert_eq!(mat_a, mat_b, "materialization set must match, reg={reg}");
+            assert_eq!(a.wave_count(), b.wave_count(), "reg={reg}");
+            assert!(a.wave_count() > 1, "census plan has dependency depth");
+        }
+    }
+
+    #[test]
+    fn parallelism_knob_clamps_to_one() {
+        let config = EngineConfig::helix("unused").with_parallelism(0);
+        assert_eq!(config.parallelism, 1);
     }
 
     #[test]

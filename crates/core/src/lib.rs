@@ -14,10 +14,12 @@
 //!   outputs, and the [recomputation optimizer](recompute) picks the
 //!   cost-optimal `{load, compute, prune}` state per node in PTIME via a
 //!   reduction to the Project Selection Problem (`helix-mincut`).
-//! * **Execution** — [`engine`] runs the plan, measures real per-operator
-//!   costs, and consults the online [materialization
-//!   optimizer](materialize) after every operator completes, under a
-//!   storage budget enforced by the [intermediate store](store).
+//! * **Execution** — [`engine`] runs the plan through the wave
+//!   [`scheduler`] (independent operators execute concurrently; stateful
+//!   outcomes merge in plan order), measures real per-operator costs, and
+//!   consults the online [materialization optimizer](materialize) after
+//!   every operator completes, under a storage budget enforced by the
+//!   [intermediate store](store).
 //! * **Iteration support** — [`version`] keeps every workflow version with
 //!   its metrics (the Versions/Metrics tabs of §3.1); [`viz`] renders DAGs
 //!   (DOT + ASCII) and git-style version diffs.
@@ -33,6 +35,7 @@ pub mod materialize;
 pub mod ops;
 pub mod recompute;
 pub mod report;
+pub mod scheduler;
 pub mod signature;
 pub mod slicing;
 pub mod store;
@@ -48,6 +51,7 @@ pub use ops::{
 };
 pub use recompute::{NodeState, RecomputationPolicy};
 pub use report::IterationReport;
+pub use scheduler::default_parallelism;
 pub use workflow::{NodeId, NodeRef, Workflow};
 
 /// Convenience alias used throughout the crate.

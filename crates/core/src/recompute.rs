@@ -216,6 +216,65 @@ fn plan_load_all(workflow: &Workflow, active: &[bool], costs: &[NodeCosts]) -> V
     states
 }
 
+/// Dependency level ("wave") per node: `None` for pruned nodes, `Some(0)`
+/// for loads and for computes with no unpruned parents, and
+/// `1 + max(parent level)` for other computes. All nodes in one wave are
+/// mutually independent, so the parallel scheduler may run them
+/// concurrently; loads sit in wave 0 because the store satisfies them
+/// without upstream results.
+pub fn wave_levels(workflow: &Workflow, states: &[NodeState]) -> Vec<Option<usize>> {
+    let n = workflow.len();
+    assert_eq!(states.len(), n, "states length mismatch");
+    let mut levels: Vec<Option<usize>> = vec![None; n];
+    // `rewire` can point an early node at a later one, so walk in
+    // topological order rather than id order. A cyclic workflow cannot
+    // reach execution (compilation rejects it), so fall back to id order.
+    let order = workflow
+        .topo_order()
+        .unwrap_or_else(|_| (0..n as u32).map(NodeId).collect());
+    for id in order {
+        let i = id.index();
+        match states[i] {
+            NodeState::Prune => {}
+            NodeState::Load => levels[i] = Some(0),
+            NodeState::Compute => {
+                let level = workflow
+                    .node(id)
+                    .parents
+                    .iter()
+                    .filter_map(|p| levels[p.index()])
+                    .map(|l| l + 1)
+                    .max()
+                    .unwrap_or(0);
+                levels[i] = Some(level);
+            }
+        }
+    }
+    levels
+}
+
+/// Estimated makespan of the plan in µs under unbounded parallelism: the
+/// per-wave maximum of member costs, summed over waves. The gap between
+/// this and [`plan_cost_us`] is the speedup ceiling the wave scheduler can
+/// extract from the plan.
+pub fn plan_wave_cost_us(workflow: &Workflow, states: &[NodeState], costs: &[NodeCosts]) -> u64 {
+    let levels = wave_levels(workflow, states);
+    let mut wave_max: Vec<u64> = Vec::new();
+    for (i, level) in levels.iter().enumerate() {
+        let Some(level) = level else { continue };
+        if *level >= wave_max.len() {
+            wave_max.resize(level + 1, 0);
+        }
+        let cost = match states[i] {
+            NodeState::Compute => costs[i].compute_us,
+            NodeState::Load => costs[i].load_or_inf(),
+            NodeState::Prune => 0,
+        };
+        wave_max[*level] = wave_max[*level].max(cost);
+    }
+    wave_max.iter().sum()
+}
+
 /// Total plan cost in µs under the given states (∞-loads count as the
 /// sentinel; used by tests and the ablation benches).
 pub fn plan_cost_us(states: &[NodeState], costs: &[NodeCosts]) -> u64 {
@@ -527,6 +586,62 @@ mod tests {
             2
         ];
         assert!(plan_states(&w, &active, &costs, RecomputationPolicy::Optimal).is_err());
+    }
+
+    #[test]
+    fn wave_levels_partition_diamond() {
+        // 0 -> {1, 2} -> 3: waves are {0}, {1, 2}, {3}.
+        let w = dag_workflow(4, &[(0, 1), (0, 2), (1, 3), (2, 3)], &[3]);
+        let states = vec![NodeState::Compute; 4];
+        let levels = wave_levels(&w, &states);
+        assert_eq!(levels, vec![Some(0), Some(1), Some(1), Some(2)]);
+    }
+
+    #[test]
+    fn loads_sit_in_wave_zero_and_prunes_have_none() {
+        let w = dag_workflow(3, &[(0, 1), (1, 2)], &[2]);
+        let states = vec![NodeState::Prune, NodeState::Load, NodeState::Compute];
+        let levels = wave_levels(&w, &states);
+        assert_eq!(levels, vec![None, Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn wave_cost_is_critical_path_not_total() {
+        let w = dag_workflow(4, &[(0, 1), (0, 2), (1, 3), (2, 3)], &[3]);
+        let states = vec![NodeState::Compute; 4];
+        let costs: Vec<NodeCosts> = [10, 40, 70, 20]
+            .iter()
+            .map(|&c| NodeCosts {
+                compute_us: c,
+                load_us: None,
+            })
+            .collect();
+        // Waves: {0} max 10, {1,2} max 70, {3} max 20.
+        assert_eq!(plan_wave_cost_us(&w, &states, &costs), 100);
+        assert_eq!(plan_cost_us(&states, &costs), 140);
+    }
+
+    #[test]
+    fn wave_cost_never_exceeds_sequential_cost() {
+        let w = dag_workflow(5, &[(0, 2), (1, 2), (2, 3), (2, 4)], &[3, 4]);
+        let costs = vec![
+            NodeCosts {
+                compute_us: 25,
+                load_us: Some(5),
+            };
+            5
+        ];
+        for policy in [
+            RecomputationPolicy::Optimal,
+            RecomputationPolicy::ComputeAll,
+            RecomputationPolicy::LoadAllAvailable,
+        ] {
+            let states = plan_states(&w, &all_active(&w), &costs, policy).unwrap();
+            assert!(
+                plan_wave_cost_us(&w, &states, &costs) <= plan_cost_us(&states, &costs),
+                "{policy:?}"
+            );
+        }
     }
 
     mod properties {

@@ -23,6 +23,18 @@ pub struct NodeReport {
     pub materialized: bool,
 }
 
+/// Timing for one scheduler wave (a set of mutually independent nodes the
+/// engine executed concurrently).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaveReport {
+    /// Nodes executed in this wave.
+    pub nodes: usize,
+    /// Wall-clock seconds of the wave. At `parallelism = 1` this is the
+    /// sum of member durations; at higher thread counts it approaches the
+    /// slowest member's duration.
+    pub secs: f64,
+}
+
 /// The result of executing one workflow iteration.
 #[derive(Debug, Clone)]
 pub struct IterationReport {
@@ -38,6 +50,8 @@ pub struct IterationReport {
     pub materialize_secs: f64,
     /// Per-node details, in [`crate::workflow::NodeId`] index order.
     pub nodes: Vec<NodeReport>,
+    /// Per-wave timings from the scheduler, in execution order.
+    pub waves: Vec<WaveReport>,
     /// Metric values harvested from Evaluate nodes.
     pub metrics: Vec<(String, f64)>,
 }
@@ -75,6 +89,18 @@ impl IterationReport {
             return 0.0;
         }
         self.loaded() as f64 / touched as f64
+    }
+
+    /// Number of scheduler waves the iteration executed in — the depth of
+    /// the plan's dependency-level decomposition.
+    pub fn wave_count(&self) -> usize {
+        self.waves.len()
+    }
+
+    /// Wall-clock seconds spent executing nodes, summed over waves (the
+    /// parallel analogue of summing node durations).
+    pub fn exec_secs(&self) -> f64 {
+        self.waves.iter().map(|w| w.secs).sum()
     }
 
     /// Value of a named metric, if an Evaluate node produced it.
@@ -138,6 +164,20 @@ mod tests {
                 node("c", NodeState::Prune, 0.0, Stage::DataPreProcessing),
                 node("d", NodeState::Compute, 0.4, Stage::Evaluation),
             ],
+            waves: vec![
+                WaveReport {
+                    nodes: 1,
+                    secs: 0.1,
+                },
+                WaveReport {
+                    nodes: 1,
+                    secs: 1.0,
+                },
+                WaveReport {
+                    nodes: 1,
+                    secs: 0.4,
+                },
+            ],
             metrics: vec![("accuracy".into(), 0.83)],
         }
     }
@@ -183,8 +223,18 @@ mod tests {
             optimizer_secs: 0.0,
             materialize_secs: 0.0,
             nodes: vec![],
+            waves: vec![],
             metrics: vec![],
         };
         assert_eq!(r.reuse_rate(), 0.0);
+        assert_eq!(r.wave_count(), 0);
+        assert_eq!(r.exec_secs(), 0.0);
+    }
+
+    #[test]
+    fn wave_aggregation() {
+        let r = report();
+        assert_eq!(r.wave_count(), 3);
+        assert!((r.exec_secs() - 1.5).abs() < 1e-12);
     }
 }

@@ -1,0 +1,760 @@
+//! Wave-scheduled parallel plan execution.
+//!
+//! The compiled plan's topological `order` hides abundant inter-operator
+//! parallelism: Census fans one scan out into several extractors, and the
+//! IE pipeline runs five independent feature UDFs over the same candidate
+//! set. This module partitions the non-pruned nodes into *waves*
+//! ([`crate::recompute::wave_levels`]): all loads plus computes whose
+//! parents are satisfied form wave 0, their dependents wave 1, and so on.
+//! Nodes within a wave are mutually independent and execute concurrently
+//! on a scoped worker pool capped at [`crate::EngineConfig::parallelism`]
+//! threads.
+//!
+//! # Determinism
+//!
+//! Parallel execution must be observationally identical to sequential
+//! execution — the paper's reuse correctness argument ("a materialized
+//! result must equal its recomputation") extends to the scheduler. Raw
+//! node execution (compute or load) is free of side effects, so waves may
+//! run in any interleaving; everything stateful — cost-model observations,
+//! the online materialization decision (which consults the evolving
+//! storage budget), and metric harvesting — happens in the `merge`
+//! callback, which this module invokes **strictly in plan order**: a
+//! cursor walks `plan.order` and stalls at the first node whose raw result
+//! is not yet available. The merged outcome stream is therefore identical
+//! at any thread count, including 1.
+//!
+//! On a *failed* run, both paths surface the plan-order-earliest failure
+//! and commit merges only for nodes preceding it in plan order. The
+//! sequential path additionally executes (and may materialize)
+//! later-wave nodes that sit before the failing node in plan order —
+//! work a parallel run never starts — so post-failure store contents are
+//! identical only up to that best-effort prefix; successful runs are
+//! always byte-identical.
+
+use crate::compiler::CompiledPlan;
+use crate::ops::NodeOutput;
+use crate::recompute::{wave_levels, NodeState};
+use crate::report::WaveReport;
+use crate::store::IntermediateStore;
+use crate::workflow::{NodeId, Workflow};
+use crate::{HelixError, Result};
+use helix_dataflow::par::panic_message;
+use std::time::Instant;
+
+/// How many worker threads the engine should use by default: the
+/// `HELIX_PARALLELISM` environment variable when set to a positive
+/// integer (the CI equivalence matrix forces `1` this way), otherwise the
+/// machine's available parallelism.
+pub fn default_parallelism() -> usize {
+    std::env::var("HELIX_PARALLELISM")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// The raw, side-effect-free result of running one node.
+#[derive(Debug)]
+pub struct ExecutedNode {
+    /// Wall-clock seconds spent computing or loading this node.
+    pub secs: f64,
+    /// `Some(bytes_read)` when the node was loaded from the store,
+    /// `None` when it was computed.
+    pub loaded_bytes: Option<u64>,
+}
+
+/// Everything [`execute_plan`] hands back to the engine.
+#[derive(Debug)]
+pub struct ExecutionResult {
+    /// Node outputs by [`NodeId::index`] (`None` for pruned nodes).
+    pub outputs: Vec<Option<NodeOutput>>,
+    /// Per-wave timings, in wave order (landed verbatim in
+    /// [`crate::report::IterationReport::waves`]).
+    pub waves: Vec<WaveReport>,
+}
+
+/// Raw per-node result held until the merge cursor reaches it.
+struct RawResult {
+    output: NodeOutput,
+    executed: ExecutedNode,
+}
+
+/// Executes a compiled plan, invoking `merge` once per non-pruned node in
+/// plan order with the node's raw result.
+///
+/// The merge callback owns every stateful step (cost observation,
+/// materialization, metric harvesting); see the module docs for why that
+/// split makes parallel execution deterministic. `parallelism = 1` runs
+/// the classic sequential loop: each node executes and merges before the
+/// next starts.
+///
+/// # Errors
+/// Propagates node execution failures (the plan-order-earliest failure
+/// when several nodes of one wave fail) and merge failures.
+pub fn execute_plan<M>(
+    workflow: &Workflow,
+    plan: &CompiledPlan,
+    store: &IntermediateStore,
+    parallelism: usize,
+    mut merge: M,
+) -> Result<ExecutionResult>
+where
+    M: FnMut(NodeId, &ExecutedNode, &NodeOutput) -> Result<()>,
+{
+    let waves = build_waves(workflow, plan);
+    if parallelism <= 1 {
+        return execute_sequential(workflow, plan, store, &waves, merge);
+    }
+
+    let n = workflow.len();
+    let mut outputs: Vec<Option<NodeOutput>> = (0..n).map(|_| None).collect();
+    let mut pending: Vec<Option<RawResult>> = (0..n).map(|_| None).collect();
+    let mut wave_stats = Vec::with_capacity(waves.len());
+    let mut cursor = 0usize;
+
+    for wave in &waves {
+        let started = Instant::now();
+        let results = run_wave(workflow, plan, store, &outputs, &pending, wave, parallelism);
+        wave_stats.push(WaveReport {
+            nodes: wave.len(),
+            secs: started.elapsed().as_secs_f64(),
+        });
+        // Surface the plan-order-earliest failure so error behavior does
+        // not depend on thread interleaving.
+        let mut failure: Option<(usize, HelixError)> = None;
+        for (i, result) in results {
+            match result {
+                Ok(raw) => pending[i] = Some(raw),
+                Err(err) => {
+                    let pos = plan_position(plan, i);
+                    if failure.as_ref().is_none_or(|(p, _)| pos < *p) {
+                        failure = Some((pos, err));
+                    }
+                }
+            }
+        }
+
+        // Drain the merge cursor as far as results allow — on failure,
+        // only up to the failing node's plan position, so side effects
+        // (materializations, cost observations) match what the
+        // sequential path commits before erroring at that same node.
+        let limit = failure
+            .as_ref()
+            .map_or(plan.order.len(), |(pos, _)| (*pos).min(plan.order.len()));
+        while cursor < limit {
+            let id = plan.order[cursor];
+            let i = id.index();
+            if plan.states[i] == NodeState::Prune {
+                cursor += 1;
+                continue;
+            }
+            let Some(raw) = pending[i].take() else { break };
+            merge(id, &raw.executed, &raw.output)?;
+            outputs[i] = Some(raw.output);
+            cursor += 1;
+        }
+        if let Some((_, err)) = failure {
+            return Err(err);
+        }
+    }
+    debug_assert_eq!(cursor, plan.order.len(), "merge cursor left nodes behind");
+
+    Ok(ExecutionResult {
+        outputs,
+        waves: wave_stats,
+    })
+}
+
+/// Partitions the plan's non-pruned nodes into waves, preserving plan
+/// order within each wave.
+pub fn build_waves(workflow: &Workflow, plan: &CompiledPlan) -> Vec<Vec<NodeId>> {
+    let levels = wave_levels(workflow, &plan.states);
+    let n_waves = levels.iter().flatten().copied().max().map_or(0, |l| l + 1);
+    let mut waves: Vec<Vec<NodeId>> = vec![Vec::new(); n_waves];
+    for &id in &plan.order {
+        if let Some(level) = levels[id.index()] {
+            waves[level].push(id);
+        }
+    }
+    waves
+}
+
+fn plan_position(plan: &CompiledPlan, index: usize) -> usize {
+    plan.order
+        .iter()
+        .position(|id| id.index() == index)
+        .unwrap_or(usize::MAX)
+}
+
+/// The sequential path: execute and merge one node at a time in plan
+/// order — exactly the engine's historical iteration loop. Wave stats are
+/// still reported (durations summed per wave) so reports keep one shape.
+fn execute_sequential<M>(
+    workflow: &Workflow,
+    plan: &CompiledPlan,
+    store: &IntermediateStore,
+    waves: &[Vec<NodeId>],
+    mut merge: M,
+) -> Result<ExecutionResult>
+where
+    M: FnMut(NodeId, &ExecutedNode, &NodeOutput) -> Result<()>,
+{
+    let levels = wave_levels(workflow, &plan.states);
+    let mut outputs: Vec<Option<NodeOutput>> = (0..workflow.len()).map(|_| None).collect();
+    let mut wave_stats: Vec<WaveReport> = waves
+        .iter()
+        .map(|wave| WaveReport {
+            nodes: wave.len(),
+            secs: 0.0,
+        })
+        .collect();
+    for &id in &plan.order {
+        let i = id.index();
+        if plan.states[i] == NodeState::Prune {
+            continue;
+        }
+        let raw = run_node(workflow, plan, store, id, |p| outputs[p.index()].as_ref())?;
+        if let Some(level) = levels[i] {
+            wave_stats[level].secs += raw.executed.secs;
+        }
+        merge(id, &raw.executed, &raw.output)?;
+        outputs[i] = Some(raw.output);
+    }
+    Ok(ExecutionResult {
+        outputs,
+        waves: wave_stats,
+    })
+}
+
+/// Executes one wave's nodes on up to `parallelism` scoped threads,
+/// returning `(node_index, result)` pairs in unspecified order.
+fn run_wave(
+    workflow: &Workflow,
+    plan: &CompiledPlan,
+    store: &IntermediateStore,
+    outputs: &[Option<NodeOutput>],
+    pending: &[Option<RawResult>],
+    wave: &[NodeId],
+    parallelism: usize,
+) -> Vec<(usize, Result<RawResult>)> {
+    // Parent results live in `outputs` once merged, or in `pending` when
+    // the merge cursor is stalled behind an unrelated slower node.
+    let parent_output = |p: NodeId| -> Option<&NodeOutput> {
+        outputs[p.index()]
+            .as_ref()
+            .or_else(|| pending[p.index()].as_ref().map(|raw| &raw.output))
+    };
+
+    let workers = parallelism.min(wave.len()).max(1);
+    if workers <= 1 {
+        return wave
+            .iter()
+            .map(|&id| {
+                (
+                    id.index(),
+                    run_node(workflow, plan, store, id, parent_output),
+                )
+            })
+            .collect();
+    }
+
+    // Round-robin assignment keeps neighbouring (often similar-cost)
+    // nodes on different workers.
+    let shares: Vec<Vec<NodeId>> = (0..workers)
+        .map(|w| wave.iter().skip(w).step_by(workers).copied().collect())
+        .collect();
+    let mut results: Vec<(usize, Result<RawResult>)> = Vec::with_capacity(wave.len());
+    let joined = crossbeam::scope(|scope| {
+        let handles: Vec<_> = shares
+            .iter()
+            .map(|share| {
+                let parent_output = &parent_output;
+                scope.spawn(move |_| {
+                    share
+                        .iter()
+                        .map(|&id| {
+                            (
+                                id.index(),
+                                run_node(workflow, plan, store, id, parent_output),
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut collected = Vec::with_capacity(wave.len());
+        for handle in handles {
+            match handle.join() {
+                Ok(share_results) => collected.extend(share_results),
+                Err(payload) => collected.push((
+                    usize::MAX,
+                    Err(HelixError::Exec(format!(
+                        "scheduler worker panicked: {}",
+                        panic_message(&payload)
+                    ))),
+                )),
+            }
+        }
+        collected
+    });
+    match joined {
+        Ok(collected) => results.extend(collected),
+        Err(payload) => results.push((
+            usize::MAX,
+            Err(HelixError::Exec(format!(
+                "scheduler scope panicked: {}",
+                panic_message(&payload)
+            ))),
+        )),
+    }
+    results
+}
+
+/// Executes a single node (load or compute), timing it. A panicking
+/// operator is converted to [`HelixError::Exec`] *here* — not at thread
+/// joins — so a UDF panic produces the same error whether the node ran
+/// inline, in a singleton wave, or fanned out across workers.
+fn run_node<'a>(
+    workflow: &Workflow,
+    plan: &CompiledPlan,
+    store: &IntermediateStore,
+    id: NodeId,
+    parent_output: impl Fn(NodeId) -> Option<&'a NodeOutput>,
+) -> Result<RawResult> {
+    let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_node_inner(workflow, plan, store, id, parent_output)
+    }));
+    unwound.unwrap_or_else(|payload| {
+        Err(HelixError::Exec(format!(
+            "node `{}` panicked: {}",
+            workflow.node(id).name,
+            panic_message(&payload)
+        )))
+    })
+}
+
+fn run_node_inner<'a>(
+    workflow: &Workflow,
+    plan: &CompiledPlan,
+    store: &IntermediateStore,
+    id: NodeId,
+    parent_output: impl Fn(NodeId) -> Option<&'a NodeOutput>,
+) -> Result<RawResult> {
+    let i = id.index();
+    match plan.states[i] {
+        NodeState::Prune => Err(HelixError::Exec(format!(
+            "pruned node `{}` scheduled (plan bug)",
+            workflow.node(id).name
+        ))),
+        NodeState::Load => {
+            let (output, bytes, secs) = store.get(plan.signatures[i])?;
+            Ok(RawResult {
+                output,
+                executed: ExecutedNode {
+                    secs,
+                    loaded_bytes: Some(bytes),
+                },
+            })
+        }
+        NodeState::Compute => {
+            let node = workflow.node(id);
+            let mut parent_outputs: Vec<&NodeOutput> = Vec::with_capacity(node.parents.len());
+            for parent in &node.parents {
+                parent_outputs.push(parent_output(*parent).ok_or_else(|| {
+                    HelixError::Exec(format!(
+                        "parent `{}` of `{}` unavailable (plan bug)",
+                        workflow.node(*parent).name,
+                        node.name
+                    ))
+                })?);
+            }
+            let started = Instant::now();
+            let output = crate::exec::execute(&node.kind, &node.name, &parent_outputs)?;
+            Ok(RawResult {
+                output,
+                executed: ExecutedNode {
+                    secs: started.elapsed().as_secs_f64(),
+                    loaded_bytes: None,
+                },
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compiler::compile;
+    use crate::cost::CostModel;
+    use crate::ops::{OperatorKind, Udf};
+    use crate::recompute::RecomputationPolicy;
+    use crate::workflow::NodeRef;
+    use helix_dataflow::{DataCollection, DataType, Row, Schema, Value};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn tmp_store(tag: &str) -> IntermediateStore {
+        let dir =
+            std::env::temp_dir().join(format!("helix-scheduler-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        IntermediateStore::open(dir, 1 << 24).unwrap()
+    }
+
+    fn int_rows(values: &[i64]) -> DataCollection {
+        let schema = Schema::of(&[("x", DataType::Int)]);
+        let rows = values.iter().map(|&v| Row(vec![Value::Int(v)])).collect();
+        DataCollection::from_rows_unchecked(schema, rows)
+    }
+
+    /// A deterministic UDF: sums all parent cells and appends `salt`.
+    fn sum_udf(salt: i64) -> Udf {
+        Udf::new(format!("sum:{salt}"), move |inputs| {
+            let mut total = salt;
+            for dc in inputs {
+                for row in dc.rows() {
+                    total += row.get(0).as_int().unwrap_or(0);
+                }
+            }
+            Ok(int_rows(&[total]))
+        })
+    }
+
+    /// Random-ish DAG: node i gets edges from the given pairs.
+    fn dag(n: usize, edges: &[(usize, usize)], outputs: &[usize]) -> Workflow {
+        let mut w = Workflow::new("sched-test");
+        let mut refs: Vec<NodeRef> = Vec::new();
+        for i in 0..n {
+            let parents: Vec<&NodeRef> = edges
+                .iter()
+                .filter(|&&(_, dst)| dst == i)
+                .map(|&(src, _)| &refs[src])
+                .collect();
+            let r = w
+                .add(
+                    format!("n{i}"),
+                    OperatorKind::UserDefined(sum_udf(i as i64 + 1)),
+                    &parents,
+                )
+                .unwrap();
+            refs.push(r);
+        }
+        for &o in outputs {
+            w.output(&refs[o]);
+        }
+        w
+    }
+
+    fn run(w: &Workflow, parallelism: usize) -> (ExecutionResult, Vec<NodeId>) {
+        let store = tmp_store(&format!("run-{parallelism}-{}", w.len()));
+        let cm = CostModel::new();
+        let plan = compile(w, &store, &cm, RecomputationPolicy::Optimal, None).unwrap();
+        let mut merged = Vec::new();
+        let result = execute_plan(w, &plan, &store, parallelism, |id, _, _| {
+            merged.push(id);
+            Ok(())
+        })
+        .unwrap();
+        (result, merged)
+    }
+
+    #[test]
+    fn parallel_outputs_match_sequential() {
+        let w = dag(
+            6,
+            &[(0, 1), (0, 2), (0, 3), (1, 4), (2, 4), (3, 5), (4, 5)],
+            &[5],
+        );
+        let (seq, seq_merged) = run(&w, 1);
+        let (par, par_merged) = run(&w, 4);
+        assert_eq!(seq.outputs, par.outputs);
+        assert_eq!(seq_merged, par_merged, "merge order must be plan order");
+    }
+
+    #[test]
+    fn merge_order_is_plan_order_even_when_waves_interleave() {
+        // 0 -> 1 (output), 0 -> 2 -> 3 (output), with node 2 materialized
+        // so it plans as a wave-0 Load. Plan order is [0, 1, 2, 3] but
+        // waves are {0, 2}, {1, 3}: after wave 0 the cursor merges 0 and
+        // stalls at the unexecuted 1, leaving 2 executed-but-unmerged —
+        // wave 1's node 3 must read its parent 2 from the pending buffer,
+        // and 2 still merges in plan position.
+        let w = dag(4, &[(0, 1), (0, 2), (2, 3)], &[1, 3]);
+        let store = tmp_store("interleave");
+        let mut cm = CostModel::new();
+        for node in w.nodes() {
+            cm.observe_compute(&node.name, 1.0);
+        }
+        let sigs = crate::signature::compute_signatures(&w).unwrap();
+        // Node 2's recorded output: salt 3 + parent 0's output (salt 1).
+        store
+            .put(sigs[2], &NodeOutput::Data(int_rows(&[4])))
+            .unwrap();
+        let plan = compile(&w, &store, &cm, RecomputationPolicy::Optimal, None).unwrap();
+        assert_eq!(plan.order, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(plan.states[2], NodeState::Load);
+        let waves = build_waves(&w, &plan);
+        assert_eq!(waves[0], vec![NodeId(0), NodeId(2)]);
+        assert_eq!(waves[1], vec![NodeId(1), NodeId(3)]);
+        let mut merged = Vec::new();
+        let result = execute_plan(&w, &plan, &store, 4, |id, _, _| {
+            merged.push(id);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(merged, plan.order, "merge must follow plan order");
+        // Node 3 = salt 4 + loaded parent value 4.
+        assert_eq!(result.outputs[3], Some(NodeOutput::Data(int_rows(&[8]))));
+    }
+
+    #[test]
+    fn waves_partition_all_unpruned_nodes() {
+        let w = dag(5, &[(0, 1), (0, 2), (1, 3), (2, 3)], &[3, 4]);
+        let store = tmp_store("waves");
+        let cm = CostModel::new();
+        let plan = compile(&w, &store, &cm, RecomputationPolicy::Optimal, None).unwrap();
+        let waves = build_waves(&w, &plan);
+        let total: usize = waves.iter().map(Vec::len).sum();
+        assert_eq!(total, plan.compute_count() + plan.load_count());
+        // Wave 0 holds both roots (0 and the independent 4).
+        assert_eq!(waves[0], vec![NodeId(0), NodeId(4)]);
+    }
+
+    #[test]
+    fn worker_errors_surface_deterministically() {
+        let mut w = Workflow::new("err");
+        let root = w
+            .add("root", OperatorKind::UserDefined(sum_udf(0)), &[])
+            .unwrap();
+        // Two failing siblings: the plan-order-earlier one must win
+        // regardless of which thread finishes first.
+        for tag in ["fail_a", "fail_b"] {
+            let udf = Udf::new(
+                format!("boom:{tag}"),
+                move |_inputs: &[&DataCollection]| -> crate::Result<DataCollection> {
+                    Err(HelixError::Exec(format!("{tag} failed")))
+                },
+            );
+            let r = w
+                .add(tag, OperatorKind::UserDefined(udf), &[&root])
+                .unwrap();
+            w.output(&r);
+        }
+        let store = tmp_store("err");
+        let cm = CostModel::new();
+        let plan = compile(&w, &store, &cm, RecomputationPolicy::Optimal, None).unwrap();
+        let mut merged_by_mode: Vec<Vec<NodeId>> = Vec::new();
+        for parallelism in [1, 4] {
+            let mut merged = Vec::new();
+            let err = execute_plan(&w, &plan, &store, parallelism, |id, _, _| {
+                merged.push(id);
+                Ok(())
+            })
+            .expect_err("failing UDF must propagate");
+            assert!(
+                err.to_string().contains("fail_a failed"),
+                "expected fail_a first at parallelism {parallelism}, got: {err}"
+            );
+            merged_by_mode.push(merged);
+        }
+        // Both modes commit the same plan-order prefix before erroring:
+        // the successful root, nothing at or after the failing node.
+        assert_eq!(merged_by_mode[0], merged_by_mode[1]);
+        assert_eq!(merged_by_mode[0], vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn worker_panic_becomes_error() {
+        let mut w = Workflow::new("panic");
+        let root = w
+            .add("root", OperatorKind::UserDefined(sum_udf(0)), &[])
+            .unwrap();
+        // Enough panicking siblings that the wave actually fans out.
+        for i in 0..4 {
+            let udf = Udf::new(
+                format!("panic:{i}"),
+                move |_inputs: &[&DataCollection]| -> crate::Result<DataCollection> {
+                    panic!("kaboom {i}")
+                },
+            );
+            let r = w
+                .add(format!("p{i}"), OperatorKind::UserDefined(udf), &[&root])
+                .unwrap();
+            w.output(&r);
+        }
+        let store = tmp_store("panic");
+        let cm = CostModel::new();
+        let plan = compile(&w, &store, &cm, RecomputationPolicy::Optimal, None).unwrap();
+        let err = execute_plan(&w, &plan, &store, 4, |_, _, _| Ok(()))
+            .expect_err("panicking UDF must become an error");
+        assert!(err.to_string().contains("kaboom"), "got: {err}");
+    }
+
+    #[test]
+    fn singleton_wave_and_sequential_panics_become_errors_too() {
+        // A panicking node that sits alone in its wave (like every
+        // learner/evaluate node) must yield the same Err at every thread
+        // count — not unwind at parallelism 1 and Err at 4.
+        let mut w = Workflow::new("panic-singleton");
+        let root = w
+            .add("root", OperatorKind::UserDefined(sum_udf(0)), &[])
+            .unwrap();
+        let udf = Udf::new(
+            "panic:solo",
+            move |_inputs: &[&DataCollection]| -> crate::Result<DataCollection> {
+                panic!("solo kaboom")
+            },
+        );
+        let r = w
+            .add("solo", OperatorKind::UserDefined(udf), &[&root])
+            .unwrap();
+        w.output(&r);
+        let store = tmp_store("panic-solo");
+        let cm = CostModel::new();
+        let plan = compile(&w, &store, &cm, RecomputationPolicy::Optimal, None).unwrap();
+        for parallelism in [1, 4] {
+            let err = execute_plan(&w, &plan, &store, parallelism, |_, _, _| Ok(()))
+                .expect_err("panic must become an error at any thread count");
+            assert!(
+                err.to_string().contains("solo kaboom"),
+                "parallelism {parallelism}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallelism_cap_limits_concurrency() {
+        static LIVE: AtomicUsize = AtomicUsize::new(0);
+        static PEAK: AtomicUsize = AtomicUsize::new(0);
+        LIVE.store(0, Ordering::SeqCst);
+        PEAK.store(0, Ordering::SeqCst);
+        let mut w = Workflow::new("cap");
+        for i in 0..8 {
+            let udf = Udf::new(format!("slow:{i}"), move |_inputs: &[&DataCollection]| {
+                let live = LIVE.fetch_add(1, Ordering::SeqCst) + 1;
+                PEAK.fetch_max(live, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                LIVE.fetch_sub(1, Ordering::SeqCst);
+                Ok(int_rows(&[i]))
+            });
+            let r = w
+                .add(format!("s{i}"), OperatorKind::UserDefined(udf), &[])
+                .unwrap();
+            w.output(&r);
+        }
+        let store = tmp_store("cap");
+        let cm = CostModel::new();
+        let plan = compile(&w, &store, &cm, RecomputationPolicy::Optimal, None).unwrap();
+        execute_plan(&w, &plan, &store, 2, |_, _, _| Ok(())).unwrap();
+        let peak = PEAK.load(Ordering::SeqCst);
+        assert!(peak <= 2, "parallelism 2 must cap live workers, saw {peak}");
+        assert!(peak >= 2, "wave of 8 should actually use both workers");
+    }
+
+    #[test]
+    fn loads_execute_in_wave_zero() {
+        // Materialize a mid-chain node, then recompile: the load must land
+        // in wave 0 and downstream computes stack above it.
+        let w = dag(3, &[(0, 1), (1, 2)], &[2]);
+        let store = tmp_store("load");
+        let mut cm = CostModel::new();
+        for node in w.nodes() {
+            cm.observe_compute(&node.name, 1.0);
+        }
+        let sigs = crate::signature::compute_signatures(&w).unwrap();
+        store
+            .put(sigs[1], &NodeOutput::Data(int_rows(&[42])))
+            .unwrap();
+        let plan = compile(&w, &store, &cm, RecomputationPolicy::Optimal, None).unwrap();
+        assert_eq!(plan.states[1], NodeState::Load);
+        let waves = build_waves(&w, &plan);
+        assert_eq!(waves[0], vec![NodeId(1)]);
+        let result = execute_plan(&w, &plan, &store, 4, |_, _, _| Ok(())).unwrap();
+        assert_eq!(result.outputs[1], Some(NodeOutput::Data(int_rows(&[42]))));
+        assert_eq!(result.waves.len(), 2);
+    }
+
+    #[test]
+    fn merge_failure_propagates() {
+        let w = dag(2, &[(0, 1)], &[1]);
+        let store = tmp_store("mergefail");
+        let cm = CostModel::new();
+        let plan = compile(&w, &store, &cm, RecomputationPolicy::Optimal, None).unwrap();
+        let err = execute_plan(&w, &plan, &store, 4, |_, _, _| {
+            Err(HelixError::Exec("merge refused".into()))
+        })
+        .expect_err("merge error must propagate");
+        assert!(err.to_string().contains("merge refused"));
+    }
+
+    #[test]
+    fn wide_fanout_is_faster_with_threads() {
+        // Smoke-level perf sanity (the real comparison lives in
+        // benches/scheduler.rs): 6 independent 15 ms nodes at 6 threads
+        // should beat 1 thread comfortably.
+        if std::thread::available_parallelism().map_or(1, |n| n.get()) < 4 {
+            return;
+        }
+        let build = || {
+            let mut w = Workflow::new("fan");
+            for i in 0..6 {
+                let udf = Udf::new(
+                    format!("sleep:{i}"),
+                    move |_inputs: &[&DataCollection]| {
+                        std::thread::sleep(std::time::Duration::from_millis(15));
+                        Ok(int_rows(&[i]))
+                    },
+                );
+                let r = w
+                    .add(format!("f{i}"), OperatorKind::UserDefined(udf), &[])
+                    .unwrap();
+                w.output(&r);
+            }
+            w
+        };
+        let w = build();
+        let store = tmp_store("fan");
+        let cm = CostModel::new();
+        let plan = compile(&w, &store, &cm, RecomputationPolicy::Optimal, None).unwrap();
+        let t1 = Instant::now();
+        execute_plan(&w, &plan, &store, 1, |_, _, _| Ok(())).unwrap();
+        let sequential = t1.elapsed();
+        let t2 = Instant::now();
+        execute_plan(&w, &plan, &store, 6, |_, _, _| Ok(())).unwrap();
+        let parallel = t2.elapsed();
+        assert!(
+            parallel < sequential,
+            "6-wide wave at 6 threads ({parallel:?}) should beat 1 thread ({sequential:?})"
+        );
+    }
+
+    #[test]
+    fn shared_udf_state_is_threadsafe() {
+        // UDFs capturing shared state must see a consistent picture.
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut w = Workflow::new("shared");
+        for i in 0..8 {
+            let counter = Arc::clone(&counter);
+            let udf = Udf::new(
+                format!("count:{i}"),
+                move |_inputs: &[&DataCollection]| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                    Ok(int_rows(&[i]))
+                },
+            );
+            let r = w
+                .add(format!("c{i}"), OperatorKind::UserDefined(udf), &[])
+                .unwrap();
+            w.output(&r);
+        }
+        let store = tmp_store("shared");
+        let cm = CostModel::new();
+        let plan = compile(&w, &store, &cm, RecomputationPolicy::Optimal, None).unwrap();
+        execute_plan(&w, &plan, &store, 4, |_, _, _| Ok(())).unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+    }
+}

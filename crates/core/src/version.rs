@@ -275,6 +275,7 @@ mod tests {
                 output_bytes: 0,
                 materialized: false,
             }],
+            waves: vec![],
             metrics: vec![("accuracy".into(), acc)],
         }
     }

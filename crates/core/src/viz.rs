@@ -213,6 +213,7 @@ mod tests {
                     materialized: i == 1,
                 })
                 .collect(),
+            waves: vec![],
             metrics: vec![("accuracy".into(), 0.9)],
         }
     }

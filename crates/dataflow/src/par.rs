@@ -6,7 +6,7 @@
 //! deterministic — a requirement for Helix's reuse correctness (a
 //! materialized result must equal its recomputation).
 
-use crate::{DataCollection, Result, Row, Schema};
+use crate::{DataCollection, DataflowError, Result, Row, Schema};
 use std::sync::Arc;
 
 /// Number of workers to use: the machine's available parallelism, capped so
@@ -38,33 +38,16 @@ where
         return Ok(DataCollection::from_rows_unchecked(schema, out));
     }
 
-    let chunk_size = rows.len().div_ceil(workers);
-    let chunks: Vec<&[Row]> = rows.chunks(chunk_size).collect();
-    let mut results: Vec<Result<Vec<Row>>> = Vec::with_capacity(chunks.len());
-
-    crossbeam::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .iter()
-            .map(|chunk| {
-                let f = &f;
-                scope.spawn(move |_| {
-                    let mut out = Vec::with_capacity(chunk.len());
-                    for row in *chunk {
-                        out.push(f(row)?);
-                    }
-                    Ok(out)
-                })
-            })
-            .collect();
-        for handle in handles {
-            results.push(handle.join().expect("worker thread panicked"));
+    let chunked = run_chunked(rows, workers, |chunk| {
+        let mut out = Vec::with_capacity(chunk.len());
+        for row in chunk {
+            out.push(f(row)?);
         }
-    })
-    .expect("crossbeam scope panicked");
-
+        Ok(out)
+    })?;
     let mut rows_out = Vec::with_capacity(rows.len());
-    for chunk in results {
-        rows_out.extend(chunk?);
+    for chunk in chunked {
+        rows_out.extend(chunk);
     }
     Ok(DataCollection::from_rows_unchecked(schema, rows_out))
 }
@@ -89,6 +72,31 @@ where
         return Ok(DataCollection::from_rows_unchecked(schema, out));
     }
 
+    let chunked = run_chunked(rows, workers, |chunk| {
+        let mut out = Vec::new();
+        for row in chunk {
+            out.extend(f(row)?);
+        }
+        Ok(out)
+    })?;
+    let mut rows_out = Vec::new();
+    for chunk in chunked {
+        rows_out.extend(chunk);
+    }
+    Ok(DataCollection::from_rows_unchecked(schema, rows_out))
+}
+
+/// Splits `rows` into one contiguous chunk per worker and runs `work` on
+/// each chunk in a scoped thread, returning chunk results in input order.
+///
+/// A panicking worker does **not** abort the process: the panic payload is
+/// converted into [`DataflowError::WorkerPanic`] and propagated like any
+/// other row error (the chunk-order-first failure wins, so the error a
+/// caller sees does not depend on thread scheduling).
+fn run_chunked<W>(rows: &[Row], workers: usize, work: W) -> Result<Vec<Vec<Row>>>
+where
+    W: Fn(&[Row]) -> Result<Vec<Row>> + Sync,
+{
     let chunk_size = rows.len().div_ceil(workers);
     let chunks: Vec<&[Row]> = rows.chunks(chunk_size).collect();
     let mut results: Vec<Result<Vec<Row>>> = Vec::with_capacity(chunks.len());
@@ -97,27 +105,31 @@ where
         let handles: Vec<_> = chunks
             .iter()
             .map(|chunk| {
-                let f = &f;
-                scope.spawn(move |_| {
-                    let mut out = Vec::new();
-                    for row in *chunk {
-                        out.extend(f(row)?);
-                    }
-                    Ok(out)
-                })
+                let work = &work;
+                scope.spawn(move |_| work(chunk))
             })
             .collect();
         for handle in handles {
-            results.push(handle.join().expect("worker thread panicked"));
+            results.push(handle.join().unwrap_or_else(|payload| {
+                Err(DataflowError::WorkerPanic(panic_message(&payload)))
+            }));
         }
     })
-    .expect("crossbeam scope panicked");
+    .map_err(|payload| DataflowError::WorkerPanic(panic_message(&payload)))?;
 
-    let mut rows_out = Vec::new();
-    for chunk in results {
-        rows_out.extend(chunk?);
+    results.into_iter().collect()
+}
+
+/// Renders a worker panic payload as a message (shared by every scoped
+/// thread pool in the workspace — see `helix-core`'s wave scheduler).
+pub fn panic_message(payload: &crossbeam::PanicPayload) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string payload>".to_string()
     }
-    Ok(DataCollection::from_rows_unchecked(schema, rows_out))
 }
 
 #[cfg(test)]
@@ -180,6 +192,57 @@ mod tests {
         let schema = Schema::of(&[("n", DataType::Int)]);
         let out = par_map_rows(&input, schema, |row| Ok(row.clone())).unwrap();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn panicking_closure_returns_error_not_abort() {
+        if std::thread::available_parallelism().map_or(1, |n| n.get()) < 2 {
+            return; // single-core: the sequential path panics normally
+        }
+        let input = numbers(50_000); // large enough to take the parallel path
+        let schema = Schema::of(&[("n", DataType::Int)]);
+        let result = par_map_rows(&input, Arc::clone(&schema), |row| {
+            if row.get(0).as_int().unwrap() == 42_000 {
+                panic!("row 42000 exploded");
+            }
+            Ok(row.clone())
+        });
+        let err = result.expect_err("panic must surface as an error");
+        assert!(
+            matches!(&err, crate::DataflowError::WorkerPanic(msg) if msg.contains("exploded")),
+            "got: {err}"
+        );
+        // The flat-map variant shares the machinery; spot-check it too.
+        let result = par_flat_map_rows(&input, schema, |row| {
+            if row.get(0).as_int().unwrap() == 1_000 {
+                panic!("flat-map exploded");
+            }
+            Ok(vec![row.clone()])
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn panic_and_error_mix_prefers_chunk_order() {
+        if std::thread::available_parallelism().map_or(1, |n| n.get()) < 2 {
+            return;
+        }
+        // An early-chunk Err and a late-chunk panic: the Err wins because
+        // results are collected in chunk order.
+        let input = numbers(50_000);
+        let schema = Schema::of(&[("n", DataType::Int)]);
+        let err = par_map_rows(&input, schema, |row| {
+            let n = row.get(0).as_int().unwrap();
+            if n == 10 {
+                return Err(crate::DataflowError::Udf("early error".into()));
+            }
+            if n == 49_999 {
+                panic!("late panic");
+            }
+            Ok(row.clone())
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("early error"), "got: {err}");
     }
 
     #[test]

@@ -4,7 +4,10 @@
 //! * [`census`] — §3 Application 1: income classification over structured
 //!   demographic records (UCI-Adult-like, synthesized).
 //! * [`news`] + [`ie`] — §3 Application 2: person-mention extraction from
-//!   news articles (synthetic corpus over a name gazetteer).
+//!   news articles (synthetic corpus over a name gazetteer). [`news`]
+//!   additionally hosts [`news::news_workflow`], a document-density
+//!   classifier over the same corpus whose wide extractor fan-out
+//!   exercises the engine's wave scheduler.
 //! * [`iterations`] — the shared "human-in-the-loop" machinery: a list of
 //!   workflow modifications, each tagged with the paper's iteration
 //!   category (data pre-processing / ML / evaluation).

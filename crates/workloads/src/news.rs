@@ -1,4 +1,5 @@
-//! Synthetic news corpus generator for the information-extraction task.
+//! Synthetic news corpus generator for the information-extraction task,
+//! plus a document-classification workflow over the same corpus.
 //!
 //! The paper's IE application "identifies person mentions from news
 //! articles" (§3). We synthesize articles from sentence templates over a
@@ -6,12 +7,24 @@
 //! distractors, and emit gold person-mention spans alongside — replacing
 //! the proprietary news corpus with an equivalent that exercises the same
 //! pipeline (see DESIGN.md substitutions).
+//!
+//! [`news_workflow`] is the third demo workload: a document-level
+//! classifier ("is this article person-dense?") whose feature extractors
+//! fan out from one corpus scan — a wide, shallow DAG that complements
+//! Census (structured, narrow) and IE (deep UDF chain) in the scheduler's
+//! cross-workload test matrix.
 
+use crate::iterations::{IterationSpec, IterationStage};
+use helix_core::ops::{EvalSpec, LearnerSpec, MetricKind, Udf};
+use helix_core::workflow::Workflow;
 use helix_core::Result;
+use helix_dataflow::fx::FxHashMap;
+use helix_dataflow::{DataCollection, DataType, Row, Value};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// First names used by the generator (and partially by the gazetteer).
 pub const FIRST_NAMES: &[&str] = &[
@@ -296,6 +309,276 @@ fn write_sentence(doc: &mut String, rng: &mut StdRng) -> Vec<(usize, usize)> {
     spans
 }
 
+// --- The news-classification workload -----------------------------------
+
+/// Parameters of the news document-classification workflow.
+#[derive(Debug, Clone)]
+pub struct NewsParams {
+    /// Corpus file (one document per line).
+    pub corpus_path: PathBuf,
+    /// Gold mention spans CSV (labels derive from per-document counts).
+    pub gold_path: PathBuf,
+    /// Fraction of documents held out for evaluation.
+    pub test_fraction: f64,
+    /// A document is "person-dense" (label 1) at this many gold mentions.
+    pub mention_threshold: usize,
+    /// Name-gazetteer hit-count features wired in.
+    pub feat_gazetteer: bool,
+    /// Honorific-title cue features wired in.
+    pub feat_titles: bool,
+    /// Organization-keyword features wired in.
+    pub feat_orgs: bool,
+    /// Learner regularization.
+    pub reg_param: f64,
+    /// Learner epochs.
+    pub epochs: usize,
+    /// Metrics computed by the Reducer.
+    pub metrics: Vec<MetricKind>,
+}
+
+impl NewsParams {
+    /// Initial-version parameters for data rooted at `dir`.
+    pub fn initial(dir: &Path) -> Self {
+        NewsParams {
+            corpus_path: dir.join("corpus.txt"),
+            gold_path: dir.join("gold.csv"),
+            test_fraction: 0.25,
+            mention_threshold: 4,
+            feat_gazetteer: true,
+            feat_titles: false,
+            feat_orgs: false,
+            reg_param: 0.1,
+            epochs: 8,
+            metrics: vec![MetricKind::Accuracy, MetricKind::F1],
+        }
+    }
+}
+
+/// Crude whitespace tokenizer with punctuation trimmed — document-level
+/// counting features do not need the NLP crate's offset bookkeeping.
+fn rough_tokens(text: &str) -> impl Iterator<Item = &str> {
+    text.split_whitespace()
+        .map(|t| t.trim_matches(|c: char| !c.is_alphanumeric()))
+        .filter(|t| !t.is_empty())
+}
+
+fn doc_feature_udf(
+    tag: &str,
+    feats: impl Fn(&str) -> Vec<(String, f64)> + Send + Sync + 'static,
+) -> Udf {
+    let tag = tag.to_string();
+    Udf::new(format!("newsfeat:{tag}:v1"), move |inputs| {
+        let corpus = inputs[0];
+        let text_idx = corpus.column_index("text")?;
+        let rows = corpus
+            .rows()
+            .iter()
+            .map(|row| {
+                let text = row.get(text_idx).as_str().unwrap_or("");
+                let pairs: Vec<Value> = feats(text)
+                    .into_iter()
+                    .map(|(name, v)| helix_core::exec::feature_pair(&name, v))
+                    .collect();
+                Row(vec![Value::List(pairs)])
+            })
+            .collect();
+        Ok(DataCollection::from_rows_unchecked(
+            helix_core::exec::feats_schema(),
+            rows,
+        ))
+    })
+}
+
+/// Label UDF: a document is positive when the gold file records at least
+/// `threshold` person mentions for it.
+fn udf_doc_labels(threshold: usize) -> Udf {
+    Udf::new(format!("newslabel:thr={threshold}"), move |inputs| {
+        let corpus = inputs[0];
+        let gold = inputs[1];
+        let gdoc = gold.column_index("doc_id")?;
+        let mut counts: FxHashMap<i64, usize> = FxHashMap::default();
+        for row in gold.rows() {
+            *counts
+                .entry(row.get(gdoc).as_int().unwrap_or(-1))
+                .or_insert(0) += 1;
+        }
+        let doc_idx = corpus.column_index("doc_id")?;
+        let rows = corpus
+            .rows()
+            .iter()
+            .map(|row| {
+                let doc = row.get(doc_idx).as_int().unwrap_or(-2);
+                let dense = counts.get(&doc).copied().unwrap_or(0) >= threshold;
+                Row(vec![Value::List(vec![helix_core::exec::feature_pair(
+                    "label",
+                    if dense { 1.0 } else { 0.0 },
+                )])])
+            })
+            .collect();
+        Ok(DataCollection::from_rows_unchecked(
+            helix_core::exec::feats_schema(),
+            rows,
+        ))
+    })
+}
+
+fn gazetteer_set() -> Arc<Vec<&'static str>> {
+    // 2/3 subset, as in the IE task: informative but not an oracle.
+    Arc::new(
+        FIRST_NAMES
+            .iter()
+            .chain(LAST_NAMES.iter())
+            .enumerate()
+            .filter(|(i, _)| i % 3 != 0)
+            .map(|(_, n)| *n)
+            .collect(),
+    )
+}
+
+/// Builds the news document-classification workflow: one corpus scan
+/// fanning out into independent per-document feature extractors — the
+/// widest of the three demo DAGs, and the one that gains most from wave
+/// scheduling.
+pub fn news_workflow(params: &NewsParams) -> Result<Workflow> {
+    let mut w = Workflow::new("NewsDensity");
+    let corpus = w.text_source("corpus", &params.corpus_path, params.test_fraction)?;
+    let gold_src = w.csv_source("gold_src", &params.gold_path, None::<&Path>)?;
+    let gold = w.csv_scanner(
+        "gold",
+        &gold_src,
+        &[
+            ("doc_id", DataType::Int),
+            ("start", DataType::Int),
+            ("end", DataType::Int),
+        ],
+    )?;
+    let labels = w.udf(
+        "labels",
+        &[&corpus, &gold],
+        udf_doc_labels(params.mention_threshold),
+    )?;
+
+    let length = w.udf(
+        "feat_length",
+        &[&corpus],
+        doc_feature_udf("length", |text| {
+            vec![
+                ("tokens".into(), rough_tokens(text).count() as f64 / 10.0),
+                ("sentences".into(), text.matches('.').count() as f64),
+            ]
+        }),
+    )?;
+    let caps = w.udf(
+        "feat_caps",
+        &[&corpus],
+        doc_feature_udf("caps", |text| {
+            let caps = rough_tokens(text)
+                .filter(|t| t.chars().next().is_some_and(|c| c.is_uppercase()))
+                .count();
+            vec![("cap_tokens".into(), caps as f64 / 5.0)]
+        }),
+    )?;
+    let gazetteer = {
+        let names = gazetteer_set();
+        w.udf(
+            "feat_gazetteer",
+            &[&corpus],
+            doc_feature_udf("gazetteer", move |text| {
+                let hits = rough_tokens(text).filter(|t| names.contains(t)).count();
+                vec![("name_hits".into(), hits as f64)]
+            }),
+        )?
+    };
+    let titles = w.udf(
+        "feat_titles",
+        &[&corpus],
+        doc_feature_udf("titles", |text| {
+            let cues = text.matches("Dr.").count() + text.matches("Gov.").count();
+            vec![("title_cues".into(), cues as f64)]
+        }),
+    )?;
+    let orgs = w.udf(
+        "feat_orgs",
+        &[&corpus],
+        doc_feature_udf("orgs", |text| {
+            let hits = ORGS.iter().filter(|org| text.contains(*org)).count();
+            vec![("org_hits".into(), hits as f64)]
+        }),
+    )?;
+
+    let mut extractors = vec![&length, &caps];
+    if params.feat_gazetteer {
+        extractors.push(&gazetteer);
+    }
+    if params.feat_titles {
+        extractors.push(&titles);
+    }
+    if params.feat_orgs {
+        extractors.push(&orgs);
+    }
+
+    let articles = w.assemble("articles", &corpus, &extractors, &labels)?;
+    let predictions = w.learner(
+        "predictions",
+        &articles,
+        LearnerSpec {
+            reg_param: params.reg_param,
+            epochs: params.epochs,
+            ..Default::default()
+        },
+    )?;
+    let checked = w.evaluate(
+        "checked",
+        &predictions,
+        EvalSpec {
+            metrics: params.metrics.clone(),
+            split: helix_core::SPLIT_TEST.into(),
+        },
+    )?;
+    w.output(&predictions);
+    w.output(&checked);
+    Ok(w)
+}
+
+/// An iteration script for the news workload covering all three stages.
+pub fn news_iterations() -> Vec<IterationSpec<NewsParams>> {
+    vec![
+        IterationSpec::new(
+            "add honorific-title features",
+            IterationStage::DataPreProcessing,
+            |p: &mut NewsParams| {
+                p.feat_titles = true;
+            },
+        ),
+        IterationSpec::new(
+            "decrease regularization",
+            IterationStage::MachineLearning,
+            |p: &mut NewsParams| {
+                p.reg_param = 0.01;
+            },
+        ),
+        IterationSpec::new(
+            "add precision/recall metrics",
+            IterationStage::Evaluation,
+            |p: &mut NewsParams| {
+                p.metrics = vec![
+                    MetricKind::Accuracy,
+                    MetricKind::F1,
+                    MetricKind::Precision,
+                    MetricKind::Recall,
+                ];
+            },
+        ),
+        IterationSpec::new(
+            "add organization features",
+            IterationStage::DataPreProcessing,
+            |p: &mut NewsParams| {
+                p.feat_orgs = true;
+            },
+        ),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -355,6 +638,84 @@ mod tests {
             checked += 1;
         }
         assert!(checked > 20, "expected plenty of mentions, got {checked}");
+    }
+
+    #[test]
+    fn news_workflow_builds_with_fanout_shape() {
+        let dir = tmpdir("wf-shape");
+        let params = NewsParams::initial(&dir);
+        let w = news_workflow(&params).unwrap();
+        // The corpus fans out into the wired extractors plus labels.
+        let corpus = w.by_name("corpus").unwrap();
+        let children = w.children()[corpus.index()].len();
+        assert!(children >= 4, "expected wide fan-out, got {children}");
+        // Optional feature groups exist but are sliced out until wired.
+        let slice = helix_core::slicing::slice(&w).unwrap();
+        assert!(!slice.active[w.by_name("feat_titles").unwrap().index()]);
+        assert!(slice.active[w.by_name("feat_gazetteer").unwrap().index()]);
+    }
+
+    #[test]
+    fn news_workflow_learns_person_density() {
+        let dir = tmpdir("wf-learn");
+        generate_news(
+            &dir,
+            &NewsDataSpec {
+                docs: 300,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let params = NewsParams::initial(&dir);
+        let w = news_workflow(&params).unwrap();
+        let mut engine =
+            helix_core::Engine::new(helix_core::EngineConfig::helix(dir.join("store"))).unwrap();
+        let report = engine.run(&w).unwrap();
+        let acc = report.metric("accuracy").unwrap();
+        assert!(
+            acc > 0.75,
+            "gazetteer hit counts should separate dense docs, accuracy = {acc}"
+        );
+    }
+
+    #[test]
+    fn news_second_iteration_reuses() {
+        let dir = tmpdir("wf-reuse");
+        generate_news(
+            &dir,
+            &NewsDataSpec {
+                docs: 200,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let mut params = NewsParams::initial(&dir);
+        let mut engine =
+            helix_core::Engine::new(helix_core::EngineConfig::helix(dir.join("store"))).unwrap();
+        engine.run(&news_workflow(&params).unwrap()).unwrap();
+        // ML-only change: the feature extractors must all be reused.
+        params.reg_param = 0.01;
+        let report = engine.run(&news_workflow(&params).unwrap()).unwrap();
+        for feat in ["feat_length", "feat_caps", "feat_gazetteer"] {
+            let node = report.nodes.iter().find(|n| n.name == feat).unwrap();
+            assert_ne!(
+                node.state,
+                helix_core::NodeState::Compute,
+                "{feat} must not recompute on an ML-only change"
+            );
+        }
+    }
+
+    #[test]
+    fn news_iteration_script_covers_all_stages() {
+        let iters = news_iterations();
+        for stage in [
+            IterationStage::DataPreProcessing,
+            IterationStage::MachineLearning,
+            IterationStage::Evaluation,
+        ] {
+            assert!(iters.iter().any(|i| i.stage == stage), "{stage:?}");
+        }
     }
 
     #[test]

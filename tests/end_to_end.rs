@@ -1,12 +1,12 @@
 //! Cross-crate integration tests: full workflows through the public API.
 
 use helix::baselines::SystemKind;
-use helix::core::{NodeState, SPLIT_TEST};
+use helix::core::{Engine, EngineConfig, IterationReport, NodeState, Workflow, SPLIT_TEST};
 use helix::workloads::census::{
     census_iterations, census_workflow, generate_census, CensusDataSpec, CensusParams,
 };
 use helix::workloads::ie::{ie_iterations, ie_workflow, IeParams};
-use helix::workloads::news::{generate_news, NewsDataSpec};
+use helix::workloads::news::{generate_news, news_workflow, NewsDataSpec, NewsParams};
 use std::path::PathBuf;
 
 fn tmpdir(tag: &str) -> PathBuf {
@@ -263,4 +263,184 @@ fn evaluation_uses_test_split() {
         Some(0.0),
         "flipped test labels ⇒ 0 accuracy"
     );
+}
+
+// --- Cross-workload parallel/sequential equivalence ------------------------
+
+/// Runs `build(iteration)` workflows through four fresh engines — the
+/// deterministic materialize-`All` policy and the Helix online policy,
+/// each at 1 thread and at `threads` — for two iterations.
+///
+/// Under `All`, every decision is timing-independent, so the harness
+/// asserts **strict** equality of loaded/computed/pruned counts, the full
+/// per-node materialization set, and metrics — pinning down exactly what
+/// the wave scheduler changed (execution) with nothing else varying.
+/// Under the Helix online policy, per-node materialization of
+/// microsecond-scale nodes is decided by measured wall times (two
+/// sequential runs flip those too), so the harness asserts the semantic
+/// guarantees: identical metrics every iteration and reuse on the second.
+///
+/// Returns the second-iteration Helix-policy `(sequential, parallel)`
+/// reports.
+fn assert_parallel_equivalence(
+    tag: &str,
+    threads: usize,
+    mut build: impl FnMut(usize) -> Workflow,
+) -> (IterationReport, IterationReport) {
+    let dir = tmpdir(tag);
+    let all_config = |suffix: &str, threads: usize| {
+        let mut config = EngineConfig::helix(dir.join(suffix)).with_parallelism(threads);
+        config.materialization = helix::core::MaterializationPolicyKind::All;
+        config
+    };
+    let mut all_seq = Engine::new(all_config("store-all-seq", 1)).unwrap();
+    let mut all_par = Engine::new(all_config("store-all-par", threads)).unwrap();
+    let mut seq =
+        Engine::new(EngineConfig::helix(dir.join("store-seq")).with_parallelism(1)).unwrap();
+    let mut par =
+        Engine::new(EngineConfig::helix(dir.join("store-par")).with_parallelism(threads)).unwrap();
+
+    let mut last = None;
+    for iteration in 0..2 {
+        let w = build(iteration);
+
+        // Deterministic-policy pair: everything must match exactly.
+        let a = all_seq.run(&w).unwrap();
+        let b = all_par.run(&w).unwrap();
+        assert_eq!(
+            a.loaded(),
+            b.loaded(),
+            "{tag}[all] iter {iteration}: loaded"
+        );
+        assert_eq!(
+            a.computed(),
+            b.computed(),
+            "{tag}[all] iter {iteration}: computed"
+        );
+        assert_eq!(
+            a.pruned(),
+            b.pruned(),
+            "{tag}[all] iter {iteration}: pruned"
+        );
+        assert_eq!(a.metrics, b.metrics, "{tag}[all] iter {iteration}: metrics");
+        let materialized = |r: &IterationReport| -> Vec<String> {
+            r.nodes
+                .iter()
+                .filter(|n| n.materialized)
+                .map(|n| n.name.clone())
+                .collect()
+        };
+        assert_eq!(
+            materialized(&a),
+            materialized(&b),
+            "{tag}[all] iter {iteration}: materialization set"
+        );
+
+        // Helix-online pair: results must be identical; reuse must work
+        // at both thread counts.
+        let ha = seq.run(&w).unwrap();
+        let hb = par.run(&w).unwrap();
+        assert_eq!(ha.metrics, hb.metrics, "{tag} iter {iteration}: metrics");
+        assert_eq!(
+            ha.metrics, a.metrics,
+            "{tag} iter {iteration}: online vs All policy metrics"
+        );
+        if iteration > 0 {
+            assert!(ha.loaded() > 0, "{tag}: sequential reuse");
+            assert!(hb.loaded() > 0, "{tag}: parallel reuse");
+        }
+        last = Some((ha, hb));
+    }
+    last.unwrap()
+}
+
+#[test]
+fn census_parallel_matches_sequential_and_reuses() {
+    let dir = tmpdir("par-census-data");
+    generate_census(
+        &dir,
+        &CensusDataSpec {
+            train_rows: 600,
+            test_rows: 150,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut params = CensusParams::initial(&dir);
+    params.include_marital_status = true;
+    params.include_interaction = true;
+    let (seq, par) = assert_parallel_equivalence("par-census", 4, |iteration| {
+        // Second iteration: an ML-only change, so pre-processing reloads.
+        params.reg_param = if iteration == 0 { 0.1 } else { 0.01 };
+        census_workflow(&params).unwrap()
+    });
+    assert!(seq.loaded() > 0, "second census iteration must reuse");
+    assert_eq!(seq.loaded(), par.loaded());
+}
+
+#[test]
+fn news_parallel_matches_sequential_and_reuses() {
+    let dir = tmpdir("par-news-data");
+    // Large enough that feature extraction clearly out-costs store I/O;
+    // smaller corpora put materialization decisions inside timing noise
+    // and the seq/par materialization sets can drift apart.
+    generate_news(
+        &dir,
+        &NewsDataSpec {
+            docs: 500,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut params = NewsParams::initial(&dir);
+    let (seq, _par) = assert_parallel_equivalence("par-news", 4, |iteration| {
+        params.reg_param = if iteration == 0 { 0.1 } else { 0.01 };
+        news_workflow(&params).unwrap()
+    });
+    assert!(seq.loaded() > 0, "second news iteration must reuse");
+}
+
+#[test]
+fn ie_parallel_matches_sequential_and_reuses() {
+    let dir = tmpdir("par-ie-data");
+    generate_news(
+        &dir,
+        &NewsDataSpec {
+            docs: 150,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let mut params = IeParams::initial(&dir);
+    params.feat_context = true;
+    params.feat_gazetteer = true;
+    let (seq, _par) = assert_parallel_equivalence("par-ie", 4, |iteration| {
+        params.reg_param = if iteration == 0 { 0.1 } else { 0.01 };
+        ie_workflow(&params).unwrap()
+    });
+    assert!(seq.loaded() > 0, "second IE iteration must reuse");
+}
+
+/// The parallel engine's report carries wave timings whose node total
+/// matches the per-node report.
+#[test]
+fn wave_reports_cover_every_executed_node() {
+    let dir = tmpdir("waves-cover");
+    generate_census(
+        &dir,
+        &CensusDataSpec {
+            train_rows: 400,
+            test_rows: 100,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let params = CensusParams::initial(&dir);
+    let mut engine =
+        Engine::new(EngineConfig::helix(dir.join("store")).with_parallelism(4)).unwrap();
+    let report = engine.run(&census_workflow(&params).unwrap()).unwrap();
+    let wave_nodes: usize = report.waves.iter().map(|w| w.nodes).sum();
+    assert_eq!(wave_nodes, report.loaded() + report.computed());
+    assert!(report.wave_count() > 1, "census has dependency depth");
+    assert!(report.exec_secs() > 0.0);
 }

@@ -1,0 +1,207 @@
+//! Property tests: wave-scheduled parallel execution is observationally
+//! identical to sequential execution on random DAGs.
+//!
+//! Two layers, mirroring the engine's split:
+//!
+//! * **Scheduler-level** — the same compiled plan executed at 1 thread and
+//!   at N threads must produce identical outputs and identical plan-order
+//!   merge streams, both on all-compute plans and on plans with a random
+//!   subset of nodes materialized (mixing loads, computes, and prunes).
+//! * **Engine-level** — two engines differing only in `parallelism` must
+//!   produce identical `IterationReport` counts, signatures, and version
+//!   histories across repeated runs of random workflows.
+
+use helix::core::compiler::compile;
+use helix::core::cost::CostModel;
+use helix::core::ops::{OperatorKind, Udf};
+use helix::core::scheduler::{build_waves, execute_plan};
+use helix::core::store::IntermediateStore;
+use helix::core::{
+    Engine, EngineConfig, MaterializationPolicyKind, NodeId, NodeRef, RecomputationPolicy, Workflow,
+};
+use helix::dataflow::{DataCollection, DataType, Row, Schema, Value};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let case = CASE.fetch_add(1, Ordering::SeqCst);
+    let dir =
+        std::env::temp_dir().join(format!("helix-schedeq-{tag}-{case}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn int_rows(values: &[i64]) -> DataCollection {
+    let schema = Schema::of(&[("x", DataType::Int)]);
+    let rows = values.iter().map(|&v| Row(vec![Value::Int(v)])).collect();
+    DataCollection::from_rows_unchecked(schema, rows)
+}
+
+/// Deterministic per-node transform: a keyed fold over all parent cells,
+/// so every node's output is a pure function of the DAG shape.
+fn mix_udf(salt: i64) -> Udf {
+    Udf::new(format!("mix:{salt}"), move |inputs| {
+        let mut acc: i64 = salt;
+        for dc in inputs {
+            for row in dc.rows() {
+                acc = acc
+                    .wrapping_mul(31)
+                    .wrapping_add(row.get(0).as_int().unwrap_or(0));
+            }
+        }
+        Ok(int_rows(&[acc, acc.wrapping_mul(7)]))
+    })
+}
+
+/// (node count, forward edges).
+type ArbDag = (usize, Vec<(usize, usize)>);
+
+fn arb_dag() -> impl Strategy<Value = ArbDag> {
+    (2usize..10).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n), 0..20).prop_map(move |pairs| {
+            pairs
+                .into_iter()
+                .filter(|&(a, b)| a < b)
+                .collect::<Vec<_>>()
+        });
+        (Just(n), edges)
+    })
+}
+
+/// Builds the workflow for a random DAG; every sink is an output.
+fn dag_workflow(n: usize, edges: &[(usize, usize)]) -> Workflow {
+    let mut w = Workflow::new("schedeq");
+    let mut refs: Vec<NodeRef> = Vec::new();
+    for i in 0..n {
+        let parents: Vec<&NodeRef> = edges
+            .iter()
+            .filter(|&&(_, dst)| dst == i)
+            .map(|&(src, _)| &refs[src])
+            .collect();
+        let r = w
+            .add(
+                format!("n{i}"),
+                OperatorKind::UserDefined(mix_udf(i as i64 + 1)),
+                &parents,
+            )
+            .unwrap();
+        refs.push(r);
+    }
+    for (i, r) in refs.iter().enumerate() {
+        if !edges.iter().any(|&(src, _)| src == i) {
+            w.output(r);
+        }
+    }
+    w
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// All-compute plans: identical outputs and merge order at any
+    /// thread count.
+    #[test]
+    fn parallel_executes_random_dags_identically((n, edges) in arb_dag()) {
+        let w = dag_workflow(n, &edges);
+        let store = IntermediateStore::open(tmpdir("fresh"), 1 << 24).unwrap();
+        let cm = CostModel::new();
+        let plan = compile(&w, &store, &cm, RecomputationPolicy::Optimal, None).unwrap();
+
+        let mut merged_seq: Vec<NodeId> = Vec::new();
+        let seq = execute_plan(&w, &plan, &store, 1, |id, _, _| {
+            merged_seq.push(id);
+            Ok(())
+        }).unwrap();
+        for threads in [2, 8] {
+            let mut merged_par: Vec<NodeId> = Vec::new();
+            let par = execute_plan(&w, &plan, &store, threads, |id, _, _| {
+                merged_par.push(id);
+                Ok(())
+            }).unwrap();
+            prop_assert_eq!(&seq.outputs, &par.outputs, "outputs at {} threads", threads);
+            prop_assert_eq!(&merged_seq, &merged_par, "merge order at {} threads", threads);
+            // Waves cover exactly the non-pruned nodes at any thread count.
+            let executed: usize = par.waves.iter().map(|ws| ws.nodes).sum();
+            prop_assert_eq!(executed, plan.compute_count() + plan.load_count());
+        }
+    }
+
+    /// Mixed load/compute/prune plans: materialize a random node subset,
+    /// recompile (loads now shadow ancestors), and require the parallel
+    /// run to reproduce the sequential run's outputs exactly.
+    #[test]
+    fn parallel_handles_random_materialization_subsets(
+        (n, edges) in arb_dag(),
+        mask in proptest::collection::vec(any::<bool>(), 9),
+    ) {
+        let w = dag_workflow(n, &edges);
+        let store = IntermediateStore::open(tmpdir("mixed"), 1 << 24).unwrap();
+        let mut cm = CostModel::new();
+        // First pass computes everything so we have real outputs to
+        // materialize.
+        let plan0 = compile(&w, &store, &cm, RecomputationPolicy::Optimal, None).unwrap();
+        let first = execute_plan(&w, &plan0, &store, 1, |_, _, _| Ok(())).unwrap();
+        for (i, node) in w.nodes().iter().enumerate() {
+            cm.observe_compute(&node.name, 1.0);
+            if mask[i % mask.len()] {
+                let output = first.outputs[i].as_ref().unwrap();
+                store.put(plan0.signatures[i], output).unwrap();
+            }
+        }
+
+        let plan = compile(&w, &store, &cm, RecomputationPolicy::Optimal, None).unwrap();
+        let seq = execute_plan(&w, &plan, &store, 1, |_, _, _| Ok(())).unwrap();
+        let par = execute_plan(&w, &plan, &store, 8, |_, _, _| Ok(())).unwrap();
+        prop_assert_eq!(&seq.outputs, &par.outputs);
+        // Loaded results equal their original computation (reuse
+        // correctness through the store round-trip).
+        for (i, output) in par.outputs.iter().enumerate() {
+            if let Some(output) = output {
+                prop_assert_eq!(Some(output), first.outputs[i].as_ref(), "node {}", i);
+            }
+        }
+        // Wave structure stays a partition of the non-pruned plan.
+        let waves = build_waves(&w, &plan);
+        let total: usize = waves.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, plan.compute_count() + plan.load_count());
+    }
+
+    /// Engine-level: identical reports, signatures, and version history at
+    /// 1 vs N threads across two iterations of the same random workflow.
+    #[test]
+    fn engines_report_identically_across_thread_counts((n, edges) in arb_dag()) {
+        let dir = tmpdir("engine");
+        // `Never` keeps the second iteration's plan independent of
+        // measured timings (materialization under the online policy is
+        // timing-sensitive for microsecond UDFs and is covered by the
+        // workload-scale tests in end_to_end.rs).
+        let config = |suffix: &str, threads: usize| EngineConfig {
+            store_dir: dir.join(suffix),
+            storage_budget_bytes: 1 << 30,
+            recomputation: RecomputationPolicy::Optimal,
+            materialization: MaterializationPolicyKind::Never,
+            enable_slicing: true,
+            parallelism: threads,
+        };
+        let mut seq = Engine::new(config("seq", 1)).unwrap();
+        let mut par = Engine::new(config("par", 8)).unwrap();
+        for iteration in 0..2 {
+            let w = dag_workflow(n, &edges);
+            let plan_seq = seq.compile_only(&w).unwrap();
+            let plan_par = par.compile_only(&w).unwrap();
+            prop_assert_eq!(&plan_seq.signatures, &plan_par.signatures, "signatures");
+            let a = seq.run(&w).unwrap();
+            let b = par.run(&w).unwrap();
+            prop_assert_eq!(a.loaded(), b.loaded(), "loaded, iter {}", iteration);
+            prop_assert_eq!(a.computed(), b.computed(), "computed, iter {}", iteration);
+            prop_assert_eq!(a.pruned(), b.pruned(), "pruned, iter {}", iteration);
+            prop_assert_eq!(&a.metrics, &b.metrics, "metrics, iter {}", iteration);
+            prop_assert_eq!(a.wave_count(), b.wave_count(), "waves, iter {}", iteration);
+        }
+        prop_assert_eq!(seq.versions().len(), par.versions().len());
+    }
+}
