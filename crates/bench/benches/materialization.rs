@@ -1,9 +1,12 @@
 //! Materialization-strategy ablation: 3-iteration census mini-series under
 //! each policy, plus a storage-budget sweep for the Helix online rule.
+//!
+//! `HELIX_BENCH_FAST=1` selects the reduced CI configuration and
+//! `HELIX_BENCH_JSON=path.json` captures machine-readable results for the
+//! benchmark-regression gate (see the criterion shim docs).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use helix_core::materialize::MaterializationPolicyKind;
-use helix_core::recompute::RecomputationPolicy;
 use helix_core::{Engine, EngineConfig};
 use helix_workloads::census::{census_workflow, generate_census, CensusDataSpec, CensusParams};
 
@@ -29,20 +32,22 @@ fn mini_series(dir: &std::path::Path, config: EngineConfig) -> f64 {
 }
 
 fn bench_strategies(c: &mut Criterion) {
+    let fast = std::env::var_os("HELIX_BENCH_FAST").is_some_and(|v| v != "0");
+    let samples = if fast { 5 } else { 10 };
     let dir = std::env::temp_dir().join(format!("helix-bench-mat-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     generate_census(
         &dir,
         &CensusDataSpec {
-            train_rows: 800,
-            test_rows: 200,
+            train_rows: if fast { 400 } else { 800 },
+            test_rows: if fast { 100 } else { 200 },
             ..Default::default()
         },
     )
     .unwrap();
 
     let mut group = c.benchmark_group("materialization_strategy");
-    group.sample_size(10);
+    group.sample_size(samples);
     for policy in [
         MaterializationPolicyKind::HelixOnline,
         MaterializationPolicyKind::All,
@@ -56,12 +61,8 @@ fn bench_strategies(c: &mut Criterion) {
                     let store = dir.join(format!("store-{policy:?}"));
                     let _ = std::fs::remove_dir_all(&store);
                     let config = EngineConfig {
-                        store_dir: store,
-                        storage_budget_bytes: 1 << 30,
-                        recomputation: RecomputationPolicy::Optimal,
                         materialization: policy,
-                        enable_slicing: true,
-                        parallelism: helix_core::default_parallelism(),
+                        ..EngineConfig::helix(store)
                     };
                     mini_series(&dir, config)
                 })
@@ -71,7 +72,7 @@ fn bench_strategies(c: &mut Criterion) {
     group.finish();
 
     let mut group = c.benchmark_group("storage_budget_sweep");
-    group.sample_size(10);
+    group.sample_size(samples);
     for budget_mb in [1u64, 16, 256] {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{budget_mb}MiB")),

@@ -1,21 +1,42 @@
-//! Wave-scheduler speedup: 1-thread vs N-thread first-iteration execution
-//! on the census and NLP (IE + news) workloads.
+//! Scheduler speedup and executor comparison on the census and NLP
+//! (IE + news) workloads.
 //!
-//! The first iteration computes every node, so it carries the full
-//! inter-operator parallelism of each DAG: census fans one scan into the
-//! extractor set, IE runs five independent feature UDFs over one candidate
-//! collection, and the news classifier is a pure extractor fan-out. The
-//! `threads=1` rows are the pre-scheduler baseline; the `threads=N` rows
-//! are what the engine now does by default.
+//! Two groups:
 //!
-//! Run with `cargo bench --bench scheduler`.
+//! * `scheduler_first_iteration` — full-engine first iterations at 1
+//!   thread vs N threads. The first iteration computes every node, so it
+//!   carries the full inter-operator parallelism of each DAG: census fans
+//!   one scan into the extractor set, IE runs five independent feature
+//!   UDFs over one candidate collection, and the news classifier is a
+//!   pure extractor fan-out.
+//! * `scheduler_executor` — the ready-queue executor vs the historical
+//!   wave-barrier baseline (and the sequential loop) on the *same*
+//!   compiled first-iteration plan, isolating raw executor performance
+//!   from compilation and materialization. The CI regression gate
+//!   (`bench_guard`) asserts ready ≤ wave here.
+//!
+//! Run with `cargo bench -p helix-bench --bench scheduler`. Set
+//! `HELIX_BENCH_FAST=1` for the reduced CI configuration and
+//! `HELIX_BENCH_JSON=path.json` to capture machine-readable results (see
+//! the criterion shim docs).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use helix_core::{Engine, EngineConfig};
+use helix_core::compiler::compile;
+use helix_core::cost::CostModel;
+use helix_core::recompute::RecomputationPolicy;
+use helix_core::scheduler::execute_plan_with;
+use helix_core::store::IntermediateStore;
+use helix_core::{Engine, EngineConfig, ExecStrategy, Workflow};
 use helix_workloads::census::{census_workflow, generate_census, CensusDataSpec, CensusParams};
 use helix_workloads::ie::{ie_workflow, IeParams};
 use helix_workloads::news::{generate_news, news_workflow, NewsDataSpec, NewsParams};
 use std::path::{Path, PathBuf};
+
+/// Reduced sizes for the CI regression job (`HELIX_BENCH_FAST=1`): the
+/// comparison stays two-sided but each sample is a few hundred ms.
+fn fast_mode() -> bool {
+    std::env::var_os("HELIX_BENCH_FAST").is_some_and(|v| v != "0")
+}
 
 /// Thread count for the parallel rows: all hardware threads, but at least
 /// 4 so the comparison stays two-sided even on small containers (extra
@@ -30,7 +51,7 @@ fn bench_threads() -> usize {
 
 /// One fresh-engine first iteration at the given thread count; the store
 /// directory is recreated per call so every run computes everything.
-fn run_once(workflow: &helix_core::Workflow, store_dir: &Path, threads: usize) -> f64 {
+fn run_once(workflow: &Workflow, store_dir: &Path, threads: usize) -> f64 {
     let _ = std::fs::remove_dir_all(store_dir);
     let mut engine = Engine::new(EngineConfig::helix(store_dir).with_parallelism(threads)).unwrap();
     let report = engine.run(workflow).unwrap();
@@ -44,17 +65,16 @@ fn bench_dir(tag: &str) -> PathBuf {
     dir
 }
 
-fn bench_scheduler(c: &mut Criterion) {
-    let threads = bench_threads();
-
-    // Census: all optional features wired so the extractor fan-out is at
-    // full width (the paper's late-iteration configuration).
+/// The three workloads with every optional feature wired in, so the DAGs
+/// are at full width (the paper's late-iteration configuration).
+fn workloads() -> Vec<(&'static str, Workflow)> {
+    let fast = fast_mode();
     let census_dir = bench_dir("census");
     generate_census(
         &census_dir,
         &CensusDataSpec {
-            train_rows: 12_000,
-            test_rows: 3_000,
+            train_rows: if fast { 3_000 } else { 12_000 },
+            test_rows: if fast { 800 } else { 3_000 },
             ..Default::default()
         },
     )
@@ -65,12 +85,11 @@ fn bench_scheduler(c: &mut Criterion) {
     census_params.include_capital_loss = true;
     let census = census_workflow(&census_params).unwrap();
 
-    // IE over the news corpus with the full feature-UDF fan-out.
     let news_dir = bench_dir("news");
     generate_news(
         &news_dir,
         &NewsDataSpec {
-            docs: 400,
+            docs: if fast { 120 } else { 400 },
             ..Default::default()
         },
     )
@@ -82,19 +101,54 @@ fn bench_scheduler(c: &mut Criterion) {
     ie_params.feat_title = true;
     let ie = ie_workflow(&ie_params).unwrap();
 
-    // News density classifier: the widest DAG of the three.
     let mut news_params = NewsParams::initial(&news_dir);
     news_params.feat_titles = true;
     news_params.feat_orgs = true;
     let news = news_workflow(&news_params).unwrap();
 
+    vec![("census", census), ("ie", ie), ("news", news)]
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let threads = bench_threads();
+    let samples = if fast_mode() { 5 } else { 10 };
+    let workloads = workloads();
+
     let mut group = c.benchmark_group("scheduler_first_iteration");
-    group.sample_size(10);
-    for (tag, workflow) in [("census", &census), ("ie", &ie), ("news", &news)] {
-        for t in [1usize, threads] {
+    group.sample_size(samples);
+    for (tag, workflow) in &workloads {
+        // The parallel row's label is machine-independent ("Nthr", not
+        // the actual count) so the committed regression baseline keys
+        // stay valid when runner core counts change.
+        for (label, t) in [("1thr", 1usize), ("Nthr", threads)] {
             let store = bench_dir(&format!("store-{tag}-{t}"));
-            group.bench_with_input(BenchmarkId::new(tag, format!("{t}thr")), &t, |b, &t| {
+            group.bench_with_input(BenchmarkId::new(*tag, label), &t, |b, &t| {
                 b.iter(|| run_once(workflow, &store, t))
+            });
+        }
+    }
+    group.finish();
+
+    // Raw executor comparison on identical compiled plans: an empty store
+    // and a no-op merge keep every sample a pure all-compute execution.
+    let mut group = c.benchmark_group("scheduler_executor");
+    group.sample_size(samples);
+    for (tag, workflow) in &workloads {
+        let store_dir = bench_dir(&format!("exec-{tag}"));
+        let _ = std::fs::remove_dir_all(&store_dir);
+        let store = IntermediateStore::open(&store_dir, 1 << 30).unwrap();
+        let cm = CostModel::new();
+        let plan = compile(workflow, &store, &cm, RecomputationPolicy::Optimal, None).unwrap();
+        for (label, strategy) in [
+            ("seq", ExecStrategy::Sequential),
+            ("wave", ExecStrategy::WaveBarrier),
+            ("ready", ExecStrategy::ReadyQueue),
+        ] {
+            group.bench_with_input(BenchmarkId::new(*tag, label), &strategy, |b, &strategy| {
+                b.iter(|| {
+                    execute_plan_with(workflow, &plan, &store, strategy, threads, |_, _, _| Ok(()))
+                        .unwrap()
+                })
             });
         }
     }

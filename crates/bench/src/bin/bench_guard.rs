@@ -1,0 +1,227 @@
+//! CI benchmark-regression gate.
+//!
+//! Compares a freshly produced `HELIX_BENCH_JSON` results file (see the
+//! criterion shim) against a committed baseline and fails when any
+//! benchmark's best-of-samples wall time regressed past the threshold
+//! (default 1.25 = +25%). `--compare A<=B` additionally asserts a
+//! within-run ordering — used to pin the ready-queue executor at or
+//! under the wave-barrier baseline regardless of runner speed.
+//!
+//! ```text
+//! bench_guard --baseline bench_results/BENCH_scheduler_baseline.json \
+//!             --current  bench_results/BENCH_scheduler.json \
+//!             [--threshold 1.25] \
+//!             [--compare "scheduler_executor/news/ready<=scheduler_executor/news/wave"]...
+//! ```
+//!
+//! Refreshing the baseline after an intentional perf change: rerun the
+//! bench with `HELIX_BENCH_FAST=1 HELIX_BENCH_JSON=<baseline path>` and
+//! commit the file.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// Minimal parser for the criterion shim's JSON output: one benchmark
+/// object per line, fields in a fixed order. Returns `id → min_ns`.
+fn parse_results(text: &str) -> Result<BTreeMap<String, u128>, String> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let Some(id) = field_str(line, "\"id\": \"") else {
+            continue;
+        };
+        let min_ns = field_num(line, "\"min_ns\": ")
+            .ok_or_else(|| format!("benchmark `{id}` is missing min_ns"))?;
+        out.insert(id.replace("\\\"", "\"").replace("\\\\", "\\"), min_ns);
+    }
+    if out.is_empty() {
+        return Err("no benchmark entries found".into());
+    }
+    Ok(out)
+}
+
+fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let start = line.find(key)? + key.len();
+    let rest = &line[start..];
+    // The id is shim-escaped; an unescaped quote ends it.
+    let mut prev_backslash = false;
+    for (i, c) in rest.char_indices() {
+        match c {
+            '"' if !prev_backslash => return Some(&rest[..i]),
+            '\\' => prev_backslash = !prev_backslash,
+            _ => prev_backslash = false,
+        }
+    }
+    None
+}
+
+fn field_num(line: &str, key: &str) -> Option<u128> {
+    let start = line.find(key)? + key.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+fn load(path: &str) -> Result<BTreeMap<String, u128>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    parse_results(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+struct Args {
+    baseline: Option<String>,
+    current: String,
+    threshold: f64,
+    compares: Vec<(String, String)>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut baseline = None;
+    let mut current = None;
+    let mut threshold = 1.25f64;
+    let mut compares = Vec::new();
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let mut value = |name: &str| {
+            argv.next()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--baseline" => baseline = Some(value("--baseline")?),
+            "--current" => current = Some(value("--current")?),
+            "--threshold" => {
+                threshold = value("--threshold")?
+                    .parse()
+                    .map_err(|e| format!("bad --threshold: {e}"))?
+            }
+            "--compare" => {
+                let spec = value("--compare")?;
+                let (a, b) = spec
+                    .split_once("<=")
+                    .ok_or_else(|| format!("--compare expects `A<=B`, got `{spec}`"))?;
+                compares.push((a.trim().to_string(), b.trim().to_string()));
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Args {
+        baseline,
+        current: current.ok_or("--current is required")?,
+        threshold,
+        compares,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(err) => {
+            eprintln!("bench_guard: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let current = match load(&args.current) {
+        Ok(map) => map,
+        Err(err) => {
+            eprintln!("bench_guard: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut failures = Vec::new();
+
+    if let Some(baseline_path) = &args.baseline {
+        match load(baseline_path) {
+            Ok(baseline) => {
+                for (id, &base_ns) in &baseline {
+                    match current.get(id) {
+                        None => failures.push(format!(
+                            "`{id}` is in the baseline but missing from {} — \
+                             renamed benchmarks need a refreshed baseline",
+                            args.current
+                        )),
+                        Some(&cur_ns) => {
+                            let ratio = cur_ns as f64 / base_ns.max(1) as f64;
+                            let verdict = if ratio > args.threshold {
+                                failures.push(format!(
+                                    "`{id}` regressed: {cur_ns} ns vs baseline {base_ns} ns \
+                                     ({ratio:.2}x > {:.2}x allowed)",
+                                    args.threshold
+                                ));
+                                "REGRESSED"
+                            } else {
+                                "ok"
+                            };
+                            println!("{verdict:>9}  {id}: {cur_ns} ns (baseline {base_ns} ns, {ratio:.2}x)");
+                        }
+                    }
+                }
+            }
+            Err(err) => failures.push(err),
+        }
+    }
+
+    for (a, b) in &args.compares {
+        match (current.get(a), current.get(b)) {
+            (Some(&a_ns), Some(&b_ns)) => {
+                let limit = b_ns as f64 * args.threshold;
+                if a_ns as f64 > limit {
+                    failures.push(format!(
+                        "`{a}` ({a_ns} ns) exceeds `{b}` ({b_ns} ns) by more than {:.2}x",
+                        args.threshold
+                    ));
+                } else {
+                    println!(
+                        "       ok  {a} ({a_ns} ns) <= {b} ({b_ns} ns) within {:.2}x",
+                        args.threshold
+                    );
+                }
+            }
+            _ => failures.push(format!(
+                "--compare `{a}<={b}`: one of the ids is missing from {}",
+                args.current
+            )),
+        }
+    }
+
+    if failures.is_empty() {
+        println!("bench_guard: all checks passed");
+        ExitCode::SUCCESS
+    } else {
+        for failure in &failures {
+            eprintln!("bench_guard: {failure}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{"benchmarks": [
+  {"id": "scheduler_executor/news/ready", "min_ns": 100, "median_ns": 120, "mean_ns": 130, "samples": 5},
+  {"id": "scheduler_executor/news/wave", "min_ns": 150, "median_ns": 170, "mean_ns": 180, "samples": 5}
+]}
+"#;
+
+    #[test]
+    fn parses_shim_output() {
+        let map = parse_results(SAMPLE).unwrap();
+        assert_eq!(map.len(), 2);
+        assert_eq!(map["scheduler_executor/news/ready"], 100);
+        assert_eq!(map["scheduler_executor/news/wave"], 150);
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(parse_results("{\"benchmarks\": []}\n").is_err());
+    }
+
+    #[test]
+    fn unescapes_ids() {
+        let text =
+            r#"  {"id": "odd\"name\\x", "min_ns": 7, "median_ns": 8, "mean_ns": 9, "samples": 1}"#;
+        let map = parse_results(text).unwrap();
+        assert_eq!(map[r#"odd"name\x"#], 7);
+    }
+}

@@ -82,7 +82,7 @@ impl CostModel {
 
     /// Records an observed I/O transfer (`bytes` in `secs` seconds).
     ///
-    /// Transfers below [`MIN_BANDWIDTH_CALIBRATION_BYTES`] are
+    /// Transfers below `MIN_BANDWIDTH_CALIBRATION_BYTES` (64 KiB) are
     /// latency-dominated and carry no bandwidth signal — treating a
     /// 200-byte metadata write as a "bytes/secs" sample would collapse the
     /// bandwidth estimate by orders of magnitude, which in turn inflates

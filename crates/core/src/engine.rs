@@ -32,12 +32,19 @@ pub struct EngineConfig {
     /// Whether the program slicer prunes operators that do not feed
     /// outputs (off only in the "unoptimized Helix" demo configuration).
     pub enable_slicing: bool,
-    /// Worker threads for wave-scheduled execution. `1` reproduces the
+    /// Worker threads for the ready-queue executor. `1` reproduces the
     /// classic sequential iteration loop; the default is the machine's
     /// available parallelism (overridable via `HELIX_PARALLELISM`).
     /// Results and reports are identical at every setting — see
     /// [`crate::scheduler`].
     pub parallelism: usize,
+    /// Shards the intermediate store's entry maps are split across so the
+    /// executor's concurrent store traffic does not serialize on one
+    /// lock. The default comes from `HELIX_STORE_SHARDS` (falling back to
+    /// [`crate::store::DEFAULT_STORE_SHARDS`]); `1` reproduces the
+    /// historical single-lock store. Purely a concurrency knob — contents
+    /// and budget semantics are identical at every setting.
+    pub store_shards: usize,
 }
 
 impl EngineConfig {
@@ -50,6 +57,7 @@ impl EngineConfig {
             materialization: MaterializationPolicyKind::HelixOnline,
             enable_slicing: true,
             parallelism: scheduler::default_parallelism(),
+            store_shards: crate::store::default_store_shards(),
         }
     }
 
@@ -62,6 +70,12 @@ impl EngineConfig {
     /// Sets the scheduler thread count (clamped to ≥ 1).
     pub fn with_parallelism(mut self, threads: usize) -> Self {
         self.parallelism = threads.max(1);
+        self
+    }
+
+    /// Sets the store shard count (clamped to ≥ 1).
+    pub fn with_store_shards(mut self, shards: usize) -> Self {
+        self.store_shards = shards.max(1);
         self
     }
 }
@@ -81,7 +95,11 @@ pub struct Engine {
 impl Engine {
     /// Opens an engine (and its store) under the configured directory.
     pub fn new(config: EngineConfig) -> Result<Engine> {
-        let store = IntermediateStore::open(&config.store_dir, config.storage_budget_bytes)?;
+        let store = IntermediateStore::open_with_shards(
+            &config.store_dir,
+            config.storage_budget_bytes,
+            config.store_shards,
+        )?;
         Ok(Engine {
             config,
             store,
@@ -127,6 +145,7 @@ impl Engine {
         let plan = self.compile_only(workflow)?;
         let optimizer_secs = opt_started.elapsed().as_secs_f64();
 
+        let wave_of = crate::recompute::wave_levels(workflow, &plan.states);
         let mut node_reports: Vec<NodeReport> = workflow
             .nodes()
             .iter()
@@ -140,6 +159,7 @@ impl Engine {
                     .as_ref()
                     .map(|c| c.kinds[i])
                     .unwrap_or(ChangeKind::Added),
+                wave: wave_of[i],
                 duration_secs: 0.0,
                 output_bytes: 0,
                 materialized: false,
@@ -390,12 +410,9 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let mut helix = Engine::new(EngineConfig::helix(dir.join("s1"))).unwrap();
         let mut unopt = Engine::new(EngineConfig {
-            store_dir: dir.join("s2"),
-            storage_budget_bytes: 1 << 30,
             recomputation: RecomputationPolicy::ComputeAll,
             materialization: MaterializationPolicyKind::Never,
-            enable_slicing: true,
-            parallelism: scheduler::default_parallelism(),
+            ..EngineConfig::helix(dir.join("s2"))
         })
         .unwrap();
         for reg in [0.1, 0.9, 0.1] {
@@ -414,12 +431,8 @@ mod tests {
         let dir = tmpdir("never");
         std::fs::create_dir_all(&dir).unwrap();
         let mut engine = Engine::new(EngineConfig {
-            store_dir: dir.join("store"),
-            storage_budget_bytes: 1 << 30,
-            recomputation: RecomputationPolicy::Optimal,
             materialization: MaterializationPolicyKind::Never,
-            enable_slicing: true,
-            parallelism: scheduler::default_parallelism(),
+            ..EngineConfig::helix(dir.join("store"))
         })
         .unwrap();
         let w = census_workflow(&dir, 0.1);

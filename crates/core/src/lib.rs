@@ -14,11 +14,12 @@
 //!   outputs, and the [recomputation optimizer](recompute) picks the
 //!   cost-optimal `{load, compute, prune}` state per node in PTIME via a
 //!   reduction to the Project Selection Problem (`helix-mincut`).
-//! * **Execution** — [`engine`] runs the plan through the wave
-//!   [`scheduler`] (independent operators execute concurrently; stateful
-//!   outcomes merge in plan order), measures real per-operator costs, and
-//!   consults the online [materialization optimizer](materialize) after
-//!   every operator completes, under a storage budget enforced by the
+//! * **Execution** — [`engine`] runs the plan through the ready-queue
+//!   [`scheduler`] (operators execute the instant their dependencies are
+//!   satisfied, on work-stealing workers; stateful outcomes merge in plan
+//!   order), measures real per-operator costs, and consults the online
+//!   [materialization optimizer](materialize) after every operator
+//!   completes, under a storage budget enforced by the sharded
 //!   [intermediate store](store).
 //! * **Iteration support** — [`version`] keeps every workflow version with
 //!   its metrics (the Versions/Metrics tabs of §3.1); [`viz`] renders DAGs
@@ -51,7 +52,8 @@ pub use ops::{
 };
 pub use recompute::{NodeState, RecomputationPolicy};
 pub use report::IterationReport;
-pub use scheduler::default_parallelism;
+pub use scheduler::{default_parallelism, ExecStrategy};
+pub use store::default_store_shards;
 pub use workflow::{NodeId, NodeRef, Workflow};
 
 /// Convenience alias used throughout the crate.

@@ -253,10 +253,34 @@ pub fn wave_levels(workflow: &Workflow, states: &[NodeState]) -> Vec<Option<usiz
     levels
 }
 
+/// Partitions a plan's non-pruned nodes into dependency waves, preserving
+/// `order` within each wave: wave *k* holds exactly the nodes whose
+/// [`wave_levels`] level is `k`.
+///
+/// The executor no longer runs wave-by-wave (see `crate::scheduler` for
+/// the ready-queue model); waves survive as the unit of the critical-path
+/// cost estimate ([`plan_wave_cost_us`]) and of the derived per-wave
+/// timings in iteration reports.
+pub fn build_waves(
+    workflow: &Workflow,
+    order: &[NodeId],
+    states: &[NodeState],
+) -> Vec<Vec<NodeId>> {
+    let levels = wave_levels(workflow, states);
+    let n_waves = levels.iter().flatten().copied().max().map_or(0, |l| l + 1);
+    let mut waves: Vec<Vec<NodeId>> = vec![Vec::new(); n_waves];
+    for &id in order {
+        if let Some(level) = levels[id.index()] {
+            waves[level].push(id);
+        }
+    }
+    waves
+}
+
 /// Estimated makespan of the plan in µs under unbounded parallelism: the
 /// per-wave maximum of member costs, summed over waves. The gap between
-/// this and [`plan_cost_us`] is the speedup ceiling the wave scheduler can
-/// extract from the plan.
+/// this and [`plan_cost_us`] is the speedup ceiling a parallel executor
+/// can extract from the plan.
 pub fn plan_wave_cost_us(workflow: &Workflow, states: &[NodeState], costs: &[NodeCosts]) -> u64 {
     let levels = wave_levels(workflow, states);
     let mut wave_max: Vec<u64> = Vec::new();
@@ -603,6 +627,20 @@ mod tests {
         let states = vec![NodeState::Prune, NodeState::Load, NodeState::Compute];
         let levels = wave_levels(&w, &states);
         assert_eq!(levels, vec![None, Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn build_waves_partitions_by_level_in_order() {
+        let w = dag_workflow(5, &[(0, 1), (0, 2), (1, 3), (2, 3)], &[3, 4]);
+        let states = vec![NodeState::Compute; 5];
+        let order: Vec<NodeId> = (0..5u32).map(NodeId).collect();
+        let waves = build_waves(&w, &order, &states);
+        assert_eq!(waves.len(), 3);
+        assert_eq!(waves[0], vec![NodeId(0), NodeId(4)]);
+        assert_eq!(waves[1], vec![NodeId(1), NodeId(2)]);
+        assert_eq!(waves[2], vec![NodeId(3)]);
+        let total: usize = waves.iter().map(Vec::len).sum();
+        assert_eq!(total, 5);
     }
 
     #[test]

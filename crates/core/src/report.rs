@@ -15,7 +15,14 @@ pub struct NodeReport {
     pub state: NodeState,
     /// How the node differed from the previous version.
     pub change: ChangeKind,
+    /// The node's dependency level in the plan (`None` for pruned
+    /// nodes): 0 for loads and dependency-free computes, one more than
+    /// the deepest parent otherwise. Purely descriptive — the ready-queue
+    /// executor does not run level-by-level.
+    pub wave: Option<usize>,
     /// Wall-clock seconds spent computing or loading (0 for pruned).
+    /// This is the primary timing record; per-wave figures are derived
+    /// from it.
     pub duration_secs: f64,
     /// Output size estimate in bytes (0 for pruned).
     pub output_bytes: u64,
@@ -23,15 +30,17 @@ pub struct NodeReport {
     pub materialized: bool,
 }
 
-/// Timing for one scheduler wave (a set of mutually independent nodes the
-/// engine executed concurrently).
+/// Derived timing for one dependency level ("wave") of the plan — a set
+/// of mutually independent nodes. The executor is barrier-free (see
+/// `crate::scheduler`), so these are summaries computed from per-node
+/// durations, not measured wall-clock phases.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WaveReport {
-    /// Nodes executed in this wave.
+    /// Nodes executed at this dependency level.
     pub nodes: usize,
-    /// Wall-clock seconds of the wave. At `parallelism = 1` this is the
-    /// sum of member durations; at higher thread counts it approaches the
-    /// slowest member's duration.
+    /// At `parallelism = 1`, the sum of member durations; at higher
+    /// thread counts, the slowest member's duration (the level's
+    /// contribution to an idealized critical path).
     pub secs: f64,
 }
 
@@ -48,9 +57,11 @@ pub struct IterationReport {
     pub optimizer_secs: f64,
     /// Seconds spent writing materializations.
     pub materialize_secs: f64,
-    /// Per-node details, in [`crate::workflow::NodeId`] index order.
+    /// Per-node details, in [`crate::workflow::NodeId`] index order —
+    /// the primary execution record.
     pub nodes: Vec<NodeReport>,
-    /// Per-wave timings from the scheduler, in execution order.
+    /// Per-dependency-level timings derived from the node durations, in
+    /// level order.
     pub waves: Vec<WaveReport>,
     /// Metric values harvested from Evaluate nodes.
     pub metrics: Vec<(String, f64)>,
@@ -91,15 +102,23 @@ impl IterationReport {
         self.loaded() as f64 / touched as f64
     }
 
-    /// Number of scheduler waves the iteration executed in — the depth of
-    /// the plan's dependency-level decomposition.
+    /// Depth of the plan's dependency-level decomposition (number of
+    /// derived waves).
     pub fn wave_count(&self) -> usize {
         self.waves.len()
     }
 
-    /// Wall-clock seconds spent executing nodes, summed over waves (the
-    /// parallel analogue of summing node durations).
+    /// Total seconds of node execution work (the sum of per-node
+    /// durations — CPU-time-like, not wall-clock when parallel).
     pub fn exec_secs(&self) -> f64 {
+        self.nodes.iter().map(|n| n.duration_secs).sum()
+    }
+
+    /// Idealized critical-path seconds: the per-level summaries summed
+    /// over levels. With unbounded parallelism an iteration cannot beat
+    /// this; the gap to [`IterationReport::exec_secs`] is the speedup the
+    /// ready-queue executor can extract.
+    pub fn critical_path_secs(&self) -> f64 {
         self.waves.iter().map(|w| w.secs).sum()
     }
 
@@ -145,6 +164,7 @@ mod tests {
             stage,
             state,
             change: ChangeKind::Unchanged,
+            wave: (state != NodeState::Prune).then_some(0),
             duration_secs: secs,
             output_bytes: 0,
             materialized: false,
@@ -229,12 +249,14 @@ mod tests {
         assert_eq!(r.reuse_rate(), 0.0);
         assert_eq!(r.wave_count(), 0);
         assert_eq!(r.exec_secs(), 0.0);
+        assert_eq!(r.critical_path_secs(), 0.0);
     }
 
     #[test]
     fn wave_aggregation() {
         let r = report();
         assert_eq!(r.wave_count(), 3);
-        assert!((r.exec_secs() - 1.5).abs() < 1e-12);
+        assert!((r.exec_secs() - 1.5).abs() < 1e-12, "sum of node durations");
+        assert!((r.critical_path_secs() - 1.5).abs() < 1e-12);
     }
 }

@@ -1,36 +1,56 @@
-//! Wave-scheduled parallel plan execution.
+//! Ready-queue parallel plan execution with work stealing.
 //!
 //! The compiled plan's topological `order` hides abundant inter-operator
 //! parallelism: Census fans one scan out into several extractors, and the
 //! IE pipeline runs five independent feature UDFs over the same candidate
-//! set. This module partitions the non-pruned nodes into *waves*
-//! ([`crate::recompute::wave_levels`]): all loads plus computes whose
-//! parents are satisfied form wave 0, their dependents wave 1, and so on.
-//! Nodes within a wave are mutually independent and execute concurrently
-//! on a scoped worker pool capped at [`crate::EngineConfig::parallelism`]
-//! threads.
+//! set. Earlier versions executed the plan in dependency *waves* with a
+//! barrier between levels, which left speedup on the table: one slow
+//! member of a wave gated every node of the next, exactly on the wide
+//! DAGs where parallelism matters most.
+//!
+//! The executor here is barrier-free. Each non-pruned node carries an
+//! atomic count of unsatisfied parents; a node becomes ready the instant
+//! its last parent finishes. Workers pull ready nodes from a per-worker
+//! local deque (LIFO, for locality along just-unlocked dependency
+//! chains), falling back to a shared injector seeded with the initially
+//! ready nodes and then to stealing from other workers' deques (FIFO, so
+//! thieves take the oldest — widest-fanout — work). The thread count is
+//! capped at [`crate::EngineConfig::parallelism`].
+//!
+//! [`ExecStrategy::WaveBarrier`] keeps the historical wave executor
+//! alive solely as the baseline that `benches/scheduler.rs` and the
+//! regression CI measure the ready queue against;
+//! [`crate::recompute::build_waves`] /
+//! [`crate::recompute::wave_levels`] likewise survive as the
+//! critical-path cost estimator and the source of *derived* per-wave
+//! report timings.
 //!
 //! # Determinism
 //!
 //! Parallel execution must be observationally identical to sequential
 //! execution — the paper's reuse correctness argument ("a materialized
 //! result must equal its recomputation") extends to the scheduler. Raw
-//! node execution (compute or load) is free of side effects, so waves may
-//! run in any interleaving; everything stateful — cost-model observations,
-//! the online materialization decision (which consults the evolving
-//! storage budget), and metric harvesting — happens in the `merge`
-//! callback, which this module invokes **strictly in plan order**: a
-//! cursor walks `plan.order` and stalls at the first node whose raw result
-//! is not yet available. The merged outcome stream is therefore identical
-//! at any thread count, including 1.
+//! node execution (compute or load) is free of side effects, so ready
+//! nodes may run in any interleaving; everything stateful — cost-model
+//! observations, the online materialization decision (which consults the
+//! evolving storage budget), and metric harvesting — happens in the
+//! `merge` callback, which the calling thread invokes **strictly in plan
+//! order** while workers keep executing: a cursor walks `plan.order` and
+//! stalls at the first node whose raw result is not yet available. The
+//! merged outcome stream is therefore identical at any thread count,
+//! including 1.
 //!
-//! On a *failed* run, both paths surface the plan-order-earliest failure
-//! and commit merges only for nodes preceding it in plan order. The
-//! sequential path additionally executes (and may materialize)
-//! later-wave nodes that sit before the failing node in plan order —
-//! work a parallel run never starts — so post-failure store contents are
-//! identical only up to that best-effort prefix; successful runs are
-//! always byte-identical.
+//! # Failure determinism
+//!
+//! A failed run surfaces the error of the **plan-order-earliest failing
+//! node**, at every thread count. When a node fails, the executor stops
+//! scheduling nodes that come after it in plan order but keeps executing
+//! everything before it (any earlier node could still fail and take over
+//! as the reported error; plan order is topological, so all its
+//! dependencies precede it too). Merges therefore commit for exactly the
+//! nodes preceding the failing node in plan order — the same prefix, with
+//! the same side effects (materializations, cost observations), that the
+//! sequential loop commits before erroring at that same node.
 
 use crate::compiler::CompiledPlan;
 use crate::ops::NodeOutput;
@@ -40,12 +60,15 @@ use crate::store::IntermediateStore;
 use crate::workflow::{NodeId, Workflow};
 use crate::{HelixError, Result};
 use helix_dataflow::par::panic_message;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
 use std::time::Instant;
 
 /// How many worker threads the engine should use by default: the
 /// `HELIX_PARALLELISM` environment variable when set to a positive
-/// integer (the CI equivalence matrix forces `1` this way), otherwise the
-/// machine's available parallelism.
+/// integer (the CI equivalence matrix forces `1` and `2` this way),
+/// otherwise the machine's available parallelism.
 pub fn default_parallelism() -> usize {
     std::env::var("HELIX_PARALLELISM")
         .ok()
@@ -56,6 +79,24 @@ pub fn default_parallelism() -> usize {
                 .map(|n| n.get())
                 .unwrap_or(1)
         })
+}
+
+/// Which executor runs the plan. [`execute_plan`] picks automatically;
+/// the explicit variants exist for the scheduler benchmark and the
+/// equivalence tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecStrategy {
+    /// One node at a time in plan order — the classic iteration loop and
+    /// the behavior of `parallelism = 1`.
+    Sequential,
+    /// The historical barrier executor: dependency waves with a join
+    /// between levels. Kept only as the baseline the ready queue is
+    /// benchmarked against (`benches/scheduler.rs`).
+    WaveBarrier,
+    /// The dependency-counting ready-queue executor with per-worker
+    /// deques and work stealing — what the engine uses at
+    /// `parallelism > 1`.
+    ReadyQueue,
 }
 
 /// The raw, side-effect-free result of running one node.
@@ -73,8 +114,11 @@ pub struct ExecutedNode {
 pub struct ExecutionResult {
     /// Node outputs by [`NodeId::index`] (`None` for pruned nodes).
     pub outputs: Vec<Option<NodeOutput>>,
-    /// Per-wave timings, in wave order (landed verbatim in
-    /// [`crate::report::IterationReport::waves`]).
+    /// Per-wave timings *derived* from per-node durations and the plan's
+    /// dependency levels (the primary record is per node; see
+    /// [`crate::report::NodeReport`]). At `parallelism = 1` a wave's
+    /// `secs` is the sum of member durations; otherwise it is the slowest
+    /// member's duration.
     pub waves: Vec<WaveReport>,
 }
 
@@ -91,45 +135,572 @@ struct RawResult {
 /// materialization, metric harvesting); see the module docs for why that
 /// split makes parallel execution deterministic. `parallelism = 1` runs
 /// the classic sequential loop: each node executes and merges before the
-/// next starts.
+/// next starts. Higher counts use the ready-queue executor, with `merge`
+/// still running on the calling thread.
 ///
 /// # Errors
-/// Propagates node execution failures (the plan-order-earliest failure
-/// when several nodes of one wave fail) and merge failures.
+/// Propagates node execution failures (deterministically the
+/// plan-order-earliest failing node's error) and merge failures.
 pub fn execute_plan<M>(
     workflow: &Workflow,
     plan: &CompiledPlan,
     store: &IntermediateStore,
+    parallelism: usize,
+    merge: M,
+) -> Result<ExecutionResult>
+where
+    M: FnMut(NodeId, &ExecutedNode, &NodeOutput) -> Result<()>,
+{
+    let strategy = if parallelism <= 1 {
+        ExecStrategy::Sequential
+    } else {
+        ExecStrategy::ReadyQueue
+    };
+    execute_plan_with(workflow, plan, store, strategy, parallelism, merge)
+}
+
+/// [`execute_plan`] with an explicit [`ExecStrategy`] — the entry point
+/// the scheduler benchmark uses to compare the ready queue against the
+/// wave baseline on identical plans.
+///
+/// # Errors
+/// Same contract as [`execute_plan`].
+pub fn execute_plan_with<M>(
+    workflow: &Workflow,
+    plan: &CompiledPlan,
+    store: &IntermediateStore,
+    strategy: ExecStrategy,
     parallelism: usize,
     mut merge: M,
 ) -> Result<ExecutionResult>
 where
     M: FnMut(NodeId, &ExecutedNode, &NodeOutput) -> Result<()>,
 {
-    let waves = build_waves(workflow, plan);
-    if parallelism <= 1 {
-        return execute_sequential(workflow, plan, store, &waves, merge);
+    match strategy {
+        ExecStrategy::Sequential => execute_sequential(workflow, plan, store, merge),
+        ExecStrategy::WaveBarrier => {
+            execute_wave_barrier(workflow, plan, store, parallelism.max(2), &mut merge)
+        }
+        ExecStrategy::ReadyQueue => {
+            execute_ready_queue(workflow, plan, store, parallelism.max(2), &mut merge)
+        }
+    }
+}
+
+fn plan_position(plan: &CompiledPlan, index: usize) -> usize {
+    plan.order
+        .iter()
+        .position(|id| id.index() == index)
+        .unwrap_or(usize::MAX)
+}
+
+/// Derives per-wave timings from per-node durations: `secs[i]` indexed by
+/// node, `None` for nodes that did not execute. `sum_members` selects the
+/// sequential convention (sum of member durations) over the parallel one
+/// (slowest member).
+fn derive_waves(
+    workflow: &Workflow,
+    states: &[NodeState],
+    secs: &[Option<f64>],
+    sum_members: bool,
+) -> Vec<WaveReport> {
+    let levels = wave_levels(workflow, states);
+    let n_waves = levels.iter().flatten().copied().max().map_or(0, |l| l + 1);
+    let mut waves = vec![
+        WaveReport {
+            nodes: 0,
+            secs: 0.0
+        };
+        n_waves
+    ];
+    for (i, level) in levels.iter().enumerate() {
+        let Some(level) = level else { continue };
+        let Some(node_secs) = secs[i] else { continue };
+        waves[*level].nodes += 1;
+        if sum_members {
+            waves[*level].secs += node_secs;
+        } else {
+            waves[*level].secs = waves[*level].secs.max(node_secs);
+        }
+    }
+    waves
+}
+
+/// The sequential path: execute and merge one node at a time in plan
+/// order — exactly the engine's historical iteration loop.
+fn execute_sequential<M>(
+    workflow: &Workflow,
+    plan: &CompiledPlan,
+    store: &IntermediateStore,
+    mut merge: M,
+) -> Result<ExecutionResult>
+where
+    M: FnMut(NodeId, &ExecutedNode, &NodeOutput) -> Result<()>,
+{
+    let n = workflow.len();
+    let mut outputs: Vec<Option<NodeOutput>> = (0..n).map(|_| None).collect();
+    let mut secs: Vec<Option<f64>> = vec![None; n];
+    for &id in &plan.order {
+        let i = id.index();
+        if plan.states[i] == NodeState::Prune {
+            continue;
+        }
+        let raw = run_node(workflow, plan, store, id, |p| outputs[p.index()].as_ref())?;
+        secs[i] = Some(raw.executed.secs);
+        merge(id, &raw.executed, &raw.output)?;
+        outputs[i] = Some(raw.output);
+    }
+    let waves = derive_waves(workflow, &plan.states, &secs, true);
+    Ok(ExecutionResult { outputs, waves })
+}
+
+// ---------------------------------------------------------------------------
+// Ready-queue executor
+// ---------------------------------------------------------------------------
+
+/// Injector plus the sleep coordination for idle workers. Pushes to any
+/// queue bump `notify` under this lock, so a worker that scanned every
+/// queue empty while holding it cannot miss the wakeup.
+struct InjectorState {
+    /// Globally visible ready nodes (seeded with the dependency-free
+    /// ones); workers drain it FIFO so plan order is the tiebreak.
+    ready: VecDeque<usize>,
+}
+
+/// Shared state of one ready-queue execution. Borrowed immutably by every
+/// worker; the calling thread drives the merge cursor concurrently.
+struct ReadyExecutor<'a> {
+    workflow: &'a Workflow,
+    plan: &'a CompiledPlan,
+    store: &'a IntermediateStore,
+    /// Plan position by node index (`usize::MAX` for pruned nodes).
+    pos: Vec<usize>,
+    /// Non-pruned compute children to notify per node (one entry per
+    /// parent edge, mirroring the initial `deps` counts).
+    children: Vec<Vec<usize>>,
+    /// Unsatisfied-parent counts; a node enqueues when its count hits 0.
+    deps: Vec<AtomicUsize>,
+    /// Write-once raw results, readable by children (for parent outputs)
+    /// and by the merge cursor.
+    results: Vec<OnceLock<RawResult>>,
+    /// Plan position of the earliest failure observed so far
+    /// (`usize::MAX` when none): workers skip nodes past it.
+    min_fail: AtomicUsize,
+    /// The earliest failure's `(plan position, error)` — authoritative
+    /// where `min_fail` is the advisory fast path.
+    failure: Mutex<Option<(usize, HelixError)>>,
+    /// Set by the merge loop once the outcome is decided; workers exit.
+    shutdown: AtomicBool,
+    injector: Mutex<InjectorState>,
+    /// Workers sleep here when every queue is empty.
+    work_cv: Condvar,
+    /// Per-worker local deques: owners push/pop the back, thieves steal
+    /// from the front.
+    locals: Vec<Mutex<VecDeque<usize>>>,
+    /// The plan position the merge cursor is stalled on (`usize::MAX`
+    /// while draining): workers skip the merger wakeup for completions
+    /// that cannot advance the cursor.
+    waiting_pos: AtomicUsize,
+    /// Completed-node generation counter; the merge loop sleeps on it.
+    progress: Mutex<u64>,
+    progress_cv: Condvar,
+}
+
+impl<'a> ReadyExecutor<'a> {
+    fn new(
+        workflow: &'a Workflow,
+        plan: &'a CompiledPlan,
+        store: &'a IntermediateStore,
+        workers: usize,
+    ) -> Self {
+        let n = workflow.len();
+        let mut pos = vec![usize::MAX; n];
+        for (k, id) in plan.order.iter().enumerate() {
+            pos[id.index()] = k;
+        }
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut dep_counts = vec![0usize; n];
+        for &id in &plan.order {
+            let i = id.index();
+            if plan.states[i] != NodeState::Compute {
+                continue;
+            }
+            for parent in &workflow.node(id).parents {
+                let p = parent.index();
+                if plan.states[p] != NodeState::Prune {
+                    children[p].push(i);
+                    dep_counts[i] += 1;
+                }
+            }
+        }
+        let mut ready = VecDeque::new();
+        for &id in &plan.order {
+            let i = id.index();
+            if plan.states[i] != NodeState::Prune && dep_counts[i] == 0 {
+                ready.push_back(i);
+            }
+        }
+        ReadyExecutor {
+            workflow,
+            plan,
+            store,
+            pos,
+            children,
+            deps: dep_counts.into_iter().map(AtomicUsize::new).collect(),
+            results: (0..n).map(|_| OnceLock::new()).collect(),
+            min_fail: AtomicUsize::new(usize::MAX),
+            failure: Mutex::new(None),
+            shutdown: AtomicBool::new(false),
+            injector: Mutex::new(InjectorState { ready }),
+            work_cv: Condvar::new(),
+            locals: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            waiting_pos: AtomicUsize::new(usize::MAX),
+            progress: Mutex::new(0),
+            progress_cv: Condvar::new(),
+        }
     }
 
+    /// Pops the next ready node for worker `me`: own deque (LIFO), then
+    /// the injector, then stealing (FIFO); sleeps when everything is
+    /// empty. Returns `None` on shutdown.
+    fn next_task(&self, me: usize) -> Option<usize> {
+        if self.shutdown.load(Ordering::Acquire) {
+            return None;
+        }
+        if let Some(i) = lock(&self.locals[me]).pop_back() {
+            return Some(i);
+        }
+        let mut injector = lock(&self.injector);
+        loop {
+            if self.shutdown.load(Ordering::Acquire) {
+                return None;
+            }
+            if let Some(i) = injector.ready.pop_front() {
+                return Some(i);
+            }
+            if let Some(i) = self.steal(me) {
+                return Some(i);
+            }
+            // Pushes notify under the injector lock, which we hold since
+            // the scans above — no wakeup can slip past into the wait.
+            injector = self
+                .work_cv
+                .wait(injector)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    fn steal(&self, me: usize) -> Option<usize> {
+        for (w, victim) in self.locals.iter().enumerate() {
+            if w == me {
+                continue;
+            }
+            if let Some(i) = lock(victim).pop_front() {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Executes node `i` on worker `me`, recording the result, enqueuing
+    /// any children it readies, and waking the merge cursor when the
+    /// completion can advance it. Returns one readied child for the
+    /// worker to continue into directly (chains never touch the queues).
+    fn run_task(&self, me: usize, i: usize) -> Option<usize> {
+        if self.shutdown.load(Ordering::Acquire) {
+            // A merge error ended the run; stop chaining continuations.
+            return None;
+        }
+        if self.pos[i] > self.min_fail.load(Ordering::Acquire) {
+            // Past the earliest failure in plan order: the sequential loop
+            // would never have reached this node, so drop it unexecuted.
+            return None;
+        }
+        let id = NodeId(i as u32);
+        let outcome = run_node(self.workflow, self.plan, self.store, id, |p| {
+            self.results[p.index()].get().map(|raw| &raw.output)
+        });
+        let continuation = match outcome {
+            Ok(raw) => {
+                let set = self.results[i].set(raw);
+                debug_assert!(set.is_ok(), "node executed twice");
+                let mut next = None;
+                let mut pushed = 0usize;
+                {
+                    let mut local = lock(&self.locals[me]);
+                    for &child in &self.children[i] {
+                        if self.deps[child].fetch_sub(1, Ordering::AcqRel) == 1 {
+                            if next.is_none() {
+                                // Run the first readied child ourselves.
+                                next = Some(child);
+                            } else {
+                                local.push_back(child);
+                                pushed += 1;
+                            }
+                        }
+                    }
+                }
+                if pushed > 0 {
+                    // Notify under the injector lock: a worker that
+                    // scanned every queue empty holds it until its wait,
+                    // so the wakeup cannot slip past (see `next_task`).
+                    // One wakeup per item avoids a thundering herd.
+                    let _guard = lock(&self.injector);
+                    for _ in 0..pushed {
+                        self.work_cv.notify_one();
+                    }
+                }
+                next
+            }
+            Err(err) => {
+                self.record_failure(self.pos[i], err);
+                None
+            }
+        };
+        // Wake the merge cursor only if this completion can unblock it —
+        // i.e. it is at (or, failures, before) the published stall
+        // position. The merger re-checks after publishing, so a stale
+        // read here at worst delays it one timed-wait tick.
+        if self.pos[i] <= self.waiting_pos.load(Ordering::SeqCst) {
+            let mut progress = lock(&self.progress);
+            *progress += 1;
+            self.progress_cv.notify_one();
+        }
+        continuation
+    }
+
+    fn worker(&self, me: usize) {
+        while let Some(mut i) = self.next_task(me) {
+            while let Some(next) = self.run_task(me, i) {
+                i = next;
+            }
+        }
+    }
+
+    /// Records a failure if it is the plan-order-earliest seen so far.
+    /// Execution continues for earlier nodes only (see module docs).
+    fn record_failure(&self, pos: usize, err: HelixError) {
+        let mut failure = lock(&self.failure);
+        if failure.as_ref().is_none_or(|(p, _)| pos < *p) {
+            *failure = Some((pos, err));
+        }
+        self.min_fail.fetch_min(pos, Ordering::AcqRel);
+    }
+
+    /// Pops a ready node for the helping merge thread (its own deque,
+    /// the injector, then a steal) without ever sleeping.
+    fn try_pop(&self, me: usize) -> Option<usize> {
+        if let Some(i) = lock(&self.locals[me]).pop_back() {
+            return Some(i);
+        }
+        if let Some(i) = lock(&self.injector).ready.pop_front() {
+            return Some(i);
+        }
+        self.steal(me)
+    }
+
+    /// Drives the plan-order merge cursor on the calling thread while
+    /// workers execute; whenever the cursor is stalled the caller *helps*
+    /// by executing ready nodes itself (slot `me`), so merging costs no
+    /// dedicated thread. Returns when every node has merged, when the
+    /// cursor reaches a node that failed (all earlier nodes having
+    /// merged, making that failure final), or when `merge` itself errors.
+    fn merge_and_help<M>(&self, me: usize, merge: &mut M) -> Result<()>
+    where
+        M: FnMut(NodeId, &ExecutedNode, &NodeOutput) -> Result<()>,
+    {
+        let mut cursor = 0usize;
+        let mut seen = 0u64;
+        // A continuation readied by the caller's last helped task; merging
+        // still takes priority over running it.
+        let mut pending: Option<usize> = None;
+        loop {
+            self.waiting_pos.store(usize::MAX, Ordering::SeqCst);
+            while cursor < self.plan.order.len() {
+                let id = self.plan.order[cursor];
+                let i = id.index();
+                if self.plan.states[i] == NodeState::Prune {
+                    cursor += 1;
+                    continue;
+                }
+                match self.results[i].get() {
+                    Some(raw) => {
+                        merge(id, &raw.executed, &raw.output)?;
+                        cursor += 1;
+                    }
+                    None => break,
+                }
+            }
+            if cursor >= self.plan.order.len() {
+                return Ok(());
+            }
+            {
+                let mut failure = lock(&self.failure);
+                if let Some((pos, _)) = failure.as_ref() {
+                    // The cursor merged everything before `pos`, so no
+                    // plan-order-earlier failure can still happen: this
+                    // error is final and deterministic.
+                    if *pos == cursor {
+                        let (_, err) = failure.take().expect("failure checked above");
+                        return Err(err);
+                    }
+                }
+            }
+            // Stalled: execute a ready node instead of sleeping.
+            if let Some(i) = pending.take().or_else(|| self.try_pop(me)) {
+                pending = self.run_task(me, i);
+                continue;
+            }
+            // Nothing to help with. Publish the stall position, then
+            // re-check it: a worker that completed this node just before
+            // the publish skipped the wakeup, so the decision to sleep
+            // must come after.
+            self.waiting_pos.store(cursor, Ordering::SeqCst);
+            if self.results[self.plan.order[cursor].index()]
+                .get()
+                .is_some()
+                || lock(&self.failure)
+                    .as_ref()
+                    .is_some_and(|(pos, _)| *pos == cursor)
+            {
+                continue;
+            }
+            let progress = lock(&self.progress);
+            if *progress == seen {
+                // Timed wait as a belt-and-braces backstop: a missed
+                // wakeup costs one tick, never a hang.
+                let (progress, _timeout) = self
+                    .progress_cv
+                    .wait_timeout(progress, std::time::Duration::from_millis(2))
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                seen = *progress;
+            } else {
+                seen = *progress;
+            }
+        }
+    }
+}
+
+/// `Mutex::lock` without poison propagation (a panicking worker must not
+/// wedge its siblings; UDF panics are already converted to errors inside
+/// [`run_node`]).
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The barrier-free executor: workers race through the dependency DAG
+/// while the calling thread merges in plan order.
+fn execute_ready_queue<M>(
+    workflow: &Workflow,
+    plan: &CompiledPlan,
+    store: &IntermediateStore,
+    parallelism: usize,
+    merge: &mut M,
+) -> Result<ExecutionResult>
+where
+    M: FnMut(NodeId, &ExecutedNode, &NodeOutput) -> Result<()>,
+{
+    let n = workflow.len();
+    let executable = plan
+        .states
+        .iter()
+        .filter(|&&s| s != NodeState::Prune)
+        .count();
+    if executable == 0 {
+        return Ok(ExecutionResult {
+            outputs: (0..n).map(|_| None).collect(),
+            waves: Vec::new(),
+        });
+    }
+    // The calling thread is a full participant (it merges *and* helps
+    // execute), so it takes one of the `parallelism` slots.
+    let slots = parallelism.min(executable).max(1);
+    let exec = ReadyExecutor::new(workflow, plan, store, slots);
+
+    /// Signals shutdown on drop, so a panic unwinding out of the merge
+    /// callback (or anywhere in the merge loop) still wakes sleeping
+    /// workers — otherwise the scoped join below would wait on them
+    /// forever and turn the panic into a hang.
+    struct ShutdownOnDrop<'a, 'b>(&'a ReadyExecutor<'b>);
+    impl Drop for ShutdownOnDrop<'_, '_> {
+        fn drop(&mut self) {
+            self.0.shutdown.store(true, Ordering::Release);
+            let _guard = lock(&self.0.injector);
+            self.0.work_cv.notify_all();
+        }
+    }
+
+    let merged = crossbeam::scope(|scope| {
+        for w in 0..slots - 1 {
+            let exec = &exec;
+            scope.spawn(move |_| exec.worker(w));
+        }
+        let stop = ShutdownOnDrop(&exec);
+        let outcome = exec.merge_and_help(slots - 1, merge);
+        drop(stop);
+        outcome
+    });
+    match merged {
+        Ok(outcome) => outcome?,
+        Err(payload) => {
+            return Err(HelixError::Exec(format!(
+                "scheduler scope panicked: {}",
+                panic_message(&payload)
+            )))
+        }
+    }
+
+    let mut outputs: Vec<Option<NodeOutput>> = (0..n).map(|_| None).collect();
+    let mut secs: Vec<Option<f64>> = vec![None; n];
+    for (i, cell) in exec.results.into_iter().enumerate() {
+        if let Some(raw) = cell.into_inner() {
+            secs[i] = Some(raw.executed.secs);
+            outputs[i] = Some(raw.output);
+        }
+    }
+    let waves = derive_waves(workflow, &plan.states, &secs, false);
+    Ok(ExecutionResult { outputs, waves })
+}
+
+// ---------------------------------------------------------------------------
+// Wave-barrier baseline
+// ---------------------------------------------------------------------------
+
+/// The historical barrier executor, kept as the benchmark baseline: waves
+/// execute level-by-level with a join between levels, and the merge
+/// cursor drains between waves. Failure paths still merge (and record
+/// timings for) every completed node preceding the plan-order-earliest
+/// failure of the failing wave.
+fn execute_wave_barrier<M>(
+    workflow: &Workflow,
+    plan: &CompiledPlan,
+    store: &IntermediateStore,
+    parallelism: usize,
+    merge: &mut M,
+) -> Result<ExecutionResult>
+where
+    M: FnMut(NodeId, &ExecutedNode, &NodeOutput) -> Result<()>,
+{
+    let waves = crate::recompute::build_waves(workflow, &plan.order, &plan.states);
     let n = workflow.len();
     let mut outputs: Vec<Option<NodeOutput>> = (0..n).map(|_| None).collect();
     let mut pending: Vec<Option<RawResult>> = (0..n).map(|_| None).collect();
-    let mut wave_stats = Vec::with_capacity(waves.len());
+    let mut secs: Vec<Option<f64>> = vec![None; n];
     let mut cursor = 0usize;
 
     for wave in &waves {
-        let started = Instant::now();
         let results = run_wave(workflow, plan, store, &outputs, &pending, wave, parallelism);
-        wave_stats.push(WaveReport {
-            nodes: wave.len(),
-            secs: started.elapsed().as_secs_f64(),
-        });
         // Surface the plan-order-earliest failure so error behavior does
         // not depend on thread interleaving.
         let mut failure: Option<(usize, HelixError)> = None;
         for (i, result) in results {
             match result {
-                Ok(raw) => pending[i] = Some(raw),
+                Ok(raw) => {
+                    secs[i] = Some(raw.executed.secs);
+                    pending[i] = Some(raw);
+                }
                 Err(err) => {
                     let pos = plan_position(plan, i);
                     if failure.as_ref().is_none_or(|(p, _)| pos < *p) {
@@ -164,71 +735,8 @@ where
     }
     debug_assert_eq!(cursor, plan.order.len(), "merge cursor left nodes behind");
 
-    Ok(ExecutionResult {
-        outputs,
-        waves: wave_stats,
-    })
-}
-
-/// Partitions the plan's non-pruned nodes into waves, preserving plan
-/// order within each wave.
-pub fn build_waves(workflow: &Workflow, plan: &CompiledPlan) -> Vec<Vec<NodeId>> {
-    let levels = wave_levels(workflow, &plan.states);
-    let n_waves = levels.iter().flatten().copied().max().map_or(0, |l| l + 1);
-    let mut waves: Vec<Vec<NodeId>> = vec![Vec::new(); n_waves];
-    for &id in &plan.order {
-        if let Some(level) = levels[id.index()] {
-            waves[level].push(id);
-        }
-    }
-    waves
-}
-
-fn plan_position(plan: &CompiledPlan, index: usize) -> usize {
-    plan.order
-        .iter()
-        .position(|id| id.index() == index)
-        .unwrap_or(usize::MAX)
-}
-
-/// The sequential path: execute and merge one node at a time in plan
-/// order — exactly the engine's historical iteration loop. Wave stats are
-/// still reported (durations summed per wave) so reports keep one shape.
-fn execute_sequential<M>(
-    workflow: &Workflow,
-    plan: &CompiledPlan,
-    store: &IntermediateStore,
-    waves: &[Vec<NodeId>],
-    mut merge: M,
-) -> Result<ExecutionResult>
-where
-    M: FnMut(NodeId, &ExecutedNode, &NodeOutput) -> Result<()>,
-{
-    let levels = wave_levels(workflow, &plan.states);
-    let mut outputs: Vec<Option<NodeOutput>> = (0..workflow.len()).map(|_| None).collect();
-    let mut wave_stats: Vec<WaveReport> = waves
-        .iter()
-        .map(|wave| WaveReport {
-            nodes: wave.len(),
-            secs: 0.0,
-        })
-        .collect();
-    for &id in &plan.order {
-        let i = id.index();
-        if plan.states[i] == NodeState::Prune {
-            continue;
-        }
-        let raw = run_node(workflow, plan, store, id, |p| outputs[p.index()].as_ref())?;
-        if let Some(level) = levels[i] {
-            wave_stats[level].secs += raw.executed.secs;
-        }
-        merge(id, &raw.executed, &raw.output)?;
-        outputs[i] = Some(raw.output);
-    }
-    Ok(ExecutionResult {
-        outputs,
-        waves: wave_stats,
-    })
+    let waves = derive_waves(workflow, &plan.states, &secs, false);
+    Ok(ExecutionResult { outputs, waves })
 }
 
 /// Executes one wave's nodes on up to `parallelism` scoped threads,
@@ -318,7 +826,7 @@ fn run_wave(
 /// Executes a single node (load or compute), timing it. A panicking
 /// operator is converted to [`HelixError::Exec`] *here* — not at thread
 /// joins — so a UDF panic produces the same error whether the node ran
-/// inline, in a singleton wave, or fanned out across workers.
+/// inline or on any worker.
 fn run_node<'a>(
     workflow: &Workflow,
     plan: &CompiledPlan,
@@ -392,7 +900,7 @@ mod tests {
     use crate::compiler::compile;
     use crate::cost::CostModel;
     use crate::ops::{OperatorKind, Udf};
-    use crate::recompute::RecomputationPolicy;
+    use crate::recompute::{build_waves, RecomputationPolicy};
     use crate::workflow::NodeRef;
     use helix_dataflow::{DataCollection, DataType, Row, Schema, Value};
     use std::sync::atomic::{AtomicUsize, Ordering};
@@ -476,13 +984,53 @@ mod tests {
     }
 
     #[test]
-    fn merge_order_is_plan_order_even_when_waves_interleave() {
+    fn all_strategies_agree_on_outputs_and_merge_order() {
+        let w = dag(
+            7,
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (2, 3),
+                (2, 4),
+                (3, 5),
+                (4, 5),
+                (0, 6),
+            ],
+            &[5, 6],
+        );
+        let store = tmp_store("strategies");
+        let cm = CostModel::new();
+        let plan = compile(&w, &store, &cm, RecomputationPolicy::Optimal, None).unwrap();
+        let mut reference: Option<(Vec<Option<NodeOutput>>, Vec<NodeId>)> = None;
+        for strategy in [
+            ExecStrategy::Sequential,
+            ExecStrategy::WaveBarrier,
+            ExecStrategy::ReadyQueue,
+        ] {
+            let mut merged = Vec::new();
+            let result = execute_plan_with(&w, &plan, &store, strategy, 4, |id, _, _| {
+                merged.push(id);
+                Ok(())
+            })
+            .unwrap();
+            match &reference {
+                None => reference = Some((result.outputs, merged)),
+                Some((outputs, order)) => {
+                    assert_eq!(outputs, &result.outputs, "{strategy:?} outputs");
+                    assert_eq!(order, &merged, "{strategy:?} merge order");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn merge_order_is_plan_order_even_when_levels_interleave() {
         // 0 -> 1 (output), 0 -> 2 -> 3 (output), with node 2 materialized
-        // so it plans as a wave-0 Load. Plan order is [0, 1, 2, 3] but
-        // waves are {0, 2}, {1, 3}: after wave 0 the cursor merges 0 and
-        // stalls at the unexecuted 1, leaving 2 executed-but-unmerged —
-        // wave 1's node 3 must read its parent 2 from the pending buffer,
-        // and 2 still merges in plan position.
+        // so it plans as a dependency-free Load. Plan order is [0, 1, 2, 3]
+        // but node 2 is ready immediately and node 3 right after it — both
+        // can finish before node 1, yet 2 and 3 must still merge in plan
+        // position, after 1.
         let w = dag(4, &[(0, 1), (0, 2), (2, 3)], &[1, 3]);
         let store = tmp_store("interleave");
         let mut cm = CostModel::new();
@@ -497,7 +1045,7 @@ mod tests {
         let plan = compile(&w, &store, &cm, RecomputationPolicy::Optimal, None).unwrap();
         assert_eq!(plan.order, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
         assert_eq!(plan.states[2], NodeState::Load);
-        let waves = build_waves(&w, &plan);
+        let waves = build_waves(&w, &plan.order, &plan.states);
         assert_eq!(waves[0], vec![NodeId(0), NodeId(2)]);
         assert_eq!(waves[1], vec![NodeId(1), NodeId(3)]);
         let mut merged = Vec::new();
@@ -509,19 +1057,6 @@ mod tests {
         assert_eq!(merged, plan.order, "merge must follow plan order");
         // Node 3 = salt 4 + loaded parent value 4.
         assert_eq!(result.outputs[3], Some(NodeOutput::Data(int_rows(&[8]))));
-    }
-
-    #[test]
-    fn waves_partition_all_unpruned_nodes() {
-        let w = dag(5, &[(0, 1), (0, 2), (1, 3), (2, 3)], &[3, 4]);
-        let store = tmp_store("waves");
-        let cm = CostModel::new();
-        let plan = compile(&w, &store, &cm, RecomputationPolicy::Optimal, None).unwrap();
-        let waves = build_waves(&w, &plan);
-        let total: usize = waves.iter().map(Vec::len).sum();
-        assert_eq!(total, plan.compute_count() + plan.load_count());
-        // Wave 0 holds both roots (0 and the independent 4).
-        assert_eq!(waves[0], vec![NodeId(0), NodeId(4)]);
     }
 
     #[test]
@@ -568,12 +1103,72 @@ mod tests {
     }
 
     #[test]
+    fn failure_commits_sequential_prefix_and_records_timings() {
+        // root -> ok (pos 1) -> tail (pos 3), root -> boom (pos 2).
+        // Plan order is [root, ok, boom, tail]: the sequential loop runs
+        // root and ok, fails at boom, and never reaches tail. The ready
+        // queue may have tail in flight, but it must commit exactly the
+        // same merge prefix — with real timings for the completed nodes —
+        // and surface boom's error, at every thread count.
+        let mut w = Workflow::new("fail-prefix");
+        let root = w
+            .add("root", OperatorKind::UserDefined(sum_udf(0)), &[])
+            .unwrap();
+        let ok = w
+            .add("ok", OperatorKind::UserDefined(sum_udf(10)), &[&root])
+            .unwrap();
+        let boom = Udf::new(
+            "boom",
+            move |_inputs: &[&DataCollection]| -> crate::Result<DataCollection> {
+                Err(HelixError::Exec("boom failed".into()))
+            },
+        );
+        let boom = w
+            .add("boom", OperatorKind::UserDefined(boom), &[&root])
+            .unwrap();
+        let tail = w
+            .add("tail", OperatorKind::UserDefined(sum_udf(20)), &[&ok])
+            .unwrap();
+        w.output(&boom);
+        w.output(&tail);
+        let store = tmp_store("fail-prefix");
+        let cm = CostModel::new();
+        let plan = compile(&w, &store, &cm, RecomputationPolicy::Optimal, None).unwrap();
+        let mut merged_by_mode: Vec<Vec<(NodeId, f64)>> = Vec::new();
+        for parallelism in [1, 2, 8] {
+            let mut merged = Vec::new();
+            let err = execute_plan(&w, &plan, &store, parallelism, |id, executed, _| {
+                merged.push((id, executed.secs));
+                Ok(())
+            })
+            .expect_err("boom must propagate");
+            assert!(
+                err.to_string().contains("boom failed"),
+                "parallelism {parallelism}: {err}"
+            );
+            assert!(
+                merged.iter().all(|&(_, secs)| secs >= 0.0),
+                "completed nodes carry timings"
+            );
+            merged_by_mode.push(merged);
+        }
+        for merged in &merged_by_mode {
+            let ids: Vec<NodeId> = merged.iter().map(|&(id, _)| id).collect();
+            assert_eq!(
+                ids,
+                vec![NodeId(0), NodeId(1)],
+                "exactly the sequential pre-failure prefix merges"
+            );
+        }
+    }
+
+    #[test]
     fn worker_panic_becomes_error() {
         let mut w = Workflow::new("panic");
         let root = w
             .add("root", OperatorKind::UserDefined(sum_udf(0)), &[])
             .unwrap();
-        // Enough panicking siblings that the wave actually fans out.
+        // Enough panicking siblings that execution actually fans out.
         for i in 0..4 {
             let udf = Udf::new(
                 format!("panic:{i}"),
@@ -595,8 +1190,8 @@ mod tests {
     }
 
     #[test]
-    fn singleton_wave_and_sequential_panics_become_errors_too() {
-        // A panicking node that sits alone in its wave (like every
+    fn singleton_and_sequential_panics_become_errors_too() {
+        // A panicking node with no independent siblings (like every
         // learner/evaluate node) must yield the same Err at every thread
         // count — not unwind at parallelism 1 and Err at 4.
         let mut w = Workflow::new("panic-singleton");
@@ -652,13 +1247,68 @@ mod tests {
         execute_plan(&w, &plan, &store, 2, |_, _, _| Ok(())).unwrap();
         let peak = PEAK.load(Ordering::SeqCst);
         assert!(peak <= 2, "parallelism 2 must cap live workers, saw {peak}");
-        assert!(peak >= 2, "wave of 8 should actually use both workers");
+        assert!(peak >= 2, "8 ready nodes should actually use both workers");
     }
 
     #[test]
-    fn loads_execute_in_wave_zero() {
-        // Materialize a mid-chain node, then recompile: the load must land
-        // in wave 0 and downstream computes stack above it.
+    fn dependent_starts_without_waiting_for_slow_sibling() {
+        // chain: a -> b, plus a slow independent node s. Under the wave
+        // barrier, b sat in wave 1 behind the whole of wave 0 = {a, s}, so
+        // the makespan was sleep(s) + sleep(b). The ready queue starts b
+        // the moment a finishes, overlapping it with s.
+        let slow_ms = 60u64;
+        let step_ms = 15u64;
+        let mut w = Workflow::new("no-barrier");
+        let slow = Udf::new("slow", move |_inputs: &[&DataCollection]| {
+            std::thread::sleep(std::time::Duration::from_millis(slow_ms));
+            Ok(int_rows(&[0]))
+        });
+        let s = w.add("s", OperatorKind::UserDefined(slow), &[]).unwrap();
+        let quick = |tag: i64| {
+            Udf::new(
+                format!("quick:{tag}"),
+                move |_inputs: &[&DataCollection]| {
+                    std::thread::sleep(std::time::Duration::from_millis(step_ms));
+                    Ok(int_rows(&[tag]))
+                },
+            )
+        };
+        let a = w
+            .add("a", OperatorKind::UserDefined(quick(1)), &[])
+            .unwrap();
+        let b = w
+            .add("b", OperatorKind::UserDefined(quick(2)), &[&a])
+            .unwrap();
+        let c = w
+            .add("c", OperatorKind::UserDefined(quick(3)), &[&b])
+            .unwrap();
+        w.output(&s);
+        w.output(&c);
+        let store = tmp_store("no-barrier");
+        let cm = CostModel::new();
+        let plan = compile(&w, &store, &cm, RecomputationPolicy::Optimal, None).unwrap();
+        let started = Instant::now();
+        execute_plan_with(&w, &plan, &store, ExecStrategy::ReadyQueue, 2, |_, _, _| {
+            Ok(())
+        })
+        .unwrap();
+        let elapsed = started.elapsed();
+        // Barrier executor needs ≥ slow + 2 * step (chain stalls behind
+        // the slow wave member twice); the ready queue overlaps the chain
+        // with the slow node. Allow generous scheduling slack.
+        let barrier_floor = std::time::Duration::from_millis(slow_ms + 2 * step_ms);
+        assert!(
+            elapsed < barrier_floor,
+            "ready queue should overlap the chain with the slow sibling: \
+             took {elapsed:?}, wave-barrier floor is {barrier_floor:?}"
+        );
+    }
+
+    #[test]
+    fn loads_are_ready_immediately() {
+        // Materialize a mid-chain node, then recompile: the load has no
+        // dependencies, executes immediately, and downstream computes
+        // stack above it.
         let w = dag(3, &[(0, 1), (1, 2)], &[2]);
         let store = tmp_store("load");
         let mut cm = CostModel::new();
@@ -671,11 +1321,24 @@ mod tests {
             .unwrap();
         let plan = compile(&w, &store, &cm, RecomputationPolicy::Optimal, None).unwrap();
         assert_eq!(plan.states[1], NodeState::Load);
-        let waves = build_waves(&w, &plan);
+        let waves = build_waves(&w, &plan.order, &plan.states);
         assert_eq!(waves[0], vec![NodeId(1)]);
         let result = execute_plan(&w, &plan, &store, 4, |_, _, _| Ok(())).unwrap();
         assert_eq!(result.outputs[1], Some(NodeOutput::Data(int_rows(&[42]))));
-        assert_eq!(result.waves.len(), 2);
+        assert_eq!(result.waves.len(), 2, "derived wave depth");
+    }
+
+    #[test]
+    #[should_panic(expected = "merge kaboom")]
+    fn merge_panic_unwinds_instead_of_hanging() {
+        // A panic in the merge callback must shut the workers down (the
+        // ShutdownOnDrop guard) and unwind out of the scoped join — not
+        // leave sleeping workers blocking the join forever.
+        let w = dag(6, &[(0, 1), (0, 2), (0, 3), (1, 4), (2, 5)], &[4, 5, 3]);
+        let store = tmp_store("mergepanic");
+        let cm = CostModel::new();
+        let plan = compile(&w, &store, &cm, RecomputationPolicy::Optimal, None).unwrap();
+        let _ = execute_plan(&w, &plan, &store, 4, |_, _, _| panic!("merge kaboom"));
     }
 
     #[test]
@@ -728,7 +1391,7 @@ mod tests {
         let parallel = t2.elapsed();
         assert!(
             parallel < sequential,
-            "6-wide wave at 6 threads ({parallel:?}) should beat 1 thread ({sequential:?})"
+            "6-wide fan-out at 6 threads ({parallel:?}) should beat 1 thread ({sequential:?})"
         );
     }
 

@@ -9,6 +9,20 @@
 //! The store enforces the materialization optimizer's **storage budget**
 //! (paper §2.3: "with a maximum storage constraint") and reports measured
 //! I/O durations to the cost model.
+//!
+//! # Sharding
+//!
+//! The entry map is split across `N` shards keyed by signature hash, so
+//! the ready-queue executor's concurrent `get`/`put`/`evict` traffic does
+//! not serialize on one lock — only operations on signatures that land in
+//! the same shard contend. The byte ledger is a store-wide atomic with
+//! the same **reservation** semantics the single-lock store had: a `put`
+//! reserves its bytes with one compare-and-swap (performed while its
+//! shard lock pins the size of any entry it overwrites), so concurrent
+//! puts can never jointly overshoot the budget, and a failed write
+//! releases exactly its own reservation. The shard count comes from
+//! [`crate::EngineConfig::store_shards`] / `HELIX_STORE_SHARDS` (default
+//! [`DEFAULT_STORE_SHARDS`]); `1` reproduces the old single-lock store.
 
 use crate::ops::NodeOutput;
 use crate::signature::Signature;
@@ -17,11 +31,25 @@ use helix_dataflow::fx::FxHashMap;
 use parking_lot::Mutex;
 use std::io::{Read, Write};
 use std::path::PathBuf;
-use std::sync::atomic::AtomicU64;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Process-wide counter for unique temp-file names (see [`IntermediateStore::put`]).
 static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// Default number of shards when `HELIX_STORE_SHARDS` is unset.
+pub const DEFAULT_STORE_SHARDS: usize = 16;
+
+/// The shard count the engine uses by default: the `HELIX_STORE_SHARDS`
+/// environment variable when set to a positive integer, otherwise
+/// [`DEFAULT_STORE_SHARDS`].
+pub fn default_store_shards() -> usize {
+    std::env::var("HELIX_STORE_SHARDS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(DEFAULT_STORE_SHARDS)
+}
 
 /// Metadata for one stored entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,33 +58,48 @@ pub struct EntryMeta {
     pub bytes: u64,
 }
 
-/// On-disk store with budget accounting.
-#[derive(Debug)]
-pub struct IntermediateStore {
-    dir: PathBuf,
-    budget_bytes: u64,
-    inner: Mutex<Inner>,
-}
-
+/// One shard of the signature-keyed maps.
 #[derive(Debug, Default)]
-struct Inner {
+struct Shard {
     /// Entries whose file exists on disk (visible to `lookup`/`get`).
     entries: FxHashMap<u64, EntryMeta>,
     /// Budget reserved by in-flight `put` calls, keyed by signature.
     /// Invisible to readers and to `evict` — a reservation becomes an
     /// entry only once its file is fully written and renamed.
     reserved: FxHashMap<u64, u64>,
-    /// Bytes of `entries` plus `reserved` (the budget ledger).
-    used_bytes: u64,
+}
+
+/// On-disk store with budget accounting, sharded for concurrent access.
+#[derive(Debug)]
+pub struct IntermediateStore {
+    dir: PathBuf,
+    budget_bytes: u64,
+    /// Bytes of entries plus in-flight reservations across all shards
+    /// (the budget ledger).
+    used_bytes: AtomicU64,
+    shards: Box<[Mutex<Shard>]>,
 }
 
 impl IntermediateStore {
-    /// Opens (or creates) a store rooted at `dir`, scanning existing
-    /// entries so prior iterations' materializations are visible.
+    /// Opens (or creates) a store rooted at `dir` with the default shard
+    /// count ([`default_store_shards`]), scanning existing entries so
+    /// prior iterations' materializations are visible.
     pub fn open(dir: impl Into<PathBuf>, budget_bytes: u64) -> Result<Self> {
+        Self::open_with_shards(dir, budget_bytes, default_store_shards())
+    }
+
+    /// [`IntermediateStore::open`] with an explicit shard count (clamped
+    /// to ≥ 1). `1` reproduces the historical single-lock store.
+    pub fn open_with_shards(
+        dir: impl Into<PathBuf>,
+        budget_bytes: u64,
+        shards: usize,
+    ) -> Result<Self> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        let mut inner = Inner::default();
+        let shard_count = shards.max(1);
+        let mut shard_maps: Vec<Shard> = (0..shard_count).map(|_| Shard::default()).collect();
+        let mut used = 0u64;
         for entry in std::fs::read_dir(&dir)? {
             let entry = entry?;
             let path = entry.path();
@@ -70,13 +113,16 @@ impl IntermediateStore {
                 continue;
             };
             let bytes = entry.metadata()?.len();
-            inner.entries.insert(sig, EntryMeta { bytes });
-            inner.used_bytes += bytes;
+            shard_maps[shard_index(sig, shard_count)]
+                .entries
+                .insert(sig, EntryMeta { bytes });
+            used += bytes;
         }
         Ok(IntermediateStore {
             dir,
             budget_bytes,
-            inner: Mutex::new(inner),
+            used_bytes: AtomicU64::new(used),
+            shards: shard_maps.into_iter().map(Mutex::new).collect(),
         })
     }
 
@@ -85,20 +131,24 @@ impl IntermediateStore {
         self.budget_bytes
     }
 
-    /// Bytes currently used.
+    /// Number of shards the entry maps are split across.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Bytes currently used (entries plus in-flight reservations).
     pub fn used_bytes(&self) -> u64 {
-        self.inner.lock().used_bytes
+        self.used_bytes.load(Ordering::Acquire)
     }
 
     /// Bytes still available under the budget.
     pub fn remaining_bytes(&self) -> u64 {
-        let inner = self.inner.lock();
-        self.budget_bytes.saturating_sub(inner.used_bytes)
+        self.budget_bytes.saturating_sub(self.used_bytes())
     }
 
     /// Number of stored entries.
     pub fn len(&self) -> usize {
-        self.inner.lock().entries.len()
+        self.shards.iter().map(|s| s.lock().entries.len()).sum()
     }
 
     /// Whether the store holds nothing.
@@ -108,7 +158,11 @@ impl IntermediateStore {
 
     /// Size of the entry for `sig`, if present.
     pub fn lookup(&self, sig: Signature) -> Option<EntryMeta> {
-        self.inner.lock().entries.get(&sig.0).copied()
+        self.shard(sig).lock().entries.get(&sig.0).copied()
+    }
+
+    fn shard(&self, sig: Signature) -> &Mutex<Shard> {
+        &self.shards[shard_index(sig.0, self.shards.len())]
     }
 
     fn path_for(&self, sig: Signature) -> PathBuf {
@@ -119,14 +173,15 @@ impl IntermediateStore {
     ///
     /// Returns `(bytes_written, seconds)` on success. Writing is atomic
     /// (temp file + rename) so a crash cannot leave a torn entry behind,
-    /// and the budget check **reserves** the entry's bytes under the same
-    /// lock acquisition — concurrent puts can never jointly overshoot the
-    /// budget by each passing a stale check (the wave scheduler's workers
-    /// and any future background materializer rely on this). Reservations
-    /// are a side ledger: readers and `evict` never see an entry whose
-    /// file is not fully on disk, and a failed write releases only its
-    /// own reservation, so racing `get`/`evict` calls cannot be corrupted
-    /// by a put that later fails.
+    /// and the budget check **reserves** the entry's bytes with a single
+    /// compare-and-swap on the ledger while the signature's shard lock is
+    /// held — concurrent puts can never jointly overshoot the budget by
+    /// each passing a stale check (the ready-queue executor's workers and
+    /// any future background materializer rely on this). Reservations are
+    /// a side ledger: readers and `evict` never see an entry whose file
+    /// is not fully on disk, and a failed write releases only its own
+    /// reservation, so racing `get`/`evict` calls cannot be corrupted by
+    /// a put that later fails.
     ///
     /// An overwrite conservatively holds both the old entry's bytes and
     /// the new reservation until the rename lands (the old file stays
@@ -141,15 +196,8 @@ impl IntermediateStore {
         let bytes = output.encode();
         let size = bytes.len() as u64;
         {
-            let mut inner = self.inner.lock();
-            let existing = inner.entries.get(&sig.0).map(|m| m.bytes).unwrap_or(0);
-            if inner.used_bytes - existing + size > self.budget_bytes {
-                return Err(HelixError::Store(format!(
-                    "materializing {size} bytes would exceed the {}-byte budget ({} used)",
-                    self.budget_bytes, inner.used_bytes
-                )));
-            }
-            if inner.reserved.contains_key(&sig.0) {
+            let mut shard = self.shard(sig).lock();
+            if shard.reserved.contains_key(&sig.0) {
                 // Two in-flight puts of one signature would race the
                 // rename; the engine's plan-order merge never does this.
                 return Err(HelixError::Store(format!(
@@ -157,12 +205,28 @@ impl IntermediateStore {
                     sig.hex()
                 )));
             }
-            inner.reserved.insert(sig.0, size);
-            inner.used_bytes += size;
+            // The shard lock pins `existing` (an evict of this signature
+            // needs the same lock), so the CAS admits exactly the puts the
+            // single-lock store would have.
+            let existing = shard.entries.get(&sig.0).map(|m| m.bytes).unwrap_or(0);
+            let reserve =
+                self.used_bytes
+                    .fetch_update(Ordering::AcqRel, Ordering::Acquire, |used| {
+                        (used.saturating_sub(existing) + size <= self.budget_bytes)
+                            .then_some(used + size)
+                    });
+            if reserve.is_err() {
+                return Err(HelixError::Store(format!(
+                    "materializing {size} bytes would exceed the {}-byte budget ({} used)",
+                    self.budget_bytes,
+                    self.used_bytes()
+                )));
+            }
+            shard.reserved.insert(sig.0, size);
         }
         // Unique temp name: a racing put of another signature must not
         // write through this one's half-finished temp file.
-        let token = TMP_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let token = TMP_COUNTER.fetch_add(1, Ordering::Relaxed);
         let tmp = self.dir.join(format!("{}.{token}.tmp", sig.hex()));
         let written = (|| -> Result<()> {
             let mut file = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
@@ -170,24 +234,26 @@ impl IntermediateStore {
             file.flush()?;
             Ok(())
         })();
-        let mut inner = self.inner.lock();
-        inner.reserved.remove(&sig.0);
-        // The rename happens under the lock (a cheap metadata op) so an
-        // `evict` of a replaced entry can never delete the fresh file:
-        // evict holds the same lock across its own remove_file.
+        let mut shard = self.shard(sig).lock();
+        shard.reserved.remove(&sig.0);
+        // The rename happens under the shard lock (a cheap metadata op)
+        // so an `evict` of a replaced entry can never delete the fresh
+        // file: evict holds the same lock across its own remove_file.
         let published = written.and_then(|()| Ok(std::fs::rename(&tmp, self.path_for(sig))?));
         if let Err(err) = published {
             // Release only this call's reservation; entries were never
             // touched, so concurrent get/evict state is unaffected.
-            inner.used_bytes -= size;
-            drop(inner);
+            self.used_bytes.fetch_sub(size, Ordering::AcqRel);
+            drop(shard);
             let _ = std::fs::remove_file(&tmp);
             return Err(err);
         }
-        let previous = inner.entries.insert(sig.0, EntryMeta { bytes: size });
+        let previous = shard.entries.insert(sig.0, EntryMeta { bytes: size });
         // The reservation's bytes stay in the ledger as the entry's; an
         // overwrite releases the replaced entry's share now.
-        inner.used_bytes -= previous.map(|m| m.bytes).unwrap_or(0);
+        if let Some(meta) = previous {
+            self.used_bytes.fetch_sub(meta.bytes, Ordering::AcqRel);
+        }
         Ok((size, started.elapsed().as_secs_f64()))
     }
 
@@ -215,12 +281,13 @@ impl IntermediateStore {
 
     /// Deletes the entry for `sig` if present, freeing budget.
     ///
-    /// The file removal happens under the store lock so it cannot race a
-    /// concurrent `put`'s rename of a fresh file to the same path.
+    /// The file removal happens under the signature's shard lock so it
+    /// cannot race a concurrent `put`'s rename of a fresh file to the
+    /// same path.
     pub fn evict(&self, sig: Signature) -> Result<bool> {
-        let mut inner = self.inner.lock();
-        if let Some(meta) = inner.entries.remove(&sig.0) {
-            inner.used_bytes -= meta.bytes;
+        let mut shard = self.shard(sig).lock();
+        if let Some(meta) = shard.entries.remove(&sig.0) {
+            self.used_bytes.fetch_sub(meta.bytes, Ordering::AcqRel);
             std::fs::remove_file(self.path_for(sig))?;
             Ok(true)
         } else {
@@ -232,15 +299,33 @@ impl IntermediateStore {
     /// `put` reservations keep their budget share so a concurrent put
     /// completing after the clear stays correctly accounted.
     pub fn clear(&self) -> Result<()> {
-        let mut inner = self.inner.lock();
-        let sigs: Vec<u64> = inner.entries.keys().copied().collect();
-        for sig in sigs {
-            inner.entries.remove(&sig);
-            let _ = std::fs::remove_file(self.dir.join(format!("{sig:016x}.hlx")));
+        // Hold every shard lock at once so the ledger reset sees a
+        // consistent picture (locks are acquired in index order, and no
+        // other path holds two shard locks, so this cannot deadlock).
+        let mut guards: Vec<_> = self.shards.iter().map(|s| s.lock()).collect();
+        let mut reserved = 0u64;
+        for guard in &mut guards {
+            let sigs: Vec<u64> = guard.entries.keys().copied().collect();
+            for sig in sigs {
+                guard.entries.remove(&sig);
+                let _ = std::fs::remove_file(self.dir.join(format!("{sig:016x}.hlx")));
+            }
+            reserved += guard.reserved.values().sum::<u64>();
         }
-        inner.used_bytes = inner.reserved.values().sum();
+        self.used_bytes.store(reserved, Ordering::Release);
         Ok(())
     }
+}
+
+/// Maps a signature to a shard index. Signatures are already Merkle
+/// hashes, but the multiply-shift spreads any residual structure (e.g.
+/// test signatures 1, 2, 3, …) across shards.
+fn shard_index(sig: u64, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    let mixed = sig.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ((mixed >> 32) as usize) % shards
 }
 
 #[cfg(test)]
@@ -314,6 +399,25 @@ mod tests {
     }
 
     #[test]
+    fn reopen_with_different_shard_count_sees_all_entries() {
+        let dir = tmpdir("reshard");
+        {
+            let store = IntermediateStore::open_with_shards(&dir, 1 << 20, 4).unwrap();
+            for i in 0..12 {
+                store.put(Signature(i + 1), &sample_output(10)).unwrap();
+            }
+        }
+        for shards in [1, 3, 16] {
+            let store = IntermediateStore::open_with_shards(&dir, 1 << 20, shards).unwrap();
+            assert_eq!(store.shard_count(), shards);
+            assert_eq!(store.len(), 12, "{shards} shards");
+            for i in 0..12 {
+                assert_eq!(store.get(Signature(i + 1)).unwrap().0, sample_output(10));
+            }
+        }
+    }
+
+    #[test]
     fn evict_frees_budget() {
         let store = IntermediateStore::open(tmpdir("evict"), 1 << 20).unwrap();
         store.put(Signature(5), &sample_output(10)).unwrap();
@@ -358,29 +462,38 @@ mod tests {
     fn concurrent_puts_never_exceed_budget() {
         // Each entry is ~1.3 KiB encoded; a budget of ~8 entries with 32
         // threads racing means most puts must be rejected — and the
-        // accepted set must exactly account for every used byte.
+        // accepted set must exactly account for every used byte. Run at
+        // several shard counts: with many shards the racing puts hold
+        // *different* locks, so the ledger CAS is all that stands between
+        // them and a joint overshoot.
         let one_entry = sample_output(100).encode().len() as u64;
         let budget = one_entry * 8 + one_entry / 2;
-        let store = IntermediateStore::open(tmpdir("race-budget"), budget).unwrap();
-        let sigs: Vec<Signature> = (0..32).map(|i| Signature(1000 + i)).collect();
-        let accepted: usize = crossbeam::scope(|scope| {
-            let handles: Vec<_> = sigs
-                .iter()
-                .map(|&sig| {
-                    let store = &store;
-                    scope.spawn(move |_| match store.put(sig, &sample_output(100)) {
-                        Ok(_) => 1usize,
-                        Err(HelixError::Store(_)) => 0usize,
-                        Err(other) => panic!("unexpected error: {other}"),
+        for shards in [1, 4, 16] {
+            let store =
+                IntermediateStore::open_with_shards(tmpdir("race-budget"), budget, shards).unwrap();
+            let sigs: Vec<Signature> = (0..32).map(|i| Signature(1000 + i)).collect();
+            let accepted: usize = crossbeam::scope(|scope| {
+                let handles: Vec<_> = sigs
+                    .iter()
+                    .map(|&sig| {
+                        let store = &store;
+                        scope.spawn(move |_| match store.put(sig, &sample_output(100)) {
+                            Ok(_) => 1usize,
+                            Err(HelixError::Store(_)) => 0usize,
+                            Err(other) => panic!("unexpected error: {other}"),
+                        })
                     })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).sum()
-        })
-        .unwrap();
-        assert_eq!(accepted, 8, "exactly the entries that fit are accepted");
-        assert_eq!(store.len(), 8);
-        assert_ledger_consistent(&store, &sigs);
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            })
+            .unwrap();
+            assert_eq!(
+                accepted, 8,
+                "{shards} shards: exactly the entries that fit are accepted"
+            );
+            assert_eq!(store.len(), 8, "{shards} shards");
+            assert_ledger_consistent(&store, &sigs);
+        }
     }
 
     #[test]
@@ -466,5 +579,18 @@ mod tests {
         assert!(matches!(err, HelixError::Io(_)), "got: {err}");
         assert_eq!(store.used_bytes(), 0, "reservation must roll back");
         assert_eq!(store.len(), 0);
+    }
+
+    #[test]
+    fn shard_index_spreads_and_stays_in_range() {
+        for shards in [1usize, 2, 5, 16] {
+            let mut hit = vec![false; shards];
+            for sig in 0..256u64 {
+                let idx = shard_index(sig, shards);
+                assert!(idx < shards);
+                hit[idx] = true;
+            }
+            assert!(hit.iter().all(|&h| h), "{shards} shards all reachable");
+        }
     }
 }

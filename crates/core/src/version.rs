@@ -271,6 +271,7 @@ mod tests {
                 stage: Stage::MachineLearning,
                 state: NodeState::Compute,
                 change: ChangeKind::Unchanged,
+                wave: Some(0),
                 duration_secs: secs,
                 output_bytes: 0,
                 materialized: false,

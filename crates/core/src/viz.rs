@@ -208,6 +208,7 @@ mod tests {
                         NodeState::Compute
                     },
                     change: ChangeKind::Unchanged,
+                    wave: Some(0),
                     duration_secs: 0.1,
                     output_bytes: 123,
                     materialized: i == 1,

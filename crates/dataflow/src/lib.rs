@@ -7,7 +7,7 @@
 //! * a compact self-describing [binary codec](codec) used to materialize
 //!   intermediate results to disk,
 //! * a small [CSV](csv) reader/writer for structured sources,
-//! * a [text](text) source for document corpora,
+//! * a [`text`] source for document corpora,
 //! * [parallel row transforms](par) built on `crossbeam` scoped threads,
 //! * an [FxHash-style hasher](fx) shared by the workspace for hot,
 //!   non-adversarial hashing (see the Rust Performance Book's hashing

@@ -2,7 +2,7 @@
 //!
 //! The paper's `Learner` and `Reducer` operators (Fig. 1a lines 16–21) are
 //! backed by this crate: sparse feature vectors, a dictionary-interning
-//! [`FeatureSpace`](features::FeatureSpace) that converts Helix's
+//! [`FeatureSpace`] that converts Helix's
 //! human-readable pre-processing output into ML-ready vectors (§2.1), a
 //! small family of learners (logistic regression, linear regression,
 //! Bernoulli naive Bayes, averaged perceptron), evaluation metrics, and

@@ -10,10 +10,84 @@
 //! ignored; `--test` runs every benchmark exactly once without timing
 //! (what `cargo test --benches` expects); the first free argument is a
 //! substring filter on benchmark ids.
+//!
+//! # Machine-readable results
+//!
+//! When the `HELIX_BENCH_JSON` environment variable names a file path,
+//! every timed benchmark's summary is also collected and written there as
+//! JSON when the bench binary exits (`criterion_main!` flushes it). The
+//! CI benchmark-regression gate consumes this file via the `bench_guard`
+//! binary; keep the schema in sync with its parser:
+//!
+//! ```json
+//! {"benchmarks": [
+//!   {"id": "group/name", "min_ns": 1, "median_ns": 2, "mean_ns": 3, "samples": 10}
+//! ]}
+//! ```
 
 use std::fmt::{self, Display};
 use std::hint::black_box as std_black_box;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One timed benchmark's summary, queued for the JSON flush.
+struct JsonRecord {
+    id: String,
+    min_ns: u128,
+    median_ns: u128,
+    mean_ns: u128,
+    samples: usize,
+}
+
+/// Results collected across every group of the running bench binary.
+static JSON_RESULTS: Mutex<Vec<JsonRecord>> = Mutex::new(Vec::new());
+
+fn record_json(record: JsonRecord) {
+    if std::env::var_os("HELIX_BENCH_JSON").is_some() {
+        JSON_RESULTS
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push(record);
+    }
+}
+
+/// Writes all collected results to the `HELIX_BENCH_JSON` path (no-op
+/// when the variable is unset). Called by `criterion_main!` after every
+/// group has run; exposed for harnesses that define their own `main`.
+pub fn flush_json_results() {
+    let Some(path) = std::env::var_os("HELIX_BENCH_JSON") else {
+        return;
+    };
+    let records = JSON_RESULTS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut out = String::from("{\"benchmarks\": [\n");
+    for (k, r) in records.iter().enumerate() {
+        let id = r.id.replace('\\', "\\\\").replace('"', "\\\"");
+        out.push_str(&format!(
+            "  {{\"id\": \"{id}\", \"min_ns\": {}, \"median_ns\": {}, \"mean_ns\": {}, \"samples\": {}}}{}\n",
+            r.min_ns,
+            r.median_ns,
+            r.mean_ns,
+            r.samples,
+            if k + 1 < records.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("]}\n");
+    let path = std::path::PathBuf::from(path);
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    if let Err(err) = std::fs::write(&path, out) {
+        eprintln!("criterion shim: failed to write {}: {err}", path.display());
+        std::process::exit(1);
+    }
+    println!(
+        "wrote {} benchmark results to {}",
+        records.len(),
+        path.display()
+    );
+}
 
 /// Re-export of `std::hint::black_box` under criterion's name.
 pub fn black_box<T>(x: T) -> T {
@@ -262,6 +336,13 @@ impl Criterion {
         let min = samples[0];
         let total: Duration = samples.iter().sum();
         let mean = total / samples.len() as u32;
+        record_json(JsonRecord {
+            id: full_id.to_string(),
+            min_ns: min.as_nanos(),
+            median_ns: median.as_nanos(),
+            mean_ns: mean.as_nanos(),
+            samples: samples.len(),
+        });
         let rate = match throughput {
             Some(Throughput::Elements(n)) => {
                 let per_sec = n as f64 / median.as_secs_f64();
@@ -356,6 +437,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::flush_json_results();
         }
     };
 }

@@ -2,14 +2,14 @@
 //!
 //! Provides generation-only property testing: the [`proptest!`] macro runs
 //! each property over `ProptestConfig::cases` random inputs drawn from
-//! [`Strategy`] values. Unlike real proptest there is **no shrinking** —
+//! [`strategy::Strategy`] values. Unlike real proptest there is **no shrinking** —
 //! a failing case panics with whatever message the assertion produced —
 //! and no failure persistence. Randomness is deterministic per test
 //! (seeded from the test's module path and name), so failures reproduce.
 //!
 //! Implemented surface: integer/float range strategies, tuple strategies,
 //! [`collection::vec`], [`option::of`], [`strategy::Just`], [`arbitrary`]
-//! via [`any`], regex-subset string strategies (`"[a-z]{0,12}"`-style),
+//! via [`arbitrary::any`], regex-subset string strategies (`"[a-z]{0,12}"`-style),
 //! `prop_map` / `prop_flat_map` / `prop_filter` / `boxed`, [`prop_oneof!`],
 //! and the `prop_assert*` macros.
 

@@ -1,23 +1,32 @@
-//! Property tests: wave-scheduled parallel execution is observationally
-//! identical to sequential execution on random DAGs.
+//! Property tests: ready-queue parallel execution is observationally
+//! identical to sequential execution on random and adversarial DAGs.
 //!
-//! Two layers, mirroring the engine's split:
+//! Three layers, mirroring the engine's split:
 //!
 //! * **Scheduler-level** — the same compiled plan executed at 1 thread and
 //!   at N threads must produce identical outputs and identical plan-order
 //!   merge streams, both on all-compute plans and on plans with a random
 //!   subset of nodes materialized (mixing loads, computes, and prunes).
+//!   Adversarial shapes (a long chain feeding a wide fan-out, stacked
+//!   diamonds) target the executor's weak spots: dependency chains that
+//!   ready exactly one node at a time and repeated joins where a single
+//!   straggler used to gate a whole wave.
 //! * **Engine-level** — two engines differing only in `parallelism` must
 //!   produce identical `IterationReport` counts, signatures, and version
 //!   histories across repeated runs of random workflows.
+//! * **Store-level** — the sharded store's budget ledger must stay exact
+//!   under concurrent put/evict traffic at every shard count.
 
 use helix::core::compiler::compile;
 use helix::core::cost::CostModel;
 use helix::core::ops::{OperatorKind, Udf};
-use helix::core::scheduler::{build_waves, execute_plan};
+use helix::core::recompute::build_waves;
+use helix::core::scheduler::execute_plan;
+use helix::core::signature::Signature;
 use helix::core::store::IntermediateStore;
 use helix::core::{
-    Engine, EngineConfig, MaterializationPolicyKind, NodeId, NodeRef, RecomputationPolicy, Workflow,
+    Engine, EngineConfig, MaterializationPolicyKind, NodeId, NodeOutput, NodeRef,
+    RecomputationPolicy, Workflow,
 };
 use helix::dataflow::{DataCollection, DataType, Row, Schema, Value};
 use proptest::prelude::*;
@@ -70,6 +79,50 @@ fn arb_dag() -> impl Strategy<Value = ArbDag> {
         });
         (Just(n), edges)
     })
+}
+
+/// Adversarial shape 1: a chain of `chain_len` nodes whose tail feeds a
+/// fan-out of `fan` independent nodes, all joined into one sink. The
+/// chain readies exactly one node at a time (worst case for stealing);
+/// the fan-out then releases `fan` nodes at once.
+fn chain_fanout_dag(chain_len: usize, fan: usize) -> ArbDag {
+    let mut edges = Vec::new();
+    for i in 1..chain_len {
+        edges.push((i - 1, i));
+    }
+    let tail = chain_len - 1;
+    let sink = chain_len + fan;
+    for k in 0..fan {
+        edges.push((tail, chain_len + k));
+        edges.push((chain_len + k, sink));
+    }
+    (sink + 1, edges)
+}
+
+/// Adversarial shape 2: `stacks` diamonds end to end — node a fans to
+/// (b, c), which join in d, which fans again, … Every join is a point
+/// where the wave barrier used to stall on the slower branch.
+fn diamond_stack_dag(stacks: usize) -> ArbDag {
+    let mut edges = Vec::new();
+    let mut top = 0usize;
+    let mut next = 1usize;
+    for _ in 0..stacks {
+        let (left, right, join) = (next, next + 1, next + 2);
+        edges.push((top, left));
+        edges.push((top, right));
+        edges.push((left, join));
+        edges.push((right, join));
+        top = join;
+        next = join + 1;
+    }
+    (next, edges)
+}
+
+fn arb_adversarial_dag() -> impl Strategy<Value = ArbDag> {
+    prop_oneof![
+        (2usize..6, 2usize..7).prop_map(|(chain, fan)| chain_fanout_dag(chain, fan)),
+        (1usize..5).prop_map(diamond_stack_dag),
+    ]
 }
 
 /// Builds the workflow for a random DAG; every sink is an output.
@@ -165,9 +218,86 @@ proptest! {
             }
         }
         // Wave structure stays a partition of the non-pruned plan.
-        let waves = build_waves(&w, &plan);
+        let waves = build_waves(&w, &plan.order, &plan.states);
         let total: usize = waves.iter().map(Vec::len).sum();
         prop_assert_eq!(total, plan.compute_count() + plan.load_count());
+    }
+
+    /// Adversarial shapes: long chains feeding wide fan-outs and stacked
+    /// diamonds execute identically to the sequential loop at 2 and 8
+    /// threads (2 is where ready-queue/merge-cursor races bite hardest —
+    /// one worker and the helping merge thread).
+    #[test]
+    fn adversarial_shapes_execute_identically((n, edges) in arb_adversarial_dag()) {
+        let w = dag_workflow(n, &edges);
+        let store = IntermediateStore::open(tmpdir("adv"), 1 << 24).unwrap();
+        let cm = CostModel::new();
+        let plan = compile(&w, &store, &cm, RecomputationPolicy::Optimal, None).unwrap();
+        let mut merged_seq: Vec<NodeId> = Vec::new();
+        let seq = execute_plan(&w, &plan, &store, 1, |id, _, _| {
+            merged_seq.push(id);
+            Ok(())
+        }).unwrap();
+        for threads in [2, 8] {
+            let mut merged_par: Vec<NodeId> = Vec::new();
+            let par = execute_plan(&w, &plan, &store, threads, |id, _, _| {
+                merged_par.push(id);
+                Ok(())
+            }).unwrap();
+            prop_assert_eq!(&seq.outputs, &par.outputs, "outputs at {} threads", threads);
+            prop_assert_eq!(&merged_seq, &merged_par, "merge order at {} threads", threads);
+        }
+    }
+
+    /// Sharded-store stress: concurrent puts racing an evictor, at shard
+    /// counts from single-lock to plenty, must keep the budget ledger
+    /// exact — used bytes equal the sum of surviving entries, never over
+    /// budget, and every accepted entry decodes intact.
+    #[test]
+    fn store_shards_keep_budget_invariants(
+        shards in prop_oneof![Just(1usize), Just(2), Just(4), Just(16)],
+        writers in 2usize..5,
+        per_writer in 4u64..12,
+    ) {
+        let entry_bytes = NodeOutput::Data(int_rows(&[1, 2])).encode().len() as u64;
+        // Budget admits roughly half the candidate entries, so accepts
+        // and rejects both happen while the evictor frees space.
+        let budget = entry_bytes * (writers as u64 * per_writer / 2).max(2);
+        let store = IntermediateStore::open_with_shards(tmpdir("shards"), budget, shards).unwrap();
+        let total = writers as u64 * per_writer;
+        std::thread::scope(|scope| {
+            for w in 0..writers as u64 {
+                let store = &store;
+                scope.spawn(move || {
+                    for k in 0..per_writer {
+                        let sig = Signature(w * per_writer + k + 1);
+                        let payload = NodeOutput::Data(int_rows(&[sig.0 as i64, -(sig.0 as i64)]));
+                        match store.put(sig, &payload) {
+                            Ok(_) => {}
+                            Err(helix::core::HelixError::Store(_)) => {}
+                            Err(other) => panic!("unexpected error: {other}"),
+                        }
+                    }
+                });
+            }
+            let store = &store;
+            scope.spawn(move || {
+                for round in 0..(total * 2) {
+                    let _ = store.evict(Signature(round % total + 1));
+                }
+            });
+        });
+        let mut summed = 0u64;
+        for sig in 1..=total {
+            if let Some(meta) = store.lookup(Signature(sig)) {
+                summed += meta.bytes;
+                let (out, ..) = store.get(Signature(sig)).unwrap();
+                let expect = NodeOutput::Data(int_rows(&[sig as i64, -(sig as i64)]));
+                prop_assert_eq!(out, expect, "entry {} corrupt", sig);
+            }
+        }
+        prop_assert_eq!(store.used_bytes(), summed, "ledger out of sync");
+        prop_assert!(store.used_bytes() <= store.budget_bytes(), "budget exceeded");
     }
 
     /// Engine-level: identical reports, signatures, and version history at
@@ -180,12 +310,9 @@ proptest! {
         // timing-sensitive for microsecond UDFs and is covered by the
         // workload-scale tests in end_to_end.rs).
         let config = |suffix: &str, threads: usize| EngineConfig {
-            store_dir: dir.join(suffix),
-            storage_budget_bytes: 1 << 30,
-            recomputation: RecomputationPolicy::Optimal,
             materialization: MaterializationPolicyKind::Never,
-            enable_slicing: true,
             parallelism: threads,
+            ..EngineConfig::helix(dir.join(suffix))
         };
         let mut seq = Engine::new(config("seq", 1)).unwrap();
         let mut par = Engine::new(config("par", 8)).unwrap();
