@@ -90,6 +90,12 @@ impl SystemKind {
         Engine::new(self.engine_config(store_dir))
     }
 
+    /// Builds a shared (`Arc`-wrapped) engine for this system — the form
+    /// sessions take ([`helix_core::session::Session::new`]).
+    pub fn build_shared(&self, store_dir: &Path) -> Result<std::sync::Arc<Engine>> {
+        Ok(std::sync::Arc::new(self.build_engine(store_dir)?))
+    }
+
     /// Whether the system lets the *user* modify this kind of workflow
     /// component. DeepDive's ML and evaluation stages are fixed pipelines
     /// (the reason its Fig. 2(b) line stops after the data-pre-processing
@@ -164,7 +170,7 @@ mod tests {
         let mut params = CensusParams::initial(&dir);
         let mut reference: Option<Vec<(String, f64)>> = None;
         for (k, system) in SystemKind::ALL.iter().enumerate() {
-            let mut engine = system.build_engine(&dir.join(format!("store{k}"))).unwrap();
+            let engine = system.build_engine(&dir.join(format!("store{k}"))).unwrap();
             // Two iterations: initial + an ML change.
             let r1 = engine.run(&census_workflow(&params).unwrap()).unwrap();
             params.reg_param = 0.02;
@@ -201,12 +207,12 @@ mod tests {
         let params = CensusParams::initial(&dir);
         let w = census_workflow(&params).unwrap();
 
-        let mut helix = SystemKind::Helix.build_engine(&dir.join("s-h")).unwrap();
+        let helix = SystemKind::Helix.build_engine(&dir.join("s-h")).unwrap();
         helix.run(&w).unwrap();
         let h2 = helix.run(&w).unwrap();
         assert!(h2.loaded() > 0);
 
-        let mut keystone = SystemKind::KeystoneSim
+        let keystone = SystemKind::KeystoneSim
             .build_engine(&dir.join("s-k"))
             .unwrap();
         keystone.run(&w).unwrap();
@@ -230,7 +236,7 @@ mod tests {
         .unwrap();
         let params = CensusParams::initial(&dir);
         let w = census_workflow(&params).unwrap();
-        let mut unopt = SystemKind::HelixUnopt
+        let unopt = SystemKind::HelixUnopt
             .build_engine(&dir.join("s-u"))
             .unwrap();
         let report = unopt.run(&w).unwrap();
@@ -240,7 +246,7 @@ mod tests {
             helix_core::NodeState::Compute,
             "no slicing in unopt"
         );
-        let mut helix = SystemKind::Helix.build_engine(&dir.join("s-h2")).unwrap();
+        let helix = SystemKind::Helix.build_engine(&dir.join("s-h2")).unwrap();
         let hreport = helix.run(&w).unwrap();
         let hrace = hreport.nodes.iter().find(|n| n.name == "race").unwrap();
         assert_eq!(hrace.state, helix_core::NodeState::Prune);

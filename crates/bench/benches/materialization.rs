@@ -11,7 +11,7 @@ use helix_core::{Engine, EngineConfig};
 use helix_workloads::census::{census_workflow, generate_census, CensusDataSpec, CensusParams};
 
 fn mini_series(dir: &std::path::Path, config: EngineConfig) -> f64 {
-    let mut engine = Engine::new(config).unwrap();
+    let engine = Engine::new(config).unwrap();
     let mut params = CensusParams::initial(dir);
     let mut total = 0.0;
     total += engine

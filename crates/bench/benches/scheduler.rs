@@ -53,7 +53,7 @@ fn bench_threads() -> usize {
 /// directory is recreated per call so every run computes everything.
 fn run_once(workflow: &Workflow, store_dir: &Path, threads: usize) -> f64 {
     let _ = std::fs::remove_dir_all(store_dir);
-    let mut engine = Engine::new(EngineConfig::helix(store_dir).with_parallelism(threads)).unwrap();
+    let engine = Engine::new(EngineConfig::helix(store_dir).with_parallelism(threads)).unwrap();
     let report = engine.run(workflow).unwrap();
     assert!(report.computed() > 0, "first iteration must compute");
     report.total_secs

@@ -14,9 +14,20 @@
 //!             [--compare "scheduler_executor/news/ready<=scheduler_executor/news/wave"]...
 //! ```
 //!
-//! Refreshing the baseline after an intentional perf change: rerun the
-//! bench with `HELIX_BENCH_FAST=1 HELIX_BENCH_JSON=<baseline path>` and
-//! commit the file.
+//! Refreshing baselines after an intentional perf change: capture a run
+//! (`HELIX_BENCH_FAST=1 HELIX_BENCH_JSON=<current path> cargo bench …`),
+//! then regenerate the committed baseline from it instead of hand-editing
+//! JSON:
+//!
+//! ```text
+//! bench_guard --write-baselines \
+//!             --current  bench_results/BENCH_scheduler.json \
+//!             --baseline bench_results/BENCH_scheduler_baseline.json
+//! ```
+//!
+//! The write mode validates that the captured file parses, prints the
+//! per-benchmark delta against the old baseline (when one exists), and
+//! only then overwrites it; commit the result.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -73,13 +84,15 @@ struct Args {
     current: String,
     threshold: f64,
     compares: Vec<(String, String)>,
+    write_baselines: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut baseline = None;
     let mut current = None;
-    let mut threshold = 1.25f64;
+    let mut threshold: Option<f64> = None;
     let mut compares = Vec::new();
+    let mut write_baselines = false;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         let mut value = |name: &str| {
@@ -90,9 +103,11 @@ fn parse_args() -> Result<Args, String> {
             "--baseline" => baseline = Some(value("--baseline")?),
             "--current" => current = Some(value("--current")?),
             "--threshold" => {
-                threshold = value("--threshold")?
-                    .parse()
-                    .map_err(|e| format!("bad --threshold: {e}"))?
+                threshold = Some(
+                    value("--threshold")?
+                        .parse()
+                        .map_err(|e| format!("bad --threshold: {e}"))?,
+                )
             }
             "--compare" => {
                 let spec = value("--compare")?;
@@ -101,15 +116,80 @@ fn parse_args() -> Result<Args, String> {
                     .ok_or_else(|| format!("--compare expects `A<=B`, got `{spec}`"))?;
                 compares.push((a.trim().to_string(), b.trim().to_string()));
             }
+            "--write-baselines" => write_baselines = true,
             other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if write_baselines {
+        if baseline.is_none() {
+            return Err("--write-baselines requires --baseline (the file to regenerate)".into());
+        }
+        if !compares.is_empty() {
+            return Err("--write-baselines does not take --compare".into());
+        }
+        if threshold.is_some() {
+            return Err(
+                "--write-baselines does not take --threshold (regeneration is ungated)".into(),
+            );
         }
     }
     Ok(Args {
         baseline,
         current: current.ok_or("--current is required")?,
-        threshold,
+        threshold: threshold.unwrap_or(1.25),
         compares,
+        write_baselines,
     })
+}
+
+/// Regenerates `baseline_path` from the captured results at
+/// `current_path`: validates the capture parses, reports per-benchmark
+/// deltas against the old baseline when one exists, then overwrites the
+/// file verbatim (the shim's JSON is already the baseline format).
+/// Returns the human-readable summary on success.
+fn write_baseline(current_path: &str, baseline_path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(current_path)
+        .map_err(|e| format!("cannot read {current_path}: {e}"))?;
+    let current = parse_results(&text).map_err(|e| format!("{current_path}: {e}"))?;
+    let mut summary = String::new();
+    let old = match std::fs::read_to_string(baseline_path) {
+        Ok(old_text) => match parse_results(&old_text) {
+            Ok(map) => Some(map),
+            Err(e) => {
+                summary.push_str(&format!(
+                    "warning: existing baseline {baseline_path} is unparseable ({e}); \
+                     treating all entries as new\n"
+                ));
+                None
+            }
+        },
+        Err(_) => None,
+    };
+    for (id, &cur_ns) in &current {
+        let line = match old.as_ref().and_then(|map| map.get(id)) {
+            Some(&old_ns) => {
+                let ratio = cur_ns as f64 / old_ns.max(1) as f64;
+                format!("{id}: {old_ns} ns -> {cur_ns} ns ({ratio:.2}x)")
+            }
+            None => format!("{id}: {cur_ns} ns (new)"),
+        };
+        summary.push_str(&line);
+        summary.push('\n');
+    }
+    if let Some(old) = &old {
+        for id in old.keys() {
+            if !current.contains_key(id) {
+                summary.push_str(&format!("{id}: dropped (not in capture)\n"));
+            }
+        }
+    }
+    std::fs::write(baseline_path, &text)
+        .map_err(|e| format!("cannot write {baseline_path}: {e}"))?;
+    summary.push_str(&format!(
+        "wrote {} entries to {baseline_path}\n",
+        current.len()
+    ));
+    Ok(summary)
 }
 
 fn main() -> ExitCode {
@@ -120,6 +200,19 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if args.write_baselines {
+        let baseline = args.baseline.as_deref().expect("checked in parse_args");
+        return match write_baseline(&args.current, baseline) {
+            Ok(summary) => {
+                print!("{summary}");
+                ExitCode::SUCCESS
+            }
+            Err(err) => {
+                eprintln!("bench_guard: {err}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let current = match load(&args.current) {
         Ok(map) => map,
         Err(err) => {
@@ -215,6 +308,48 @@ mod tests {
     #[test]
     fn rejects_empty_input() {
         assert!(parse_results("{\"benchmarks\": []}\n").is_err());
+    }
+
+    #[test]
+    fn write_baselines_copies_capture_and_reports_deltas() {
+        let dir = std::env::temp_dir().join(format!("helix-guard-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let current = dir.join("current.json");
+        let baseline = dir.join("baseline.json");
+        let old = r#"{"benchmarks": [
+  {"id": "scheduler_executor/news/ready", "min_ns": 80, "median_ns": 90, "mean_ns": 95, "samples": 5},
+  {"id": "gone/bench", "min_ns": 10, "median_ns": 11, "mean_ns": 12, "samples": 5}
+]}
+"#;
+        std::fs::write(&current, SAMPLE).unwrap();
+        std::fs::write(&baseline, old).unwrap();
+        let summary =
+            write_baseline(current.to_str().unwrap(), baseline.to_str().unwrap()).unwrap();
+        assert!(summary.contains("80 ns -> 100 ns (1.25x)"), "{summary}");
+        assert!(summary.contains("scheduler_executor/news/wave: 150 ns (new)"));
+        assert!(summary.contains("gone/bench: dropped"));
+        // The baseline now *is* the capture, byte for byte, and reparses.
+        assert_eq!(std::fs::read_to_string(&baseline).unwrap(), SAMPLE);
+        assert_eq!(
+            parse_results(&std::fs::read_to_string(&baseline).unwrap()).unwrap()
+                ["scheduler_executor/news/ready"],
+            100
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_baselines_rejects_unparseable_capture() {
+        let dir = std::env::temp_dir().join(format!("helix-guard-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let current = dir.join("current.json");
+        let baseline = dir.join("baseline.json");
+        std::fs::write(&current, "{\"benchmarks\": []}\n").unwrap();
+        std::fs::write(&baseline, SAMPLE).unwrap();
+        assert!(write_baseline(current.to_str().unwrap(), baseline.to_str().unwrap()).is_err());
+        // A bad capture must never clobber the committed baseline.
+        assert_eq!(std::fs::read_to_string(&baseline).unwrap(), SAMPLE);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -86,7 +86,7 @@ fn run_series<P>(
     {
         let warm_dir = work_dir.join("store-warmup");
         let _ = std::fs::remove_dir_all(&warm_dir);
-        let mut warm = SystemKind::KeystoneSim.build_engine(&warm_dir)?;
+        let warm = SystemKind::KeystoneSim.build_engine(&warm_dir)?;
         warm.run(&build(params)?)?;
         warm.run(&build(params)?)?;
         let _ = std::fs::remove_dir_all(&warm_dir);
@@ -94,7 +94,7 @@ fn run_series<P>(
 
     let store_dir = work_dir.join(format!("store-{}", system.label()));
     let _ = std::fs::remove_dir_all(&store_dir);
-    let mut engine = system.build_engine(&store_dir)?;
+    let engine = system.build_engine(&store_dir)?;
     let mut records = Vec::new();
     let mut cumulative = 0.0f64;
 

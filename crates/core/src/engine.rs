@@ -1,5 +1,18 @@
 //! The execution engine: runs compiled plans and drives the online
 //! materialization optimizer across iterations.
+//!
+//! # Shared-`&self` execution
+//!
+//! [`Engine::run`] and [`Engine::run_in`] take `&self`: all cross-run
+//! state (the cost model, the global version history, the default
+//! [`Lineage`]) lives behind locks, and everything a single run mutates —
+//! cost observations, per-node reports, the metric harvest — accumulates
+//! in a private per-run context that is merged into the shared state once
+//! the run completes. N runs can therefore proceed concurrently over one
+//! engine (and its sharded store): cross-run reuse falls out of signature
+//! identity, and the store's atomic budget ledger keeps concurrent
+//! materializations from jointly overshooting the storage budget. The
+//! [`crate::session`] module builds the multi-user API on top of this.
 
 use crate::compiler::CompiledPlan;
 use crate::cost::CostModel;
@@ -15,6 +28,7 @@ use crate::workflow::Workflow;
 use crate::{HelixError, Result};
 use helix_dataflow::fx::FxHashMap;
 use std::path::PathBuf;
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Engine configuration: optimization toggles and the storage budget.
@@ -80,16 +94,110 @@ impl EngineConfig {
     }
 }
 
-/// The Helix engine: owns the store, cost model, and version history, and
-/// executes one workflow iteration at a time.
+/// Per-caller version bookkeeping: the signature snapshot of the last
+/// executed workflow version and a 0-based iteration counter.
+///
+/// A lineage is what makes an iteration sequence *a sequence*: the
+/// change tracker diffs each new workflow against `previous` to decide
+/// what must recompute. Every [`crate::session::Session`] owns one, so
+/// concurrent sessions never see each other's edits as "changes"; the
+/// engine keeps a default lineage for callers using [`Engine::run`]
+/// directly.
+#[derive(Debug, Clone, Default)]
+pub struct Lineage {
+    previous: Option<FxHashMap<String, (u64, Signature)>>,
+    iteration: usize,
+}
+
+impl Lineage {
+    /// A fresh lineage: no previous version, iteration 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// How many iterations have executed under this lineage.
+    pub fn iteration(&self) -> usize {
+        self.iteration
+    }
+
+    /// Whether at least one iteration has executed.
+    pub fn has_history(&self) -> bool {
+        self.previous.is_some()
+    }
+}
+
+/// Per-run options for [`Engine::run_in`].
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Session name attributed to the resulting report and version entry
+    /// (the multi-tenant history's "who ran this").
+    pub session: Option<String>,
+    /// Change summary recorded for this version. `None` derives one from
+    /// the signature diff; sessions pass their typed edit log here so the
+    /// recorded history says what the user *did*, not just what changed.
+    pub summary: Option<String>,
+}
+
+/// A cost-model observation buffered during a run and replayed into the
+/// shared model once the run completes.
+#[derive(Debug)]
+enum CostEvent {
+    Compute { name: String, secs: f64 },
+    Io { bytes: u64, secs: f64 },
+    Encode { estimated: u64, actual: u64 },
+}
+
+/// Everything one run mutates, private to that run. The cost model is a
+/// snapshot of the shared model taken at run start: within the run it
+/// evolves exactly as the historical `&mut self` engine's did (so
+/// materialization decisions are unchanged), and the buffered events are
+/// replayed into the shared model under its lock afterwards.
+struct RunContext {
+    cost: CostModel,
+    events: Vec<CostEvent>,
+    node_reports: Vec<NodeReport>,
+    materialize_secs: f64,
+    metrics: Vec<(String, f64)>,
+}
+
+impl RunContext {
+    fn observe_compute(&mut self, name: &str, secs: f64) {
+        self.cost.observe_compute(name, secs);
+        self.events.push(CostEvent::Compute {
+            name: name.to_string(),
+            secs,
+        });
+    }
+
+    fn observe_io(&mut self, bytes: u64, secs: f64) {
+        self.cost.observe_io(bytes, secs);
+        self.events.push(CostEvent::Io { bytes, secs });
+    }
+
+    fn observe_encode(&mut self, estimated: u64, actual: u64) {
+        self.cost.observe_encode(estimated, actual);
+        self.events.push(CostEvent::Encode { estimated, actual });
+    }
+}
+
+use crate::lock;
+
+/// The Helix engine: owns the store, cost model, and version history.
+/// Every run method takes `&self`, so one engine (usually behind an
+/// `Arc`) serves many concurrent sessions — see the module docs.
 #[derive(Debug)]
 pub struct Engine {
     config: EngineConfig,
     store: IntermediateStore,
-    cost_model: CostModel,
-    versions: VersionStore,
-    previous: Option<FxHashMap<String, (u64, Signature)>>,
-    iteration: usize,
+    cost_model: Mutex<CostModel>,
+    versions: Mutex<VersionStore>,
+    /// Version bookkeeping for direct [`Engine::run`] callers. Locked
+    /// only briefly to read or publish; [`Engine::run`] serializes on
+    /// [`Engine::default_run_gate`] instead, so previews never wait out
+    /// a full run.
+    default_lineage: Mutex<Lineage>,
+    /// Serializes [`Engine::run`] calls (they share one lineage).
+    default_run_gate: Mutex<()>,
 }
 
 impl Engine {
@@ -103,16 +211,28 @@ impl Engine {
         Ok(Engine {
             config,
             store,
-            cost_model: CostModel::new(),
-            versions: VersionStore::new(),
-            previous: None,
-            iteration: 0,
+            cost_model: Mutex::new(CostModel::new()),
+            versions: Mutex::new(VersionStore::new()),
+            default_lineage: Mutex::new(Lineage::new()),
+            default_run_gate: Mutex::new(()),
         })
     }
 
-    /// The version history (Versions/Metrics tabs).
-    pub fn versions(&self) -> &VersionStore {
-        &self.versions
+    /// The global version history across all sessions and direct runs
+    /// (Versions/Metrics tabs). Returns a point-in-time snapshot, so the
+    /// caller can walk history while other sessions keep running — no
+    /// lock is held after this returns. For a quick read (a length check,
+    /// the latest entry) prefer [`Engine::with_versions`], which skips
+    /// the O(history) clone.
+    pub fn versions(&self) -> VersionStore {
+        lock(&self.versions).clone()
+    }
+
+    /// Runs `f` against the live global version history without cloning
+    /// it. The history lock is held for the duration of `f`, so keep it
+    /// short and never call back into the engine from inside.
+    pub fn with_versions<R>(&self, f: impl FnOnce(&VersionStore) -> R) -> R {
+        f(&lock(&self.versions))
     }
 
     /// The intermediate store.
@@ -120,33 +240,91 @@ impl Engine {
         &self.store
     }
 
-    /// The live cost model.
-    pub fn cost_model(&self) -> &CostModel {
-        &self.cost_model
+    /// The live cost model. Returns a point-in-time snapshot — no lock
+    /// is held after this returns.
+    pub fn cost_model(&self) -> CostModel {
+        lock(&self.cost_model).clone()
     }
 
-    /// Compiles a workflow without executing it (used by the DAG
-    /// visualization pane to preview the optimized plan).
+    /// The engine configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Compiles a workflow without executing it, against the engine's
+    /// default lineage (used by the DAG visualization pane to preview the
+    /// optimized plan).
     pub fn compile_only(&self, workflow: &Workflow) -> Result<CompiledPlan> {
+        // Clone the lineage out rather than compiling under the lock: a
+        // preview only needs a consistent read.
+        let lineage = lock(&self.default_lineage).clone();
+        self.compile_in(workflow, &lineage)
+    }
+
+    /// Compiles a workflow against an explicit lineage without executing
+    /// it (sessions preview their own plans this way).
+    pub fn compile_in(&self, workflow: &Workflow, lineage: &Lineage) -> Result<CompiledPlan> {
+        let cost_model = lock(&self.cost_model);
         crate::compiler::compile_with_slicing(
             workflow,
             &self.store,
-            &self.cost_model,
+            &cost_model,
             self.config.recomputation,
-            self.previous.as_ref(),
+            lineage.previous.as_ref(),
             self.config.enable_slicing,
         )
     }
 
-    /// Runs one iteration: compile → execute → materialize → record.
-    pub fn run(&mut self, workflow: &Workflow) -> Result<IterationReport> {
+    /// Runs one iteration against the engine's default lineage: compile →
+    /// execute → materialize → record.
+    ///
+    /// Only `&self` is required, but calls through this entry point
+    /// serialize on the default lineage — concurrent callers should each
+    /// drive their own [`crate::session::Session`] (or [`Engine::run_in`]
+    /// with their own [`Lineage`]) instead.
+    pub fn run(&self, workflow: &Workflow) -> Result<IterationReport> {
+        // Serialize runs on a dedicated gate and hold the lineage data
+        // lock only to read and publish, so `compile_only` previews can
+        // read the lineage while a run executes. A failed run publishes
+        // nothing, matching `run_in`'s advance-only-on-success contract.
+        let _gate = lock(&self.default_run_gate);
+        let mut lineage = lock(&self.default_lineage).clone();
+        let report = self.run_in(workflow, &mut lineage, RunOptions::default())?;
+        *lock(&self.default_lineage) = lineage;
+        Ok(report)
+    }
+
+    /// Pre-session compatibility shim for callers written against the
+    /// historical `run(&mut self)` signature.
+    #[deprecated(
+        since = "0.1.0",
+        note = "Engine::run now takes &self; call run() directly or drive a Session"
+    )]
+    pub fn run_mut(&mut self, workflow: &Workflow) -> Result<IterationReport> {
+        self.run(workflow)
+    }
+
+    /// Runs one iteration under an explicit [`Lineage`]: compile against
+    /// `lineage.previous`, execute, materialize, record into the global
+    /// version history, and advance the lineage.
+    ///
+    /// This is the concurrent entry point: distinct lineages never
+    /// contend (beyond brief cost-model/version-history lock windows and
+    /// the sharded store itself), so N sessions iterate in parallel over
+    /// one engine.
+    pub fn run_in(
+        &self,
+        workflow: &Workflow,
+        lineage: &mut Lineage,
+        options: RunOptions,
+    ) -> Result<IterationReport> {
         let total_started = Instant::now();
         let opt_started = Instant::now();
-        let plan = self.compile_only(workflow)?;
+        let plan = self.compile_in(workflow, lineage)?;
         let optimizer_secs = opt_started.elapsed().as_secs_f64();
 
         let wave_of = crate::recompute::wave_levels(workflow, &plan.states);
-        let mut node_reports: Vec<NodeReport> = workflow
+        let node_reports: Vec<NodeReport> = workflow
             .nodes()
             .iter()
             .enumerate()
@@ -165,17 +343,23 @@ impl Engine {
                 materialized: false,
             })
             .collect();
-        let mut materialize_secs = 0.0f64;
-        let mut metrics: Vec<(String, f64)> = Vec::new();
+        let mut ctx = RunContext {
+            cost: lock(&self.cost_model).clone(),
+            events: Vec::new(),
+            node_reports,
+            materialize_secs: 0.0,
+            metrics: Vec::new(),
+        };
 
         // Raw node execution happens inside the scheduler (possibly on
         // many threads); everything stateful — cost observation, the
         // online materialization decision (paper §2.3: immediately upon
         // operator completion), metric harvesting — happens here, in the
         // merge callback the scheduler invokes strictly in plan order, so
-        // the outcome stream is identical at any thread count.
+        // the outcome stream is identical at any thread count. All of it
+        // lands in the per-run context; shared engine state is only
+        // touched after execution completes.
         let store = &self.store;
-        let cost_model = &mut self.cost_model;
         let config = &self.config;
         let result = scheduler::execute_plan(
             workflow,
@@ -185,40 +369,42 @@ impl Engine {
             |id, executed, output| {
                 let i = id.index();
                 if let Some(bytes) = executed.loaded_bytes {
-                    cost_model.observe_io(bytes, executed.secs);
-                    node_reports[i].duration_secs = executed.secs;
-                    node_reports[i].output_bytes = bytes;
+                    ctx.observe_io(bytes, executed.secs);
+                    ctx.node_reports[i].duration_secs = executed.secs;
+                    ctx.node_reports[i].output_bytes = bytes;
                 } else {
                     let node = workflow.node(id);
-                    cost_model.observe_compute(&node.name, executed.secs);
+                    ctx.observe_compute(&node.name, executed.secs);
                     let est_bytes = output.estimated_bytes() as u64;
-                    node_reports[i].duration_secs = executed.secs;
-                    node_reports[i].output_bytes = est_bytes;
+                    ctx.node_reports[i].duration_secs = executed.secs;
+                    ctx.node_reports[i].output_bytes = est_bytes;
 
-                    let size = cost_model.expected_encoded_bytes(est_bytes);
-                    let ctx = MaterializationContext {
-                        load_cost_secs: cost_model.load_estimate_secs(size),
+                    let size = ctx.cost.expected_encoded_bytes(est_bytes);
+                    let decision = MaterializationContext {
+                        load_cost_secs: ctx.cost.load_estimate_secs(size),
                         compute_cost_secs: executed.secs,
-                        ancestors_compute_secs: ancestors_compute_estimate(
-                            cost_model, workflow, id,
-                        ),
+                        ancestors_compute_secs: ancestors_compute_estimate(&ctx.cost, workflow, id),
                         size_bytes: size,
                         remaining_budget_bytes: store.remaining_bytes(),
                     };
-                    if config.materialization.decide(&ctx)
+                    if config.materialization.decide(&decision)
                         && store.lookup(plan.signatures[i]).is_none()
                     {
                         match store.put(plan.signatures[i], output) {
                             Ok((bytes, secs)) => {
-                                cost_model.observe_io(bytes, secs);
-                                cost_model.observe_encode(est_bytes, bytes);
-                                materialize_secs += secs;
-                                node_reports[i].materialized = true;
+                                ctx.observe_io(bytes, secs);
+                                ctx.observe_encode(est_bytes, bytes);
+                                ctx.materialize_secs += secs;
+                                ctx.node_reports[i].materialized = true;
                             }
                             Err(HelixError::Store(_)) => {
-                                // Budget race between estimate and actual
-                                // encoded size: skip, as the online policy
-                                // would with perfect information.
+                                // Either a budget race between estimate
+                                // and actual encoded size, or another
+                                // session's in-flight put of this same
+                                // signature. Both mean "skip": the online
+                                // policy would with perfect information,
+                                // and the concurrent twin's materialization
+                                // serves future loads just as well.
                             }
                             Err(other) => return Err(other),
                         }
@@ -227,35 +413,63 @@ impl Engine {
                 // Evaluation results carry this iteration's metrics
                 // whether computed fresh or reused from the store.
                 if matches!(workflow.node(id).kind, OperatorKind::Evaluate(_)) {
-                    metrics.extend(crate::exec::metric_values(output)?);
+                    ctx.metrics.extend(crate::exec::metric_values(output)?);
                 }
                 Ok(())
             },
-        )?;
+        );
+
+        // Replay buffered cost observations into the shared model even on
+        // failure: the plan-order merge commits side effects (including
+        // materializations) for every node preceding the failure, and the
+        // historical direct-mutation engine kept their calibration too. A
+        // failed run must not leave the cost model blind to work that ran.
+        {
+            let mut shared = lock(&self.cost_model);
+            for event in ctx.events.drain(..) {
+                match event {
+                    CostEvent::Compute { name, secs } => shared.observe_compute(&name, secs),
+                    CostEvent::Io { bytes, secs } => shared.observe_io(bytes, secs),
+                    CostEvent::Encode { estimated, actual } => {
+                        shared.observe_encode(estimated, actual)
+                    }
+                }
+            }
+        }
+        let result = result?;
+
+        let change_summary = options.summary.unwrap_or_else(|| {
+            plan.change
+                .as_ref()
+                .map(|c| c.summary(workflow))
+                .unwrap_or_else(|| "initial version".to_string())
+        });
         let report = IterationReport {
-            iteration: self.iteration,
+            iteration: lineage.iteration,
             workflow_name: workflow.name().to_string(),
+            session: options.session,
+            change_summary,
             total_secs: total_started.elapsed().as_secs_f64(),
             optimizer_secs,
-            materialize_secs,
-            nodes: node_reports,
+            materialize_secs: ctx.materialize_secs,
+            nodes: ctx.node_reports,
             waves: result.waves,
-            metrics,
+            metrics: ctx.metrics,
+            snapshot: std::sync::Arc::new(crate::version::DagSnapshot::capture(workflow)),
         };
 
-        let change_summary = plan
-            .change
-            .as_ref()
-            .map(|c| c.summary(workflow))
-            .unwrap_or_else(|| "initial version".to_string());
-        self.versions.record(workflow, &report, change_summary);
-        self.previous = Some(snapshot(workflow, &plan.signatures));
-        self.iteration += 1;
+        // Version history and lineage advance only on success; the cost
+        // observations were already merged above. Replaying events
+        // (instead of writing back the snapshot wholesale) keeps
+        // concurrent runs from erasing each other's calibration.
+        lock(&self.versions).record(&report);
+        lineage.previous = Some(snapshot(workflow, &plan.signatures));
+        lineage.iteration += 1;
         Ok(report)
     }
 
-    /// Fetches a computed output from the last iteration's store by
-    /// signature (used by examples to inspect results).
+    /// Fetches a computed output from the store by signature (used by
+    /// examples to inspect results).
     pub fn fetch(&self, sig: Signature) -> Result<NodeOutput> {
         Ok(self.store.get(sig)?.0)
     }
@@ -264,7 +478,7 @@ impl Engine {
 /// Sum of compute-cost estimates over all ancestors of `id` — the
 /// `Σ_{j ∈ A(i)} c_j` term of the materialization heuristic. A free
 /// function (rather than a method) so the engine's merge callback can use
-/// it while holding the cost model mutably.
+/// it while the run context is borrowed mutably.
 fn ancestors_compute_estimate(
     cost_model: &CostModel,
     workflow: &Workflow,
@@ -357,20 +571,21 @@ mod tests {
     fn first_run_computes_and_reports_metrics() {
         let dir = tmpdir("first");
         std::fs::create_dir_all(&dir).unwrap();
-        let mut engine = Engine::new(EngineConfig::helix(dir.join("store"))).unwrap();
+        let engine = Engine::new(EngineConfig::helix(dir.join("store"))).unwrap();
         let w = census_workflow(&dir, 0.1);
         let report = engine.run(&w).unwrap();
         assert_eq!(report.loaded(), 0);
         assert!(report.computed() > 0);
         assert_eq!(report.metric("accuracy"), Some(1.0), "separable data");
         assert_eq!(engine.versions().len(), 1);
+        assert_eq!(report.change_summary, "initial version");
     }
 
     #[test]
     fn unchanged_rerun_reuses_everything_materialized() {
         let dir = tmpdir("rerun");
         std::fs::create_dir_all(&dir).unwrap();
-        let mut engine = Engine::new(EngineConfig::helix(dir.join("store"))).unwrap();
+        let engine = Engine::new(EngineConfig::helix(dir.join("store"))).unwrap();
         let w = census_workflow(&dir, 0.1);
         let first = engine.run(&w).unwrap();
         let second = engine.run(&w).unwrap();
@@ -378,7 +593,8 @@ mod tests {
         assert_eq!(first.metric("accuracy"), second.metric("accuracy"));
         assert!(second.loaded() > 0, "second run should load something");
         assert!(second.computed() < first.computed());
-        let change = &engine.versions().get(1).unwrap().change_summary;
+        let versions = engine.versions();
+        let change = &versions.get(1).unwrap().change_summary;
         assert_eq!(change, "no changes");
     }
 
@@ -386,7 +602,7 @@ mod tests {
     fn ml_change_skips_preprocessing() {
         let dir = tmpdir("mlchange");
         std::fs::create_dir_all(&dir).unwrap();
-        let mut engine = Engine::new(EngineConfig::helix(dir.join("store"))).unwrap();
+        let engine = Engine::new(EngineConfig::helix(dir.join("store"))).unwrap();
         let w1 = census_workflow(&dir, 0.1);
         engine.run(&w1).unwrap();
         let w2 = census_workflow(&dir, 0.9);
@@ -408,8 +624,8 @@ mod tests {
     fn optimized_results_match_unoptimized() {
         let dir = tmpdir("equiv");
         std::fs::create_dir_all(&dir).unwrap();
-        let mut helix = Engine::new(EngineConfig::helix(dir.join("s1"))).unwrap();
-        let mut unopt = Engine::new(EngineConfig {
+        let helix = Engine::new(EngineConfig::helix(dir.join("s1"))).unwrap();
+        let unopt = Engine::new(EngineConfig {
             recomputation: RecomputationPolicy::ComputeAll,
             materialization: MaterializationPolicyKind::Never,
             ..EngineConfig::helix(dir.join("s2"))
@@ -430,7 +646,7 @@ mod tests {
     fn never_materialize_never_loads() {
         let dir = tmpdir("never");
         std::fs::create_dir_all(&dir).unwrap();
-        let mut engine = Engine::new(EngineConfig {
+        let engine = Engine::new(EngineConfig {
             materialization: MaterializationPolicyKind::Never,
             ..EngineConfig::helix(dir.join("store"))
         })
@@ -446,8 +662,7 @@ mod tests {
     fn zero_budget_disables_materialization() {
         let dir = tmpdir("zerobudget");
         std::fs::create_dir_all(&dir).unwrap();
-        let mut engine =
-            Engine::new(EngineConfig::helix(dir.join("store")).with_budget(0)).unwrap();
+        let engine = Engine::new(EngineConfig::helix(dir.join("store")).with_budget(0)).unwrap();
         let w = census_workflow(&dir, 0.1);
         let report = engine.run(&w).unwrap();
         assert!(report.nodes.iter().all(|n| !n.materialized));
@@ -467,8 +682,8 @@ mod tests {
             config.materialization = MaterializationPolicyKind::All;
             config
         };
-        let mut seq = Engine::new(config("s-seq", 1)).unwrap();
-        let mut par = Engine::new(config("s-par", 4)).unwrap();
+        let seq = Engine::new(config("s-seq", 1)).unwrap();
+        let par = Engine::new(config("s-par", 4)).unwrap();
         for reg in [0.1, 0.9, 0.1] {
             let w = census_workflow(&dir, reg);
             let a = seq.run(&w).unwrap();
@@ -505,7 +720,7 @@ mod tests {
     fn compile_only_previews_plan_without_running() {
         let dir = tmpdir("preview");
         std::fs::create_dir_all(&dir).unwrap();
-        let mut engine = Engine::new(EngineConfig::helix(dir.join("store"))).unwrap();
+        let engine = Engine::new(EngineConfig::helix(dir.join("store"))).unwrap();
         let w = census_workflow(&dir, 0.1);
         engine.run(&w).unwrap();
         let plan = engine.compile_only(&w).unwrap();
@@ -514,6 +729,144 @@ mod tests {
             engine.versions().len(),
             1,
             "compile_only must not record versions"
+        );
+    }
+
+    #[test]
+    fn independent_lineages_track_their_own_history() {
+        let dir = tmpdir("lineages");
+        std::fs::create_dir_all(&dir).unwrap();
+        let engine = Engine::new(EngineConfig::helix(dir.join("store"))).unwrap();
+        let mut alice = Lineage::new();
+        let mut bob = Lineage::new();
+        let w = census_workflow(&dir, 0.1);
+
+        let a1 = engine
+            .run_in(&w, &mut alice, RunOptions::default())
+            .unwrap();
+        assert_eq!(a1.iteration, 0);
+        assert_eq!(a1.change_summary, "initial version");
+
+        // Bob's first run of the same workflow is *his* initial version —
+        // a fresh lineage, not a rerun — but it still reuses Alice's
+        // materializations through signature identity.
+        let b1 = engine.run_in(&w, &mut bob, RunOptions::default()).unwrap();
+        assert_eq!(b1.iteration, 0);
+        assert_eq!(b1.change_summary, "initial version");
+        assert!(b1.loaded() > 0, "cross-lineage reuse via the shared store");
+
+        let a2 = engine
+            .run_in(&w, &mut alice, RunOptions::default())
+            .unwrap();
+        assert_eq!(a2.iteration, 1);
+        assert_eq!(a2.change_summary, "no changes");
+        assert_eq!(alice.iteration(), 2);
+        assert_eq!(bob.iteration(), 1);
+        assert_eq!(engine.versions().len(), 3, "global history sees all runs");
+    }
+
+    #[test]
+    fn run_options_attribute_session_and_summary() {
+        let dir = tmpdir("attrib");
+        std::fs::create_dir_all(&dir).unwrap();
+        let engine = Engine::new(EngineConfig::helix(dir.join("store"))).unwrap();
+        let mut lineage = Lineage::new();
+        let w = census_workflow(&dir, 0.1);
+        let report = engine
+            .run_in(
+                &w,
+                &mut lineage,
+                RunOptions {
+                    session: Some("alice".into()),
+                    summary: Some("tweak reg".into()),
+                },
+            )
+            .unwrap();
+        assert_eq!(report.session.as_deref(), Some("alice"));
+        assert_eq!(report.change_summary, "tweak reg");
+        let versions = engine.versions();
+        let v = versions.latest().unwrap();
+        assert_eq!(v.session.as_deref(), Some("alice"));
+        assert_eq!(v.change_summary, "tweak reg");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn run_mut_shim_forwards_to_run() {
+        let dir = tmpdir("shim");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut engine = Engine::new(EngineConfig::helix(dir.join("store"))).unwrap();
+        let w = census_workflow(&dir, 0.1);
+        let report = engine.run_mut(&w).unwrap();
+        assert_eq!(report.metric("accuracy"), Some(1.0));
+        assert_eq!(engine.versions().len(), 1);
+    }
+
+    #[test]
+    fn failed_run_keeps_prefix_cost_calibration() {
+        use crate::ops::{OperatorKind, Udf};
+        use helix_dataflow::{DataCollection, DataType, Row, Schema, Value};
+        let dir = tmpdir("failcal");
+        std::fs::create_dir_all(&dir).unwrap();
+        let engine = Engine::new(EngineConfig::helix(dir.join("store"))).unwrap();
+        let mut w = Workflow::new("fail-cal");
+        let ok = Udf::new("ok:v1", |_: &[&DataCollection]| {
+            let schema = Schema::of(&[("x", DataType::Int)]);
+            Ok(DataCollection::from_rows_unchecked(
+                schema,
+                vec![Row(vec![Value::Int(1)])],
+            ))
+        });
+        let root = w.add("root", OperatorKind::UserDefined(ok), &[]).unwrap();
+        let boom = Udf::new("boom:v1", |_: &[&DataCollection]| {
+            Err(HelixError::Exec("boom".into()))
+        });
+        let tail = w
+            .add("boom", OperatorKind::UserDefined(boom), &[&root])
+            .unwrap();
+        w.output(&tail);
+        engine.run(&w).expect_err("boom must fail the run");
+        // The merge committed `root` before the failure, so its compute
+        // observation must survive into the shared cost model (the store
+        // side effects of the prefix do too — see the failure contract in
+        // `crate::scheduler`).
+        assert!(
+            engine.cost_model().compute_estimate_secs("root").is_some(),
+            "completed prefix must calibrate the cost model on failure"
+        );
+        assert!(engine.cost_model().compute_estimate_secs("boom").is_none());
+        assert_eq!(engine.versions().len(), 0, "failed runs record no version");
+    }
+
+    #[test]
+    fn concurrent_runs_share_one_engine() {
+        let dir = tmpdir("concurrent");
+        std::fs::create_dir_all(&dir).unwrap();
+        let engine =
+            std::sync::Arc::new(Engine::new(EngineConfig::helix(dir.join("store"))).unwrap());
+        let w = census_workflow(&dir, 0.1);
+        let reports: Vec<IterationReport> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let engine = std::sync::Arc::clone(&engine);
+                    let w = &w;
+                    scope.spawn(move || {
+                        let mut lineage = Lineage::new();
+                        engine
+                            .run_in(w, &mut lineage, RunOptions::default())
+                            .unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for report in &reports {
+            assert_eq!(report.metric("accuracy"), Some(1.0));
+        }
+        assert_eq!(engine.versions().len(), 3);
+        assert!(
+            engine.store().used_bytes() <= engine.store().budget_bytes(),
+            "concurrent runs must respect the budget"
         );
     }
 }

@@ -21,9 +21,13 @@
 //!   [materialization optimizer](materialize) after every operator
 //!   completes, under a storage budget enforced by the sharded
 //!   [intermediate store](store).
-//! * **Iteration support** — [`version`] keeps every workflow version with
-//!   its metrics (the Versions/Metrics tabs of §3.1); [`viz`] renders DAGs
-//!   (DOT + ASCII) and git-style version diffs.
+//! * **Iteration support** — [`session`] is the serving-shaped API: a
+//!   [`session::Session`] owns a live workflow plus typed edit handles and
+//!   iterates over a shared `&self` engine, and a
+//!   [`session::SessionManager`] multiplexes many concurrent sessions over
+//!   one store; [`version`] keeps every workflow version with its metrics
+//!   (the Versions/Metrics tabs of §3.1); [`viz`] renders DAGs (DOT +
+//!   ASCII) and git-style version diffs.
 
 #![warn(missing_docs)]
 
@@ -37,6 +41,7 @@ pub mod ops;
 pub mod recompute;
 pub mod report;
 pub mod scheduler;
+pub mod session;
 pub mod signature;
 pub mod slicing;
 pub mod store;
@@ -44,7 +49,7 @@ pub mod version;
 pub mod viz;
 pub mod workflow;
 
-pub use engine::{Engine, EngineConfig};
+pub use engine::{Engine, EngineConfig, Lineage, RunOptions};
 pub use error::HelixError;
 pub use materialize::MaterializationPolicyKind;
 pub use ops::{
@@ -53,11 +58,23 @@ pub use ops::{
 pub use recompute::{NodeState, RecomputationPolicy};
 pub use report::IterationReport;
 pub use scheduler::{default_parallelism, ExecStrategy};
+pub use session::{LearnerParam, Session, SessionHandle, SessionManager, WorkflowEdit};
 pub use store::default_store_shards;
 pub use workflow::{NodeId, NodeRef, Workflow};
 
 /// Convenience alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, HelixError>;
+
+/// `Mutex::lock` without poison propagation — the crate-wide policy for
+/// engine, session, and scheduler state: a panicking sibling thread must
+/// not wedge unrelated work, and every shared structure is only mutated
+/// at well-defined merge points, so a poisoned guard's contents are
+/// still consistent.
+pub(crate) fn lock<T>(mutex: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// Name of the split column threaded through source collections.
 pub const SPLIT_COL: &str = "__split__";

@@ -299,6 +299,45 @@ pub fn plan_wave_cost_us(workflow: &Workflow, states: &[NodeState], costs: &[Nod
     wave_max.iter().sum()
 }
 
+/// Per-node downstream critical-path estimate in µs: the node's own cost
+/// plus the most expensive chain of *compute* descendants hanging off it
+/// (`0` for pruned nodes). A node with a deep or expensive tail is the
+/// one to start first — the ready-queue scheduler uses these as pop
+/// priorities when more than one node is ready (see `crate::scheduler`),
+/// reusing the same per-node cost data as [`plan_wave_cost_us`]. Load
+/// children do not extend a parent's path: they read the store, not the
+/// parent's output.
+pub fn critical_path_priority_us(
+    workflow: &Workflow,
+    states: &[NodeState],
+    costs: &[NodeCosts],
+) -> Vec<u64> {
+    let n = workflow.len();
+    assert_eq!(states.len(), n, "states length mismatch");
+    assert_eq!(costs.len(), n, "costs length mismatch");
+    let children = workflow.children();
+    let order = workflow
+        .topo_order()
+        .unwrap_or_else(|_| (0..n as u32).map(NodeId).collect());
+    let mut priority = vec![0u64; n];
+    for id in order.iter().rev() {
+        let i = id.index();
+        let own = match states[i] {
+            NodeState::Prune => continue,
+            NodeState::Compute => costs[i].compute_us,
+            NodeState::Load => costs[i].load_us.unwrap_or(1),
+        };
+        let tail = children[i]
+            .iter()
+            .filter(|c| states[c.index()] == NodeState::Compute)
+            .map(|c| priority[c.index()])
+            .max()
+            .unwrap_or(0);
+        priority[i] = own.saturating_add(tail);
+    }
+    priority
+}
+
 /// Total plan cost in µs under the given states (∞-loads count as the
 /// sentinel; used by tests and the ablation benches).
 pub fn plan_cost_us(states: &[NodeState], costs: &[NodeCosts]) -> u64 {
@@ -657,6 +696,50 @@ mod tests {
         // Waves: {0} max 10, {1,2} max 70, {3} max 20.
         assert_eq!(plan_wave_cost_us(&w, &states, &costs), 100);
         assert_eq!(plan_cost_us(&states, &costs), 140);
+    }
+
+    #[test]
+    fn critical_path_priorities_favor_deep_chains() {
+        // 0 -> 1 -> 2 (deep chain) and 3 (shallow, expensive-ish): the
+        // chain head must outrank the standalone node even though its own
+        // cost is smaller, because its downstream tail dominates.
+        let w = dag_workflow(4, &[(0, 1), (1, 2)], &[2, 3]);
+        let states = vec![NodeState::Compute; 4];
+        let costs: Vec<NodeCosts> = [10, 50, 40, 60]
+            .iter()
+            .map(|&c| NodeCosts {
+                compute_us: c,
+                load_us: None,
+            })
+            .collect();
+        let prio = critical_path_priority_us(&w, &states, &costs);
+        assert_eq!(prio, vec![100, 90, 40, 60]);
+        assert!(prio[0] > prio[3], "chain head beats shallow node");
+    }
+
+    #[test]
+    fn critical_path_priorities_skip_prunes_and_load_children() {
+        // 0 -> 1 -> 2 with node 1 loaded: the load severs node 0's tail
+        // (a Load never consumes its parent's output), and a pruned node
+        // contributes nothing.
+        let w = dag_workflow(4, &[(0, 1), (1, 2), (0, 3)], &[2]);
+        let states = vec![
+            NodeState::Compute,
+            NodeState::Load,
+            NodeState::Compute,
+            NodeState::Prune,
+        ];
+        let costs: Vec<NodeCosts> = [10, 5, 40, 99]
+            .iter()
+            .map(|&c| NodeCosts {
+                compute_us: c,
+                load_us: Some(7),
+            })
+            .collect();
+        let prio = critical_path_priority_us(&w, &states, &costs);
+        assert_eq!(prio[3], 0, "pruned nodes carry no priority");
+        assert_eq!(prio[1], 7 + 40, "load cost plus compute tail");
+        assert_eq!(prio[0], 10, "load child does not extend the parent");
     }
 
     #[test]

@@ -3,6 +3,8 @@
 use crate::ops::Stage;
 use crate::recompute::NodeState;
 use crate::signature::ChangeKind;
+use crate::version::DagSnapshot;
+use std::sync::Arc;
 
 /// What happened to one node during an iteration.
 #[derive(Debug, Clone)]
@@ -47,10 +49,17 @@ pub struct WaveReport {
 /// The result of executing one workflow iteration.
 #[derive(Debug, Clone)]
 pub struct IterationReport {
-    /// 0-based iteration number within the engine's history.
+    /// 0-based iteration number within the lineage (session) that ran it.
     pub iteration: usize,
     /// Workflow name.
     pub workflow_name: String,
+    /// Name of the session that ran the iteration, when one did (`None`
+    /// for direct [`crate::Engine::run`] calls).
+    pub session: Option<String>,
+    /// One-line description of what changed since the previous iteration
+    /// of this lineage: the session's typed edit log when edits were
+    /// recorded, otherwise a summary derived from the signature diff.
+    pub change_summary: String,
     /// End-to-end wall time, including optimization and store traffic.
     pub total_secs: f64,
     /// Seconds spent inside the compiler/optimizers.
@@ -65,6 +74,11 @@ pub struct IterationReport {
     pub waves: Vec<WaveReport>,
     /// Metric values harvested from Evaluate nodes.
     pub metrics: Vec<(String, f64)>,
+    /// The DAG as executed, captured once per run. Shared (`Arc`) with
+    /// every version-history record of this iteration — the engine's
+    /// global store and a session's private store hold the same
+    /// allocation.
+    pub snapshot: Arc<DagSnapshot>,
 }
 
 impl IterationReport {
@@ -175,6 +189,9 @@ mod tests {
         IterationReport {
             iteration: 3,
             workflow_name: "census".into(),
+            snapshot: Arc::default(),
+            session: Some("analyst".into()),
+            change_summary: "no changes".into(),
             total_secs: 1.5,
             optimizer_secs: 0.01,
             materialize_secs: 0.2,
@@ -239,6 +256,9 @@ mod tests {
         let r = IterationReport {
             iteration: 0,
             workflow_name: "x".into(),
+            snapshot: Arc::default(),
+            session: None,
+            change_summary: "initial version".into(),
             total_secs: 0.0,
             optimizer_secs: 0.0,
             materialize_secs: 0.0,

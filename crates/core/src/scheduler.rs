@@ -14,8 +14,16 @@
 //! local deque (LIFO, for locality along just-unlocked dependency
 //! chains), falling back to a shared injector seeded with the initially
 //! ready nodes and then to stealing from other workers' deques (FIFO, so
-//! thieves take the oldest — widest-fanout — work). The thread count is
-//! capped at [`crate::EngineConfig::parallelism`].
+//! thieves take the oldest — widest-fanout — work). When the injector
+//! holds more than one entry, workers pop the node with the largest
+//! *downstream critical-path estimate*
+//! ([`crate::recompute::critical_path_priority_us`], built from the same
+//! per-node cost data as the wave cost estimate) instead of pure FIFO:
+//! starting the longest chain first keeps its dependents flowing while
+//! shallow work fills the remaining slots. Plan order breaks ties, and
+//! merge semantics are untouched — the plan-order merge cursor makes
+//! results independent of execution order by construction. The thread
+//! count is capped at [`crate::EngineConfig::parallelism`].
 //!
 //! [`ExecStrategy::WaveBarrier`] keeps the historical wave executor
 //! alive solely as the baseline that `benches/scheduler.rs` and the
@@ -263,7 +271,12 @@ where
 /// queue empty while holding it cannot miss the wakeup.
 struct InjectorState {
     /// Globally visible ready nodes (seeded with the dependency-free
-    /// ones); workers drain it FIFO so plan order is the tiebreak.
+    /// ones). With one entry it behaves as a FIFO; with more, workers pop
+    /// the entry with the largest downstream critical-path estimate
+    /// ([`crate::recompute::critical_path_priority_us`]), plan order
+    /// breaking ties — starting the longest chain first shrinks the
+    /// makespan on wide plans without touching merge semantics (the
+    /// plan-order merge cursor is ordering-oblivious).
     ready: VecDeque<usize>,
 }
 
@@ -275,6 +288,9 @@ struct ReadyExecutor<'a> {
     store: &'a IntermediateStore,
     /// Plan position by node index (`usize::MAX` for pruned nodes).
     pos: Vec<usize>,
+    /// Downstream critical-path estimate per node (µs) — the injector's
+    /// pop priority.
+    prio: Vec<u64>,
     /// Non-pruned compute children to notify per node (one entry per
     /// parent edge, mirroring the initial `deps` counts).
     children: Vec<Vec<usize>>,
@@ -340,11 +356,13 @@ impl<'a> ReadyExecutor<'a> {
                 ready.push_back(i);
             }
         }
+        let prio = crate::recompute::critical_path_priority_us(workflow, &plan.states, &plan.costs);
         ReadyExecutor {
             workflow,
             plan,
             store,
             pos,
+            prio,
             children,
             deps: dep_counts.into_iter().map(AtomicUsize::new).collect(),
             results: (0..n).map(|_| OnceLock::new()).collect(),
@@ -360,9 +378,31 @@ impl<'a> ReadyExecutor<'a> {
         }
     }
 
+    /// Pops the injector entry with the highest downstream
+    /// critical-path priority (plan order breaks ties; a single entry
+    /// pops straight off the front). The injector is short-lived and
+    /// small — seeded ready nodes drain into local deques immediately —
+    /// so a linear scan beats maintaining a heap.
+    fn pop_injector(&self, injector: &mut InjectorState) -> Option<usize> {
+        if injector.ready.len() <= 1 {
+            return injector.ready.pop_front();
+        }
+        let mut best = 0usize;
+        for k in 1..injector.ready.len() {
+            let (cand, incumbent) = (injector.ready[k], injector.ready[best]);
+            if (self.prio[cand], std::cmp::Reverse(self.pos[cand]))
+                > (self.prio[incumbent], std::cmp::Reverse(self.pos[incumbent]))
+            {
+                best = k;
+            }
+        }
+        injector.ready.remove(best)
+    }
+
     /// Pops the next ready node for worker `me`: own deque (LIFO), then
-    /// the injector, then stealing (FIFO); sleeps when everything is
-    /// empty. Returns `None` on shutdown.
+    /// the injector (highest critical-path priority first), then stealing
+    /// (FIFO); sleeps when everything is empty. Returns `None` on
+    /// shutdown.
     fn next_task(&self, me: usize) -> Option<usize> {
         if self.shutdown.load(Ordering::Acquire) {
             return None;
@@ -375,7 +415,7 @@ impl<'a> ReadyExecutor<'a> {
             if self.shutdown.load(Ordering::Acquire) {
                 return None;
             }
-            if let Some(i) = injector.ready.pop_front() {
+            if let Some(i) = self.pop_injector(&mut injector) {
                 return Some(i);
             }
             if let Some(i) = self.steal(me) {
@@ -493,7 +533,7 @@ impl<'a> ReadyExecutor<'a> {
         if let Some(i) = lock(&self.locals[me]).pop_back() {
             return Some(i);
         }
-        if let Some(i) = lock(&self.injector).ready.pop_front() {
+        if let Some(i) = self.pop_injector(&mut lock(&self.injector)) {
             return Some(i);
         }
         self.steal(me)
@@ -581,14 +621,10 @@ impl<'a> ReadyExecutor<'a> {
     }
 }
 
-/// `Mutex::lock` without poison propagation (a panicking worker must not
-/// wedge its siblings; UDF panics are already converted to errors inside
-/// [`run_node`]).
-fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    mutex
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
-}
+// UDF panics are converted to errors inside [`run_node`], so the
+// crate-wide poison-ignoring `lock` is safe here too: a panicking worker
+// must not wedge its siblings.
+use crate::lock;
 
 /// The barrier-free executor: workers race through the dependency DAG
 /// while the calling thread merges in plan order.
@@ -1393,6 +1429,74 @@ mod tests {
             parallel < sequential,
             "6-wide fan-out at 6 threads ({parallel:?}) should beat 1 thread ({sequential:?})"
         );
+    }
+
+    #[test]
+    fn injector_pops_longest_critical_path_first() {
+        // Three shallow singletons (ids 0-2) ahead of a 3-deep chain
+        // (ids 3-5) in plan order. All four roots are ready at t=0 with
+        // identical per-node cost estimates, so the chain head's
+        // downstream tail makes it the highest-priority injector entry:
+        // the first pop must take the chain head, not the
+        // plan-order-first singleton a FIFO pop would pick. Pop order is
+        // asserted directly on the executor (single-threaded, so it is
+        // deterministic — a log written from racing workers would not
+        // be); the plan is then executed for the completeness check.
+        let started: Arc<std::sync::Mutex<Vec<String>>> =
+            Arc::new(std::sync::Mutex::new(Vec::new()));
+        let mut w = Workflow::new("prio");
+        let tracked = |name: &str, log: &Arc<std::sync::Mutex<Vec<String>>>| {
+            let log = Arc::clone(log);
+            let name = name.to_string();
+            Udf::new(format!("track:{name}"), move |_: &[&DataCollection]| {
+                log.lock().unwrap().push(name.clone());
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                Ok(int_rows(&[1]))
+            })
+        };
+        for i in 0..3 {
+            let name = format!("s{i}");
+            let udf = tracked(&name, &started);
+            let r = w.add(&name, OperatorKind::UserDefined(udf), &[]).unwrap();
+            w.output(&r);
+        }
+        let a = w
+            .add("a", OperatorKind::UserDefined(tracked("a", &started)), &[])
+            .unwrap();
+        let b = w
+            .add(
+                "b",
+                OperatorKind::UserDefined(tracked("b", &started)),
+                &[&a],
+            )
+            .unwrap();
+        let c = w
+            .add(
+                "c",
+                OperatorKind::UserDefined(tracked("c", &started)),
+                &[&b],
+            )
+            .unwrap();
+        w.output(&c);
+        let store = tmp_store("prio");
+        let cm = CostModel::new();
+        let plan = compile(&w, &store, &cm, RecomputationPolicy::Optimal, None).unwrap();
+
+        let exec = ReadyExecutor::new(&w, &plan, &store, 2);
+        let mut injector = lock(&exec.injector);
+        let popped: Vec<String> = std::iter::from_fn(|| exec.pop_injector(&mut injector))
+            .map(|i| w.nodes()[i].name.clone())
+            .collect();
+        drop(injector);
+        assert_eq!(
+            popped,
+            ["a", "s0", "s1", "s2"],
+            "chain head pops first (deepest downstream tail), singletons follow in plan order"
+        );
+
+        execute_plan(&w, &plan, &store, 2, |_, _, _| Ok(())).unwrap();
+        let log = started.lock().unwrap();
+        assert_eq!(log.len(), 6, "every node executed");
     }
 
     #[test]

@@ -1,0 +1,774 @@
+//! Multi-tenant, session-oriented iteration: the serving-shaped API over
+//! the shared-`&self` [`Engine`].
+//!
+//! Helix's premise is a human *iterating*: edit one operator, rerun,
+//! reuse everything untouched. A [`Session`] is one such human's loop —
+//! it owns a live [`Workflow`], typed edit handles
+//! ([`Session::set_learner_param`], [`Session::replace_operator`],
+//! [`Session::rewire`], [`Session::add_output`]) that record a diff
+//! between iterations, and a per-session version [`Lineage`] so the
+//! change tracker only ever compares the session against *its own*
+//! previous iteration. [`Session::iterate`] compiles, executes, and
+//! returns the existing [`IterationReport`].
+//!
+//! A [`SessionManager`] multiplexes many named sessions over one
+//! `Arc<Engine>`: every session shares the engine's sharded intermediate
+//! store and cost model, so analysts transparently reuse each other's
+//! materialized intermediates (reuse falls out of signature identity),
+//! while the store's atomic budget ledger keeps concurrent runs from
+//! jointly overshooting the storage budget.
+//!
+//! # Example
+//!
+//! ```
+//! use helix_core::session::{LearnerParam, SessionManager};
+//! use helix_core::ops::{EvalSpec, ExtractorKind, LearnerSpec};
+//! use helix_core::{Engine, EngineConfig, Workflow};
+//! use helix_dataflow::DataType;
+//! use std::sync::Arc;
+//!
+//! let dir = std::env::temp_dir().join(format!("helix-session-doc-{}", std::process::id()));
+//! std::fs::create_dir_all(&dir).unwrap();
+//! std::fs::write(dir.join("train.csv"), "red,1\nblue,0\n".repeat(60)).unwrap();
+//! std::fs::write(dir.join("test.csv"), "red,1\nblue,0\n".repeat(20)).unwrap();
+//!
+//! let mut w = Workflow::new("doc");
+//! let data = w
+//!     .csv_source("data", dir.join("train.csv"), Some(dir.join("test.csv")))
+//!     .unwrap();
+//! let rows = w
+//!     .csv_scanner("rows", &data, &[("color", DataType::Str), ("y", DataType::Int)])
+//!     .unwrap();
+//! let color = w
+//!     .field_extractor("color_f", &rows, "color", ExtractorKind::Categorical)
+//!     .unwrap();
+//! let label = w
+//!     .field_extractor("label", &rows, "y", ExtractorKind::Numeric)
+//!     .unwrap();
+//! let examples = w.assemble("examples", &rows, &[&color], &label).unwrap();
+//! let preds = w.learner("preds", &examples, LearnerSpec::default()).unwrap();
+//! let checked = w.evaluate("checked", &preds, EvalSpec::default()).unwrap();
+//! w.output(&checked);
+//!
+//! let engine = Arc::new(Engine::new(EngineConfig::helix(dir.join("store"))).unwrap());
+//! let manager = SessionManager::new(Arc::clone(&engine));
+//! let alice = manager.create("alice", w).unwrap();
+//!
+//! let first = alice.iterate().unwrap();
+//! assert_eq!(first.iteration, 0);
+//!
+//! // The human-in-the-loop edit: one typed knob turn, then rerun.
+//! alice.set_learner_param("preds", LearnerParam::RegParam(0.01)).unwrap();
+//! let second = alice.iterate().unwrap();
+//! assert_eq!(second.iteration, 1);
+//! assert!(second.metric("accuracy").is_some());
+//! assert!(second.change_summary.contains("reg_param"));
+//! ```
+
+use crate::engine::{Engine, Lineage, RunOptions};
+use crate::ops::{LearnerSpec, ModelType, OperatorKind};
+use crate::report::IterationReport;
+use crate::version::VersionStore;
+use crate::workflow::{NodeRef, Workflow};
+use crate::{HelixError, Result};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// One typed knob of a learner — the parameters a user turns between
+/// iterations ("change the regularization parameter", §1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LearnerParam {
+    /// L2 regularization strength.
+    RegParam(f64),
+    /// SGD epochs.
+    Epochs(usize),
+    /// SGD learning rate.
+    LearningRate(f64),
+    /// Training seed.
+    Seed(u64),
+    /// Model family.
+    Model(ModelType),
+}
+
+impl LearnerParam {
+    fn apply(self, spec: &mut LearnerSpec) {
+        match self {
+            LearnerParam::RegParam(v) => spec.reg_param = v,
+            LearnerParam::Epochs(v) => spec.epochs = v,
+            LearnerParam::LearningRate(v) => spec.learning_rate = v,
+            LearnerParam::Seed(v) => spec.seed = v,
+            LearnerParam::Model(v) => spec.model_type = v,
+        }
+    }
+}
+
+impl fmt::Display for LearnerParam {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LearnerParam::RegParam(v) => write!(f, "reg_param={v}"),
+            LearnerParam::Epochs(v) => write!(f, "epochs={v}"),
+            LearnerParam::LearningRate(v) => write!(f, "learning_rate={v}"),
+            LearnerParam::Seed(v) => write!(f, "seed={v}"),
+            LearnerParam::Model(v) => write!(f, "model={v}"),
+        }
+    }
+}
+
+/// One recorded edit in a session's between-iterations diff. The pending
+/// log becomes the change summary of the next [`Session::iterate`], so
+/// the version history says what the user *did*.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkflowEdit {
+    /// A typed learner knob turn.
+    SetLearnerParam {
+        /// The learner node the user addressed.
+        learner: String,
+        /// The knob, rendered (`reg_param=0.01`).
+        param: String,
+    },
+    /// An operator swapped in place, wiring kept.
+    ReplaceOperator {
+        /// The edited node.
+        node: String,
+        /// Tag of the new operator.
+        tag: String,
+    },
+    /// A node's parents rewired.
+    Rewire {
+        /// The rewired node.
+        node: String,
+        /// New parent names, in wiring order.
+        parents: Vec<String>,
+    },
+    /// A node marked as a workflow output.
+    AddOutput {
+        /// The node now flagged as output.
+        node: String,
+    },
+    /// A freeform structural edit applied through [`Session::edit`].
+    Freeform {
+        /// Caller-supplied description.
+        description: String,
+    },
+}
+
+impl fmt::Display for WorkflowEdit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkflowEdit::SetLearnerParam { learner, param } => {
+                write!(f, "set {learner} {param}")
+            }
+            WorkflowEdit::ReplaceOperator { node, tag } => {
+                write!(f, "replace {node} with {tag}")
+            }
+            WorkflowEdit::Rewire { node, parents } => {
+                write!(f, "rewire {node} <- {}", parents.join(","))
+            }
+            WorkflowEdit::AddOutput { node } => write!(f, "output {node}"),
+            WorkflowEdit::Freeform { description } => f.write_str(description),
+        }
+    }
+}
+
+/// One analyst's iterative loop over a shared engine: a live workflow,
+/// typed edit handles, and a private version lineage. See the module
+/// docs for the full story and a runnable example.
+#[derive(Debug)]
+pub struct Session {
+    engine: Arc<Engine>,
+    name: String,
+    workflow: Workflow,
+    lineage: Lineage,
+    versions: VersionStore,
+    edits: Vec<WorkflowEdit>,
+    workflow_replaced: bool,
+}
+
+impl Session {
+    /// Creates a session named `name` over `engine`, owning `workflow`
+    /// as its live (editable) version.
+    pub fn new(engine: Arc<Engine>, name: impl Into<String>, workflow: Workflow) -> Session {
+        Session {
+            engine,
+            name: name.into(),
+            workflow,
+            lineage: Lineage::new(),
+            versions: VersionStore::new(),
+            edits: Vec::new(),
+            workflow_replaced: false,
+        }
+    }
+
+    /// The session name (its key in a [`SessionManager`]).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The shared engine this session runs on.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// The live workflow as currently edited.
+    pub fn workflow(&self) -> &Workflow {
+        &self.workflow
+    }
+
+    /// This session's own version history (the engine's
+    /// [`Engine::versions`] aggregates all sessions).
+    pub fn versions(&self) -> &VersionStore {
+        &self.versions
+    }
+
+    /// How many iterations this session has executed.
+    pub fn iteration(&self) -> usize {
+        self.lineage.iteration()
+    }
+
+    /// Edits recorded since the last [`Session::iterate`], oldest first.
+    pub fn pending_edits(&self) -> &[WorkflowEdit] {
+        &self.edits
+    }
+
+    // -- typed edit handles --------------------------------------------------
+
+    /// Turns one knob of a learner: resolves `learner` to its training
+    /// node (accepting either a [`Workflow::learner`] predictions name or
+    /// a direct [`Workflow::train`] node), updates the spec field, and
+    /// records the edit.
+    pub fn set_learner_param(&mut self, learner: &str, param: LearnerParam) -> Result<()> {
+        let id = self.workflow.train_node(learner)?;
+        let node_name = self.workflow.node(id).name.clone();
+        let OperatorKind::Train(spec) = &self.workflow.node(id).kind else {
+            unreachable!("train_node returns Train nodes only");
+        };
+        let mut spec = spec.clone();
+        param.apply(&mut spec);
+        self.workflow
+            .replace_operator(&node_name, OperatorKind::Train(spec))?;
+        self.edits.push(WorkflowEdit::SetLearnerParam {
+            learner: learner.to_string(),
+            param: param.to_string(),
+        });
+        Ok(())
+    }
+
+    /// Replaces the operator at a named node, keeping its wiring (the
+    /// paper's "swap the eval metric" class of edits).
+    pub fn replace_operator(&mut self, node: &str, kind: OperatorKind) -> Result<()> {
+        let tag = kind.tag().to_string();
+        self.workflow.replace_operator(node, kind)?;
+        self.edits.push(WorkflowEdit::ReplaceOperator {
+            node: node.to_string(),
+            tag,
+        });
+        Ok(())
+    }
+
+    /// Rewires the parents of a named node, addressing parents by name
+    /// (the paper's `has_extractors` edit).
+    pub fn rewire(&mut self, node: &str, parents: &[&str]) -> Result<()> {
+        let refs: Vec<NodeRef> = parents
+            .iter()
+            .map(|p| self.workflow.node_ref(p))
+            .collect::<Result<_>>()?;
+        let borrowed: Vec<&NodeRef> = refs.iter().collect();
+        self.workflow.rewire(node, &borrowed)?;
+        self.edits.push(WorkflowEdit::Rewire {
+            node: node.to_string(),
+            parents: parents.iter().map(|p| p.to_string()).collect(),
+        });
+        Ok(())
+    }
+
+    /// Marks a named node as a workflow output.
+    pub fn add_output(&mut self, node: &str) -> Result<()> {
+        let r = self.workflow.node_ref(node)?;
+        self.workflow.output(&r);
+        self.edits.push(WorkflowEdit::AddOutput {
+            node: node.to_string(),
+        });
+        Ok(())
+    }
+
+    /// Applies an arbitrary structural edit to the live workflow (adding
+    /// nodes, wiring new extractors) and records it under `description`.
+    /// The edit is atomic: the closure runs against a scratch copy, so an
+    /// error leaves the live workflow exactly as it was — no
+    /// half-applied mutations and no edit record.
+    pub fn edit<R>(
+        &mut self,
+        description: impl Into<String>,
+        f: impl FnOnce(&mut Workflow) -> Result<R>,
+    ) -> Result<R> {
+        let mut scratch = self.workflow.clone();
+        let value = f(&mut scratch)?;
+        self.workflow = scratch;
+        self.edits.push(WorkflowEdit::Freeform {
+            description: description.into(),
+        });
+        Ok(value)
+    }
+
+    /// Swaps in a freshly built workflow wholesale — the migration path
+    /// for parameter-struct workloads that rebuild per iteration. Clears
+    /// the typed edit log (it no longer describes the delta); the next
+    /// iteration's summary is derived from the signature diff instead,
+    /// even if typed edits are applied after the swap (the diff covers
+    /// both, a partial edit log would not).
+    pub fn replace_workflow(&mut self, workflow: Workflow) {
+        self.workflow = workflow;
+        self.edits.clear();
+        self.workflow_replaced = true;
+    }
+
+    // -- execution -----------------------------------------------------------
+
+    /// Compiles the live workflow against this session's lineage without
+    /// executing it (plan preview).
+    pub fn compile_preview(&self) -> Result<crate::compiler::CompiledPlan> {
+        self.engine.compile_in(&self.workflow, &self.lineage)
+    }
+
+    /// Runs one iteration of the live workflow: the recorded edit log
+    /// becomes the version's change summary, the report lands in both the
+    /// session's and the engine's history, and the lineage advances.
+    /// Requires only `&self` on the engine, so any number of sessions
+    /// iterate concurrently over one `Arc<Engine>`.
+    pub fn iterate(&mut self) -> Result<IterationReport> {
+        let summary = if self.workflow_replaced || self.edits.is_empty() {
+            None
+        } else {
+            let parts: Vec<String> = self.edits.iter().map(|e| e.to_string()).collect();
+            Some(parts.join("; "))
+        };
+        let options = RunOptions {
+            session: Some(self.name.clone()),
+            summary,
+        };
+        let report = self
+            .engine
+            .run_in(&self.workflow, &mut self.lineage, options)?;
+        self.versions.record(&report);
+        self.edits.clear();
+        self.workflow_replaced = false;
+        Ok(report)
+    }
+}
+
+use crate::lock;
+
+/// A cloneable, thread-safe handle to one managed [`Session`]. All
+/// methods take `&self` and serialize on the session's own lock —
+/// distinct sessions never contend.
+#[derive(Debug, Clone)]
+pub struct SessionHandle {
+    name: String,
+    inner: Arc<Mutex<Session>>,
+}
+
+impl SessionHandle {
+    /// Wraps a standalone session in a shareable handle.
+    pub fn from_session(session: Session) -> SessionHandle {
+        SessionHandle {
+            name: session.name.clone(),
+            inner: Arc::new(Mutex::new(session)),
+        }
+    }
+
+    /// The session name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Runs `f` with exclusive access to the session (for inspection or
+    /// several edits under one lock hold).
+    pub fn with<R>(&self, f: impl FnOnce(&mut Session) -> R) -> R {
+        f(&mut lock(&self.inner))
+    }
+
+    /// See [`Session::iterate`].
+    pub fn iterate(&self) -> Result<IterationReport> {
+        lock(&self.inner).iterate()
+    }
+
+    /// See [`Session::set_learner_param`].
+    pub fn set_learner_param(&self, learner: &str, param: LearnerParam) -> Result<()> {
+        lock(&self.inner).set_learner_param(learner, param)
+    }
+
+    /// See [`Session::replace_operator`].
+    pub fn replace_operator(&self, node: &str, kind: OperatorKind) -> Result<()> {
+        lock(&self.inner).replace_operator(node, kind)
+    }
+
+    /// See [`Session::rewire`].
+    pub fn rewire(&self, node: &str, parents: &[&str]) -> Result<()> {
+        lock(&self.inner).rewire(node, parents)
+    }
+
+    /// See [`Session::add_output`].
+    pub fn add_output(&self, node: &str) -> Result<()> {
+        lock(&self.inner).add_output(node)
+    }
+
+    /// See [`Session::edit`].
+    pub fn edit<R>(
+        &self,
+        description: impl Into<String>,
+        f: impl FnOnce(&mut Workflow) -> Result<R>,
+    ) -> Result<R> {
+        lock(&self.inner).edit(description, f)
+    }
+
+    /// See [`Session::replace_workflow`].
+    pub fn replace_workflow(&self, workflow: Workflow) {
+        lock(&self.inner).replace_workflow(workflow)
+    }
+
+    /// How many iterations the session has executed.
+    pub fn iteration(&self) -> usize {
+        lock(&self.inner).iteration()
+    }
+}
+
+/// Multiplexes many named sessions over one shared engine. Creating,
+/// fetching, and removing sessions takes `&self`; handed-out
+/// [`SessionHandle`]s stay valid after removal (removal only unregisters
+/// the name).
+#[derive(Debug)]
+pub struct SessionManager {
+    engine: Arc<Engine>,
+    sessions: Mutex<BTreeMap<String, SessionHandle>>,
+}
+
+impl SessionManager {
+    /// A manager over an existing shared engine.
+    pub fn new(engine: Arc<Engine>) -> SessionManager {
+        SessionManager {
+            engine,
+            sessions: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Convenience: opens a fresh engine from `config` and wraps it.
+    pub fn with_config(config: crate::EngineConfig) -> Result<SessionManager> {
+        Ok(SessionManager::new(Arc::new(Engine::new(config)?)))
+    }
+
+    /// The shared engine.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Creates (and registers) a named session owning `workflow`.
+    ///
+    /// # Errors
+    /// [`HelixError::Workflow`] if the name is already taken.
+    pub fn create(&self, name: &str, workflow: Workflow) -> Result<SessionHandle> {
+        let mut sessions = lock(&self.sessions);
+        if sessions.contains_key(name) {
+            return Err(HelixError::Workflow(format!(
+                "session `{name}` already exists"
+            )));
+        }
+        let handle =
+            SessionHandle::from_session(Session::new(Arc::clone(&self.engine), name, workflow));
+        sessions.insert(name.to_string(), handle.clone());
+        Ok(handle)
+    }
+
+    /// Fetches a registered session by name.
+    pub fn get(&self, name: &str) -> Option<SessionHandle> {
+        lock(&self.sessions).get(name).cloned()
+    }
+
+    /// Unregisters a session, returning its handle (still usable by any
+    /// holder).
+    pub fn remove(&self, name: &str) -> Option<SessionHandle> {
+        lock(&self.sessions).remove(name)
+    }
+
+    /// Registered session names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        lock(&self.sessions).keys().cloned().collect()
+    }
+
+    /// Number of registered sessions.
+    pub fn len(&self) -> usize {
+        lock(&self.sessions).len()
+    }
+
+    /// Whether no session is registered.
+    pub fn is_empty(&self) -> bool {
+        lock(&self.sessions).is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{EvalSpec, ExtractorKind, LearnerSpec, MetricKind};
+    use crate::{EngineConfig, NodeState};
+    use helix_dataflow::DataType;
+    use std::path::{Path, PathBuf};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("helix-session-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn workflow(dir: &Path, reg: f64) -> Workflow {
+        let train = dir.join("train.csv");
+        let test = dir.join("test.csv");
+        if !train.exists() {
+            std::fs::write(&train, "BS,30,1\nMS,40,0\n".repeat(2_000)).unwrap();
+            std::fs::write(&test, "BS,35,1\nMS,45,0\n".repeat(400)).unwrap();
+        }
+        let mut w = Workflow::new("session-mini");
+        let data = w.csv_source("data", &train, Some(&test)).unwrap();
+        let rows = w
+            .csv_scanner(
+                "rows",
+                &data,
+                &[
+                    ("edu", DataType::Str),
+                    ("age", DataType::Int),
+                    ("target", DataType::Int),
+                ],
+            )
+            .unwrap();
+        let edu = w
+            .field_extractor("edu_f", &rows, "edu", ExtractorKind::Categorical)
+            .unwrap();
+        let age = w
+            .field_extractor("age_f", &rows, "age", ExtractorKind::Numeric)
+            .unwrap();
+        let target = w
+            .field_extractor("target_f", &rows, "target", ExtractorKind::Numeric)
+            .unwrap();
+        let income = w.assemble("income", &rows, &[&edu, &age], &target).unwrap();
+        let preds = w
+            .learner(
+                "predictions",
+                &income,
+                LearnerSpec {
+                    reg_param: reg,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        let checked = w
+            .evaluate(
+                "checked",
+                &preds,
+                EvalSpec {
+                    metrics: vec![MetricKind::Accuracy],
+                    split: crate::SPLIT_TEST.into(),
+                },
+            )
+            .unwrap();
+        w.output(&preds);
+        w.output(&checked);
+        w
+    }
+
+    fn engine(dir: &Path) -> Arc<Engine> {
+        Arc::new(Engine::new(EngineConfig::helix(dir.join("store"))).unwrap())
+    }
+
+    #[test]
+    fn typed_edit_drives_reuse_and_summary() {
+        let dir = tmpdir("typed");
+        let mut session = Session::new(engine(&dir), "alice", workflow(&dir, 0.1));
+        let first = session.iterate().unwrap();
+        assert_eq!(first.change_summary, "initial version");
+        assert_eq!(first.session.as_deref(), Some("alice"));
+
+        session
+            .set_learner_param("predictions", LearnerParam::RegParam(0.9))
+            .unwrap();
+        assert_eq!(session.pending_edits().len(), 1);
+        let second = session.iterate().unwrap();
+        assert!(session.pending_edits().is_empty(), "edit log drained");
+        assert_eq!(second.change_summary, "set predictions reg_param=0.9");
+        // The ML-only edit reuses pre-processing: income loads.
+        let income = second.nodes.iter().find(|n| n.name == "income").unwrap();
+        assert_eq!(income.state, NodeState::Load);
+        let model = second
+            .nodes
+            .iter()
+            .find(|n| n.name == "predictions__model")
+            .unwrap();
+        assert_eq!(model.state, NodeState::Compute);
+        assert_eq!(session.versions().len(), 2);
+    }
+
+    #[test]
+    fn edit_closure_and_rewire_record_freeform_diffs() {
+        let dir = tmpdir("freeform");
+        let mut session = Session::new(engine(&dir), "bob", workflow(&dir, 0.1));
+        session.iterate().unwrap();
+        session
+            .edit("add age bucketizer", |w| {
+                let age = w.node_ref("age_f")?;
+                w.bucketizer("age_bucket", &age, 4)?;
+                Ok(())
+            })
+            .unwrap();
+        session
+            .rewire("income", &["rows", "edu_f", "age_bucket", "target_f"])
+            .unwrap();
+        let report = session.iterate().unwrap();
+        assert_eq!(
+            report.change_summary,
+            "add age bucketizer; rewire income <- rows,edu_f,age_bucket,target_f"
+        );
+        assert!(report.metric("accuracy").is_some());
+        // The recorded diff also shows up structurally in the lineage.
+        let diff = session.versions().diff(0, 1).unwrap();
+        assert_eq!(diff.added, vec!["age_bucket".to_string()]);
+    }
+
+    #[test]
+    fn replace_operator_and_add_output_handles() {
+        let dir = tmpdir("replace-op");
+        let mut session = Session::new(engine(&dir), "eve", workflow(&dir, 0.1));
+        session.iterate().unwrap();
+        session
+            .replace_operator(
+                "checked",
+                OperatorKind::Evaluate(EvalSpec {
+                    metrics: vec![MetricKind::F1],
+                    split: crate::SPLIT_TEST.into(),
+                }),
+            )
+            .unwrap();
+        let report = session.iterate().unwrap();
+        assert!(report.metric("f1").is_some());
+        assert!(report.metric("accuracy").is_none());
+        assert!(report.change_summary.contains("replace checked"));
+
+        session.add_output("income").unwrap();
+        let report = session.iterate().unwrap();
+        assert!(report.change_summary.contains("output income"));
+    }
+
+    #[test]
+    fn replace_workflow_clears_edits_and_derives_summary() {
+        let dir = tmpdir("replace-wf");
+        let mut session = Session::new(engine(&dir), "carol", workflow(&dir, 0.1));
+        session.iterate().unwrap();
+        session
+            .set_learner_param("predictions", LearnerParam::Epochs(6))
+            .unwrap();
+        session.replace_workflow(workflow(&dir, 0.5));
+        assert!(session.pending_edits().is_empty());
+        let report = session.iterate().unwrap();
+        assert!(
+            report.change_summary.contains("predictions__model"),
+            "signature-derived summary names the changed node, got: {}",
+            report.change_summary
+        );
+    }
+
+    #[test]
+    fn typed_edit_after_replace_workflow_still_derives_summary_from_diff() {
+        let dir = tmpdir("replace-then-edit");
+        let mut session = Session::new(engine(&dir), "carol", workflow(&dir, 0.1));
+        session.iterate().unwrap();
+        session.replace_workflow(workflow(&dir, 0.5));
+        session
+            .set_learner_param("predictions", LearnerParam::Epochs(6))
+            .unwrap();
+        let report = session.iterate().unwrap();
+        // The summary must describe the wholesale swap (signature diff),
+        // not just the one typed edit applied after it.
+        assert!(
+            report.change_summary.contains("predictions__model"),
+            "signature-derived summary names the changed node, got: {}",
+            report.change_summary
+        );
+        assert_ne!(report.change_summary, "set predictions epochs=6");
+        // A follow-up iteration with only typed edits goes back to the
+        // edit-log summary.
+        session
+            .set_learner_param("predictions", LearnerParam::Epochs(8))
+            .unwrap();
+        let report = session.iterate().unwrap();
+        assert_eq!(report.change_summary, "set predictions epochs=8");
+    }
+
+    #[test]
+    fn manager_registers_fetches_and_rejects_duplicates() {
+        let dir = tmpdir("manager");
+        let manager = SessionManager::new(engine(&dir));
+        assert!(manager.is_empty());
+        let a = manager.create("alice", workflow(&dir, 0.1)).unwrap();
+        manager.create("bob", workflow(&dir, 0.2)).unwrap();
+        assert!(manager.create("alice", workflow(&dir, 0.3)).is_err());
+        assert_eq!(manager.names(), vec!["alice", "bob"]);
+        assert_eq!(manager.len(), 2);
+        assert_eq!(manager.get("alice").unwrap().name(), "alice");
+        assert!(manager.get("zed").is_none());
+
+        a.iterate().unwrap();
+        assert_eq!(a.iteration(), 1);
+        let removed = manager.remove("alice").unwrap();
+        assert_eq!(manager.len(), 1);
+        // The removed handle stays usable.
+        removed.iterate().unwrap();
+        assert_eq!(removed.iteration(), 2);
+    }
+
+    #[test]
+    fn sessions_share_materializations_through_one_engine() {
+        let dir = tmpdir("shared");
+        let manager = SessionManager::new(engine(&dir));
+        let alice = manager.create("alice", workflow(&dir, 0.1)).unwrap();
+        let bob = manager.create("bob", workflow(&dir, 0.1)).unwrap();
+        let first = alice.iterate().unwrap();
+        assert_eq!(first.loaded(), 0);
+        // Bob's *first* iteration reuses Alice's materializations.
+        let cross = bob.iterate().unwrap();
+        assert!(cross.loaded() > 0, "cross-session reuse");
+        assert_eq!(first.metrics, cross.metrics);
+        // Both lineages recorded their own initial version.
+        assert_eq!(alice.with(|s| s.versions().len()), 1);
+        assert_eq!(bob.with(|s| s.versions().len()), 1);
+        assert_eq!(manager.engine().versions().len(), 2);
+    }
+
+    #[test]
+    fn failed_edit_leaves_workflow_untouched() {
+        let dir = tmpdir("atomic-edit");
+        let mut session = Session::new(engine(&dir), "x", workflow(&dir, 0.1));
+        let before = session.workflow().len();
+        let err = session.edit("half-applied", |w| {
+            let age = w.node_ref("age_f")?;
+            w.bucketizer("orphan", &age, 4)?;
+            w.node_ref("no-such-node").map(|_| ())
+        });
+        assert!(err.is_err());
+        assert_eq!(
+            session.workflow().len(),
+            before,
+            "failed edit must not leak the orphan node into the live workflow"
+        );
+        assert!(session.workflow().by_name("orphan").is_none());
+        assert!(session.pending_edits().is_empty());
+    }
+
+    #[test]
+    fn set_learner_param_rejects_non_learners() {
+        let dir = tmpdir("badparam");
+        let mut session = Session::new(engine(&dir), "x", workflow(&dir, 0.1));
+        assert!(session
+            .set_learner_param("rows", LearnerParam::Epochs(2))
+            .is_err());
+        assert!(session.pending_edits().is_empty(), "failed edit unrecorded");
+    }
+}

@@ -199,7 +199,11 @@ impl IntermediateStore {
             let mut shard = self.shard(sig).lock();
             if shard.reserved.contains_key(&sig.0) {
                 // Two in-flight puts of one signature would race the
-                // rename; the engine's plan-order merge never does this.
+                // rename. One run's plan-order merge never does this, but
+                // two concurrent sessions materializing the same workflow
+                // can: both pass the engine's lookup-before-put check,
+                // and the loser lands here. The engine treats the error
+                // as "someone else is materializing it" and moves on.
                 return Err(HelixError::Store(format!(
                     "concurrent put already in flight for signature {}",
                     sig.hex()

@@ -8,6 +8,7 @@
 use crate::ops::Stage;
 use crate::report::IterationReport;
 use crate::workflow::Workflow;
+use std::sync::Arc;
 
 /// An immutable snapshot of one node's definition.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,7 +26,7 @@ pub struct NodeSnapshot {
 }
 
 /// An immutable snapshot of a whole workflow DAG.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DagSnapshot {
     /// Node snapshots in id order.
     pub nodes: Vec<NodeSnapshot>,
@@ -68,10 +69,16 @@ impl DagSnapshot {
 /// One executed workflow version.
 #[derive(Debug, Clone)]
 pub struct WorkflowVersion {
-    /// Sequential version id (== iteration number).
+    /// Sequential version id within this store (the engine's global
+    /// history numbers versions across all sessions; a session's own
+    /// store numbers its lineage from 0).
     pub id: usize,
-    /// The DAG as executed.
-    pub snapshot: DagSnapshot,
+    /// Name of the session that ran the iteration, when one did.
+    pub session: Option<String>,
+    /// The DAG as executed. Shared (`Arc`) because the same iteration is
+    /// typically recorded twice — once in the engine's global history and
+    /// once in the session's private store.
+    pub snapshot: Arc<DagSnapshot>,
     /// Metrics harvested from Evaluate nodes.
     pub metrics: Vec<(String, f64)>,
     /// End-to-end runtime.
@@ -110,20 +117,20 @@ impl VersionStore {
         Self::default()
     }
 
-    /// Records an executed iteration; returns the new version id.
-    pub fn record(
-        &mut self,
-        workflow: &Workflow,
-        report: &IterationReport,
-        change_summary: String,
-    ) -> usize {
+    /// Records an executed iteration (DAG snapshot, metrics, runtime,
+    /// session, and change summary all come from the report); returns
+    /// the new version id. Stores recording the same iteration (the
+    /// engine's global history and a session's private one) share the
+    /// report's snapshot allocation.
+    pub fn record(&mut self, report: &IterationReport) -> usize {
         let id = self.versions.len();
         self.versions.push(WorkflowVersion {
             id,
-            snapshot: DagSnapshot::capture(workflow),
+            session: report.session.clone(),
+            snapshot: Arc::clone(&report.snapshot),
             metrics: report.metrics.clone(),
             total_secs: report.total_secs,
-            change_summary,
+            change_summary: report.change_summary.clone(),
         });
         id
     }
@@ -259,10 +266,19 @@ mod tests {
         w
     }
 
-    fn fake_report(iteration: usize, acc: f64, secs: f64) -> IterationReport {
+    fn fake_report(
+        w: &Workflow,
+        iteration: usize,
+        acc: f64,
+        secs: f64,
+        summary: &str,
+    ) -> IterationReport {
         IterationReport {
             iteration,
             workflow_name: "t".into(),
+            snapshot: Arc::new(DagSnapshot::capture(w)),
+            session: None,
+            change_summary: summary.into(),
             total_secs: secs,
             optimizer_secs: 0.0,
             materialize_secs: 0.0,
@@ -285,8 +301,8 @@ mod tests {
     fn record_and_lookup() {
         let mut vs = VersionStore::new();
         let w = workflow(0.1);
-        let id0 = vs.record(&w, &fake_report(0, 0.8, 1.0), "initial".into());
-        let id1 = vs.record(&w, &fake_report(1, 0.85, 0.5), "tweak".into());
+        let id0 = vs.record(&fake_report(&w, 0, 0.8, 1.0, "initial"));
+        let id1 = vs.record(&fake_report(&w, 1, 0.85, 0.5, "tweak"));
         assert_eq!((id0, id1), (0, 1));
         assert_eq!(vs.len(), 2);
         assert_eq!(vs.latest().unwrap().id, 1);
@@ -297,9 +313,9 @@ mod tests {
     fn best_by_metric_and_trend() {
         let mut vs = VersionStore::new();
         let w = workflow(0.1);
-        vs.record(&w, &fake_report(0, 0.80, 1.0), "a".into());
-        vs.record(&w, &fake_report(1, 0.91, 1.0), "b".into());
-        vs.record(&w, &fake_report(2, 0.86, 1.0), "c".into());
+        vs.record(&fake_report(&w, 0, 0.80, 1.0, "a"));
+        vs.record(&fake_report(&w, 1, 0.91, 1.0, "b"));
+        vs.record(&fake_report(&w, 2, 0.86, 1.0, "c"));
         assert_eq!(vs.best_by_metric("accuracy").unwrap().id, 1);
         assert!(vs.best_by_metric("f1").is_none());
         assert_eq!(
@@ -311,8 +327,8 @@ mod tests {
     #[test]
     fn diff_detects_param_changes() {
         let mut vs = VersionStore::new();
-        vs.record(&workflow(0.1), &fake_report(0, 0.8, 1.0), "a".into());
-        vs.record(&workflow(0.9), &fake_report(1, 0.8, 1.0), "b".into());
+        vs.record(&fake_report(&workflow(0.1), 0, 0.8, 1.0, "a"));
+        vs.record(&fake_report(&workflow(0.9), 1, 0.8, 1.0, "b"));
         let diff = vs.diff(0, 1).unwrap();
         assert!(diff.added.is_empty());
         assert!(diff.removed.is_empty());
@@ -335,8 +351,8 @@ mod tests {
             .field_extractor("ms", &rows, "x", ExtractorKind::Categorical)
             .unwrap();
         w2.rewire("income", &[&rows, &x, &ms, &y]).unwrap();
-        vs.record(&w1, &fake_report(0, 0.8, 1.0), "a".into());
-        vs.record(&w2, &fake_report(1, 0.8, 1.0), "b".into());
+        vs.record(&fake_report(&w1, 0, 0.8, 1.0, "a"));
+        vs.record(&fake_report(&w2, 1, 0.8, 1.0, "b"));
         let diff = vs.diff(0, 1).unwrap();
         assert_eq!(diff.added, vec!["ms".to_string()]);
         assert_eq!(diff.changed.len(), 1, "income rewired");
@@ -347,8 +363,8 @@ mod tests {
     #[test]
     fn identical_versions_diff_empty() {
         let mut vs = VersionStore::new();
-        vs.record(&workflow(0.1), &fake_report(0, 0.8, 1.0), "a".into());
-        vs.record(&workflow(0.1), &fake_report(1, 0.8, 1.0), "b".into());
+        vs.record(&fake_report(&workflow(0.1), 0, 0.8, 1.0, "a"));
+        vs.record(&fake_report(&workflow(0.1), 1, 0.8, 1.0, "b"));
         assert!(vs.diff(0, 1).unwrap().is_empty());
         assert!(vs.diff(0, 9).is_none());
     }
@@ -368,7 +384,7 @@ mod tests {
     #[test]
     fn recorded_version_keeps_metrics_not_report() {
         let mut vs = VersionStore::new();
-        vs.record(&workflow(0.1), &fake_report(0, 0.77, 2.5), "a".into());
+        vs.record(&fake_report(&workflow(0.1), 0, 0.77, 2.5, "a"));
         let v = vs.get(0).unwrap();
         assert_eq!(v.metrics, vec![("accuracy".to_string(), 0.77)]);
         assert_eq!(v.total_secs, 2.5);

@@ -120,6 +120,9 @@ pub fn version_log(store: &crate::version::VersionStore) -> String {
     let best_acc = store.best_by_metric("accuracy").map(|v| v.id);
     for v in store.all().iter().rev() {
         let mut badges = String::new();
+        if let Some(session) = &v.session {
+            badges.push_str(&format!(" [{session}]"));
+        }
         if Some(v.id) == best_acc {
             badges.push_str(" (best accuracy)");
         }
@@ -192,6 +195,9 @@ mod tests {
         IterationReport {
             iteration: 0,
             workflow_name: "t".into(),
+            snapshot: std::sync::Arc::new(crate::version::DagSnapshot::capture(w)),
+            session: Some("viz".into()),
+            change_summary: "initial".into(),
             total_secs: 1.0,
             optimizer_secs: 0.0,
             materialize_secs: 0.0,
@@ -260,14 +266,16 @@ mod tests {
     fn version_log_flags_best_and_latest() {
         let w = workflow();
         let mut vs = VersionStore::new();
-        vs.record(&w, &full_report(&w), "initial".into());
+        vs.record(&full_report(&w));
         let mut better = full_report(&w);
         better.metrics = vec![("accuracy".into(), 0.95)];
-        vs.record(&w, &better, "improved".into());
+        better.change_summary = "improved".into();
+        vs.record(&better);
         let log = version_log(&vs);
         assert!(log.contains("(best accuracy)"));
         assert!(log.contains("(latest)"));
         assert!(log.contains("initial"));
+        assert!(log.contains("[viz]"), "session attribution in the log");
     }
 
     #[test]

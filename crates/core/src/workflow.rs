@@ -340,6 +340,22 @@ impl Workflow {
         Ok(())
     }
 
+    /// Resolves the *training* node behind a learner name: either the
+    /// node itself when it is a [`OperatorKind::Train`] declaration, or
+    /// the `<name>__model` twin the [`Workflow::learner`] sugar creates.
+    /// This is what typed session edits (`set_learner_param`) target.
+    pub fn train_node(&self, learner: &str) -> Result<NodeId> {
+        let direct = self
+            .by_name(learner)
+            .filter(|id| matches!(self.node(*id).kind, OperatorKind::Train(_)));
+        if let Some(id) = direct {
+            return Ok(id);
+        }
+        self.by_name(&format!("{learner}__model"))
+            .filter(|id| matches!(self.node(*id).kind, OperatorKind::Train(_)))
+            .ok_or_else(|| HelixError::Workflow(format!("no learner node named `{learner}`")))
+    }
+
     /// A handle for an existing node, for rewiring.
     pub fn node_ref(&self, name: &str) -> Result<NodeRef> {
         self.by_name(name)
@@ -514,6 +530,32 @@ mod tests {
         let node = w.node(preds.0);
         assert_eq!(node.parents.len(), 2);
         assert!(matches!(node.kind, OperatorKind::Apply));
+    }
+
+    #[test]
+    fn train_node_resolves_learner_sugar_and_direct_train() {
+        let mut w = Workflow::new("t");
+        let src = w.csv_source("data", "train.csv", None::<&str>).unwrap();
+        let rows = w
+            .csv_scanner("rows", &src, &[("x", DataType::Int)])
+            .unwrap();
+        let ext = w
+            .field_extractor("x", &rows, "x", ExtractorKind::Numeric)
+            .unwrap();
+        let label = w
+            .field_extractor("y", &rows, "x", ExtractorKind::Numeric)
+            .unwrap();
+        let income = w.assemble("income", &rows, &[&ext], &label).unwrap();
+        w.learner("predictions", &income, LearnerSpec::default())
+            .unwrap();
+        let direct = w.train("solo", &income, LearnerSpec::default()).unwrap();
+        assert_eq!(
+            w.train_node("predictions").unwrap(),
+            w.by_name("predictions__model").unwrap()
+        );
+        assert_eq!(w.train_node("solo").unwrap(), direct.0);
+        assert!(w.train_node("rows").is_err(), "not a learner");
+        assert!(w.train_node("zzz").is_err());
     }
 
     #[test]

@@ -441,9 +441,11 @@ mod tests {
         .unwrap();
         let params = CensusParams::initial(&dir);
         let w = census_workflow(&params).unwrap();
-        let mut engine =
-            helix_core::Engine::new(helix_core::EngineConfig::helix(dir.join("store"))).unwrap();
-        let report = engine.run(&w).unwrap();
+        let engine = std::sync::Arc::new(
+            helix_core::Engine::new(helix_core::EngineConfig::helix(dir.join("store"))).unwrap(),
+        );
+        let mut session = helix_core::Session::new(engine, "census-test", w);
+        let report = session.iterate().unwrap();
         let acc = report.metric("accuracy").unwrap();
         assert!(acc > 0.6, "model should beat chance, got {acc}");
     }

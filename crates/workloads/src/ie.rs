@@ -501,9 +501,11 @@ mod tests {
         params.feat_gazetteer = true;
         params.feat_title = true;
         let w = ie_workflow(&params).unwrap();
-        let mut engine =
-            helix_core::Engine::new(helix_core::EngineConfig::helix(dir.join("store"))).unwrap();
-        let report = engine.run(&w).unwrap();
+        let engine = std::sync::Arc::new(
+            helix_core::Engine::new(helix_core::EngineConfig::helix(dir.join("store"))).unwrap(),
+        );
+        let mut session = helix_core::Session::new(engine, "ie-test", w);
+        let report = session.iterate().unwrap();
         let f1 = report.metric("f1").unwrap();
         assert!(f1 > 0.7, "IE should find most people, f1 = {f1}");
     }
@@ -511,13 +513,17 @@ mod tests {
     #[test]
     fn feature_iterations_improve_or_hold_f1() {
         let (dir, mut params) = setup("iters", 150);
-        let mut engine =
-            helix_core::Engine::new(helix_core::EngineConfig::helix(dir.join("store"))).unwrap();
-        let base = engine.run(&ie_workflow(&params).unwrap()).unwrap();
+        let engine = std::sync::Arc::new(
+            helix_core::Engine::new(helix_core::EngineConfig::helix(dir.join("store"))).unwrap(),
+        );
+        let mut session =
+            helix_core::Session::new(engine, "ie-iters", ie_workflow(&params).unwrap());
+        let base = session.iterate().unwrap();
         let base_f1 = base.metric("f1").unwrap();
         params.feat_gazetteer = true;
         params.feat_context = true;
-        let better = engine.run(&ie_workflow(&params).unwrap()).unwrap();
+        session.replace_workflow(ie_workflow(&params).unwrap());
+        let better = session.iterate().unwrap();
         let better_f1 = better.metric("f1").unwrap();
         assert!(
             better_f1 >= base_f1 - 0.02,
@@ -541,12 +547,16 @@ mod tests {
     #[test]
     fn eval_iteration_reuses_heavily() {
         let (dir, mut params) = setup("reuse", 120);
-        let mut engine =
-            helix_core::Engine::new(helix_core::EngineConfig::helix(dir.join("store"))).unwrap();
-        engine.run(&ie_workflow(&params).unwrap()).unwrap();
+        let engine = std::sync::Arc::new(
+            helix_core::Engine::new(helix_core::EngineConfig::helix(dir.join("store"))).unwrap(),
+        );
+        let mut session =
+            helix_core::Session::new(engine, "ie-reuse", ie_workflow(&params).unwrap());
+        session.iterate().unwrap();
         // Evaluation-only change: everything upstream should be reusable.
         params.metrics = vec![MetricKind::F1, MetricKind::Precision];
-        let report = engine.run(&ie_workflow(&params).unwrap()).unwrap();
+        session.replace_workflow(ie_workflow(&params).unwrap());
+        let report = session.iterate().unwrap();
         let prep: Vec<_> = report
             .nodes
             .iter()

@@ -668,9 +668,11 @@ mod tests {
         .unwrap();
         let params = NewsParams::initial(&dir);
         let w = news_workflow(&params).unwrap();
-        let mut engine =
-            helix_core::Engine::new(helix_core::EngineConfig::helix(dir.join("store"))).unwrap();
-        let report = engine.run(&w).unwrap();
+        let engine = std::sync::Arc::new(
+            helix_core::Engine::new(helix_core::EngineConfig::helix(dir.join("store"))).unwrap(),
+        );
+        let mut session = helix_core::Session::new(engine, "news-test", w);
+        let report = session.iterate().unwrap();
         let acc = report.metric("accuracy").unwrap();
         assert!(
             acc > 0.75,
@@ -689,13 +691,19 @@ mod tests {
             },
         )
         .unwrap();
-        let mut params = NewsParams::initial(&dir);
-        let mut engine =
-            helix_core::Engine::new(helix_core::EngineConfig::helix(dir.join("store"))).unwrap();
-        engine.run(&news_workflow(&params).unwrap()).unwrap();
-        // ML-only change: the feature extractors must all be reused.
-        params.reg_param = 0.01;
-        let report = engine.run(&news_workflow(&params).unwrap()).unwrap();
+        let params = NewsParams::initial(&dir);
+        let engine = std::sync::Arc::new(
+            helix_core::Engine::new(helix_core::EngineConfig::helix(dir.join("store"))).unwrap(),
+        );
+        let mut session =
+            helix_core::Session::new(engine, "news-reuse", news_workflow(&params).unwrap());
+        session.iterate().unwrap();
+        // ML-only change via the typed session handle: the feature
+        // extractors must all be reused.
+        session
+            .set_learner_param("predictions", helix_core::LearnerParam::RegParam(0.01))
+            .unwrap();
+        let report = session.iterate().unwrap();
         for feat in ["feat_length", "feat_caps", "feat_gazetteer"] {
             let node = report.nodes.iter().find(|n| n.name == feat).unwrap();
             assert_ne!(

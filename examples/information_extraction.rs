@@ -1,17 +1,19 @@
 //! The paper's second application: person-mention extraction from news
 //! articles (structured prediction over unstructured text, §3).
 //!
-//! Walks the feature-engineering loop a data scientist would: start with
-//! lexical features only, then progressively wire in context, gazetteer,
-//! and shape features, watching F1 climb while Helix reuses the expensive
-//! text pre-processing (sentence splitting, tokenization, candidate
-//! extraction) across every iteration.
+//! Walks the feature-engineering loop a data scientist would — as one
+//! named session over a shared engine: start with lexical features only,
+//! then progressively wire in context, gazetteer, and shape features,
+//! watching F1 climb while Helix reuses the expensive text pre-processing
+//! (sentence splitting, tokenization, candidate extraction) across every
+//! iteration.
 //!
 //! ```text
 //! cargo run --release --example information_extraction
 //! ```
 
 use helix::baselines::SystemKind;
+use helix::core::session::Session;
 use helix::workloads::ie::{ie_workflow, IeParams};
 use helix::workloads::news::{generate_news, NewsDataSpec};
 
@@ -28,8 +30,8 @@ fn main() {
     );
 
     let _ = std::fs::remove_dir_all(dir.join("store"));
-    let mut engine = SystemKind::Helix
-        .build_engine(&dir.join("store"))
+    let engine = SystemKind::Helix
+        .build_shared(&dir.join("store"))
         .expect("engine");
     let mut params = IeParams::initial(&dir);
     params.metrics = vec![
@@ -50,14 +52,21 @@ fn main() {
         ("+ honorific-title cue", Box::new(|p| p.feat_title = true)),
     ];
 
+    let mut session = Session::new(
+        engine,
+        "ie-analyst",
+        ie_workflow(&params).expect("workflow"),
+    );
     println!(
         "{:<28} {:>7} {:>10} {:>8} {:>9} {:>8}",
         "feature set", "F1", "precision", "recall", "runtime", "reuse"
     );
-    for (label, apply) in steps {
+    for (i, (label, apply)) in steps.iter().enumerate() {
         apply(&mut params);
-        let workflow = ie_workflow(&params).expect("workflow");
-        let report = engine.run(&workflow).expect("run");
+        if i > 0 {
+            session.replace_workflow(ie_workflow(&params).expect("workflow"));
+        }
+        let report = session.iterate().expect("run");
         println!(
             "{:<28} {:>7.3} {:>10.3} {:>8.3} {:>8.3}s {:>7.0}%",
             label,
@@ -75,7 +84,7 @@ fn main() {
          newly wired feature extractor and the learner run."
     );
     println!("\nBest version by F1:");
-    if let Some(best) = engine.versions().best_by_metric("f1") {
+    if let Some(best) = session.versions().best_by_metric("f1") {
         println!(
             "  version {} (F1 = {:.3}): {}",
             best.id,

@@ -1,13 +1,16 @@
-//! Quickstart: declare a workflow, run it, change one knob, run again,
-//! and watch Helix reuse everything the change did not touch.
+//! Quickstart: open a session on a shared engine, run the workflow, turn
+//! one typed knob, run again, and watch Helix reuse everything the change
+//! did not touch.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
 use helix::core::ops::{EvalSpec, ExtractorKind, LearnerSpec, MetricKind};
+use helix::core::session::{LearnerParam, SessionManager};
 use helix::core::workflow::Workflow;
 use helix::core::{Engine, EngineConfig};
+use std::sync::Arc;
 
 fn build_workflow(dir: &std::path::Path, reg_param: f64) -> Workflow {
     use helix::dataflow::DataType;
@@ -87,15 +90,26 @@ fn main() {
     std::fs::write(dir.join("test.csv"), test).unwrap();
 
     let _ = std::fs::remove_dir_all(dir.join("store"));
-    let mut engine = Engine::new(EngineConfig::helix(dir.join("store"))).expect("engine");
+    // One shared engine (any number of sessions could run over it — see
+    // examples/multi_session.rs); one named session for this analyst.
+    let engine = Arc::new(Engine::new(EngineConfig::helix(dir.join("store"))).expect("engine"));
+    let manager = SessionManager::new(engine);
+    let session = manager
+        .create("analyst", build_workflow(&dir, 0.1))
+        .expect("session");
 
     println!("--- iteration 0: initial version ---");
-    let report = engine.run(&build_workflow(&dir, 0.1)).expect("run");
+    let report = session.iterate().expect("run");
     println!("{}", report.summary());
     println!("accuracy = {:?}\n", report.metric("accuracy"));
 
     println!("--- iteration 1: change regularization (ML-only change) ---");
-    let report = engine.run(&build_workflow(&dir, 0.01)).expect("run");
+    // The human-in-the-loop edit is one typed knob turn on the live
+    // workflow — no rebuilding, and the version history records the edit.
+    session
+        .set_learner_param("predictions", LearnerParam::RegParam(0.01))
+        .expect("edit");
+    let report = session.iterate().expect("run");
     println!("{}", report.summary());
     for node in &report.nodes {
         println!(
@@ -112,10 +126,10 @@ fn main() {
     );
 
     println!("\n--- iteration 2: identical rerun (everything reused) ---");
-    let report = engine.run(&build_workflow(&dir, 0.01)).expect("run");
+    let report = session.iterate().expect("run");
     println!("{}", report.summary());
     println!(
         "\nVersion history:\n{}",
-        helix::core::viz::version_log(engine.versions())
+        session.with(|s| helix::core::viz::version_log(s.versions()))
     );
 }

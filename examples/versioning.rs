@@ -1,12 +1,13 @@
 //! The demo's Versions and Metrics tabs (§3.1) as a CLI session: run a
-//! few scripted iterations, browse the git-log-style history, plot the
-//! accuracy trend, and diff two versions.
+//! few scripted iterations through a named session, browse the
+//! git-log-style history, plot the accuracy trend, and diff two versions.
 //!
 //! ```text
 //! cargo run --release --example versioning
 //! ```
 
 use helix::baselines::SystemKind;
+use helix::core::session::Session;
 use helix::core::viz;
 use helix::workloads::census::{
     census_iterations, census_workflow, generate_census, CensusDataSpec, CensusParams,
@@ -25,27 +26,30 @@ fn main() {
     .expect("generate data");
 
     let _ = std::fs::remove_dir_all(dir.join("store"));
-    let mut engine = SystemKind::Helix
-        .build_engine(&dir.join("store"))
+    let engine = SystemKind::Helix
+        .build_shared(&dir.join("store"))
         .expect("engine");
     let mut params = CensusParams::initial(&dir);
+    let mut session = Session::new(
+        engine,
+        "versioning",
+        census_workflow(&params).expect("workflow"),
+    );
 
-    engine
-        .run(&census_workflow(&params).expect("workflow"))
-        .expect("run");
+    session.iterate().expect("run");
     for spec in census_iterations().into_iter().take(5) {
         (spec.apply)(&mut params);
-        engine
-            .run(&census_workflow(&params).expect("workflow"))
-            .expect("run");
+        session.replace_workflow(census_workflow(&params).expect("workflow"));
+        session.iterate().expect("run");
     }
 
-    // Versions tab: commit-log browser with best/latest shortcuts.
-    println!("=== Versions ===\n{}", viz::version_log(engine.versions()));
+    // Versions tab: commit-log browser with best/latest shortcuts, over
+    // this session's own lineage.
+    println!("=== Versions ===\n{}", viz::version_log(session.versions()));
 
     // Metrics tab: accuracy trend across iterations.
     println!("=== Metrics: accuracy trend ===");
-    let trend = engine.versions().metric_trend("accuracy");
+    let trend = session.versions().metric_trend("accuracy");
     let (min, max) = trend.iter().fold((f64::MAX, f64::MIN), |(lo, hi), (_, v)| {
         (lo.min(*v), hi.max(*v))
     });
@@ -64,10 +68,10 @@ fn main() {
 
     // Comparison view: select two versions, see the git-style DAG diff.
     println!("\n=== Compare version 0 and version 2 ===");
-    let diff = engine.versions().diff(0, 2).expect("versions exist");
+    let diff = session.versions().diff(0, 2).expect("versions exist");
     print!("{}", viz::diff_text(&diff));
 
     println!("\n=== Compare version 2 and version 3 ===");
-    let diff = engine.versions().diff(2, 3).expect("versions exist");
+    let diff = session.versions().diff(2, 3).expect("versions exist");
     print!("{}", viz::diff_text(&diff));
 }

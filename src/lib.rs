@@ -4,7 +4,9 @@
 //! integration tests, and downstream users can depend on a single crate:
 //!
 //! * [`core`] — the Helix system: workflow DSL, DAG compiler, recomputation
-//!   and materialization optimizers, execution engine, versioning.
+//!   and materialization optimizers, execution engine, versioning, and the
+//!   session layer ([`core::session`]) that multiplexes many concurrent
+//!   analysts over one shared engine.
 //! * [`dataflow`] — the in-memory dataflow substrate (data collections,
 //!   schemas, CSV, binary codec).
 //! * [`ml`] — learners, feature spaces, and evaluation metrics.

@@ -1,7 +1,10 @@
-//! Cross-crate integration tests: full workflows through the public API.
+//! Cross-crate integration tests: full workflows through the public API —
+//! iteration scripts drive named [`Session`]s over shared engines.
 
 use helix::baselines::SystemKind;
-use helix::core::{Engine, EngineConfig, IterationReport, NodeState, Workflow, SPLIT_TEST};
+use helix::core::{
+    Engine, EngineConfig, IterationReport, NodeState, Session, Workflow, SPLIT_TEST,
+};
 use helix::workloads::census::{
     census_iterations, census_workflow, generate_census, CensusDataSpec, CensusParams,
 };
@@ -28,14 +31,21 @@ fn census_full_iteration_script_runs_green() {
         },
     )
     .unwrap();
-    let mut engine = SystemKind::Helix.build_engine(&dir.join("store")).unwrap();
+    let engine = SystemKind::Helix.build_shared(&dir.join("store")).unwrap();
     let mut params = CensusParams::initial(&dir);
-    let mut reports = vec![engine.run(&census_workflow(&params).unwrap()).unwrap()];
+    let mut session = Session::new(
+        std::sync::Arc::clone(&engine),
+        "census-script",
+        census_workflow(&params).unwrap(),
+    );
+    let mut reports = vec![session.iterate().unwrap()];
     for spec in census_iterations() {
         (spec.apply)(&mut params);
-        reports.push(engine.run(&census_workflow(&params).unwrap()).unwrap());
+        session.replace_workflow(census_workflow(&params).unwrap());
+        reports.push(session.iterate().unwrap());
     }
     assert_eq!(engine.versions().len(), reports.len());
+    assert_eq!(session.versions().len(), reports.len());
     // Every iteration after the first reuses something.
     for report in &reports[1..] {
         assert!(
@@ -59,12 +69,14 @@ fn ie_full_iteration_script_runs_green() {
         },
     )
     .unwrap();
-    let mut engine = SystemKind::Helix.build_engine(&dir.join("store")).unwrap();
+    let engine = SystemKind::Helix.build_shared(&dir.join("store")).unwrap();
     let mut params = IeParams::initial(&dir);
-    engine.run(&ie_workflow(&params).unwrap()).unwrap();
+    let mut session = Session::new(engine, "ie-script", ie_workflow(&params).unwrap());
+    session.iterate().unwrap();
     for spec in ie_iterations() {
         (spec.apply)(&mut params);
-        let report = engine.run(&ie_workflow(&params).unwrap()).unwrap();
+        session.replace_workflow(ie_workflow(&params).unwrap());
+        let report = session.iterate().unwrap();
         assert!(report.metric("f1").is_some());
     }
 }
@@ -93,20 +105,14 @@ fn optimizations_never_change_results_census() {
     .iter()
     .enumerate()
     {
-        let mut engine = system.build_engine(&dir.join(format!("store{k}"))).unwrap();
+        let engine = system.build_shared(&dir.join(format!("store{k}"))).unwrap();
         let mut params = CensusParams::initial(&dir);
-        let mut metrics = engine
-            .run(&census_workflow(&params).unwrap())
-            .unwrap()
-            .metrics;
+        let mut session = Session::new(engine, system.label(), census_workflow(&params).unwrap());
+        let mut metrics = session.iterate().unwrap().metrics;
         for spec in census_iterations() {
             (spec.apply)(&mut params);
-            metrics.extend(
-                engine
-                    .run(&census_workflow(&params).unwrap())
-                    .unwrap()
-                    .metrics,
-            );
+            session.replace_workflow(census_workflow(&params).unwrap());
+            metrics.extend(session.iterate().unwrap().metrics);
         }
         all_metrics.push(metrics);
     }
@@ -128,15 +134,18 @@ fn rollback_reuses_old_materializations() {
         },
     )
     .unwrap();
-    let mut engine = SystemKind::Helix.build_engine(&dir.join("store")).unwrap();
+    let engine = SystemKind::Helix.build_shared(&dir.join("store")).unwrap();
     let mut params = CensusParams::initial(&dir);
-    engine.run(&census_workflow(&params).unwrap()).unwrap();
+    let mut session = Session::new(engine, "rollback", census_workflow(&params).unwrap());
+    session.iterate().unwrap();
     // Explore a branch…
     params.include_marital_status = true;
-    engine.run(&census_workflow(&params).unwrap()).unwrap();
+    session.replace_workflow(census_workflow(&params).unwrap());
+    session.iterate().unwrap();
     // …then roll back.
     params.include_marital_status = false;
-    let rollback = engine.run(&census_workflow(&params).unwrap()).unwrap();
+    session.replace_workflow(census_workflow(&params).unwrap());
+    let rollback = session.iterate().unwrap();
     assert!(
         rollback.computed() <= 2,
         "rollback should reload almost everything, computed {}",
@@ -161,11 +170,11 @@ fn store_survives_engine_restart() {
     let params = CensusParams::initial(&dir);
     let w = census_workflow(&params).unwrap();
     {
-        let mut engine = SystemKind::Helix.build_engine(&dir.join("store")).unwrap();
+        let engine = SystemKind::Helix.build_engine(&dir.join("store")).unwrap();
         engine.run(&w).unwrap();
         assert!(!engine.store().is_empty());
     }
-    let mut engine = SystemKind::Helix.build_engine(&dir.join("store")).unwrap();
+    let engine = SystemKind::Helix.build_engine(&dir.join("store")).unwrap();
     let report = engine.run(&w).unwrap();
     assert!(
         report.loaded() > 0,
@@ -186,14 +195,25 @@ fn eval_change_is_nearly_free() {
         },
     )
     .unwrap();
-    let mut engine = SystemKind::Helix.build_engine(&dir.join("store")).unwrap();
-    let mut params = CensusParams::initial(&dir);
-    let first = engine.run(&census_workflow(&params).unwrap()).unwrap();
-    params.metrics = vec![
-        helix::core::ops::MetricKind::Accuracy,
-        helix::core::ops::MetricKind::F1,
-    ];
-    let eval_iter = engine.run(&census_workflow(&params).unwrap()).unwrap();
+    let engine = SystemKind::Helix.build_shared(&dir.join("store")).unwrap();
+    let params = CensusParams::initial(&dir);
+    let mut session = Session::new(engine, "eval-free", census_workflow(&params).unwrap());
+    let first = session.iterate().unwrap();
+    // The evaluation-only change through the typed handle: swap the
+    // Reducer's metric set in place.
+    session
+        .replace_operator(
+            "checked",
+            helix::core::ops::OperatorKind::Evaluate(helix::core::ops::EvalSpec {
+                metrics: vec![
+                    helix::core::ops::MetricKind::Accuracy,
+                    helix::core::ops::MetricKind::F1,
+                ],
+                split: SPLIT_TEST.into(),
+            }),
+        )
+        .unwrap();
+    let eval_iter = session.iterate().unwrap();
     // Only the Reducer recomputes; its input is loaded.
     let recomputed: Vec<&str> = eval_iter
         .nodes
@@ -256,7 +276,7 @@ fn evaluation_uses_test_split() {
         )
         .unwrap();
     w.output(&checked);
-    let mut engine = SystemKind::Helix.build_engine(&dir.join("store")).unwrap();
+    let engine = SystemKind::Helix.build_engine(&dir.join("store")).unwrap();
     let report = engine.run(&w).unwrap();
     assert_eq!(
         report.metric("accuracy"),
@@ -293,11 +313,10 @@ fn assert_parallel_equivalence(
         config.materialization = helix::core::MaterializationPolicyKind::All;
         config
     };
-    let mut all_seq = Engine::new(all_config("store-all-seq", 1)).unwrap();
-    let mut all_par = Engine::new(all_config("store-all-par", threads)).unwrap();
-    let mut seq =
-        Engine::new(EngineConfig::helix(dir.join("store-seq")).with_parallelism(1)).unwrap();
-    let mut par =
+    let all_seq = Engine::new(all_config("store-all-seq", 1)).unwrap();
+    let all_par = Engine::new(all_config("store-all-par", threads)).unwrap();
+    let seq = Engine::new(EngineConfig::helix(dir.join("store-seq")).with_parallelism(1)).unwrap();
+    let par =
         Engine::new(EngineConfig::helix(dir.join("store-par")).with_parallelism(threads)).unwrap();
 
     let mut last = None;
@@ -436,8 +455,7 @@ fn wave_reports_cover_every_executed_node() {
     )
     .unwrap();
     let params = CensusParams::initial(&dir);
-    let mut engine =
-        Engine::new(EngineConfig::helix(dir.join("store")).with_parallelism(4)).unwrap();
+    let engine = Engine::new(EngineConfig::helix(dir.join("store")).with_parallelism(4)).unwrap();
     let report = engine.run(&census_workflow(&params).unwrap()).unwrap();
     let wave_nodes: usize = report.waves.iter().map(|w| w.nodes).sum();
     assert_eq!(wave_nodes, report.loaded() + report.computed());

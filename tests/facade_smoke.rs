@@ -6,10 +6,12 @@
 //! anything subtler runs.
 
 use helix::core::ops::{EvalSpec, ExtractorKind, LearnerSpec, MetricKind};
+use helix::core::session::{LearnerParam, SessionManager};
 use helix::core::{Engine, EngineConfig, Workflow, SPLIT_TEST};
 use helix::dataflow::{DataType, Value};
 use helix::mincut::{Project, ProjectSelection};
 use helix::ml::SparseVector;
+use std::sync::Arc;
 
 #[test]
 fn every_facade_module_resolves() {
@@ -17,6 +19,8 @@ fn every_facade_module_resolves() {
     // assertion (it only compiles if every path resolves).
     let _ = helix::baselines::SystemKind::Helix;
     let _ = helix::core::recompute::NodeState::Compute;
+    let _ = helix::core::LearnerParam::RegParam(0.1);
+    let _ = helix::core::session::WorkflowEdit::AddOutput { node: "x".into() };
     let _ = helix::dataflow::Value::Int(1);
     let _ = helix::mincut::CAP_INF;
     let _ = SparseVector::default();
@@ -81,13 +85,22 @@ fn trivial_workflow_runs_end_to_end_and_reuses() {
     w.output(&preds);
     w.output(&checked);
 
-    let mut engine = Engine::new(EngineConfig::helix(dir.join("store"))).unwrap();
-    let first = engine.run(&w).unwrap();
+    let engine = Arc::new(Engine::new(EngineConfig::helix(dir.join("store"))).unwrap());
+    let manager = SessionManager::new(engine);
+    let session = manager.create("smoke", w).unwrap();
+    let first = session.iterate().unwrap();
     assert_eq!(first.metric("accuracy"), Some(1.0), "separable toy data");
 
-    let second = engine.run(&w).unwrap();
+    let second = session.iterate().unwrap();
     assert_eq!(second.metric("accuracy"), Some(1.0));
     assert!(second.loaded() > 0, "rerun must reuse materialized results");
+
+    // The typed edit handle works through the facade too.
+    session
+        .set_learner_param("predictions", LearnerParam::RegParam(0.01))
+        .unwrap();
+    let third = session.iterate().unwrap();
+    assert_eq!(third.change_summary, "set predictions reg_param=0.01");
 
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -79,20 +79,29 @@ proptest! {
             .join(format!("helix-prop-{}-{case}", std::process::id()));
         let _ = std::fs::remove_dir_all(&work);
 
-        let mut helix_engine = SystemKind::Helix.build_engine(&work.join("h")).unwrap();
-        let mut fresh_engine = SystemKind::KeystoneSim.build_engine(&work.join("k")).unwrap();
-
         let mut params = CensusParams::initial(&dir);
         let w0 = census_workflow(&params).unwrap();
-        let a = helix_engine.run(&w0).unwrap();
-        let b = fresh_engine.run(&w0).unwrap();
+        let mut helix_session = helix::core::Session::new(
+            SystemKind::Helix.build_shared(&work.join("h")).unwrap(),
+            "optimized",
+            w0.clone(),
+        );
+        let mut fresh_session = helix::core::Session::new(
+            SystemKind::KeystoneSim.build_shared(&work.join("k")).unwrap(),
+            "from-scratch",
+            w0,
+        );
+        let a = helix_session.iterate().unwrap();
+        let b = fresh_session.iterate().unwrap();
         prop_assert_eq!(a.metrics, b.metrics);
 
         for edit in edits {
             apply(edit, &mut params);
             let w = census_workflow(&params).unwrap();
-            let a = helix_engine.run(&w).unwrap();
-            let b = fresh_engine.run(&w).unwrap();
+            helix_session.replace_workflow(w.clone());
+            fresh_session.replace_workflow(w);
+            let a = helix_session.iterate().unwrap();
+            let b = fresh_session.iterate().unwrap();
             prop_assert_eq!(&a.metrics, &b.metrics, "edit {:?} diverged", edit);
         }
         let _ = std::fs::remove_dir_all(&work);

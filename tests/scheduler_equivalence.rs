@@ -314,8 +314,8 @@ proptest! {
             parallelism: threads,
             ..EngineConfig::helix(dir.join(suffix))
         };
-        let mut seq = Engine::new(config("seq", 1)).unwrap();
-        let mut par = Engine::new(config("par", 8)).unwrap();
+        let seq = Engine::new(config("seq", 1)).unwrap();
+        let par = Engine::new(config("par", 8)).unwrap();
         for iteration in 0..2 {
             let w = dag_workflow(n, &edges);
             let plan_seq = seq.compile_only(&w).unwrap();
