@@ -1,0 +1,163 @@
+//! Serving-path round-trips: the HTTP front end under concurrent
+//! analyst sessions.
+//!
+//! Two groups:
+//!
+//! * `serving_roundtrip` — single-request latency floor over a loopback
+//!   socket: `GET /healthz` (pure protocol overhead: accept, parse,
+//!   route, respond) and a warm `POST iterate` (protocol + a full
+//!   all-loads engine iteration), measured against a live server.
+//! * `serving_concurrent` — N analysts each driving create → iterate →
+//!   edit → iterate over their own sessions at once, the remote version
+//!   of the multi-session burst. One sample is the whole burst, so the
+//!   number reflects queueing, engine sharing, and store contention —
+//!   not just per-request cost.
+//!
+//! Run with `cargo bench -p helix-bench --bench serving`. Set
+//! `HELIX_BENCH_FAST=1` for the reduced CI configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use helix_core::{Engine, EngineConfig, SessionManager, Workflow};
+use helix_server::client;
+use helix_server::routes::{Api, WorkflowRegistry};
+use helix_server::server::{Server, ServerConfig, ServerHandle};
+use helix_workloads::census::{census_workflow, generate_census, CensusDataSpec, CensusParams};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn fast_mode() -> bool {
+    std::env::var_os("HELIX_BENCH_FAST").is_some_and(|v| v != "0")
+}
+
+fn bench_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("helix-bench-serve-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A server over a fresh engine with the census template registered.
+fn serve(tag: &str, workers: usize) -> ServerHandle {
+    let dir = bench_dir(tag);
+    generate_census(
+        &dir,
+        &CensusDataSpec {
+            train_rows: if fast_mode() { 2_000 } else { 8_000 },
+            test_rows: if fast_mode() { 500 } else { 2_000 },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let _ = std::fs::remove_dir_all(dir.join("store"));
+    let engine = Arc::new(Engine::new(EngineConfig::helix(dir.join("store"))).unwrap());
+    let manager = Arc::new(SessionManager::new(engine));
+    let mut registry = WorkflowRegistry::new();
+    let params = CensusParams::initial(&dir);
+    registry.register("census", move || -> helix_core::Result<Workflow> {
+        census_workflow(&params)
+    });
+    Server::bind(
+        ("127.0.0.1", 0),
+        Api::new(manager, registry),
+        ServerConfig {
+            workers,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let samples = if fast_mode() { 5 } else { 10 };
+
+    let mut group = c.benchmark_group("serving_roundtrip");
+    group.sample_size(samples);
+    {
+        let server = serve("latency", 4);
+        let addr = server.addr();
+        group.bench_function("healthz", |b| {
+            b.iter(|| client::get(addr, "/healthz").unwrap().expect_ok())
+        });
+        // Warm the store once so the timed iterations are the analyst's
+        // steady state: everything reusable loads.
+        client::post(addr, "/sessions", r#"{"name":"warm","workflow":"census"}"#)
+            .unwrap()
+            .expect_ok();
+        client::post(addr, "/sessions/warm/iterate", "")
+            .unwrap()
+            .expect_ok();
+        group.bench_function("iterate_warm", |b| {
+            b.iter(|| {
+                client::post(addr, "/sessions/warm/iterate", "")
+                    .unwrap()
+                    .expect_ok()
+            })
+        });
+        drop(server);
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("serving_concurrent");
+    group.sample_size(samples);
+    for analysts in [2usize, 8] {
+        let server = serve(&format!("burst-{analysts}"), 4);
+        let addr = server.addr();
+        // Warm shared intermediates so samples measure serving, not the
+        // one-off cold compute.
+        client::post(
+            addr,
+            "/sessions",
+            r#"{"name":"warmup","workflow":"census"}"#,
+        )
+        .unwrap()
+        .expect_ok();
+        client::post(addr, "/sessions/warmup/iterate", "")
+            .unwrap()
+            .expect_ok();
+        let mut round = 0usize;
+        group.bench_with_input(
+            BenchmarkId::new("analysts", analysts),
+            &analysts,
+            |b, &analysts| {
+                b.iter(|| {
+                    round += 1;
+                    std::thread::scope(|scope| {
+                        for i in 0..analysts {
+                            let name = format!("a{round}-{i}");
+                            scope.spawn(move || {
+                                client::post(
+                                    addr,
+                                    "/sessions",
+                                    &format!(r#"{{"name":"{name}","workflow":"census"}}"#),
+                                )
+                                .unwrap()
+                                .expect_ok();
+                                client::post(addr, &format!("/sessions/{name}/iterate"), "")
+                                    .unwrap()
+                                    .expect_ok();
+                                client::post(
+                                    addr,
+                                    &format!("/sessions/{name}/edits"),
+                                    &format!(
+                                        r#"{{"kind":"set_learner_param","learner":"predictions","param":"seed","value":{}}}"#,
+                                        1000 + i
+                                    ),
+                                )
+                                .unwrap()
+                                .expect_ok();
+                                client::post(addr, &format!("/sessions/{name}/iterate"), "")
+                                    .unwrap()
+                                    .expect_ok();
+                                client::delete(addr, &format!("/sessions/{name}")).unwrap().expect_ok();
+                            });
+                        }
+                    });
+                })
+            },
+        );
+        drop(server);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

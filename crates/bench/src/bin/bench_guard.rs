@@ -29,20 +29,45 @@
 //! per-benchmark delta against the old baseline (when one exists), and
 //! only then overwrites it; commit the result.
 
+use helix_server::json::Json;
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-/// Minimal parser for the criterion shim's JSON output: one benchmark
-/// object per line, fields in a fixed order. Returns `id → min_ns`.
+/// Parses the criterion shim's JSON output with the real JSON parser
+/// shared with the HTTP front end (`helix_server::json`). Accepts the
+/// full `{"benchmarks": [...]}` document, and — for resilience against
+/// hand-assembled fixtures — falls back to parsing individual benchmark
+/// objects line by line. Returns `id → min_ns`.
 fn parse_results(text: &str) -> Result<BTreeMap<String, u128>, String> {
     let mut out = BTreeMap::new();
-    for line in text.lines() {
-        let Some(id) = field_str(line, "\"id\": \"") else {
-            continue;
-        };
-        let min_ns = field_num(line, "\"min_ns\": ")
-            .ok_or_else(|| format!("benchmark `{id}` is missing min_ns"))?;
-        out.insert(id.replace("\\\"", "\"").replace("\\\\", "\\"), min_ns);
+    match Json::parse(text) {
+        Ok(doc) => {
+            let entries = doc
+                .get("benchmarks")
+                .and_then(Json::as_array)
+                .map(<[Json]>::to_vec)
+                // A bare benchmark object (or array of them) also counts.
+                .unwrap_or_else(|| match doc {
+                    Json::Arr(items) => items,
+                    other => vec![other],
+                });
+            for entry in &entries {
+                insert_entry(entry, &mut out)?;
+            }
+        }
+        Err(_) => {
+            // Not one document: treat each line holding a benchmark
+            // object (possibly comma-terminated) as its own entry.
+            for line in text.lines() {
+                let line = line.trim().trim_end_matches(',');
+                if !line.starts_with('{') {
+                    continue;
+                }
+                if let Ok(entry) = Json::parse(line) {
+                    insert_entry(&entry, &mut out)?;
+                }
+            }
+        }
     }
     if out.is_empty() {
         return Err("no benchmark entries found".into());
@@ -50,28 +75,16 @@ fn parse_results(text: &str) -> Result<BTreeMap<String, u128>, String> {
     Ok(out)
 }
 
-fn field_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
-    let start = line.find(key)? + key.len();
-    let rest = &line[start..];
-    // The id is shim-escaped; an unescaped quote ends it.
-    let mut prev_backslash = false;
-    for (i, c) in rest.char_indices() {
-        match c {
-            '"' if !prev_backslash => return Some(&rest[..i]),
-            '\\' => prev_backslash = !prev_backslash,
-            _ => prev_backslash = false,
-        }
-    }
-    None
-}
-
-fn field_num(line: &str, key: &str) -> Option<u128> {
-    let start = line.find(key)? + key.len();
-    let digits: String = line[start..]
-        .chars()
-        .take_while(|c| c.is_ascii_digit())
-        .collect();
-    digits.parse().ok()
+fn insert_entry(entry: &Json, out: &mut BTreeMap<String, u128>) -> Result<(), String> {
+    let Some(id) = entry.get("id").and_then(Json::as_str) else {
+        return Ok(()); // not a benchmark record
+    };
+    let min_ns = entry
+        .get("min_ns")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("benchmark `{id}` is missing min_ns"))?;
+    out.insert(id.to_string(), min_ns as u128);
+    Ok(())
 }
 
 fn load(path: &str) -> Result<BTreeMap<String, u128>, String> {

@@ -295,10 +295,32 @@ impl Engine {
     }
 
     /// Pre-session compatibility shim for callers written against the
-    /// historical `run(&mut self)` signature.
+    /// historical `run(&mut self)` signature. Scheduled for removal in
+    /// the release after 0.1; do not use it in new code.
+    ///
+    /// Migration: drop the `&mut` requirement by calling [`Engine::run`]
+    /// directly, or — for anything iterative — drive a
+    /// [`crate::session::Session`], which owns the workflow between
+    /// edits and attributes history correctly:
+    ///
+    /// ```no_run
+    /// use helix_core::{Engine, EngineConfig, SessionManager, Workflow};
+    /// use std::sync::Arc;
+    ///
+    /// # fn demo(workflow: Workflow) -> helix_core::Result<()> {
+    /// let engine = Arc::new(Engine::new(EngineConfig::helix("store"))?);
+    /// // Before: engine.run_mut(&workflow)?  (needed exclusive access)
+    /// let manager = SessionManager::new(engine);
+    /// let session = manager.create("analyst", workflow)?;
+    /// let report = session.iterate()?; // &self — runs share the engine
+    /// # let _ = report; Ok(())
+    /// # }
+    /// ```
     #[deprecated(
         since = "0.1.0",
-        note = "Engine::run now takes &self; call run() directly or drive a Session"
+        note = "removed after 0.1: Engine::run takes &self now — call run() directly, \
+                or create a session (SessionManager::create + Session::iterate) for \
+                iterative use; see the method docs for a migration example"
     )]
     pub fn run_mut(&mut self, workflow: &Workflow) -> Result<IterationReport> {
         self.run(workflow)

@@ -431,6 +431,12 @@ impl SessionHandle {
     pub fn iteration(&self) -> usize {
         lock(&self.inner).iteration()
     }
+
+    /// Point-in-time snapshot of this session's version history (the
+    /// wire layer's history/lineage reads — no lock held after return).
+    pub fn versions(&self) -> VersionStore {
+        lock(&self.inner).versions().clone()
+    }
 }
 
 /// Multiplexes many named sessions over one shared engine. Creating,

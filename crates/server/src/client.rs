@@ -1,0 +1,141 @@
+//! A minimal blocking HTTP client for the wire protocol — enough for
+//! the examples, the end-to-end tests, and the serving bench to drive a
+//! server over real sockets without external crates.
+
+use crate::json::{Json, JsonError};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+/// A parsed response: status code plus decoded JSON body.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Parsed body.
+    pub body: Json,
+}
+
+impl ClientResponse {
+    /// Asserts a 2xx status, returning the body; panics with the error
+    /// payload otherwise (test/example ergonomics).
+    pub fn expect_ok(self) -> Json {
+        assert!(
+            (200..300).contains(&self.status),
+            "request failed with status {}: {}",
+            self.status,
+            self.body
+        );
+        self.body
+    }
+}
+
+/// Errors from [`request`].
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server's response was not parseable HTTP/JSON.
+    BadResponse(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(err) => write!(f, "i/o error: {err}"),
+            ClientError::BadResponse(msg) => write!(f, "bad response: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(err: io::Error) -> Self {
+        ClientError::Io(err)
+    }
+}
+
+impl From<JsonError> for ClientError {
+    fn from(err: JsonError) -> Self {
+        ClientError::BadResponse(err.to_string())
+    }
+}
+
+/// Performs one request against `addr`. `body` is sent verbatim as JSON
+/// when non-empty. One connection per request, mirroring the server's
+/// `Connection: close` model.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> Result<ClientResponse, ClientError> {
+    let mut stream = TcpStream::connect(addr)?;
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\n");
+    if !body.is_empty() {
+        head.push_str(&format!(
+            "Content-Type: application/json\r\nContent-Length: {}\r\n",
+            body.len()
+        ));
+    }
+    head.push_str("Connection: close\r\n\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+    // Half-close: signals end-of-request so the server's early-reject
+    // drain sees EOF instead of waiting out its read timeout.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    parse_response(&raw)
+}
+
+/// Splits a raw HTTP/1.1 response into status + JSON body.
+fn parse_response(raw: &str) -> Result<ClientResponse, ClientError> {
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| ClientError::BadResponse("no header/body separator".into()))?;
+    let status_line = head.lines().next().unwrap_or_default();
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| ClientError::BadResponse(format!("bad status line `{status_line}`")))?;
+    let body = Json::parse(body)?;
+    Ok(ClientResponse { status, body })
+}
+
+/// Convenience wrappers naming the protocol's verbs.
+pub fn get(addr: SocketAddr, path: &str) -> Result<ClientResponse, ClientError> {
+    request(addr, "GET", path, "")
+}
+
+/// POST with a JSON body.
+pub fn post(addr: SocketAddr, path: &str, body: &str) -> Result<ClientResponse, ClientError> {
+    request(addr, "POST", path, body)
+}
+
+/// PUT with a JSON body.
+pub fn put(addr: SocketAddr, path: &str, body: &str) -> Result<ClientResponse, ClientError> {
+    request(addr, "PUT", path, body)
+}
+
+/// DELETE.
+pub fn delete(addr: SocketAddr, path: &str) -> Result<ClientResponse, ClientError> {
+    request(addr, "DELETE", path, "")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_responses() {
+        let raw = "HTTP/1.1 201 Created\r\nContent-Type: application/json\r\n\r\n{\"name\":\"a\"}";
+        let resp = parse_response(raw).unwrap();
+        assert_eq!(resp.status, 201);
+        assert_eq!(resp.body.get("name").unwrap().as_str(), Some("a"));
+        assert!(parse_response("garbage").is_err());
+    }
+}

@@ -1,0 +1,366 @@
+//! Hand-rolled HTTP/1.1 request parsing and response writing.
+//!
+//! The offline build environment has no network crates, so — exactly like
+//! the dependency shims stand in for external APIs — this module
+//! implements the minimal slice of HTTP/1.1 the front end needs: one
+//! request per connection (`Connection: close`), `Content-Length` bodies
+//! with a hard size cap, and plain status-line responses. It is generic
+//! over `Read`/`Write`, so unit tests drive it with in-memory buffers and
+//! the server with `TcpStream`s.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// Upper bound on the request line plus headers, defending the reader
+/// against unbounded header streams.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercased method (`GET`, `POST`, …).
+    pub method: String,
+    /// Raw (undecoded) path, without the query string. Percent-escapes
+    /// decode per segment in [`Request::segments`], so a `%2F` inside a
+    /// session name never splits routing.
+    pub path: String,
+    /// Query parameters in order of appearance.
+    pub query: Vec<(String, String)>,
+    /// Request body (empty when no `Content-Length` was sent).
+    pub body: String,
+}
+
+impl Request {
+    /// First value of a query parameter.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Splits the path into non-empty segments (`/sessions/alice/edits`
+    /// → `["sessions", "alice", "edits"]`), percent-decoding each
+    /// segment after the split (`+` stays literal — the space
+    /// convention is query-string-only).
+    pub fn segments(&self) -> Vec<String> {
+        self.path
+            .split('/')
+            .filter(|s| !s.is_empty())
+            .map(|s| percent_decode(s, false))
+            .collect()
+    }
+}
+
+/// Why a request could not be parsed; each variant maps to one response
+/// status.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Malformed request line, header, or framing → 400.
+    Malformed(String),
+    /// Body longer than the configured cap → 413.
+    BodyTooLarge {
+        /// The declared `Content-Length`.
+        declared: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+    /// The peer closed the connection before sending a request; not an
+    /// error worth answering (browsers speculatively open connections).
+    Closed,
+    /// Transport failure while reading.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Malformed(msg) => write!(f, "malformed request: {msg}"),
+            ParseError::BodyTooLarge { declared, limit } => {
+                write!(
+                    f,
+                    "request body of {declared} bytes exceeds the {limit}-byte limit"
+                )
+            }
+            ParseError::Closed => f.write_str("connection closed before a request arrived"),
+            ParseError::Io(err) => write!(f, "i/o error: {err}"),
+        }
+    }
+}
+
+/// Reads and parses one request from `stream`, enforcing `max_body_bytes`.
+pub fn read_request(stream: impl Read, max_body_bytes: usize) -> Result<Request, ParseError> {
+    let mut reader = BufReader::new(stream.take((MAX_HEAD_BYTES + max_body_bytes) as u64));
+    let mut line = String::new();
+    read_line(&mut reader, &mut line)?;
+    if line.is_empty() {
+        return Err(ParseError::Closed);
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| ParseError::Malformed("empty request line".into()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| ParseError::Malformed("request line has no path".into()))?;
+    match parts.next() {
+        Some(v) if v.starts_with("HTTP/1.") => {}
+        _ => return Err(ParseError::Malformed("expected an HTTP/1.x version".into())),
+    }
+
+    let mut content_length = 0usize;
+    let mut head_bytes = line.len();
+    loop {
+        let mut header = String::new();
+        read_line(&mut reader, &mut header)?;
+        head_bytes += header.len() + 2;
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(ParseError::Malformed("headers too large".into()));
+        }
+        if header.is_empty() {
+            break;
+        }
+        let Some((name, value)) = header.split_once(':') else {
+            return Err(ParseError::Malformed(format!(
+                "header without colon: `{header}`"
+            )));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| ParseError::Malformed("unreadable Content-Length".into()))?;
+        }
+    }
+
+    if content_length > max_body_bytes {
+        return Err(ParseError::BodyTooLarge {
+            declared: content_length,
+            limit: max_body_bytes,
+        });
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(|err| {
+        if err.kind() == io::ErrorKind::UnexpectedEof {
+            ParseError::Malformed("body shorter than Content-Length".into())
+        } else {
+            ParseError::Io(err)
+        }
+    })?;
+    let body =
+        String::from_utf8(body).map_err(|_| ParseError::Malformed("body is not UTF-8".into()))?;
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, parse_query(q)),
+        None => (target, Vec::new()),
+    };
+    Ok(Request {
+        method,
+        path: path.to_string(),
+        query,
+        body,
+    })
+}
+
+/// Reads one CRLF- (or LF-) terminated line, stripping the terminator.
+fn read_line(reader: &mut impl BufRead, out: &mut String) -> Result<(), ParseError> {
+    reader.read_line(out).map_err(|err| {
+        if err.kind() == io::ErrorKind::InvalidData {
+            ParseError::Malformed("header line is not UTF-8".into())
+        } else {
+            ParseError::Io(err)
+        }
+    })?;
+    while out.ends_with('\n') || out.ends_with('\r') {
+        out.pop();
+    }
+    Ok(())
+}
+
+fn parse_query(query: &str) -> Vec<(String, String)> {
+    // `+`-as-space is a form-encoding convention and applies only here,
+    // not in path segments.
+    let decode = |s: &str| percent_decode(s, true);
+    query
+        .split('&')
+        .filter(|s| !s.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (decode(k), decode(v)),
+            None => (decode(pair), String::new()),
+        })
+        .collect()
+}
+
+/// Decodes `%XX` escapes (and optionally `+`-as-space); invalid escapes
+/// pass through literally (the router will simply not match them).
+fn percent_decode(text: &str, plus_as_space: bool) -> String {
+    let bytes = text.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3).and_then(|h| {
+                    std::str::from_utf8(h)
+                        .ok()
+                        .and_then(|h| u8::from_str_radix(h, 16).ok())
+                });
+                match hex {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b'+' if plus_as_space => {
+                out.push(b' ');
+                i += 1;
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// An HTTP response about to be written.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code (200, 404, …).
+    pub status: u16,
+    /// Response body; the server always sends `application/json`.
+    pub body: String,
+}
+
+impl Response {
+    /// A JSON response with the given status.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            body: body.into(),
+        }
+    }
+
+    /// Serializes status line, headers, and body to `out`.
+    pub fn write_to(&self, mut out: impl Write) -> io::Result<()> {
+        write!(
+            out,
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            self.status,
+            reason(self.status),
+            self.body.len(),
+            self.body
+        )?;
+        out.flush()
+    }
+}
+
+/// Canonical reason phrases for the statuses the protocol documents.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &str) -> Result<Request, ParseError> {
+        read_request(raw.as_bytes(), 1024)
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let req =
+            parse("GET /sessions/alice/diff?from=0&to=2 HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/sessions/alice/diff");
+        assert_eq!(req.query_param("from"), Some("0"));
+        assert_eq!(req.query_param("to"), Some("2"));
+        assert_eq!(req.segments(), vec!["sessions", "alice", "diff"]);
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let body = r#"{"name":"alice"}"#;
+        let raw = format!(
+            "POST /sessions HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        );
+        let req = parse(&raw).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, body);
+    }
+
+    #[test]
+    fn rejects_oversized_bodies_without_reading_them() {
+        let raw = "POST /sessions HTTP/1.1\r\nContent-Length: 999999\r\n\r\n";
+        match parse(raw) {
+            Err(ParseError::BodyTooLarge { declared, limit }) => {
+                assert_eq!(declared, 999999);
+                assert_eq!(limit, 1024);
+            }
+            other => panic!("expected BodyTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_garbage_and_truncation() {
+        assert!(matches!(
+            parse("NOT-HTTP\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("GET /x HTTP/1.1\r\nContent-Length: ten\r\n\r\n"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse("POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(parse(""), Err(ParseError::Closed)));
+    }
+
+    #[test]
+    fn decodes_percent_escapes_per_segment() {
+        let req = parse("GET /sessions/an%20alyst HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.path, "/sessions/an%20alyst", "path stays raw");
+        assert_eq!(req.segments(), vec!["sessions", "an alyst"]);
+        // %2F decodes *inside* a segment instead of splitting routing,
+        // and `+` is literal in paths (space only in query strings).
+        let req = parse("GET /sessions/a%2Fb+c?q=x+y HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.segments(), vec!["sessions", "a/b+c"]);
+        assert_eq!(req.query_param("q"), Some("x y"));
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut out = Vec::new();
+        Response::json(404, "{\"error\":\"x\"}")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
+        assert!(text.contains("Content-Length: 13\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"error\":\"x\"}"));
+    }
+}

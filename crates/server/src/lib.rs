@@ -1,0 +1,65 @@
+//! `helix-server`: the HTTP front end that turns the session-oriented
+//! engine into a network service for remote analysts.
+//!
+//! Helix's premise is a human iterating against a live optimizing
+//! engine; the vision paper ("Accelerating Human-in-the-loop ML:
+//! Challenges and Opportunities") calls for exactly this surface — an
+//! interactive service over the engine, so edits and reruns arrive over
+//! the network instead of an in-process API. This crate provides it with
+//! zero dependencies beyond `std` (the offline build environment has no
+//! network crates, so [`http`] hand-rolls the protocol the way the shim
+//! crates stand in for external APIs):
+//!
+//! * [`json`] — JSON values, parser, and writer (shared with the
+//!   `bench_guard` regression gate).
+//! * [`http`] — minimal HTTP/1.1 request parsing and response writing
+//!   with a body-size cap.
+//! * [`wire`] — `IterationReport` / version-history / diff JSON views
+//!   and typed-edit request parsing.
+//! * [`routes`] — the endpoint table over
+//!   [`SessionManager`](helix_core::SessionManager) and the
+//!   `HelixError` → status-code mapping.
+//! * [`server`] — the `TcpListener` accept loop, bounded worker pool
+//!   (backpressure by early `503`), and graceful shutdown.
+//! * [`client`] — a tiny blocking client used by the examples, the
+//!   end-to-end tests, and the serving bench.
+//!
+//! The wire protocol is documented endpoint-by-endpoint in
+//! `docs/API.md`; `examples/serve.rs` runs a live server.
+//!
+//! # Example
+//!
+//! ```
+//! use helix_server::{client, routes::{Api, WorkflowRegistry}, server::{Server, ServerConfig}};
+//! use helix_core::{Engine, EngineConfig, SessionManager, Workflow};
+//! use std::sync::Arc;
+//!
+//! let dir = std::env::temp_dir().join(format!("helix-server-doc-{}", std::process::id()));
+//! let manager = Arc::new(SessionManager::with_config(
+//!     EngineConfig::helix(dir.join("store"))).unwrap());
+//! let mut registry = WorkflowRegistry::new();
+//! registry.register("empty", || Ok(Workflow::new("empty")));
+//!
+//! let mut server = Server::bind(
+//!     ("127.0.0.1", 0),
+//!     Api::new(manager, registry),
+//!     ServerConfig::default(),
+//! ).unwrap();
+//!
+//! let health = client::get(server.addr(), "/healthz").unwrap().expect_ok();
+//! assert_eq!(health.get("status").unwrap().as_str(), Some("ok"));
+//! server.shutdown();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod routes;
+pub mod server;
+pub mod wire;
+
+pub use json::Json;
+pub use routes::{Api, WorkflowRegistry};
+pub use server::{Server, ServerConfig, ServerHandle};

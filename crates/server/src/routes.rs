@@ -1,0 +1,398 @@
+//! Request routing: maps parsed HTTP requests onto [`SessionManager`]
+//! operations and renders JSON responses.
+//!
+//! This layer is transport-free — it consumes an already-parsed
+//! [`Request`] and produces a [`Response`] — so every endpoint and error
+//! mapping is unit-testable without sockets. The error contract (also in
+//! `docs/API.md`):
+//!
+//! | condition                                   | status |
+//! |---------------------------------------------|--------|
+//! | malformed JSON / unknown edit kind / bad ref| 400    |
+//! | unknown session, route, version, template   | 404    |
+//! | wrong method on a known route               | 405    |
+//! | session name already registered             | 409    |
+//! | request body over the configured cap        | 413    |
+//! | workflow fails to compile or execute        | 500    |
+
+use crate::http::{ParseError, Request, Response};
+use crate::json::Json;
+use crate::wire;
+use helix_core::{HelixError, SessionHandle, SessionManager, Workflow};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Builds workflows by name for `POST /sessions`. Arbitrary DAGs cannot
+/// cross the wire (operators hold closures), so the deployment registers
+/// the programs its analysts iterate on — the paper's model, where the
+/// DSL program lives with the system and the human turns its knobs.
+#[derive(Default)]
+pub struct WorkflowRegistry {
+    builders: BTreeMap<String, Box<dyn Fn() -> helix_core::Result<Workflow> + Send + Sync>>,
+}
+
+impl std::fmt::Debug for WorkflowRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkflowRegistry")
+            .field("templates", &self.names())
+            .finish()
+    }
+}
+
+impl WorkflowRegistry {
+    /// An empty registry.
+    pub fn new() -> WorkflowRegistry {
+        WorkflowRegistry::default()
+    }
+
+    /// Registers (or replaces) a named workflow template.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        build: impl Fn() -> helix_core::Result<Workflow> + Send + Sync + 'static,
+    ) {
+        self.builders.insert(name.into(), Box::new(build));
+    }
+
+    /// Builds a fresh workflow from a template.
+    pub fn build(&self, name: &str) -> Option<helix_core::Result<Workflow>> {
+        self.builders.get(name).map(|b| b())
+    }
+
+    /// Registered template names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.builders.keys().cloned().collect()
+    }
+}
+
+/// The HTTP API over one engine: a session manager plus the workflow
+/// registry. [`Api::handle`] is pure request→response; the server module
+/// wires it to sockets.
+#[derive(Debug)]
+pub struct Api {
+    manager: Arc<SessionManager>,
+    registry: WorkflowRegistry,
+}
+
+/// Maps an engine error to the documented status code: bad references
+/// and invalid edits are the caller's fault (400), everything that
+/// failed while executing a valid request is the server's (500).
+pub fn status_for(err: &HelixError) -> u16 {
+    match err {
+        HelixError::Workflow(_) | HelixError::Compile(_) => 400,
+        HelixError::Exec(_)
+        | HelixError::Store(_)
+        | HelixError::Dataflow(_)
+        | HelixError::Ml(_)
+        | HelixError::Io(_) => 500,
+    }
+}
+
+fn error_body(status: u16, message: impl Into<String>) -> Response {
+    let body = Json::obj([
+        ("error", Json::str(message.into())),
+        ("status", Json::Num(status as f64)),
+    ]);
+    Response::json(status, body.to_string())
+}
+
+fn engine_error(err: HelixError) -> Response {
+    error_body(status_for(&err), err.to_string())
+}
+
+fn ok(body: Json) -> Response {
+    Response::json(200, body.to_string())
+}
+
+impl Api {
+    /// An API over `manager`, creating sessions from `registry`.
+    pub fn new(manager: Arc<SessionManager>, registry: WorkflowRegistry) -> Api {
+        Api { manager, registry }
+    }
+
+    /// The underlying session manager.
+    pub fn manager(&self) -> &Arc<SessionManager> {
+        &self.manager
+    }
+
+    /// Renders the response for one request-parse failure.
+    pub fn parse_failure(err: &ParseError) -> Response {
+        match err {
+            ParseError::BodyTooLarge { .. } => error_body(413, err.to_string()),
+            _ => error_body(400, err.to_string()),
+        }
+    }
+
+    /// Routes one request. Never panics; anything unroutable becomes a
+    /// JSON error response.
+    pub fn handle(&self, req: &Request) -> Response {
+        let segments = req.segments();
+        let segments: Vec<&str> = segments.iter().map(String::as_str).collect();
+        match (req.method.as_str(), segments.as_slice()) {
+            ("GET", ["healthz"]) => ok(Json::obj([("status", Json::str("ok"))])),
+            ("GET", ["workflows"]) => ok(Json::obj([(
+                "workflows",
+                Json::Arr(self.registry.names().iter().map(Json::str).collect()),
+            )])),
+            ("GET", ["sessions"]) => self.list_sessions(),
+            ("POST", ["sessions"]) => self.create_session(&req.body),
+            ("GET", ["sessions", name]) => self.with_session(name, |s| Ok(self.session_info(s))),
+            ("DELETE", ["sessions", name]) => self.close_session(name),
+            ("POST", ["sessions", name, "edits"]) => self.apply_edit(name, &req.body),
+            ("POST", ["sessions", name, "iterate"]) => self.iterate(name),
+            ("PUT", ["sessions", name, "workflow"]) => self.replace_workflow(name, &req.body),
+            ("GET", ["sessions", name, "versions"]) => self.versions(name),
+            ("GET", ["sessions", name, "versions", id]) => self.version_detail(name, id),
+            ("GET", ["sessions", name, "diff"]) => self.diff(name, req),
+            ("GET", ["versions"]) => self.global_versions(),
+            (_, ["healthz" | "workflows" | "versions" | "sessions"])
+            | (_, ["sessions", _])
+            | (_, ["sessions", _, "edits" | "iterate" | "workflow" | "versions" | "diff"])
+            | (_, ["sessions", _, "versions", _]) => error_body(
+                405,
+                format!("method {} not allowed on {}", req.method, req.path),
+            ),
+            _ => error_body(404, format!("no route for {}", req.path)),
+        }
+    }
+
+    fn with_session(
+        &self,
+        name: &str,
+        f: impl FnOnce(&SessionHandle) -> Result<Response, HelixError>,
+    ) -> Response {
+        match self.manager.get(name) {
+            Some(session) => f(&session).unwrap_or_else(engine_error),
+            None => error_body(404, format!("unknown session `{name}`")),
+        }
+    }
+
+    fn session_info(&self, session: &SessionHandle) -> Response {
+        let (iterations, pending, nodes) = session.with(|s| {
+            (
+                s.iteration(),
+                s.pending_edits().len(),
+                s.workflow()
+                    .nodes()
+                    .iter()
+                    .map(|n| n.name.clone())
+                    .collect::<Vec<_>>(),
+            )
+        });
+        ok(Json::obj([
+            ("name", Json::str(session.name())),
+            ("iterations", Json::Num(iterations as f64)),
+            ("pending_edits", Json::Num(pending as f64)),
+            ("nodes", Json::Arr(nodes.iter().map(Json::str).collect())),
+        ]))
+    }
+
+    fn list_sessions(&self) -> Response {
+        let sessions = self
+            .manager
+            .names()
+            .into_iter()
+            .map(|name| {
+                let iterations = self.manager.get(&name).map(|s| s.iteration()).unwrap_or(0);
+                Json::obj([
+                    ("name", Json::str(name)),
+                    ("iterations", Json::Num(iterations as f64)),
+                ])
+            })
+            .collect();
+        ok(Json::obj([("sessions", Json::Arr(sessions))]))
+    }
+
+    fn build_workflow(&self, body: &Json) -> Result<Workflow, Response> {
+        let Some(template) = body.get("workflow").and_then(Json::as_str) else {
+            return Err(error_body(400, "missing or non-string field `workflow`"));
+        };
+        match self.registry.build(template) {
+            None => Err(error_body(
+                404,
+                format!(
+                    "unknown workflow template `{template}` (registered: {})",
+                    self.registry.names().join(", ")
+                ),
+            )),
+            Some(Err(err)) => Err(engine_error(err)),
+            Some(Ok(workflow)) => Ok(workflow),
+        }
+    }
+
+    fn create_session(&self, body: &str) -> Response {
+        let body = match Json::parse(body) {
+            Ok(v) => v,
+            Err(err) => return error_body(400, err.to_string()),
+        };
+        let Some(name) = body.get("name").and_then(Json::as_str) else {
+            return error_body(400, "missing or non-string field `name`");
+        };
+        let workflow = match self.build_workflow(&body) {
+            Ok(w) => w,
+            Err(resp) => return resp,
+        };
+        match self.manager.create(name, workflow) {
+            Ok(session) => {
+                let mut resp = self.session_info(&session);
+                resp.status = 201;
+                resp
+            }
+            // The manager's only create-time failure is a taken name.
+            Err(err) => error_body(409, err.to_string()),
+        }
+    }
+
+    fn close_session(&self, name: &str) -> Response {
+        match self.manager.remove(name) {
+            Some(session) => ok(Json::obj([
+                ("closed", Json::str(name)),
+                ("iterations", Json::Num(session.iteration() as f64)),
+            ])),
+            None => error_body(404, format!("unknown session `{name}`")),
+        }
+    }
+
+    fn apply_edit(&self, name: &str, body: &str) -> Response {
+        let body = match Json::parse(body) {
+            Ok(v) => v,
+            Err(err) => return error_body(400, err.to_string()),
+        };
+        let edit = match wire::parse_edit(&body) {
+            Ok(edit) => edit,
+            Err(err) => return error_body(400, err.to_string()),
+        };
+        self.with_session(name, |session| {
+            match edit {
+                wire::EditRequest::SetLearnerParam { learner, param } => {
+                    session.set_learner_param(&learner, param)?
+                }
+                wire::EditRequest::ReplaceOperator { node, kind } => {
+                    session.replace_operator(&node, kind)?
+                }
+                wire::EditRequest::Rewire { node, parents } => {
+                    let refs: Vec<&str> = parents.iter().map(String::as_str).collect();
+                    session.rewire(&node, &refs)?
+                }
+                wire::EditRequest::AddOutput { node } => session.add_output(&node)?,
+            }
+            let pending = session.with(|s| {
+                s.pending_edits()
+                    .iter()
+                    .map(|e| e.to_string())
+                    .collect::<Vec<_>>()
+            });
+            Ok(ok(Json::obj([
+                ("session", Json::str(name)),
+                (
+                    "pending_edits",
+                    Json::Arr(pending.iter().map(Json::str).collect()),
+                ),
+            ])))
+        })
+    }
+
+    fn iterate(&self, name: &str) -> Response {
+        self.with_session(name, |session| {
+            let report = session.iterate()?;
+            Ok(ok(wire::report_json(&report)))
+        })
+    }
+
+    fn replace_workflow(&self, name: &str, body: &str) -> Response {
+        let body = match Json::parse(body) {
+            Ok(v) => v,
+            Err(err) => return error_body(400, err.to_string()),
+        };
+        let workflow = match self.build_workflow(&body) {
+            Ok(w) => w,
+            Err(resp) => return resp,
+        };
+        self.with_session(name, |session| {
+            session.replace_workflow(workflow);
+            Ok(ok(Json::obj([
+                ("session", Json::str(name)),
+                ("workflow_replaced", Json::Bool(true)),
+            ])))
+        })
+    }
+
+    fn versions(&self, name: &str) -> Response {
+        self.with_session(name, |session| {
+            let versions = session.versions();
+            Ok(ok(Json::obj([(
+                "versions",
+                Json::Arr(versions.all().iter().map(wire::version_json).collect()),
+            )])))
+        })
+    }
+
+    fn version_detail(&self, name: &str, id: &str) -> Response {
+        let Ok(id) = id.parse::<usize>() else {
+            return error_body(400, format!("version id `{id}` is not a number"));
+        };
+        self.with_session(name, |session| {
+            let versions = session.versions();
+            Ok(match versions.get(id) {
+                Some(version) => ok(wire::version_detail_json(version)),
+                None => error_body(404, format!("session `{name}` has no version {id}")),
+            })
+        })
+    }
+
+    fn diff(&self, name: &str, req: &Request) -> Response {
+        let parse = |key: &str| -> Result<usize, Response> {
+            req.query_param(key)
+                .ok_or_else(|| error_body(400, format!("missing query parameter `{key}`")))?
+                .parse()
+                .map_err(|_| error_body(400, format!("query parameter `{key}` is not a number")))
+        };
+        let (from, to) = match (parse("from"), parse("to")) {
+            (Ok(from), Ok(to)) => (from, to),
+            (Err(resp), _) | (_, Err(resp)) => return resp,
+        };
+        self.with_session(name, |session| {
+            let versions = session.versions();
+            Ok(match versions.diff(from, to) {
+                Some(diff) => ok(wire::diff_json(&diff)),
+                None => error_body(
+                    404,
+                    format!("session `{name}` has no versions {from} and {to}"),
+                ),
+            })
+        })
+    }
+
+    fn global_versions(&self) -> Response {
+        let versions = self.manager.engine().versions();
+        ok(Json::obj([(
+            "versions",
+            Json::Arr(versions.all().iter().map(wire::version_json).collect()),
+        )]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_mapping_matches_docs() {
+        assert_eq!(status_for(&HelixError::Workflow("x".into())), 400);
+        assert_eq!(status_for(&HelixError::Compile("x".into())), 400);
+        assert_eq!(status_for(&HelixError::Exec("x".into())), 500);
+        assert_eq!(status_for(&HelixError::Store("x".into())), 500);
+        assert_eq!(status_for(&HelixError::Io(std::io::Error::other("x"))), 500);
+    }
+
+    #[test]
+    fn parse_failures_map_to_400_and_413() {
+        let too_large = ParseError::BodyTooLarge {
+            declared: 10,
+            limit: 5,
+        };
+        assert_eq!(Api::parse_failure(&too_large).status, 413);
+        let malformed = ParseError::Malformed("nope".into());
+        assert_eq!(Api::parse_failure(&malformed).status, 400);
+    }
+}

@@ -1,0 +1,224 @@
+//! The TCP front end: a `std::net::TcpListener` accept loop feeding a
+//! bounded worker pool.
+//!
+//! Design points, in order of importance:
+//!
+//! * **Backpressure** — connections queue into a `sync_channel` bounded
+//!   at `2 × workers`. When every worker is mid-iteration and the queue
+//!   is full, new connections are answered `503` immediately instead of
+//!   piling up unboundedly (an iteration can take seconds; an unbounded
+//!   queue would turn a burst into minutes of invisible latency).
+//! * **Graceful shutdown** — [`ServerHandle::shutdown`] flips an atomic
+//!   flag, wakes the accept loop with a loopback connection, drops the
+//!   queue sender, and joins every thread; requests already dequeued
+//!   finish and flush before their worker exits.
+//! * **Isolation** — each connection is one request (`Connection:
+//!   close`), and a worker that fails to write a response just logs and
+//!   moves on; a broken client cannot take a worker down.
+
+use crate::http::{read_request, Response};
+use crate::routes::Api;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Tuning knobs for [`Server::bind`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads handling requests. Iterations run inside the
+    /// engine's own scheduler pool, so a handful of workers serves many
+    /// analysts; the default is 4.
+    pub workers: usize,
+    /// Hard cap on request body size; larger bodies are answered `413`
+    /// without being read. Default 1 MiB.
+    pub max_body_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            max_body_bytes: 1 << 20,
+        }
+    }
+}
+
+/// A running server: accept thread + worker pool. Obtain one with
+/// [`Server::bind`]; stop it with [`ServerHandle::shutdown`].
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// Namespace for [`Server::bind`].
+#[derive(Debug)]
+pub struct Server;
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port), spawns the
+    /// accept loop and worker pool, and returns immediately.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        api: Api,
+        config: ServerConfig,
+    ) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let workers = config.workers.max(1);
+        let stop = Arc::new(AtomicBool::new(false));
+        let api = Arc::new(api);
+
+        let (tx, rx) = sync_channel::<TcpStream>(workers * 2);
+        let rx = Arc::new(Mutex::new(rx));
+        let worker_threads = (0..workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let api = Arc::clone(&api);
+                let max_body = config.max_body_bytes;
+                std::thread::Builder::new()
+                    .name(format!("helix-serve-{i}"))
+                    .spawn(move || worker_loop(&rx, &api, max_body))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = std::thread::Builder::new()
+            .name("helix-accept".into())
+            .spawn(move || accept_loop(&listener, &tx, &accept_stop))
+            .expect("spawn accept loop");
+
+        Ok(ServerHandle {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            workers: worker_threads,
+        })
+    }
+}
+
+fn accept_loop(listener: &TcpListener, tx: &SyncSender<TcpStream>, stop: &AtomicBool) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                // Persistent accept errors (EMFILE under fd exhaustion)
+                // would otherwise busy-spin this loop at 100% CPU;
+                // backing off briefly lets in-flight work release fds.
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                continue;
+            }
+        };
+        if stop.load(Ordering::SeqCst) {
+            // The shutdown wake-up connection (or a late client); the
+            // sender drops when this function returns, draining workers.
+            return;
+        }
+        match tx.try_send(stream) {
+            Ok(()) => {}
+            Err(TrySendError::Full(stream)) => {
+                // Every worker busy and the queue full: shed load now
+                // rather than queueing unbounded latency. Shedding must
+                // not block the accept loop, so the 503 (and the drain
+                // that keeps the close from RST-destroying it — same
+                // hazard as the 413 path) runs on a detached thread.
+                let spawned = std::thread::Builder::new()
+                    .name("helix-shed".into())
+                    .spawn(move || shed_connection(&stream));
+                if let Err(err) = spawned {
+                    eprintln!("helix-server: failed to spawn shed thread: {err}");
+                }
+            }
+            Err(TrySendError::Disconnected(_)) => return,
+        }
+    }
+}
+
+/// Answers one shed connection with `503` and drains what the peer was
+/// still sending (bounded in bytes and time) so the close cannot RST
+/// the response out of the peer's receive buffer.
+fn shed_connection(stream: &TcpStream) {
+    let resp = Response::json(
+        503,
+        r#"{"error":"server at capacity, retry shortly","status":503}"#,
+    );
+    if resp.write_to(stream).is_err() {
+        return;
+    }
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(500)));
+    let mut remainder = std::io::Read::take(stream, 64 * 1024);
+    let _ = io::copy(&mut remainder, &mut io::sink());
+}
+
+fn worker_loop(rx: &Mutex<Receiver<TcpStream>>, api: &Api, max_body_bytes: usize) {
+    loop {
+        // Hold the lock only for the dequeue; handling happens unlocked.
+        let stream = {
+            let rx = rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            rx.recv()
+        };
+        let Ok(stream) = stream else {
+            return; // Sender dropped: shutdown.
+        };
+        handle_connection(stream, api, max_body_bytes);
+    }
+}
+
+fn handle_connection(stream: TcpStream, api: &Api, max_body_bytes: usize) {
+    let (response, rejected_early) = match read_request(&stream, max_body_bytes) {
+        Ok(request) => (api.handle(&request), false),
+        Err(crate::http::ParseError::Closed) => return,
+        Err(err) => (Api::parse_failure(&err), true),
+    };
+    if let Err(err) = response.write_to(&stream) {
+        // The client hung up mid-response; nothing to salvage.
+        eprintln!("helix-server: failed to write response: {err}");
+        return;
+    }
+    if rejected_early {
+        // An early reject (413/400) leaves the request body in flight.
+        // Closing now would RST the connection and can destroy the
+        // response before the peer reads it, so drain what the peer is
+        // still sending — bounded in bytes and time.
+        let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(500)));
+        let mut remainder = std::io::Read::take(&stream, (max_body_bytes as u64) * 2);
+        let _ = io::copy(&mut remainder, &mut io::sink());
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves the actual port when bound to port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains the worker pool, and joins every thread.
+    /// In-flight requests complete; queued-but-unhandled connections are
+    /// still served before the workers exit. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.accept_thread.is_none() {
+            return;
+        }
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept() so the loop observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept_thread.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

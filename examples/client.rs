@@ -1,0 +1,89 @@
+//! A standalone remote analyst: drives a running `serve` instance over
+//! the wire protocol from another process (or another machine).
+//!
+//! ```text
+//! # terminal 1
+//! HELIX_SERVE_ADDR=127.0.0.1:7878 cargo run --release --example serve
+//! # terminal 2
+//! cargo run --release --example client -- 127.0.0.1:7878 bob
+//! ```
+//!
+//! The analyst loop is the paper's: run, inspect the report, turn one
+//! learner knob, rerun (watching reuse climb), then browse the version
+//! history and the v0→v1 diff.
+
+use helix::server::client;
+use std::net::SocketAddr;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let addr: SocketAddr = args
+        .next()
+        .unwrap_or_else(|| "127.0.0.1:7878".into())
+        .parse()
+        .expect("first argument must be host:port");
+    let name = args.next().unwrap_or_else(|| "bob".into());
+
+    let health = client::get(addr, "/healthz").expect("is the serve example running?");
+    assert_eq!(health.status, 200, "server unhealthy");
+
+    let create = client::post(
+        addr,
+        "/sessions",
+        &format!(r#"{{"name":"{name}","workflow":"census"}}"#),
+    )
+    .expect("create session");
+    if create.status == 409 {
+        println!("session `{name}` already exists; reusing it");
+    } else {
+        create.expect_ok();
+    }
+
+    let first = client::post(addr, &format!("/sessions/{name}/iterate"), "")
+        .expect("iterate")
+        .expect_ok();
+    println!(
+        "[{name}] iteration {}: {} computed, accuracy {:?}",
+        first.get("iteration").unwrap().as_u64().unwrap(),
+        first.get("computed").unwrap().as_u64().unwrap(),
+        first
+            .get("metrics")
+            .unwrap()
+            .get("accuracy")
+            .and_then(|m| m.as_f64()),
+    );
+
+    client::post(
+        addr,
+        &format!("/sessions/{name}/edits"),
+        r#"{"kind":"set_learner_param","learner":"predictions","param":"epochs","value":6}"#,
+    )
+    .expect("edit")
+    .expect_ok();
+
+    let second = client::post(addr, &format!("/sessions/{name}/iterate"), "")
+        .expect("iterate")
+        .expect_ok();
+    println!(
+        "[{name}] iteration {}: reuse {:.0}% after `{}`",
+        second.get("iteration").unwrap().as_u64().unwrap(),
+        second.get("reuse_rate").unwrap().as_f64().unwrap() * 100.0,
+        second.get("change_summary").unwrap().as_str().unwrap(),
+    );
+
+    let versions = client::get(addr, &format!("/sessions/{name}/versions"))
+        .expect("versions")
+        .expect_ok();
+    for v in versions.get("versions").unwrap().as_array().unwrap() {
+        println!(
+            "[{name}] v{}: {} ({:.3}s)",
+            v.get("id").unwrap().as_u64().unwrap(),
+            v.get("change_summary").unwrap().as_str().unwrap(),
+            v.get("total_secs").unwrap().as_f64().unwrap(),
+        );
+    }
+    let diff = client::get(addr, &format!("/sessions/{name}/diff?from=0&to=1"))
+        .expect("diff")
+        .expect_ok();
+    println!("[{name}] diff v0→v1: {diff}");
+}

@@ -16,6 +16,8 @@
 //!   data generators and iteration scripts.
 //! * [`baselines`] — DeepDive-style, KeystoneML-style, and unoptimized-Helix
 //!   execution policies.
+//! * [`server`] — the dependency-free HTTP/1.1 front end serving sessions to
+//!   remote analysts (see `docs/API.md` for the wire protocol).
 
 #![warn(missing_docs)]
 
@@ -25,4 +27,5 @@ pub use helix_dataflow as dataflow;
 pub use helix_mincut as mincut;
 pub use helix_ml as ml;
 pub use helix_nlp as nlp;
+pub use helix_server as server;
 pub use helix_workloads as workloads;

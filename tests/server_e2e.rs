@@ -1,0 +1,344 @@
+//! End-to-end acceptance: the full analyst loop — create session →
+//! typed edit → run → report → version history — driven entirely over a
+//! real TCP socket, at parallelism 1 and at the default, with the wire
+//! report checked field-by-field against an in-process [`SessionHandle`]
+//! running the identical workload on an identically configured engine.
+//!
+//! Determinism note: both engines use `MaterializationPolicyKind::All`,
+//! the one policy whose store/load decisions are timing-independent, so
+//! per-node states must match exactly between the two (the same setup
+//! the core engine's sequential-vs-parallel parity test relies on).
+
+use helix::core::ops::ExtractorKind;
+use helix::core::session::LearnerParam;
+use helix::core::{Engine, EngineConfig, MaterializationPolicyKind, SessionManager, Workflow};
+use helix::dataflow::DataType;
+use helix::server::client;
+use helix::server::json::Json;
+use helix::server::routes::{Api, WorkflowRegistry};
+use helix::server::server::{Server, ServerConfig};
+use helix::server::wire;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("helix-e2e-srv-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The census-mini workflow both sides run. Row counts match the core
+/// session tests: large enough that load-vs-compute decisions are stable.
+fn workflow(dir: &Path) -> helix::core::Result<Workflow> {
+    let train = dir.join("train.csv");
+    let test = dir.join("test.csv");
+    if !train.exists() {
+        std::fs::write(&train, "BS,30,1\nMS,40,0\n".repeat(2_000)).unwrap();
+        std::fs::write(&test, "BS,35,1\nMS,45,0\n".repeat(400)).unwrap();
+    }
+    let mut w = Workflow::new("census-mini");
+    let data = w.csv_source("data", &train, Some(&test))?;
+    let rows = w.csv_scanner(
+        "rows",
+        &data,
+        &[
+            ("edu", DataType::Str),
+            ("age", DataType::Int),
+            ("target", DataType::Int),
+        ],
+    )?;
+    let edu = w.field_extractor("edu_f", &rows, "edu", ExtractorKind::Categorical)?;
+    let age = w.field_extractor("age_f", &rows, "age", ExtractorKind::Numeric)?;
+    let target = w.field_extractor("target_f", &rows, "target", ExtractorKind::Numeric)?;
+    let income = w.assemble("income", &rows, &[&edu, &age], &target)?;
+    let preds = w.learner("predictions", &income, Default::default())?;
+    let checked = w.evaluate("checked", &preds, Default::default())?;
+    w.output(&preds);
+    w.output(&checked);
+    Ok(w)
+}
+
+/// An engine whose decisions are timing-independent (see module docs).
+fn config(store: PathBuf, parallelism: Option<usize>) -> EngineConfig {
+    let mut config = EngineConfig::helix(store);
+    config.materialization = MaterializationPolicyKind::All;
+    if let Some(threads) = parallelism {
+        config.parallelism = threads;
+    }
+    config
+}
+
+/// Drives the analyst loop over the wire and in-process at the given
+/// parallelism, asserting the wire report matches the in-process one.
+fn socket_loop_matches_in_process(parallelism: Option<usize>, tag: &str) {
+    let dir = tmpdir(tag);
+
+    // -- server side: its own engine + store --------------------------------
+    let manager = Arc::new(SessionManager::new(Arc::new(
+        Engine::new(config(dir.join("store-wire"), parallelism)).unwrap(),
+    )));
+    let mut registry = WorkflowRegistry::new();
+    {
+        let dir = dir.clone();
+        registry.register("census-mini", move || workflow(&dir));
+    }
+    let mut server = Server::bind(
+        ("127.0.0.1", 0),
+        Api::new(Arc::clone(&manager), registry),
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    // -- in-process twin: identical config, separate store ------------------
+    let twin_manager = SessionManager::new(Arc::new(
+        Engine::new(config(dir.join("store-twin"), parallelism)).unwrap(),
+    ));
+    let twin = twin_manager
+        .create("alice", workflow(&dir).unwrap())
+        .unwrap();
+
+    // create session over the wire
+    let created = client::post(
+        addr,
+        "/sessions",
+        r#"{"name":"alice","workflow":"census-mini"}"#,
+    )
+    .unwrap()
+    .expect_ok();
+    assert_eq!(created.get("name").unwrap().as_str(), Some("alice"));
+    assert_eq!(created.get("iterations").unwrap().as_u64(), Some(0));
+
+    // iteration 0 on both sides
+    let wire0 = client::post(addr, "/sessions/alice/iterate", "")
+        .unwrap()
+        .expect_ok();
+    let twin0 = twin.iterate().unwrap();
+    assert_reports_match(&wire0, &twin0);
+
+    // the typed edit, wire and in-process
+    client::post(
+        addr,
+        "/sessions/alice/edits",
+        r#"{"kind":"set_learner_param","learner":"predictions","param":"reg_param","value":0.9}"#,
+    )
+    .unwrap()
+    .expect_ok();
+    twin.set_learner_param("predictions", LearnerParam::RegParam(0.9))
+        .unwrap();
+
+    // iteration 1 on both sides
+    let wire1 = client::post(addr, "/sessions/alice/iterate", "")
+        .unwrap()
+        .expect_ok();
+    let twin1 = twin.iterate().unwrap();
+    assert_reports_match(&wire1, &twin1);
+    assert_eq!(
+        wire1.get("change_summary").unwrap().as_str(),
+        Some("set predictions reg_param=0.9")
+    );
+    assert!(
+        wire1.get("loaded").unwrap().as_u64().unwrap() > 0,
+        "the ML-only edit must reuse pre-processing over the wire too"
+    );
+
+    // version history over the wire matches the in-process session's
+    let wire_versions = client::get(addr, "/sessions/alice/versions")
+        .unwrap()
+        .expect_ok();
+    let wire_versions = wire_versions
+        .get("versions")
+        .unwrap()
+        .as_array()
+        .unwrap()
+        .to_vec();
+    let twin_versions = twin.versions();
+    assert_eq!(wire_versions.len(), twin_versions.len());
+    for (wire_v, twin_v) in wire_versions.iter().zip(twin_versions.all()) {
+        assert_eq!(wire_v.get("id").unwrap().as_u64(), Some(twin_v.id as u64));
+        assert_eq!(
+            wire_v.get("change_summary").unwrap().as_str(),
+            Some(twin_v.change_summary.as_str())
+        );
+    }
+
+    // lineage detail: the v1 DAG snapshot names every node, and the
+    // v0→v1 diff pins the retrained model node
+    let detail = client::get(addr, "/sessions/alice/versions/1")
+        .unwrap()
+        .expect_ok();
+    let dag_nodes = detail
+        .get("dag")
+        .unwrap()
+        .get("nodes")
+        .unwrap()
+        .as_array()
+        .unwrap();
+    assert_eq!(dag_nodes.len(), twin1.nodes.len());
+    let diff = client::get(addr, "/sessions/alice/diff?from=0&to=1")
+        .unwrap()
+        .expect_ok();
+    let changed = diff.get("changed").unwrap().as_array().unwrap();
+    assert!(
+        changed
+            .iter()
+            .any(|c| c.get("name").unwrap().as_str() == Some("predictions__model")),
+        "diff must name the retrained model node: {diff}"
+    );
+
+    // the engine behind the server recorded both runs globally
+    assert_eq!(manager.engine().versions().len(), 2);
+
+    server.shutdown();
+}
+
+/// Field-by-field comparison of a wire report against an in-process
+/// [`helix::core::IterationReport`] — everything except wall-clock
+/// timings, which legitimately differ.
+fn assert_reports_match(wire_report: &Json, report: &helix::core::IterationReport) {
+    assert_eq!(
+        wire_report.get("iteration").unwrap().as_u64(),
+        Some(report.iteration as u64)
+    );
+    assert_eq!(
+        wire_report.get("workflow").unwrap().as_str(),
+        Some(report.workflow_name.as_str())
+    );
+    assert_eq!(wire_report.get("session").unwrap().as_str(), Some("alice"));
+    assert_eq!(
+        wire_report.get("change_summary").unwrap().as_str(),
+        Some(report.change_summary.as_str())
+    );
+    for (counter, value) in [
+        ("loaded", report.loaded()),
+        ("computed", report.computed()),
+        ("pruned", report.pruned()),
+    ] {
+        assert_eq!(
+            wire_report.get(counter).unwrap().as_u64(),
+            Some(value as u64),
+            "{counter} mismatch"
+        );
+    }
+    let wire_metrics = wire_report.get("metrics").unwrap().as_object().unwrap();
+    assert_eq!(wire_metrics.len(), report.metrics.len());
+    for ((wire_name, wire_value), (name, value)) in wire_metrics.iter().zip(&report.metrics) {
+        assert_eq!(wire_name, name);
+        assert_eq!(wire_value.as_f64(), Some(*value), "metric {name}");
+    }
+    let wire_nodes = wire_report.get("nodes").unwrap().as_array().unwrap();
+    assert_eq!(wire_nodes.len(), report.nodes.len());
+    for (wire_node, node) in wire_nodes.iter().zip(&report.nodes) {
+        assert_eq!(
+            wire_node.get("name").unwrap().as_str(),
+            Some(node.name.as_str())
+        );
+        assert_eq!(
+            wire_node.get("state").unwrap().as_str(),
+            Some(wire::node_state_str(node.state)),
+            "state mismatch on {}",
+            node.name
+        );
+        assert_eq!(
+            wire_node.get("change").unwrap().as_str(),
+            Some(wire::change_kind_str(node.change)),
+            "change mismatch on {}",
+            node.name
+        );
+        assert_eq!(
+            wire_node.get("wave").unwrap().as_u64(),
+            node.wave.map(|w| w as u64),
+            "wave mismatch on {}",
+            node.name
+        );
+        assert_eq!(
+            wire_node.get("materialized").unwrap().as_bool(),
+            Some(node.materialized),
+            "materialized mismatch on {}",
+            node.name
+        );
+    }
+    assert_eq!(
+        wire_report.get("waves").unwrap().as_array().unwrap().len(),
+        report.waves.len()
+    );
+}
+
+#[test]
+fn socket_loop_matches_in_process_sequential() {
+    socket_loop_matches_in_process(Some(1), "seq");
+}
+
+#[test]
+fn socket_loop_matches_in_process_default_parallelism() {
+    socket_loop_matches_in_process(None, "par");
+}
+
+/// Several remote analysts in flight at once: concurrent socket sessions
+/// share one engine, reuse each other's intermediates, and the history
+/// sees every run.
+#[test]
+fn concurrent_remote_sessions_share_the_store() {
+    let dir = tmpdir("burst");
+    let manager = Arc::new(SessionManager::new(Arc::new(
+        Engine::new(EngineConfig::helix(dir.join("store"))).unwrap(),
+    )));
+    let mut registry = WorkflowRegistry::new();
+    {
+        let dir = dir.clone();
+        registry.register("census-mini", move || workflow(&dir));
+    }
+    let mut server = Server::bind(
+        ("127.0.0.1", 0),
+        Api::new(Arc::clone(&manager), registry),
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    let analysts = ["alice", "bob", "carol"];
+    std::thread::scope(|scope| {
+        for name in analysts {
+            scope.spawn(move || {
+                client::post(
+                    addr,
+                    "/sessions",
+                    &format!(r#"{{"name":"{name}","workflow":"census-mini"}}"#),
+                )
+                .unwrap()
+                .expect_ok();
+                let report = client::post(addr, &format!("/sessions/{name}/iterate"), "")
+                    .unwrap()
+                    .expect_ok();
+                assert!(report.get("metrics").unwrap().get("accuracy").is_some());
+            });
+        }
+    });
+
+    // One more analyst after the burst: warm store, first run mostly loads.
+    client::post(
+        addr,
+        "/sessions",
+        r#"{"name":"dave","workflow":"census-mini"}"#,
+    )
+    .unwrap()
+    .expect_ok();
+    let warm = client::post(addr, "/sessions/dave/iterate", "")
+        .unwrap()
+        .expect_ok();
+    assert!(
+        warm.get("loaded").unwrap().as_u64().unwrap() > 0,
+        "a late remote analyst must reuse the burst's materializations"
+    );
+
+    let sessions = client::get(addr, "/sessions").unwrap().expect_ok();
+    assert_eq!(
+        sessions.get("sessions").unwrap().as_array().unwrap().len(),
+        4
+    );
+    let global = client::get(addr, "/versions").unwrap().expect_ok();
+    assert_eq!(global.get("versions").unwrap().as_array().unwrap().len(), 4);
+
+    server.shutdown();
+}

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Checks that every intra-repo markdown link in docs/ and the top-level
+# markdown files resolves to an existing file or directory. CI runs this
+# in the docs job; run it locally as `bash tools/check_doc_links.sh`.
+set -u
+
+cd "$(dirname "$0")/.."
+status=0
+checked=0
+
+for file in docs/*.md README.md ROADMAP.md; do
+  [ -f "$file" ] || continue
+  dir=$(dirname "$file")
+  # Extract inline markdown link targets: [text](target)
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    # Strip any #fragment.
+    path="${target%%#*}"
+    [ -n "$path" ] || continue
+    checked=$((checked + 1))
+    if [ ! -e "$dir/$path" ]; then
+      echo "BROKEN  $file -> $target" >&2
+      status=1
+    fi
+  done < <(grep -o '\](\([^)]*\))' "$file" | sed 's/^](//; s/)$//')
+done
+
+if [ "$checked" -eq 0 ]; then
+  echo "check_doc_links: no links found — extraction broke?" >&2
+  exit 1
+fi
+if [ "$status" -eq 0 ]; then
+  echo "check_doc_links: all $checked intra-repo links resolve"
+fi
+exit "$status"
