@@ -1,7 +1,7 @@
 //! Scheduler speedup and executor comparison on the census and NLP
 //! (IE + news) workloads.
 //!
-//! Two groups:
+//! Four groups:
 //!
 //! * `scheduler_first_iteration` — full-engine first iterations at 1
 //!   thread vs N threads. The first iteration computes every node, so it
@@ -9,11 +9,22 @@
 //!   one scan into the extractor set, IE runs five independent feature
 //!   UDFs over one candidate collection, and the news classifier is a
 //!   pure extractor fan-out.
+//! * `scheduler_scaled` — the same three workloads on the parameterized
+//!   scaled generators (`CensusDataSpec::scaled` / `NewsDataSpec::scaled`)
+//!   with operator partitioning engaged, measuring the
+//!   sequential/parallel crossover documented in docs/PERFORMANCE.md. The
+//!   CI regression gate (`bench_guard --compare`) asserts Nthr ≤ 1thr for
+//!   the heavy-per-row workloads (`ie`, `news`) here.
 //! * `scheduler_executor` — the ready-queue executor vs the historical
 //!   wave-barrier baseline (and the sequential loop) on the *same*
 //!   compiled first-iteration plan, isolating raw executor performance
 //!   from compilation and materialization. The CI regression gate
-//!   (`bench_guard`) asserts ready ≤ wave here.
+//!   asserts ready ≤ wave here.
+//! * `scheduler_warm` — the edit→rerun case: a persistent session flips
+//!   the learner's regularization each sample, so only the learner tail
+//!   recomputes against a warm store and a warm worker pool. This is the
+//!   paper's human-in-the-loop latency, as opposed to the cold first
+//!   iterations above.
 //!
 //! Run with `cargo bench -p helix-bench --bench scheduler`. Set
 //! `HELIX_BENCH_FAST=1` for the reduced CI configuration and
@@ -26,11 +37,12 @@ use helix_core::cost::CostModel;
 use helix_core::recompute::RecomputationPolicy;
 use helix_core::scheduler::execute_plan_with;
 use helix_core::store::IntermediateStore;
-use helix_core::{Engine, EngineConfig, ExecStrategy, Workflow};
+use helix_core::{Engine, EngineConfig, ExecStrategy, LearnerParam, Session, Workflow};
 use helix_workloads::census::{census_workflow, generate_census, CensusDataSpec, CensusParams};
 use helix_workloads::ie::{ie_workflow, IeParams};
 use helix_workloads::news::{generate_news, news_workflow, NewsDataSpec, NewsParams};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Reduced sizes for the CI regression job (`HELIX_BENCH_FAST=1`): the
 /// comparison stays two-sided but each sample is a few hundred ms.
@@ -109,6 +121,44 @@ fn workloads() -> Vec<(&'static str, Workflow)> {
     vec![("census", census), ("ie", ie), ("news", news)]
 }
 
+/// Like [`run_once`] but with an explicit operator-partition threshold,
+/// so wide nodes split into row-range partitions at bench scale.
+fn run_scaled(workflow: &Workflow, store_dir: &Path, threads: usize, partition_rows: usize) -> f64 {
+    let _ = std::fs::remove_dir_all(store_dir);
+    let engine = Engine::new(
+        EngineConfig::helix(store_dir)
+            .with_parallelism(threads)
+            .with_partition_rows(partition_rows),
+    )
+    .unwrap();
+    let report = engine.run(workflow).unwrap();
+    assert!(report.computed() > 0, "first iteration must compute");
+    report.total_secs
+}
+
+/// The scaled configurations: the seed-deterministic generators at 10x
+/// (CI fast mode) or larger multiples of their bench base size, paired
+/// with a partition threshold sized to the workload's per-row cost (cheap
+/// census rows get coarse partitions; expensive NLP rows get fine ones).
+/// Returns `(tag, workflow, partition_rows)`.
+fn scaled_workloads() -> Vec<(&'static str, Workflow, usize)> {
+    let fast = fast_mode();
+    let census_dir = bench_dir("scaled-census");
+    generate_census(
+        &census_dir,
+        &CensusDataSpec::scaled(if fast { 10 } else { 100 }),
+    )
+    .unwrap();
+    let census = census_workflow(&CensusParams::bench(&census_dir)).unwrap();
+
+    let news_dir = bench_dir("scaled-news");
+    generate_news(&news_dir, &NewsDataSpec::scaled(if fast { 10 } else { 30 })).unwrap();
+    let ie = ie_workflow(&IeParams::bench(&news_dir)).unwrap();
+    let news = news_workflow(&NewsParams::bench(&news_dir)).unwrap();
+
+    vec![("census", census, 256), ("ie", ie, 512), ("news", news, 32)]
+}
+
 fn bench_scheduler(c: &mut Criterion) {
     let threads = bench_threads();
     let samples = if fast_mode() { 5 } else { 10 };
@@ -124,6 +174,22 @@ fn bench_scheduler(c: &mut Criterion) {
             let store = bench_dir(&format!("store-{tag}-{t}"));
             group.bench_with_input(BenchmarkId::new(*tag, label), &t, |b, &t| {
                 b.iter(|| run_once(workflow, &store, t))
+            });
+        }
+    }
+    group.finish();
+
+    // Scaled generators with operator partitioning engaged: the Nthr row
+    // must beat 1thr on the heavy-per-row workloads (the CI crossover
+    // gate); census is measured but ungated — its cheap rows sit near the
+    // crossover on small runners.
+    let mut group = c.benchmark_group("scheduler_scaled");
+    group.sample_size(samples);
+    for (tag, workflow, partition_rows) in &scaled_workloads() {
+        for (label, t) in [("1thr", 1usize), ("Nthr", threads)] {
+            let store = bench_dir(&format!("scaled-store-{tag}-{t}"));
+            group.bench_with_input(BenchmarkId::new(*tag, label), &t, |b, &t| {
+                b.iter(|| run_scaled(workflow, &store, t, *partition_rows))
             });
         }
     }
@@ -151,6 +217,39 @@ fn bench_scheduler(c: &mut Criterion) {
                 })
             });
         }
+    }
+    group.finish();
+
+    // Warm edit→rerun iterations: one persistent session per row; each
+    // sample flips the learner's regularization and reruns, so the
+    // change tracker reuses everything upstream of the learner and the
+    // run measures the human-in-the-loop latency the engine optimizes.
+    let census = &workloads
+        .iter()
+        .find(|(tag, _)| *tag == "census")
+        .expect("census workload present")
+        .1;
+    let mut group = c.benchmark_group("scheduler_warm");
+    group.sample_size(samples);
+    for (label, t) in [("1thr", 1usize), ("Nthr", threads)] {
+        let dir = bench_dir(&format!("warm-{t}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let engine = Arc::new(
+            Engine::new(EngineConfig::helix(dir.join("store")).with_parallelism(t)).unwrap(),
+        );
+        let mut session = Session::new(engine, "warm-bench", census.clone());
+        session.iterate().unwrap(); // cold run outside the measurement
+        let mut flip = false;
+        group.bench_with_input(BenchmarkId::new("census_edit_rerun", label), &t, |b, _| {
+            b.iter(|| {
+                flip = !flip;
+                let reg = if flip { 0.01 } else { 0.1 };
+                session
+                    .set_learner_param("predictions", LearnerParam::RegParam(reg))
+                    .unwrap();
+                session.iterate().unwrap().total_secs
+            })
+        });
     }
     group.finish();
 }

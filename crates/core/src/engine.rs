@@ -59,6 +59,14 @@ pub struct EngineConfig {
     /// historical single-lock store. Purely a concurrency knob — contents
     /// and budget semantics are identical at every setting.
     pub store_shards: usize,
+    /// Rows-per-partition threshold for the scheduler's operator-level
+    /// data parallelism: a partitionable node splits into row slices once
+    /// its input holds at least twice this many rows. The default comes
+    /// from `HELIX_PARTITION_ROWS` (falling back to
+    /// [`crate::scheduler::DEFAULT_PARTITION_ROWS`]). Purely a
+    /// performance knob — outputs, reports, and errors are identical at
+    /// every setting; see `docs/PERFORMANCE.md` for tuning guidance.
+    pub partition_rows: usize,
 }
 
 impl EngineConfig {
@@ -72,6 +80,7 @@ impl EngineConfig {
             enable_slicing: true,
             parallelism: scheduler::default_parallelism(),
             store_shards: crate::store::default_store_shards(),
+            partition_rows: scheduler::default_partition_rows(),
         }
     }
 
@@ -90,6 +99,12 @@ impl EngineConfig {
     /// Sets the store shard count (clamped to ≥ 1).
     pub fn with_store_shards(mut self, shards: usize) -> Self {
         self.store_shards = shards.max(1);
+        self
+    }
+
+    /// Sets the partition threshold (clamped to ≥ 1).
+    pub fn with_partition_rows(mut self, rows: usize) -> Self {
+        self.partition_rows = rows.max(1);
         self
     }
 }
@@ -189,6 +204,12 @@ use crate::lock;
 pub struct Engine {
     config: EngineConfig,
     store: IntermediateStore,
+    /// Persistent worker pool the scheduler draws helper threads from:
+    /// created once with the engine and reused across iterations and
+    /// concurrent sessions, so per-run thread construction never lands on
+    /// the iteration's critical path. Dropped (and its threads joined)
+    /// with the engine.
+    pool: std::sync::Arc<crate::pool::WorkerPool>,
     cost_model: Mutex<CostModel>,
     versions: Mutex<VersionStore>,
     /// Version bookkeeping for direct [`Engine::run`] callers. Locked
@@ -211,6 +232,7 @@ impl Engine {
         Ok(Engine {
             config,
             store,
+            pool: std::sync::Arc::new(crate::pool::WorkerPool::new()),
             cost_model: Mutex::new(CostModel::new()),
             versions: Mutex::new(VersionStore::new()),
             default_lineage: Mutex::new(Lineage::new()),
@@ -294,38 +316,6 @@ impl Engine {
         Ok(report)
     }
 
-    /// Pre-session compatibility shim for callers written against the
-    /// historical `run(&mut self)` signature. Scheduled for removal in
-    /// the release after 0.1; do not use it in new code.
-    ///
-    /// Migration: drop the `&mut` requirement by calling [`Engine::run`]
-    /// directly, or — for anything iterative — drive a
-    /// [`crate::session::Session`], which owns the workflow between
-    /// edits and attributes history correctly:
-    ///
-    /// ```no_run
-    /// use helix_core::{Engine, EngineConfig, SessionManager, Workflow};
-    /// use std::sync::Arc;
-    ///
-    /// # fn demo(workflow: Workflow) -> helix_core::Result<()> {
-    /// let engine = Arc::new(Engine::new(EngineConfig::helix("store"))?);
-    /// // Before: engine.run_mut(&workflow)?  (needed exclusive access)
-    /// let manager = SessionManager::new(engine);
-    /// let session = manager.create("analyst", workflow)?;
-    /// let report = session.iterate()?; // &self — runs share the engine
-    /// # let _ = report; Ok(())
-    /// # }
-    /// ```
-    #[deprecated(
-        since = "0.1.0",
-        note = "removed after 0.1: Engine::run takes &self now — call run() directly, \
-                or create a session (SessionManager::create + Session::iterate) for \
-                iterative use; see the method docs for a migration example"
-    )]
-    pub fn run_mut(&mut self, workflow: &Workflow) -> Result<IterationReport> {
-        self.run(workflow)
-    }
-
     /// Runs one iteration under an explicit [`Lineage`]: compile against
     /// `lineage.previous`, execute, materialize, record into the global
     /// version history, and advance the lineage.
@@ -383,11 +373,16 @@ impl Engine {
         // touched after execution completes.
         let store = &self.store;
         let config = &self.config;
-        let result = scheduler::execute_plan(
+        let exec_opts = scheduler::ExecOpts {
+            parallelism: config.parallelism,
+            partition_rows: config.partition_rows,
+            pool: Some(std::sync::Arc::clone(&self.pool)),
+        };
+        let result = scheduler::execute_plan_opts(
             workflow,
             &plan,
             store,
-            config.parallelism,
+            &exec_opts,
             |id, executed, output| {
                 let i = id.index();
                 if let Some(bytes) = executed.loaded_bytes {
@@ -813,15 +808,33 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn run_mut_shim_forwards_to_run() {
-        let dir = tmpdir("shim");
+    fn partitioned_runs_match_unpartitioned_results() {
+        // A threshold of 1 row forces every partitionable node (the
+        // scan, the extractors, the assemble, the model application) to
+        // split into the 32-slice maximum; reports and metrics must be
+        // indistinguishable from the sequential engine's.
+        let dir = tmpdir("partrows");
         std::fs::create_dir_all(&dir).unwrap();
-        let mut engine = Engine::new(EngineConfig::helix(dir.join("store"))).unwrap();
-        let w = census_workflow(&dir, 0.1);
-        let report = engine.run_mut(&w).unwrap();
-        assert_eq!(report.metric("accuracy"), Some(1.0));
-        assert_eq!(engine.versions().len(), 1);
+        let baseline = Engine::new(
+            EngineConfig::helix(dir.join("s-base"))
+                .with_parallelism(1)
+                .with_partition_rows(1),
+        )
+        .unwrap();
+        let split = Engine::new(
+            EngineConfig::helix(dir.join("s-split"))
+                .with_parallelism(4)
+                .with_partition_rows(1),
+        )
+        .unwrap();
+        for reg in [0.1, 0.9] {
+            let w = census_workflow(&dir, reg);
+            let a = baseline.run(&w).unwrap();
+            let b = split.run(&w).unwrap();
+            assert_eq!(a.metrics, b.metrics, "reg={reg}");
+            assert_eq!(a.computed(), b.computed(), "reg={reg}");
+            assert_eq!(a.pruned(), b.pruned(), "reg={reg}");
+        }
     }
 
     #[test]

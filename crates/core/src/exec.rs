@@ -76,7 +76,53 @@ pub fn decode_pairs(cell: &Value) -> Result<Vec<(String, f64)>> {
 }
 
 /// Executes `kind` over parent outputs (in wiring order).
+///
+/// For partitionable operators this is exactly
+/// [`execute_slice`]`(kind, name, inputs, 0, n)` — one code path, so a
+/// partitioned run concatenating slice outputs is byte-identical to a
+/// whole-node run by construction.
 pub fn execute(kind: &OperatorKind, name: &str, inputs: &[&NodeOutput]) -> Result<NodeOutput> {
+    let end = partitionable_rows(kind, inputs).unwrap_or(0);
+    execute_slice(kind, name, inputs, 0, end)
+}
+
+/// Rows over which `kind` may be split into row-range partitions, or
+/// `None` if the operator must run whole.
+///
+/// Partitionable operators are strictly row-wise over their sliceable
+/// input: Scan, FieldExtractor, Interaction, AssembleFeatures (all
+/// row-aligned across inputs), Apply (row-wise over the data input), and
+/// [`OperatorKind::RowUdf`]. Global operators — sources, Bucketizer
+/// (two-pass min/max), Train/Evaluate (aggregates), classic UDFs — return
+/// `None`. Also `None` when the sliceable input is missing or not data;
+/// [`execute_slice`] then reports the shape error itself.
+pub fn partitionable_rows(kind: &OperatorKind, inputs: &[&NodeOutput]) -> Option<usize> {
+    let rows_of = |i: usize| Some(inputs.get(i)?.as_data().ok()?.len());
+    match kind {
+        OperatorKind::CsvScan { .. }
+        | OperatorKind::FieldExtractor { .. }
+        | OperatorKind::Interaction
+        | OperatorKind::AssembleFeatures
+        | OperatorKind::RowUdf(_) => rows_of(0),
+        OperatorKind::Apply => rows_of(1),
+        _ => None,
+    }
+}
+
+/// Executes `kind` over the row range `[start, end)` of its sliceable
+/// input (see [`partitionable_rows`]); other inputs are passed whole.
+///
+/// Non-partitionable operators ignore the range and run whole. Input
+/// validation (arity, alignment, schemas) always checks the *full*
+/// inputs, so every partition of a malformed node fails with the same
+/// error a whole-node run would produce.
+pub fn execute_slice(
+    kind: &OperatorKind,
+    name: &str,
+    inputs: &[&NodeOutput],
+    start: usize,
+    end: usize,
+) -> Result<NodeOutput> {
     match kind {
         OperatorKind::CsvSource {
             train_path,
@@ -86,9 +132,11 @@ pub fn execute(kind: &OperatorKind, name: &str, inputs: &[&NodeOutput]) -> Resul
             path,
             test_fraction,
         } => exec_text_source(path, *test_fraction),
-        OperatorKind::CsvScan { fields } => exec_csv_scan(fields, data(inputs, 0, name)?),
+        OperatorKind::CsvScan { fields } => {
+            exec_csv_scan(fields, data(inputs, 0, name)?, start, end)
+        }
         OperatorKind::FieldExtractor { field, kind } => {
-            exec_field_extractor(field, *kind, data(inputs, 0, name)?)
+            exec_field_extractor(field, *kind, data(inputs, 0, name)?, start, end)
         }
         OperatorKind::Bucketizer { bins } => exec_bucketizer(*bins, data(inputs, 0, name)?),
         OperatorKind::Interaction => {
@@ -96,7 +144,7 @@ pub fn execute(kind: &OperatorKind, name: &str, inputs: &[&NodeOutput]) -> Resul
             for i in 0..inputs.len() {
                 collections.push(data(inputs, i, name)?);
             }
-            exec_interaction(&collections)
+            exec_interaction(&collections, start, end)
         }
         OperatorKind::AssembleFeatures => {
             if inputs.len() < 3 {
@@ -111,7 +159,7 @@ pub fn execute(kind: &OperatorKind, name: &str, inputs: &[&NodeOutput]) -> Resul
             for i in 1..inputs.len() - 1 {
                 extractors.push(data(inputs, i, name)?);
             }
-            exec_assemble(base, &extractors, label)
+            exec_assemble(base, &extractors, label, start, end)
         }
         OperatorKind::Train(spec) => exec_train(spec, data(inputs, 0, name)?),
         OperatorKind::Apply => {
@@ -119,7 +167,7 @@ pub fn execute(kind: &OperatorKind, name: &str, inputs: &[&NodeOutput]) -> Resul
                 .first()
                 .ok_or_else(|| HelixError::Exec(format!("`{name}` missing model input")))?
                 .as_model()?;
-            exec_apply(model, data(inputs, 1, name)?)
+            exec_apply(model, data(inputs, 1, name)?, start, end)
         }
         OperatorKind::Evaluate(spec) => exec_evaluate(spec, data(inputs, 0, name)?),
         OperatorKind::UserDefined(udf) => {
@@ -129,7 +177,48 @@ pub fn execute(kind: &OperatorKind, name: &str, inputs: &[&NodeOutput]) -> Resul
             }
             Ok(NodeOutput::Data((udf.func)(&collections)?))
         }
+        OperatorKind::RowUdf(udf) => {
+            let first = data(inputs, 0, name)?;
+            // Whole-range calls see the original collection; true slices
+            // get a sub-collection of the same rows, so the row-wise
+            // contract makes the outputs concatenate identically.
+            let sliced;
+            let mut collections: Vec<&DataCollection> = Vec::with_capacity(inputs.len());
+            if start == 0 && end == first.len() {
+                collections.push(first);
+            } else {
+                sliced = DataCollection::from_rows_unchecked(
+                    Arc::clone(first.schema()),
+                    first.rows()[start..end].to_vec(),
+                );
+                collections.push(&sliced);
+            }
+            for i in 1..inputs.len() {
+                collections.push(data(inputs, i, name)?);
+            }
+            Ok(NodeOutput::Data((udf.func)(&collections)?))
+        }
     }
+}
+
+/// Concatenates partition outputs (in partition-index order) back into
+/// one node output. All partitionable operators produce data collections.
+pub fn concat_slices(parts: Vec<NodeOutput>) -> Result<NodeOutput> {
+    let take = |out: NodeOutput| match out {
+        NodeOutput::Data(dc) => Ok(dc.into_parts()),
+        NodeOutput::Model(_) => Err(HelixError::Exec("partitioned node produced a model".into())),
+    };
+    let mut iter = parts.into_iter();
+    let first = iter
+        .next()
+        .ok_or_else(|| HelixError::Exec("no partition outputs to merge".into()))?;
+    let (schema, mut rows) = take(first)?;
+    for part in iter {
+        rows.extend(take(part)?.1);
+    }
+    Ok(NodeOutput::Data(DataCollection::from_rows_unchecked(
+        schema, rows,
+    )))
 }
 
 fn data<'a>(inputs: &[&'a NodeOutput], i: usize, name: &str) -> Result<&'a DataCollection> {
@@ -201,7 +290,12 @@ fn exec_text_source(path: &Path, test_fraction: f64) -> Result<NodeOutput> {
     )))
 }
 
-fn exec_csv_scan(fields: &[(String, DataType)], input: &DataCollection) -> Result<NodeOutput> {
+fn exec_csv_scan(
+    fields: &[(String, DataType)],
+    input: &DataCollection,
+    start: usize,
+    end: usize,
+) -> Result<NodeOutput> {
     let mut schema_fields = vec![(SPLIT_COL, DataType::Str)];
     for (name, dtype) in fields {
         schema_fields.push((name.as_str(), *dtype));
@@ -209,7 +303,8 @@ fn exec_csv_scan(fields: &[(String, DataType)], input: &DataCollection) -> Resul
     let schema = Schema::of(&schema_fields);
     let split_idx = input.column_index(SPLIT_COL)?;
     let line_idx = input.column_index("line")?;
-    let out = helix_dataflow::par::par_map_rows(input, schema, |row| {
+    let mut rows = Vec::with_capacity(end - start);
+    for row in &input.rows()[start..end] {
         let line = row.get(line_idx).as_str().unwrap_or("");
         let records = csv::parse_records(line)
             .map_err(|e| helix_dataflow::DataflowError::Csv(format!("{e}")))?;
@@ -219,16 +314,19 @@ fn exec_csv_scan(fields: &[(String, DataType)], input: &DataCollection) -> Resul
                 "line has {} fields, scanner expects {}",
                 record.len(),
                 fields.len()
-            )));
+            ))
+            .into());
         }
         let mut values = Vec::with_capacity(fields.len() + 1);
         values.push(row.get(split_idx).clone());
         for (raw, (_, dtype)) in record.iter().zip(fields) {
             values.push(Value::parse_typed(raw, *dtype));
         }
-        Ok(Row(values))
-    })?;
-    Ok(NodeOutput::Data(out))
+        rows.push(Row(values));
+    }
+    Ok(NodeOutput::Data(DataCollection::from_rows_unchecked(
+        schema, rows,
+    )))
 }
 
 // ---------------------------------------------------------------------------
@@ -239,24 +337,29 @@ fn exec_field_extractor(
     field: &str,
     kind: ExtractorKind,
     input: &DataCollection,
+    start: usize,
+    end: usize,
 ) -> Result<NodeOutput> {
     let idx = input.column_index(field)?;
-    let field_name = field.to_string();
-    let out = helix_dataflow::par::par_map_rows(input, feats_schema(), move |row| {
+    let mut rows = Vec::with_capacity(end - start);
+    for row in &input.rows()[start..end] {
         let cell = row.get(idx);
         let pairs = match (kind, cell) {
             (_, Value::Null) => Vec::new(),
             (ExtractorKind::Categorical, value) => {
-                vec![feature_pair(&format!("{field_name}={value}"), 1.0)]
+                vec![feature_pair(&format!("{field}={value}"), 1.0)]
             }
             (ExtractorKind::Numeric, value) => match value.as_f64() {
-                Some(v) => vec![feature_pair(&field_name, v)],
+                Some(v) => vec![feature_pair(field, v)],
                 None => Vec::new(),
             },
         };
-        Ok(Row(vec![Value::List(pairs)]))
-    })?;
-    Ok(NodeOutput::Data(out))
+        rows.push(Row(vec![Value::List(pairs)]));
+    }
+    Ok(NodeOutput::Data(DataCollection::from_rows_unchecked(
+        feats_schema(),
+        rows,
+    )))
 }
 
 fn exec_bucketizer(bins: usize, input: &DataCollection) -> Result<NodeOutput> {
@@ -302,7 +405,7 @@ fn exec_bucketizer(bins: usize, input: &DataCollection) -> Result<NodeOutput> {
     )))
 }
 
-fn exec_interaction(inputs: &[&DataCollection]) -> Result<NodeOutput> {
+fn exec_interaction(inputs: &[&DataCollection], start: usize, end: usize) -> Result<NodeOutput> {
     let n = inputs
         .first()
         .ok_or_else(|| HelixError::Exec("interaction needs inputs".into()))?
@@ -315,8 +418,8 @@ fn exec_interaction(inputs: &[&DataCollection]) -> Result<NodeOutput> {
             )));
         }
     }
-    let mut rows = Vec::with_capacity(n);
-    for r in 0..n {
+    let mut rows = Vec::with_capacity(end - start);
+    for r in start..end {
         // Cross product across parents, left-to-right.
         let mut acc: Vec<(String, f64)> = vec![(String::new(), 1.0)];
         for dc in inputs {
@@ -351,6 +454,8 @@ fn exec_assemble(
     base: &DataCollection,
     extractors: &[&DataCollection],
     label: &DataCollection,
+    start: usize,
+    end: usize,
 ) -> Result<NodeOutput> {
     let n = base.len();
     for dc in extractors.iter().chain(std::iter::once(&label)) {
@@ -362,8 +467,10 @@ fn exec_assemble(
         }
     }
     let split_idx = base.column_index(SPLIT_COL)?;
-    let mut rows = Vec::with_capacity(n);
-    for r in 0..n {
+    // Label-less rows drop independently per row, so a slice's output is
+    // exactly its rows' contribution to the whole-node output.
+    let mut rows = Vec::with_capacity(end - start);
+    for r in start..end {
         let label_pairs = decode_pairs(label.rows()[r].get(0))?;
         // Rows without a label (missing target field) are dropped, as real
         // census data contains incomplete records.
@@ -451,13 +558,18 @@ fn exec_train(spec: &LearnerSpec, assembled: &DataCollection) -> Result<NodeOutp
     }))
 }
 
-fn exec_apply(bundle: &TrainedModel, assembled: &DataCollection) -> Result<NodeOutput> {
+fn exec_apply(
+    bundle: &TrainedModel,
+    assembled: &DataCollection,
+    start: usize,
+    end: usize,
+) -> Result<NodeOutput> {
     let split_idx = assembled.column_index(SPLIT_COL)?;
     let label_idx = assembled.column_index("label")?;
     let feats_idx = assembled.column_index("feats")?;
     let space = bundle.feature_space();
-    let mut rows = Vec::with_capacity(assembled.len());
-    for row in assembled.rows() {
+    let mut rows = Vec::with_capacity(end - start);
+    for row in &assembled.rows()[start..end] {
         let pairs = decode_pairs(row.get(feats_idx))?;
         let vector = space.vectorize_frozen(&pairs);
         let score = bundle.model.predict(&vector);
@@ -534,6 +646,35 @@ pub fn metric_values(output: &NodeOutput) -> Result<Vec<(String, f64)>> {
 mod tests {
     use super::*;
 
+    // Whole-range wrappers: the sliced executors over their full input.
+    fn csv_scan(fields: &[(String, DataType)], input: &DataCollection) -> Result<NodeOutput> {
+        exec_csv_scan(fields, input, 0, input.len())
+    }
+
+    fn field_extractor(
+        field: &str,
+        kind: ExtractorKind,
+        input: &DataCollection,
+    ) -> Result<NodeOutput> {
+        exec_field_extractor(field, kind, input, 0, input.len())
+    }
+
+    fn interaction(inputs: &[&DataCollection]) -> Result<NodeOutput> {
+        exec_interaction(inputs, 0, inputs[0].len())
+    }
+
+    fn assemble(
+        base: &DataCollection,
+        extractors: &[&DataCollection],
+        label: &DataCollection,
+    ) -> Result<NodeOutput> {
+        exec_assemble(base, extractors, label, 0, base.len())
+    }
+
+    fn apply(bundle: &TrainedModel, assembled: &DataCollection) -> Result<NodeOutput> {
+        exec_apply(bundle, assembled, 0, assembled.len())
+    }
+
     fn write_csv(dir: &Path, name: &str, content: &str) -> std::path::PathBuf {
         let path = dir.join(name);
         std::fs::write(&path, content).unwrap();
@@ -550,7 +691,7 @@ mod tests {
         let train = write_csv(dir, "train.csv", "30,BS,1\n40,MS,0\n50,PhD,1\n");
         let test = write_csv(dir, "test.csv", "35,BS,1\n45,MS,0\n");
         let src = exec_csv_source(&train, Some(&test)).unwrap();
-        let scanned = exec_csv_scan(
+        let scanned = csv_scan(
             &[
                 ("age".to_string(), DataType::Int),
                 ("edu".to_string(), DataType::Str),
@@ -581,7 +722,7 @@ mod tests {
     fn categorical_extractor_one_hots() {
         let dir = tmpdir("cat");
         let rows = source_and_scan(&dir);
-        let out = exec_field_extractor("edu", ExtractorKind::Categorical, &rows).unwrap();
+        let out = field_extractor("edu", ExtractorKind::Categorical, &rows).unwrap();
         let dc = out.as_data().unwrap();
         let pairs = decode_pairs(dc.rows()[0].get(0)).unwrap();
         assert_eq!(pairs, vec![("edu=BS".to_string(), 1.0)]);
@@ -591,7 +732,7 @@ mod tests {
     fn numeric_extractor_passes_value() {
         let dir = tmpdir("num");
         let rows = source_and_scan(&dir);
-        let out = exec_field_extractor("age", ExtractorKind::Numeric, &rows).unwrap();
+        let out = field_extractor("age", ExtractorKind::Numeric, &rows).unwrap();
         let pairs = decode_pairs(out.as_data().unwrap().rows()[2].get(0)).unwrap();
         assert_eq!(pairs, vec![("age".to_string(), 50.0)]);
     }
@@ -601,7 +742,7 @@ mod tests {
         let dir = tmpdir("null");
         let train = write_csv(&dir, "train.csv", "?,BS,1\n");
         let src = exec_csv_source(&train, None).unwrap();
-        let scanned = exec_csv_scan(
+        let scanned = csv_scan(
             &[
                 ("age".to_string(), DataType::Int),
                 ("edu".to_string(), DataType::Str),
@@ -610,8 +751,8 @@ mod tests {
             src.as_data().unwrap(),
         )
         .unwrap();
-        let out = exec_field_extractor("age", ExtractorKind::Numeric, scanned.as_data().unwrap())
-            .unwrap();
+        let out =
+            field_extractor("age", ExtractorKind::Numeric, scanned.as_data().unwrap()).unwrap();
         let pairs = decode_pairs(out.as_data().unwrap().rows()[0].get(0)).unwrap();
         assert!(pairs.is_empty());
     }
@@ -620,7 +761,7 @@ mod tests {
     fn bucketizer_buckets_equal_width() {
         let dir = tmpdir("bucket");
         let rows = source_and_scan(&dir);
-        let ages = exec_field_extractor("age", ExtractorKind::Numeric, &rows).unwrap();
+        let ages = field_extractor("age", ExtractorKind::Numeric, &rows).unwrap();
         let out = exec_bucketizer(2, ages.as_data().unwrap()).unwrap();
         let dc = out.as_data().unwrap();
         // ages: 30..50, width 10; 30 → b0, 50 → b1 (clamped).
@@ -634,9 +775,9 @@ mod tests {
     fn interaction_crosses_names_and_values() {
         let dir = tmpdir("inter");
         let rows = source_and_scan(&dir);
-        let edu = exec_field_extractor("edu", ExtractorKind::Categorical, &rows).unwrap();
-        let age = exec_field_extractor("age", ExtractorKind::Numeric, &rows).unwrap();
-        let out = exec_interaction(&[edu.as_data().unwrap(), age.as_data().unwrap()]).unwrap();
+        let edu = field_extractor("edu", ExtractorKind::Categorical, &rows).unwrap();
+        let age = field_extractor("age", ExtractorKind::Numeric, &rows).unwrap();
+        let out = interaction(&[edu.as_data().unwrap(), age.as_data().unwrap()]).unwrap();
         let pairs = decode_pairs(out.as_data().unwrap().rows()[0].get(0)).unwrap();
         assert_eq!(pairs, vec![("edu=BS×age".to_string(), 30.0)]);
     }
@@ -645,10 +786,9 @@ mod tests {
     fn assemble_concatenates_and_labels() {
         let dir = tmpdir("asm");
         let rows = source_and_scan(&dir);
-        let edu = exec_field_extractor("edu", ExtractorKind::Categorical, &rows).unwrap();
-        let target = exec_field_extractor("target", ExtractorKind::Numeric, &rows).unwrap();
-        let out =
-            exec_assemble(&rows, &[edu.as_data().unwrap()], target.as_data().unwrap()).unwrap();
+        let edu = field_extractor("edu", ExtractorKind::Categorical, &rows).unwrap();
+        let target = field_extractor("target", ExtractorKind::Numeric, &rows).unwrap();
+        let out = assemble(&rows, &[edu.as_data().unwrap()], target.as_data().unwrap()).unwrap();
         let dc = out.as_data().unwrap();
         assert_eq!(dc.len(), 5);
         assert_eq!(dc.rows()[0].get(1), &Value::Float(1.0));
@@ -663,7 +803,7 @@ mod tests {
         let train = write_csv(&dir, "train2.csv", &"BS,1\nMS,0\n".repeat(30));
         let test = write_csv(&dir, "test2.csv", "BS,1\nMS,0\nBS,1\n");
         let src = exec_csv_source(&train, Some(&test)).unwrap();
-        let rows = exec_csv_scan(
+        let rows = csv_scan(
             &[
                 ("edu".to_string(), DataType::Str),
                 ("target".to_string(), DataType::Int),
@@ -672,12 +812,12 @@ mod tests {
         )
         .unwrap();
         let rows = rows.as_data().unwrap();
-        let edu = exec_field_extractor("edu", ExtractorKind::Categorical, rows).unwrap();
-        let target = exec_field_extractor("target", ExtractorKind::Numeric, rows).unwrap();
+        let edu = field_extractor("edu", ExtractorKind::Categorical, rows).unwrap();
+        let target = field_extractor("target", ExtractorKind::Numeric, rows).unwrap();
         let assembled =
-            exec_assemble(rows, &[edu.as_data().unwrap()], target.as_data().unwrap()).unwrap();
+            assemble(rows, &[edu.as_data().unwrap()], target.as_data().unwrap()).unwrap();
         let model = exec_train(&LearnerSpec::default(), assembled.as_data().unwrap()).unwrap();
-        let preds = exec_apply(model.as_model().unwrap(), assembled.as_data().unwrap()).unwrap();
+        let preds = apply(model.as_model().unwrap(), assembled.as_data().unwrap()).unwrap();
         let eval = exec_evaluate(
             &EvalSpec {
                 metrics: vec![MetricKind::Accuracy, MetricKind::F1],
@@ -699,7 +839,7 @@ mod tests {
         let train = write_csv(&dir, "train3.csv", &"BS,1\nMS,0\n".repeat(20));
         let test = write_csv(&dir, "test3.csv", "PhD,1\n");
         let src = exec_csv_source(&train, Some(&test)).unwrap();
-        let rows = exec_csv_scan(
+        let rows = csv_scan(
             &[
                 ("edu".to_string(), DataType::Str),
                 ("target".to_string(), DataType::Int),
@@ -708,12 +848,12 @@ mod tests {
         )
         .unwrap();
         let rows = rows.as_data().unwrap();
-        let edu = exec_field_extractor("edu", ExtractorKind::Categorical, rows).unwrap();
-        let target = exec_field_extractor("target", ExtractorKind::Numeric, rows).unwrap();
+        let edu = field_extractor("edu", ExtractorKind::Categorical, rows).unwrap();
+        let target = field_extractor("target", ExtractorKind::Numeric, rows).unwrap();
         let assembled =
-            exec_assemble(rows, &[edu.as_data().unwrap()], target.as_data().unwrap()).unwrap();
+            assemble(rows, &[edu.as_data().unwrap()], target.as_data().unwrap()).unwrap();
         let model = exec_train(&LearnerSpec::default(), assembled.as_data().unwrap()).unwrap();
-        let preds = exec_apply(model.as_model().unwrap(), assembled.as_data().unwrap()).unwrap();
+        let preds = apply(model.as_model().unwrap(), assembled.as_data().unwrap()).unwrap();
         assert_eq!(preds.as_data().unwrap().len(), 41);
     }
 
@@ -721,11 +861,11 @@ mod tests {
     fn misaligned_inputs_rejected() {
         let dir = tmpdir("misalign");
         let rows = source_and_scan(&dir);
-        let edu = exec_field_extractor("edu", ExtractorKind::Categorical, &rows).unwrap();
+        let edu = field_extractor("edu", ExtractorKind::Categorical, &rows).unwrap();
         let truncated = edu.as_data().unwrap().head(2);
-        assert!(exec_interaction(&[edu.as_data().unwrap(), &truncated]).is_err());
-        let target = exec_field_extractor("target", ExtractorKind::Numeric, &rows).unwrap();
-        assert!(exec_assemble(&rows, &[&truncated], target.as_data().unwrap()).is_err());
+        assert!(interaction(&[edu.as_data().unwrap(), &truncated]).is_err());
+        let target = field_extractor("target", ExtractorKind::Numeric, &rows).unwrap();
+        assert!(assemble(&rows, &[&truncated], target.as_data().unwrap()).is_err());
     }
 
     #[test]
@@ -733,7 +873,7 @@ mod tests {
         let dir = tmpdir("ragged");
         let train = write_csv(&dir, "bad.csv", "1,2\n1\n");
         let src = exec_csv_source(&train, None).unwrap();
-        let result = exec_csv_scan(
+        let result = csv_scan(
             &[
                 ("a".to_string(), DataType::Int),
                 ("b".to_string(), DataType::Int),

@@ -38,6 +38,7 @@ pub mod error;
 pub mod exec;
 pub mod materialize;
 pub mod ops;
+pub mod pool;
 pub mod recompute;
 pub mod report;
 pub mod scheduler;
@@ -55,9 +56,10 @@ pub use materialize::MaterializationPolicyKind;
 pub use ops::{
     EvalSpec, ExtractorKind, LearnerSpec, MetricKind, ModelType, NodeOutput, OperatorKind, Udf,
 };
+pub use pool::WorkerPool;
 pub use recompute::{NodeState, RecomputationPolicy};
 pub use report::IterationReport;
-pub use scheduler::{default_parallelism, ExecStrategy};
+pub use scheduler::{default_parallelism, default_partition_rows, ExecOpts, ExecStrategy};
 pub use session::{LearnerParam, Session, SessionHandle, SessionManager, WorkflowEdit};
 pub use store::default_store_shards;
 pub use workflow::{NodeId, NodeRef, Workflow};

@@ -228,6 +228,18 @@ pub enum OperatorKind {
     Evaluate(EvalSpec),
     /// Arbitrary user transform.
     UserDefined(Udf),
+    /// A user transform whose output rows depend only on the
+    /// corresponding rows of its *first* input — a per-row map/flat-map.
+    ///
+    /// The contract buys data parallelism: the scheduler may split the
+    /// first input into row ranges and run the closure on each slice
+    /// concurrently (other inputs are passed whole to every slice), then
+    /// concatenate the slice outputs in order. The result must be
+    /// byte-identical to one whole-input call, so the closure must not
+    /// aggregate across rows of input 0 or depend on the collection's
+    /// total length. Use [`OperatorKind::UserDefined`] for anything
+    /// global (joins keyed on input 0, sorts, aggregations).
+    RowUdf(Udf),
 }
 
 impl OperatorKind {
@@ -245,6 +257,7 @@ impl OperatorKind {
             OperatorKind::Apply => "apply",
             OperatorKind::Evaluate(_) => "evaluate",
             OperatorKind::UserDefined(_) => "udf",
+            OperatorKind::RowUdf(_) => "row_udf",
         }
     }
 
@@ -282,7 +295,9 @@ impl OperatorKind {
             OperatorKind::Train(spec) => spec.signature_string(),
             OperatorKind::Apply => String::new(),
             OperatorKind::Evaluate(spec) => spec.signature_string(),
-            OperatorKind::UserDefined(udf) => format!("version={}", udf.version),
+            OperatorKind::UserDefined(udf) | OperatorKind::RowUdf(udf) => {
+                format!("version={}", udf.version)
+            }
         }
     }
 

@@ -1,0 +1,241 @@
+//! A persistent worker pool for the ready-queue scheduler.
+//!
+//! PR 3's executor spawned a scoped thread pool per `Engine::run`, which
+//! priced every iteration with thread construction and teardown — one of
+//! the reasons parallel runs trailed sequential ones on cheap DAGs. This
+//! pool is created once (owned by `Engine`, or process-global for
+//! standalone `execute_plan` callers), parks idle threads on a condvar,
+//! and hands jobs only to threads that can take them immediately:
+//!
+//! * [`WorkerPool::try_spawn`] assigns the job to an idle parked thread,
+//!   or spawns a new thread while under the thread cap. If neither is
+//!   possible it returns `false` and the caller proceeds without that
+//!   helper — the scheduler's calling thread always drives the merge
+//!   cursor and helps execute, so a run degrades gracefully to fewer
+//!   workers instead of queueing behind other runs.
+//! * Threads park on a condvar between jobs; an idle pool costs nothing
+//!   but memory.
+//! * Dropping the pool flags shutdown, wakes every thread, and joins them.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A unit of work handed to a pool thread (for the scheduler: one
+/// worker's entire run-the-ready-queue loop).
+pub type Job = Box<dyn FnOnce() + Send + 'static>;
+
+#[derive(Default)]
+struct PoolState {
+    queue: VecDeque<Job>,
+    /// Threads parked on the condvar, not yet claimed by a queued job.
+    idle: usize,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    work_cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// A growable pool of persistent worker threads with idle parking.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    max_threads: usize,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads())
+            .field("idle", &crate::lock(&self.shared.state).idle)
+            .field("max_threads", &self.max_threads)
+            .finish()
+    }
+}
+
+/// Default thread cap: generous enough that concurrent sessions each get
+/// their helpers, bounded so runaway concurrency cannot fork-bomb.
+fn default_max_threads() -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4);
+    (cores * 4).max(16)
+}
+
+impl Default for WorkerPool {
+    fn default() -> Self {
+        WorkerPool::new()
+    }
+}
+
+impl WorkerPool {
+    /// Creates an empty pool with the default thread cap. Threads spawn
+    /// lazily on demand and persist until the pool is dropped.
+    pub fn new() -> Self {
+        WorkerPool::with_max_threads(default_max_threads())
+    }
+
+    /// Creates an empty pool capped at `max_threads` (min 1).
+    pub fn with_max_threads(max_threads: usize) -> Self {
+        WorkerPool {
+            shared: Arc::new(PoolShared {
+                state: Mutex::new(PoolState::default()),
+                work_cv: Condvar::new(),
+                shutdown: AtomicBool::new(false),
+            }),
+            handles: Mutex::new(Vec::new()),
+            max_threads: max_threads.max(1),
+        }
+    }
+
+    /// Number of threads currently alive.
+    pub fn threads(&self) -> usize {
+        crate::lock(&self.handles).len()
+    }
+
+    /// Hands `job` to a worker that can start it immediately: an idle
+    /// parked thread if one exists, else a freshly spawned thread while
+    /// under the cap. Returns `false` (without queueing) when every
+    /// thread is busy and the pool is at its cap — the caller should run
+    /// without this helper rather than wait.
+    pub fn try_spawn(&self, job: Job) -> bool {
+        let job = {
+            let mut state = crate::lock(&self.shared.state);
+            // Parking and job pickup also happen under this lock, so
+            // `queue.len() < idle` exactly means "a parked thread remains
+            // unclaimed by the jobs already queued".
+            if state.queue.len() < state.idle {
+                state.queue.push_back(job);
+                drop(state);
+                self.shared.work_cv.notify_one();
+                return true;
+            }
+            job
+        };
+        // No idle thread: grow the pool if the cap allows.
+        let mut handles = crate::lock(&self.handles);
+        if handles.len() >= self.max_threads {
+            return false;
+        }
+        let shared = Arc::clone(&self.shared);
+        let name = format!("helix-worker-{}", handles.len());
+        let spawned = std::thread::Builder::new()
+            .name(name)
+            .spawn(move || worker_loop(&shared, Some(job)));
+        match spawned {
+            Ok(handle) => {
+                handles.push(handle);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.work_cv.notify_all();
+        let handles = std::mem::take(&mut *crate::lock(&self.handles));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared, first: Option<Job>) {
+    if let Some(job) = first {
+        job();
+    }
+    loop {
+        let job = {
+            let mut state = crate::lock(&shared.state);
+            state.idle += 1;
+            loop {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                if let Some(job) = state.queue.pop_front() {
+                    state.idle -= 1;
+                    break job;
+                }
+                state = shared
+                    .work_cv
+                    .wait(state)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        job();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    #[test]
+    fn jobs_run_and_threads_are_reused() {
+        let pool = WorkerPool::with_max_threads(2);
+        let (tx, rx) = mpsc::channel();
+        for i in 0..8 {
+            // Run jobs one at a time so each lands on a parked thread. The
+            // previous worker may still be re-parking, so retry briefly.
+            let deadline = std::time::Instant::now() + Duration::from_secs(5);
+            loop {
+                let tx = tx.clone();
+                if pool.try_spawn(Box::new(move || tx.send(i).unwrap())) {
+                    break;
+                }
+                assert!(std::time::Instant::now() < deadline, "try_spawn starved");
+                std::thread::yield_now();
+            }
+            assert_eq!(rx.recv_timeout(Duration::from_secs(5)).unwrap(), i);
+        }
+        assert!(
+            pool.threads() <= 2,
+            "sequential jobs must reuse parked threads, spawned {}",
+            pool.threads()
+        );
+    }
+
+    #[test]
+    fn refuses_beyond_cap_when_all_busy() {
+        let pool = WorkerPool::with_max_threads(1);
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let (tx, rx) = mpsc::channel();
+        let g = Arc::clone(&gate);
+        assert!(pool.try_spawn(Box::new(move || {
+            let (lock, cv) = &*g;
+            let mut open = lock.lock().unwrap();
+            while !*open {
+                open = cv.wait(open).unwrap();
+            }
+            tx.send(()).unwrap();
+        })));
+        // The only thread is blocked on the gate: no helper available.
+        assert!(!pool.try_spawn(Box::new(|| {})));
+        let (lock, cv) = &*gate;
+        *lock.lock().unwrap() = true;
+        cv.notify_all();
+        rx.recv_timeout(Duration::from_secs(5)).unwrap();
+    }
+
+    #[test]
+    fn drop_joins_idle_threads() {
+        let pool = WorkerPool::with_max_threads(4);
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..3 {
+            let tx = tx.clone();
+            assert!(pool.try_spawn(Box::new(move || tx.send(()).unwrap())));
+        }
+        for _ in 0..3 {
+            rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        }
+        drop(pool); // must not hang with threads parked
+    }
+}

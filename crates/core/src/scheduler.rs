@@ -62,6 +62,7 @@
 
 use crate::compiler::CompiledPlan;
 use crate::ops::NodeOutput;
+use crate::pool::{Job, WorkerPool};
 use crate::recompute::{wave_levels, NodeState};
 use crate::report::WaveReport;
 use crate::store::IntermediateStore;
@@ -70,7 +71,7 @@ use crate::{HelixError, Result};
 use helix_dataflow::par::panic_message;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Instant;
 
 /// How many worker threads the engine should use by default: the
@@ -87,6 +88,62 @@ pub fn default_parallelism() -> usize {
                 .map(|n| n.get())
                 .unwrap_or(1)
         })
+}
+
+/// Fallback for [`default_partition_rows`] when `HELIX_PARTITION_ROWS`
+/// is unset: measured on the scaled benchmark workloads as the smallest
+/// slice for which the split/merge overhead stays well under the
+/// per-slice compute time (see `docs/PERFORMANCE.md`).
+pub const DEFAULT_PARTITION_ROWS: usize = 4096;
+
+/// Rows-per-partition threshold for operator-level data parallelism: the
+/// `HELIX_PARTITION_ROWS` environment variable when set to a positive
+/// integer, otherwise [`DEFAULT_PARTITION_ROWS`]. A partitionable node
+/// splits only when its input holds at least twice this many rows, so
+/// every partition has at least the threshold's worth of work.
+pub fn default_partition_rows() -> usize {
+    std::env::var("HELIX_PARTITION_ROWS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(DEFAULT_PARTITION_ROWS)
+}
+
+/// Hard cap on partitions per node: beyond the machine's useful fan-out,
+/// more slices only add merge overhead.
+const MAX_PARTITIONS: usize = 32;
+
+/// Tuning knobs for [`execute_plan_opts`].
+#[derive(Debug, Clone)]
+pub struct ExecOpts {
+    /// Worker-slot budget, counting the calling thread (which merges
+    /// *and* helps execute). `1` runs the classic sequential loop.
+    pub parallelism: usize,
+    /// Rows-per-partition threshold for data-parallel operators (see
+    /// [`default_partition_rows`]).
+    pub partition_rows: usize,
+    /// Worker pool to draw helper threads from. `None` falls back to a
+    /// process-global pool — the engine passes its own so sessions share
+    /// one warmed set of threads.
+    pub pool: Option<Arc<WorkerPool>>,
+}
+
+impl Default for ExecOpts {
+    fn default() -> Self {
+        ExecOpts {
+            parallelism: default_parallelism(),
+            partition_rows: default_partition_rows(),
+            pool: None,
+        }
+    }
+}
+
+/// Process-global worker pool for standalone [`execute_plan`] callers
+/// (the engine owns its own). Never dropped — its threads park idle for
+/// the life of the process.
+fn global_pool() -> &'static Arc<WorkerPool> {
+    static POOL: OnceLock<Arc<WorkerPool>> = OnceLock::new();
+    POOL.get_or_init(|| Arc::new(WorkerPool::new()))
 }
 
 /// Which executor runs the plan. [`execute_plan`] picks automatically;
@@ -159,12 +216,35 @@ pub fn execute_plan<M>(
 where
     M: FnMut(NodeId, &ExecutedNode, &NodeOutput) -> Result<()>,
 {
-    let strategy = if parallelism <= 1 {
-        ExecStrategy::Sequential
-    } else {
-        ExecStrategy::ReadyQueue
+    let opts = ExecOpts {
+        parallelism,
+        ..ExecOpts::default()
     };
-    execute_plan_with(workflow, plan, store, strategy, parallelism, merge)
+    execute_plan_opts(workflow, plan, store, &opts, merge)
+}
+
+/// [`execute_plan`] with explicit [`ExecOpts`]: partition threshold and
+/// worker pool included. The engine calls this with its persistent pool;
+/// `parallelism <= 1` runs the sequential loop (no partitioning — one
+/// thread gains nothing from splitting a node).
+///
+/// # Errors
+/// Same contract as [`execute_plan`].
+pub fn execute_plan_opts<M>(
+    workflow: &Workflow,
+    plan: &CompiledPlan,
+    store: &IntermediateStore,
+    opts: &ExecOpts,
+    mut merge: M,
+) -> Result<ExecutionResult>
+where
+    M: FnMut(NodeId, &ExecutedNode, &NodeOutput) -> Result<()>,
+{
+    if opts.parallelism <= 1 {
+        execute_sequential(workflow, plan, store, merge)
+    } else {
+        execute_ready_queue(workflow, plan, store, opts, &mut merge)
+    }
 }
 
 /// [`execute_plan`] with an explicit [`ExecStrategy`] — the entry point
@@ -190,7 +270,11 @@ where
             execute_wave_barrier(workflow, plan, store, parallelism.max(2), &mut merge)
         }
         ExecStrategy::ReadyQueue => {
-            execute_ready_queue(workflow, plan, store, parallelism.max(2), &mut merge)
+            let opts = ExecOpts {
+                parallelism: parallelism.max(2),
+                ..ExecOpts::default()
+            };
+            execute_ready_queue(workflow, plan, store, &opts, &mut merge)
         }
     }
 }
@@ -270,22 +354,71 @@ where
 /// queue bump `notify` under this lock, so a worker that scanned every
 /// queue empty while holding it cannot miss the wakeup.
 struct InjectorState {
-    /// Globally visible ready nodes (seeded with the dependency-free
-    /// ones). With one entry it behaves as a FIFO; with more, workers pop
-    /// the entry with the largest downstream critical-path estimate
+    /// Globally visible ready tasks (seeded with the dependency-free
+    /// nodes; partitioned nodes fan their slices out here). With one
+    /// entry it behaves as a FIFO; with more, workers pop the entry with
+    /// the largest downstream critical-path estimate
     /// ([`crate::recompute::critical_path_priority_us`]), plan order
     /// breaking ties — starting the longest chain first shrinks the
     /// makespan on wide plans without touching merge semantics (the
     /// plan-order merge cursor is ordering-oblivious).
-    ready: VecDeque<usize>,
+    ready: VecDeque<Task>,
 }
 
-/// Shared state of one ready-queue execution. Borrowed immutably by every
-/// worker; the calling thread drives the merge cursor concurrently.
-struct ReadyExecutor<'a> {
-    workflow: &'a Workflow,
-    plan: &'a CompiledPlan,
-    store: &'a IntermediateStore,
+/// One schedulable unit: a whole node, or one partition of a node whose
+/// input was split for data parallelism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Task {
+    /// Execute (or, for a wide node, partition) node `i`.
+    Node(usize),
+    /// Execute slice `part` of a partitioned node.
+    Part { node: usize, part: usize },
+}
+
+impl Task {
+    fn node(self) -> usize {
+        match self {
+            Task::Node(i) => i,
+            Task::Part { node, .. } => node,
+        }
+    }
+
+    fn part(self) -> usize {
+        match self {
+            Task::Node(_) => 0,
+            Task::Part { part, .. } => part,
+        }
+    }
+}
+
+/// One slice's outcome: its output plus compute seconds, or its error.
+type SliceResult = std::result::Result<(NodeOutput, f64), HelixError>;
+
+/// Fan-out bookkeeping for one partitioned node: created when the node's
+/// `Task::Node` runs, completed by whichever worker finishes the last
+/// slice. Slice outputs are assembled **in index order**, so the merged
+/// output — and, on failure, the surfaced error (the slice holding the
+/// globally first failing row) — is identical to a whole-node run.
+struct PartitionState {
+    /// `[start, end)` row ranges, covering the input exactly.
+    ranges: Vec<(usize, usize)>,
+    /// Per-slice outcome, `take`n by the assembling worker.
+    outs: Vec<Mutex<Option<SliceResult>>>,
+    /// Slices still running; the decrement-to-zero worker assembles.
+    remaining: AtomicUsize,
+}
+
+/// Shared state of one ready-queue execution. The executor *owns* clones
+/// of the workflow, plan, and store handle so pool workers (plain
+/// `'static` jobs, unlike the scoped threads of earlier versions) can
+/// hold it via `Arc`; the calling thread drives the merge cursor
+/// concurrently.
+struct ReadyExecutor {
+    workflow: Workflow,
+    plan: CompiledPlan,
+    store: IntermediateStore,
+    /// Rows-per-partition threshold ([`ExecOpts::partition_rows`]).
+    partition_rows: usize,
     /// Plan position by node index (`usize::MAX` for pruned nodes).
     pos: Vec<usize>,
     /// Downstream critical-path estimate per node (µs) — the injector's
@@ -299,6 +432,9 @@ struct ReadyExecutor<'a> {
     /// Write-once raw results, readable by children (for parent outputs)
     /// and by the merge cursor.
     results: Vec<OnceLock<RawResult>>,
+    /// Write-once partition fan-out state per node (`set` only for nodes
+    /// that actually split).
+    parts: Vec<OnceLock<PartitionState>>,
     /// Plan position of the earliest failure observed so far
     /// (`usize::MAX` when none): workers skip nodes past it.
     min_fail: AtomicUsize,
@@ -312,7 +448,7 @@ struct ReadyExecutor<'a> {
     work_cv: Condvar,
     /// Per-worker local deques: owners push/pop the back, thieves steal
     /// from the front.
-    locals: Vec<Mutex<VecDeque<usize>>>,
+    locals: Vec<Mutex<VecDeque<Task>>>,
     /// The plan position the merge cursor is stalled on (`usize::MAX`
     /// while draining): workers skip the merger wakeup for completions
     /// that cannot advance the cursor.
@@ -322,12 +458,13 @@ struct ReadyExecutor<'a> {
     progress_cv: Condvar,
 }
 
-impl<'a> ReadyExecutor<'a> {
+impl ReadyExecutor {
     fn new(
-        workflow: &'a Workflow,
-        plan: &'a CompiledPlan,
-        store: &'a IntermediateStore,
+        workflow: &Workflow,
+        plan: &CompiledPlan,
+        store: &IntermediateStore,
         workers: usize,
+        partition_rows: usize,
     ) -> Self {
         let n = workflow.len();
         let mut pos = vec![usize::MAX; n];
@@ -353,19 +490,21 @@ impl<'a> ReadyExecutor<'a> {
         for &id in &plan.order {
             let i = id.index();
             if plan.states[i] != NodeState::Prune && dep_counts[i] == 0 {
-                ready.push_back(i);
+                ready.push_back(Task::Node(i));
             }
         }
         let prio = crate::recompute::critical_path_priority_us(workflow, &plan.states, &plan.costs);
         ReadyExecutor {
-            workflow,
-            plan,
-            store,
+            workflow: workflow.clone(),
+            plan: plan.clone(),
+            store: store.clone(),
+            partition_rows,
             pos,
             prio,
             children,
             deps: dep_counts.into_iter().map(AtomicUsize::new).collect(),
             results: (0..n).map(|_| OnceLock::new()).collect(),
+            parts: (0..n).map(|_| OnceLock::new()).collect(),
             min_fail: AtomicUsize::new(usize::MAX),
             failure: Mutex::new(None),
             shutdown: AtomicBool::new(false),
@@ -379,20 +518,25 @@ impl<'a> ReadyExecutor<'a> {
     }
 
     /// Pops the injector entry with the highest downstream
-    /// critical-path priority (plan order breaks ties; a single entry
-    /// pops straight off the front). The injector is short-lived and
-    /// small — seeded ready nodes drain into local deques immediately —
-    /// so a linear scan beats maintaining a heap.
-    fn pop_injector(&self, injector: &mut InjectorState) -> Option<usize> {
+    /// critical-path priority (plan order breaks ties, then lower slice
+    /// index; a single entry pops straight off the front). The injector
+    /// is short-lived and small — seeded ready tasks drain into local
+    /// deques immediately — so a linear scan beats maintaining a heap.
+    fn pop_injector(&self, injector: &mut InjectorState) -> Option<Task> {
         if injector.ready.len() <= 1 {
             return injector.ready.pop_front();
         }
+        let key = |t: Task| {
+            let i = t.node();
+            (
+                self.prio[i],
+                std::cmp::Reverse(self.pos[i]),
+                std::cmp::Reverse(t.part()),
+            )
+        };
         let mut best = 0usize;
         for k in 1..injector.ready.len() {
-            let (cand, incumbent) = (injector.ready[k], injector.ready[best]);
-            if (self.prio[cand], std::cmp::Reverse(self.pos[cand]))
-                > (self.prio[incumbent], std::cmp::Reverse(self.pos[incumbent]))
-            {
+            if key(injector.ready[k]) > key(injector.ready[best]) {
                 best = k;
             }
         }
@@ -403,23 +547,23 @@ impl<'a> ReadyExecutor<'a> {
     /// the injector (highest critical-path priority first), then stealing
     /// (FIFO); sleeps when everything is empty. Returns `None` on
     /// shutdown.
-    fn next_task(&self, me: usize) -> Option<usize> {
+    fn next_task(&self, me: usize) -> Option<Task> {
         if self.shutdown.load(Ordering::Acquire) {
             return None;
         }
-        if let Some(i) = lock(&self.locals[me]).pop_back() {
-            return Some(i);
+        if let Some(t) = lock(&self.locals[me]).pop_back() {
+            return Some(t);
         }
         let mut injector = lock(&self.injector);
         loop {
             if self.shutdown.load(Ordering::Acquire) {
                 return None;
             }
-            if let Some(i) = self.pop_injector(&mut injector) {
-                return Some(i);
+            if let Some(t) = self.pop_injector(&mut injector) {
+                return Some(t);
             }
-            if let Some(i) = self.steal(me) {
-                return Some(i);
+            if let Some(t) = self.steal(me) {
+                return Some(t);
             }
             // Pushes notify under the injector lock, which we hold since
             // the scans above — no wakeup can slip past into the wait.
@@ -430,23 +574,54 @@ impl<'a> ReadyExecutor<'a> {
         }
     }
 
-    fn steal(&self, me: usize) -> Option<usize> {
+    fn steal(&self, me: usize) -> Option<Task> {
         for (w, victim) in self.locals.iter().enumerate() {
             if w == me {
                 continue;
             }
-            if let Some(i) = lock(victim).pop_front() {
-                return Some(i);
+            if let Some(t) = lock(victim).pop_front() {
+                return Some(t);
             }
         }
         None
     }
 
-    /// Executes node `i` on worker `me`, recording the result, enqueuing
-    /// any children it readies, and waking the merge cursor when the
-    /// completion can advance it. Returns one readied child for the
+    /// Executes one task on worker `me`. Returns a follow-on task for the
     /// worker to continue into directly (chains never touch the queues).
-    fn run_task(&self, me: usize, i: usize) -> Option<usize> {
+    fn run_task(&self, me: usize, task: Task) -> Option<Task> {
+        match task {
+            Task::Node(i) => self.run_node_task(me, i),
+            Task::Part { node, part } => self.run_part(me, node, part),
+        }
+    }
+
+    /// Collects the already-computed outputs of `id`'s parents, in
+    /// declaration order (the same order `exec::execute` sees).
+    fn parent_outputs(&self, id: NodeId) -> Result<Vec<&NodeOutput>> {
+        let node = self.workflow.node(id);
+        let mut outputs = Vec::with_capacity(node.parents.len());
+        for parent in &node.parents {
+            outputs.push(
+                self.results[parent.index()]
+                    .get()
+                    .map(|raw| &raw.output)
+                    .ok_or_else(|| {
+                        HelixError::Exec(format!(
+                            "parent `{}` of `{}` unavailable (plan bug)",
+                            self.workflow.node(*parent).name,
+                            node.name
+                        ))
+                    })?,
+            );
+        }
+        Ok(outputs)
+    }
+
+    /// Executes node `i` on worker `me` — splitting it into partitions
+    /// first when it is a wide data-parallel compute node — recording the
+    /// result, enqueuing any children it readies, and waking the merge
+    /// cursor when the completion can advance it.
+    fn run_node_task(&self, me: usize, i: usize) -> Option<Task> {
         if self.shutdown.load(Ordering::Acquire) {
             // A merge error ended the run; stop chaining continuations.
             return None;
@@ -457,62 +632,221 @@ impl<'a> ReadyExecutor<'a> {
             return None;
         }
         let id = NodeId(i as u32);
-        let outcome = run_node(self.workflow, self.plan, self.store, id, |p| {
+        if self.plan.states[i] == NodeState::Compute && self.locals.len() > 1 {
+            if let Ok(parents) = self.parent_outputs(id) {
+                let rows = crate::exec::partitionable_rows(&self.workflow.node(id).kind, &parents);
+                if let Some(rows) = rows {
+                    if rows >= self.partition_rows.max(1).saturating_mul(2) {
+                        drop(parents);
+                        return self.start_partitioned(me, i, rows);
+                    }
+                }
+            }
+            // A missing parent falls through to `run_node`, which reports
+            // the plan bug with the standard error.
+        }
+        let outcome = run_node(&self.workflow, &self.plan, &self.store, id, |p| {
             self.results[p.index()].get().map(|raw| &raw.output)
         });
         let continuation = match outcome {
-            Ok(raw) => {
-                let set = self.results[i].set(raw);
-                debug_assert!(set.is_ok(), "node executed twice");
-                let mut next = None;
-                let mut pushed = 0usize;
-                {
-                    let mut local = lock(&self.locals[me]);
-                    for &child in &self.children[i] {
-                        if self.deps[child].fetch_sub(1, Ordering::AcqRel) == 1 {
-                            if next.is_none() {
-                                // Run the first readied child ourselves.
-                                next = Some(child);
-                            } else {
-                                local.push_back(child);
-                                pushed += 1;
-                            }
-                        }
-                    }
-                }
-                if pushed > 0 {
-                    // Notify under the injector lock: a worker that
-                    // scanned every queue empty holds it until its wait,
-                    // so the wakeup cannot slip past (see `next_task`).
-                    // One wakeup per item avoids a thundering herd.
-                    let _guard = lock(&self.injector);
-                    for _ in 0..pushed {
-                        self.work_cv.notify_one();
-                    }
-                }
-                next
-            }
+            Ok(raw) => self.finish_ok(me, i, raw),
             Err(err) => {
                 self.record_failure(self.pos[i], err);
                 None
             }
         };
-        // Wake the merge cursor only if this completion can unblock it —
-        // i.e. it is at (or, failures, before) the published stall
-        // position. The merger re-checks after publishing, so a stale
-        // read here at worst delays it one timed-wait tick.
+        self.wake_merger(i);
+        continuation
+    }
+
+    /// Splits ready node `i` (whose first data input holds `rows` rows)
+    /// into deterministic, even row ranges, fans slices 1.. out through
+    /// the injector for idle workers to grab, and runs slice 0 itself.
+    /// The partition count depends only on `rows` and the threshold —
+    /// never on how many workers happen to be idle — so the split (and
+    /// with it every slice boundary) is reproducible run to run.
+    fn start_partitioned(&self, me: usize, i: usize, rows: usize) -> Option<Task> {
+        let threshold = self.partition_rows.max(1);
+        let count = rows
+            .div_ceil(threshold)
+            .min(MAX_PARTITIONS)
+            .min(rows)
+            .max(1);
+        let base = rows / count;
+        let extra = rows % count;
+        let mut ranges = Vec::with_capacity(count);
+        let mut start = 0usize;
+        for k in 0..count {
+            let len = base + usize::from(k < extra);
+            ranges.push((start, start + len));
+            start += len;
+        }
+        debug_assert_eq!(start, rows, "ranges must cover the input exactly");
+        let state = PartitionState {
+            ranges,
+            outs: (0..count).map(|_| Mutex::new(None)).collect(),
+            remaining: AtomicUsize::new(count),
+        };
+        let set = self.parts[i].set(state);
+        debug_assert!(set.is_ok(), "node partitioned twice");
+        if count > 1 {
+            // Publish the sibling slices before running our own, so idle
+            // workers overlap with slice 0. Notify under the injector
+            // lock (see `next_task` for why that cannot miss a sleeper).
+            let mut injector = lock(&self.injector);
+            for part in 1..count {
+                injector.ready.push_back(Task::Part { node: i, part });
+            }
+            for _ in 1..count {
+                self.work_cv.notify_one();
+            }
+        }
+        self.run_part(me, i, 0)
+    }
+
+    /// Executes one slice of a partitioned node; the worker that finishes
+    /// the last slice assembles the outputs and completes the node.
+    fn run_part(&self, me: usize, node_idx: usize, part: usize) -> Option<Task> {
+        if self.shutdown.load(Ordering::Acquire) {
+            return None;
+        }
+        if self.pos[node_idx] > self.min_fail.load(Ordering::Acquire) {
+            // The node can no longer merge (an earlier failure wins), so
+            // drop the slice: `remaining` never reaches zero and the node
+            // simply never completes — the merge cursor stops first.
+            return None;
+        }
+        let state = self.parts[node_idx]
+            .get()
+            .expect("slices are enqueued only after the partition state is set");
+        let id = NodeId(node_idx as u32);
+        let node = self.workflow.node(id);
+        let (start, end) = state.ranges[part];
+        let outcome = (|| {
+            let parents = self.parent_outputs(id)?;
+            let started = Instant::now();
+            // Same panic conversion — and message — as `run_node`, so a
+            // row's panic reads identically whether its node split or not.
+            let output = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                crate::exec::execute_slice(&node.kind, &node.name, &parents, start, end)
+            }))
+            .unwrap_or_else(|payload| {
+                Err(HelixError::Exec(format!(
+                    "node `{}` panicked: {}",
+                    node.name,
+                    panic_message(&payload)
+                )))
+            })?;
+            Ok((output, started.elapsed().as_secs_f64()))
+        })();
+        *lock(&state.outs[part]) = Some(outcome);
+        if state.remaining.fetch_sub(1, Ordering::AcqRel) != 1 {
+            return None;
+        }
+        // Last slice home: assemble in index order. The first error by
+        // slice index holds the globally first failing row, matching the
+        // error a whole-node run reports; a node's cost is the *sum* of
+        // its slice times (the work done, not the wall time).
+        let mut outputs = Vec::with_capacity(state.outs.len());
+        let mut total_secs = 0.0;
+        let mut first_err: Option<HelixError> = None;
+        for cell in &state.outs {
+            match lock(cell).take() {
+                Some(Ok((output, secs))) => {
+                    outputs.push(output);
+                    total_secs += secs;
+                }
+                Some(Err(err)) => {
+                    first_err = Some(err);
+                    break;
+                }
+                None => {
+                    debug_assert!(false, "slice finished without recording an outcome");
+                    first_err = Some(HelixError::Exec(format!(
+                        "node `{}`: partition outcome missing (scheduler bug)",
+                        node.name
+                    )));
+                    break;
+                }
+            }
+        }
+        let continuation = match first_err {
+            Some(err) => {
+                self.record_failure(self.pos[node_idx], err);
+                None
+            }
+            None => match crate::exec::concat_slices(outputs) {
+                Ok(output) => self.finish_ok(
+                    me,
+                    node_idx,
+                    RawResult {
+                        output,
+                        executed: ExecutedNode {
+                            secs: total_secs,
+                            loaded_bytes: None,
+                        },
+                    },
+                ),
+                Err(err) => {
+                    self.record_failure(self.pos[node_idx], err);
+                    None
+                }
+            },
+        };
+        self.wake_merger(node_idx);
+        continuation
+    }
+
+    /// Publishes node `i`'s result and readies its children: the first
+    /// becomes the worker's continuation, the rest go to its local deque.
+    fn finish_ok(&self, me: usize, i: usize, raw: RawResult) -> Option<Task> {
+        let set = self.results[i].set(raw);
+        debug_assert!(set.is_ok(), "node executed twice");
+        let mut next = None;
+        let mut pushed = 0usize;
+        {
+            let mut local = lock(&self.locals[me]);
+            for &child in &self.children[i] {
+                if self.deps[child].fetch_sub(1, Ordering::AcqRel) == 1 {
+                    if next.is_none() {
+                        // Run the first readied child ourselves.
+                        next = Some(Task::Node(child));
+                    } else {
+                        local.push_back(Task::Node(child));
+                        pushed += 1;
+                    }
+                }
+            }
+        }
+        if pushed > 0 {
+            // Notify under the injector lock: a worker that scanned every
+            // queue empty holds it until its wait, so the wakeup cannot
+            // slip past (see `next_task`). One wakeup per item avoids a
+            // thundering herd.
+            let _guard = lock(&self.injector);
+            for _ in 0..pushed {
+                self.work_cv.notify_one();
+            }
+        }
+        next
+    }
+
+    /// Wakes the merge cursor if node `i`'s completion can unblock it —
+    /// i.e. it is at (or, for failures, before) the published stall
+    /// position. The merger re-checks after publishing, so a stale read
+    /// here at worst delays it one timed-wait tick.
+    fn wake_merger(&self, i: usize) {
         if self.pos[i] <= self.waiting_pos.load(Ordering::SeqCst) {
             let mut progress = lock(&self.progress);
             *progress += 1;
             self.progress_cv.notify_one();
         }
-        continuation
     }
 
     fn worker(&self, me: usize) {
-        while let Some(mut i) = self.next_task(me) {
-            while let Some(next) = self.run_task(me, i) {
-                i = next;
+        while let Some(mut t) = self.next_task(me) {
+            while let Some(next) = self.run_task(me, t) {
+                t = next;
             }
         }
     }
@@ -529,12 +863,12 @@ impl<'a> ReadyExecutor<'a> {
 
     /// Pops a ready node for the helping merge thread (its own deque,
     /// the injector, then a steal) without ever sleeping.
-    fn try_pop(&self, me: usize) -> Option<usize> {
-        if let Some(i) = lock(&self.locals[me]).pop_back() {
-            return Some(i);
+    fn try_pop(&self, me: usize) -> Option<Task> {
+        if let Some(t) = lock(&self.locals[me]).pop_back() {
+            return Some(t);
         }
-        if let Some(i) = self.pop_injector(&mut lock(&self.injector)) {
-            return Some(i);
+        if let Some(t) = self.pop_injector(&mut lock(&self.injector)) {
+            return Some(t);
         }
         self.steal(me)
     }
@@ -553,7 +887,7 @@ impl<'a> ReadyExecutor<'a> {
         let mut seen = 0u64;
         // A continuation readied by the caller's last helped task; merging
         // still takes priority over running it.
-        let mut pending: Option<usize> = None;
+        let mut pending: Option<Task> = None;
         loop {
             self.waiting_pos.store(usize::MAX, Ordering::SeqCst);
             while cursor < self.plan.order.len() {
@@ -586,9 +920,9 @@ impl<'a> ReadyExecutor<'a> {
                     }
                 }
             }
-            // Stalled: execute a ready node instead of sleeping.
-            if let Some(i) = pending.take().or_else(|| self.try_pop(me)) {
-                pending = self.run_task(me, i);
+            // Stalled: execute a ready task instead of sleeping.
+            if let Some(t) = pending.take().or_else(|| self.try_pop(me)) {
+                pending = self.run_task(me, t);
                 continue;
             }
             // Nothing to help with. Publish the stall position, then
@@ -626,13 +960,39 @@ impl<'a> ReadyExecutor<'a> {
 // must not wedge its siblings.
 use crate::lock;
 
-/// The barrier-free executor: workers race through the dependency DAG
-/// while the calling thread merges in plan order.
+/// Helpers bump this counter as their very last act (after dropping
+/// their executor handle); the caller waits for it to reach the number
+/// of helpers it actually started before reclaiming the executor.
+#[derive(Default)]
+struct DoneSignal {
+    count: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl DoneSignal {
+    fn signal(&self) {
+        *lock(&self.count) += 1;
+        self.cv.notify_all();
+    }
+
+    fn wait_for(&self, target: usize) {
+        let mut count = lock(&self.count);
+        while *count < target {
+            count = self
+                .cv
+                .wait(count)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+/// The barrier-free executor: persistent-pool workers race through the
+/// dependency DAG while the calling thread merges in plan order.
 fn execute_ready_queue<M>(
     workflow: &Workflow,
     plan: &CompiledPlan,
     store: &IntermediateStore,
-    parallelism: usize,
+    opts: &ExecOpts,
     merge: &mut M,
 ) -> Result<ExecutionResult>
 where
@@ -651,16 +1011,26 @@ where
         });
     }
     // The calling thread is a full participant (it merges *and* helps
-    // execute), so it takes one of the `parallelism` slots.
-    let slots = parallelism.min(executable).max(1);
-    let exec = ReadyExecutor::new(workflow, plan, store, slots);
+    // execute), so it takes one of the `parallelism` slots. Unlike
+    // earlier versions, `executable` does not cap the slot count: a plan
+    // of few wide nodes still fans out via partitions.
+    let slots = opts
+        .parallelism
+        .clamp(2, executable.saturating_mul(MAX_PARTITIONS).max(2));
+    let exec = Arc::new(ReadyExecutor::new(
+        workflow,
+        plan,
+        store,
+        slots,
+        opts.partition_rows,
+    ));
 
     /// Signals shutdown on drop, so a panic unwinding out of the merge
     /// callback (or anywhere in the merge loop) still wakes sleeping
-    /// workers — otherwise the scoped join below would wait on them
-    /// forever and turn the panic into a hang.
-    struct ShutdownOnDrop<'a, 'b>(&'a ReadyExecutor<'b>);
-    impl Drop for ShutdownOnDrop<'_, '_> {
+    /// workers — otherwise they would keep waiting on a run that no
+    /// thread is merging, pinning their pool threads forever.
+    struct ShutdownOnDrop<'a>(&'a ReadyExecutor);
+    impl Drop for ShutdownOnDrop<'_> {
         fn drop(&mut self) {
             self.0.shutdown.store(true, Ordering::Release);
             let _guard = lock(&self.0.injector);
@@ -668,25 +1038,48 @@ where
         }
     }
 
-    let merged = crossbeam::scope(|scope| {
-        for w in 0..slots - 1 {
-            let exec = &exec;
-            scope.spawn(move |_| exec.worker(w));
-        }
-        let stop = ShutdownOnDrop(&exec);
-        let outcome = exec.merge_and_help(slots - 1, merge);
-        drop(stop);
-        outcome
-    });
-    match merged {
-        Ok(outcome) => outcome?,
-        Err(payload) => {
-            return Err(HelixError::Exec(format!(
-                "scheduler scope panicked: {}",
-                panic_message(&payload)
-            )))
+    let pool = opts
+        .pool
+        .clone()
+        .unwrap_or_else(|| Arc::clone(global_pool()));
+    let done = Arc::new(DoneSignal::default());
+    let mut started = 0usize;
+    for w in 0..slots - 1 {
+        let exec = Arc::clone(&exec);
+        let done = Arc::clone(&done);
+        let job: Job = Box::new(move || {
+            exec.worker(w);
+            // Drop our executor handle *before* signalling, so the
+            // caller's `Arc::try_unwrap` succeeds once the count is in.
+            drop(exec);
+            done.signal();
+        });
+        if pool.try_spawn(job) {
+            started += 1;
+        } else {
+            // Pool saturated: run with fewer helpers rather than queue
+            // behind other runs — the caller executes either way.
+            break;
         }
     }
+
+    let stop = ShutdownOnDrop(&exec);
+    let outcome = exec.merge_and_help(slots - 1, merge);
+    drop(stop);
+    done.wait_for(started);
+    let mut exec = exec;
+    let exec = loop {
+        match Arc::try_unwrap(exec) {
+            Ok(exec) => break exec,
+            Err(shared) => {
+                // A helper has bumped the counter but its `drop(exec)`
+                // write is still propagating; spin briefly.
+                exec = shared;
+                std::thread::yield_now();
+            }
+        }
+    };
+    outcome?;
 
     let mut outputs: Vec<Option<NodeOutput>> = (0..n).map(|_| None).collect();
     let mut secs: Vec<Option<f64>> = vec![None; n];
@@ -1482,10 +1875,10 @@ mod tests {
         let cm = CostModel::new();
         let plan = compile(&w, &store, &cm, RecomputationPolicy::Optimal, None).unwrap();
 
-        let exec = ReadyExecutor::new(&w, &plan, &store, 2);
+        let exec = ReadyExecutor::new(&w, &plan, &store, 2, usize::MAX);
         let mut injector = lock(&exec.injector);
         let popped: Vec<String> = std::iter::from_fn(|| exec.pop_injector(&mut injector))
-            .map(|i| w.nodes()[i].name.clone())
+            .map(|t| w.nodes()[t.node()].name.clone())
             .collect();
         drop(injector);
         assert_eq!(
@@ -1497,6 +1890,167 @@ mod tests {
         execute_plan(&w, &plan, &store, 2, |_, _, _| Ok(())).unwrap();
         let log = started.lock().unwrap();
         assert_eq!(log.len(), 6, "every node executed");
+    }
+
+    /// Source UDF producing `0..n` ints, and a RowUdf doubling each row —
+    /// the partitionable stage the tests below split.
+    fn rows_workflow(n: i64) -> Workflow {
+        let mut w = Workflow::new("partition");
+        let src = Udf::new(format!("iota:{n}"), move |_: &[&DataCollection]| {
+            Ok(int_rows(&(0..n).collect::<Vec<_>>()))
+        });
+        let src = w.add("src", OperatorKind::UserDefined(src), &[]).unwrap();
+        let double = Udf::new("double:v1", |inputs: &[&DataCollection]| {
+            let rows = inputs[0]
+                .rows()
+                .iter()
+                .map(|r| r.get(0).as_int().unwrap_or(0) * 2)
+                .collect::<Vec<_>>();
+            Ok(int_rows(&rows))
+        });
+        let d = w.row_udf("double", &[&src], double).unwrap();
+        w.output(&d);
+        w
+    }
+
+    fn run_opts(w: &Workflow, opts: &ExecOpts, tag: &str) -> (ExecutionResult, Vec<NodeId>) {
+        let store = tmp_store(tag);
+        let cm = CostModel::new();
+        let plan = compile(w, &store, &cm, RecomputationPolicy::Optimal, None).unwrap();
+        let mut merged = Vec::new();
+        let result = execute_plan_opts(w, &plan, &store, opts, |id, _, _| {
+            merged.push(id);
+            Ok(())
+        })
+        .unwrap();
+        (result, merged)
+    }
+
+    #[test]
+    fn partitioned_node_matches_sequential_output() {
+        let w = rows_workflow(200);
+        let (seq, seq_merged) = run_opts(
+            &w,
+            &ExecOpts {
+                parallelism: 1,
+                partition_rows: 8,
+                pool: None,
+            },
+            "part-seq",
+        );
+        for (parallelism, partition_rows) in [(2, 8), (4, 8), (4, 1), (4, usize::MAX)] {
+            let (par, par_merged) = run_opts(
+                &w,
+                &ExecOpts {
+                    parallelism,
+                    partition_rows,
+                    pool: None,
+                },
+                &format!("part-{parallelism}-{partition_rows}"),
+            );
+            assert_eq!(
+                seq.outputs, par.outputs,
+                "parallelism {parallelism}, partition_rows {partition_rows}"
+            );
+            assert_eq!(seq_merged, par_merged, "merge order must be plan order");
+        }
+    }
+
+    #[test]
+    fn partition_failure_matches_sequential_error() {
+        // The UDF rejects the first row it sees whose value is in the bad
+        // set, scanning its slice in order — exactly what a whole-input
+        // run does. The sequential loop reports value 10 (the globally
+        // first bad row); every partitioned run must report the same,
+        // even though the slice holding value 150 may fail first in wall
+        // time.
+        let mut w = Workflow::new("part-fail");
+        let src = Udf::new("iota:200", move |_: &[&DataCollection]| {
+            Ok(int_rows(&(0..200).collect::<Vec<_>>()))
+        });
+        let src = w.add("src", OperatorKind::UserDefined(src), &[]).unwrap();
+        let picky = Udf::new("picky:v1", |inputs: &[&DataCollection]| {
+            for r in inputs[0].rows() {
+                let v = r.get(0).as_int().unwrap_or(0);
+                if v == 10 || v == 150 {
+                    return Err(HelixError::Exec(format!("bad row {v}")));
+                }
+            }
+            Ok(inputs[0].clone())
+        });
+        let p = w.row_udf("picky", &[&src], picky).unwrap();
+        w.output(&p);
+        let store = tmp_store("part-fail");
+        let cm = CostModel::new();
+        let plan = compile(&w, &store, &cm, RecomputationPolicy::Optimal, None).unwrap();
+        let mut messages = Vec::new();
+        for (parallelism, partition_rows) in [(1, 8), (4, 8), (4, 1)] {
+            let opts = ExecOpts {
+                parallelism,
+                partition_rows,
+                pool: None,
+            };
+            let err = execute_plan_opts(&w, &plan, &store, &opts, |_, _, _| Ok(()))
+                .expect_err("picky must fail");
+            messages.push(err.to_string());
+        }
+        for msg in &messages {
+            assert!(
+                msg.contains("bad row 10"),
+                "expected the globally first bad row, got: {msg}"
+            );
+        }
+    }
+
+    #[test]
+    fn partitioned_panic_becomes_error() {
+        let mut w = Workflow::new("part-panic");
+        let src = Udf::new("iota:100", move |_: &[&DataCollection]| {
+            Ok(int_rows(&(0..100).collect::<Vec<_>>()))
+        });
+        let src = w.add("src", OperatorKind::UserDefined(src), &[]).unwrap();
+        let bomb = Udf::new("bomb:v1", |inputs: &[&DataCollection]| {
+            if inputs[0].rows().iter().any(|r| r.get(0) == &Value::Int(42)) {
+                panic!("slice kaboom");
+            }
+            Ok(inputs[0].clone())
+        });
+        let b = w.row_udf("bomb", &[&src], bomb).unwrap();
+        w.output(&b);
+        let store = tmp_store("part-panic");
+        let cm = CostModel::new();
+        let plan = compile(&w, &store, &cm, RecomputationPolicy::Optimal, None).unwrap();
+        let opts = ExecOpts {
+            parallelism: 4,
+            partition_rows: 8,
+            pool: None,
+        };
+        let err = execute_plan_opts(&w, &plan, &store, &opts, |_, _, _| Ok(()))
+            .expect_err("panicking slice must surface as an error");
+        let msg = err.to_string();
+        assert!(
+            msg.contains("node `bomb` panicked") && msg.contains("slice kaboom"),
+            "got: {msg}"
+        );
+    }
+
+    #[test]
+    fn explicit_pool_is_reused_across_runs() {
+        let pool = Arc::new(crate::pool::WorkerPool::with_max_threads(2));
+        let w = rows_workflow(200);
+        let opts = ExecOpts {
+            parallelism: 3,
+            partition_rows: 8,
+            pool: Some(Arc::clone(&pool)),
+        };
+        let (first, _) = run_opts(&w, &opts, "pool-reuse-a");
+        let (second, _) = run_opts(&w, &opts, "pool-reuse-b");
+        assert_eq!(first.outputs, second.outputs);
+        assert!(
+            pool.threads() <= 2,
+            "runs must reuse the capped pool, spawned {}",
+            pool.threads()
+        );
     }
 
     #[test]

@@ -32,6 +32,7 @@ use parking_lot::Mutex;
 use std::io::{Read, Write};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Process-wide counter for unique temp-file names (see [`IntermediateStore::put`]).
@@ -69,15 +70,26 @@ struct Shard {
     reserved: FxHashMap<u64, u64>,
 }
 
-/// On-disk store with budget accounting, sharded for concurrent access.
+/// The shared state behind [`IntermediateStore`] handles.
 #[derive(Debug)]
-pub struct IntermediateStore {
+struct StoreInner {
     dir: PathBuf,
     budget_bytes: u64,
     /// Bytes of entries plus in-flight reservations across all shards
     /// (the budget ledger).
     used_bytes: AtomicU64,
     shards: Box<[Mutex<Shard>]>,
+}
+
+/// On-disk store with budget accounting, sharded for concurrent access.
+///
+/// An `IntermediateStore` is a cheap [`Clone`]-able handle to shared
+/// state: every clone sees the same entries, ledger, and budget. The
+/// ready-queue scheduler clones the handle into its persistent worker
+/// threads (`'static` jobs cannot borrow the caller's store).
+#[derive(Debug, Clone)]
+pub struct IntermediateStore {
+    inner: Arc<StoreInner>,
 }
 
 impl IntermediateStore {
@@ -119,36 +131,42 @@ impl IntermediateStore {
             used += bytes;
         }
         Ok(IntermediateStore {
-            dir,
-            budget_bytes,
-            used_bytes: AtomicU64::new(used),
-            shards: shard_maps.into_iter().map(Mutex::new).collect(),
+            inner: Arc::new(StoreInner {
+                dir,
+                budget_bytes,
+                used_bytes: AtomicU64::new(used),
+                shards: shard_maps.into_iter().map(Mutex::new).collect(),
+            }),
         })
     }
 
     /// The storage budget in bytes.
     pub fn budget_bytes(&self) -> u64 {
-        self.budget_bytes
+        self.inner.budget_bytes
     }
 
     /// Number of shards the entry maps are split across.
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.inner.shards.len()
     }
 
     /// Bytes currently used (entries plus in-flight reservations).
     pub fn used_bytes(&self) -> u64 {
-        self.used_bytes.load(Ordering::Acquire)
+        self.inner.used_bytes.load(Ordering::Acquire)
     }
 
     /// Bytes still available under the budget.
     pub fn remaining_bytes(&self) -> u64 {
-        self.budget_bytes.saturating_sub(self.used_bytes())
+        self.inner.budget_bytes.saturating_sub(self.used_bytes())
     }
 
     /// Number of stored entries.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().entries.len()).sum()
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.lock().entries.len())
+            .sum()
     }
 
     /// Whether the store holds nothing.
@@ -162,11 +180,11 @@ impl IntermediateStore {
     }
 
     fn shard(&self, sig: Signature) -> &Mutex<Shard> {
-        &self.shards[shard_index(sig.0, self.shards.len())]
+        &self.inner.shards[shard_index(sig.0, self.inner.shards.len())]
     }
 
     fn path_for(&self, sig: Signature) -> PathBuf {
-        self.dir.join(format!("{}.hlx", sig.hex()))
+        self.inner.dir.join(format!("{}.hlx", sig.hex()))
     }
 
     /// Writes an output under `sig`, enforcing the budget.
@@ -214,15 +232,16 @@ impl IntermediateStore {
             // single-lock store would have.
             let existing = shard.entries.get(&sig.0).map(|m| m.bytes).unwrap_or(0);
             let reserve =
-                self.used_bytes
+                self.inner
+                    .used_bytes
                     .fetch_update(Ordering::AcqRel, Ordering::Acquire, |used| {
-                        (used.saturating_sub(existing) + size <= self.budget_bytes)
+                        (used.saturating_sub(existing) + size <= self.inner.budget_bytes)
                             .then_some(used + size)
                     });
             if reserve.is_err() {
                 return Err(HelixError::Store(format!(
                     "materializing {size} bytes would exceed the {}-byte budget ({} used)",
-                    self.budget_bytes,
+                    self.inner.budget_bytes,
                     self.used_bytes()
                 )));
             }
@@ -231,7 +250,7 @@ impl IntermediateStore {
         // Unique temp name: a racing put of another signature must not
         // write through this one's half-finished temp file.
         let token = TMP_COUNTER.fetch_add(1, Ordering::Relaxed);
-        let tmp = self.dir.join(format!("{}.{token}.tmp", sig.hex()));
+        let tmp = self.inner.dir.join(format!("{}.{token}.tmp", sig.hex()));
         let written = (|| -> Result<()> {
             let mut file = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
             file.write_all(&bytes)?;
@@ -247,7 +266,7 @@ impl IntermediateStore {
         if let Err(err) = published {
             // Release only this call's reservation; entries were never
             // touched, so concurrent get/evict state is unaffected.
-            self.used_bytes.fetch_sub(size, Ordering::AcqRel);
+            self.inner.used_bytes.fetch_sub(size, Ordering::AcqRel);
             drop(shard);
             let _ = std::fs::remove_file(&tmp);
             return Err(err);
@@ -256,7 +275,9 @@ impl IntermediateStore {
         // The reservation's bytes stay in the ledger as the entry's; an
         // overwrite releases the replaced entry's share now.
         if let Some(meta) = previous {
-            self.used_bytes.fetch_sub(meta.bytes, Ordering::AcqRel);
+            self.inner
+                .used_bytes
+                .fetch_sub(meta.bytes, Ordering::AcqRel);
         }
         Ok((size, started.elapsed().as_secs_f64()))
     }
@@ -291,7 +312,9 @@ impl IntermediateStore {
     pub fn evict(&self, sig: Signature) -> Result<bool> {
         let mut shard = self.shard(sig).lock();
         if let Some(meta) = shard.entries.remove(&sig.0) {
-            self.used_bytes.fetch_sub(meta.bytes, Ordering::AcqRel);
+            self.inner
+                .used_bytes
+                .fetch_sub(meta.bytes, Ordering::AcqRel);
             std::fs::remove_file(self.path_for(sig))?;
             Ok(true)
         } else {
@@ -306,17 +329,17 @@ impl IntermediateStore {
         // Hold every shard lock at once so the ledger reset sees a
         // consistent picture (locks are acquired in index order, and no
         // other path holds two shard locks, so this cannot deadlock).
-        let mut guards: Vec<_> = self.shards.iter().map(|s| s.lock()).collect();
+        let mut guards: Vec<_> = self.inner.shards.iter().map(|s| s.lock()).collect();
         let mut reserved = 0u64;
         for guard in &mut guards {
             let sigs: Vec<u64> = guard.entries.keys().copied().collect();
             for sig in sigs {
                 guard.entries.remove(&sig);
-                let _ = std::fs::remove_file(self.dir.join(format!("{sig:016x}.hlx")));
+                let _ = std::fs::remove_file(self.inner.dir.join(format!("{sig:016x}.hlx")));
             }
             reserved += guard.reserved.values().sum::<u64>();
         }
-        self.used_bytes.store(reserved, Ordering::Release);
+        self.inner.used_bytes.store(reserved, Ordering::Release);
         Ok(())
     }
 }

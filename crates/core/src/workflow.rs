@@ -304,6 +304,14 @@ impl Workflow {
         self.add(name, OperatorKind::UserDefined(udf), inputs)
     }
 
+    /// A row-wise user-defined transform the scheduler may partition: each
+    /// output row depends only on the corresponding row of the *first*
+    /// input (see [`OperatorKind::RowUdf`] for the exact contract). Use
+    /// [`Workflow::udf`] for transforms that aggregate across rows.
+    pub fn row_udf(&mut self, name: &str, inputs: &[&NodeRef], udf: Udf) -> Result<NodeRef> {
+        self.add(name, OperatorKind::RowUdf(udf), inputs)
+    }
+
     // -- iteration support ---------------------------------------------------
 
     /// Replaces the operator at a named node, keeping its wiring — the

@@ -210,6 +210,12 @@ impl DataCollection {
         )
     }
 
+    /// Consumes the collection, returning its schema and rows without
+    /// cloning — for operators that stitch collections back together.
+    pub fn into_parts(self) -> (Arc<Schema>, Vec<Row>) {
+        (self.schema, self.rows)
+    }
+
     /// Concatenates another collection with an identical schema.
     pub fn concat(&self, other: &DataCollection) -> Result<DataCollection> {
         if self.schema != other.schema {

@@ -88,6 +88,22 @@ impl Default for CensusDataSpec {
     }
 }
 
+impl CensusDataSpec {
+    /// Bench-scale settings: `factor` multiplies a 300-train/100-test-row
+    /// base, so factors 10–1000 span 3 000–300 000 training rows. The
+    /// seed is fixed, so the same factor always generates byte-identical
+    /// data (see docs/PERFORMANCE.md for the crossover measurements these
+    /// feed).
+    pub fn scaled(factor: usize) -> Self {
+        let factor = factor.max(1);
+        CensusDataSpec {
+            train_rows: 300 * factor,
+            test_rows: 100 * factor,
+            ..Default::default()
+        }
+    }
+}
+
 /// Generates `train.csv` and `test.csv` under `dir` and returns their
 /// paths. The label follows a ground-truth logistic model over education,
 /// age, hours, and marital status, so feature-engineering iterations move
@@ -198,6 +214,19 @@ impl CensusParams {
             include_interaction: false,
             include_capital_loss: true,
             metrics: vec![MetricKind::Accuracy],
+        }
+    }
+
+    /// Benchmark parameters: every optional feature wired in (maximum
+    /// partitionable width) and a single training epoch, so the
+    /// row-parallel extract/assemble/apply stages — not the learner's
+    /// inherently sequential epochs — dominate the measured run.
+    pub fn bench(dir: &Path) -> Self {
+        CensusParams {
+            epochs: 1,
+            include_marital_status: true,
+            include_interaction: true,
+            ..CensusParams::initial(dir)
         }
     }
 }

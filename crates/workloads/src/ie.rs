@@ -62,6 +62,21 @@ impl IeParams {
             metrics: vec![MetricKind::F1],
         }
     }
+
+    /// Benchmark parameters: every feature group wired in (maximum
+    /// partitionable width) with few learner epochs, so the row-parallel
+    /// UDF chain — sentences, candidates, feature groups — dominates the
+    /// measured run.
+    pub fn bench(dir: &Path) -> Self {
+        IeParams {
+            feat_context: true,
+            feat_shape: true,
+            feat_gazetteer: true,
+            feat_title: true,
+            epochs: 2,
+            ..IeParams::initial(dir)
+        }
+    }
 }
 
 fn sentences_schema() -> Arc<Schema> {
@@ -300,15 +315,19 @@ pub fn ie_workflow(params: &IeParams) -> Result<Workflow> {
             ("end", DataType::Int),
         ],
     )?;
-    let sentences = w.udf("sentences", &[&corpus], udf_sentences())?;
-    let candidates = w.udf(
+    // Pre-processing and feature UDFs are declared row-wise (each emits
+    // rows derived only from the corresponding rows of its first input),
+    // so the scheduler may split them into data-parallel partitions.
+    let sentences = w.row_udf("sentences", &[&corpus], udf_sentences())?;
+    let candidates = w.row_udf(
         "candidates",
         &[&sentences],
         udf_candidates(params.max_cand_len),
     )?;
+    // `labels` joins against the whole gold set — not partitionable.
     let labels = w.udf("labels", &[&candidates, &gold], udf_labels())?;
 
-    let lexical = w.udf(
+    let lexical = w.row_udf(
         "feat_lexical",
         &[&candidates],
         udf_feature_group(
@@ -316,7 +335,7 @@ pub fn ie_workflow(params: &IeParams) -> Result<Workflow> {
             group_config(true, false, false, false, false, true),
         ),
     )?;
-    let context = w.udf(
+    let context = w.row_udf(
         "feat_context",
         &[&candidates],
         udf_feature_group(
@@ -324,7 +343,7 @@ pub fn ie_workflow(params: &IeParams) -> Result<Workflow> {
             group_config(false, true, false, false, false, false),
         ),
     )?;
-    let shape = w.udf(
+    let shape = w.row_udf(
         "feat_shape",
         &[&candidates],
         udf_feature_group(
@@ -332,7 +351,7 @@ pub fn ie_workflow(params: &IeParams) -> Result<Workflow> {
             group_config(false, false, true, false, false, false),
         ),
     )?;
-    let gazetteer = w.udf(
+    let gazetteer = w.row_udf(
         "feat_gazetteer",
         &[&candidates],
         udf_feature_group(
@@ -340,7 +359,7 @@ pub fn ie_workflow(params: &IeParams) -> Result<Workflow> {
             group_config(false, false, false, true, false, false),
         ),
     )?;
-    let title = w.udf(
+    let title = w.row_udf(
         "feat_title",
         &[&candidates],
         udf_feature_group(

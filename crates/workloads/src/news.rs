@@ -190,6 +190,20 @@ impl Default for NewsDataSpec {
     }
 }
 
+impl NewsDataSpec {
+    /// Bench-scale settings: `factor` multiplies a 30-document base, so
+    /// factors 10–1000 span 300–30 000 documents (serving both the news
+    /// classifier and the IE pipeline, which read the same corpus). The
+    /// seed is fixed, so the same factor always generates byte-identical
+    /// data.
+    pub fn scaled(factor: usize) -> Self {
+        NewsDataSpec {
+            docs: 30 * factor.max(1),
+            ..Default::default()
+        }
+    }
+}
+
 /// Output of [`generate_news`].
 #[derive(Debug, Clone)]
 pub struct NewsData {
@@ -352,6 +366,18 @@ impl NewsParams {
             metrics: vec![MetricKind::Accuracy, MetricKind::F1],
         }
     }
+
+    /// Benchmark parameters: all five feature extractors wired in
+    /// (maximum partitionable width) with few learner epochs, so the
+    /// row-parallel extractors dominate the measured run.
+    pub fn bench(dir: &Path) -> Self {
+        NewsParams {
+            feat_titles: true,
+            feat_orgs: true,
+            epochs: 2,
+            ..NewsParams::initial(dir)
+        }
+    }
 }
 
 /// Crude whitespace tokenizer with punctuation trimmed — document-level
@@ -458,7 +484,10 @@ pub fn news_workflow(params: &NewsParams) -> Result<Workflow> {
         udf_doc_labels(params.mention_threshold),
     )?;
 
-    let length = w.udf(
+    // Feature extractors are row-wise over the corpus (one feature row
+    // per document), so the scheduler may data-parallelize each of them;
+    // `labels` aggregates the gold file and stays a classic UDF.
+    let length = w.row_udf(
         "feat_length",
         &[&corpus],
         doc_feature_udf("length", |text| {
@@ -468,7 +497,7 @@ pub fn news_workflow(params: &NewsParams) -> Result<Workflow> {
             ]
         }),
     )?;
-    let caps = w.udf(
+    let caps = w.row_udf(
         "feat_caps",
         &[&corpus],
         doc_feature_udf("caps", |text| {
@@ -480,7 +509,7 @@ pub fn news_workflow(params: &NewsParams) -> Result<Workflow> {
     )?;
     let gazetteer = {
         let names = gazetteer_set();
-        w.udf(
+        w.row_udf(
             "feat_gazetteer",
             &[&corpus],
             doc_feature_udf("gazetteer", move |text| {
@@ -489,7 +518,7 @@ pub fn news_workflow(params: &NewsParams) -> Result<Workflow> {
             }),
         )?
     };
-    let titles = w.udf(
+    let titles = w.row_udf(
         "feat_titles",
         &[&corpus],
         doc_feature_udf("titles", |text| {
@@ -497,7 +526,7 @@ pub fn news_workflow(params: &NewsParams) -> Result<Workflow> {
             vec![("title_cues".into(), cues as f64)]
         }),
     )?;
-    let orgs = w.udf(
+    let orgs = w.row_udf(
         "feat_orgs",
         &[&corpus],
         doc_feature_udf("orgs", |text| {

@@ -21,7 +21,7 @@ use helix::core::compiler::compile;
 use helix::core::cost::CostModel;
 use helix::core::ops::{OperatorKind, Udf};
 use helix::core::recompute::build_waves;
-use helix::core::scheduler::execute_plan;
+use helix::core::scheduler::{default_parallelism, execute_plan, execute_plan_opts, ExecOpts};
 use helix::core::signature::Signature;
 use helix::core::store::IntermediateStore;
 use helix::core::{
@@ -125,6 +125,41 @@ fn arb_adversarial_dag() -> impl Strategy<Value = ArbDag> {
     ]
 }
 
+/// Row-wise transform the scheduler may partition: each output row is a
+/// pure function of the corresponding row of the *first* input plus
+/// whole-collection context folded from the remaining inputs (which every
+/// slice receives unsliced).
+fn row_mix_udf(salt: i64) -> Udf {
+    Udf::new(format!("rowmix:{salt}"), move |inputs| {
+        let context: i64 = inputs[1..]
+            .iter()
+            .flat_map(|dc| dc.rows())
+            .map(|row| row.get(0).as_int().unwrap_or(0))
+            .fold(salt, |acc, v| acc.wrapping_mul(31).wrapping_add(v));
+        let out: Vec<i64> = inputs[0]
+            .rows()
+            .iter()
+            .map(|row| {
+                row.get(0)
+                    .as_int()
+                    .unwrap_or(0)
+                    .wrapping_mul(31)
+                    .wrapping_add(context)
+            })
+            .collect();
+        Ok(int_rows(&out))
+    })
+}
+
+/// Source emitting `rows` deterministic ints, so downstream row-wise
+/// nodes have enough rows to split into many partitions.
+fn iota_udf(salt: i64, rows: usize) -> Udf {
+    Udf::new(format!("iota:{salt}:{rows}"), move |_inputs| {
+        let values: Vec<i64> = (0..rows as i64).map(|v| v.wrapping_add(salt)).collect();
+        Ok(int_rows(&values))
+    })
+}
+
 /// Builds the workflow for a random DAG; every sink is an output.
 fn dag_workflow(n: usize, edges: &[(usize, usize)]) -> Workflow {
     let mut w = Workflow::new("schedeq");
@@ -142,6 +177,42 @@ fn dag_workflow(n: usize, edges: &[(usize, usize)]) -> Workflow {
                 &parents,
             )
             .unwrap();
+        refs.push(r);
+    }
+    for (i, r) in refs.iter().enumerate() {
+        if !edges.iter().any(|&(src, _)| src == i) {
+            w.output(r);
+        }
+    }
+    w
+}
+
+/// Like [`dag_workflow`] but with data-parallelizable nodes: parentless
+/// nodes are `rows`-wide iota sources, and `mask` selects which internal
+/// nodes are row-wise ([`OperatorKind::RowUdf`], partitionable) versus
+/// aggregating classic UDFs.
+fn partitioned_dag_workflow(
+    n: usize,
+    edges: &[(usize, usize)],
+    rows: usize,
+    mask: &[bool],
+) -> Workflow {
+    let mut w = Workflow::new("schedeq-part");
+    let mut refs: Vec<NodeRef> = Vec::new();
+    for i in 0..n {
+        let parents: Vec<&NodeRef> = edges
+            .iter()
+            .filter(|&&(_, dst)| dst == i)
+            .map(|&(src, _)| &refs[src])
+            .collect();
+        let kind = if parents.is_empty() {
+            OperatorKind::UserDefined(iota_udf(i as i64 + 1, rows))
+        } else if mask[i % mask.len()] {
+            OperatorKind::RowUdf(row_mix_udf(i as i64 + 1))
+        } else {
+            OperatorKind::UserDefined(mix_udf(i as i64 + 1))
+        };
+        let r = w.add(format!("n{i}"), kind, &parents).unwrap();
         refs.push(r);
     }
     for (i, r) in refs.iter().enumerate() {
@@ -330,5 +401,85 @@ proptest! {
             prop_assert_eq!(a.wave_count(), b.wave_count(), "waves, iter {}", iteration);
         }
         prop_assert_eq!(seq.versions().len(), par.versions().len());
+    }
+
+    /// Operator partitioning: random DAGs with a random subset of
+    /// row-wise (partitionable) nodes produce identical outputs and
+    /// identical plan-order merge streams across the full matrix of
+    /// partition granularity {whole, ~4 slices, max slices} ×
+    /// parallelism {1, 2, default}.
+    #[test]
+    fn partitioned_nodes_execute_identically(
+        (n, edges) in arb_dag(),
+        rows in 2usize..40,
+        mask in proptest::collection::vec(any::<bool>(), 9),
+    ) {
+        let w = partitioned_dag_workflow(n, &edges, rows, &mask);
+        let store = IntermediateStore::open(tmpdir("part"), 1 << 24).unwrap();
+        let cm = CostModel::new();
+        let plan = compile(&w, &store, &cm, RecomputationPolicy::Optimal, None).unwrap();
+
+        let base = ExecOpts { parallelism: 1, partition_rows: usize::MAX, pool: None };
+        let mut merged_seq: Vec<NodeId> = Vec::new();
+        let seq = execute_plan_opts(&w, &plan, &store, &base, |id, _, _| {
+            merged_seq.push(id);
+            Ok(())
+        }).unwrap();
+
+        // ~4 slices: threshold of ceil(rows/4) partitions a rows-wide
+        // node into 4 ranges; threshold 1 forces the per-node maximum.
+        for partition_rows in [usize::MAX, rows.div_ceil(4).max(1), 1] {
+            for parallelism in [1, 2, default_parallelism()] {
+                let opts = ExecOpts { parallelism, partition_rows, pool: None };
+                let mut merged: Vec<NodeId> = Vec::new();
+                let par = execute_plan_opts(&w, &plan, &store, &opts, |id, _, _| {
+                    merged.push(id);
+                    Ok(())
+                }).unwrap();
+                prop_assert_eq!(
+                    &seq.outputs, &par.outputs,
+                    "outputs at parallelism {} / partition_rows {}", parallelism, partition_rows
+                );
+                prop_assert_eq!(
+                    &merged_seq, &merged,
+                    "merge order at parallelism {} / partition_rows {}", parallelism, partition_rows
+                );
+            }
+        }
+    }
+
+    /// Engine-level partitioning: an engine forced to maximum operator
+    /// partitioning at default parallelism reports exactly what the
+    /// sequential, unpartitioned engine reports — same signatures,
+    /// counts, and metrics — across two iterations.
+    #[test]
+    fn engines_report_identically_with_partitioning(
+        (n, edges) in arb_dag(),
+        rows in 2usize..40,
+        mask in proptest::collection::vec(any::<bool>(), 9),
+    ) {
+        let dir = tmpdir("engine-part");
+        let seq = Engine::new(EngineConfig {
+            materialization: MaterializationPolicyKind::Never,
+            parallelism: 1,
+            ..EngineConfig::helix(dir.join("seq"))
+        }).unwrap();
+        let par = Engine::new(EngineConfig {
+            materialization: MaterializationPolicyKind::Never,
+            parallelism: default_parallelism().max(2),
+            ..EngineConfig::helix(dir.join("par"))
+        }.with_partition_rows(1)).unwrap();
+        for iteration in 0..2 {
+            let w = partitioned_dag_workflow(n, &edges, rows, &mask);
+            let plan_seq = seq.compile_only(&w).unwrap();
+            let plan_par = par.compile_only(&w).unwrap();
+            prop_assert_eq!(&plan_seq.signatures, &plan_par.signatures, "signatures");
+            let a = seq.run(&w).unwrap();
+            let b = par.run(&w).unwrap();
+            prop_assert_eq!(a.loaded(), b.loaded(), "loaded, iter {}", iteration);
+            prop_assert_eq!(a.computed(), b.computed(), "computed, iter {}", iteration);
+            prop_assert_eq!(a.pruned(), b.pruned(), "pruned, iter {}", iteration);
+            prop_assert_eq!(&a.metrics, &b.metrics, "metrics, iter {}", iteration);
+        }
     }
 }
