@@ -139,6 +139,16 @@ impl Lineage {
     pub fn has_history(&self) -> bool {
         self.previous.is_some()
     }
+
+    /// Signatures referenced by the previous iteration, in no particular
+    /// order — the set a store retention sweep must keep live for this
+    /// lineage's next change-tracker comparison.
+    pub fn signatures(&self) -> Vec<Signature> {
+        self.previous
+            .iter()
+            .flat_map(|prev| prev.values().map(|&(_, sig)| sig))
+            .collect()
+    }
 }
 
 /// Per-run options for [`Engine::run_in`].

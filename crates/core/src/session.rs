@@ -68,12 +68,14 @@
 use crate::engine::{Engine, Lineage, RunOptions};
 use crate::ops::{LearnerSpec, ModelType, OperatorKind};
 use crate::report::IterationReport;
+use crate::signature::Signature;
 use crate::version::VersionStore;
 use crate::workflow::{NodeRef, Workflow};
 use crate::{HelixError, Result};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// One typed knob of a learner — the parameters a user turns between
 /// iterations ("change the regularization parameter", §1 of the paper).
@@ -226,6 +228,13 @@ impl Session {
         self.lineage.iteration()
     }
 
+    /// Store signatures this session's lineage still references — the
+    /// entries a retention sweep must keep live so the session's next
+    /// iteration can reuse its previous results.
+    pub fn lineage_signatures(&self) -> Vec<Signature> {
+        self.lineage.signatures()
+    }
+
     /// Edits recorded since the last [`Session::iterate`], oldest first.
     pub fn pending_edits(&self) -> &[WorkflowEdit] {
         &self.edits
@@ -362,10 +371,15 @@ use crate::lock;
 /// A cloneable, thread-safe handle to one managed [`Session`]. All
 /// methods take `&self` and serialize on the session's own lock —
 /// distinct sessions never contend.
+///
+/// Every accessor also *touches* the handle's idle clock, so a session
+/// being used — read or written — never looks idle to
+/// [`SessionManager::evict_idle`].
 #[derive(Debug, Clone)]
 pub struct SessionHandle {
     name: String,
     inner: Arc<Mutex<Session>>,
+    touched: Arc<Mutex<Instant>>,
 }
 
 impl SessionHandle {
@@ -374,6 +388,7 @@ impl SessionHandle {
         SessionHandle {
             name: session.name.clone(),
             inner: Arc::new(Mutex::new(session)),
+            touched: Arc::new(Mutex::new(Instant::now())),
         }
     }
 
@@ -382,34 +397,53 @@ impl SessionHandle {
         &self.name
     }
 
+    /// Resets the idle clock — called by every accessor; also available
+    /// directly for traffic that observes a session without going
+    /// through the handle's methods.
+    pub fn touch(&self) {
+        *lock(&self.touched) = Instant::now();
+    }
+
+    /// Time since this handle's session was last accessed through any
+    /// accessor (or explicit [`SessionHandle::touch`]).
+    pub fn idle_for(&self) -> Duration {
+        lock(&self.touched).elapsed()
+    }
+
     /// Runs `f` with exclusive access to the session (for inspection or
     /// several edits under one lock hold).
     pub fn with<R>(&self, f: impl FnOnce(&mut Session) -> R) -> R {
+        self.touch();
         f(&mut lock(&self.inner))
     }
 
     /// See [`Session::iterate`].
     pub fn iterate(&self) -> Result<IterationReport> {
+        self.touch();
         lock(&self.inner).iterate()
     }
 
     /// See [`Session::set_learner_param`].
     pub fn set_learner_param(&self, learner: &str, param: LearnerParam) -> Result<()> {
+        self.touch();
         lock(&self.inner).set_learner_param(learner, param)
     }
 
     /// See [`Session::replace_operator`].
     pub fn replace_operator(&self, node: &str, kind: OperatorKind) -> Result<()> {
+        self.touch();
         lock(&self.inner).replace_operator(node, kind)
     }
 
     /// See [`Session::rewire`].
     pub fn rewire(&self, node: &str, parents: &[&str]) -> Result<()> {
+        self.touch();
         lock(&self.inner).rewire(node, parents)
     }
 
     /// See [`Session::add_output`].
     pub fn add_output(&self, node: &str) -> Result<()> {
+        self.touch();
         lock(&self.inner).add_output(node)
     }
 
@@ -419,34 +453,61 @@ impl SessionHandle {
         description: impl Into<String>,
         f: impl FnOnce(&mut Workflow) -> Result<R>,
     ) -> Result<R> {
+        self.touch();
         lock(&self.inner).edit(description, f)
     }
 
     /// See [`Session::replace_workflow`].
     pub fn replace_workflow(&self, workflow: Workflow) {
+        self.touch();
         lock(&self.inner).replace_workflow(workflow)
     }
 
     /// How many iterations the session has executed.
     pub fn iteration(&self) -> usize {
+        self.touch();
         lock(&self.inner).iteration()
     }
 
     /// Point-in-time snapshot of this session's version history (the
     /// wire layer's history/lineage reads — no lock held after return).
     pub fn versions(&self) -> VersionStore {
+        self.touch();
         lock(&self.inner).versions().clone()
     }
 }
+
+/// Called when a session leaves the manager (explicit [`SessionManager::remove`]
+/// or [`SessionManager::evict_idle`]): receives the departing session's
+/// name and the store signatures its lineage referenced that **no
+/// surviving session still references** — the entries a store retention
+/// policy may now evict without hurting any live analyst.
+pub type RetentionHook = Arc<dyn Fn(&str, &[Signature]) + Send + Sync>;
 
 /// Multiplexes many named sessions over one shared engine. Creating,
 /// fetching, and removing sessions takes `&self`; handed-out
 /// [`SessionHandle`]s stay valid after removal (removal only unregisters
 /// the name).
-#[derive(Debug)]
+///
+/// The manager is also the server's idle-session authority: every
+/// [`SessionHandle`] accessor touches its idle clock, and
+/// [`SessionManager::evict_idle`] sweeps sessions idle past a TTL,
+/// firing the optional [`RetentionHook`] so the intermediate store can
+/// reclaim entries only departed sessions referenced.
 pub struct SessionManager {
     engine: Arc<Engine>,
     sessions: Mutex<BTreeMap<String, SessionHandle>>,
+    retention: Mutex<Option<RetentionHook>>,
+}
+
+impl fmt::Debug for SessionManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SessionManager")
+            .field("engine", &self.engine)
+            .field("sessions", &self.sessions)
+            .field("retention", &lock(&self.retention).is_some())
+            .finish()
+    }
 }
 
 impl SessionManager {
@@ -455,6 +516,7 @@ impl SessionManager {
         SessionManager {
             engine,
             sessions: Mutex::new(BTreeMap::new()),
+            retention: Mutex::new(None),
         }
     }
 
@@ -491,9 +553,80 @@ impl SessionManager {
     }
 
     /// Unregisters a session, returning its handle (still usable by any
-    /// holder).
+    /// holder). Fires the retention hook with the signatures now
+    /// unreferenced by every surviving session.
     pub fn remove(&self, name: &str) -> Option<SessionHandle> {
-        lock(&self.sessions).remove(name)
+        let handle = lock(&self.sessions).remove(name)?;
+        self.release(&handle);
+        Some(handle)
+    }
+
+    /// Installs the store-retention callback fired when sessions leave
+    /// the manager (see [`RetentionHook`]). Replaces any previous hook.
+    /// The hook must not call back into this manager.
+    pub fn set_retention_hook(&self, hook: impl Fn(&str, &[Signature]) + Send + Sync + 'static) {
+        *lock(&self.retention) = Some(Arc::new(hook));
+    }
+
+    /// Store signatures referenced by at least one registered session's
+    /// lineage, deduplicated — the keep-set for a store retention sweep.
+    pub fn retained_signatures(&self) -> Vec<Signature> {
+        let handles: Vec<SessionHandle> = lock(&self.sessions).values().cloned().collect();
+        let mut seen = BTreeSet::new();
+        for handle in handles {
+            for sig in handle.with(|s| s.lineage_signatures()) {
+                seen.insert(sig.0);
+            }
+        }
+        seen.into_iter().map(Signature).collect()
+    }
+
+    /// Evicts (unregisters) every session idle for at least `ttl`,
+    /// returning the evicted names. Any accessor call on a session's
+    /// handle resets its clock, so only genuinely abandoned sessions
+    /// qualify; outstanding handles stay usable (eviction only
+    /// unregisters the name, exactly like [`SessionManager::remove`]).
+    pub fn evict_idle(&self, ttl: Duration) -> Vec<String> {
+        let expired: Vec<SessionHandle> = lock(&self.sessions)
+            .values()
+            .filter(|handle| handle.idle_for() >= ttl)
+            .cloned()
+            .collect();
+        let mut evicted = Vec::new();
+        for handle in expired {
+            {
+                let mut sessions = lock(&self.sessions);
+                // Re-check under the registry lock: the session may have
+                // been touched (or already removed) since the scan.
+                if handle.idle_for() < ttl || sessions.remove(handle.name()).is_none() {
+                    continue;
+                }
+            }
+            self.release(&handle);
+            evicted.push(handle.name().to_string());
+        }
+        evicted
+    }
+
+    /// Fires the retention hook for a departed session with the
+    /// signatures no surviving session still references. The hook is
+    /// cloned out of its lock before running, so a slow hook never
+    /// blocks registry traffic.
+    fn release(&self, handle: &SessionHandle) {
+        let Some(hook) = lock(&self.retention).clone() else {
+            return;
+        };
+        let mine = handle.with(|s| s.lineage_signatures());
+        let retained: BTreeSet<u64> = self
+            .retained_signatures()
+            .into_iter()
+            .map(|sig| sig.0)
+            .collect();
+        let unreferenced: Vec<Signature> = mine
+            .into_iter()
+            .filter(|sig| !retained.contains(&sig.0))
+            .collect();
+        hook(handle.name(), &unreferenced);
     }
 
     /// Registered session names, sorted.
@@ -746,6 +879,82 @@ mod tests {
         assert_eq!(alice.with(|s| s.versions().len()), 1);
         assert_eq!(bob.with(|s| s.versions().len()), 1);
         assert_eq!(manager.engine().versions().len(), 2);
+    }
+
+    #[test]
+    fn evict_idle_spares_touched_sessions() {
+        let dir = tmpdir("evict-idle");
+        let manager = SessionManager::new(engine(&dir));
+        let active = manager.create("active", workflow(&dir, 0.1)).unwrap();
+        manager.create("idle", workflow(&dir, 0.2)).unwrap();
+        std::thread::sleep(Duration::from_millis(700));
+        // Any accessor counts as a touch.
+        let _ = active.iteration();
+        let evicted = manager.evict_idle(Duration::from_millis(500));
+        assert_eq!(evicted, vec!["idle".to_string()]);
+        assert_eq!(manager.names(), vec!["active"]);
+        // The evicted name is free again.
+        manager.create("idle", workflow(&dir, 0.2)).unwrap();
+    }
+
+    #[test]
+    fn retention_hook_reports_only_unreferenced_signatures() {
+        let dir = tmpdir("retention");
+        let manager = SessionManager::new(engine(&dir));
+        let released: Arc<Mutex<Vec<(String, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&released);
+        manager.set_retention_hook(move |name, sigs| {
+            lock(&sink).push((name.to_string(), sigs.len()));
+        });
+
+        // Two sessions over the *same* workflow share every signature.
+        let alice = manager.create("alice", workflow(&dir, 0.1)).unwrap();
+        let bob = manager.create("bob", workflow(&dir, 0.1)).unwrap();
+        alice.iterate().unwrap();
+        bob.iterate().unwrap();
+        let shared = manager.retained_signatures().len();
+        assert!(shared > 0, "iterated sessions must reference signatures");
+
+        // Removing alice frees nothing: bob still references everything.
+        manager.remove("alice").unwrap();
+        {
+            let calls = lock(&released);
+            assert_eq!(calls.as_slice(), &[("alice".to_string(), 0)]);
+        }
+        // Removing bob frees the whole shared set.
+        manager.remove("bob").unwrap();
+        let calls = lock(&released);
+        assert_eq!(calls.len(), 2);
+        assert_eq!(calls[1].0, "bob");
+        assert_eq!(calls[1].1, shared, "last holder releases every signature");
+    }
+
+    #[test]
+    fn retention_hook_can_evict_store_entries() {
+        // The intended wiring: hook unreferenced signatures straight into
+        // IntermediateStore::evict, shrinking the store when the last
+        // session referencing an entry departs.
+        let dir = tmpdir("retention-store");
+        let eng = engine(&dir);
+        let manager = SessionManager::new(Arc::clone(&eng));
+        let store = Arc::clone(&eng);
+        manager.set_retention_hook(move |_, sigs| {
+            for &sig in sigs {
+                let _ = store.store().evict(sig);
+            }
+        });
+        let alice = manager.create("alice", workflow(&dir, 0.1)).unwrap();
+        alice.iterate().unwrap();
+        assert!(eng.store().used_bytes() > 0, "iteration materializes");
+        manager.remove("alice").unwrap();
+        // Everything alice's lineage referenced is gone from the store.
+        for sig in alice.with(|s| s.lineage_signatures()) {
+            assert!(
+                eng.store().lookup(sig).is_none(),
+                "signature {} should have been evicted",
+                sig.hex()
+            );
+        }
     }
 
     #[test]

@@ -308,18 +308,37 @@ impl IntermediateStore {
     ///
     /// The file removal happens under the signature's shard lock so it
     /// cannot race a concurrent `put`'s rename of a fresh file to the
-    /// same path.
+    /// same path. The file is removed *before* any bookkeeping mutates:
+    /// if the removal fails, the entry stays in the map and the ledger
+    /// keeps its bytes, so the store's view still matches the disk (a
+    /// reopen rescan would find the surviving file). An already-missing
+    /// file (`NotFound`) counts as removed.
     pub fn evict(&self, sig: Signature) -> Result<bool> {
         let mut shard = self.shard(sig).lock();
-        if let Some(meta) = shard.entries.remove(&sig.0) {
-            self.inner
-                .used_bytes
-                .fetch_sub(meta.bytes, Ordering::AcqRel);
-            std::fs::remove_file(self.path_for(sig))?;
-            Ok(true)
-        } else {
-            Ok(false)
+        let Some(meta) = shard.entries.get(&sig.0).copied() else {
+            return Ok(false);
+        };
+        match std::fs::remove_file(self.path_for(sig)) {
+            Ok(()) => {}
+            Err(err) if err.kind() == std::io::ErrorKind::NotFound => {}
+            Err(err) => return Err(err.into()),
         }
+        shard.entries.remove(&sig.0);
+        self.inner
+            .used_bytes
+            .fetch_sub(meta.bytes, Ordering::AcqRel);
+        Ok(true)
+    }
+
+    /// Every signature currently stored, in no particular order (the
+    /// retention sweep walks this to find unreferenced entries).
+    pub fn signatures(&self) -> Vec<Signature> {
+        self.inner
+            .shards
+            .iter()
+            .flat_map(|shard| shard.lock().entries.keys().copied().collect::<Vec<_>>())
+            .map(Signature)
+            .collect()
     }
 
     /// Deletes everything (used between benchmark scenarios). In-flight
@@ -452,6 +471,61 @@ mod tests {
         assert!(!store.evict(Signature(5)).unwrap());
         assert_eq!(store.used_bytes(), 0);
         assert!(store.get(Signature(5)).is_err());
+    }
+
+    #[test]
+    fn evict_failure_leaves_entry_and_ledger_intact() {
+        // Force `remove_file` to fail by replacing the entry's file with
+        // a non-empty directory of the same name. The failed evict must
+        // not mutate the map or the budget ledger — otherwise the store's
+        // view disagrees with the disk and a reopen rescan resurrects the
+        // "evicted" entry.
+        let store = IntermediateStore::open(tmpdir("evict-fail"), 1 << 20).unwrap();
+        store.put(Signature(9), &sample_output(10)).unwrap();
+        let used_before = store.used_bytes();
+        let path = store.path_for(Signature(9));
+        std::fs::remove_file(&path).unwrap();
+        std::fs::create_dir(&path).unwrap();
+        std::fs::write(path.join("occupant"), b"x").unwrap();
+
+        assert!(store.evict(Signature(9)).is_err());
+        assert!(
+            store.lookup(Signature(9)).is_some(),
+            "failed evict must keep the entry"
+        );
+        assert_eq!(
+            store.used_bytes(),
+            used_before,
+            "failed evict must not free budget"
+        );
+
+        // Once the obstruction is gone the same evict succeeds; the file
+        // is already absent (NotFound), which counts as removed.
+        std::fs::remove_dir_all(&path).unwrap();
+        assert!(store.evict(Signature(9)).unwrap());
+        assert_eq!(store.used_bytes(), 0);
+    }
+
+    #[test]
+    fn evict_treats_missing_file_as_removed() {
+        let store = IntermediateStore::open(tmpdir("evict-gone"), 1 << 20).unwrap();
+        store.put(Signature(3), &sample_output(10)).unwrap();
+        std::fs::remove_file(store.path_for(Signature(3))).unwrap();
+        assert!(store.evict(Signature(3)).unwrap());
+        assert_eq!(store.used_bytes(), 0);
+        assert!(store.lookup(Signature(3)).is_none());
+    }
+
+    #[test]
+    fn signatures_lists_live_entries() {
+        let store = IntermediateStore::open(tmpdir("sigs"), 1 << 20).unwrap();
+        for i in 1..=5 {
+            store.put(Signature(i), &sample_output(4)).unwrap();
+        }
+        store.evict(Signature(3)).unwrap();
+        let mut sigs: Vec<u64> = store.signatures().into_iter().map(|s| s.0).collect();
+        sigs.sort_unstable();
+        assert_eq!(sigs, vec![1, 2, 4, 5]);
     }
 
     #[test]

@@ -1,9 +1,16 @@
 //! A minimal blocking HTTP client for the wire protocol — enough for
 //! the examples, the end-to-end tests, and the serving bench to drive a
 //! server over real sockets without external crates.
+//!
+//! Two flavors: the free functions ([`get`], [`post`], …) open one
+//! `Connection: close` connection per request, while [`Client`] holds a
+//! **keep-alive** connection and reuses it across requests — the shape
+//! an iterating analyst's edit→rerun loop takes, and what the serving
+//! load harness measures. `Client` reconnects transparently when the
+//! server closes the connection (request cap reached, idle timeout).
 
 use crate::json::{Json, JsonError};
-use std::io::{self, Read, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 
 /// A parsed response: status code plus decoded JSON body.
@@ -71,6 +78,7 @@ pub fn request(
     body: &str,
 ) -> Result<ClientResponse, ClientError> {
     let mut stream = TcpStream::connect(addr)?;
+    let _ = stream.set_nodelay(true);
     let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\n");
     if !body.is_empty() {
         head.push_str(&format!(
@@ -106,6 +114,167 @@ fn parse_response(raw: &str) -> Result<ClientResponse, ClientError> {
     Ok(ClientResponse { status, body })
 }
 
+/// A persistent keep-alive connection to one server: requests reuse the
+/// underlying TCP stream, and responses are framed by `Content-Length`
+/// (never by EOF). When the server announces `Connection: close` — or
+/// the stream turns out dead on the next use — the client reconnects
+/// once and retries, so callers see a plain request/response API.
+#[derive(Debug)]
+pub struct Client {
+    addr: SocketAddr,
+    conn: Option<BufReader<TcpStream>>,
+    /// Connections opened so far (1 after the first request; grows only
+    /// when the server closes and the client reconnects). Exposed so
+    /// tests can assert reuse and post-`close` reconnection.
+    connects: usize,
+}
+
+impl Client {
+    /// A client for `addr`. No connection is opened until the first
+    /// request.
+    pub fn new(addr: SocketAddr) -> Client {
+        Client {
+            addr,
+            conn: None,
+            connects: 0,
+        }
+    }
+
+    /// How many TCP connections this client has opened so far.
+    pub fn connects(&self) -> usize {
+        self.connects
+    }
+
+    /// GET over the persistent connection.
+    pub fn get(&mut self, path: &str) -> Result<ClientResponse, ClientError> {
+        self.request("GET", path, "")
+    }
+
+    /// POST with a JSON body over the persistent connection.
+    pub fn post(&mut self, path: &str, body: &str) -> Result<ClientResponse, ClientError> {
+        self.request("POST", path, body)
+    }
+
+    /// PUT with a JSON body over the persistent connection.
+    pub fn put(&mut self, path: &str, body: &str) -> Result<ClientResponse, ClientError> {
+        self.request("PUT", path, body)
+    }
+
+    /// DELETE over the persistent connection.
+    pub fn delete(&mut self, path: &str) -> Result<ClientResponse, ClientError> {
+        self.request("DELETE", path, "")
+    }
+
+    /// Performs one request, transparently reconnecting (once) if the
+    /// reused connection turns out to have been closed server-side.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> Result<ClientResponse, ClientError> {
+        let had_conn = self.conn.is_some();
+        match self.request_once(method, path, body) {
+            Ok(resp) => Ok(resp),
+            // A stale keep-alive connection surfaces as an I/O error or
+            // a short read; a fresh connection gets one clean retry.
+            // Never retried on a fresh connection: that would double-send.
+            Err(_) if had_conn => {
+                self.conn = None;
+                self.request_once(method, path, body)
+            }
+            Err(err) => Err(err),
+        }
+    }
+
+    fn request_once(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+    ) -> Result<ClientResponse, ClientError> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            // Nagle + delayed ACK would stall every request on this reused
+            // connection by ~40ms; requests are single writes anyway.
+            let _ = stream.set_nodelay(true);
+            self.conn = Some(BufReader::new(stream));
+            self.connects += 1;
+        }
+        let conn = self.conn.as_mut().expect("connection just ensured");
+        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {}\r\n", self.addr);
+        if !body.is_empty() {
+            head.push_str(&format!(
+                "Content-Type: application/json\r\nContent-Length: {}\r\n",
+                body.len()
+            ));
+        }
+        head.push_str("\r\n");
+        {
+            let stream = conn.get_mut();
+            stream.write_all(head.as_bytes())?;
+            stream.write_all(body.as_bytes())?;
+            stream.flush()?;
+        }
+        let (resp, server_closed) = read_framed_response(conn)?;
+        if server_closed {
+            self.conn = None;
+        }
+        Ok(resp)
+    }
+}
+
+/// Reads one `Content-Length`-framed response off a persistent
+/// connection. Returns the parsed response and whether the server
+/// announced `Connection: close`.
+fn read_framed_response(reader: &mut impl BufRead) -> Result<(ClientResponse, bool), ClientError> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(ClientError::BadResponse(
+            "connection closed before status line".into(),
+        ));
+    }
+    let status = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| ClientError::BadResponse(format!("bad status line `{}`", line.trim())))?;
+    let mut content_length = 0usize;
+    let mut server_closed = false;
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 {
+            return Err(ClientError::BadResponse(
+                "connection closed inside headers".into(),
+            ));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            let value = value.trim();
+            match name.to_ascii_lowercase().as_str() {
+                "content-length" => {
+                    content_length = value.parse().map_err(|_| {
+                        ClientError::BadResponse(format!("bad Content-Length `{value}`"))
+                    })?;
+                }
+                "connection" => {
+                    server_closed = value.eq_ignore_ascii_case("close");
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body)
+        .map_err(|_| ClientError::BadResponse("non-UTF-8 response body".into()))?;
+    let body = Json::parse(&body)?;
+    Ok((ClientResponse { status, body }, server_closed))
+}
+
 /// Convenience wrappers naming the protocol's verbs.
 pub fn get(addr: SocketAddr, path: &str) -> Result<ClientResponse, ClientError> {
     request(addr, "GET", path, "")
@@ -137,5 +306,29 @@ mod tests {
         assert_eq!(resp.status, 201);
         assert_eq!(resp.body.get("name").unwrap().as_str(), Some("a"));
         assert!(parse_response("garbage").is_err());
+    }
+
+    #[test]
+    fn framed_reader_stops_at_content_length_and_sees_close() {
+        // Two pipelined responses on one stream: the reader must frame by
+        // Content-Length, not EOF, leaving the second response unread.
+        let raw = "HTTP/1.1 200 OK\r\nContent-Length: 12\r\nConnection: keep-alive\r\n\r\n\
+                   {\"name\":\"a\"}\
+                   HTTP/1.1 503 Service Unavailable\r\nContent-Length: 2\r\nConnection: close\r\n\r\n{}";
+        let mut reader = std::io::BufReader::new(raw.as_bytes());
+        let (first, closed) = read_framed_response(&mut reader).unwrap();
+        assert_eq!(first.status, 200);
+        assert_eq!(first.body.get("name").unwrap().as_str(), Some("a"));
+        assert!(
+            !closed,
+            "keep-alive response must not mark the connection closed"
+        );
+        let (second, closed) = read_framed_response(&mut reader).unwrap();
+        assert_eq!(second.status, 503);
+        assert!(closed, "Connection: close must be surfaced");
+        assert!(
+            read_framed_response(&mut reader).is_err(),
+            "EOF before a status line is an error"
+        );
     }
 }

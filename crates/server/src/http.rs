@@ -2,13 +2,28 @@
 //!
 //! The offline build environment has no network crates, so — exactly like
 //! the dependency shims stand in for external APIs — this module
-//! implements the minimal slice of HTTP/1.1 the front end needs: one
-//! request per connection (`Connection: close`), `Content-Length` bodies
-//! with a hard size cap, and plain status-line responses. It is generic
-//! over `Read`/`Write`, so unit tests drive it with in-memory buffers and
-//! the server with `TcpStream`s.
+//! implements the minimal slice of HTTP/1.1 the front end needs:
+//! persistent connections ([`RequestReader`] parses a sequence of
+//! requests off one stream, honoring `Connection: close`),
+//! `Content-Length` bodies with a hard size cap, and plain status-line
+//! responses. It is generic over `Read`/`Write`, so unit tests drive it
+//! with in-memory buffers and the server with `TcpStream`s.
+//!
+//! Framing rules the keep-alive loop depends on (they are what makes
+//! connection reuse safe rather than a request-smuggling vector):
+//!
+//! * Bodies are delimited by exactly one `Content-Length`. Duplicate
+//!   headers with *differing* values are rejected as malformed — under
+//!   `Connection: close` a parser picking either value is merely sloppy,
+//!   but on a reused connection the two interpretations desynchronize
+//!   the request boundary between peer and server.
+//! * `Transfer-Encoding` is not implemented and is rejected outright
+//!   rather than ignored, for the same reason.
+//! * Read timeouts surface as [`ParseError::TimedOut`], distinguishing
+//!   an idle keep-alive connection (no bytes of a next request yet —
+//!   close silently) from a peer that stalled mid-request (answer `408`).
 
-use std::io::{self, BufRead, BufReader, Read, Write};
+use std::io::{self, BufRead, BufReader, Read, Take, Write};
 
 /// Upper bound on the request line plus headers, defending the reader
 /// against unbounded header streams.
@@ -27,6 +42,10 @@ pub struct Request {
     pub query: Vec<(String, String)>,
     /// Request body (empty when no `Content-Length` was sent).
     pub body: String,
+    /// Whether the connection must close after this request: the client
+    /// sent `Connection: close`, or spoke HTTP/1.0 without
+    /// `Connection: keep-alive`.
+    pub close: bool,
 }
 
 impl Request {
@@ -67,6 +86,14 @@ pub enum ParseError {
     /// The peer closed the connection before sending a request; not an
     /// error worth answering (browsers speculatively open connections).
     Closed,
+    /// The stream's read timeout expired. `mid_request` distinguishes a
+    /// peer that went quiet between requests (an idle keep-alive
+    /// connection — close it silently) from one that stalled after
+    /// sending part of a request (a slow or slowloris client → 408).
+    TimedOut {
+        /// Whether any bytes of the current request had arrived.
+        mid_request: bool,
+    },
     /// Transport failure while reading.
     Io(io::Error),
 }
@@ -82,16 +109,78 @@ impl std::fmt::Display for ParseError {
                 )
             }
             ParseError::Closed => f.write_str("connection closed before a request arrived"),
+            ParseError::TimedOut { mid_request: true } => {
+                f.write_str("timed out mid-request waiting for the rest of it")
+            }
+            ParseError::TimedOut { mid_request: false } => {
+                f.write_str("idle connection timed out between requests")
+            }
             ParseError::Io(err) => write!(f, "i/o error: {err}"),
         }
     }
 }
 
-/// Reads and parses one request from `stream`, enforcing `max_body_bytes`.
+/// Whether an I/O error kind is a read-timeout expiry. `SO_RCVTIMEO`
+/// surfaces as `WouldBlock` on Unix and `TimedOut` on Windows.
+fn is_timeout(kind: io::ErrorKind) -> bool {
+    matches!(kind, io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)
+}
+
+/// Parses a sequence of requests off one stream — the per-connection
+/// reader behind the server's keep-alive loop.
+///
+/// The reader owns the connection's buffer, which is what makes
+/// persistence correct: bytes the kernel delivered beyond the current
+/// request (a pipelined next request) stay buffered here and are parsed
+/// by the next [`RequestReader::read`] call instead of being dropped.
+/// The underlying stream is wrapped in a [`Take`] whose limit is reset
+/// per request, bounding how much one request can pull off the wire
+/// even when no newline ever arrives.
+#[derive(Debug)]
+pub struct RequestReader<S: Read> {
+    reader: BufReader<Take<S>>,
+    max_body_bytes: usize,
+}
+
+impl<S: Read> RequestReader<S> {
+    /// Wraps `stream`, enforcing `max_body_bytes` per request.
+    pub fn new(stream: S, max_body_bytes: usize) -> RequestReader<S> {
+        let limit = (MAX_HEAD_BYTES + max_body_bytes) as u64;
+        RequestReader {
+            reader: BufReader::new(stream.take(limit)),
+            max_body_bytes,
+        }
+    }
+
+    /// Reads and parses the next request off the stream.
+    pub fn read(&mut self) -> Result<Request, ParseError> {
+        self.reader
+            .get_mut()
+            .set_limit((MAX_HEAD_BYTES + self.max_body_bytes) as u64);
+        parse_one(&mut self.reader, self.max_body_bytes)
+    }
+}
+
+/// Reads and parses one request from `stream`, enforcing `max_body_bytes`
+/// (the single-request entry point; connection loops use [`RequestReader`]).
 pub fn read_request(stream: impl Read, max_body_bytes: usize) -> Result<Request, ParseError> {
-    let mut reader = BufReader::new(stream.take((MAX_HEAD_BYTES + max_body_bytes) as u64));
+    RequestReader::new(stream, max_body_bytes).read()
+}
+
+fn parse_one(reader: &mut impl BufRead, max_body_bytes: usize) -> Result<Request, ParseError> {
     let mut line = String::new();
-    read_line(&mut reader, &mut line)?;
+    if let Err(err) = read_line(reader, &mut line) {
+        // A timeout on the request line with nothing buffered is an idle
+        // keep-alive connection, not a stalled request.
+        if let ParseError::Io(io_err) = &err {
+            if is_timeout(io_err.kind()) {
+                return Err(ParseError::TimedOut {
+                    mid_request: !line.is_empty(),
+                });
+            }
+        }
+        return Err(err);
+    }
     if line.is_empty() {
         return Err(ParseError::Closed);
     }
@@ -103,16 +192,24 @@ pub fn read_request(stream: impl Read, max_body_bytes: usize) -> Result<Request,
     let target = parts
         .next()
         .ok_or_else(|| ParseError::Malformed("request line has no path".into()))?;
-    match parts.next() {
-        Some(v) if v.starts_with("HTTP/1.") => {}
+    let http_10 = match parts.next() {
+        Some("HTTP/1.0") => true,
+        Some(v) if v.starts_with("HTTP/1.") => false,
         _ => return Err(ParseError::Malformed("expected an HTTP/1.x version".into())),
-    }
+    };
 
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
+    let mut keep_alive_token = false;
+    let mut close_token = false;
     let mut head_bytes = line.len();
     loop {
         let mut header = String::new();
-        read_line(&mut reader, &mut header)?;
+        read_line(reader, &mut header).map_err(|err| match err {
+            ParseError::Io(io_err) if is_timeout(io_err.kind()) => {
+                ParseError::TimedOut { mid_request: true }
+            }
+            other => other,
+        })?;
         head_bytes += header.len() + 2;
         if head_bytes > MAX_HEAD_BYTES {
             return Err(ParseError::Malformed("headers too large".into()));
@@ -125,13 +222,37 @@ pub fn read_request(stream: impl Read, max_body_bytes: usize) -> Result<Request,
                 "header without colon: `{header}`"
             )));
         };
-        if name.trim().eq_ignore_ascii_case("content-length") {
-            content_length = value
+        let name = name.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            let declared: usize = value
                 .trim()
                 .parse()
                 .map_err(|_| ParseError::Malformed("unreadable Content-Length".into()))?;
+            // Identical duplicates collapse; conflicting ones would let
+            // the peer and the server frame the body differently — fatal
+            // on a reused connection (request smuggling), so reject.
+            if content_length.is_some_and(|seen| seen != declared) {
+                return Err(ParseError::Malformed(
+                    "conflicting Content-Length headers".into(),
+                ));
+            }
+            content_length = Some(declared);
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return Err(ParseError::Malformed(
+                "Transfer-Encoding is not supported; send a Content-Length body".into(),
+            ));
+        } else if name.eq_ignore_ascii_case("connection") {
+            for token in value.split(',') {
+                let token = token.trim();
+                if token.eq_ignore_ascii_case("close") {
+                    close_token = true;
+                } else if token.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive_token = true;
+                }
+            }
         }
     }
+    let content_length = content_length.unwrap_or(0);
 
     if content_length > max_body_bytes {
         return Err(ParseError::BodyTooLarge {
@@ -143,6 +264,8 @@ pub fn read_request(stream: impl Read, max_body_bytes: usize) -> Result<Request,
     reader.read_exact(&mut body).map_err(|err| {
         if err.kind() == io::ErrorKind::UnexpectedEof {
             ParseError::Malformed("body shorter than Content-Length".into())
+        } else if is_timeout(err.kind()) {
+            ParseError::TimedOut { mid_request: true }
         } else {
             ParseError::Io(err)
         }
@@ -159,10 +282,13 @@ pub fn read_request(stream: impl Read, max_body_bytes: usize) -> Result<Request,
         path: path.to_string(),
         query,
         body,
+        close: close_token || (http_10 && !keep_alive_token),
     })
 }
 
 /// Reads one CRLF- (or LF-) terminated line, stripping the terminator.
+/// On error, bytes read before the failure remain in `out` (the timeout
+/// classification above depends on this).
 fn read_line(reader: &mut impl BufRead, out: &mut String) -> Result<(), ParseError> {
     reader.read_line(out).map_err(|err| {
         if err.kind() == io::ErrorKind::InvalidData {
@@ -247,17 +373,30 @@ impl Response {
         }
     }
 
-    /// Serializes status line, headers, and body to `out`.
-    pub fn write_to(&self, mut out: impl Write) -> io::Result<()> {
-        write!(
-            out,
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+    /// Serializes status line, headers, and body to `out`, announcing
+    /// whether the connection stays open. The `Content-Length` is always
+    /// exact — it is the response framing keep-alive clients rely on.
+    pub fn write_with(&self, mut out: impl Write, keep_alive: bool) -> io::Result<()> {
+        // Serialize into one buffer and emit a single write: streaming the
+        // format fragments straight into an unbuffered socket produces a
+        // burst of tiny segments, and on a keep-alive connection Nagle
+        // holds the last one until the peer's delayed ACK (~40ms stall).
+        let message = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n{}",
             self.status,
             reason(self.status),
             self.body.len(),
+            if keep_alive { "keep-alive" } else { "close" },
             self.body
-        )?;
+        );
+        out.write_all(message.as_bytes())?;
         out.flush()
+    }
+
+    /// Serializes status line, headers, and body to `out` with
+    /// `Connection: close` (the one-shot path).
+    pub fn write_to(&self, out: impl Write) -> io::Result<()> {
+        self.write_with(out, false)
     }
 }
 
@@ -269,6 +408,7 @@ pub fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         409 => "Conflict",
         413 => "Payload Too Large",
         422 => "Unprocessable Entity",
@@ -296,6 +436,7 @@ mod tests {
         assert_eq!(req.query_param("to"), Some("2"));
         assert_eq!(req.segments(), vec!["sessions", "alice", "diff"]);
         assert!(req.body.is_empty());
+        assert!(!req.close, "HTTP/1.1 defaults to keep-alive");
     }
 
     #[test]
@@ -309,6 +450,66 @@ mod tests {
         let req = parse(&raw).unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.body, body);
+    }
+
+    #[test]
+    fn connection_semantics_per_version_and_header() {
+        // HTTP/1.1: keep-alive unless `close` is sent.
+        assert!(!parse("GET /x HTTP/1.1\r\n\r\n").unwrap().close);
+        assert!(
+            parse("GET /x HTTP/1.1\r\nConnection: close\r\n\r\n")
+                .unwrap()
+                .close
+        );
+        // Token lists and case-insensitivity.
+        assert!(
+            parse("GET /x HTTP/1.1\r\nConnection: Keep-Alive, Close\r\n\r\n")
+                .unwrap()
+                .close
+        );
+        // HTTP/1.0: close unless `keep-alive` is sent.
+        assert!(parse("GET /x HTTP/1.0\r\n\r\n").unwrap().close);
+        assert!(
+            !parse("GET /x HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+                .unwrap()
+                .close
+        );
+    }
+
+    #[test]
+    fn conflicting_content_lengths_are_malformed() {
+        // Differing duplicates are a request-smuggling vector under
+        // keep-alive: the parser must not silently pick either value.
+        let raw = "POST /x HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 5\r\n\r\nabcde";
+        match parse(raw) {
+            Err(ParseError::Malformed(msg)) => {
+                assert!(msg.contains("Content-Length"), "{msg}");
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+        // Identical duplicates collapse to one.
+        let raw = "POST /x HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 3\r\n\r\nabc";
+        assert_eq!(parse(raw).unwrap().body, "abc");
+    }
+
+    #[test]
+    fn transfer_encoding_is_rejected() {
+        let raw = "POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n";
+        assert!(matches!(parse(raw), Err(ParseError::Malformed(_))));
+    }
+
+    #[test]
+    fn reader_parses_pipelined_requests_off_one_stream() {
+        let raw = "GET /a HTTP/1.1\r\n\r\nPOST /b HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi\
+                   GET /c HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let mut reader = RequestReader::new(raw.as_bytes(), 1024);
+        let a = reader.read().unwrap();
+        assert_eq!((a.path.as_str(), a.close), ("/a", false));
+        let b = reader.read().unwrap();
+        assert_eq!((b.path.as_str(), b.body.as_str()), ("/b", "hi"));
+        let c = reader.read().unwrap();
+        assert_eq!((c.path.as_str(), c.close), ("/c", true));
+        assert!(matches!(reader.read(), Err(ParseError::Closed)));
     }
 
     #[test]
@@ -340,6 +541,51 @@ mod tests {
         assert!(matches!(parse(""), Err(ParseError::Closed)));
     }
 
+    /// A reader that yields its script, then fails like an expired
+    /// `SO_RCVTIMEO` read forever after.
+    struct StallingStream<'a> {
+        data: &'a [u8],
+    }
+
+    impl Read for StallingStream<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.data.is_empty() {
+                return Err(io::Error::new(io::ErrorKind::WouldBlock, "timed out"));
+            }
+            let n = self.data.len().min(buf.len());
+            buf[..n].copy_from_slice(&self.data[..n]);
+            self.data = &self.data[n..];
+            Ok(n)
+        }
+    }
+
+    #[test]
+    fn timeout_classification_idle_vs_mid_request() {
+        // Nothing arrived: an idle keep-alive connection.
+        let mut reader = RequestReader::new(StallingStream { data: b"" }, 1024);
+        assert!(matches!(
+            reader.read(),
+            Err(ParseError::TimedOut { mid_request: false })
+        ));
+        // Half a request line: a stalled (slowloris) client.
+        let mut reader = RequestReader::new(StallingStream { data: b"GET /hea" }, 1024);
+        assert!(matches!(
+            reader.read(),
+            Err(ParseError::TimedOut { mid_request: true })
+        ));
+        // Headers arrived, body stalled.
+        let mut reader = RequestReader::new(
+            StallingStream {
+                data: b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nhal",
+            },
+            1024,
+        );
+        assert!(matches!(
+            reader.read(),
+            Err(ParseError::TimedOut { mid_request: true })
+        ));
+    }
+
     #[test]
     fn decodes_percent_escapes_per_segment() {
         let req = parse("GET /sessions/an%20alyst HTTP/1.1\r\n\r\n").unwrap();
@@ -361,6 +607,14 @@ mod tests {
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 404 Not Found\r\n"));
         assert!(text.contains("Content-Length: 13\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"error\":\"x\"}"));
+
+        let mut out = Vec::new();
+        Response::json(200, "{}")
+            .write_with(&mut out, true)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"));
     }
 }

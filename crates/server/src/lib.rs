@@ -12,17 +12,21 @@
 //!
 //! * [`json`] — JSON values, parser, and writer (shared with the
 //!   `bench_guard` regression gate).
-//! * [`http`] — minimal HTTP/1.1 request parsing and response writing
-//!   with a body-size cap.
+//! * [`http`] — minimal HTTP/1.1 with persistent (keep-alive)
+//!   connections, `Content-Length` framing, and a body-size cap.
 //! * [`wire`] — `IterationReport` / version-history / diff JSON views
 //!   and typed-edit request parsing.
 //! * [`routes`] — the endpoint table over
 //!   [`SessionManager`](helix_core::SessionManager) and the
 //!   `HelixError` → status-code mapping.
-//! * [`server`] — the `TcpListener` accept loop, bounded worker pool
-//!   (backpressure by early `503`), and graceful shutdown.
-//! * [`client`] — a tiny blocking client used by the examples, the
-//!   end-to-end tests, and the serving bench.
+//! * [`server`] — the `TcpListener` accept loop and bounded worker
+//!   pool; each worker serves a keep-alive request loop with read/write
+//!   timeouts (slowloris defense), overflow is shed with `503` by a
+//!   single bounded shedder, idle sessions are evicted on a TTL, and
+//!   shutdown joins every thread.
+//! * [`client`] — a blocking client (one-shot helpers plus a
+//!   persistent keep-alive `Client`) used by the examples, the
+//!   end-to-end tests, and the serving load harness.
 //!
 //! The wire protocol is documented endpoint-by-endpoint in
 //! `docs/API.md`; `examples/serve.rs` runs a live server.

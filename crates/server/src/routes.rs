@@ -17,6 +17,7 @@
 
 use crate::http::{ParseError, Request, Response};
 use crate::json::Json;
+use crate::server::ServerStats;
 use crate::wire;
 use helix_core::{HelixError, SessionHandle, SessionManager, Workflow};
 use std::collections::BTreeMap;
@@ -72,6 +73,7 @@ impl WorkflowRegistry {
 pub struct Api {
     manager: Arc<SessionManager>,
     registry: WorkflowRegistry,
+    server_stats: Option<Arc<ServerStats>>,
 }
 
 /// Maps an engine error to the documented status code: bad references
@@ -107,7 +109,11 @@ fn ok(body: Json) -> Response {
 impl Api {
     /// An API over `manager`, creating sessions from `registry`.
     pub fn new(manager: Arc<SessionManager>, registry: WorkflowRegistry) -> Api {
-        Api { manager, registry }
+        Api {
+            manager,
+            registry,
+            server_stats: None,
+        }
     }
 
     /// The underlying session manager.
@@ -115,10 +121,18 @@ impl Api {
         &self.manager
     }
 
+    /// Wires in the serving counters so `GET /stats` can report them.
+    /// Called by `Server::bind`; an API without stats (unit tests, the
+    /// in-process path) answers `/stats` with zeros.
+    pub fn attach_server_stats(&mut self, stats: Arc<ServerStats>) {
+        self.server_stats = Some(stats);
+    }
+
     /// Renders the response for one request-parse failure.
     pub fn parse_failure(err: &ParseError) -> Response {
         match err {
             ParseError::BodyTooLarge { .. } => error_body(413, err.to_string()),
+            ParseError::TimedOut { .. } => error_body(408, err.to_string()),
             _ => error_body(400, err.to_string()),
         }
     }
@@ -134,6 +148,7 @@ impl Api {
                 "workflows",
                 Json::Arr(self.registry.names().iter().map(Json::str).collect()),
             )])),
+            ("GET", ["stats"]) => self.stats(),
             ("GET", ["sessions"]) => self.list_sessions(),
             ("POST", ["sessions"]) => self.create_session(&req.body),
             ("GET", ["sessions", name]) => self.with_session(name, |s| Ok(self.session_info(s))),
@@ -145,7 +160,7 @@ impl Api {
             ("GET", ["sessions", name, "versions", id]) => self.version_detail(name, id),
             ("GET", ["sessions", name, "diff"]) => self.diff(name, req),
             ("GET", ["versions"]) => self.global_versions(),
-            (_, ["healthz" | "workflows" | "versions" | "sessions"])
+            (_, ["healthz" | "workflows" | "versions" | "sessions" | "stats"])
             | (_, ["sessions", _])
             | (_, ["sessions", _, "edits" | "iterate" | "workflow" | "versions" | "diff"])
             | (_, ["sessions", _, "versions", _]) => error_body(
@@ -363,6 +378,24 @@ impl Api {
         })
     }
 
+    /// `GET /stats`: serving counters plus the live session count. An
+    /// API never attached to a socket server reports zeroed counters.
+    fn stats(&self) -> Response {
+        let snap = self
+            .server_stats
+            .as_deref()
+            .map(ServerStats::snapshot)
+            .unwrap_or_else(|| ServerStats::default().snapshot());
+        ok(Json::obj([
+            ("connections", Json::Num(snap.connections as f64)),
+            ("requests", Json::Num(snap.requests as f64)),
+            ("shed", Json::Num(snap.shed as f64)),
+            ("shed_dropped", Json::Num(snap.shed_dropped as f64)),
+            ("sessions_evicted", Json::Num(snap.sessions_evicted as f64)),
+            ("sessions", Json::Num(self.manager.len() as f64)),
+        ]))
+    }
+
     fn global_versions(&self) -> Response {
         let versions = self.manager.engine().versions();
         ok(Json::obj([(
@@ -394,5 +427,7 @@ mod tests {
         assert_eq!(Api::parse_failure(&too_large).status, 413);
         let malformed = ParseError::Malformed("nope".into());
         assert_eq!(Api::parse_failure(&malformed).status, 400);
+        let stalled = ParseError::TimedOut { mid_request: true };
+        assert_eq!(Api::parse_failure(&stalled).status, 408);
     }
 }

@@ -73,6 +73,7 @@ fn serve(tag: &str) -> ServerHandle {
         ServerConfig {
             workers: 2,
             max_body_bytes: 4096,
+            ..Default::default()
         },
     )
     .unwrap()

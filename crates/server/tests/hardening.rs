@@ -1,0 +1,245 @@
+//! Serving hardening over real sockets: slowloris containment, bounded
+//! 503 shedding, per-connection request caps, and server-driven
+//! idle-session eviction. Each test pins a defense that keeps one
+//! misbehaving client from degrading every other analyst.
+
+use helix_core::ops::ExtractorKind;
+use helix_core::{EngineConfig, SessionManager, Workflow};
+use helix_server::client::{self, Client};
+use helix_server::routes::{Api, WorkflowRegistry};
+use helix_server::server::{Server, ServerConfig, ServerHandle};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("helix-hard-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn mini_workflow(dir: &Path) -> helix_core::Result<Workflow> {
+    let train = dir.join("train.csv");
+    let test = dir.join("test.csv");
+    if !train.exists() {
+        std::fs::write(&train, "BS,30,1\nMS,40,0\n".repeat(300)).unwrap();
+        std::fs::write(&test, "BS,35,1\nMS,45,0\n".repeat(60)).unwrap();
+    }
+    let mut w = Workflow::new("mini");
+    let data = w.csv_source("data", &train, Some(&test))?;
+    let rows = w.csv_scanner(
+        "rows",
+        &data,
+        &[
+            ("edu", helix_dataflow::DataType::Str),
+            ("age", helix_dataflow::DataType::Int),
+            ("target", helix_dataflow::DataType::Int),
+        ],
+    )?;
+    let edu = w.field_extractor("edu_f", &rows, "edu", ExtractorKind::Categorical)?;
+    let age = w.field_extractor("age_f", &rows, "age", ExtractorKind::Numeric)?;
+    let target = w.field_extractor("target_f", &rows, "target", ExtractorKind::Numeric)?;
+    let income = w.assemble("income", &rows, &[&edu, &age], &target)?;
+    let preds = w.learner("predictions", &income, Default::default())?;
+    let checked = w.evaluate("checked", &preds, Default::default())?;
+    w.output(&checked);
+    Ok(w)
+}
+
+fn serve(tag: &str, config: ServerConfig) -> ServerHandle {
+    let dir = tmpdir(tag);
+    let manager =
+        Arc::new(SessionManager::with_config(EngineConfig::helix(dir.join("store"))).unwrap());
+    let mut registry = WorkflowRegistry::new();
+    registry.register("mini", move || mini_workflow(&dir));
+    Server::bind(("127.0.0.1", 0), Api::new(manager, registry), config).unwrap()
+}
+
+/// The slowloris regression (pre-PR, `handle_connection` had no read
+/// timeout): a client that sends half a request and stalls must not
+/// starve other analysts — with a single worker, the healthy client is
+/// served as soon as the stalled connection times out, and the stalled
+/// peer itself gets a `408`.
+#[test]
+fn slowloris_client_cannot_starve_other_analysts() {
+    let mut server = serve(
+        "slowloris",
+        ServerConfig {
+            workers: 1,
+            read_timeout: Duration::from_millis(500),
+            ..Default::default()
+        },
+    );
+    let addr = server.addr();
+
+    // Half a request, then silence: the single worker is now pinned —
+    // but only until the read timeout.
+    let mut stalled = TcpStream::connect(addr).unwrap();
+    stalled.write_all(b"GET /heal").unwrap();
+    stalled.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+
+    let started = Instant::now();
+    let healthy = client::get(addr, "/healthz").unwrap();
+    assert_eq!(
+        healthy.status, 200,
+        "a stalled client must not block other analysts"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "healthy request took {:?} behind a slowloris peer",
+        started.elapsed()
+    );
+
+    // The stalled peer was answered 408 (mid-request timeout), not
+    // silently dropped.
+    stalled
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut answer = String::new();
+    let _ = stalled.read_to_string(&mut answer);
+    assert!(
+        answer.starts_with("HTTP/1.1 408"),
+        "stalled mid-request peer should see 408, got: {answer:?}"
+    );
+    server.shutdown();
+}
+
+/// An idle keep-alive connection (no request bytes at all) is closed
+/// silently at the read timeout — no 408, just EOF — freeing the worker.
+#[test]
+fn idle_keepalive_connection_is_closed_silently() {
+    let mut server = serve(
+        "idle-close",
+        ServerConfig {
+            read_timeout: Duration::from_millis(300),
+            ..Default::default()
+        },
+    );
+    let mut conn = TcpStream::connect(server.addr()).unwrap();
+    conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    let mut out = Vec::new();
+    let n = conn.read_to_end(&mut out).unwrap();
+    assert_eq!(n, 0, "idle connection should see plain EOF, got {out:?}");
+    server.shutdown();
+}
+
+/// Overload shedding answers `503` from one long-lived shedder thread
+/// (pre-PR: a detached thread per shed connection) and counts every
+/// shed in `/stats`.
+#[test]
+fn overload_sheds_deterministic_503s_and_counts_them() {
+    let mut server = serve(
+        "shed",
+        ServerConfig {
+            workers: 1,
+            queue_depth: 1,
+            read_timeout: Duration::from_secs(2),
+            ..Default::default()
+        },
+    );
+    let addr = server.addr();
+
+    // Pin the only worker with a stalled half-request for read_timeout.
+    let mut stalled = TcpStream::connect(addr).unwrap();
+    stalled.write_all(b"GET /heal").unwrap();
+    stalled.flush().unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Occupy the one queue slot with a healthy request; it is served
+    // once the stalled connection times out.
+    let queued = std::thread::spawn(move || client::get(addr, "/healthz").unwrap());
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Worker pinned + queue full: these four must all shed with 503.
+    let mut shed_statuses = Vec::new();
+    for _ in 0..4 {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        conn.shutdown(std::net::Shutdown::Write).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut raw = String::new();
+        let _ = conn.read_to_string(&mut raw);
+        shed_statuses.push(raw.lines().next().unwrap_or_default().to_string());
+    }
+    for status in &shed_statuses {
+        assert!(
+            status.starts_with("HTTP/1.1 503"),
+            "expected 503 shed, got {status:?} (all: {shed_statuses:?})"
+        );
+    }
+
+    let queued = queued.join().unwrap();
+    assert_eq!(queued.status, 200, "queued request served after the stall");
+
+    let stats = client::get(addr, "/stats").unwrap().expect_ok();
+    assert_eq!(
+        stats.get("shed").and_then(|v| v.as_f64()),
+        Some(4.0),
+        "every shed connection must be counted: {stats}"
+    );
+    assert_eq!(server.stats().shed, 4);
+    assert_eq!(server.stats().shed_dropped, 0);
+    server.shutdown();
+}
+
+/// The per-connection request cap bounds how long one analyst can pin a
+/// worker: the capped response carries `Connection: close` and the
+/// keep-alive client transparently reconnects.
+#[test]
+fn request_cap_closes_and_client_reconnects() {
+    let mut server = serve(
+        "reqcap",
+        ServerConfig {
+            max_requests_per_connection: 2,
+            ..Default::default()
+        },
+    );
+    let mut client = Client::new(server.addr());
+    for _ in 0..4 {
+        assert_eq!(client.get("/healthz").unwrap().status, 200);
+    }
+    assert_eq!(
+        client.connects(),
+        2,
+        "4 requests at a cap of 2 should use exactly 2 connections"
+    );
+    server.shutdown();
+}
+
+/// With `session_ttl` configured, a session left idle past the TTL is
+/// evicted server-side: the name 404s afterwards and the eviction is
+/// counted in `/stats`.
+#[test]
+fn idle_sessions_are_evicted_over_the_wire() {
+    let mut server = serve(
+        "evict",
+        ServerConfig {
+            session_ttl: Some(Duration::from_millis(300)),
+            ..Default::default()
+        },
+    );
+    let addr = server.addr();
+    let created = client::post(addr, "/sessions", r#"{"name":"ghost","workflow":"mini"}"#).unwrap();
+    assert_eq!(created.status, 201);
+    assert_eq!(client::get(addr, "/sessions/ghost").unwrap().status, 200);
+
+    // Leave it idle well past the TTL (the evictor wakes every TTL/4).
+    std::thread::sleep(Duration::from_millis(1200));
+    assert_eq!(
+        client::get(addr, "/sessions/ghost").unwrap().status,
+        404,
+        "idle session should have been evicted"
+    );
+    let stats = client::get(addr, "/stats").unwrap().expect_ok();
+    assert_eq!(
+        stats.get("sessions_evicted").and_then(|v| v.as_f64()),
+        Some(1.0),
+        "eviction must be counted: {stats}"
+    );
+    server.shutdown();
+}

@@ -89,6 +89,27 @@ pub fn flush_json_results() {
     );
 }
 
+/// Records a directly measured metric under `id` — a latency percentile,
+/// a counter — into the `HELIX_BENCH_JSON` results alongside the timed
+/// benchmarks (min/median/mean all carry `value_ns`, `samples` is 1).
+/// Load harnesses that compute their own statistics over many requests
+/// use this to expose them to the `bench_guard` gate. Not part of the
+/// real criterion API.
+pub fn record_metric(id: impl Into<String>, value_ns: u128) {
+    let id = id.into();
+    println!(
+        "{id:<48} metric: {}",
+        format_duration(Duration::from_nanos(value_ns as u64))
+    );
+    record_json(JsonRecord {
+        id,
+        min_ns: value_ns,
+        median_ns: value_ns,
+        mean_ns: value_ns,
+        samples: 1,
+    });
+}
+
 /// Re-export of `std::hint::black_box` under criterion's name.
 pub fn black_box<T>(x: T) -> T {
     std_black_box(x)
@@ -281,6 +302,13 @@ impl Criterion {
     pub fn sample_size(mut self, n: usize) -> Self {
         self.default_sample_size = n.max(1);
         self
+    }
+
+    /// Whether `--test` was passed (`cargo test --benches`): benchmarks
+    /// run once, untimed. Load harnesses with their own driving loops
+    /// check this to shrink to a smoke run.
+    pub fn is_test_mode(&self) -> bool {
+        self.test_mode
     }
 
     /// Opens a named benchmark group.

@@ -13,7 +13,7 @@ use helix::core::ops::ExtractorKind;
 use helix::core::session::LearnerParam;
 use helix::core::{Engine, EngineConfig, MaterializationPolicyKind, SessionManager, Workflow};
 use helix::dataflow::DataType;
-use helix::server::client;
+use helix::server::client::{self, Client};
 use helix::server::json::Json;
 use helix::server::routes::{Api, WorkflowRegistry};
 use helix::server::server::{Server, ServerConfig};
@@ -273,6 +273,172 @@ fn socket_loop_matches_in_process_sequential() {
 #[test]
 fn socket_loop_matches_in_process_default_parallelism() {
     socket_loop_matches_in_process(None, "par");
+}
+
+/// The keep-alive analyst loop: one persistent connection drives
+/// create→edit→iterate→history end to end, while a `Connection: close`
+/// client interleaves one-shot requests — and the keep-alive connection
+/// is provably reused (exactly one TCP connect for the whole loop).
+fn keepalive_session_loop(parallelism: Option<usize>, tag: &str) {
+    let dir = tmpdir(tag);
+    let manager = Arc::new(SessionManager::new(Arc::new(
+        Engine::new(config(dir.join("store"), parallelism)).unwrap(),
+    )));
+    let mut registry = WorkflowRegistry::new();
+    {
+        let dir = dir.clone();
+        registry.register("census-mini", move || workflow(&dir));
+    }
+    let mut server = Server::bind(
+        ("127.0.0.1", 0),
+        Api::new(Arc::clone(&manager), registry),
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    let mut analyst = Client::new(addr);
+    let created = analyst
+        .post("/sessions", r#"{"name":"alice","workflow":"census-mini"}"#)
+        .unwrap()
+        .expect_ok();
+    assert_eq!(created.get("name").unwrap().as_str(), Some("alice"));
+    let first = analyst
+        .post("/sessions/alice/iterate", "")
+        .unwrap()
+        .expect_ok();
+    assert_eq!(first.get("iteration").unwrap().as_u64(), Some(0));
+
+    // A one-shot Connection: close client interleaves mid-loop.
+    assert_eq!(client::get(addr, "/healthz").unwrap().status, 200);
+
+    analyst
+        .post(
+            "/sessions/alice/edits",
+            r#"{"kind":"set_learner_param","learner":"predictions","param":"reg_param","value":0.9}"#,
+        )
+        .unwrap()
+        .expect_ok();
+    let second = analyst
+        .post("/sessions/alice/iterate", "")
+        .unwrap()
+        .expect_ok();
+    assert_eq!(second.get("iteration").unwrap().as_u64(), Some(1));
+    assert!(
+        second.get("loaded").unwrap().as_u64().unwrap() > 0,
+        "the ML-only edit must reuse pre-processing over a kept-alive connection"
+    );
+    let history = analyst.get("/sessions/alice/versions").unwrap().expect_ok();
+    assert_eq!(
+        history.get("versions").unwrap().as_array().unwrap().len(),
+        2
+    );
+    assert_eq!(
+        analyst.connects(),
+        1,
+        "the whole analyst loop must ride one TCP connection"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn keepalive_session_loop_sequential() {
+    keepalive_session_loop(Some(1), "ka-seq");
+}
+
+#[test]
+fn keepalive_session_loop_default_parallelism() {
+    keepalive_session_loop(None, "ka-par");
+}
+
+/// Wire framing, asserted against raw bytes: responses carry an exact
+/// `Content-Length`, a kept-alive connection serves a second request,
+/// and a `Connection: close` response is final (EOF, no reuse).
+#[test]
+fn response_framing_and_close_semantics_on_raw_sockets() {
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    let dir = tmpdir("framing");
+    let manager = Arc::new(SessionManager::new(Arc::new(
+        Engine::new(EngineConfig::helix(dir.join("store"))).unwrap(),
+    )));
+    let mut server = Server::bind(
+        ("127.0.0.1", 0),
+        Api::new(manager, WorkflowRegistry::new()),
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    let stream = std::net::TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .unwrap();
+    let mut reader = BufReader::new(stream);
+
+    // Reads one response off the connection, asserting exact framing;
+    // returns (status line, Connection header value, body).
+    let read_response = |reader: &mut BufReader<std::net::TcpStream>| {
+        let mut status = String::new();
+        reader.read_line(&mut status).unwrap();
+        let mut content_length: Option<usize> = None;
+        let mut connection = String::new();
+        loop {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                match name.to_ascii_lowercase().as_str() {
+                    "content-length" => content_length = Some(value.trim().parse().unwrap()),
+                    "connection" => connection = value.trim().to_string(),
+                    _ => {}
+                }
+            }
+        }
+        let len = content_length.expect("every response must declare Content-Length");
+        let mut body = vec![0u8; len];
+        reader.read_exact(&mut body).unwrap();
+        let body = String::from_utf8(body).unwrap();
+        assert_eq!(body.len(), len, "Content-Length must be exact");
+        Json::parse(&body).expect("body must be complete, valid JSON");
+        (status.trim_end().to_string(), connection, body)
+    };
+
+    // Request 1: keep-alive by default under HTTP/1.1.
+    reader
+        .get_mut()
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        .unwrap();
+    let (status, connection, _) = read_response(&mut reader);
+    assert!(status.starts_with("HTTP/1.1 200"));
+    assert_eq!(connection, "keep-alive");
+
+    // Request 2 on the same connection proves reuse.
+    reader
+        .get_mut()
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        .unwrap();
+    let (status, connection, _) = read_response(&mut reader);
+    assert!(status.starts_with("HTTP/1.1 200"));
+    assert_eq!(connection, "keep-alive");
+
+    // Request 3 asks to close: the response says so, and the connection
+    // is not reusable afterwards — the next read sees clean EOF.
+    reader
+        .get_mut()
+        .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let (status, connection, _) = read_response(&mut reader);
+    assert!(status.starts_with("HTTP/1.1 200"));
+    assert_eq!(connection, "close");
+    let mut rest = Vec::new();
+    let n = reader.read_to_end(&mut rest).unwrap();
+    assert_eq!(n, 0, "no reuse after Connection: close, got {rest:?}");
+
+    server.shutdown();
 }
 
 /// Several remote analysts in flight at once: concurrent socket sessions
