@@ -1,0 +1,115 @@
+//! Durability overhead on the store's put path, and recovery (reopen)
+//! cost.
+//!
+//! Two groups:
+//!
+//! * `durability_put` — one materialization (encode + write + rename +
+//!   ledger commit) of a fixed ~8 KB collection under each durability
+//!   setting: `volatile` (no WAL), `wal_nosync` (logged, OS-buffered),
+//!   and `wal_fsync` (logged, fsync'd per record). The CI gate holds the
+//!   `volatile` row within 1.05x of the committed baseline — the durable
+//!   tier must cost nothing when switched off — and asserts
+//!   volatile ≤ wal_fsync within the run (the fsync tax is real, so if
+//!   the ordering inverts the measurement is broken).
+//! * `durability_recovery` — wall time of `StoreOptions::open` over a
+//!   WAL directory holding several hundred committed entries: the
+//!   restart latency a served deployment pays before it can answer.
+//!
+//! Run with `cargo bench -p helix-bench --bench durability`. Set
+//! `HELIX_BENCH_FAST=1` for the reduced CI configuration and
+//! `HELIX_BENCH_JSON=path.json` to capture machine-readable results.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use helix_core::signature::Signature;
+use helix_core::store::{Durability, StoreOptions};
+use helix_core::NodeOutput;
+use helix_dataflow::{DataCollection, DataType, Row, Schema, Value};
+use std::path::PathBuf;
+
+fn fast_mode() -> bool {
+    std::env::var_os("HELIX_BENCH_FAST").is_some_and(|v| v != "0")
+}
+
+fn bench_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("helix-bench-durab-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A ~8 KB collection: big enough that encode/write dominate fixed
+/// syscall overhead, small enough that thousands of puts fit any runner.
+fn payload() -> NodeOutput {
+    let schema = Schema::of(&[("x", DataType::Int), ("y", DataType::Float)]);
+    let rows = (0..500)
+        .map(|i| Row(vec![Value::Int(i), Value::Float(i as f64 * 0.5)]))
+        .collect();
+    NodeOutput::Data(DataCollection::new(schema, rows).unwrap())
+}
+
+fn bench_durability(c: &mut Criterion) {
+    let samples = if fast_mode() { 10 } else { 20 };
+
+    let mut group = c.benchmark_group("durability_put");
+    group.sample_size(samples);
+    for (label, durability) in [
+        ("volatile", Durability::Volatile),
+        ("wal_nosync", Durability::wal_nosync()),
+        ("wal_fsync", Durability::wal()),
+    ] {
+        let store = StoreOptions::new(bench_dir(&format!("put-{label}")))
+            .budget_bytes(1 << 30)
+            .durability(durability)
+            .open()
+            .unwrap();
+        let output = payload();
+        // Fresh signatures per put: every sample is a first-time
+        // materialization, never an overwrite.
+        let mut next_sig = 1u64;
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                next_sig += 1;
+                store.put(Signature(next_sig), &output).unwrap()
+            })
+        });
+    }
+    group.finish();
+
+    // Reopen cost over a populated WAL directory. The first open compacts
+    // the log into the snapshot, so steady state (what the samples
+    // measure) is a snapshot load plus an empty-tail replay.
+    let mut group = c.benchmark_group("durability_recovery");
+    group.sample_size(samples);
+    let entries = if fast_mode() { 128u64 } else { 512 };
+    let dir = bench_dir("recovery");
+    {
+        let store = StoreOptions::new(&dir)
+            .budget_bytes(1 << 30)
+            .durability(Durability::wal_nosync())
+            .open()
+            .unwrap();
+        let output = payload();
+        for sig in 1..=entries {
+            store.put(Signature(sig), &output).unwrap();
+        }
+    }
+    group.bench_with_input(
+        BenchmarkId::new("open", entries),
+        &entries,
+        |b, &entries| {
+            b.iter(|| {
+                let store = StoreOptions::new(&dir)
+                    .budget_bytes(1 << 30)
+                    .durability(Durability::wal_nosync())
+                    .open()
+                    .unwrap();
+                assert_eq!(store.len(), entries as usize);
+                store
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_durability);
+criterion_main!(benches);

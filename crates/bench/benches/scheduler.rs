@@ -36,7 +36,7 @@ use helix_core::compiler::compile;
 use helix_core::cost::CostModel;
 use helix_core::recompute::RecomputationPolicy;
 use helix_core::scheduler::execute_plan_with;
-use helix_core::store::IntermediateStore;
+use helix_core::store::StoreOptions;
 use helix_core::{Engine, EngineConfig, ExecStrategy, LearnerParam, Session, Workflow};
 use helix_workloads::census::{census_workflow, generate_census, CensusDataSpec, CensusParams};
 use helix_workloads::ie::{ie_workflow, IeParams};
@@ -202,7 +202,10 @@ fn bench_scheduler(c: &mut Criterion) {
     for (tag, workflow) in &workloads {
         let store_dir = bench_dir(&format!("exec-{tag}"));
         let _ = std::fs::remove_dir_all(&store_dir);
-        let store = IntermediateStore::open(&store_dir, 1 << 30).unwrap();
+        let store = StoreOptions::new(&store_dir)
+            .budget_bytes(1 << 30)
+            .open()
+            .unwrap();
         let cm = CostModel::new();
         let plan = compile(workflow, &store, &cm, RecomputationPolicy::Optimal, None).unwrap();
         for (label, strategy) in [

@@ -158,7 +158,10 @@ mod tests {
     fn tmp_store(tag: &str) -> IntermediateStore {
         let dir = std::env::temp_dir().join(format!("helix-compile-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        IntermediateStore::open(dir, 1 << 24).unwrap()
+        crate::store::StoreOptions::new(dir)
+            .budget_bytes(1 << 24)
+            .open()
+            .unwrap()
     }
 
     fn census_like() -> Workflow {

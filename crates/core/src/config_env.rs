@@ -1,0 +1,82 @@
+//! One home for every `HELIX_*` environment knob.
+//!
+//! The engine used to read `std::env::var` at scattered call sites; this
+//! module is now the only place core consults the environment, and
+//! [`crate::EngineConfig::from_env`] is the documented entry point that
+//! folds every knob into a config at once. The knob table lives in
+//! docs/API.md § "Environment variables".
+//!
+//! | Variable              | Meaning                                   |
+//! |-----------------------|-------------------------------------------|
+//! | `HELIX_PARALLELISM`   | Worker threads (≥ 1); default = cores     |
+//! | `HELIX_STORE_SHARDS`  | Store shard count (≥ 1); default = 16     |
+//! | `HELIX_PARTITION_ROWS`| Rows per operator partition (≥ 1)         |
+//! | `HELIX_DURABILITY`    | `volatile` \| `wal` \| `wal-nosync`       |
+
+use crate::store::{Durability, DEFAULT_STORE_SHARDS};
+
+/// Parses an environment variable as a positive integer; `None` when
+/// unset, unparseable, or zero.
+fn positive(var: &str) -> Option<usize> {
+    std::env::var(var)
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+}
+
+/// `HELIX_PARALLELISM`, defaulting to the machine's available
+/// parallelism. (The CI equivalence matrix forces `1` and `2` this way.)
+pub fn parallelism() -> usize {
+    positive("HELIX_PARALLELISM").unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// `HELIX_STORE_SHARDS`, defaulting to
+/// [`crate::store::DEFAULT_STORE_SHARDS`].
+pub fn store_shards() -> usize {
+    positive("HELIX_STORE_SHARDS").unwrap_or(DEFAULT_STORE_SHARDS)
+}
+
+/// `HELIX_PARTITION_ROWS`, defaulting to
+/// [`DEFAULT_PARTITION_ROWS`](crate::scheduler::DEFAULT_PARTITION_ROWS).
+pub fn partition_rows() -> usize {
+    positive("HELIX_PARTITION_ROWS").unwrap_or(crate::scheduler::DEFAULT_PARTITION_ROWS)
+}
+
+/// `HELIX_DURABILITY` (`volatile` | `wal` | `wal-nosync`), defaulting to
+/// [`Durability::Volatile`]. An unrecognized value warns and falls back
+/// to volatile rather than refusing to start.
+pub fn durability() -> Durability {
+    match std::env::var("HELIX_DURABILITY") {
+        Ok(value) => Durability::from_env_value(&value).unwrap_or_else(|| {
+            eprintln!(
+                "helix: unrecognized HELIX_DURABILITY value `{value}` \
+                 (expected volatile | wal | wal-nosync); using volatile"
+            );
+            Durability::Volatile
+        }),
+        Err(_) => Durability::Volatile,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durability_values_parse() {
+        assert_eq!(
+            Durability::from_env_value("volatile"),
+            Some(Durability::Volatile)
+        );
+        assert_eq!(Durability::from_env_value("WAL"), Some(Durability::wal()));
+        assert_eq!(
+            Durability::from_env_value("wal-nosync"),
+            Some(Durability::wal_nosync())
+        );
+        assert_eq!(Durability::from_env_value("bogus"), None);
+    }
+}

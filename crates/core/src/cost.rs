@@ -154,6 +154,51 @@ impl CostModel {
     pub fn observed_nodes(&self) -> usize {
         self.compute_secs.len()
     }
+
+    /// Every `(node name, EMA seconds)` compute observation — the state
+    /// the durable tier persists so cost history accumulates across
+    /// restarts (see `crate::persist`).
+    pub fn compute_observations(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.compute_secs.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Current fixed-latency estimate (seconds), exposed for persistence.
+    pub fn io_latency_sec(&self) -> f64 {
+        self.io_latency_sec
+    }
+
+    /// Current encode-ratio estimate, exposed for persistence.
+    pub fn encode_ratio(&self) -> f64 {
+        self.encode_ratio
+    }
+
+    /// Rebuilds a model from persisted state (the inverse of the
+    /// accessors above). Non-finite or non-positive disk parameters fall
+    /// back to the defaults so a corrupt state file cannot wedge the
+    /// optimizer.
+    pub fn from_parts(
+        observations: impl IntoIterator<Item = (String, f64)>,
+        bytes_per_sec: f64,
+        io_latency_sec: f64,
+        encode_ratio: f64,
+    ) -> CostModel {
+        let mut model = CostModel::new();
+        if bytes_per_sec.is_finite() && bytes_per_sec > 0.0 {
+            model.bytes_per_sec = bytes_per_sec;
+        }
+        if io_latency_sec.is_finite() && io_latency_sec >= 0.0 {
+            model.io_latency_sec = io_latency_sec;
+        }
+        if encode_ratio.is_finite() && encode_ratio > 0.0 {
+            model.encode_ratio = encode_ratio;
+        }
+        for (name, secs) in observations {
+            if secs.is_finite() && secs >= 0.0 {
+                model.compute_secs.insert(name, secs);
+            }
+        }
+        model
+    }
 }
 
 /// Converts seconds to the microsecond integers used by the PSP reduction.

@@ -22,7 +22,7 @@ use crate::recompute::RecomputationPolicy;
 use crate::report::{IterationReport, NodeReport};
 use crate::scheduler;
 use crate::signature::{snapshot, ChangeKind, Signature};
-use crate::store::IntermediateStore;
+use crate::store::{Durability, IntermediateStore, RecoveryInfo, StoreOptions};
 use crate::version::VersionStore;
 use crate::workflow::Workflow;
 use crate::{HelixError, Result};
@@ -67,6 +67,13 @@ pub struct EngineConfig {
     /// performance knob — outputs, reports, and errors are identical at
     /// every setting; see `docs/PERFORMANCE.md` for tuning guidance.
     pub partition_rows: usize,
+    /// Durability tier for the store and the engine's cross-run state
+    /// (cost model, version history, session records). The default comes
+    /// from `HELIX_DURABILITY` (falling back to
+    /// [`Durability::Volatile`]); under a WAL tier a reopened engine
+    /// resumes every session's lineage — see `docs/ARCHITECTURE.md`,
+    /// "Durability".
+    pub durability: Durability,
 }
 
 impl EngineConfig {
@@ -81,7 +88,27 @@ impl EngineConfig {
             parallelism: scheduler::default_parallelism(),
             store_shards: crate::store::default_store_shards(),
             partition_rows: scheduler::default_partition_rows(),
+            durability: crate::config_env::durability(),
         }
+    }
+
+    /// The documented environment entry point: a full Helix configuration
+    /// rooted at `store_dir` with every runtime knob drawn from the
+    /// environment via [`crate::config_env`]. The knobs (one table in
+    /// `docs/API.md`):
+    ///
+    /// | Variable | Field |
+    /// |---|---|
+    /// | `HELIX_PARALLELISM` | [`EngineConfig::parallelism`] |
+    /// | `HELIX_STORE_SHARDS` | [`EngineConfig::store_shards`] |
+    /// | `HELIX_PARTITION_ROWS` | [`EngineConfig::partition_rows`] |
+    /// | `HELIX_DURABILITY` | [`EngineConfig::durability`] |
+    ///
+    /// [`EngineConfig::helix`] reads the same knobs; `from_env` is the
+    /// spelled-out alias that makes the env dependency explicit at the
+    /// call site.
+    pub fn from_env(store_dir: impl Into<PathBuf>) -> Self {
+        Self::helix(store_dir)
     }
 
     /// Sets the storage budget.
@@ -105,6 +132,12 @@ impl EngineConfig {
     /// Sets the partition threshold (clamped to ≥ 1).
     pub fn with_partition_rows(mut self, rows: usize) -> Self {
         self.partition_rows = rows.max(1);
+        self
+    }
+
+    /// Sets the durability tier.
+    pub fn with_durability(mut self, durability: Durability) -> Self {
+        self.durability = durability;
         self
     }
 }
@@ -149,6 +182,41 @@ impl Lineage {
             .flat_map(|prev| prev.values().map(|&(_, sig)| sig))
             .collect()
     }
+
+    /// The previous iteration's signature snapshot, for persistence.
+    pub(crate) fn previous_map(&self) -> Option<&FxHashMap<String, (u64, Signature)>> {
+        self.previous.as_ref()
+    }
+
+    /// Rebuilds a lineage from persisted state (the inverse of
+    /// [`Lineage::previous_map`] + [`Lineage::iteration`]).
+    pub(crate) fn from_parts(
+        iteration: usize,
+        previous: Option<FxHashMap<String, (u64, Signature)>>,
+    ) -> Lineage {
+        Lineage {
+            previous,
+            iteration,
+        }
+    }
+}
+
+/// What [`Engine::new`] recovered from a durable store directory: the
+/// store-level WAL replay outcome plus the engine-level state reloaded
+/// from the meta file. All zeros for volatile engines and fresh
+/// directories.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineRecovery {
+    /// The store's WAL replay and verification counters.
+    pub store: RecoveryInfo,
+    /// Versions reloaded into the global history.
+    pub recovered_versions: usize,
+    /// Cost-model compute observations reloaded.
+    pub recovered_cost_observations: usize,
+    /// Whether an engine meta file existed but could not be parsed — the
+    /// engine warned and started with fresh cost/version state (the
+    /// store's entries still recovered independently).
+    pub meta_corrupted: bool,
 }
 
 /// Per-run options for [`Engine::run_in`].
@@ -229,25 +297,98 @@ pub struct Engine {
     default_lineage: Mutex<Lineage>,
     /// Serializes [`Engine::run`] calls (they share one lineage).
     default_run_gate: Mutex<()>,
+    /// What this engine recovered at open (all zeros when volatile).
+    recovery: EngineRecovery,
+    /// Serializes engine-meta snapshot writes so concurrent runs never
+    /// interleave two atomic replacements out of order.
+    persist_gate: Mutex<()>,
 }
 
 impl Engine {
     /// Opens an engine (and its store) under the configured directory.
+    ///
+    /// Under a durable [`EngineConfig::durability`] tier this is the
+    /// recovery path: the store replays its WAL, and the engine reloads
+    /// its cost-model observations and global version history from
+    /// `<store_dir>/meta/engine.json`. A corrupt meta file is warned
+    /// about and ignored (fresh cost/version state) — open never refuses
+    /// to start; see [`Engine::recovery`] for what was reloaded.
     pub fn new(config: EngineConfig) -> Result<Engine> {
-        let store = IntermediateStore::open_with_shards(
-            &config.store_dir,
-            config.storage_budget_bytes,
-            config.store_shards,
-        )?;
+        let store = StoreOptions::new(&config.store_dir)
+            .budget_bytes(config.storage_budget_bytes)
+            .shards(config.store_shards)
+            .durability(config.durability)
+            .open()?;
+        let mut recovery = EngineRecovery {
+            store: store.recovery(),
+            ..EngineRecovery::default()
+        };
+        let mut cost_model = CostModel::new();
+        let mut versions = VersionStore::new();
+        if config.durability.is_durable() {
+            crate::persist::sweep_tmp(&crate::persist::meta_dir(&config.store_dir));
+            crate::persist::sweep_tmp(&crate::persist::sessions_dir(&config.store_dir));
+            let path = crate::persist::engine_meta_path(&config.store_dir);
+            match crate::persist::load_engine_meta(&path) {
+                Ok(Some(meta)) => {
+                    recovery.recovered_cost_observations = meta.cost.observed_nodes();
+                    recovery.recovered_versions = meta.versions.len();
+                    cost_model = meta.cost;
+                    versions = VersionStore::from_versions(meta.versions);
+                }
+                Ok(None) => {}
+                Err(err) => {
+                    eprintln!("helix: warning: ignoring corrupt engine meta: {err}");
+                    recovery.meta_corrupted = true;
+                }
+            }
+        }
         Ok(Engine {
             config,
             store,
             pool: std::sync::Arc::new(crate::pool::WorkerPool::new()),
-            cost_model: Mutex::new(CostModel::new()),
-            versions: Mutex::new(VersionStore::new()),
+            cost_model: Mutex::new(cost_model),
+            versions: Mutex::new(versions),
             default_lineage: Mutex::new(Lineage::new()),
             default_run_gate: Mutex::new(()),
+            recovery,
+            persist_gate: Mutex::new(()),
         })
+    }
+
+    /// What this engine recovered when it opened: store WAL counters plus
+    /// reloaded version/cost state. All zeros for volatile engines.
+    pub fn recovery(&self) -> EngineRecovery {
+        self.recovery
+    }
+
+    /// Forces a durability checkpoint now: compacts every store WAL shard
+    /// into a snapshot and atomically rewrites the engine meta file. A
+    /// no-op for volatile engines. (Runs also checkpoint the meta file
+    /// automatically after every recorded iteration; this entry point
+    /// exists for the server's `POST /admin/snapshot` and orderly
+    /// shutdowns.)
+    pub fn snapshot_now(&self) -> Result<()> {
+        self.store.snapshot_now()?;
+        self.persist_meta();
+        Ok(())
+    }
+
+    /// Atomically rewrites `<store_dir>/meta/engine.json` with the
+    /// current cost model and version history. Failures warn rather than
+    /// error: persistence must never fail a run that already committed
+    /// its results (the next successful checkpoint heals the file).
+    fn persist_meta(&self) {
+        if !self.config.durability.is_durable() {
+            return;
+        }
+        let _gate = lock(&self.persist_gate);
+        let cost = lock(&self.cost_model).clone();
+        let versions = lock(&self.versions).clone();
+        let path = crate::persist::engine_meta_path(&self.config.store_dir);
+        if let Err(err) = crate::persist::save_engine_meta(&path, &cost, &versions) {
+            eprintln!("helix: warning: failed to persist engine meta: {err}");
+        }
     }
 
     /// The global version history across all sessions and direct runs
@@ -492,6 +633,10 @@ impl Engine {
         lock(&self.versions).record(&report);
         lineage.previous = Some(snapshot(workflow, &plan.signatures));
         lineage.iteration += 1;
+        // Checkpoint the engine-level durable state after the iteration
+        // is fully recorded (store entries already hit the WAL inside
+        // `put`). Best-effort by design — see `persist_meta`.
+        self.persist_meta();
         Ok(report)
     }
 
@@ -881,6 +1026,93 @@ mod tests {
         );
         assert!(engine.cost_model().compute_estimate_secs("boom").is_none());
         assert_eq!(engine.versions().len(), 0, "failed runs record no version");
+    }
+
+    #[test]
+    fn durable_engine_reloads_cost_versions_and_store() {
+        let dir = tmpdir("durable-reload");
+        std::fs::create_dir_all(&dir).unwrap();
+        let config =
+            || EngineConfig::helix(dir.join("store")).with_durability(Durability::wal_nosync());
+        {
+            let engine = Engine::new(config()).unwrap();
+            assert_eq!(engine.recovery(), EngineRecovery::default());
+            engine.run(&census_workflow(&dir, 0.1)).unwrap();
+            assert!(engine.cost_model().observed_nodes() > 0);
+            assert!(!engine.store().is_empty());
+        } // dropped without any orderly shutdown — the WAL and the
+          // post-run meta checkpoint are all that survives
+
+        let engine = Engine::new(config()).unwrap();
+        let recovery = engine.recovery();
+        assert_eq!(recovery.recovered_versions, 1);
+        assert!(recovery.recovered_cost_observations > 0);
+        assert!(recovery.store.recovered_entries > 0);
+        assert!(!recovery.meta_corrupted);
+        assert_eq!(engine.versions().len(), 1, "global history reloaded");
+        assert_eq!(
+            engine.versions().get(0).unwrap().change_summary,
+            "initial version"
+        );
+
+        // The reopened store serves the same signatures: a fresh lineage
+        // rerun loads instead of recomputing.
+        let report = engine.run(&census_workflow(&dir, 0.1)).unwrap();
+        assert!(report.loaded() > 0, "materializations survive restart");
+        assert_eq!(engine.versions().len(), 2, "history appends, not resets");
+    }
+
+    #[test]
+    fn corrupt_engine_meta_warns_and_starts_fresh() {
+        let dir = tmpdir("durable-corrupt-meta");
+        std::fs::create_dir_all(&dir).unwrap();
+        let config =
+            || EngineConfig::helix(dir.join("store")).with_durability(Durability::wal_nosync());
+        {
+            let engine = Engine::new(config()).unwrap();
+            engine.run(&census_workflow(&dir, 0.1)).unwrap();
+        }
+        let meta = crate::persist::engine_meta_path(&dir.join("store"));
+        std::fs::write(&meta, "{\"v\":1,\"cost\":garbage").unwrap();
+
+        let engine = Engine::new(config()).unwrap();
+        let recovery = engine.recovery();
+        assert!(recovery.meta_corrupted, "corrupt meta flagged, not fatal");
+        assert_eq!(recovery.recovered_versions, 0);
+        assert_eq!(engine.versions().len(), 0, "version state starts fresh");
+        assert!(
+            recovery.store.recovered_entries > 0,
+            "store entries recover independently of the meta file"
+        );
+        // The next run heals the meta file.
+        engine.run(&census_workflow(&dir, 0.1)).unwrap();
+        let reopened = Engine::new(config()).unwrap();
+        assert_eq!(reopened.recovery().recovered_versions, 1);
+    }
+
+    #[test]
+    fn snapshot_now_checkpoints_meta_for_durable_engines() {
+        let dir = tmpdir("durable-snapshot-now");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Pin Volatile explicitly: EngineConfig::helix reads HELIX_DURABILITY,
+        // and this assertion must hold when the suite runs under
+        // HELIX_DURABILITY=wal (the CI durability job does exactly that).
+        let volatile = Engine::new(
+            EngineConfig::helix(dir.join("s-vol")).with_durability(Durability::Volatile),
+        )
+        .unwrap();
+        volatile.snapshot_now().unwrap();
+        assert!(
+            !crate::persist::engine_meta_path(&dir.join("s-vol")).exists(),
+            "volatile snapshot_now is a no-op"
+        );
+
+        let durable = Engine::new(
+            EngineConfig::helix(dir.join("s-wal")).with_durability(Durability::wal_nosync()),
+        )
+        .unwrap();
+        durable.snapshot_now().unwrap();
+        assert!(crate::persist::engine_meta_path(&dir.join("s-wal")).exists());
     }
 
     #[test]

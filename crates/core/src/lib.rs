@@ -32,12 +32,14 @@
 #![warn(missing_docs)]
 
 pub mod compiler;
+pub mod config_env;
 pub mod cost;
 pub mod engine;
 pub mod error;
 pub mod exec;
 pub mod materialize;
 pub mod ops;
+pub(crate) mod persist;
 pub mod pool;
 pub mod recompute;
 pub mod report;
@@ -50,7 +52,7 @@ pub mod version;
 pub mod viz;
 pub mod workflow;
 
-pub use engine::{Engine, EngineConfig, Lineage, RunOptions};
+pub use engine::{Engine, EngineConfig, EngineRecovery, Lineage, RunOptions};
 pub use error::HelixError;
 pub use materialize::MaterializationPolicyKind;
 pub use ops::{
@@ -61,7 +63,7 @@ pub use recompute::{NodeState, RecomputationPolicy};
 pub use report::IterationReport;
 pub use scheduler::{default_parallelism, default_partition_rows, ExecOpts, ExecStrategy};
 pub use session::{LearnerParam, Session, SessionHandle, SessionManager, WorkflowEdit};
-pub use store::default_store_shards;
+pub use store::{default_store_shards, Durability, IntermediateStore, RecoveryInfo, StoreOptions};
 pub use workflow::{NodeId, NodeRef, Workflow};
 
 /// Convenience alias used throughout the crate.

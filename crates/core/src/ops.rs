@@ -71,6 +71,20 @@ pub enum ModelType {
     Perceptron,
 }
 
+impl ModelType {
+    /// Inverse of [`fmt::Display`]: parses the canonical short name back
+    /// into the enum (used when replaying persisted session edits).
+    pub fn from_name(name: &str) -> Option<ModelType> {
+        match name {
+            "logreg" => Some(ModelType::LogisticRegression),
+            "linreg" => Some(ModelType::LinearRegression),
+            "naive_bayes" => Some(ModelType::NaiveBayes),
+            "perceptron" => Some(ModelType::Perceptron),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for ModelType {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let name = match self {
@@ -321,6 +335,19 @@ pub enum Stage {
     MachineLearning,
     /// Metric computation / post-processing.
     Evaluation,
+}
+
+impl Stage {
+    /// Inverse of [`fmt::Display`]: parses the canonical stage name back
+    /// into the enum (used when loading persisted DAG snapshots).
+    pub fn from_name(name: &str) -> Option<Stage> {
+        match name {
+            "data-pre-processing" => Some(Stage::DataPreProcessing),
+            "machine-learning" => Some(Stage::MachineLearning),
+            "evaluation" => Some(Stage::Evaluation),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for Stage {

@@ -77,17 +77,10 @@ use std::time::Instant;
 /// How many worker threads the engine should use by default: the
 /// `HELIX_PARALLELISM` environment variable when set to a positive
 /// integer (the CI equivalence matrix forces `1` and `2` this way),
-/// otherwise the machine's available parallelism.
+/// otherwise the machine's available parallelism. (One of the knobs
+/// unified behind [`crate::EngineConfig::from_env`].)
 pub fn default_parallelism() -> usize {
-    std::env::var("HELIX_PARALLELISM")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
+    crate::config_env::parallelism()
 }
 
 /// Fallback for [`default_partition_rows`] when `HELIX_PARTITION_ROWS`
@@ -100,13 +93,10 @@ pub const DEFAULT_PARTITION_ROWS: usize = 4096;
 /// `HELIX_PARTITION_ROWS` environment variable when set to a positive
 /// integer, otherwise [`DEFAULT_PARTITION_ROWS`]. A partitionable node
 /// splits only when its input holds at least twice this many rows, so
-/// every partition has at least the threshold's worth of work.
+/// every partition has at least the threshold's worth of work. (One of
+/// the knobs unified behind [`crate::EngineConfig::from_env`].)
 pub fn default_partition_rows() -> usize {
-    std::env::var("HELIX_PARTITION_ROWS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or(DEFAULT_PARTITION_ROWS)
+    crate::config_env::partition_rows()
 }
 
 /// Hard cap on partitions per node: beyond the machine's useful fan-out,
@@ -1339,7 +1329,10 @@ mod tests {
         let dir =
             std::env::temp_dir().join(format!("helix-scheduler-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        IntermediateStore::open(dir, 1 << 24).unwrap()
+        crate::store::StoreOptions::new(dir)
+            .budget_bytes(1 << 24)
+            .open()
+            .unwrap()
     }
 
     fn int_rows(values: &[i64]) -> DataCollection {

@@ -103,6 +103,22 @@ impl LearnerParam {
             LearnerParam::Model(v) => spec.model_type = v,
         }
     }
+
+    /// Inverse of [`fmt::Display`]: parses a rendered `key=value` knob
+    /// back into the typed enum. This is how persisted session edits
+    /// replay on recovery, so every variant's rendering must stay
+    /// parseable.
+    pub fn parse(text: &str) -> Option<LearnerParam> {
+        let (key, value) = text.split_once('=')?;
+        match key {
+            "reg_param" => value.parse().ok().map(LearnerParam::RegParam),
+            "epochs" => value.parse().ok().map(LearnerParam::Epochs),
+            "learning_rate" => value.parse().ok().map(LearnerParam::LearningRate),
+            "seed" => value.parse().ok().map(LearnerParam::Seed),
+            "model" => ModelType::from_name(value).map(LearnerParam::Model),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for LearnerParam {
@@ -155,6 +171,23 @@ pub enum WorkflowEdit {
     },
 }
 
+impl WorkflowEdit {
+    /// Whether this edit can be replayed from its record alone on
+    /// recovery. Typed knob turns, rewires, and output additions carry
+    /// all their inputs; operator replacements and freeform closures do
+    /// not (the closure / the new operator's parameters are not
+    /// serialized), so a session containing them recovers in degraded
+    /// mode — lineage and history intact, workflow reset to its template.
+    pub fn is_replayable(&self) -> bool {
+        matches!(
+            self,
+            WorkflowEdit::SetLearnerParam { .. }
+                | WorkflowEdit::Rewire { .. }
+                | WorkflowEdit::AddOutput { .. }
+        )
+    }
+}
+
 impl fmt::Display for WorkflowEdit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -185,6 +218,19 @@ pub struct Session {
     versions: VersionStore,
     edits: Vec<WorkflowEdit>,
     workflow_replaced: bool,
+    /// Name of the registry template this session's workflow was built
+    /// from — what recovery rebuilds the base workflow with.
+    template: Option<String>,
+    /// Edits already folded into executed iterations, oldest first (the
+    /// full replayable history from the template to the live workflow).
+    applied_edits: Vec<WorkflowEdit>,
+    /// Set once the live workflow can no longer be rebuilt from
+    /// `template` + recorded edits (wholesale [`Session::replace_workflow`]).
+    replay_broken: bool,
+    /// Whether mutations write a durable session record (enabled by
+    /// [`SessionManager`] under a durable engine; standalone sessions
+    /// stay in-memory).
+    persist_enabled: bool,
 }
 
 impl Session {
@@ -199,6 +245,10 @@ impl Session {
             versions: VersionStore::new(),
             edits: Vec::new(),
             workflow_replaced: false,
+            template: None,
+            applied_edits: Vec::new(),
+            replay_broken: false,
+            persist_enabled: false,
         }
     }
 
@@ -240,6 +290,82 @@ impl Session {
         &self.edits
     }
 
+    /// Edits already folded into executed iterations, oldest first.
+    pub fn applied_edits(&self) -> &[WorkflowEdit] {
+        &self.applied_edits
+    }
+
+    /// The registry template this session was created from, when known.
+    pub fn template(&self) -> Option<&str> {
+        self.template.as_deref()
+    }
+
+    /// Records which registry template built this session's base workflow
+    /// (recovery rebuilds from it — see `docs/ARCHITECTURE.md`,
+    /// "Durability").
+    pub fn set_template(&mut self, template: impl Into<String>) {
+        self.template = Some(template.into());
+        self.persist();
+    }
+
+    // -- durability ----------------------------------------------------------
+
+    /// Turns on durable session records for this session (no-op writes
+    /// unless the engine's store is durable too).
+    pub(crate) fn enable_persistence(&mut self) {
+        self.persist_enabled = true;
+    }
+
+    /// Writes this session's durable record atomically, if persistence is
+    /// enabled. Best-effort by design: a failed write warns and leaves
+    /// the previous record in place (the next successful write heals it);
+    /// it never fails the edit or iteration that triggered it.
+    pub(crate) fn persist(&self) {
+        let config = self.engine.config();
+        if !self.persist_enabled || !config.durability.is_durable() {
+            return;
+        }
+        let record = crate::persist::SessionRecord {
+            name: self.name.clone(),
+            template: self.template.clone(),
+            workflow_replaced: self.replay_broken,
+            lineage: self.lineage.clone(),
+            applied_edits: self.applied_edits.clone(),
+            pending_edits: self.edits.clone(),
+            versions: self.versions.all().to_vec(),
+        };
+        let path = crate::persist::session_path(&config.store_dir, &self.name);
+        if let Err(err) = crate::persist::save_session_record(&path, &record) {
+            eprintln!(
+                "helix: warning: failed to persist session `{}`: {err}",
+                self.name
+            );
+        }
+    }
+
+    /// Replays one persisted edit against the live workflow without
+    /// recording it again. Returns false when the edit is not replayable
+    /// (or no longer applies), which flips recovery into degraded mode.
+    fn replay_edit(&mut self, edit: &WorkflowEdit) -> bool {
+        let before = self.edits.len();
+        let ok = match edit {
+            WorkflowEdit::SetLearnerParam { learner, param } => LearnerParam::parse(param)
+                .map(|p| self.set_learner_param(learner, p).is_ok())
+                .unwrap_or(false),
+            WorkflowEdit::Rewire { node, parents } => {
+                let refs: Vec<&str> = parents.iter().map(String::as_str).collect();
+                self.rewire(node, &refs).is_ok()
+            }
+            WorkflowEdit::AddOutput { node } => self.add_output(node).is_ok(),
+            WorkflowEdit::ReplaceOperator { .. } | WorkflowEdit::Freeform { .. } => false,
+        };
+        // The typed handles above record the replayed edit as *pending*;
+        // drop that duplicate — the caller decides which list it belongs
+        // to from the persisted record.
+        self.edits.truncate(before);
+        ok
+    }
+
     // -- typed edit handles --------------------------------------------------
 
     /// Turns one knob of a learner: resolves `learner` to its training
@@ -260,6 +386,7 @@ impl Session {
             learner: learner.to_string(),
             param: param.to_string(),
         });
+        self.persist();
         Ok(())
     }
 
@@ -272,6 +399,7 @@ impl Session {
             node: node.to_string(),
             tag,
         });
+        self.persist();
         Ok(())
     }
 
@@ -288,6 +416,7 @@ impl Session {
             node: node.to_string(),
             parents: parents.iter().map(|p| p.to_string()).collect(),
         });
+        self.persist();
         Ok(())
     }
 
@@ -298,6 +427,7 @@ impl Session {
         self.edits.push(WorkflowEdit::AddOutput {
             node: node.to_string(),
         });
+        self.persist();
         Ok(())
     }
 
@@ -317,6 +447,7 @@ impl Session {
         self.edits.push(WorkflowEdit::Freeform {
             description: description.into(),
         });
+        self.persist();
         Ok(value)
     }
 
@@ -330,6 +461,30 @@ impl Session {
         self.workflow = workflow;
         self.edits.clear();
         self.workflow_replaced = true;
+        // The live workflow no longer derives from template + edit log,
+        // so the durable record switches to degraded mode (recovery
+        // restores lineage and history but resets to the template).
+        self.replay_broken = true;
+        self.applied_edits.clear();
+        self.persist();
+    }
+
+    /// [`Session::replace_workflow`] for a workflow freshly built from a
+    /// named registry template (the server's `PUT .../workflow`).
+    /// Because the new workflow *is* the template with no edits on top,
+    /// the durable record stays exactly recoverable instead of degraded.
+    pub fn replace_workflow_from_template(
+        &mut self,
+        workflow: Workflow,
+        template: impl Into<String>,
+    ) {
+        self.workflow = workflow;
+        self.edits.clear();
+        self.workflow_replaced = true;
+        self.applied_edits.clear();
+        self.replay_broken = false;
+        self.template = Some(template.into());
+        self.persist();
     }
 
     // -- execution -----------------------------------------------------------
@@ -360,8 +515,9 @@ impl Session {
             .engine
             .run_in(&self.workflow, &mut self.lineage, options)?;
         self.versions.record(&report);
-        self.edits.clear();
+        self.applied_edits.append(&mut self.edits);
         self.workflow_replaced = false;
+        self.persist();
         Ok(report)
     }
 }
@@ -463,6 +619,18 @@ impl SessionHandle {
         lock(&self.inner).replace_workflow(workflow)
     }
 
+    /// See [`Session::set_template`].
+    pub fn set_template(&self, template: impl Into<String>) {
+        self.touch();
+        lock(&self.inner).set_template(template)
+    }
+
+    /// See [`Session::replace_workflow_from_template`].
+    pub fn replace_workflow_from_template(&self, workflow: Workflow, template: impl Into<String>) {
+        self.touch();
+        lock(&self.inner).replace_workflow_from_template(workflow, template)
+    }
+
     /// How many iterations the session has executed.
     pub fn iteration(&self) -> usize {
         self.touch();
@@ -498,6 +666,9 @@ pub struct SessionManager {
     engine: Arc<Engine>,
     sessions: Mutex<BTreeMap<String, SessionHandle>>,
     retention: Mutex<Option<RetentionHook>>,
+    /// How many sessions [`SessionManager::recover`] rebuilt from durable
+    /// records (surfaced by the server's `/stats`).
+    recovered: std::sync::atomic::AtomicUsize,
 }
 
 impl fmt::Debug for SessionManager {
@@ -517,6 +688,7 @@ impl SessionManager {
             engine,
             sessions: Mutex::new(BTreeMap::new()),
             retention: Mutex::new(None),
+            recovered: std::sync::atomic::AtomicUsize::new(0),
         }
     }
 
@@ -535,16 +707,149 @@ impl SessionManager {
     /// # Errors
     /// [`HelixError::Workflow`] if the name is already taken.
     pub fn create(&self, name: &str, workflow: Workflow) -> Result<SessionHandle> {
+        self.create_with_template(name, workflow, None)
+    }
+
+    /// [`SessionManager::create`] with the registry template the workflow
+    /// was built from, so a durable engine can rebuild the session after
+    /// a restart. Sessions created without a template still persist their
+    /// lineage and history but cannot be recovered (the base workflow is
+    /// not serializable).
+    pub fn create_with_template(
+        &self,
+        name: &str,
+        workflow: Workflow,
+        template: Option<&str>,
+    ) -> Result<SessionHandle> {
         let mut sessions = lock(&self.sessions);
         if sessions.contains_key(name) {
             return Err(HelixError::Workflow(format!(
                 "session `{name}` already exists"
             )));
         }
-        let handle =
-            SessionHandle::from_session(Session::new(Arc::clone(&self.engine), name, workflow));
+        let mut session = Session::new(Arc::clone(&self.engine), name, workflow);
+        if let Some(template) = template {
+            session.template = Some(template.to_string());
+        }
+        if self.engine.config().durability.is_durable() {
+            session.enable_persistence();
+            session.persist();
+        }
+        let handle = SessionHandle::from_session(session);
         sessions.insert(name.to_string(), handle.clone());
         Ok(handle)
+    }
+
+    /// Rebuilds sessions from the durable records under the engine's
+    /// store directory: for each record, `rebuild` maps its template name
+    /// back to a base [`Workflow`] (the server passes its workflow
+    /// registry), the recorded edits replay on top, and lineage plus
+    /// version history restore verbatim. Records that are corrupt, have
+    /// no template, or whose template is unknown are skipped with a
+    /// warning; records containing non-replayable edits recover degraded
+    /// (template workflow, intact history). Returns how many sessions
+    /// were registered; a volatile engine recovers nothing.
+    pub fn recover(&self, rebuild: impl Fn(&str) -> Option<Workflow>) -> usize {
+        let config = self.engine.config();
+        if !config.durability.is_durable() {
+            return 0;
+        }
+        let dir = crate::persist::sessions_dir(&config.store_dir);
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            return 0;
+        };
+        let mut count = 0;
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.extension() != Some(std::ffi::OsStr::new("json")) {
+                continue;
+            }
+            let record = match crate::persist::load_session_record(&path) {
+                Ok(record) => record,
+                Err(err) => {
+                    eprintln!("helix: warning: skipping corrupt session record: {err}");
+                    continue;
+                }
+            };
+            if lock(&self.sessions).contains_key(&record.name) {
+                continue;
+            }
+            let Some(template) = record.template.clone() else {
+                eprintln!(
+                    "helix: warning: session `{}` has no workflow template; not recovered",
+                    record.name
+                );
+                continue;
+            };
+            let Some(base) = rebuild(&template) else {
+                eprintln!(
+                    "helix: warning: unknown workflow template `{template}` for session `{}`; not recovered",
+                    record.name
+                );
+                continue;
+            };
+            let mut session = Session::new(Arc::clone(&self.engine), &record.name, base);
+            session.template = Some(template);
+            let mut degraded = record.workflow_replaced;
+            if !degraded {
+                for edit in &record.applied_edits {
+                    if !session.replay_edit(edit) {
+                        degraded = true;
+                        break;
+                    }
+                }
+            }
+            session.applied_edits = record.applied_edits;
+            if !degraded {
+                for edit in &record.pending_edits {
+                    if session.replay_edit(edit) {
+                        session.edits.push(edit.clone());
+                    } else {
+                        degraded = true;
+                        break;
+                    }
+                }
+            }
+            if degraded {
+                // The live workflow is the bare template; the next
+                // iteration derives its summary from the signature diff
+                // and recomputes what the lineage no longer matches.
+                session.replay_broken = true;
+                session.workflow_replaced = true;
+                session.edits.clear();
+            }
+            session.lineage = record.lineage;
+            session.versions = VersionStore::from_versions(record.versions);
+            session.enable_persistence();
+            lock(&self.sessions).insert(record.name.clone(), SessionHandle::from_session(session));
+            count += 1;
+        }
+        self.recovered
+            .fetch_add(count, std::sync::atomic::Ordering::Relaxed);
+        count
+    }
+
+    /// How many sessions [`SessionManager::recover`] rebuilt.
+    pub fn recovered_sessions(&self) -> usize {
+        self.recovered.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Rewrites every registered session's durable record (the
+    /// session-level half of a `POST /admin/snapshot` checkpoint; no-op
+    /// under a volatile engine).
+    pub fn persist_all(&self) {
+        let handles: Vec<SessionHandle> = lock(&self.sessions).values().cloned().collect();
+        for handle in handles {
+            handle.with(|s| s.persist());
+        }
+    }
+
+    /// Removes a departed session's durable record, if any.
+    fn delete_record(&self, name: &str) {
+        let config = self.engine.config();
+        if config.durability.is_durable() {
+            let _ = std::fs::remove_file(crate::persist::session_path(&config.store_dir, name));
+        }
     }
 
     /// Fetches a registered session by name.
@@ -557,6 +862,7 @@ impl SessionManager {
     /// unreferenced by every surviving session.
     pub fn remove(&self, name: &str) -> Option<SessionHandle> {
         let handle = lock(&self.sessions).remove(name)?;
+        self.delete_record(name);
         self.release(&handle);
         Some(handle)
     }
@@ -602,6 +908,7 @@ impl SessionManager {
                     continue;
                 }
             }
+            self.delete_record(handle.name());
             self.release(&handle);
             evicted.push(handle.name().to_string());
         }
@@ -955,6 +1262,152 @@ mod tests {
                 sig.hex()
             );
         }
+    }
+
+    fn durable_engine(dir: &Path) -> Arc<Engine> {
+        Arc::new(
+            Engine::new(
+                EngineConfig::helix(dir.join("store"))
+                    .with_durability(crate::Durability::wal_nosync()),
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn manager_recovers_sessions_with_replayed_edits() {
+        let dir = tmpdir("recover");
+        {
+            let manager = SessionManager::new(durable_engine(&dir));
+            let alice = manager
+                .create_with_template("alice", workflow(&dir, 0.1), Some("census"))
+                .unwrap();
+            alice.iterate().unwrap();
+            alice
+                .set_learner_param("predictions", LearnerParam::RegParam(0.9))
+                .unwrap();
+            alice.iterate().unwrap();
+        } // process "dies" here: nothing is shut down in order
+
+        let manager = SessionManager::new(durable_engine(&dir));
+        let recovered =
+            manager.recover(|template| (template == "census").then(|| workflow(&dir, 0.1)));
+        assert_eq!(recovered, 1);
+        assert_eq!(manager.recovered_sessions(), 1);
+        let alice = manager.get("alice").unwrap();
+        assert_eq!(alice.iteration(), 2, "lineage counter survives");
+        let versions = alice.versions();
+        assert_eq!(versions.len(), 2, "private history survives");
+        assert_eq!(
+            versions.get(1).unwrap().change_summary,
+            "set predictions reg_param=0.9"
+        );
+        assert_eq!(
+            alice.with(|s| s.applied_edits().len()),
+            1,
+            "edit history survives"
+        );
+
+        // The replayed workflow matches the pre-restart one exactly: the
+        // restored lineage sees no changes and the reopened store serves
+        // the same signatures.
+        let report = alice.iterate().unwrap();
+        assert_eq!(report.change_summary, "no changes");
+        assert!(report.loaded() > 0, "restart resumes cache reuse");
+    }
+
+    #[test]
+    fn pending_edits_survive_restart() {
+        let dir = tmpdir("recover-pending");
+        {
+            let manager = SessionManager::new(durable_engine(&dir));
+            let alice = manager
+                .create_with_template("alice", workflow(&dir, 0.1), Some("census"))
+                .unwrap();
+            alice.iterate().unwrap();
+            alice
+                .set_learner_param("predictions", LearnerParam::Epochs(6))
+                .unwrap();
+            // killed before iterating the edit
+        }
+        let manager = SessionManager::new(durable_engine(&dir));
+        manager.recover(|_| Some(workflow(&dir, 0.1)));
+        let alice = manager.get("alice").unwrap();
+        assert_eq!(alice.with(|s| s.pending_edits().len()), 1);
+        let report = alice.iterate().unwrap();
+        assert_eq!(report.change_summary, "set predictions epochs=6");
+    }
+
+    #[test]
+    fn non_replayable_sessions_recover_degraded() {
+        let dir = tmpdir("recover-degraded");
+        {
+            let manager = SessionManager::new(durable_engine(&dir));
+            let bob = manager
+                .create_with_template("bob", workflow(&dir, 0.1), Some("census"))
+                .unwrap();
+            bob.iterate().unwrap();
+            bob.replace_workflow(workflow(&dir, 0.7));
+            bob.iterate().unwrap();
+        }
+        let manager = SessionManager::new(durable_engine(&dir));
+        assert_eq!(manager.recover(|_| Some(workflow(&dir, 0.1))), 1);
+        let bob = manager.get("bob").unwrap();
+        assert_eq!(bob.iteration(), 2, "lineage survives degraded recovery");
+        assert_eq!(bob.versions().len(), 2, "history survives");
+        // The live workflow reset to the template; the next iteration
+        // still runs and derives its summary from the signature diff.
+        let report = bob.iterate().unwrap();
+        assert!(report.metric("accuracy").is_some());
+    }
+
+    #[test]
+    fn removed_and_unknown_template_sessions_are_not_recovered() {
+        let dir = tmpdir("recover-skips");
+        {
+            let manager = SessionManager::new(durable_engine(&dir));
+            let keep = manager
+                .create_with_template("keep", workflow(&dir, 0.1), Some("census"))
+                .unwrap();
+            keep.iterate().unwrap();
+            let gone = manager
+                .create_with_template("gone", workflow(&dir, 0.2), Some("census"))
+                .unwrap();
+            gone.iterate().unwrap();
+            let orphan = manager
+                .create_with_template("orphan", workflow(&dir, 0.3), Some("no-such-template"))
+                .unwrap();
+            orphan.iterate().unwrap();
+            manager.remove("gone");
+        }
+        let manager = SessionManager::new(durable_engine(&dir));
+        let recovered =
+            manager.recover(|template| (template == "census").then(|| workflow(&dir, 0.1)));
+        assert_eq!(recovered, 1, "removed + unknown-template skipped");
+        assert_eq!(manager.names(), vec!["keep"]);
+    }
+
+    #[test]
+    fn volatile_manager_recovers_nothing_and_writes_no_records() {
+        let dir = tmpdir("recover-volatile");
+        // Pin Volatile explicitly: EngineConfig::helix reads HELIX_DURABILITY,
+        // and this test must see no session records even when the suite runs
+        // under HELIX_DURABILITY=wal (the CI durability job does exactly that).
+        let volatile = Arc::new(
+            Engine::new(
+                EngineConfig::helix(dir.join("store"))
+                    .with_durability(crate::store::Durability::Volatile),
+            )
+            .unwrap(),
+        );
+        let manager = SessionManager::new(volatile);
+        let alice = manager
+            .create_with_template("alice", workflow(&dir, 0.1), Some("census"))
+            .unwrap();
+        alice.iterate().unwrap();
+        assert!(!dir.join("store").join("meta").join("sessions").exists());
+        assert_eq!(manager.recover(|_| Some(workflow(&dir, 0.1))), 0);
+        assert_eq!(manager.recovered_sessions(), 0);
     }
 
     #[test]

@@ -135,6 +135,21 @@ impl VersionStore {
         id
     }
 
+    /// Rebuilds a history from persisted versions (the durable tier's
+    /// recovery path). Ids are re-sequenced to match their position so a
+    /// partially recovered file still yields a self-consistent store.
+    pub fn from_versions(versions: Vec<WorkflowVersion>) -> VersionStore {
+        let versions = versions
+            .into_iter()
+            .enumerate()
+            .map(|(id, mut v)| {
+                v.id = id;
+                v
+            })
+            .collect();
+        VersionStore { versions }
+    }
+
     /// Number of versions.
     pub fn len(&self) -> usize {
         self.versions.len()

@@ -128,6 +128,15 @@ impl Api {
         self.server_stats = Some(stats);
     }
 
+    /// Recovers durable sessions from the engine's store directory,
+    /// rebuilding each one's template workflow from this API's registry.
+    /// Call once after construction, before serving; returns the number
+    /// of sessions brought back (always 0 on a volatile engine).
+    pub fn recover_sessions(&self) -> usize {
+        self.manager
+            .recover(|template| self.registry.build(template).and_then(Result::ok))
+    }
+
     /// Renders the response for one request-parse failure.
     pub fn parse_failure(err: &ParseError) -> Response {
         match err {
@@ -160,7 +169,9 @@ impl Api {
             ("GET", ["sessions", name, "versions", id]) => self.version_detail(name, id),
             ("GET", ["sessions", name, "diff"]) => self.diff(name, req),
             ("GET", ["versions"]) => self.global_versions(),
-            (_, ["healthz" | "workflows" | "versions" | "sessions" | "stats"])
+            ("POST", ["admin", "snapshot"]) => self.admin_snapshot(),
+            (_, ["admin", "snapshot"])
+            | (_, ["healthz" | "workflows" | "versions" | "sessions" | "stats"])
             | (_, ["sessions", _])
             | (_, ["sessions", _, "edits" | "iterate" | "workflow" | "versions" | "diff"])
             | (_, ["sessions", _, "versions", _]) => error_body(
@@ -218,7 +229,10 @@ impl Api {
         ok(Json::obj([("sessions", Json::Arr(sessions))]))
     }
 
-    fn build_workflow(&self, body: &Json) -> Result<Workflow, Response> {
+    /// Resolves the request's `workflow` field to a freshly built
+    /// workflow, returning the template name alongside it so callers can
+    /// record the session's provenance for durable recovery.
+    fn build_workflow(&self, body: &Json) -> Result<(String, Workflow), Response> {
         let Some(template) = body.get("workflow").and_then(Json::as_str) else {
             return Err(error_body(400, "missing or non-string field `workflow`"));
         };
@@ -231,7 +245,7 @@ impl Api {
                 ),
             )),
             Some(Err(err)) => Err(engine_error(err)),
-            Some(Ok(workflow)) => Ok(workflow),
+            Some(Ok(workflow)) => Ok((template.to_string(), workflow)),
         }
     }
 
@@ -243,11 +257,14 @@ impl Api {
         let Some(name) = body.get("name").and_then(Json::as_str) else {
             return error_body(400, "missing or non-string field `name`");
         };
-        let workflow = match self.build_workflow(&body) {
-            Ok(w) => w,
+        let (template, workflow) = match self.build_workflow(&body) {
+            Ok(built) => built,
             Err(resp) => return resp,
         };
-        match self.manager.create(name, workflow) {
+        match self
+            .manager
+            .create_with_template(name, workflow, Some(&template))
+        {
             Ok(session) => {
                 let mut resp = self.session_info(&session);
                 resp.status = 201;
@@ -319,12 +336,15 @@ impl Api {
             Ok(v) => v,
             Err(err) => return error_body(400, err.to_string()),
         };
-        let workflow = match self.build_workflow(&body) {
-            Ok(w) => w,
+        let (template, workflow) = match self.build_workflow(&body) {
+            Ok(built) => built,
             Err(resp) => return resp,
         };
         self.with_session(name, |session| {
-            session.replace_workflow(workflow);
+            // The replacement is itself a registry template, so the
+            // durable record stays exactly recoverable (template + empty
+            // edit log) instead of degrading to template-reset mode.
+            session.replace_workflow_from_template(workflow, &template);
             Ok(ok(Json::obj([
                 ("session", Json::str(name)),
                 ("workflow_replaced", Json::Bool(true)),
@@ -378,21 +398,67 @@ impl Api {
         })
     }
 
-    /// `GET /stats`: serving counters plus the live session count. An
-    /// API never attached to a socket server reports zeroed counters.
+    /// `GET /stats` (schema `"v": 2`): serving counters, the live
+    /// session count, and the durability counters — sessions and store
+    /// entries recovered at startup, current WAL size, and the unix time
+    /// of the last snapshot compaction (all zero on a volatile engine).
+    /// An API never attached to a socket server reports zeroed serving
+    /// counters.
     fn stats(&self) -> Response {
         let snap = self
             .server_stats
             .as_deref()
             .map(ServerStats::snapshot)
             .unwrap_or_else(|| ServerStats::default().snapshot());
+        let engine = self.manager.engine();
+        let recovery = engine.recovery();
         ok(Json::obj([
+            ("v", Json::Num(2.0)),
             ("connections", Json::Num(snap.connections as f64)),
             ("requests", Json::Num(snap.requests as f64)),
             ("shed", Json::Num(snap.shed as f64)),
             ("shed_dropped", Json::Num(snap.shed_dropped as f64)),
             ("sessions_evicted", Json::Num(snap.sessions_evicted as f64)),
             ("sessions", Json::Num(self.manager.len() as f64)),
+            (
+                "recovered_sessions",
+                Json::Num(self.manager.recovered_sessions() as f64),
+            ),
+            (
+                "recovered_entries",
+                Json::Num(recovery.store.recovered_entries as f64),
+            ),
+            ("wal_bytes", Json::Num(engine.store().wal_bytes() as f64)),
+            (
+                "last_snapshot",
+                Json::Num(engine.store().last_snapshot_unix() as f64),
+            ),
+        ]))
+    }
+
+    /// `POST /admin/snapshot`: forces a durability checkpoint — compacts
+    /// every store shard's WAL into its snapshot, rewrites the engine
+    /// meta, and re-persists every live session record. 400 on a
+    /// volatile engine, where there is nothing to checkpoint.
+    fn admin_snapshot(&self) -> Response {
+        let engine = self.manager.engine();
+        if !engine.store().durability().is_durable() {
+            return error_body(
+                400,
+                "store is volatile; nothing to snapshot (set HELIX_DURABILITY=wal)",
+            );
+        }
+        if let Err(err) = engine.snapshot_now() {
+            return engine_error(err);
+        }
+        self.manager.persist_all();
+        ok(Json::obj([
+            ("snapshotted", Json::Bool(true)),
+            ("wal_bytes", Json::Num(engine.store().wal_bytes() as f64)),
+            (
+                "last_snapshot",
+                Json::Num(engine.store().last_snapshot_unix() as f64),
+            ),
         ]))
     }
 

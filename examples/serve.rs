@@ -36,21 +36,29 @@ fn main() {
         },
     )
     .expect("generate data");
-    let _ = std::fs::remove_dir_all(dir.join("store"));
 
-    let engine = Arc::new(Engine::new(EngineConfig::helix(dir.join("store"))).expect("engine"));
+    // Durability comes from HELIX_DURABILITY (default: volatile). A
+    // volatile store is wiped for a clean demo; a durable one is kept so
+    // a restarted server resumes every session below.
+    let config = EngineConfig::from_env(dir.join("store"));
+    if !config.durability.is_durable() {
+        let _ = std::fs::remove_dir_all(dir.join("store"));
+    }
+    let engine = Arc::new(Engine::new(config).expect("engine"));
     let manager = Arc::new(SessionManager::new(engine));
     let mut registry = WorkflowRegistry::new();
     let params = CensusParams::initial(&dir);
     registry.register("census", move || census_workflow(&params));
 
+    let api = Api::new(manager, registry);
+    let recovered = api.recover_sessions();
+    if recovered > 0 {
+        println!("recovered {recovered} durable session(s) from a previous run");
+    }
+
     let addr = std::env::var("HELIX_SERVE_ADDR").unwrap_or_else(|_| "127.0.0.1:0".into());
-    let mut server = Server::bind(
-        addr.as_str(),
-        Api::new(manager, registry),
-        ServerConfig::default(),
-    )
-    .expect("bind server");
+    let mut server =
+        Server::bind(addr.as_str(), api, ServerConfig::default()).expect("bind server");
     let addr = server.addr();
 
     println!("helix-server listening on http://{addr}");

@@ -1,0 +1,477 @@
+//! Crash-recovery acceptance for the durable tier: a WAL-backed engine
+//! killed and reopened must resume every session's lineage with the
+//! same results a never-restarted engine produces.
+//!
+//! Three layers of abuse:
+//!
+//! * **Twin comparison** — a restarted durable engine driven through the
+//!   analyst loop, checked field-by-field against an identically
+//!   configured engine that never restarted (both deterministic:
+//!   materialize-`All` + load-all-available).
+//! * **SIGKILL mid-flight** — a child process iterating two sessions is
+//!   killed without warning; the parent reopens the store and asserts
+//!   every acknowledged iteration survived and the ledger matches disk.
+//! * **WAL-tail fuzz** — the last WAL record is truncated at every byte
+//!   boundary; every prefix must open cleanly (torn tail = truncate and
+//!   warn, never refuse to start).
+
+use helix::core::ops::ExtractorKind;
+use helix::core::session::LearnerParam;
+use helix::core::{
+    Durability, Engine, EngineConfig, IterationReport, MaterializationPolicyKind,
+    RecomputationPolicy, SessionManager, Workflow,
+};
+use helix::dataflow::DataType;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("helix-durab-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The census-mini workflow (same shape as the server e2e suite): big
+/// enough that load-vs-compute decisions are stable, small enough that a
+/// kill-loop iteration is fast.
+fn workflow(dir: &Path) -> helix::core::Result<Workflow> {
+    let train = dir.join("train.csv");
+    let test = dir.join("test.csv");
+    if !train.exists() {
+        std::fs::write(&train, "BS,30,1\nMS,40,0\n".repeat(2_000)).unwrap();
+        std::fs::write(&test, "BS,35,1\nMS,45,0\n".repeat(400)).unwrap();
+    }
+    let mut w = Workflow::new("census-mini");
+    let data = w.csv_source("data", &train, Some(&test))?;
+    let rows = w.csv_scanner(
+        "rows",
+        &data,
+        &[
+            ("edu", DataType::Str),
+            ("age", DataType::Int),
+            ("target", DataType::Int),
+        ],
+    )?;
+    let edu = w.field_extractor("edu_f", &rows, "edu", ExtractorKind::Categorical)?;
+    let age = w.field_extractor("age_f", &rows, "age", ExtractorKind::Numeric)?;
+    let target = w.field_extractor("target_f", &rows, "target", ExtractorKind::Numeric)?;
+    let income = w.assemble("income", &rows, &[&edu, &age], &target)?;
+    let preds = w.learner("predictions", &income, Default::default())?;
+    let checked = w.evaluate("checked", &preds, Default::default())?;
+    w.output(&preds);
+    w.output(&checked);
+    Ok(w)
+}
+
+/// A deterministic durable engine: every materialization and load
+/// decision is timing-independent, so a restarted engine and its
+/// never-restarted twin are comparable field by field.
+fn durable_engine(store_dir: &Path) -> Arc<Engine> {
+    let mut config = EngineConfig::helix(store_dir);
+    config.materialization = MaterializationPolicyKind::All;
+    config.recomputation = RecomputationPolicy::LoadAllAvailable;
+    config.durability = Durability::wal_nosync();
+    Arc::new(Engine::new(config).unwrap())
+}
+
+/// The timing-independent slice of a report.
+#[derive(Debug, PartialEq)]
+struct ReportFacts {
+    iteration: usize,
+    loaded: usize,
+    computed: usize,
+    pruned: usize,
+    metrics: Vec<(String, f64)>,
+    change_summary: String,
+}
+
+impl ReportFacts {
+    fn of(report: &IterationReport) -> ReportFacts {
+        ReportFacts {
+            iteration: report.iteration,
+            loaded: report.loaded(),
+            computed: report.computed(),
+            pruned: report.pruned(),
+            metrics: report.metrics.clone(),
+            change_summary: report.change_summary.clone(),
+        }
+    }
+}
+
+/// Recursive directory copy (for fuzzing WAL prefixes on a scratch copy).
+fn copy_dir(from: &Path, to: &Path) {
+    std::fs::create_dir_all(to).unwrap();
+    for entry in std::fs::read_dir(from).unwrap() {
+        let entry = entry.unwrap();
+        let target = to.join(entry.file_name());
+        if entry.file_type().unwrap().is_dir() {
+            copy_dir(&entry.path(), &target);
+        } else {
+            std::fs::copy(entry.path(), &target).unwrap();
+        }
+    }
+}
+
+/// Sum of `.hlx` payload bytes on disk under the store directory — the
+/// ground truth the recovered ledger must agree with.
+fn disk_hlx_bytes(dir: &Path) -> u64 {
+    let mut total = 0;
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "hlx") {
+                total += entry.metadata().unwrap().len();
+            }
+        }
+    }
+    total
+}
+
+/// Twin comparison: the analyst loop with a kill-and-reopen between
+/// iterations 1 and 2 must be indistinguishable (same reuse counters,
+/// same metrics, same history) from the loop on an engine that never
+/// restarted.
+#[test]
+fn restarted_engine_matches_never_restarted_twin() {
+    let dir = tmpdir("twin");
+    workflow(&dir).unwrap(); // writes the shared CSVs
+
+    // -- control: never restarted -------------------------------------------
+    let control = SessionManager::new(durable_engine(&dir.join("store-control")));
+    let control_session = control
+        .create_with_template("alice", workflow(&dir).unwrap(), Some("census-mini"))
+        .unwrap();
+    let mut control_facts = vec![ReportFacts::of(&control_session.iterate().unwrap())];
+    control_session
+        .set_learner_param("predictions", LearnerParam::RegParam(0.9))
+        .unwrap();
+    control_facts.push(ReportFacts::of(&control_session.iterate().unwrap()));
+    control_session
+        .set_learner_param("predictions", LearnerParam::Epochs(6))
+        .unwrap();
+    control_facts.push(ReportFacts::of(&control_session.iterate().unwrap()));
+
+    // -- twin: same loop, torn down and reopened mid-way --------------------
+    let store = dir.join("store-twin");
+    let manager = SessionManager::new(durable_engine(&store));
+    let session = manager
+        .create_with_template("alice", workflow(&dir).unwrap(), Some("census-mini"))
+        .unwrap();
+    let mut twin_facts = vec![ReportFacts::of(&session.iterate().unwrap())];
+    session
+        .set_learner_param("predictions", LearnerParam::RegParam(0.9))
+        .unwrap();
+    twin_facts.push(ReportFacts::of(&session.iterate().unwrap()));
+    drop(session);
+    drop(manager);
+
+    let manager = SessionManager::new(durable_engine(&store));
+    let recovered =
+        manager.recover(|template| (template == "census-mini").then(|| workflow(&dir).unwrap()));
+    assert_eq!(recovered, 1, "alice must come back");
+    let session = manager.get("alice").unwrap();
+    session
+        .set_learner_param("predictions", LearnerParam::Epochs(6))
+        .unwrap();
+    twin_facts.push(ReportFacts::of(&session.iterate().unwrap()));
+
+    assert_eq!(
+        twin_facts, control_facts,
+        "the restart must be invisible in the reports"
+    );
+    assert!(
+        twin_facts[2].loaded > 0,
+        "the post-restart iteration must reuse recovered intermediates"
+    );
+
+    // History: same length, same summaries, same diff across the restart
+    // boundary.
+    let control_versions = control_session.versions();
+    let twin_versions = session.versions();
+    assert_eq!(twin_versions.len(), control_versions.len());
+    for (t, c) in twin_versions.all().iter().zip(control_versions.all()) {
+        assert_eq!(t.change_summary, c.change_summary);
+        assert_eq!(t.metrics, c.metrics);
+    }
+    let twin_diff = twin_versions.diff(1, 2).unwrap();
+    let control_diff = control_versions.diff(1, 2).unwrap();
+    assert_eq!(twin_diff.changed, control_diff.changed);
+
+    // Ledger agrees with both the twin store and the disk ground truth.
+    let twin_store = manager.engine().store();
+    assert_eq!(
+        twin_store.used_bytes(),
+        control.engine().store().used_bytes()
+    );
+    assert_eq!(twin_store.used_bytes(), disk_hlx_bytes(&store));
+}
+
+/// Environment variable naming the scratch directory for the kill test's
+/// child process; set only by the parent below.
+const CHILD_ENV: &str = "HELIX_DURABILITY_CHILD_DIR";
+
+/// The victim process: iterates two durable sessions round-robin
+/// forever, appending one line to `progress.txt` after each acknowledged
+/// iteration. Runs only when spawned by the parent test (the env var
+/// carries the directory); `#[ignore]` keeps it out of normal runs.
+#[test]
+#[ignore]
+fn durability_child_worker() {
+    let Ok(dir) = std::env::var(CHILD_ENV) else {
+        return; // invoked manually; nothing to do
+    };
+    let dir = PathBuf::from(dir);
+    let manager = SessionManager::new(durable_engine(&dir.join("store")));
+    let alice = manager
+        .create_with_template("alice", workflow(&dir).unwrap(), Some("census-mini"))
+        .unwrap();
+    let bob = manager
+        .create_with_template("bob", workflow(&dir).unwrap(), Some("census-mini"))
+        .unwrap();
+    let progress = dir.join("progress.txt");
+    let mut log = String::new();
+    for i in 0.. {
+        let session = if i % 2 == 0 { &alice } else { &bob };
+        let flip = if (i / 2) % 2 == 0 { 0.9 } else { 0.1 };
+        session
+            .set_learner_param("predictions", LearnerParam::RegParam(flip))
+            .unwrap();
+        let report = session.iterate().unwrap();
+        log.push_str(&format!(
+            "{} {} {}\n",
+            session.name(),
+            report.iteration,
+            report.loaded()
+        ));
+        // Atomic replace so the parent never reads a torn line.
+        let tmp = dir.join("progress.tmp");
+        std::fs::write(&tmp, &log).unwrap();
+        std::fs::rename(&tmp, &progress).unwrap();
+    }
+}
+
+/// SIGKILL mid-iteration: the parent spawns the child above, waits until
+/// it has acknowledged several iterations, kills it without warning, and
+/// reopens the store — every acknowledged iteration must be there, the
+/// ledger must match disk, and both sessions must keep iterating.
+#[test]
+fn sigkill_mid_iteration_loses_no_acknowledged_work() {
+    let dir = tmpdir("kill");
+    workflow(&dir).unwrap(); // writes the shared CSVs up front
+
+    let exe = std::env::current_exe().unwrap();
+    let mut child = std::process::Command::new(exe)
+        .args([
+            "--ignored",
+            "--exact",
+            "durability_child_worker",
+            "--nocapture",
+        ])
+        .env(CHILD_ENV, &dir)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+
+    // Wait for ≥5 acknowledged iterations (each session ≥2), then kill.
+    let progress = dir.join("progress.txt");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
+    let acknowledged = loop {
+        if let Some(status) = child.try_wait().unwrap() {
+            panic!("child exited early with {status}");
+        }
+        let lines: Vec<String> = std::fs::read_to_string(&progress)
+            .map(|t| t.lines().map(String::from).collect())
+            .unwrap_or_default();
+        if lines.len() >= 5 {
+            break lines;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "child made no progress: {} iterations",
+            lines.len()
+        );
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    };
+    child.kill().unwrap();
+    child.wait().unwrap();
+
+    // Count the iterations each session acknowledged before the kill.
+    let acked = |name: &str| acknowledged.iter().filter(|l| l.starts_with(name)).count();
+    let (alice_acked, bob_acked) = (acked("alice"), acked("bob"));
+    assert!(alice_acked >= 2 && bob_acked >= 2);
+    let warm_loaded: usize = acknowledged
+        .last()
+        .unwrap()
+        .rsplit(' ')
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap();
+
+    // Reopen and recover. The kill may have landed mid-iteration; that
+    // trailing partial iteration is allowed to vanish, acknowledged ones
+    // are not.
+    let store = dir.join("store");
+    let manager = SessionManager::new(durable_engine(&store));
+    let recovered =
+        manager.recover(|template| (template == "census-mini").then(|| workflow(&dir).unwrap()));
+    assert_eq!(recovered, 2, "both sessions must come back");
+    assert!(manager.engine().recovery().store.recovered_entries > 0);
+
+    let alice = manager.get("alice").unwrap();
+    let bob = manager.get("bob").unwrap();
+    assert!(
+        alice.iteration() >= alice_acked,
+        "alice acknowledged {alice_acked} iterations but recovered {}",
+        alice.iteration()
+    );
+    assert!(
+        bob.iteration() >= bob_acked,
+        "bob acknowledged {bob_acked} iterations but recovered {}",
+        bob.iteration()
+    );
+    assert_eq!(alice.versions().len(), alice.iteration());
+    assert_eq!(bob.versions().len(), bob.iteration());
+
+    // The recovered ledger is exactly what is on disk.
+    assert_eq!(
+        manager.engine().store().used_bytes(),
+        disk_hlx_bytes(&store)
+    );
+
+    // And the store is warm: a post-crash iteration reuses at least as
+    // much as the last acknowledged pre-crash one did.
+    alice
+        .set_learner_param("predictions", LearnerParam::Epochs(7))
+        .unwrap();
+    let resumed = alice.iterate().unwrap();
+    assert!(
+        resumed.loaded() >= warm_loaded.min(1),
+        "post-crash iteration must reuse recovered intermediates"
+    );
+    assert!(!resumed.metrics.is_empty());
+}
+
+/// WAL-tail fuzz: truncating the last WAL record at every byte boundary
+/// simulates every possible torn write; each prefix must open cleanly
+/// with at most the torn record's entry missing, and the recovered
+/// ledger must match disk exactly.
+#[test]
+fn torn_wal_tail_opens_cleanly_at_every_truncation_point() {
+    use helix::core::store::StoreOptions;
+
+    let dir = tmpdir("fuzz");
+    workflow(&dir).unwrap();
+
+    // Populate a single-shard durable store (one WAL file to fuzz).
+    let store_dir = dir.join("store");
+    {
+        let mut config = EngineConfig::helix(&store_dir);
+        config.materialization = MaterializationPolicyKind::All;
+        config.durability = Durability::wal_nosync();
+        config.store_shards = 1;
+        let engine = Engine::new(config).unwrap();
+        engine.run(&workflow(&dir).unwrap()).unwrap();
+    }
+
+    let wal_path = store_dir.join("wal").join("shard-0.wal");
+    let wal = std::fs::read(&wal_path).unwrap();
+    assert!(!wal.is_empty(), "the run must have written WAL records");
+    let baseline = {
+        let store = StoreOptions::new(&store_dir)
+            .durability(Durability::wal_nosync())
+            .shards(1)
+            .open()
+            .unwrap();
+        store.len()
+    };
+    assert!(baseline > 0);
+
+    // The last record starts after the second-to-last newline.
+    let body = &wal[..wal.len() - 1]; // drop the trailing newline
+    let last_start = body
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map(|p| p + 1)
+        .unwrap_or(0);
+
+    for cut in last_start..wal.len() {
+        let scratch = dir.join(format!("scratch-{cut}"));
+        copy_dir(&store_dir, &scratch);
+        let scratch_wal = scratch.join("wal").join("shard-0.wal");
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&scratch_wal)
+            .unwrap();
+        file.set_len(cut as u64).unwrap();
+        drop(file);
+
+        let store = StoreOptions::new(&scratch)
+            .durability(Durability::wal_nosync())
+            .shards(1)
+            .open()
+            .unwrap_or_else(|e| panic!("truncation at byte {cut} refused to open: {e}"));
+        assert!(
+            store.len() == baseline || store.len() + 1 == baseline,
+            "truncation at byte {cut}: {} entries vs baseline {baseline}",
+            store.len()
+        );
+        // Ledger == disk: every counted byte is a real .hlx file. Files
+        // from the torn entry may survive on disk unreferenced (disk is
+        // ground truth for *presence*; the ledger only counts entries it
+        // replayed or adopted).
+        drop(store);
+        // Reopening the truncated store again must also be clean (the
+        // first recovery repaired the tail).
+        let reopened = StoreOptions::new(&scratch)
+            .durability(Durability::wal_nosync())
+            .shards(1)
+            .open()
+            .unwrap();
+        assert!(reopened.len() == baseline || reopened.len() + 1 == baseline);
+        std::fs::remove_dir_all(&scratch).unwrap();
+    }
+}
+
+/// Corrupting the WAL mid-file (not just the tail) must still open: the
+/// store truncates at the first bad record and adopts whatever valid
+/// `.hlx` files remain on disk.
+#[test]
+fn corrupt_wal_interior_truncates_and_adopts_disk_files() {
+    use helix::core::store::StoreOptions;
+
+    let dir = tmpdir("interior");
+    workflow(&dir).unwrap();
+    let store_dir = dir.join("store");
+    {
+        let mut config = EngineConfig::helix(&store_dir);
+        config.materialization = MaterializationPolicyKind::All;
+        config.durability = Durability::wal_nosync();
+        config.store_shards = 1;
+        let engine = Engine::new(config).unwrap();
+        engine.run(&workflow(&dir).unwrap()).unwrap();
+    }
+    let wal_path = store_dir.join("wal").join("shard-0.wal");
+    let mut wal = std::fs::read(&wal_path).unwrap();
+    let mid = wal.len() / 2;
+    wal[mid] = 0xFF; // garbage in the middle of some record
+    std::fs::write(&wal_path, &wal).unwrap();
+
+    let store = StoreOptions::new(&store_dir)
+        .durability(Durability::wal_nosync())
+        .shards(1)
+        .open()
+        .expect("interior corruption must not refuse to open");
+    // Everything materialized is still on disk, so adoption brings the
+    // store back to full strength even though the log lost records.
+    assert!(!store.is_empty());
+    assert_eq!(store.used_bytes(), disk_hlx_bytes(&store_dir));
+}

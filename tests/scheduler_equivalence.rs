@@ -23,7 +23,7 @@ use helix::core::ops::{OperatorKind, Udf};
 use helix::core::recompute::build_waves;
 use helix::core::scheduler::{default_parallelism, execute_plan, execute_plan_opts, ExecOpts};
 use helix::core::signature::Signature;
-use helix::core::store::IntermediateStore;
+use helix::core::store::StoreOptions;
 use helix::core::{
     Engine, EngineConfig, MaterializationPolicyKind, NodeId, NodeOutput, NodeRef,
     RecomputationPolicy, Workflow,
@@ -231,7 +231,7 @@ proptest! {
     #[test]
     fn parallel_executes_random_dags_identically((n, edges) in arb_dag()) {
         let w = dag_workflow(n, &edges);
-        let store = IntermediateStore::open(tmpdir("fresh"), 1 << 24).unwrap();
+        let store = StoreOptions::new(tmpdir("fresh")).budget_bytes(1 << 24).open().unwrap();
         let cm = CostModel::new();
         let plan = compile(&w, &store, &cm, RecomputationPolicy::Optimal, None).unwrap();
 
@@ -263,7 +263,7 @@ proptest! {
         mask in proptest::collection::vec(any::<bool>(), 9),
     ) {
         let w = dag_workflow(n, &edges);
-        let store = IntermediateStore::open(tmpdir("mixed"), 1 << 24).unwrap();
+        let store = StoreOptions::new(tmpdir("mixed")).budget_bytes(1 << 24).open().unwrap();
         let mut cm = CostModel::new();
         // First pass computes everything so we have real outputs to
         // materialize.
@@ -301,7 +301,7 @@ proptest! {
     #[test]
     fn adversarial_shapes_execute_identically((n, edges) in arb_adversarial_dag()) {
         let w = dag_workflow(n, &edges);
-        let store = IntermediateStore::open(tmpdir("adv"), 1 << 24).unwrap();
+        let store = StoreOptions::new(tmpdir("adv")).budget_bytes(1 << 24).open().unwrap();
         let cm = CostModel::new();
         let plan = compile(&w, &store, &cm, RecomputationPolicy::Optimal, None).unwrap();
         let mut merged_seq: Vec<NodeId> = Vec::new();
@@ -334,7 +334,7 @@ proptest! {
         // Budget admits roughly half the candidate entries, so accepts
         // and rejects both happen while the evictor frees space.
         let budget = entry_bytes * (writers as u64 * per_writer / 2).max(2);
-        let store = IntermediateStore::open_with_shards(tmpdir("shards"), budget, shards).unwrap();
+        let store = StoreOptions::new(tmpdir("shards")).budget_bytes(budget).shards(shards).open().unwrap();
         let total = writers as u64 * per_writer;
         std::thread::scope(|scope| {
             for w in 0..writers as u64 {
@@ -415,7 +415,7 @@ proptest! {
         mask in proptest::collection::vec(any::<bool>(), 9),
     ) {
         let w = partitioned_dag_workflow(n, &edges, rows, &mask);
-        let store = IntermediateStore::open(tmpdir("part"), 1 << 24).unwrap();
+        let store = StoreOptions::new(tmpdir("part")).budget_bytes(1 << 24).open().unwrap();
         let cm = CostModel::new();
         let plan = compile(&w, &store, &cm, RecomputationPolicy::Optimal, None).unwrap();
 

@@ -11,7 +11,9 @@
 
 use helix::core::ops::ExtractorKind;
 use helix::core::session::LearnerParam;
-use helix::core::{Engine, EngineConfig, MaterializationPolicyKind, SessionManager, Workflow};
+use helix::core::{
+    Durability, Engine, EngineConfig, MaterializationPolicyKind, SessionManager, Workflow,
+};
 use helix::dataflow::DataType;
 use helix::server::client::{self, Client};
 use helix::server::json::Json;
@@ -437,6 +439,156 @@ fn response_framing_and_close_semantics_on_raw_sockets() {
     let mut rest = Vec::new();
     let n = reader.read_to_end(&mut rest).unwrap();
     assert_eq!(n, 0, "no reuse after Connection: close, got {rest:?}");
+
+    server.shutdown();
+}
+
+/// The durable serving loop end to end: a WAL-backed server runs the
+/// analyst loop, checkpoints via `POST /admin/snapshot`, and shuts down;
+/// a second server over the same store directory recovers the session,
+/// reports it in the versioned `GET /stats`, and resumes iterating with
+/// warm-store reuse.
+#[test]
+fn durable_server_recovers_sessions_over_the_wire() {
+    let dir = tmpdir("durable");
+    let durable_config = |dir: &Path| {
+        let mut c = config(dir.join("store"), Some(1));
+        c.durability = Durability::wal_nosync();
+        c
+    };
+    let registry_for = |dir: &Path| {
+        let mut registry = WorkflowRegistry::new();
+        let dir = dir.to_path_buf();
+        registry.register("census-mini", move || workflow(&dir));
+        registry
+    };
+
+    // -- first server: create, iterate twice, checkpoint, shut down ---------
+    let manager = Arc::new(SessionManager::new(Arc::new(
+        Engine::new(durable_config(&dir)).unwrap(),
+    )));
+    let mut server = Server::bind(
+        ("127.0.0.1", 0),
+        Api::new(Arc::clone(&manager), registry_for(&dir)),
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    client::post(
+        addr,
+        "/sessions",
+        r#"{"name":"alice","workflow":"census-mini"}"#,
+    )
+    .unwrap()
+    .expect_ok();
+    client::post(addr, "/sessions/alice/iterate", "")
+        .unwrap()
+        .expect_ok();
+    client::post(
+        addr,
+        "/sessions/alice/edits",
+        r#"{"kind":"set_learner_param","learner":"predictions","param":"reg_param","value":0.9}"#,
+    )
+    .unwrap()
+    .expect_ok();
+    client::post(addr, "/sessions/alice/iterate", "")
+        .unwrap()
+        .expect_ok();
+
+    // Stats v2 on a fresh durable server: nothing recovered, WAL active.
+    let stats = client::get(addr, "/stats").unwrap().expect_ok();
+    assert_eq!(stats.get("v").unwrap().as_u64(), Some(2));
+    assert_eq!(stats.get("recovered_sessions").unwrap().as_u64(), Some(0));
+    assert!(stats.get("wal_bytes").unwrap().as_u64().unwrap() > 0);
+
+    // Forced checkpoint compacts the WAL into the snapshot.
+    let snap = client::post(addr, "/admin/snapshot", "")
+        .unwrap()
+        .expect_ok();
+    assert_eq!(snap.get("snapshotted").unwrap().as_bool(), Some(true));
+    assert!(snap.get("last_snapshot").unwrap().as_u64().unwrap() > 0);
+    assert_eq!(
+        client::get(addr, "/admin/snapshot").unwrap().status,
+        405,
+        "GET on the snapshot route must be method-not-allowed"
+    );
+
+    server.shutdown();
+    drop(manager);
+
+    // -- second server over the same store: recover, inspect, resume --------
+    let manager = Arc::new(SessionManager::new(Arc::new(
+        Engine::new(durable_config(&dir)).unwrap(),
+    )));
+    let api = Api::new(Arc::clone(&manager), registry_for(&dir));
+    assert_eq!(api.recover_sessions(), 1, "alice must come back");
+    let mut server = Server::bind(("127.0.0.1", 0), api, ServerConfig::default()).unwrap();
+    let addr = server.addr();
+
+    let stats = client::get(addr, "/stats").unwrap().expect_ok();
+    assert_eq!(stats.get("v").unwrap().as_u64(), Some(2));
+    assert_eq!(stats.get("recovered_sessions").unwrap().as_u64(), Some(1));
+    assert!(stats.get("recovered_entries").unwrap().as_u64().unwrap() > 0);
+
+    let info = client::get(addr, "/sessions/alice").unwrap().expect_ok();
+    assert_eq!(info.get("iterations").unwrap().as_u64(), Some(2));
+    let history = client::get(addr, "/sessions/alice/versions")
+        .unwrap()
+        .expect_ok();
+    assert_eq!(
+        history.get("versions").unwrap().as_array().unwrap().len(),
+        2,
+        "both pre-restart versions must survive"
+    );
+
+    // The recovered session keeps iterating against the recovered store.
+    let resumed = client::post(addr, "/sessions/alice/iterate", "")
+        .unwrap()
+        .expect_ok();
+    assert_eq!(resumed.get("iteration").unwrap().as_u64(), Some(2));
+    assert!(
+        resumed.get("loaded").unwrap().as_u64().unwrap() > 0,
+        "the post-restart iteration must reuse recovered intermediates"
+    );
+
+    server.shutdown();
+}
+
+/// `POST /admin/snapshot` on a volatile engine is the caller's mistake:
+/// 400 with a hint, not a silent no-op.
+#[test]
+fn admin_snapshot_on_volatile_engine_is_rejected() {
+    let dir = tmpdir("volatile-snap");
+    // Pin Volatile explicitly: EngineConfig::helix reads HELIX_DURABILITY,
+    // and this test must reject the snapshot even when the suite runs
+    // under HELIX_DURABILITY=wal (the CI durability job does exactly that).
+    let mut config = EngineConfig::helix(dir.join("store"));
+    config.durability = Durability::Volatile;
+    let manager = Arc::new(SessionManager::new(Arc::new(Engine::new(config).unwrap())));
+    let mut server = Server::bind(
+        ("127.0.0.1", 0),
+        Api::new(manager, WorkflowRegistry::new()),
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    let resp = client::post(addr, "/admin/snapshot", "").unwrap();
+    assert_eq!(resp.status, 400);
+    assert!(resp
+        .body
+        .get("error")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("volatile"));
+
+    // Volatile stats still answer with the v2 schema, counters zeroed.
+    let stats = client::get(addr, "/stats").unwrap().expect_ok();
+    assert_eq!(stats.get("v").unwrap().as_u64(), Some(2));
+    assert_eq!(stats.get("wal_bytes").unwrap().as_u64(), Some(0));
+    assert_eq!(stats.get("recovered_sessions").unwrap().as_u64(), Some(0));
 
     server.shutdown();
 }
