@@ -1,0 +1,91 @@
+//! Adaptive-optimizer payoff: a warm engine re-planning from memo
+//! observations versus a cold engine planning from name-keyed estimates
+//! alone, on the scaled census workload.
+//!
+//! Two rows in one group:
+//!
+//! * `optimizer_replan/adaptive_warm` — an engine with an accumulated
+//!   memo and a warm store, re-planning on every run (factor 1.0, the
+//!   always-adapt setting). This measures the steady-state analyst
+//!   iteration *including* the adaptive re-plan's overhead — the
+//!   divergence scan and the second `plan_states` pass.
+//! * `optimizer_replan/estimate_cold` — a fresh engine per sample over an
+//!   empty store: first-iteration planning from estimates only, computing
+//!   everything.
+//!
+//! The CI gate asserts `adaptive_warm <= estimate_cold` within the run:
+//! observed-cost planning plus reuse must never lose to cold estimates,
+//! otherwise the adaptive path's overhead has swallowed its payoff.
+//!
+//! Run with `cargo bench -p helix-bench --bench optimizer`. Set
+//! `HELIX_BENCH_FAST=1` for the reduced CI configuration and
+//! `HELIX_BENCH_JSON=path.json` to capture machine-readable results.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use helix_core::{Engine, EngineConfig};
+use helix_workloads::census::{census_workflow, generate_census, CensusDataSpec, CensusParams};
+use std::path::{Path, PathBuf};
+
+fn fast_mode() -> bool {
+    std::env::var_os("HELIX_BENCH_FAST").is_some_and(|v| v != "0")
+}
+
+fn bench_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("helix-bench-opt-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn engine(store: &Path, replan_factor: f64) -> Engine {
+    Engine::new(EngineConfig::helix(store).with_replan_factor(replan_factor)).unwrap()
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    let fast = fast_mode();
+    let samples = if fast { 5 } else { 10 };
+    let data = bench_dir("data");
+    generate_census(
+        &data,
+        &CensusDataSpec {
+            train_rows: if fast { 2_000 } else { 8_000 },
+            test_rows: if fast { 500 } else { 2_000 },
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let params = CensusParams::initial(&data);
+
+    let mut group = c.benchmark_group("optimizer_replan");
+    group.sample_size(samples);
+
+    // Warm adaptive: two priming runs build the store, the memo, and the
+    // observed-cost history; every sample then runs the steady-state
+    // analyst iteration through the always-replan path.
+    let warm = engine(&bench_dir("warm"), 1.0);
+    warm.run(&census_workflow(&params).unwrap()).unwrap();
+    warm.run(&census_workflow(&params).unwrap()).unwrap();
+    assert!(
+        warm.optimizer_stats().replans_triggered > 0,
+        "the warm engine must actually exercise the adaptive path"
+    );
+    group.bench_function("adaptive_warm", |b| {
+        b.iter(|| warm.run(&census_workflow(&params).unwrap()).unwrap())
+    });
+
+    // Cold estimate-only: a fresh engine over an empty store per sample —
+    // first-iteration planning with nothing but name-keyed estimates.
+    let cold_root = bench_dir("cold");
+    let mut next = 0u32;
+    group.bench_function("estimate_cold", |b| {
+        b.iter(|| {
+            next += 1;
+            let cold = engine(&cold_root.join(format!("s{next}")), f64::INFINITY);
+            cold.run(&census_workflow(&params).unwrap()).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimizer);
+criterion_main!(benches);

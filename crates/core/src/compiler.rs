@@ -7,6 +7,7 @@
 //! yielding a [`CompiledPlan`] the engine executes.
 
 use crate::cost::{secs_to_us, CostModel};
+use crate::memo::{DecisionSource, MemoTable};
 use crate::recompute::{plan_states, NodeCosts, NodeState, RecomputationPolicy};
 use crate::signature::{compute_signatures, track_changes, ChangeKind, ChangeReport, Signature};
 use crate::slicing;
@@ -34,6 +35,10 @@ pub struct CompiledPlan {
     pub states: Vec<NodeState>,
     /// Costs used by the optimizer (µs), for reports and tests.
     pub costs: Vec<NodeCosts>,
+    /// Where each node's planning cost came from: `Estimate` out of
+    /// [`compile`], flipped to `Observed` per memo-backed node when
+    /// [`adapt_plan_with_memo`] re-plans.
+    pub sources: Vec<DecisionSource>,
     /// Diff against the previous iteration, when one exists.
     pub change: Option<ChangeReport>,
 }
@@ -117,14 +122,81 @@ pub fn compile_with_slicing(
     }
 
     let states = plan_states(workflow, &slice.active, &costs, policy)?;
+    let sources = vec![DecisionSource::Estimate; workflow.len()];
     Ok(CompiledPlan {
         order,
         signatures,
         active: slice.active,
         states,
         costs,
+        sources,
         change,
     })
+}
+
+/// The adaptive re-plan: replaces estimate-backed compute costs with
+/// memo-observed per-signature history and re-runs the recomputation
+/// optimizer when they diverge.
+///
+/// For every active node whose signature has compute history in `memo`,
+/// the divergence ratio `max(observed/estimate, estimate/observed)` is
+/// compared against `replan_factor` (clamped to ≥ 1; a factor of exactly
+/// `1.0` re-plans whenever *any* memo-backed node exists, which keeps
+/// tests deterministic; `f64::INFINITY` disables re-planning). When any
+/// node diverges, all memo-backed compute costs are swapped in,
+/// [`plan_states`] runs again over the same slice mask, those nodes'
+/// [`CompiledPlan::sources`] flip to [`DecisionSource::Observed`], and
+/// `Ok(true)` is returned. Only `states`/`costs`/`sources` change —
+/// signatures, order, and the slice are untouched, so execution results
+/// stay byte-identical; only load/compute/store choices may move.
+pub fn adapt_plan_with_memo(
+    workflow: &Workflow,
+    plan: &mut CompiledPlan,
+    memo: &MemoTable,
+    policy: RecomputationPolicy,
+    replan_factor: f64,
+) -> Result<bool> {
+    let factor = if replan_factor.is_nan() {
+        f64::INFINITY
+    } else {
+        replan_factor.max(1.0)
+    };
+    if factor.is_infinite() || memo.is_empty() {
+        return Ok(false);
+    }
+    // Memo-backed compute costs for active nodes, and whether any
+    // diverges from the estimate by the configured factor.
+    let mut observed_us: Vec<Option<u64>> = vec![None; workflow.len()];
+    let mut diverged = false;
+    for (i, slot) in observed_us.iter_mut().enumerate() {
+        if !plan.active[i] {
+            continue;
+        }
+        let Some(secs) = memo
+            .get(plan.signatures[i])
+            .and_then(|e| e.observed_compute_secs())
+        else {
+            continue;
+        };
+        let us = secs_to_us(secs);
+        *slot = Some(us);
+        let est = plan.costs[i].compute_us.max(1) as f64;
+        let obs = us.max(1) as f64;
+        if (obs / est).max(est / obs) >= factor {
+            diverged = true;
+        }
+    }
+    if !diverged {
+        return Ok(false);
+    }
+    for (i, us) in observed_us.iter().enumerate() {
+        if let Some(us) = us {
+            plan.costs[i].compute_us = *us;
+            plan.sources[i] = DecisionSource::Observed;
+        }
+    }
+    plan.states = plan_states(workflow, &plan.active, &plan.costs, policy)?;
+    Ok(true)
 }
 
 /// Convenience for reports: pairs each node name with its plan state and
@@ -261,6 +333,75 @@ mod tests {
             change.kinds[income.index()],
             ChangeKind::TransitivelyAffected
         );
+    }
+
+    #[test]
+    fn adapt_plan_swaps_in_observed_costs_when_diverged() {
+        let w = census_like();
+        let store = tmp_store("adapt");
+        let cm = CostModel::new();
+        let mut plan = compile(&w, &store, &cm, RecomputationPolicy::Optimal, None).unwrap();
+        let income = w.by_name("income").unwrap().index();
+
+        // Empty memo: nothing to adapt.
+        let memo = crate::memo::MemoTable::new();
+        assert!(
+            !adapt_plan_with_memo(&w, &mut plan, &memo, RecomputationPolicy::Optimal, 4.0).unwrap()
+        );
+
+        // Observed cost 100× the 50 ms default estimate: diverged at 4×.
+        let mut memo = crate::memo::MemoTable::new();
+        memo.record(
+            plan.signatures[income],
+            "income",
+            &[],
+            crate::memo::Observation {
+                exec_secs: 5.0,
+                output_bytes: 1024,
+                loaded: false,
+                rows: 10,
+            },
+        );
+        assert!(
+            adapt_plan_with_memo(&w, &mut plan, &memo, RecomputationPolicy::Optimal, 4.0).unwrap()
+        );
+        assert_eq!(plan.sources[income], DecisionSource::Observed);
+        assert_eq!(plan.costs[income].compute_us, secs_to_us(5.0));
+        // Non-memo-backed nodes keep their estimate provenance.
+        let rows = w.by_name("rows").unwrap().index();
+        assert_eq!(plan.sources[rows], DecisionSource::Estimate);
+
+        // Infinity disables re-planning outright.
+        let mut plan2 = compile(&w, &store, &cm, RecomputationPolicy::Optimal, None).unwrap();
+        assert!(!adapt_plan_with_memo(
+            &w,
+            &mut plan2,
+            &memo,
+            RecomputationPolicy::Optimal,
+            f64::INFINITY
+        )
+        .unwrap());
+        assert!(plan2.sources.iter().all(|s| *s == DecisionSource::Estimate));
+
+        // A factor of exactly 1.0 re-plans whenever history exists, even
+        // with zero divergence (deterministic-test semantics).
+        let mut memo_eq = crate::memo::MemoTable::new();
+        memo_eq.record(
+            plan2.signatures[income],
+            "income",
+            &[],
+            crate::memo::Observation {
+                exec_secs: DEFAULT_COMPUTE_SECS,
+                output_bytes: 0,
+                loaded: false,
+                rows: 0,
+            },
+        );
+        assert!(
+            adapt_plan_with_memo(&w, &mut plan2, &memo_eq, RecomputationPolicy::Optimal, 1.0)
+                .unwrap()
+        );
+        assert_eq!(plan2.sources[income], DecisionSource::Observed);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 use crate::compiler::CompiledPlan;
 use crate::cost::CostModel;
 use crate::materialize::{MaterializationContext, MaterializationPolicyKind};
+use crate::memo::{MemoTable, Observation, OfflineOutcome};
 use crate::ops::{NodeOutput, OperatorKind};
 use crate::recompute::RecomputationPolicy;
 use crate::report::{IterationReport, NodeReport};
@@ -26,8 +27,9 @@ use crate::store::{Durability, IntermediateStore, RecoveryInfo, StoreOptions};
 use crate::version::VersionStore;
 use crate::workflow::Workflow;
 use crate::{HelixError, Result};
-use helix_dataflow::fx::FxHashMap;
+use helix_dataflow::fx::{FxHashMap, FxHashSet};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -74,6 +76,16 @@ pub struct EngineConfig {
     /// resumes every session's lineage — see `docs/ARCHITECTURE.md`,
     /// "Durability".
     pub durability: Durability,
+    /// Divergence factor for the adaptive re-plan: when a node's
+    /// memo-observed compute cost differs from its estimate by at least
+    /// this ratio (either direction), the engine re-runs the
+    /// recomputation optimizer with observed costs before executing.
+    /// Clamped to ≥ 1; exactly `1.0` re-plans whenever any observed
+    /// history exists, `f64::INFINITY` disables re-planning. The default
+    /// comes from `HELIX_REPLAN_FACTOR` (falling back to 4.0). Purely a
+    /// plan-shaping knob — execution results are byte-identical at every
+    /// setting; only load/compute/store choices move.
+    pub replan_factor: f64,
 }
 
 impl EngineConfig {
@@ -89,6 +101,7 @@ impl EngineConfig {
             store_shards: crate::store::default_store_shards(),
             partition_rows: scheduler::default_partition_rows(),
             durability: crate::config_env::durability(),
+            replan_factor: crate::config_env::replan_factor(),
         }
     }
 
@@ -103,6 +116,8 @@ impl EngineConfig {
     /// | `HELIX_STORE_SHARDS` | [`EngineConfig::store_shards`] |
     /// | `HELIX_PARTITION_ROWS` | [`EngineConfig::partition_rows`] |
     /// | `HELIX_DURABILITY` | [`EngineConfig::durability`] |
+    /// | `HELIX_REPLAN_FACTOR` | [`EngineConfig::replan_factor`] |
+    /// | `HELIX_WAL_SNAPSHOT_BYTES` | [`EngineConfig::durability`] (WAL compaction threshold) |
     ///
     /// [`EngineConfig::helix`] reads the same knobs; `from_env` is the
     /// spelled-out alias that makes the env dependency explicit at the
@@ -138,6 +153,18 @@ impl EngineConfig {
     /// Sets the durability tier.
     pub fn with_durability(mut self, durability: Durability) -> Self {
         self.durability = durability;
+        self
+    }
+
+    /// Sets the adaptive re-plan divergence factor (clamped to ≥ 1;
+    /// `f64::INFINITY` disables re-planning, `1.0` re-plans whenever
+    /// observed history exists).
+    pub fn with_replan_factor(mut self, factor: f64) -> Self {
+        self.replan_factor = if factor.is_nan() {
+            f64::INFINITY
+        } else {
+            factor.max(1.0)
+        };
         self
     }
 }
@@ -213,6 +240,9 @@ pub struct EngineRecovery {
     pub recovered_versions: usize,
     /// Cost-model compute observations reloaded.
     pub recovered_cost_observations: usize,
+    /// Optimizer-memo signatures reloaded (their history feeds the first
+    /// post-restart plan).
+    pub recovered_memo_entries: usize,
     /// Whether an engine meta file existed but could not be parsed — the
     /// engine warned and started with fresh cost/version state (the
     /// store's entries still recovered independently).
@@ -248,6 +278,10 @@ enum CostEvent {
 struct RunContext {
     cost: CostModel,
     events: Vec<CostEvent>,
+    /// Memo recordings buffered during the run and merged into the
+    /// shared memo afterwards: `(signature, name, parent signatures,
+    /// observation)` per executed node.
+    memo_events: Vec<(Signature, String, Vec<Signature>, Observation)>,
     node_reports: Vec<NodeReport>,
     materialize_secs: f64,
     metrics: Vec<(String, f64)>,
@@ -302,6 +336,17 @@ pub struct Engine {
     /// Serializes engine-meta snapshot writes so concurrent runs never
     /// interleave two atomic replacements out of order.
     persist_gate: Mutex<()>,
+    /// The optimizer memo: per-signature runtime history consulted by
+    /// the adaptive re-plan, materialization biasing, partition sizing,
+    /// and the offline Optimal pass. Persisted with the engine meta.
+    memo: Mutex<MemoTable>,
+    /// Signatures pinned by the last offline Optimal pass: they
+    /// materialize whenever they fit, regardless of the online rule.
+    pinned: Mutex<FxHashSet<u64>>,
+    /// Lifetime count of adaptive re-plans (surfaced in `GET /stats`).
+    replans_triggered: AtomicU64,
+    /// Unix timestamp of the last offline pass (0 = never ran).
+    last_offline_unix: AtomicU64,
 }
 
 impl Engine {
@@ -325,6 +370,10 @@ impl Engine {
         };
         let mut cost_model = CostModel::new();
         let mut versions = VersionStore::new();
+        let mut memo = MemoTable::new();
+        let mut pinned = FxHashSet::default();
+        let mut replans_triggered = 0u64;
+        let mut last_offline_unix = 0u64;
         if config.durability.is_durable() {
             crate::persist::sweep_tmp(&crate::persist::meta_dir(&config.store_dir));
             crate::persist::sweep_tmp(&crate::persist::sessions_dir(&config.store_dir));
@@ -333,8 +382,13 @@ impl Engine {
                 Ok(Some(meta)) => {
                     recovery.recovered_cost_observations = meta.cost.observed_nodes();
                     recovery.recovered_versions = meta.versions.len();
+                    recovery.recovered_memo_entries = meta.memo.len();
                     cost_model = meta.cost;
                     versions = VersionStore::from_versions(meta.versions);
+                    memo = meta.memo;
+                    pinned = meta.pinned.iter().map(|s| s.0).collect();
+                    replans_triggered = meta.replans_triggered;
+                    last_offline_unix = meta.last_offline_unix;
                 }
                 Ok(None) => {}
                 Err(err) => {
@@ -353,6 +407,10 @@ impl Engine {
             default_run_gate: Mutex::new(()),
             recovery,
             persist_gate: Mutex::new(()),
+            memo: Mutex::new(memo),
+            pinned: Mutex::new(pinned),
+            replans_triggered: AtomicU64::new(replans_triggered),
+            last_offline_unix: AtomicU64::new(last_offline_unix),
         })
     }
 
@@ -385,8 +443,18 @@ impl Engine {
         let _gate = lock(&self.persist_gate);
         let cost = lock(&self.cost_model).clone();
         let versions = lock(&self.versions).clone();
+        let memo = lock(&self.memo).clone();
+        let pinned: Vec<Signature> = lock(&self.pinned).iter().map(|&s| Signature(s)).collect();
         let path = crate::persist::engine_meta_path(&self.config.store_dir);
-        if let Err(err) = crate::persist::save_engine_meta(&path, &cost, &versions) {
+        if let Err(err) = crate::persist::save_engine_meta(
+            &path,
+            &cost,
+            &versions,
+            &memo,
+            &pinned,
+            self.replans_triggered.load(Ordering::Relaxed),
+            self.last_offline_unix.load(Ordering::Relaxed),
+        ) {
             eprintln!("helix: warning: failed to persist engine meta: {err}");
         }
     }
@@ -483,7 +551,25 @@ impl Engine {
     ) -> Result<IterationReport> {
         let total_started = Instant::now();
         let opt_started = Instant::now();
-        let plan = self.compile_in(workflow, lineage)?;
+        let mut plan = self.compile_in(workflow, lineage)?;
+        // The adaptive re-plan: when per-signature observed history
+        // diverges from the name-keyed estimates the plan was compiled
+        // with, swap the observed costs in and re-run the recomputation
+        // optimizer. Snapshots of the memo and pin set are taken once
+        // here and reused by the merge callback below, so a concurrent
+        // run's recordings never shift this run's decisions mid-flight.
+        let memo_snapshot = lock(&self.memo).clone();
+        let pinned_snapshot: FxHashSet<u64> = lock(&self.pinned).clone();
+        if crate::compiler::adapt_plan_with_memo(
+            workflow,
+            &mut plan,
+            &memo_snapshot,
+            self.config.recomputation,
+            self.config.replan_factor,
+        )? {
+            self.replans_triggered.fetch_add(1, Ordering::Relaxed);
+        }
+        let plan = plan;
         let optimizer_secs = opt_started.elapsed().as_secs_f64();
 
         let wave_of = crate::recompute::wave_levels(workflow, &plan.states);
@@ -504,11 +590,13 @@ impl Engine {
                 duration_secs: 0.0,
                 output_bytes: 0,
                 materialized: false,
+                decision_source: plan.sources[i],
             })
             .collect();
         let mut ctx = RunContext {
             cost: lock(&self.cost_model).clone(),
             events: Vec::new(),
+            memo_events: Vec::new(),
             node_reports,
             materialize_secs: 0.0,
             metrics: Vec::new(),
@@ -524,9 +612,35 @@ impl Engine {
         // touched after execution completes.
         let store = &self.store;
         let config = &self.config;
+        // Partition sizing seeded from the memo: a node with observed
+        // per-row cost gets a threshold derived from it; everything else
+        // falls back to the configured knob. Purely a performance hint —
+        // partition boundaries never change results.
+        let node_partition_rows = if memo_snapshot.is_empty() {
+            None
+        } else {
+            Some(std::sync::Arc::new(
+                plan.signatures
+                    .iter()
+                    .map(|sig| {
+                        memo_snapshot
+                            .get(*sig)
+                            .and_then(|e| e.observed_per_row_secs())
+                            .map(|per_row| {
+                                scheduler::partition_rows_for_observed(
+                                    per_row,
+                                    config.partition_rows,
+                                )
+                            })
+                            .unwrap_or(config.partition_rows)
+                    })
+                    .collect::<Vec<usize>>(),
+            ))
+        };
         let exec_opts = scheduler::ExecOpts {
             parallelism: config.parallelism,
             partition_rows: config.partition_rows,
+            node_partition_rows,
             pool: Some(std::sync::Arc::clone(&self.pool)),
         };
         let result = scheduler::execute_plan_opts(
@@ -536,16 +650,44 @@ impl Engine {
             &exec_opts,
             |id, executed, output| {
                 let i = id.index();
+                let node = workflow.node(id);
+                let rows = output.as_data().map(|d| d.len() as u64).unwrap_or(0);
+                let parent_sigs: Vec<Signature> = node
+                    .parents
+                    .iter()
+                    .map(|p| plan.signatures[p.index()])
+                    .collect();
                 if let Some(bytes) = executed.loaded_bytes {
                     ctx.observe_io(bytes, executed.secs);
                     ctx.node_reports[i].duration_secs = executed.secs;
                     ctx.node_reports[i].output_bytes = bytes;
+                    ctx.memo_events.push((
+                        plan.signatures[i],
+                        node.name.clone(),
+                        parent_sigs,
+                        Observation {
+                            exec_secs: executed.secs,
+                            output_bytes: bytes,
+                            loaded: true,
+                            rows,
+                        },
+                    ));
                 } else {
-                    let node = workflow.node(id);
                     ctx.observe_compute(&node.name, executed.secs);
                     let est_bytes = output.estimated_bytes() as u64;
                     ctx.node_reports[i].duration_secs = executed.secs;
                     ctx.node_reports[i].output_bytes = est_bytes;
+                    ctx.memo_events.push((
+                        plan.signatures[i],
+                        node.name.clone(),
+                        parent_sigs,
+                        Observation {
+                            exec_secs: executed.secs,
+                            output_bytes: est_bytes,
+                            loaded: false,
+                            rows,
+                        },
+                    ));
 
                     let size = ctx.cost.expected_encoded_bytes(est_bytes);
                     let decision = MaterializationContext {
@@ -554,6 +696,11 @@ impl Engine {
                         ancestors_compute_secs: ancestors_compute_estimate(&ctx.cost, workflow, id),
                         size_bytes: size,
                         remaining_budget_bytes: store.remaining_bytes(),
+                        expected_reuse: memo_snapshot
+                            .get(plan.signatures[i])
+                            .map(|e| e.expected_reuse())
+                            .unwrap_or(1.0),
+                        pinned: pinned_snapshot.contains(&plan.signatures[i].0),
                     };
                     if config.materialization.decide(&decision)
                         && store.lookup(plan.signatures[i]).is_none()
@@ -604,6 +751,15 @@ impl Engine {
                 }
             }
         }
+        // Memo recordings merge on the same terms as cost events: every
+        // node that executed before a failure still observed real costs,
+        // and the next plan should know about them.
+        {
+            let mut memo = lock(&self.memo);
+            for (sig, name, parents, observation) in ctx.memo_events.drain(..) {
+                memo.record(sig, &name, &parents, observation);
+            }
+        }
         let result = result?;
 
         let change_summary = options.summary.unwrap_or_else(|| {
@@ -645,6 +801,72 @@ impl Engine {
     pub fn fetch(&self, sig: Signature) -> Result<NodeOutput> {
         Ok(self.store.get(sig)?.0)
     }
+
+    /// A point-in-time snapshot of the optimizer memo.
+    pub fn memo(&self) -> MemoTable {
+        lock(&self.memo).clone()
+    }
+
+    /// Optimizer counters surfaced in `GET /stats`.
+    pub fn optimizer_stats(&self) -> OptimizerStats {
+        let memo = lock(&self.memo);
+        OptimizerStats {
+            memo_entries: memo.len(),
+            observations_recorded: memo.observations_recorded(),
+            replans_triggered: self.replans_triggered.load(Ordering::Relaxed),
+            pinned: lock(&self.pinned).len(),
+            last_offline_unix: self.last_offline_unix.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The paper's offline Optimal-materialization pass (the
+    /// `POST /admin/optimize` entry point), intended to run between
+    /// session bursts.
+    ///
+    /// Solves materialization over the accumulated memo history via the
+    /// Project-Selection/min-cut machinery ([`crate::memo::solve_offline`]
+    /// — the chosen set's total cost never exceeds the online rule's on
+    /// the same history), pins the chosen signatures so the online policy
+    /// materializes them whenever they fit, evicts stored entries the
+    /// history says are not worth their bytes, and checkpoints the result
+    /// with the engine meta.
+    pub fn optimize_offline(&self) -> Result<OfflineOutcome> {
+        let memo = lock(&self.memo).clone();
+        let cost = lock(&self.cost_model).clone();
+        let outcome = crate::memo::solve_offline(&memo, &cost, self.config.storage_budget_bytes);
+        let chosen: FxHashSet<u64> = outcome.chosen.iter().map(|s| s.0).collect();
+        *lock(&self.pinned) = chosen.clone();
+        // Reclaim bytes from stored entries the pass rejected. Concurrent
+        // iterations tolerate this the same way they tolerate budget
+        // races: a missed load recomputes.
+        for (sig, _) in memo.entries() {
+            if !chosen.contains(&sig.0) && self.store.lookup(sig).is_some() {
+                let _ = self.store.evict(sig);
+            }
+        }
+        let now = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        self.last_offline_unix.store(now, Ordering::Relaxed);
+        self.persist_meta();
+        Ok(outcome)
+    }
+}
+
+/// Optimizer counters for `GET /stats` and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptimizerStats {
+    /// Signatures with recorded history.
+    pub memo_entries: usize,
+    /// Lifetime observations recorded.
+    pub observations_recorded: u64,
+    /// Lifetime adaptive re-plans.
+    pub replans_triggered: u64,
+    /// Signatures pinned by the last offline pass.
+    pub pinned: usize,
+    /// Unix timestamp of the last offline pass (0 = never ran).
+    pub last_offline_unix: u64,
 }
 
 /// Sum of compute-cost estimates over all ancestors of `id` — the
@@ -1145,5 +1367,122 @@ mod tests {
             engine.store().used_bytes() <= engine.store().budget_bytes(),
             "concurrent runs must respect the budget"
         );
+    }
+
+    #[test]
+    fn adaptive_replan_flips_decision_sources_to_observed() {
+        let dir = tmpdir("replan");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Factor 1.0 re-plans whenever memo history exists, so the second
+        // run must go through the adaptive path deterministically.
+        let engine =
+            Engine::new(EngineConfig::helix(dir.join("store")).with_replan_factor(1.0)).unwrap();
+        let w = census_workflow(&dir, 0.1);
+
+        let first = engine.run(&w).unwrap();
+        assert_eq!(engine.optimizer_stats().replans_triggered, 0);
+        assert!(first
+            .nodes
+            .iter()
+            .all(|n| n.decision_source == crate::memo::DecisionSource::Estimate));
+        assert!(engine.optimizer_stats().observations_recorded > 0);
+
+        let second = engine.run(&w).unwrap();
+        assert_eq!(engine.optimizer_stats().replans_triggered, 1);
+        assert!(
+            second
+                .nodes
+                .iter()
+                .any(|n| n.decision_source == crate::memo::DecisionSource::Observed),
+            "memo-backed nodes must report observed costs after a re-plan"
+        );
+        // Re-planning only changes load/compute/store choices; results
+        // are the same.
+        assert_eq!(first.metrics, second.metrics);
+    }
+
+    #[test]
+    fn disabled_replan_never_triggers() {
+        let dir = tmpdir("replan-off");
+        std::fs::create_dir_all(&dir).unwrap();
+        let engine =
+            Engine::new(EngineConfig::helix(dir.join("store")).with_replan_factor(f64::INFINITY))
+                .unwrap();
+        let w = census_workflow(&dir, 0.1);
+        engine.run(&w).unwrap();
+        let second = engine.run(&w).unwrap();
+        assert_eq!(engine.optimizer_stats().replans_triggered, 0);
+        assert!(second
+            .nodes
+            .iter()
+            .all(|n| n.decision_source == crate::memo::DecisionSource::Estimate));
+    }
+
+    #[test]
+    fn durable_engine_reloads_memo_and_pins() {
+        let dir = tmpdir("durable-memo");
+        std::fs::create_dir_all(&dir).unwrap();
+        let config = || {
+            EngineConfig::helix(dir.join("store"))
+                .with_durability(Durability::wal_nosync())
+                .with_replan_factor(1.0)
+        };
+        let (entries, observations, pinned) = {
+            let engine = Engine::new(config()).unwrap();
+            engine.run(&census_workflow(&dir, 0.1)).unwrap();
+            engine.run(&census_workflow(&dir, 0.1)).unwrap();
+            let outcome = engine.optimize_offline().unwrap();
+            assert!(
+                outcome.chosen_cost_secs <= outcome.online_cost_secs,
+                "offline Optimal must never lose to the online rule"
+            );
+            let stats = engine.optimizer_stats();
+            assert!(stats.memo_entries > 0);
+            assert!(stats.last_offline_unix > 0);
+            (
+                stats.memo_entries,
+                stats.observations_recorded,
+                stats.pinned,
+            )
+        };
+
+        let engine = Engine::new(config()).unwrap();
+        let recovery = engine.recovery();
+        assert_eq!(
+            recovery.recovered_memo_entries, entries,
+            "the memo must survive the restart in full"
+        );
+        let stats = engine.optimizer_stats();
+        assert_eq!(stats.memo_entries, entries);
+        assert_eq!(stats.observations_recorded, observations);
+        assert_eq!(stats.pinned, pinned);
+        assert!(stats.last_offline_unix > 0, "offline timestamp recovered");
+
+        // The recovered memo feeds the very first post-restart plan: with
+        // factor 1.0 the adaptive path must fire immediately. The replan
+        // counter itself is durable, so it resumes from the pre-restart
+        // value rather than resetting.
+        let replans_before = stats.replans_triggered;
+        assert!(replans_before > 0, "pre-restart replan count recovered");
+        let report = engine.run(&census_workflow(&dir, 0.1)).unwrap();
+        assert_eq!(
+            engine.optimizer_stats().replans_triggered,
+            replans_before + 1
+        );
+        assert!(report
+            .nodes
+            .iter()
+            .any(|n| n.decision_source == crate::memo::DecisionSource::Observed));
+    }
+
+    #[test]
+    fn optimize_offline_on_empty_history_chooses_nothing() {
+        let dir = tmpdir("offline-empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        let engine = Engine::new(EngineConfig::helix(dir.join("store"))).unwrap();
+        let outcome = engine.optimize_offline().unwrap();
+        assert!(outcome.chosen.is_empty());
+        assert_eq!(outcome.candidates, 0);
+        assert!(engine.optimizer_stats().last_offline_unix > 0);
     }
 }

@@ -38,6 +38,7 @@ pub mod engine;
 pub mod error;
 pub mod exec;
 pub mod materialize;
+pub mod memo;
 pub mod ops;
 pub(crate) mod persist;
 pub mod pool;
@@ -52,9 +53,10 @@ pub mod version;
 pub mod viz;
 pub mod workflow;
 
-pub use engine::{Engine, EngineConfig, EngineRecovery, Lineage, RunOptions};
+pub use engine::{Engine, EngineConfig, EngineRecovery, Lineage, OptimizerStats, RunOptions};
 pub use error::HelixError;
 pub use materialize::MaterializationPolicyKind;
+pub use memo::{DecisionSource, MemoEntry, MemoTable, Observation, OfflineOutcome};
 pub use ops::{
     EvalSpec, ExtractorKind, LearnerSpec, MetricKind, ModelType, NodeOutput, OperatorKind, Udf,
 };

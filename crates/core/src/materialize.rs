@@ -31,12 +31,33 @@ pub struct MaterializationContext {
     pub size_bytes: u64,
     /// Bytes still available under the storage budget.
     pub remaining_budget_bytes: u64,
+    /// Expected number of future loads of this output, from observed
+    /// per-signature reuse history (`1.0` — the paper's single-future-
+    /// load assumption — when no history exists).
+    pub expected_reuse: f64,
+    /// Whether the offline Optimal pass pinned this signature: pinned
+    /// outputs materialize whenever they fit, regardless of the rule.
+    pub pinned: bool,
 }
 
 impl MaterializationContext {
-    /// The paper's reduction estimate `r_i` (negative ⇒ materialize).
+    /// The reduction estimate `r_i` (negative ⇒ materialize),
+    /// generalized from the paper's rule by the expected reuse count
+    /// `f`: one write plus `f` future loads against `f` saved
+    /// recomputations,
+    ///
+    /// ```text
+    /// r_i = (1 + f)·l_i − f·(c_i + Σ_{j ∈ A(i)} c_j)
+    /// ```
+    ///
+    /// At `f = 1` this is exactly the paper's `2·l − (c + anc)`.
     pub fn reduction(&self) -> f64 {
-        2.0 * self.load_cost_secs - (self.compute_cost_secs + self.ancestors_compute_secs)
+        let f = if self.expected_reuse.is_finite() && self.expected_reuse > 0.0 {
+            self.expected_reuse
+        } else {
+            1.0
+        };
+        (1.0 + f) * self.load_cost_secs - f * (self.compute_cost_secs + self.ancestors_compute_secs)
     }
 }
 
@@ -57,7 +78,7 @@ impl MaterializationPolicyKind {
     pub fn decide(&self, ctx: &MaterializationContext) -> bool {
         let fits = ctx.size_bytes <= ctx.remaining_budget_bytes;
         match self {
-            MaterializationPolicyKind::HelixOnline => fits && ctx.reduction() < 0.0,
+            MaterializationPolicyKind::HelixOnline => fits && (ctx.pinned || ctx.reduction() < 0.0),
             MaterializationPolicyKind::All => fits,
             MaterializationPolicyKind::Never => false,
         }
@@ -134,7 +155,37 @@ mod tests {
             ancestors_compute_secs: ancestors,
             size_bytes: size,
             remaining_budget_bytes: remaining,
+            expected_reuse: 1.0,
+            pinned: false,
         }
+    }
+
+    #[test]
+    fn expected_reuse_biases_the_rule_and_one_is_the_paper() {
+        // Borderline node: 2·1.0 − (0.9 + 0.9) > 0 ⇒ skip at f = 1.
+        let mut c = ctx(1.0, 0.9, 0.9, 1024, 1 << 20);
+        assert!(!MaterializationPolicyKind::HelixOnline.decide(&c));
+        // Observed heavy reuse (f = 4): 5·1.0 − 4·1.8 < 0 ⇒ materialize.
+        c.expected_reuse = 4.0;
+        assert!(MaterializationPolicyKind::HelixOnline.decide(&c));
+        // Degenerate reuse values fall back to the paper's rule.
+        c.expected_reuse = f64::NAN;
+        assert_eq!(
+            c.reduction(),
+            2.0 * c.load_cost_secs - (c.compute_cost_secs + c.ancestors_compute_secs)
+        );
+    }
+
+    #[test]
+    fn pinned_outputs_materialize_when_they_fit() {
+        let mut c = ctx(1.0, 0.1, 0.1, 1024, 1 << 20);
+        assert!(!MaterializationPolicyKind::HelixOnline.decide(&c));
+        c.pinned = true;
+        assert!(MaterializationPolicyKind::HelixOnline.decide(&c));
+        c.remaining_budget_bytes = 0;
+        assert!(!MaterializationPolicyKind::HelixOnline.decide(&c));
+        // Pins never override `Never`.
+        assert!(!MaterializationPolicyKind::Never.decide(&c));
     }
 
     #[test]

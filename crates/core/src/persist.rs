@@ -12,6 +12,7 @@
 
 use crate::cost::CostModel;
 use crate::engine::Lineage;
+use crate::memo::{MemoEntry, MemoTable, Observation};
 use crate::ops::Stage;
 use crate::session::WorkflowEdit;
 use crate::signature::Signature;
@@ -316,6 +317,107 @@ fn cost_from_json(json: &Json) -> Result<CostModel, String> {
 }
 
 // ---------------------------------------------------------------------------
+// Optimizer memo
+// ---------------------------------------------------------------------------
+
+fn observation_to_json(obs: &Observation) -> Json {
+    Json::obj([
+        ("secs", Json::Num(obs.exec_secs)),
+        ("bytes", Json::Num(obs.output_bytes as f64)),
+        ("loaded", Json::Bool(obs.loaded)),
+        ("rows", Json::Num(obs.rows as f64)),
+    ])
+}
+
+fn observation_from_json(json: &Json) -> Result<Observation, String> {
+    Ok(Observation {
+        exec_secs: f64_field(json, "secs")?,
+        output_bytes: f64_field(json, "bytes")? as u64,
+        loaded: field(json, "loaded")?
+            .as_bool()
+            .ok_or("`loaded` is not a bool")?,
+        rows: f64_field(json, "rows")? as u64,
+    })
+}
+
+fn memo_to_json(memo: &MemoTable) -> Json {
+    let mut entries: Vec<(Signature, &MemoEntry)> = memo.entries().collect();
+    entries.sort_by_key(|(sig, _)| sig.0);
+    Json::obj([
+        (
+            "observations_recorded",
+            Json::Num(memo.observations_recorded() as f64),
+        ),
+        (
+            "entries",
+            Json::Arr(
+                entries
+                    .into_iter()
+                    .map(|(sig, entry)| {
+                        Json::obj([
+                            ("sig", Json::str(u64_hex(sig.0))),
+                            ("name", Json::str(&entry.name)),
+                            (
+                                "parents",
+                                Json::Arr(
+                                    entry
+                                        .parents
+                                        .iter()
+                                        .map(|p| Json::str(u64_hex(p.0)))
+                                        .collect(),
+                                ),
+                            ),
+                            ("reuse_hits", Json::Num(entry.reuse_hits as f64)),
+                            ("runs", Json::Num(entry.runs as f64)),
+                            (
+                                "obs",
+                                Json::Arr(
+                                    entry.observations.iter().map(observation_to_json).collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn memo_from_json(json: &Json) -> Result<MemoTable, String> {
+    let recorded = f64_field(json, "observations_recorded")? as u64;
+    let mut entries = Vec::new();
+    for entry in arr_field(json, "entries")? {
+        let sig = Signature(hex_u64(&str_field(entry, "sig")?)?);
+        let parents = string_list(entry, "parents")?
+            .iter()
+            .map(|p| hex_u64(p).map(Signature))
+            .collect::<Result<Vec<_>, _>>()?;
+        let observations = arr_field(entry, "obs")?
+            .iter()
+            .map(observation_from_json)
+            .collect::<Result<std::collections::VecDeque<_>, _>>()?;
+        entries.push((
+            sig,
+            MemoEntry {
+                name: str_field(entry, "name")?,
+                parents,
+                observations,
+                reuse_hits: f64_field(entry, "reuse_hits")? as u64,
+                runs: f64_field(entry, "runs")? as u64,
+            },
+        ));
+    }
+    Ok(MemoTable::from_parts(entries, recorded))
+}
+
+fn signature_list(json: &Json, key: &str) -> Result<Vec<Signature>, String> {
+    string_list(json, key)?
+        .iter()
+        .map(|s| hex_u64(s).map(Signature))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
 // Lineage
 // ---------------------------------------------------------------------------
 
@@ -438,6 +540,14 @@ pub(crate) struct EngineMeta {
     pub cost: CostModel,
     /// Recovered global version history.
     pub versions: Vec<WorkflowVersion>,
+    /// Recovered optimizer memo (empty for pre-memo meta files).
+    pub memo: MemoTable,
+    /// Signatures pinned by the last offline Optimal pass.
+    pub pinned: Vec<Signature>,
+    /// Lifetime adaptive re-plan count.
+    pub replans_triggered: u64,
+    /// Unix timestamp of the last offline pass (0 = never ran).
+    pub last_offline_unix: u64,
 }
 
 /// Serializes and atomically replaces the engine meta file.
@@ -445,11 +555,24 @@ pub(crate) fn save_engine_meta(
     path: &Path,
     cost: &CostModel,
     versions: &VersionStore,
+    memo: &MemoTable,
+    pinned: &[Signature],
+    replans_triggered: u64,
+    last_offline_unix: u64,
 ) -> Result<(), String> {
+    let mut pinned: Vec<Signature> = pinned.to_vec();
+    pinned.sort_unstable_by_key(|s| s.0);
     let doc = Json::obj([
         ("v", Json::Num(FORMAT_V)),
         ("cost", cost_to_json(cost)),
         ("versions", versions_to_json(versions)),
+        ("memo", memo_to_json(memo)),
+        (
+            "pinned",
+            Json::Arr(pinned.iter().map(|s| Json::str(u64_hex(s.0))).collect()),
+        ),
+        ("replans_triggered", Json::Num(replans_triggered as f64)),
+        ("last_offline_unix", Json::Num(last_offline_unix as f64)),
     ]);
     write_atomic(path, &doc.to_string()).map_err(|e| format!("write {}: {e}", path.display()))
 }
@@ -465,9 +588,31 @@ pub(crate) fn load_engine_meta(path: &Path) -> Result<Option<EngineMeta>, String
         Err(e) => return Err(format!("read {}: {e}", path.display())),
     };
     let doc = Json::parse(&text).map_err(|e| format!("parse {}: {e}", path.display()))?;
+    // Optimizer fields default when absent: meta files written before the
+    // memo existed must keep loading (forward rolls never refuse).
+    let memo = match doc.get("memo") {
+        Some(json) => memo_from_json(json)?,
+        None => MemoTable::new(),
+    };
+    let pinned = match doc.get("pinned") {
+        Some(_) => signature_list(&doc, "pinned")?,
+        None => Vec::new(),
+    };
+    let replans_triggered = doc
+        .get("replans_triggered")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0) as u64;
+    let last_offline_unix = doc
+        .get("last_offline_unix")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0) as u64;
     Ok(Some(EngineMeta {
         cost: cost_from_json(field(&doc, "cost")?)?,
         versions: versions_from_json(field(&doc, "versions")?)?,
+        memo,
+        pinned,
+        replans_triggered,
+        last_offline_unix,
     }))
 }
 
@@ -710,10 +855,61 @@ mod tests {
         let mut cost = CostModel::new();
         cost.observe_compute("rows", 0.5);
         let versions = VersionStore::from_versions(vec![sample_version(0, None)]);
-        save_engine_meta(&path, &cost, &versions).unwrap();
+        let mut memo = MemoTable::new();
+        memo.record(
+            Signature(7),
+            "rows",
+            &[Signature(3)],
+            Observation {
+                exec_secs: 0.25,
+                output_bytes: 2048,
+                loaded: false,
+                rows: 100,
+            },
+        );
+        memo.record(
+            Signature(7),
+            "rows",
+            &[Signature(3)],
+            Observation {
+                exec_secs: 0.01,
+                output_bytes: 1024,
+                loaded: true,
+                rows: 0,
+            },
+        );
+        let pinned = [Signature(7), Signature(3)];
+        save_engine_meta(&path, &cost, &versions, &memo, &pinned, 5, 1234).unwrap();
         let meta = load_engine_meta(&path).unwrap().unwrap();
         assert_eq!(meta.cost.compute_estimate_secs("rows"), Some(0.5));
         assert_eq!(meta.versions.len(), 1);
+        assert_eq!(meta.memo.len(), 1);
+        assert_eq!(meta.memo.observations_recorded(), 2);
+        assert_eq!(meta.memo.get(Signature(7)), memo.get(Signature(7)));
+        assert_eq!(meta.pinned, vec![Signature(3), Signature(7)]);
+        assert_eq!(meta.replans_triggered, 5);
+        assert_eq!(meta.last_offline_unix, 1234);
+    }
+
+    #[test]
+    fn pre_memo_engine_meta_still_loads() {
+        // A meta file written before the optimizer memo existed (PR 8
+        // format): the new fields must default, not fail the load.
+        let dir = tmpdir("engine-meta-premem");
+        let path = engine_meta_path(&dir);
+        let cost = CostModel::new();
+        let versions = VersionStore::new();
+        let doc = Json::obj([
+            ("v", Json::Num(1.0)),
+            ("cost", cost_to_json(&cost)),
+            ("versions", versions_to_json(&versions)),
+        ]);
+        write_atomic(&path, &doc.to_string()).unwrap();
+        let meta = load_engine_meta(&path).unwrap().unwrap();
+        assert!(meta.memo.is_empty());
+        assert!(meta.pinned.is_empty());
+        assert_eq!(meta.replans_triggered, 0);
+        assert_eq!(meta.last_offline_unix, 0);
     }
 
     #[test]

@@ -30,6 +30,9 @@ pub struct NodeReport {
     pub output_bytes: u64,
     /// Whether the output was newly materialized this iteration.
     pub materialized: bool,
+    /// Where the node's planning cost came from: the name-keyed estimate,
+    /// or per-signature observed history via the adaptive re-plan.
+    pub decision_source: crate::memo::DecisionSource,
 }
 
 /// Derived timing for one dependency level ("wave") of the plan — a set
@@ -182,6 +185,7 @@ mod tests {
             duration_secs: secs,
             output_bytes: 0,
             materialized: false,
+            decision_source: crate::memo::DecisionSource::Estimate,
         }
     }
 

@@ -112,6 +112,13 @@ pub struct ExecOpts {
     /// Rows-per-partition threshold for data-parallel operators (see
     /// [`default_partition_rows`]).
     pub partition_rows: usize,
+    /// Per-node partition thresholds by [`NodeId::index`], overriding
+    /// `partition_rows` where present. The engine derives these from the
+    /// optimizer memo's observed per-row costs
+    /// ([`partition_rows_for_observed`]); `None` uses the scalar
+    /// threshold for every node. Purely a performance hint — partition
+    /// boundaries never change results.
+    pub node_partition_rows: Option<Arc<Vec<usize>>>,
     /// Worker pool to draw helper threads from. `None` falls back to a
     /// process-global pool — the engine passes its own so sessions share
     /// one warmed set of threads.
@@ -123,9 +130,31 @@ impl Default for ExecOpts {
         ExecOpts {
             parallelism: default_parallelism(),
             partition_rows: default_partition_rows(),
+            node_partition_rows: None,
             pool: None,
         }
     }
+}
+
+/// Target wall-clock seconds per partition when sizing from observed
+/// per-row cost: small enough that a partitioned node spreads across
+/// workers, large enough that split/merge overhead stays negligible.
+const TARGET_PARTITION_SECS: f64 = 0.005;
+
+/// Derives a rows-per-partition threshold from a memo-observed per-row
+/// compute cost: enough rows that one partition takes about
+/// `TARGET_PARTITION_SECS` (5 ms), clamped to a sane range. Falls back
+/// to `fallback` when the observation is degenerate.
+pub fn partition_rows_for_observed(per_row_secs: f64, fallback: usize) -> usize {
+    if !per_row_secs.is_finite() || per_row_secs <= 0.0 {
+        return fallback.max(1);
+    }
+    let rows = (TARGET_PARTITION_SECS / per_row_secs).round();
+    // Clamp: never slice finer than 64 rows (overhead) and never demand
+    // more than ~1M rows per slice (that disables partitioning outright
+    // for any realistic input, which is the right call for ultra-cheap
+    // per-row operators).
+    (rows as usize).clamp(64, 1 << 20)
 }
 
 /// Process-global worker pool for standalone [`execute_plan`] callers
@@ -409,6 +438,8 @@ struct ReadyExecutor {
     store: IntermediateStore,
     /// Rows-per-partition threshold ([`ExecOpts::partition_rows`]).
     partition_rows: usize,
+    /// Per-node threshold overrides ([`ExecOpts::node_partition_rows`]).
+    node_partition_rows: Option<Arc<Vec<usize>>>,
     /// Plan position by node index (`usize::MAX` for pruned nodes).
     pos: Vec<usize>,
     /// Downstream critical-path estimate per node (µs) — the injector's
@@ -455,6 +486,7 @@ impl ReadyExecutor {
         store: &IntermediateStore,
         workers: usize,
         partition_rows: usize,
+        node_partition_rows: Option<Arc<Vec<usize>>>,
     ) -> Self {
         let n = workflow.len();
         let mut pos = vec![usize::MAX; n];
@@ -489,6 +521,7 @@ impl ReadyExecutor {
             plan: plan.clone(),
             store: store.clone(),
             partition_rows,
+            node_partition_rows,
             pos,
             prio,
             children,
@@ -611,6 +644,16 @@ impl ReadyExecutor {
     /// first when it is a wide data-parallel compute node — recording the
     /// result, enqueuing any children it readies, and waking the merge
     /// cursor when the completion can advance it.
+    /// Effective rows-per-partition threshold for node `i`: the memo-
+    /// derived per-node override when present, otherwise the scalar knob.
+    fn threshold_for(&self, i: usize) -> usize {
+        self.node_partition_rows
+            .as_ref()
+            .and_then(|rows| rows.get(i).copied())
+            .unwrap_or(self.partition_rows)
+            .max(1)
+    }
+
     fn run_node_task(&self, me: usize, i: usize) -> Option<Task> {
         if self.shutdown.load(Ordering::Acquire) {
             // A merge error ended the run; stop chaining continuations.
@@ -626,7 +669,7 @@ impl ReadyExecutor {
             if let Ok(parents) = self.parent_outputs(id) {
                 let rows = crate::exec::partitionable_rows(&self.workflow.node(id).kind, &parents);
                 if let Some(rows) = rows {
-                    if rows >= self.partition_rows.max(1).saturating_mul(2) {
+                    if rows >= self.threshold_for(i).saturating_mul(2) {
                         drop(parents);
                         return self.start_partitioned(me, i, rows);
                     }
@@ -656,7 +699,7 @@ impl ReadyExecutor {
     /// never on how many workers happen to be idle — so the split (and
     /// with it every slice boundary) is reproducible run to run.
     fn start_partitioned(&self, me: usize, i: usize, rows: usize) -> Option<Task> {
-        let threshold = self.partition_rows.max(1);
+        let threshold = self.threshold_for(i);
         let count = rows
             .div_ceil(threshold)
             .min(MAX_PARTITIONS)
@@ -1013,6 +1056,7 @@ where
         store,
         slots,
         opts.partition_rows,
+        opts.node_partition_rows.clone(),
     ));
 
     /// Signals shutdown on drop, so a panic unwinding out of the merge
@@ -1868,7 +1912,7 @@ mod tests {
         let cm = CostModel::new();
         let plan = compile(&w, &store, &cm, RecomputationPolicy::Optimal, None).unwrap();
 
-        let exec = ReadyExecutor::new(&w, &plan, &store, 2, usize::MAX);
+        let exec = ReadyExecutor::new(&w, &plan, &store, 2, usize::MAX, None);
         let mut injector = lock(&exec.injector);
         let popped: Vec<String> = std::iter::from_fn(|| exec.pop_injector(&mut injector))
             .map(|t| w.nodes()[t.node()].name.clone())
@@ -1927,7 +1971,7 @@ mod tests {
             &ExecOpts {
                 parallelism: 1,
                 partition_rows: 8,
-                pool: None,
+                ..ExecOpts::default()
             },
             "part-seq",
         );
@@ -1937,7 +1981,7 @@ mod tests {
                 &ExecOpts {
                     parallelism,
                     partition_rows,
-                    pool: None,
+                    ..ExecOpts::default()
                 },
                 &format!("part-{parallelism}-{partition_rows}"),
             );
@@ -1981,7 +2025,7 @@ mod tests {
             let opts = ExecOpts {
                 parallelism,
                 partition_rows,
-                pool: None,
+                ..ExecOpts::default()
             };
             let err = execute_plan_opts(&w, &plan, &store, &opts, |_, _, _| Ok(()))
                 .expect_err("picky must fail");
@@ -2016,7 +2060,7 @@ mod tests {
         let opts = ExecOpts {
             parallelism: 4,
             partition_rows: 8,
-            pool: None,
+            ..ExecOpts::default()
         };
         let err = execute_plan_opts(&w, &plan, &store, &opts, |_, _, _| Ok(()))
             .expect_err("panicking slice must surface as an error");
@@ -2034,6 +2078,7 @@ mod tests {
         let opts = ExecOpts {
             parallelism: 3,
             partition_rows: 8,
+            node_partition_rows: None,
             pool: Some(Arc::clone(&pool)),
         };
         let (first, _) = run_opts(&w, &opts, "pool-reuse-a");

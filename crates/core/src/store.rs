@@ -119,6 +119,20 @@ impl Durability {
         matches!(self, Durability::Wal { .. })
     }
 
+    /// Overrides the WAL compaction threshold (the `HELIX_WAL_SNAPSHOT_BYTES`
+    /// knob): a shard whose log exceeds this many bytes compacts into a
+    /// snapshot on the next append, instead of only at open and on
+    /// `POST /admin/snapshot`. A no-op for [`Durability::Volatile`].
+    pub fn with_compact_after_bytes(self, bytes: u64) -> Self {
+        match self {
+            Durability::Volatile => Durability::Volatile,
+            Durability::Wal { fsync, .. } => Durability::Wal {
+                fsync,
+                compact_after_bytes: bytes.max(1),
+            },
+        }
+    }
+
     /// Parses the `HELIX_DURABILITY` environment value: `volatile`,
     /// `wal`, or `wal-nosync` (case-insensitive). `None` for anything
     /// else.

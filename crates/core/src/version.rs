@@ -306,6 +306,7 @@ mod tests {
                 duration_secs: secs,
                 output_bytes: 0,
                 materialized: false,
+                decision_source: crate::memo::DecisionSource::Estimate,
             }],
             waves: vec![],
             metrics: vec![("accuracy".into(), acc)],

@@ -218,6 +218,7 @@ mod tests {
                     duration_secs: 0.1,
                     output_bytes: 123,
                     materialized: i == 1,
+                    decision_source: crate::memo::DecisionSource::Estimate,
                 })
                 .collect(),
             waves: vec![],

@@ -170,7 +170,8 @@ impl Api {
             ("GET", ["sessions", name, "diff"]) => self.diff(name, req),
             ("GET", ["versions"]) => self.global_versions(),
             ("POST", ["admin", "snapshot"]) => self.admin_snapshot(),
-            (_, ["admin", "snapshot"])
+            ("POST", ["admin", "optimize"]) => self.admin_optimize(),
+            (_, ["admin", "snapshot" | "optimize"])
             | (_, ["healthz" | "workflows" | "versions" | "sessions" | "stats"])
             | (_, ["sessions", _])
             | (_, ["sessions", _, "edits" | "iterate" | "workflow" | "versions" | "diff"])
@@ -398,12 +399,14 @@ impl Api {
         })
     }
 
-    /// `GET /stats` (schema `"v": 2`): serving counters, the live
-    /// session count, and the durability counters — sessions and store
+    /// `GET /stats` (schema `"v": 3`): serving counters, the live
+    /// session count, the durability counters — sessions and store
     /// entries recovered at startup, current WAL size, and the unix time
-    /// of the last snapshot compaction (all zero on a volatile engine).
-    /// An API never attached to a socket server reports zeroed serving
-    /// counters.
+    /// of the last snapshot compaction (all zero on a volatile engine) —
+    /// and the optimizer counters: memo size, observations recorded,
+    /// adaptive re-plans triggered, and the unix time of the last
+    /// offline optimization pass. An API never attached to a socket
+    /// server reports zeroed serving counters.
     fn stats(&self) -> Response {
         let snap = self
             .server_stats
@@ -412,8 +415,9 @@ impl Api {
             .unwrap_or_else(|| ServerStats::default().snapshot());
         let engine = self.manager.engine();
         let recovery = engine.recovery();
+        let optimizer = engine.optimizer_stats();
         ok(Json::obj([
-            ("v", Json::Num(2.0)),
+            ("v", Json::Num(3.0)),
             ("connections", Json::Num(snap.connections as f64)),
             ("requests", Json::Num(snap.requests as f64)),
             ("shed", Json::Num(snap.shed as f64)),
@@ -433,7 +437,40 @@ impl Api {
                 "last_snapshot",
                 Json::Num(engine.store().last_snapshot_unix() as f64),
             ),
+            ("memo_entries", Json::Num(optimizer.memo_entries as f64)),
+            (
+                "observations_recorded",
+                Json::Num(optimizer.observations_recorded as f64),
+            ),
+            (
+                "replans_triggered",
+                Json::Num(optimizer.replans_triggered as f64),
+            ),
+            ("pinned", Json::Num(optimizer.pinned as f64)),
+            (
+                "last_offline_pass",
+                Json::Num(optimizer.last_offline_unix as f64),
+            ),
         ]))
+    }
+
+    /// `POST /admin/optimize`: runs the offline Optimal-materialization
+    /// pass over the engine's accumulated memo history, pins the chosen
+    /// node set for future materialization decisions, and evicts stored
+    /// outputs the pass decided not to keep. Works on volatile engines
+    /// too (the pin set just doesn't survive a restart there).
+    fn admin_optimize(&self) -> Response {
+        let engine = self.manager.engine();
+        match engine.optimize_offline() {
+            Ok(outcome) => ok(Json::obj([
+                ("optimized", Json::Bool(true)),
+                ("pinned", Json::Num(outcome.chosen.len() as f64)),
+                ("candidates", Json::Num(outcome.candidates as f64)),
+                ("chosen_cost_secs", Json::Num(outcome.chosen_cost_secs)),
+                ("online_cost_secs", Json::Num(outcome.online_cost_secs)),
+            ])),
+            Err(err) => engine_error(err),
+        }
     }
 
     /// `POST /admin/snapshot`: forces a durability checkpoint — compacts

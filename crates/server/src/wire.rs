@@ -47,6 +47,10 @@ fn node_json(node: &NodeReport) -> Json {
         ("duration_secs", Json::Num(node.duration_secs)),
         ("output_bytes", Json::Num(node.output_bytes as f64)),
         ("materialized", Json::Bool(node.materialized)),
+        (
+            "decision_source",
+            Json::str(node.decision_source.to_string()),
+        ),
     ])
 }
 
@@ -537,6 +541,7 @@ mod tests {
                 duration_secs: 0.5,
                 output_bytes: 2048,
                 materialized: false,
+                decision_source: helix_core::DecisionSource::Estimate,
             }],
             waves: vec![WaveReport {
                 nodes: 1,
@@ -560,6 +565,10 @@ mod tests {
         let node = &json.get("nodes").unwrap().as_array().unwrap()[0];
         assert_eq!(node.get("state").unwrap().as_str(), Some("load"));
         assert_eq!(node.get("change").unwrap().as_str(), Some("unchanged"));
+        assert_eq!(
+            node.get("decision_source").unwrap().as_str(),
+            Some("estimate")
+        );
         // The whole report reparses as valid JSON.
         assert_eq!(Json::parse(&json.to_string()).unwrap(), json);
     }

@@ -360,6 +360,129 @@ fn sigkill_mid_iteration_loses_no_acknowledged_work() {
     assert!(!resumed.metrics.is_empty());
 }
 
+/// Environment variable naming the scratch directory for the memo kill
+/// test's child process; set only by the parent below.
+const MEMO_CHILD_ENV: &str = "HELIX_MEMO_CHILD_DIR";
+
+/// The memo victim: runs the census workflow in a loop on a durable
+/// engine, alternating the regularization knob, appending one line to
+/// `memo-progress.txt` after each acknowledged run. `#[ignore]` keeps it
+/// out of normal runs.
+#[test]
+#[ignore]
+fn memo_durability_child_worker() {
+    let Ok(dir) = std::env::var(MEMO_CHILD_ENV) else {
+        return; // invoked manually; nothing to do
+    };
+    let dir = PathBuf::from(dir);
+    let engine = durable_engine(&dir.join("store"));
+    let progress = dir.join("memo-progress.txt");
+    let mut log = String::new();
+    for i in 0.. {
+        // Run 0 computes everything (compute observations); later runs
+        // reload materializations (load observations and reuse hits).
+        engine.run(&workflow(&dir).unwrap()).unwrap();
+        log.push_str(&format!(
+            "{i} {}\n",
+            engine.optimizer_stats().observations_recorded
+        ));
+        let tmp = dir.join("memo-progress.tmp");
+        std::fs::write(&tmp, &log).unwrap();
+        std::fs::rename(&tmp, &progress).unwrap();
+    }
+}
+
+/// SIGKILL with an accumulated memo: the parent kills the child without
+/// warning, reopens the store with an always-replan factor, and asserts
+/// the recovered memo is non-empty and feeds the very first post-restart
+/// plan (observed decision sources, replan counter advancing).
+#[test]
+fn sigkill_preserves_memo_and_feeds_first_post_restart_plan() {
+    let dir = tmpdir("memo-kill");
+    workflow(&dir).unwrap(); // writes the shared CSVs up front
+
+    let exe = std::env::current_exe().unwrap();
+    let mut child = std::process::Command::new(exe)
+        .args([
+            "--ignored",
+            "--exact",
+            "memo_durability_child_worker",
+            "--nocapture",
+        ])
+        .env(MEMO_CHILD_ENV, &dir)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+
+    // Wait for ≥3 acknowledged runs, then kill mid-flight.
+    let progress = dir.join("memo-progress.txt");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
+    let acknowledged = loop {
+        if let Some(status) = child.try_wait().unwrap() {
+            panic!("child exited early with {status}");
+        }
+        let lines: Vec<String> = std::fs::read_to_string(&progress)
+            .map(|t| t.lines().map(String::from).collect())
+            .unwrap_or_default();
+        if lines.len() >= 3 {
+            break lines;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "child made no progress: {} runs",
+            lines.len()
+        );
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    };
+    child.kill().unwrap();
+    child.wait().unwrap();
+
+    let acked_observations: u64 = acknowledged
+        .last()
+        .unwrap()
+        .rsplit(' ')
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(acked_observations > 0, "child must have fed the memo");
+
+    // Reopen with factor 1.0: if the memo survived, the very first plan
+    // must go through the adaptive path.
+    let mut config = EngineConfig::helix(dir.join("store")).with_replan_factor(1.0);
+    config.materialization = MaterializationPolicyKind::All;
+    config.recomputation = RecomputationPolicy::LoadAllAvailable;
+    config.durability = Durability::wal_nosync();
+    let engine = Engine::new(config).unwrap();
+    assert!(
+        engine.recovery().recovered_memo_entries > 0,
+        "the memo must survive the kill"
+    );
+    let stats = engine.optimizer_stats();
+    assert!(stats.memo_entries > 0);
+    assert!(
+        stats.observations_recorded > 0,
+        "recovered observation counter must be non-zero"
+    );
+
+    let replans_before = stats.replans_triggered;
+    let report = engine.run(&workflow(&dir).unwrap()).unwrap();
+    assert_eq!(
+        engine.optimizer_stats().replans_triggered,
+        replans_before + 1,
+        "the recovered memo must trigger the first post-restart re-plan"
+    );
+    assert!(
+        report
+            .nodes
+            .iter()
+            .any(|n| n.decision_source == helix::core::DecisionSource::Observed),
+        "post-restart plan must be driven by recovered observations"
+    );
+    assert!(!report.metrics.is_empty());
+}
+
 /// WAL-tail fuzz: truncating the last WAL record at every byte boundary
 /// simulates every possible torn write; each prefix must open cleanly
 /// with at most the torn record's entry missing, and the recovered

@@ -1,0 +1,148 @@
+//! Property test for the adaptive optimizer: an engine that re-plans
+//! from memo observations on every opportunity must produce results
+//! byte-identical to a twin that never re-plans, across random edit
+//! sequences and thread counts. Re-planning may only move load/compute/
+//! store decisions — never the data.
+
+use helix::core::{DecisionSource, Engine, EngineConfig, MaterializationPolicyKind};
+use helix::workloads::census::{census_workflow, generate_census, CensusDataSpec, CensusParams};
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+/// One random knob turn (a subset of the session edit space that changes
+/// plan shape as well as parameters).
+#[derive(Debug, Clone, Copy)]
+enum Edit {
+    Reg(u8),
+    Epochs(u8),
+    ToggleMs,
+    Bins(u8),
+}
+
+fn apply(edit: Edit, params: &mut CensusParams) {
+    match edit {
+        Edit::Reg(r) => params.reg_param = 0.01 + f64::from(r) * 0.05,
+        Edit::Epochs(e) => params.epochs = 2 + usize::from(e % 4),
+        Edit::ToggleMs => params.include_marital_status = !params.include_marital_status,
+        Edit::Bins(b) => params.age_bins = 2 + usize::from(b % 10),
+    }
+}
+
+fn arb_edit() -> impl Strategy<Value = Edit> {
+    prop_oneof![
+        any::<u8>().prop_map(Edit::Reg),
+        any::<u8>().prop_map(Edit::Epochs),
+        Just(Edit::ToggleMs),
+        any::<u8>().prop_map(Edit::Bins),
+    ]
+}
+
+fn data_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("helix-opt-data-{}", std::process::id()));
+    if !dir.join("train.csv").exists() {
+        generate_census(
+            &dir,
+            &CensusDataSpec {
+                train_rows: 200,
+                test_rows: 60,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    }
+    dir
+}
+
+/// A deterministic engine for twin comparison: materialize-`All` keeps
+/// the stored set timing-independent, so only the replan factor differs
+/// between the twins.
+fn engine(store: &Path, parallelism: Option<usize>, replan_factor: f64) -> Engine {
+    let mut config = EngineConfig::helix(store).with_replan_factor(replan_factor);
+    config.materialization = MaterializationPolicyKind::All;
+    if let Some(threads) = parallelism {
+        config = config.with_parallelism(threads);
+    }
+    Engine::new(config).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// Twin engines over the same edit sequence: `adaptive` re-plans on
+    /// every run after the first (factor 1.0), `frozen` never does
+    /// (factor ∞). Reports must agree on metrics, the stores must hold
+    /// byte-identical outputs, and only the adaptive twin may report
+    /// observed decision sources.
+    #[test]
+    fn replanned_engine_matches_never_replanned_twin(
+        edits in proptest::collection::vec(arb_edit(), 1..4),
+        parallelism in prop_oneof![Just(Some(1)), Just(None)],
+    ) {
+        let dir = data_dir();
+        let case = CASE.fetch_add(1, Ordering::Relaxed);
+        let work = std::env::temp_dir()
+            .join(format!("helix-opt-{}-{case}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&work);
+
+        let adaptive = engine(&work.join("a"), parallelism, 1.0);
+        let frozen = engine(&work.join("f"), parallelism, f64::INFINITY);
+
+        let mut params = CensusParams::initial(&dir);
+        let mut runs = vec![census_workflow(&params).unwrap()];
+        for edit in &edits {
+            apply(*edit, &mut params);
+            runs.push(census_workflow(&params).unwrap());
+        }
+
+        for (i, w) in runs.iter().enumerate() {
+            let a = adaptive.run(w).unwrap();
+            let f = frozen.run(w).unwrap();
+            prop_assert_eq!(&a.metrics, &f.metrics, "run {} diverged", i);
+            prop_assert!(
+                f.nodes.iter().all(|n| n.decision_source == DecisionSource::Estimate),
+                "a disabled replan must never report observed costs"
+            );
+            if i > 0 {
+                prop_assert!(
+                    a.nodes.iter().any(|n| n.decision_source == DecisionSource::Observed),
+                    "factor 1.0 must re-plan on every run after the first"
+                );
+            }
+        }
+        prop_assert_eq!(
+            adaptive.optimizer_stats().replans_triggered as usize,
+            runs.len() - 1
+        );
+        prop_assert_eq!(frozen.optimizer_stats().replans_triggered, 0);
+
+        // Byte identity: every output both twins materialized must hold
+        // the exact same encoded payload. Materialize-`All` stores every
+        // active node, so this covers the full final plan.
+        let plan = adaptive.compile_only(runs.last().unwrap()).unwrap();
+        let mut compared = 0;
+        for (i, &sig) in plan.signatures.iter().enumerate() {
+            if !plan.active[i] {
+                continue;
+            }
+            let (Some(_), Some(_)) = (adaptive.store().lookup(sig), frozen.store().lookup(sig))
+            else {
+                continue;
+            };
+            let (a_out, _, _) = adaptive.store().get(sig).unwrap();
+            let (f_out, _, _) = frozen.store().get(sig).unwrap();
+            prop_assert_eq!(
+                a_out.encode(),
+                f_out.encode(),
+                "stored bytes diverged at node {}",
+                i
+            );
+            compared += 1;
+        }
+        prop_assert!(compared > 0, "twins must share stored outputs to compare");
+
+        let _ = std::fs::remove_dir_all(&work);
+    }
+}

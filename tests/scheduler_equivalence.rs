@@ -419,7 +419,7 @@ proptest! {
         let cm = CostModel::new();
         let plan = compile(&w, &store, &cm, RecomputationPolicy::Optimal, None).unwrap();
 
-        let base = ExecOpts { parallelism: 1, partition_rows: usize::MAX, pool: None };
+        let base = ExecOpts { parallelism: 1, partition_rows: usize::MAX, ..ExecOpts::default() };
         let mut merged_seq: Vec<NodeId> = Vec::new();
         let seq = execute_plan_opts(&w, &plan, &store, &base, |id, _, _| {
             merged_seq.push(id);
@@ -430,7 +430,7 @@ proptest! {
         // node into 4 ranges; threshold 1 forces the per-node maximum.
         for partition_rows in [usize::MAX, rows.div_ceil(4).max(1), 1] {
             for parallelism in [1, 2, default_parallelism()] {
-                let opts = ExecOpts { parallelism, partition_rows, pool: None };
+                let opts = ExecOpts { parallelism, partition_rows, ..ExecOpts::default() };
                 let mut merged: Vec<NodeId> = Vec::new();
                 let par = execute_plan_opts(&w, &plan, &store, &opts, |id, _, _| {
                     merged.push(id);

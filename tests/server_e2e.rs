@@ -496,11 +496,39 @@ fn durable_server_recovers_sessions_over_the_wire() {
         .unwrap()
         .expect_ok();
 
-    // Stats v2 on a fresh durable server: nothing recovered, WAL active.
+    // Stats v3 on a fresh durable server: nothing recovered, WAL active,
+    // and the optimizer memo populated by the two iterations.
     let stats = client::get(addr, "/stats").unwrap().expect_ok();
-    assert_eq!(stats.get("v").unwrap().as_u64(), Some(2));
+    assert_eq!(stats.get("v").unwrap().as_u64(), Some(3));
     assert_eq!(stats.get("recovered_sessions").unwrap().as_u64(), Some(0));
     assert!(stats.get("wal_bytes").unwrap().as_u64().unwrap() > 0);
+    assert!(
+        stats
+            .get("observations_recorded")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            > 0,
+        "iterations must feed the optimizer memo: {stats}"
+    );
+    assert!(stats.get("memo_entries").unwrap().as_u64().unwrap() > 0);
+
+    // The offline Optimal pass runs over the accumulated history and
+    // never does worse than the online heuristic it replaces.
+    let optimized = client::post(addr, "/admin/optimize", "")
+        .unwrap()
+        .expect_ok();
+    assert_eq!(optimized.get("optimized").unwrap().as_bool(), Some(true));
+    assert!(
+        optimized.get("chosen_cost_secs").unwrap().as_f64().unwrap()
+            <= optimized.get("online_cost_secs").unwrap().as_f64().unwrap(),
+        "offline pass must not lose to the online rule: {optimized}"
+    );
+    assert_eq!(
+        client::get(addr, "/admin/optimize").unwrap().status,
+        405,
+        "GET on the optimize route must be method-not-allowed"
+    );
 
     // Forced checkpoint compacts the WAL into the snapshot.
     let snap = client::post(addr, "/admin/snapshot", "")
@@ -527,9 +555,17 @@ fn durable_server_recovers_sessions_over_the_wire() {
     let addr = server.addr();
 
     let stats = client::get(addr, "/stats").unwrap().expect_ok();
-    assert_eq!(stats.get("v").unwrap().as_u64(), Some(2));
+    assert_eq!(stats.get("v").unwrap().as_u64(), Some(3));
     assert_eq!(stats.get("recovered_sessions").unwrap().as_u64(), Some(1));
     assert!(stats.get("recovered_entries").unwrap().as_u64().unwrap() > 0);
+    assert!(
+        stats.get("memo_entries").unwrap().as_u64().unwrap() > 0,
+        "the optimizer memo must survive the restart: {stats}"
+    );
+    assert!(
+        stats.get("last_offline_pass").unwrap().as_u64().unwrap() > 0,
+        "the pre-restart offline pass timestamp must be recovered: {stats}"
+    );
 
     let info = client::get(addr, "/sessions/alice").unwrap().expect_ok();
     assert_eq!(info.get("iterations").unwrap().as_u64(), Some(2));
@@ -584,9 +620,9 @@ fn admin_snapshot_on_volatile_engine_is_rejected() {
         .unwrap()
         .contains("volatile"));
 
-    // Volatile stats still answer with the v2 schema, counters zeroed.
+    // Volatile stats still answer with the v3 schema, counters zeroed.
     let stats = client::get(addr, "/stats").unwrap().expect_ok();
-    assert_eq!(stats.get("v").unwrap().as_u64(), Some(2));
+    assert_eq!(stats.get("v").unwrap().as_u64(), Some(3));
     assert_eq!(stats.get("wal_bytes").unwrap().as_u64(), Some(0));
     assert_eq!(stats.get("recovered_sessions").unwrap().as_u64(), Some(0));
 
