@@ -1,0 +1,98 @@
+//! Incremental-data payoff: a delta rerun over a warm store versus a
+//! from-scratch recompute of the same (grown) dataset, on the scaled
+//! census workload.
+//!
+//! Two rows in one group:
+//!
+//! * `incremental/incremental_delta` — one long-lived engine whose store
+//!   already holds the previous run's partitions. Each sample appends a
+//!   small labeled batch (setup, untimed) and then reruns the workflow:
+//!   only the tail chunk's row range recomputes through the row-aligned
+//!   prefix; unchanged partitions are served from the store.
+//! * `incremental/full_recompute` — a fresh engine over an empty store
+//!   per sample, handed the identical grown dataset: everything
+//!   recomputes from the CSV up.
+//!
+//! The CI gate asserts `incremental_delta <= full_recompute` within the
+//! run: serving unchanged partitions from the store must never lose to
+//! recomputing them, otherwise chunk bookkeeping has swallowed its
+//! payoff.
+//!
+//! Run with `cargo bench -p helix-bench --bench incremental`. Set
+//! `HELIX_BENCH_FAST=1` for the reduced CI configuration and
+//! `HELIX_BENCH_JSON=path.json` to capture machine-readable results.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use helix_core::{data, Engine, EngineConfig};
+use helix_workloads::census::{
+    self, census_workflow, generate_census, CensusDataSpec, CensusParams,
+};
+use std::path::PathBuf;
+
+fn fast_mode() -> bool {
+    std::env::var_os("HELIX_BENCH_FAST").is_some_and(|v| v != "0")
+}
+
+fn bench_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("helix-bench-incr-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Rows per appended batch — one analyst labeling pass, far smaller than
+/// a chunk, so each delta dirties exactly one tail partition.
+const BATCH: usize = 16;
+
+fn bench_incremental(c: &mut Criterion) {
+    let fast = fast_mode();
+    let samples = if fast { 5 } else { 10 };
+    let spec = CensusDataSpec::scaled(if fast { 10 } else { 40 });
+
+    let mut group = c.benchmark_group("incremental");
+    group.sample_size(samples);
+
+    // Delta rerun: prime the store with one full run, then append one
+    // labeled batch per sample (untimed setup) and rerun.
+    let inc_data = bench_dir("inc-data");
+    generate_census(&inc_data, &spec).unwrap();
+    let inc_params = CensusParams::initial(&inc_data);
+    let engine = Engine::new(EngineConfig::helix(bench_dir("inc-store"))).unwrap();
+    engine.run(&census_workflow(&inc_params).unwrap()).unwrap();
+    let mut round = 0u64;
+    group.bench_function("incremental_delta", |b| {
+        b.iter_batched(
+            || {
+                round += 1;
+                let rows = census::labeled_rows(BATCH, 10_000 + round);
+                data::append_lines(&inc_data.join("train.csv"), &rows).unwrap();
+            },
+            |()| engine.run(&census_workflow(&inc_params).unwrap()).unwrap(),
+            BatchSize::PerIteration,
+        )
+    });
+
+    // From-scratch twin: the same growth pattern, but every sample gets a
+    // fresh engine over an empty store and recomputes the whole dataset.
+    let full_data = bench_dir("full-data");
+    generate_census(&full_data, &spec).unwrap();
+    let full_params = CensusParams::initial(&full_data);
+    let full_stores = bench_dir("full-stores");
+    let mut n = 0u64;
+    group.bench_function("full_recompute", |b| {
+        b.iter_batched(
+            || {
+                n += 1;
+                let rows = census::labeled_rows(BATCH, 10_000 + n);
+                data::append_lines(&full_data.join("train.csv"), &rows).unwrap();
+                Engine::new(EngineConfig::helix(full_stores.join(format!("s{n}")))).unwrap()
+            },
+            |engine| engine.run(&census_workflow(&full_params).unwrap()).unwrap(),
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental);
+criterion_main!(benches);

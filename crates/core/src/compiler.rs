@@ -9,8 +9,10 @@
 use crate::cost::{secs_to_us, CostModel};
 use crate::memo::{DecisionSource, MemoTable};
 use crate::recompute::{plan_states, NodeCosts, NodeState, RecomputationPolicy};
-use crate::signature::{compute_signatures, track_changes, ChangeKind, ChangeReport, Signature};
-use crate::slicing;
+use crate::signature::{
+    compute_signatures_with_data, track_changes, ChangeKind, ChangeReport, Signature,
+};
+use crate::slicing::{self, NodeChunks};
 use crate::store::IntermediateStore;
 use crate::workflow::{NodeId, Workflow};
 use crate::Result;
@@ -41,6 +43,11 @@ pub struct CompiledPlan {
     pub sources: Vec<DecisionSource>,
     /// Diff against the previous iteration, when one exists.
     pub change: Option<ChangeReport>,
+    /// Per-partition signatures over the row-aligned region downstream of
+    /// chunkable data sources (`None` for nodes outside it) — the keys the
+    /// scheduler uses to serve unchanged partitions from the store after a
+    /// data delta. See [`crate::slicing::chunk_plan`].
+    pub chunks: Vec<Option<NodeChunks>>,
 }
 
 impl CompiledPlan {
@@ -95,7 +102,21 @@ pub fn compile_with_slicing(
     enable_slicing: bool,
 ) -> Result<CompiledPlan> {
     let order = workflow.topo_order()?;
-    let signatures = compute_signatures(workflow)?;
+    // Chunk the data sources and sign them by *content*: the manifest
+    // hash stands in for the source's path parameters, so a data delta is
+    // a signature change like any workflow edit, and unchanged chunks
+    // keep their partition signatures across deltas.
+    let manifests = crate::data::workflow_manifests(workflow, crate::config_env::data_chunk_rows());
+    // A source whose files are missing or empty keeps its path-based
+    // signature: there is no content to sign, and workflows are routinely
+    // compiled before their data exists.
+    let data_hashes = manifests
+        .iter()
+        .filter(|(_, m)| !m.chunks.is_empty())
+        .map(|(i, m)| (*i, m.content_hash))
+        .collect();
+    let signatures = compute_signatures_with_data(workflow, &data_hashes)?;
+    let chunks = slicing::chunk_plan(workflow, &manifests)?;
     let slice = if enable_slicing {
         slicing::slice(workflow)?
     } else {
@@ -131,6 +152,7 @@ pub fn compile_with_slicing(
         costs,
         sources,
         change,
+        chunks,
     })
 }
 
@@ -172,10 +194,7 @@ pub fn adapt_plan_with_memo(
         if !plan.active[i] {
             continue;
         }
-        let Some(secs) = memo
-            .get(plan.signatures[i])
-            .and_then(|e| e.observed_compute_secs())
-        else {
+        let Some(secs) = memo.observed_compute_secs(plan.signatures[i]) else {
             continue;
         };
         let us = secs_to_us(secs);
@@ -224,7 +243,7 @@ pub fn describe_plan(
 mod tests {
     use super::*;
     use crate::ops::{ExtractorKind, LearnerSpec, NodeOutput, OperatorKind};
-    use crate::signature::snapshot;
+    use crate::signature::{compute_signatures, snapshot};
     use helix_dataflow::{DataCollection, DataType, Schema};
 
     fn tmp_store(tag: &str) -> IntermediateStore {
@@ -360,6 +379,7 @@ mod tests {
                 output_bytes: 1024,
                 loaded: false,
                 rows: 10,
+                run: 0,
             },
         );
         assert!(
@@ -395,6 +415,7 @@ mod tests {
                 output_bytes: 0,
                 loaded: false,
                 rows: 0,
+                run: 0,
             },
         );
         assert!(

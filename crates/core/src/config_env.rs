@@ -14,6 +14,8 @@
 //! | `HELIX_DURABILITY`         | `volatile` \| `wal` \| `wal-nosync`       |
 //! | `HELIX_WAL_SNAPSHOT_BYTES` | Per-shard WAL compaction threshold (≥ 1)  |
 //! | `HELIX_REPLAN_FACTOR`      | Adaptive re-plan divergence factor (≥ 1)  |
+//! | `HELIX_DATA_CHUNK_ROWS`    | Rows per data chunk (≥ 1); default = 512  |
+//! | `HELIX_MEMO_DECAY_RUNS`    | Runs before memo observations decay (≥ 1) |
 
 use crate::store::{Durability, DEFAULT_STORE_SHARDS};
 
@@ -101,6 +103,29 @@ pub fn replan_factor() -> f64 {
         Err(_) => DEFAULT_REPLAN_FACTOR,
     }
 }
+
+/// `HELIX_DATA_CHUNK_ROWS`: non-blank lines per data chunk for
+/// incremental signing (see [`crate::data`]), defaulting to
+/// [`crate::data::DEFAULT_DATA_CHUNK_ROWS`].
+pub fn data_chunk_rows() -> usize {
+    positive("HELIX_DATA_CHUNK_ROWS").unwrap_or(crate::data::DEFAULT_DATA_CHUNK_ROWS)
+}
+
+/// `HELIX_MEMO_DECAY_RUNS`: memo observations older than this many
+/// logical runs are down-weighted when aggregating compute history (see
+/// [`crate::memo::MemoTable::observed_compute_secs`]), defaulting to
+/// [`DEFAULT_MEMO_DECAY_RUNS`].
+pub fn memo_decay_runs() -> u64 {
+    positive("HELIX_MEMO_DECAY_RUNS")
+        .map(|n| n as u64)
+        .unwrap_or(DEFAULT_MEMO_DECAY_RUNS)
+}
+
+/// Fallback for [`memo_decay_runs`] when `HELIX_MEMO_DECAY_RUNS` is
+/// unset: long enough that a typical iteration session never decays,
+/// short enough that stale timings from a long-gone machine state stop
+/// dominating plans within one working day of runs.
+pub const DEFAULT_MEMO_DECAY_RUNS: u64 = 32;
 
 /// Fallback for [`replan_factor`] when `HELIX_REPLAN_FACTOR` is unset:
 /// re-plan only on a 4× divergence between observed and estimated cost —

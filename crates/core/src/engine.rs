@@ -590,6 +590,7 @@ impl Engine {
                 duration_secs: 0.0,
                 output_bytes: 0,
                 materialized: false,
+                chunks_loaded: 0,
                 decision_source: plan.sources[i],
             })
             .collect();
@@ -670,6 +671,7 @@ impl Engine {
                             output_bytes: bytes,
                             loaded: true,
                             rows,
+                            run: 0,
                         },
                     ));
                 } else {
@@ -677,6 +679,7 @@ impl Engine {
                     let est_bytes = output.estimated_bytes() as u64;
                     ctx.node_reports[i].duration_secs = executed.secs;
                     ctx.node_reports[i].output_bytes = est_bytes;
+                    ctx.node_reports[i].chunks_loaded = executed.chunks_loaded;
                     ctx.memo_events.push((
                         plan.signatures[i],
                         node.name.clone(),
@@ -686,6 +689,7 @@ impl Engine {
                             output_bytes: est_bytes,
                             loaded: false,
                             rows,
+                            run: 0,
                         },
                     ));
 
@@ -724,6 +728,43 @@ impl Engine {
                             Err(other) => return Err(other),
                         }
                     }
+
+                    // Persist the node's data-chunk partitions so the next
+                    // data delta can serve unchanged partitions from the
+                    // store. Off under `Never` (a store the policy keeps
+                    // empty must stay empty). Best-effort within the same
+                    // budget ledger as whole-node entries: `put` reserves
+                    // before writing and refuses rather than evicts, so
+                    // chunk entries can never push the store over budget
+                    // or displace a materialization — a refused chunk is
+                    // simply recomputed next delta. Chunk writes don't
+                    // calibrate the cost model, which tracks whole-output
+                    // materialization.
+                    if !matches!(
+                        config.materialization,
+                        crate::materialize::MaterializationPolicyKind::Never
+                    ) {
+                        if let (Some(chunks), Ok(data)) =
+                            (plan.chunks[i].as_ref(), output.as_data())
+                        {
+                            for (k, &(start, end)) in chunks.ranges.iter().enumerate() {
+                                if end > data.len() || store.lookup(chunks.psigs[k]).is_some() {
+                                    continue;
+                                }
+                                let part = NodeOutput::Data(
+                                    helix_dataflow::DataCollection::from_rows_unchecked(
+                                        data.schema().clone(),
+                                        data.rows()[start..end].to_vec(),
+                                    ),
+                                );
+                                match store.put(chunks.psigs[k], &part) {
+                                    Ok((_, secs)) => ctx.materialize_secs += secs,
+                                    Err(HelixError::Store(_)) => {}
+                                    Err(other) => return Err(other),
+                                }
+                            }
+                        }
+                    }
                 }
                 // Evaluation results carry this iteration's metrics
                 // whether computed fresh or reused from the store.
@@ -756,6 +797,10 @@ impl Engine {
         // and the next plan should know about them.
         {
             let mut memo = lock(&self.memo);
+            // One logical run per iteration: observations recorded below
+            // carry this run's stamp, which is what lets old timings decay
+            // (`HELIX_MEMO_DECAY_RUNS`).
+            memo.begin_run();
             for (sig, name, parents, observation) in ctx.memo_events.drain(..) {
                 memo.record(sig, &name, &parents, observation);
             }

@@ -34,6 +34,7 @@
 pub mod compiler;
 pub mod config_env;
 pub mod cost;
+pub mod data;
 pub mod engine;
 pub mod error;
 pub mod exec;
@@ -64,7 +65,9 @@ pub use pool::WorkerPool;
 pub use recompute::{NodeState, RecomputationPolicy};
 pub use report::IterationReport;
 pub use scheduler::{default_parallelism, default_partition_rows, ExecOpts, ExecStrategy};
-pub use session::{LearnerParam, Session, SessionHandle, SessionManager, WorkflowEdit};
+pub use session::{
+    LearnerParam, Session, SessionHandle, SessionManager, UncertainExample, WorkflowEdit,
+};
 pub use store::{default_store_shards, Durability, IntermediateStore, RecoveryInfo, StoreOptions};
 pub use workflow::{NodeId, NodeRef, Workflow};
 

@@ -81,7 +81,16 @@ pub struct Observation {
     pub loaded: bool,
     /// Rows in the node's data output (0 for models and unknown shapes).
     pub rows: u64,
+    /// Logical run counter at record time (see [`MemoTable::begin_run`]);
+    /// the age signal behind observation decay.
+    pub run: u64,
 }
+
+/// Weight applied to observations older than the decay horizon
+/// (`HELIX_MEMO_DECAY_RUNS`): stale samples still vote — a signature not
+/// seen recently has nothing newer — but four fresh samples outweigh the
+/// entire stale tail.
+const STALE_OBSERVATION_WEIGHT: f64 = 0.25;
 
 /// Accumulated runtime history for one signature.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -114,6 +123,29 @@ impl MemoEntry {
             return None;
         }
         Some(samples.iter().sum::<f64>() / samples.len() as f64)
+    }
+
+    /// [`MemoEntry::observed_compute_secs`] with recency weighting: a
+    /// sample whose logical run is at least `decay_runs` behind
+    /// `current_run` contributes with weight
+    /// `STALE_OBSERVATION_WEIGHT` (0.25) instead of 1. This is the fix for the
+    /// "memo observations never decay" problem: after the data grows or
+    /// the machine changes, fresh timings take over the aggregate within
+    /// a couple of runs instead of being averaged down by the whole
+    /// window.
+    pub fn observed_compute_secs_decayed(&self, current_run: u64, decay_runs: u64) -> Option<f64> {
+        let mut weighted = 0.0;
+        let mut total = 0.0;
+        for o in self.observations.iter().filter(|o| !o.loaded) {
+            let weight = if current_run.saturating_sub(o.run) >= decay_runs.max(1) {
+                STALE_OBSERVATION_WEIGHT
+            } else {
+                1.0
+            };
+            weighted += weight * o.exec_secs;
+            total += weight;
+        }
+        (total > 0.0).then(|| weighted / total)
     }
 
     /// Most recent non-zero output size, if known.
@@ -158,6 +190,7 @@ impl MemoEntry {
 pub struct MemoTable {
     entries: FxHashMap<u64, MemoEntry>,
     observations_recorded: u64,
+    current_run: u64,
 }
 
 impl MemoTable {
@@ -187,6 +220,29 @@ impl MemoTable {
         self.entries.get(&sig.0)
     }
 
+    /// The logical run counter: how many engine runs have merged their
+    /// observations into this memo.
+    pub fn current_run(&self) -> u64 {
+        self.current_run
+    }
+
+    /// Advances the logical run counter. The engine calls this once per
+    /// iteration before merging that run's observations, so every
+    /// observation carries the run it was measured in and
+    /// [`MemoTable::observed_compute_secs`] can age it out.
+    pub fn begin_run(&mut self) {
+        self.current_run += 1;
+    }
+
+    /// Decay-aware observed compute seconds for a signature: recent
+    /// window samples at full weight, samples older than
+    /// `HELIX_MEMO_DECAY_RUNS` logical runs down-weighted (see
+    /// [`MemoEntry::observed_compute_secs_decayed`]).
+    pub fn observed_compute_secs(&self, sig: Signature) -> Option<f64> {
+        self.get(sig)?
+            .observed_compute_secs_decayed(self.current_run, crate::config_env::memo_decay_runs())
+    }
+
     /// Records one execution of `sig`, evicting the oldest window slot
     /// when full.
     pub fn record(
@@ -202,7 +258,10 @@ impl MemoTable {
         if entry.observations.len() >= MEMO_WINDOW {
             entry.observations.pop_front();
         }
-        entry.observations.push_back(observation);
+        entry.observations.push_back(Observation {
+            run: self.current_run,
+            ..observation
+        });
         entry.runs += 1;
         if observation.loaded {
             entry.reuse_hits += 1;
@@ -221,10 +280,12 @@ impl MemoTable {
     pub fn from_parts(
         entries: impl IntoIterator<Item = (Signature, MemoEntry)>,
         observations_recorded: u64,
+        current_run: u64,
     ) -> MemoTable {
         MemoTable {
             entries: entries.into_iter().map(|(sig, e)| (sig.0, e)).collect(),
             observations_recorded,
+            current_run,
         }
     }
 }
@@ -282,8 +343,8 @@ pub fn solve_offline(memo: &MemoTable, cost: &CostModel, budget_bytes: u64) -> O
         .iter()
         .map(|&sig| {
             let entry = memo.get(sig).expect("signature from iteration");
-            let compute_secs = entry
-                .observed_compute_secs()
+            let compute_secs = memo
+                .observed_compute_secs(sig)
                 .or_else(|| cost.compute_estimate_secs(&entry.name))
                 .unwrap_or(FALLBACK_COMPUTE_SECS);
             let size_bytes = entry.observed_bytes().unwrap_or(0);
@@ -491,6 +552,7 @@ mod tests {
             output_bytes: bytes,
             loaded,
             rows,
+            run: 0,
         }
     }
 
@@ -543,10 +605,37 @@ mod tests {
         let back = MemoTable::from_parts(
             memo.entries().map(|(s, e)| (s, e.clone())),
             memo.observations_recorded(),
+            memo.current_run(),
         );
         assert_eq!(back.len(), 2);
         assert_eq!(back.observations_recorded(), 2);
+        assert_eq!(back.current_run(), memo.current_run());
         assert_eq!(back.get(Signature(1)), memo.get(Signature(1)));
+    }
+
+    #[test]
+    fn stale_observations_decay() {
+        let mut memo = MemoTable::new();
+        // Two slow samples in run 1.
+        memo.begin_run();
+        memo.record(Signature(1), "n", &[], obs(10.0, 1, false, 0));
+        memo.record(Signature(1), "n", &[], obs(10.0, 1, false, 0));
+        // Far later, two fast samples.
+        for _ in 0..50 {
+            memo.begin_run();
+        }
+        memo.record(Signature(1), "n", &[], obs(1.0, 1, false, 0));
+        memo.record(Signature(1), "n", &[], obs(1.0, 1, false, 0));
+
+        let entry = memo.get(Signature(1)).unwrap();
+        // Unweighted mean sits at 5.5; the decayed aggregate must land
+        // much closer to the fresh 1 s samples.
+        assert_eq!(entry.observed_compute_secs(), Some(5.5));
+        let decayed = memo.observed_compute_secs(Signature(1)).unwrap();
+        assert!((decayed - 2.8).abs() < 1e-9, "got {decayed}");
+        // Entries observed only recently are unaffected by decay.
+        memo.record(Signature(2), "m", &[], obs(3.0, 1, false, 0));
+        assert_eq!(memo.observed_compute_secs(Signature(2)), Some(3.0));
     }
 
     /// A chain a → b → c where c is expensive through its ancestors and

@@ -326,6 +326,7 @@ fn observation_to_json(obs: &Observation) -> Json {
         ("bytes", Json::Num(obs.output_bytes as f64)),
         ("loaded", Json::Bool(obs.loaded)),
         ("rows", Json::Num(obs.rows as f64)),
+        ("run", Json::Num(obs.run as f64)),
     ])
 }
 
@@ -337,6 +338,9 @@ fn observation_from_json(json: &Json) -> Result<Observation, String> {
             .as_bool()
             .ok_or("`loaded` is not a bool")?,
         rows: f64_field(json, "rows")? as u64,
+        // Absent in memos persisted before decay existed: treat as run 0,
+        // i.e. maximally stale.
+        run: json.get("run").and_then(Json::as_u64).unwrap_or(0),
     })
 }
 
@@ -348,6 +352,7 @@ fn memo_to_json(memo: &MemoTable) -> Json {
             "observations_recorded",
             Json::Num(memo.observations_recorded() as f64),
         ),
+        ("current_run", Json::Num(memo.current_run() as f64)),
         (
             "entries",
             Json::Arr(
@@ -407,7 +412,8 @@ fn memo_from_json(json: &Json) -> Result<MemoTable, String> {
             },
         ));
     }
-    Ok(MemoTable::from_parts(entries, recorded))
+    let current_run = json.get("current_run").and_then(Json::as_u64).unwrap_or(0);
+    Ok(MemoTable::from_parts(entries, recorded, current_run))
 }
 
 fn signature_list(json: &Json, key: &str) -> Result<Vec<Signature>, String> {
@@ -494,6 +500,11 @@ fn edit_to_json(edit: &WorkflowEdit) -> Json {
             ("kind", Json::str("freeform")),
             ("description", Json::str(description)),
         ]),
+        WorkflowEdit::AppendData { source, rows } => Json::obj([
+            ("kind", Json::str("append_data")),
+            ("source", Json::str(source)),
+            ("rows", Json::Num(*rows as f64)),
+        ]),
     }
 }
 
@@ -517,6 +528,14 @@ fn edit_from_json(json: &Json) -> Result<WorkflowEdit, String> {
         }),
         "freeform" => Ok(WorkflowEdit::Freeform {
             description: str_field(json, "description")?,
+        }),
+        "append_data" => Ok(WorkflowEdit::AppendData {
+            source: str_field(json, "source")?,
+            rows: json
+                .get("rows")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| "append_data edit missing `rows`".to_string())?
+                as usize,
         }),
         other => Err(format!("unknown edit kind `{other}`")),
     }
@@ -812,6 +831,10 @@ mod tests {
             WorkflowEdit::Freeform {
                 description: "add age bucketizer".into(),
             },
+            WorkflowEdit::AppendData {
+                source: "data".into(),
+                rows: 64,
+            },
         ];
         let json = Json::obj([("edits", edits_to_json(&edits))]);
         let back = edits_from_json(&json, "edits").unwrap();
@@ -865,6 +888,7 @@ mod tests {
                 output_bytes: 2048,
                 loaded: false,
                 rows: 100,
+                run: 0,
             },
         );
         memo.record(
@@ -876,6 +900,7 @@ mod tests {
                 output_bytes: 1024,
                 loaded: true,
                 rows: 0,
+                run: 0,
             },
         );
         let pinned = [Signature(7), Signature(3)];

@@ -30,6 +30,10 @@ pub struct NodeReport {
     pub output_bytes: u64,
     /// Whether the output was newly materialized this iteration.
     pub materialized: bool,
+    /// Data-chunk partitions served from the store while computing this
+    /// node (the incremental-data fast path; 0 for loads and chunk-free
+    /// computes).
+    pub chunks_loaded: usize,
     /// Where the node's planning cost came from: the name-keyed estimate,
     /// or per-signature observed history via the adaptive re-plan.
     pub decision_source: crate::memo::DecisionSource,
@@ -119,6 +123,13 @@ impl IterationReport {
         self.loaded() as f64 / touched as f64
     }
 
+    /// Data-chunk partitions served from the store across all computed
+    /// nodes — the upstream-reuse count of an incremental (data-delta)
+    /// run. Zero when the dataset is new or every node loaded whole.
+    pub fn chunks_reused(&self) -> usize {
+        self.nodes.iter().map(|n| n.chunks_loaded).sum()
+    }
+
     /// Depth of the plan's dependency-level decomposition (number of
     /// derived waves).
     pub fn wave_count(&self) -> usize {
@@ -185,6 +196,7 @@ mod tests {
             duration_secs: secs,
             output_bytes: 0,
             materialized: false,
+            chunks_loaded: 0,
             decision_source: crate::memo::DecisionSource::Estimate,
         }
     }

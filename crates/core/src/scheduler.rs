@@ -191,6 +191,10 @@ pub struct ExecutedNode {
     /// `Some(bytes_read)` when the node was loaded from the store,
     /// `None` when it was computed.
     pub loaded_bytes: Option<u64>,
+    /// Number of data-chunk partitions served from the store while
+    /// *computing* this node (see [`crate::slicing::chunk_plan`]); `0`
+    /// for whole-node loads and chunk-free computes.
+    pub chunks_loaded: usize,
 }
 
 /// Everything [`execute_plan`] hands back to the engine.
@@ -817,6 +821,7 @@ impl ReadyExecutor {
                         executed: ExecutedNode {
                             secs: total_secs,
                             loaded_bytes: None,
+                            chunks_loaded: 0,
                         },
                     },
                 ),
@@ -1329,6 +1334,7 @@ fn run_node_inner<'a>(
                 executed: ExecutedNode {
                     secs,
                     loaded_bytes: Some(bytes),
+                    chunks_loaded: 0,
                 },
             })
         }
@@ -1345,16 +1351,91 @@ fn run_node_inner<'a>(
                 })?);
             }
             let started = Instant::now();
-            let output = crate::exec::execute(&node.kind, &node.name, &parent_outputs)?;
+            let (output, chunks_loaded) =
+                match assemble_from_chunks(workflow, plan, store, i, &parent_outputs)? {
+                    Some(assembled) => assembled,
+                    None => (
+                        crate::exec::execute(&node.kind, &node.name, &parent_outputs)?,
+                        0,
+                    ),
+                };
             Ok(RawResult {
                 output,
                 executed: ExecutedNode {
                     secs: started.elapsed().as_secs_f64(),
                     loaded_bytes: None,
+                    chunks_loaded,
                 },
             })
         }
     }
+}
+
+/// The incremental-data fast path: when a computing node carries chunk
+/// structure ([`CompiledPlan::chunks`]) and some of its partition
+/// signatures are materialized, its output is assembled partition by
+/// partition — store hits are loaded, misses are computed with
+/// [`crate::exec::execute_slice`] over exactly their row range — and
+/// concatenated. Because partition signatures are content-derived, the
+/// assembled output is byte-identical to a whole-node compute; after a
+/// data delta only the partitions of new chunks miss.
+///
+/// `Ok(None)` means "no usable chunk entries; compute the node whole":
+/// zero hits, an unsliceable operator (a source reads files, not row
+/// ranges, so it reuses only on a full hit set), or entries that were
+/// evicted between probe and read.
+fn assemble_from_chunks(
+    workflow: &Workflow,
+    plan: &CompiledPlan,
+    store: &IntermediateStore,
+    i: usize,
+    parent_outputs: &[&NodeOutput],
+) -> Result<Option<(NodeOutput, usize)>> {
+    let Some(chunks) = plan.chunks.get(i).and_then(|c| c.as_ref()) else {
+        return Ok(None);
+    };
+    if chunks.ranges.is_empty() {
+        return Ok(None);
+    }
+    let node = workflow.node(NodeId(i as u32));
+    let hits: Vec<bool> = chunks
+        .psigs
+        .iter()
+        .map(|&sig| store.lookup(sig).is_some())
+        .collect();
+    let hit_count = hits.iter().filter(|h| **h).count();
+    if hit_count == 0 {
+        return Ok(None);
+    }
+    let sliceable = crate::exec::partitionable_rows(&node.kind, parent_outputs).is_some();
+    if !sliceable && hit_count < hits.len() {
+        return Ok(None);
+    }
+    let mut parts = Vec::with_capacity(chunks.ranges.len());
+    let mut loaded = 0usize;
+    for (k, &(start, end)) in chunks.ranges.iter().enumerate() {
+        if hits[k] {
+            if let Ok((output, _, _)) = store.get(chunks.psigs[k]) {
+                parts.push(output);
+                loaded += 1;
+                continue;
+            }
+            if !sliceable {
+                return Ok(None);
+            }
+        }
+        parts.push(crate::exec::execute_slice(
+            &node.kind,
+            &node.name,
+            parent_outputs,
+            start,
+            end,
+        )?);
+    }
+    if loaded == 0 {
+        return Ok(None);
+    }
+    Ok(Some((crate::exec::concat_slices(parts)?, loaded)))
 }
 
 #[cfg(test)]

@@ -169,6 +169,16 @@ pub enum WorkflowEdit {
         /// Caller-supplied description.
         description: String,
     },
+    /// Rows appended to a CSV source's training split through
+    /// [`Session::append_data`] — the active-learning "labels came back"
+    /// edit. The rows themselves live in the CSV file (durably appended
+    /// before the edit is recorded), so the record only describes them.
+    AppendData {
+        /// The CSV-source node that received the rows.
+        source: String,
+        /// How many rows were appended.
+        rows: usize,
+    },
 }
 
 impl WorkflowEdit {
@@ -184,6 +194,7 @@ impl WorkflowEdit {
             WorkflowEdit::SetLearnerParam { .. }
                 | WorkflowEdit::Rewire { .. }
                 | WorkflowEdit::AddOutput { .. }
+                | WorkflowEdit::AppendData { .. }
         )
     }
 }
@@ -202,8 +213,29 @@ impl fmt::Display for WorkflowEdit {
             }
             WorkflowEdit::AddOutput { node } => write!(f, "output {node}"),
             WorkflowEdit::Freeform { description } => f.write_str(description),
+            WorkflowEdit::AppendData { source, rows } => {
+                write!(f, "append {rows} rows to {source}")
+            }
         }
     }
+}
+
+/// One prediction ranked by distance from the decision boundary — what
+/// [`Session::uncertain_examples`] hands an active-learning oracle to
+/// label next.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UncertainExample {
+    /// Row index within the predictions output (stable for one
+    /// iteration; re-rank after every retrain).
+    pub index: usize,
+    /// The label the pipeline currently carries for this row.
+    pub label: f64,
+    /// Raw model score (probability-like, 0..1).
+    pub score: f64,
+    /// The thresholded decision.
+    pub pred: f64,
+    /// `|score - 0.5|` — smaller is more uncertain; the sort key.
+    pub margin: f64,
 }
 
 /// One analyst's iterative loop over a shared engine: a live workflow,
@@ -357,6 +389,11 @@ impl Session {
                 self.rewire(node, &refs).is_ok()
             }
             WorkflowEdit::AddOutput { node } => self.add_output(node).is_ok(),
+            // The appended rows are already durably in the CSV file (the
+            // append fsyncs before the edit is recorded), and data-content
+            // signing rediscovers the delta from the file itself — so the
+            // replay is a successful no-op.
+            WorkflowEdit::AppendData { .. } => true,
             WorkflowEdit::ReplaceOperator { .. } | WorkflowEdit::Freeform { .. } => false,
         };
         // The typed handles above record the replayed edit as *pending*;
@@ -429,6 +466,103 @@ impl Session {
         });
         self.persist();
         Ok(())
+    }
+
+    /// Appends labeled rows to a CSV source's training split — the data
+    /// half of the active-learning loop ("fetch uncertain examples, label
+    /// them, feed the labels back"). The rows are durably appended to the
+    /// CSV file itself (staged through a fsynced sidecar so a crash
+    /// mid-append can never tear the file; see [`crate::data`]) before the
+    /// edit is recorded, so an acknowledged append survives any crash.
+    /// The next [`Session::iterate`] sees the delta through data-content
+    /// signing: only partitions downstream of the appended chunk
+    /// recompute, unchanged partitions serve from the store.
+    ///
+    /// # Errors
+    /// [`HelixError::Workflow`] if `source` is not a CSV-source node or a
+    /// row is blank / contains a newline.
+    pub fn append_data(&mut self, source: &str, rows: &[String]) -> Result<usize> {
+        let r = self.workflow.node_ref(source)?;
+        let OperatorKind::CsvSource { train_path, .. } = &self.workflow.node(r.0).kind else {
+            return Err(HelixError::Workflow(format!(
+                "node `{source}` is not a csv_source; data can only be appended to sources"
+            )));
+        };
+        let path = train_path.clone();
+        let appended = crate::data::append_lines(&path, rows)?;
+        self.edits.push(WorkflowEdit::AppendData {
+            source: source.to_string(),
+            rows: appended,
+        });
+        self.persist();
+        Ok(appended)
+    }
+
+    /// The `k` most-uncertain predictions from this session's last
+    /// iteration — test-split rows whose score sits closest to the 0.5
+    /// decision boundary, the examples an active-learning oracle should
+    /// label next. Resolves the workflow's Apply (predictions) node
+    /// through the lineage's previous-iteration signatures and fetches
+    /// its materialized output from the store.
+    ///
+    /// # Errors
+    /// [`HelixError::Workflow`] if the session has not iterated yet or
+    /// the workflow has no Apply node; [`HelixError::Store`] if the
+    /// predictions output is not materialized.
+    pub fn uncertain_examples(&self, k: usize) -> Result<Vec<UncertainExample>> {
+        let Some(prev) = self.lineage.previous_map() else {
+            return Err(HelixError::Workflow(format!(
+                "session `{}` has not iterated yet; nothing to rank",
+                self.name
+            )));
+        };
+        let apply = self
+            .workflow
+            .nodes()
+            .iter()
+            .find(|n| matches!(n.kind, OperatorKind::Apply))
+            .ok_or_else(|| {
+                HelixError::Workflow(format!(
+                    "session `{}` has no predictions (Apply) node",
+                    self.name
+                ))
+            })?;
+        let &(_, sig) = prev.get(&apply.name).ok_or_else(|| {
+            HelixError::Workflow(format!(
+                "predictions node `{}` was not part of the last iteration",
+                apply.name
+            ))
+        })?;
+        let output = self.engine.fetch(sig)?;
+        let data = output.as_data()?;
+        let split_idx = data.column_index(crate::SPLIT_COL)?;
+        let label_idx = data.column_index("label")?;
+        let score_idx = data.column_index("score")?;
+        let pred_idx = data.column_index("pred")?;
+        let mut ranked: Vec<UncertainExample> = data
+            .rows()
+            .iter()
+            .enumerate()
+            .filter(|(_, row)| row.get(split_idx).as_str() == Some(crate::SPLIT_TEST))
+            .map(|(index, row)| {
+                let score = row.get(score_idx).as_f64().unwrap_or(0.0);
+                UncertainExample {
+                    index,
+                    label: row.get(label_idx).as_f64().unwrap_or(0.0),
+                    score,
+                    pred: row.get(pred_idx).as_f64().unwrap_or(0.0),
+                    margin: (score - 0.5).abs(),
+                }
+            })
+            .collect();
+        ranked.sort_by(|a, b| {
+            a.margin
+                .partial_cmp(&b.margin)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.index.cmp(&b.index))
+        });
+        ranked.truncate(k);
+        Ok(ranked)
     }
 
     /// Applies an arbitrary structural edit to the live workflow (adding
@@ -601,6 +735,18 @@ impl SessionHandle {
     pub fn add_output(&self, node: &str) -> Result<()> {
         self.touch();
         lock(&self.inner).add_output(node)
+    }
+
+    /// See [`Session::append_data`].
+    pub fn append_data(&self, source: &str, rows: &[String]) -> Result<usize> {
+        self.touch();
+        lock(&self.inner).append_data(source, rows)
+    }
+
+    /// See [`Session::uncertain_examples`].
+    pub fn uncertain_examples(&self, k: usize) -> Result<Vec<UncertainExample>> {
+        self.touch();
+        lock(&self.inner).uncertain_examples(k)
     }
 
     /// See [`Session::edit`].

@@ -32,6 +32,20 @@ impl Signature {
 /// # Errors
 /// Propagates cycle detection from topological ordering.
 pub fn compute_signatures(workflow: &Workflow) -> Result<Vec<Signature>> {
+    compute_signatures_with_data(workflow, &helix_dataflow::fx::FxHashMap::default())
+}
+
+/// [`compute_signatures`] with per-node **data content hashes** mixed in:
+/// for a node index present in `data_hashes` (a chunkable data source, see
+/// [`crate::data::workflow_manifests`]), the content hash *replaces* the
+/// operator's parameter string in the hash. Source parameters are file
+/// paths, so this swap is what makes signatures track what the data *is*
+/// rather than where it lives: appending rows changes the source signature
+/// (and everything downstream), while relocating identical bytes does not.
+pub fn compute_signatures_with_data(
+    workflow: &Workflow,
+    data_hashes: &helix_dataflow::fx::FxHashMap<usize, u64>,
+) -> Result<Vec<Signature>> {
     let order = workflow.topo_order()?;
     let mut sigs = vec![Signature(0); workflow.len()];
     for id in order {
@@ -39,7 +53,13 @@ pub fn compute_signatures(workflow: &Workflow) -> Result<Vec<Signature>> {
         let mut hasher = FxHasher::default();
         hasher.write(node.kind.tag().as_bytes());
         hasher.write_u8(0xfe);
-        hasher.write(node.kind.params_string().as_bytes());
+        match data_hashes.get(&id.index()) {
+            Some(content) => {
+                hasher.write(b"data-content");
+                hasher.write_u64(*content);
+            }
+            None => hasher.write(node.kind.params_string().as_bytes()),
+        }
         hasher.write_u8(0xff);
         // Parent signatures in wiring order: reordering parents is a change.
         for parent in &node.parents {

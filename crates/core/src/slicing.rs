@@ -8,8 +8,13 @@
 //! from that list — like `race`/`cl` in Fig. 1b, grayed out — simply stop
 //! being ancestors of any output and are sliced away here.
 
+use crate::data::SourceManifest;
+use crate::ops::OperatorKind;
+use crate::signature::Signature;
 use crate::workflow::{NodeId, Workflow};
 use crate::Result;
+use helix_dataflow::fx::{FxHashMap, FxHasher};
+use std::hash::Hasher;
 
 /// Result of slicing: which nodes survive.
 #[derive(Debug, Clone)]
@@ -57,6 +62,108 @@ pub fn slice(workflow: &Workflow) -> Result<Slice> {
         stack.extend(workflow.node(id).parents.iter().copied());
     }
     Ok(Slice { active })
+}
+
+/// Per-partition signatures for one node: the dataset's chunk structure
+/// projected through the row-aligned region of the DAG (see
+/// [`chunk_plan`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeChunks {
+    /// Half-open `[start, end)` row ranges of the node's output, one per
+    /// data chunk, covering all rows in order.
+    pub ranges: Vec<(usize, usize)>,
+    /// Partition signature per range — a content-derived store key, so an
+    /// unchanged chunk's partitions stay loadable after a data delta.
+    pub psigs: Vec<Signature>,
+}
+
+/// Whether an operator maps input rows to output rows 1:1, so its output
+/// can be partitioned by the *source's* chunk ranges. `AssembleFeatures`
+/// is slice-pure but drops label-less rows, which breaks the row
+/// alignment; everything from it onward is partitioned only by the
+/// scheduler's dynamic ranges, never by data chunks.
+fn row_aligned(kind: &OperatorKind) -> bool {
+    matches!(
+        kind,
+        OperatorKind::CsvScan { .. }
+            | OperatorKind::FieldExtractor { .. }
+            | OperatorKind::Interaction
+    )
+}
+
+/// Computes per-node **partition signatures**: the per-partition analogue
+/// of the Merkle node signature, over the region of the DAG where output
+/// rows stay aligned with source rows.
+///
+/// A chunkable source's partitions are its data chunks
+/// ([`crate::data::SourceManifest`], keyed by node index in `manifests`);
+/// a downstream node inherits the structure iff its operator is 1:1
+/// row-aligned and *every* parent carries the same ranges. Each partition
+/// signature hashes the operator's identity with the parents' partition
+/// signatures — for a source, with the chunk's content hash — so it is
+/// independent of file paths and of everything outside its own row range.
+/// After a data delta, partitions over unchanged chunks keep their store
+/// keys and are served from the store while only new-chunk partitions
+/// recompute.
+pub fn chunk_plan(
+    workflow: &Workflow,
+    manifests: &FxHashMap<usize, SourceManifest>,
+) -> Result<Vec<Option<NodeChunks>>> {
+    let order = workflow.topo_order()?;
+    let mut chunks: Vec<Option<NodeChunks>> = vec![None; workflow.len()];
+    for id in order {
+        let node = workflow.node(id);
+        let computed = if let Some(manifest) = manifests.get(&id.index()) {
+            if manifest.chunks.is_empty() {
+                None
+            } else {
+                let mut ranges = Vec::with_capacity(manifest.chunks.len());
+                let mut psigs = Vec::with_capacity(manifest.chunks.len());
+                let mut start = 0usize;
+                for chunk in &manifest.chunks {
+                    ranges.push((start, start + chunk.rows));
+                    start += chunk.rows;
+                    let mut hasher = FxHasher::default();
+                    hasher.write(node.kind.tag().as_bytes());
+                    hasher.write_u8(0xfe);
+                    hasher.write(b"chunk");
+                    hasher.write_u64(chunk.hash);
+                    hasher.write_u8(0xff);
+                    psigs.push(Signature(hasher.finish()));
+                }
+                Some(NodeChunks { ranges, psigs })
+            }
+        } else if row_aligned(&node.kind) && !node.parents.is_empty() {
+            let parents: Option<Vec<&NodeChunks>> = node
+                .parents
+                .iter()
+                .map(|p| chunks[p.index()].as_ref())
+                .collect();
+            parents
+                .filter(|ps| ps.iter().all(|p| p.ranges == ps[0].ranges))
+                .map(|ps| {
+                    let ranges = ps[0].ranges.clone();
+                    let psigs = (0..ranges.len())
+                        .map(|k| {
+                            let mut hasher = FxHasher::default();
+                            hasher.write(node.kind.tag().as_bytes());
+                            hasher.write_u8(0xfe);
+                            hasher.write(node.kind.params_string().as_bytes());
+                            hasher.write_u8(0xff);
+                            for parent in &ps {
+                                hasher.write_u64(parent.psigs[k].0);
+                            }
+                            Signature(hasher.finish())
+                        })
+                        .collect();
+                    NodeChunks { ranges, psigs }
+                })
+        } else {
+            None
+        };
+        chunks[id.index()] = computed;
+    }
+    Ok(chunks)
 }
 
 #[cfg(test)]
@@ -136,6 +243,54 @@ mod tests {
         w.rewire("income", &[&rows, &age, &race, &target]).unwrap();
         let s = slice(&w).unwrap();
         assert!(s.active[w.by_name("race").unwrap().index()]);
+    }
+
+    #[test]
+    fn chunk_structure_stops_at_assemble() {
+        let dir = std::env::temp_dir().join(format!("helix-slice-chunks-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let train = dir.join("train.csv");
+        let mut lines = String::new();
+        for i in 0..10 {
+            lines.push_str(&format!("{i},1\n"));
+        }
+        std::fs::write(&train, &lines).unwrap();
+
+        let mut w = Workflow::new("t");
+        let src = w.csv_source("data", &train, None::<&str>).unwrap();
+        let rows = w
+            .csv_scanner("rows", &src, &[("x", DataType::Int), ("y", DataType::Int)])
+            .unwrap();
+        let x = w
+            .field_extractor("x", &rows, "x", ExtractorKind::Numeric)
+            .unwrap();
+        let y = w
+            .field_extractor("y", &rows, "y", ExtractorKind::Numeric)
+            .unwrap();
+        let income = w.assemble("income", &rows, &[&x], &y).unwrap();
+        w.output(&income);
+
+        let manifests = crate::data::workflow_manifests(&w, 4);
+        let plan = chunk_plan(&w, &manifests).unwrap();
+        let at = |name: &str| plan[w.by_name(name).unwrap().index()].as_ref();
+        let src_chunks = at("data").expect("source has chunk structure");
+        assert_eq!(src_chunks.ranges, vec![(0, 4), (4, 8), (8, 10)]);
+        let rows_chunks = at("rows").expect("scan inherits chunk structure");
+        assert_eq!(rows_chunks.ranges, src_chunks.ranges);
+        assert_ne!(rows_chunks.psigs, src_chunks.psigs);
+        assert!(at("x").is_some());
+        assert!(at("income").is_none(), "assemble drops rows; not aligned");
+
+        // Appending preserves the psigs of covered chunks.
+        crate::data::append_lines(&train, &["10,1".into(), "11,1".into()]).unwrap();
+        let manifests2 = crate::data::workflow_manifests(&w, 4);
+        let plan2 = chunk_plan(&w, &manifests2).unwrap();
+        let rows2 = plan2[w.by_name("rows").unwrap().index()].as_ref().unwrap();
+        assert_eq!(rows2.ranges.len(), 3);
+        assert_eq!(rows2.psigs[0], rows_chunks.psigs[0]);
+        assert_eq!(rows2.psigs[1], rows_chunks.psigs[1]);
+        assert_ne!(rows2.psigs[2], rows_chunks.psigs[2]);
     }
 
     #[test]

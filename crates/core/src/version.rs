@@ -306,6 +306,7 @@ mod tests {
                 duration_secs: secs,
                 output_bytes: 0,
                 materialized: false,
+                chunks_loaded: 0,
                 decision_source: crate::memo::DecisionSource::Estimate,
             }],
             waves: vec![],

@@ -218,6 +218,7 @@ mod tests {
                     duration_secs: 0.1,
                     output_bytes: 123,
                     materialized: i == 1,
+                    chunks_loaded: 0,
                     decision_source: crate::memo::DecisionSource::Estimate,
                 })
                 .collect(),

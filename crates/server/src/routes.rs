@@ -164,6 +164,8 @@ impl Api {
             ("DELETE", ["sessions", name]) => self.close_session(name),
             ("POST", ["sessions", name, "edits"]) => self.apply_edit(name, &req.body),
             ("POST", ["sessions", name, "iterate"]) => self.iterate(name),
+            ("POST", ["sessions", name, "data"]) => self.append_data(name, &req.body),
+            ("GET", ["sessions", name, "uncertain"]) => self.uncertain(name, req),
             ("PUT", ["sessions", name, "workflow"]) => self.replace_workflow(name, &req.body),
             ("GET", ["sessions", name, "versions"]) => self.versions(name),
             ("GET", ["sessions", name, "versions", id]) => self.version_detail(name, id),
@@ -174,7 +176,10 @@ impl Api {
             (_, ["admin", "snapshot" | "optimize"])
             | (_, ["healthz" | "workflows" | "versions" | "sessions" | "stats"])
             | (_, ["sessions", _])
-            | (_, ["sessions", _, "edits" | "iterate" | "workflow" | "versions" | "diff"])
+            | (
+                _,
+                ["sessions", _, "edits" | "iterate" | "workflow" | "versions" | "diff" | "data" | "uncertain"],
+            )
             | (_, ["sessions", _, "versions", _]) => error_body(
                 405,
                 format!("method {} not allowed on {}", req.method, req.path),
@@ -329,6 +334,64 @@ impl Api {
         self.with_session(name, |session| {
             let report = session.iterate()?;
             Ok(ok(wire::report_json(&report)))
+        })
+    }
+
+    /// `POST /sessions/{name}/data`: durably appends labeled rows to a
+    /// CSV source's training split (the active-learning label return).
+    /// Body: `{"source": "<node>", "rows": ["<csv line>", ...]}`.
+    fn append_data(&self, name: &str, body: &str) -> Response {
+        let body = match Json::parse(body) {
+            Ok(v) => v,
+            Err(err) => return error_body(400, err.to_string()),
+        };
+        let Some(source) = body.get("source").and_then(Json::as_str) else {
+            return error_body(400, "missing or non-string field `source`");
+        };
+        let Some(items) = body.get("rows").and_then(Json::as_array) else {
+            return error_body(400, "missing or non-array field `rows`");
+        };
+        let mut rows = Vec::with_capacity(items.len());
+        for item in items {
+            match item.as_str() {
+                Some(line) => rows.push(line.to_string()),
+                None => return error_body(400, "field `rows` must contain only strings"),
+            }
+        }
+        if rows.is_empty() {
+            return error_body(400, "field `rows` must not be empty");
+        }
+        self.with_session(name, |session| {
+            let appended = session.append_data(source, &rows)?;
+            Ok(ok(Json::obj([
+                ("session", Json::str(name)),
+                ("source", Json::str(source)),
+                ("appended", Json::Num(appended as f64)),
+            ])))
+        })
+    }
+
+    /// `GET /sessions/{name}/uncertain?k=N`: the `k` test-split
+    /// predictions closest to the decision boundary from the session's
+    /// last iteration — what an active-learning oracle labels next.
+    fn uncertain(&self, name: &str, req: &Request) -> Response {
+        let k = match req.query_param("k") {
+            Some(raw) => match raw.parse::<usize>() {
+                Ok(k) => k,
+                Err(_) => return error_body(400, "query parameter `k` is not a number"),
+            },
+            None => 10,
+        };
+        self.with_session(name, |session| {
+            let examples = session.uncertain_examples(k)?;
+            Ok(ok(Json::obj([
+                ("session", Json::str(name)),
+                ("k", Json::Num(k as f64)),
+                (
+                    "examples",
+                    Json::Arr(examples.iter().map(wire::uncertain_json).collect()),
+                ),
+            ])))
         })
     }
 

@@ -47,6 +47,7 @@ fn node_json(node: &NodeReport) -> Json {
         ("duration_secs", Json::Num(node.duration_secs)),
         ("output_bytes", Json::Num(node.output_bytes as f64)),
         ("materialized", Json::Bool(node.materialized)),
+        ("chunks_loaded", Json::Num(node.chunks_loaded as f64)),
         (
             "decision_source",
             Json::str(node.decision_source.to_string()),
@@ -89,6 +90,7 @@ pub fn report_json(report: &IterationReport) -> Json {
         ("computed", Json::Num(report.computed() as f64)),
         ("pruned", Json::Num(report.pruned() as f64)),
         ("reuse_rate", Json::Num(report.reuse_rate())),
+        ("chunks_reused", Json::Num(report.chunks_reused() as f64)),
         ("metrics", metrics_json(&report.metrics)),
         (
             "nodes",
@@ -179,6 +181,18 @@ pub fn diff_json(diff: &VersionDiff) -> Json {
                     .collect(),
             ),
         ),
+    ])
+}
+
+/// One ranked prediction from `GET /sessions/{name}/uncertain` — the
+/// active-learning candidate shape documented in `docs/API.md`.
+pub fn uncertain_json(example: &helix_core::UncertainExample) -> Json {
+    Json::obj([
+        ("index", Json::Num(example.index as f64)),
+        ("label", Json::Num(example.label)),
+        ("score", Json::Num(example.score)),
+        ("pred", Json::Num(example.pred)),
+        ("margin", Json::Num(example.margin)),
     ])
 }
 
@@ -541,6 +555,7 @@ mod tests {
                 duration_secs: 0.5,
                 output_bytes: 2048,
                 materialized: false,
+                chunks_loaded: 0,
                 decision_source: helix_core::DecisionSource::Estimate,
             }],
             waves: vec![WaveReport {

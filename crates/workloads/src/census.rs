@@ -122,56 +122,74 @@ fn write_split(path: &Path, rows: usize, spec: &CensusDataSpec, rng: &mut StdRng
     let file = std::fs::File::create(path)?;
     let mut w = std::io::BufWriter::new(file);
     for _ in 0..rows {
-        let age: i64 = rng.gen_range(17..=90);
-        let edu_idx = rng.gen_range(0..EDUCATIONS.len());
-        let occ_idx = rng.gen_range(0..OCCUPATIONS.len());
-        let ms_idx = rng.gen_range(0..MARITAL.len());
-        let race_idx = rng.gen_range(0..RACES.len());
-        let sex_idx = rng.gen_range(0..SEXES.len());
-        let capital_loss: i64 = if rng.gen_bool(0.1) {
-            rng.gen_range(100..4000)
-        } else {
-            0
-        };
-        let hours: i64 = rng.gen_range(10..=80);
-
-        // Ground truth: education and marriage dominate, age and hours
-        // matter, occupation interacts with education (so the eduXocc
-        // iteration helps), race and sex carry no signal.
-        let mut score = -3.2;
-        score += 0.55 * edu_idx as f64;
-        score += if ms_idx == 1 { 1.1 } else { -0.2 };
-        score += 0.035 * (age as f64 - 38.0);
-        score += 0.022 * (hours as f64 - 40.0);
-        score += if edu_idx >= 4 && occ_idx == 3 {
-            0.9
-        } else {
-            0.0
-        };
-        score += if capital_loss > 1500 { 0.4 } else { 0.0 };
-        let p = 1.0 / (1.0 + (-score).exp());
-        let target = i64::from(rng.gen_bool(p.clamp(0.02, 0.98)));
-
-        let mut fields = vec![
-            age.to_string(),
-            EDUCATIONS[edu_idx].to_string(),
-            OCCUPATIONS[occ_idx].to_string(),
-            MARITAL[ms_idx].to_string(),
-            RACES[race_idx].to_string(),
-            SEXES[sex_idx].to_string(),
-            capital_loss.to_string(),
-            hours.to_string(),
-        ];
-        for field in fields.iter_mut() {
-            if rng.gen_bool(spec.missing_rate) {
-                *field = "?".to_string();
-            }
-        }
-        fields.push(target.to_string());
-        writeln!(w, "{}", fields.join(","))?;
+        writeln!(w, "{}", census_row(spec, rng))?;
     }
     w.flush()?;
     Ok(())
+}
+
+/// One labeled row drawn from the ground-truth model: education and
+/// marriage dominate, age and hours matter, occupation interacts with
+/// education (so the eduXocc iteration helps), race and sex carry no
+/// signal.
+fn census_row(spec: &CensusDataSpec, rng: &mut StdRng) -> String {
+    let age: i64 = rng.gen_range(17..=90);
+    let edu_idx = rng.gen_range(0..EDUCATIONS.len());
+    let occ_idx = rng.gen_range(0..OCCUPATIONS.len());
+    let ms_idx = rng.gen_range(0..MARITAL.len());
+    let race_idx = rng.gen_range(0..RACES.len());
+    let sex_idx = rng.gen_range(0..SEXES.len());
+    let capital_loss: i64 = if rng.gen_bool(0.1) {
+        rng.gen_range(100..4000)
+    } else {
+        0
+    };
+    let hours: i64 = rng.gen_range(10..=80);
+
+    let mut score = -3.2;
+    score += 0.55 * edu_idx as f64;
+    score += if ms_idx == 1 { 1.1 } else { -0.2 };
+    score += 0.035 * (age as f64 - 38.0);
+    score += 0.022 * (hours as f64 - 40.0);
+    score += if edu_idx >= 4 && occ_idx == 3 {
+        0.9
+    } else {
+        0.0
+    };
+    score += if capital_loss > 1500 { 0.4 } else { 0.0 };
+    let p = 1.0 / (1.0 + (-score).exp());
+    let target = i64::from(rng.gen_bool(p.clamp(0.02, 0.98)));
+
+    let mut fields = vec![
+        age.to_string(),
+        EDUCATIONS[edu_idx].to_string(),
+        OCCUPATIONS[occ_idx].to_string(),
+        MARITAL[ms_idx].to_string(),
+        RACES[race_idx].to_string(),
+        SEXES[sex_idx].to_string(),
+        capital_loss.to_string(),
+        hours.to_string(),
+    ];
+    for field in fields.iter_mut() {
+        if rng.gen_bool(spec.missing_rate) {
+            *field = "?".to_string();
+        }
+    }
+    fields.push(target.to_string());
+    fields.join(",")
+}
+
+/// Synthesizes `count` freshly labeled rows from the ground-truth model —
+/// the oracle of the active-learning loop (`crate::active_learning`),
+/// standing in for the human who labels the examples the model is least
+/// sure about. No missing markers: an oracle answers every field.
+pub fn labeled_rows(count: usize, seed: u64) -> Vec<String> {
+    let spec = CensusDataSpec {
+        missing_rate: 0.0,
+        ..Default::default()
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|_| census_row(&spec, &mut rng)).collect()
 }
 
 /// Parameters of the Census workflow that iterations mutate. Mirrors the

@@ -11,12 +11,17 @@
 //! * [`iterations`] — the shared "human-in-the-loop" machinery: a list of
 //!   workflow modifications, each tagged with the paper's iteration
 //!   category (data pre-processing / ML / evaluation).
+//! * [`active_learning`] — the label-driven iteration loop: rank
+//!   uncertain predictions, oracle-label a batch, append the labels as a
+//!   data delta, retrain with partition-level upstream reuse.
 
 #![warn(missing_docs)]
 
+pub mod active_learning;
 pub mod census;
 pub mod ie;
 pub mod iterations;
 pub mod news;
 
+pub use active_learning::{run_active_learning, ActiveLearningRound, ActiveLearningSpec};
 pub use iterations::{IterationSpec, IterationStage};

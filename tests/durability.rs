@@ -360,6 +360,173 @@ fn sigkill_mid_iteration_loses_no_acknowledged_work() {
     assert!(!resumed.metrics.is_empty());
 }
 
+/// Environment variable naming the scratch directory for the delta-ingest
+/// kill test's child process; set only by the parent below.
+const INGEST_CHILD_ENV: &str = "HELIX_INGEST_CHILD_DIR";
+
+/// One oracle batch of census-mini rows for ingest round `i`.
+fn ingest_batch(i: usize) -> Vec<String> {
+    (0..5)
+        .map(|j| {
+            let edu = if (i + j).is_multiple_of(3) {
+                "PhD"
+            } else {
+                "HS"
+            };
+            format!("{edu},{},{}", 22 + (i * 5 + j) % 40, (i + j) % 2)
+        })
+        .collect()
+}
+
+/// The ingest victim: appends one labeled batch per round as a durable
+/// data delta, acknowledges it (the `append_data` fsync is the
+/// acknowledgement point), then retrains — forever, until killed.
+/// `#[ignore]` keeps it out of normal runs.
+#[test]
+#[ignore]
+fn ingest_child_worker() {
+    let Ok(dir) = std::env::var(INGEST_CHILD_ENV) else {
+        return; // invoked manually; nothing to do
+    };
+    let dir = PathBuf::from(dir);
+    let manager = SessionManager::new(durable_engine(&dir.join("store")));
+    let session = manager
+        .create_with_template("alice", workflow(&dir).unwrap(), Some("census-mini"))
+        .unwrap();
+    session.iterate().unwrap();
+    let progress = dir.join("ingest-progress.txt");
+    let mut log = String::new();
+    let mut total = 0usize;
+    for i in 0.. {
+        let batch = ingest_batch(i);
+        total += session.append_data("data", &batch).unwrap();
+        // Acknowledge the durable append *before* retraining: these rows
+        // must survive a kill landing anywhere after this line.
+        log.push_str(&format!("{i} {total}\n"));
+        let tmp = dir.join("ingest-progress.tmp");
+        std::fs::write(&tmp, &log).unwrap();
+        std::fs::rename(&tmp, &progress).unwrap();
+        session.iterate().unwrap();
+    }
+}
+
+/// SIGKILL mid-delta-ingest: the child above appends labeled batches in a
+/// tight loop, so the kill can land anywhere in the ingest path — sidecar
+/// staged, CSV half-appended, retrain in flight. Reopening must (a) lose
+/// no acknowledged delta, (b) heal any half-applied one, and (c) produce
+/// an incremental rerun byte-identical to a from-scratch twin on the
+/// healed data, still reusing pre-crash partitions.
+#[test]
+fn sigkill_mid_delta_ingest_loses_no_acknowledged_delta() {
+    let dir = tmpdir("ingest-kill");
+    workflow(&dir).unwrap(); // writes the shared CSVs up front
+    let base_rows = std::fs::read_to_string(dir.join("train.csv"))
+        .unwrap()
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .count();
+
+    let exe = std::env::current_exe().unwrap();
+    let mut child = std::process::Command::new(exe)
+        .args(["--ignored", "--exact", "ingest_child_worker", "--nocapture"])
+        .env(INGEST_CHILD_ENV, &dir)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+
+    // Wait for ≥3 acknowledged deltas, then kill without warning.
+    let progress = dir.join("ingest-progress.txt");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
+    let acknowledged = loop {
+        if let Some(status) = child.try_wait().unwrap() {
+            panic!("child exited early with {status}");
+        }
+        let lines: Vec<String> = std::fs::read_to_string(&progress)
+            .map(|t| t.lines().map(String::from).collect())
+            .unwrap_or_default();
+        if lines.len() >= 3 {
+            break lines;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "child made no progress: {} deltas",
+            lines.len()
+        );
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    };
+    child.kill().unwrap();
+    child.wait().unwrap();
+
+    let acked_rows: usize = acknowledged
+        .last()
+        .unwrap()
+        .rsplit(' ')
+        .next()
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(acked_rows >= 15, "≥3 batches of 5 rows each");
+
+    // Reopen and recover the session; its AppendData edits replay as
+    // no-ops because the CSV itself is the durable record.
+    let manager = SessionManager::new(durable_engine(&dir.join("store")));
+    let recovered =
+        manager.recover(|template| (template == "census-mini").then(|| workflow(&dir).unwrap()));
+    assert_eq!(recovered, 1, "alice must come back");
+    let alice = manager.get("alice").unwrap();
+
+    // One more delta post-crash. append_data heals any half-applied
+    // sidecar before appending, so the file afterwards holds: base rows +
+    // every acknowledged row [+ at most one staged-but-unacknowledged
+    // batch] + this batch. Nothing acknowledged may be missing.
+    let post_batch = ingest_batch(10_000);
+    alice.append_data("data", &post_batch).unwrap();
+    let healed = std::fs::read_to_string(dir.join("train.csv")).unwrap();
+    let healed_rows = healed.lines().filter(|l| !l.trim().is_empty()).count();
+    let floor = base_rows + acked_rows + post_batch.len();
+    assert!(
+        healed_rows >= floor && healed_rows <= floor + 5,
+        "healed file has {healed_rows} rows; acknowledged floor is {floor} \
+         (+ at most one in-flight batch of 5)"
+    );
+
+    // The incremental rerun over the recovered store must match a
+    // from-scratch twin handed the healed file verbatim — same metrics,
+    // same plan shape — while still reusing pre-crash partitions.
+    let inc_report = alice.iterate().unwrap();
+    assert!(
+        inc_report.chunks_reused() > 0,
+        "the post-crash delta run must serve pre-crash partitions from the store"
+    );
+
+    let twin_dir = dir.join("twin-data");
+    std::fs::create_dir_all(&twin_dir).unwrap();
+    std::fs::write(twin_dir.join("train.csv"), &healed).unwrap();
+    std::fs::copy(dir.join("test.csv"), twin_dir.join("test.csv")).unwrap();
+    let twin_manager = SessionManager::new(durable_engine(&dir.join("twin-store")));
+    let twin = twin_manager
+        .create("twin", workflow(&twin_dir).unwrap())
+        .unwrap();
+    let twin_report = twin.iterate().unwrap();
+
+    assert_eq!(
+        inc_report.metrics, twin_report.metrics,
+        "incremental rerun must be byte-identical to the from-scratch twin"
+    );
+    let shape = |r: &IterationReport| {
+        r.nodes
+            .iter()
+            .map(|n| (n.name.clone(), format!("{:?}", n.state)))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(
+        shape(&inc_report),
+        shape(&twin_report),
+        "both runs see a data delta: every node recomputes in each"
+    );
+}
+
 /// Environment variable naming the scratch directory for the memo kill
 /// test's child process; set only by the parent below.
 const MEMO_CHILD_ENV: &str = "HELIX_MEMO_CHILD_DIR";

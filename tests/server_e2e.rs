@@ -629,6 +629,158 @@ fn admin_snapshot_on_volatile_engine_is_rejected() {
     server.shutdown();
 }
 
+/// The active-learning loop end to end over the wire: create → iterate →
+/// fetch the most-uncertain test examples → post oracle labels as a data
+/// delta → retrain. The retrain must reuse unchanged partitions from the
+/// store (`chunks_reused > 0`) while the label join — the assemble node
+/// that merges features with the (now longer) label column — recomputes.
+#[test]
+fn active_learning_loop_over_the_wire() {
+    let dir = tmpdir("active");
+    let manager = Arc::new(SessionManager::new(Arc::new(
+        Engine::new(config(dir.join("store"), None)).unwrap(),
+    )));
+    let mut registry = WorkflowRegistry::new();
+    {
+        let dir = dir.clone();
+        registry.register("census-mini", move || workflow(&dir));
+    }
+    let mut server = Server::bind(
+        ("127.0.0.1", 0),
+        Api::new(Arc::clone(&manager), registry),
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let addr = server.addr();
+
+    client::post(
+        addr,
+        "/sessions",
+        r#"{"name":"alice","workflow":"census-mini"}"#,
+    )
+    .unwrap()
+    .expect_ok();
+
+    // Ranking before any run is the caller's mistake: the session has no
+    // materialized predictions yet.
+    assert_eq!(
+        client::get(addr, "/sessions/alice/uncertain")
+            .unwrap()
+            .status,
+        400,
+        "uncertain before the first iteration must 400"
+    );
+
+    client::post(addr, "/sessions/alice/iterate", "")
+        .unwrap()
+        .expect_ok();
+
+    // Fetch the K most-uncertain test examples; margins come back sorted.
+    let uncertain = client::get(addr, "/sessions/alice/uncertain?k=5")
+        .unwrap()
+        .expect_ok();
+    assert_eq!(uncertain.get("k").unwrap().as_u64(), Some(5));
+    let examples = uncertain.get("examples").unwrap().as_array().unwrap();
+    assert!(!examples.is_empty() && examples.len() <= 5);
+    let mut last_margin = -1.0_f64;
+    for ex in examples {
+        for field in ["index", "label", "score", "pred", "margin"] {
+            assert!(ex.get(field).is_some(), "example missing {field}: {ex}");
+        }
+        let margin = ex.get("margin").unwrap().as_f64().unwrap();
+        assert!(
+            margin >= last_margin && margin <= 0.5 + 1e-12,
+            "margins must be ascending and ≤ 0.5: {uncertain}"
+        );
+        last_margin = margin;
+    }
+
+    // The oracle answers: labels return as a typed data delta.
+    let labeled = client::post(
+        addr,
+        "/sessions/alice/data",
+        r#"{"source":"data","rows":["PhD,52,1","HS,19,0","PhD,48,1"]}"#,
+    )
+    .unwrap()
+    .expect_ok();
+    assert_eq!(labeled.get("appended").unwrap().as_u64(), Some(3));
+    assert_eq!(labeled.get("source").unwrap().as_str(), Some("data"));
+
+    // Retrain: unchanged partitions load, the label join recomputes.
+    let retrain = client::post(addr, "/sessions/alice/iterate", "")
+        .unwrap()
+        .expect_ok();
+    assert!(
+        retrain.get("chunks_reused").unwrap().as_u64().unwrap() > 0,
+        "the delta retrain must serve unchanged partitions: {retrain}"
+    );
+    let nodes = retrain.get("nodes").unwrap().as_array().unwrap();
+    let income = nodes
+        .iter()
+        .find(|n| n.get("name").unwrap().as_str() == Some("income"))
+        .expect("report must include the assemble node");
+    assert_eq!(
+        income.get("state").unwrap().as_str(),
+        Some("compute"),
+        "the label join must recompute after a data delta: {retrain}"
+    );
+    assert!(
+        retrain.get("metrics").unwrap().get("accuracy").is_some(),
+        "the retrain must re-evaluate"
+    );
+
+    // The delta is a first-class edit: it shows up in version history.
+    let history = client::get(addr, "/sessions/alice/versions")
+        .unwrap()
+        .expect_ok();
+    let versions = history.get("versions").unwrap().as_array().unwrap();
+    assert_eq!(versions.len(), 2);
+    assert_eq!(
+        versions[1].get("change_summary").unwrap().as_str(),
+        Some("append 3 rows to data")
+    );
+
+    // Error paths for both new endpoints.
+    assert_eq!(
+        client::post(addr, "/sessions/alice/data", r#"{"source":"data"}"#)
+            .unwrap()
+            .status,
+        400,
+        "data without rows must 400"
+    );
+    assert_eq!(
+        client::post(
+            addr,
+            "/sessions/alice/data",
+            r#"{"source":"rows","rows":["x,1,0"]}"#
+        )
+        .unwrap()
+        .status,
+        400,
+        "appending to a non-source node must 400"
+    );
+    assert_eq!(
+        client::get(addr, "/sessions/alice/uncertain?k=abc")
+            .unwrap()
+            .status,
+        400,
+        "non-numeric k must 400"
+    );
+    assert_eq!(
+        client::get(addr, "/sessions/nobody/uncertain")
+            .unwrap()
+            .status,
+        404
+    );
+    assert_eq!(
+        client::get(addr, "/sessions/alice/data").unwrap().status,
+        405,
+        "GET on the data route must be method-not-allowed"
+    );
+
+    server.shutdown();
+}
+
 /// Several remote analysts in flight at once: concurrent socket sessions
 /// share one engine, reuse each other's intermediates, and the history
 /// sees every run.

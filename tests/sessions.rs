@@ -94,9 +94,11 @@ fn drive(session: &SessionHandle) -> Vec<ReportFacts> {
 #[test]
 fn concurrent_sessions_match_sequential_reports() {
     let dir = tmpdir("deterministic");
-    // Disjoint datasets per analyst (distinct source paths ⇒ disjoint
-    // signature spaces), so the comparison is exact even though all
-    // sessions share one store.
+    // Disjoint datasets per analyst (distinct *content* per seed ⇒
+    // disjoint signature spaces — sources are signed by what the data is,
+    // not where it lives), so the comparison is exact even though all
+    // sessions share one store. Identical content would be legitimately
+    // shared across sessions, making `materialized` timing-dependent.
     let mut workflows = Vec::new();
     for i in 0..3 {
         let data_dir = dir.join(format!("data{i}"));
@@ -105,6 +107,7 @@ fn concurrent_sessions_match_sequential_reports() {
             &CensusDataSpec {
                 train_rows: 2_000,
                 test_rows: 500,
+                seed: 7 + i as u64,
                 ..Default::default()
             },
         )
